@@ -1,0 +1,89 @@
+"""E10 — Theorem 6 / Algorithms 3-4 on Comm. Homogeneous + Failure Hom.
+
+Regenerates the fastest-k enrolment series, asserts optimality against
+exhaustive search on random instances, and times both algorithms.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    algorithm3_minimize_fp,
+    algorithm4_minimize_latency,
+    exhaustive_minimize_fp,
+    exhaustive_minimize_latency,
+)
+from repro.core import Platform, PipelineApplication
+from repro.exceptions import InfeasibleProblemError
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def instance():
+    app = PipelineApplication(works=(4.0, 6.0, 2.0), volumes=(8.0, 4.0, 4.0, 2.0))
+    plat = Platform.communication_homogeneous(
+        [5.0, 4.0, 3.0, 2.5, 2.0, 1.0],
+        bandwidth=4.0,
+        failure_probabilities=[0.4] * 6,
+    )
+    return app, plat
+
+
+def test_e10_fastest_k_series(instance):
+    app, plat = instance
+    rows = []
+    for L in (6.0, 8.0, 10.0, 12.0, 16.0, 24.0):
+        try:
+            result = algorithm3_minimize_fp(app, plat, L)
+        except InfeasibleProblemError:
+            rows.append((L, "-", "-", "infeasible"))
+            continue
+        k = result.extras["replication"]
+        rows.append((L, k, result.extras["slowest_enrolled"], result.failure_probability))
+        assert result.failure_probability == pytest.approx(0.4**k)
+    report(
+        "E10: Algorithm 3 — fastest-k enrolment vs budget (fp=0.4)",
+        ("L", "k", "slowest enrolled speed", "FP"),
+        rows,
+    )
+
+
+def test_e10_optimality_random():
+    for seed in (0, 1, 2):
+        app, plat = make_instance(
+            "comm-homogeneous-failhom", n=3, m=4, seed=seed
+        )
+        for L_scale in (1.2, 2.0, 4.0):
+            from repro.core import IntervalMapping, latency
+
+            base = latency(
+                IntervalMapping.single_interval(3, {plat.fastest().index}),
+                app,
+                plat,
+            )
+            L = base * L_scale
+            got = algorithm3_minimize_fp(app, plat, L)
+            want = exhaustive_minimize_fp(app, plat, L)
+            assert got.failure_probability == pytest.approx(
+                want.failure_probability, abs=1e-12
+            )
+        for FP in (0.9, 0.5, 0.2):
+            try:
+                got = algorithm4_minimize_latency(app, plat, FP)
+            except InfeasibleProblemError:
+                continue
+            want = exhaustive_minimize_latency(app, plat, FP)
+            assert got.latency == pytest.approx(want.latency, rel=1e-9)
+
+
+def test_e10_bench_algorithm3(benchmark):
+    app, plat = make_instance("comm-homogeneous-failhom", n=6, m=24, seed=10)
+    result = benchmark(algorithm3_minimize_fp, app, plat, 1e9)
+    assert result.optimal
+
+
+def test_e10_bench_algorithm4(benchmark):
+    app, plat = make_instance("comm-homogeneous-failhom", n=6, m=24, seed=10)
+    result = benchmark(algorithm4_minimize_latency, app, plat, 1.0)
+    assert result.optimal

@@ -1,0 +1,115 @@
+"""E12 — model validation: closed forms vs the simulation substrate.
+
+Three identities, regenerated and timed:
+
+1. analytic FP inside the Monte-Carlo confidence interval (vectorised
+   survival sampling);
+2. adversarial DES replay == eq. (1)/(2) exactly;
+3. realised latencies <= worst case, with the realised mean strictly
+   below it whenever replication is present.
+"""
+
+import random as pyrandom
+
+import numpy as np
+import pytest
+
+from repro.algorithms.heuristics import random_mapping
+from repro.core import failure_probability, latency
+from repro.simulation import (
+    ElectionPolicy,
+    estimate_failure_probability,
+    realized_latency,
+    sample_latencies,
+)
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+def test_e12_fp_identity(fig5):
+    rng = np.random.default_rng(12)
+    rows = []
+    for label, mapping in (
+        ("fig5 two-interval", fig5.two_interval_mapping),
+        ("fig5 single", fig5.best_single_interval),
+    ):
+        analytic = failure_probability(mapping, fig5.platform)
+        est = estimate_failure_probability(
+            mapping, fig5.platform, trials=150_000, rng=rng
+        )
+        z = (est.mean - analytic) / max(est.stderr, 1e-300)
+        rows.append((label, analytic, est.mean, est.stderr, z))
+        assert abs(z) < 4.0
+    report(
+        "E12: analytic FP vs Monte-Carlo (150k trials)",
+        ("mapping", "analytic", "estimate", "stderr", "z"),
+        rows,
+    )
+
+
+def test_e12_worst_case_identity():
+    rows = []
+    for kind in ("fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"):
+        app, plat = make_instance(kind, n=4, m=5, seed=12)
+        mapping = random_mapping(4, 5, pyrandom.Random(12))
+        analytic = latency(mapping, app, plat)
+        replay = realized_latency(
+            mapping, app, plat, policy=ElectionPolicy.WORST_CASE
+        ).latency
+        agrees = abs(replay - analytic) <= 1e-12 * max(1.0, abs(analytic))
+        rows.append((kind, analytic, replay, agrees))
+        assert agrees
+    report(
+        "E12: eq (1)/(2) == adversarial replay",
+        ("platform", "analytic", "replay", "exact"),
+        rows,
+    )
+
+
+def test_e12_realised_below_worst_case(fig5):
+    sample = sample_latencies(
+        fig5.two_interval_mapping,
+        fig5.application,
+        fig5.platform,
+        trials=2000,
+        rng=np.random.default_rng(5),
+    )
+    report(
+        "E12: realised latency distribution vs worst case",
+        ("worst case", "realised max", "realised mean", "success rate"),
+        [
+            (
+                sample.worst_case,
+                sample.max_latency,
+                sample.mean_latency,
+                sample.success_rate,
+            )
+        ],
+    )
+    assert sample.max_latency <= sample.worst_case + 1e-9
+    assert sample.mean_latency < sample.worst_case  # replication slack
+
+
+def test_e12_bench_vectorised_mc(benchmark, fig5):
+    rng = np.random.default_rng(0)
+    est = benchmark(
+        estimate_failure_probability,
+        fig5.two_interval_mapping,
+        fig5.platform,
+        trials=100_000,
+        rng=rng,
+    )
+    assert 0.0 < est.mean < 1.0
+
+
+def test_e12_bench_scenario_replay(benchmark, fig5):
+    rng = np.random.default_rng(0)
+    sample = benchmark.pedantic(
+        sample_latencies,
+        args=(fig5.two_interval_mapping, fig5.application, fig5.platform),
+        kwargs={"trials": 500, "rng": rng},
+        rounds=1,
+        iterations=1,
+    )
+    assert sample.trials == 500

@@ -1,0 +1,86 @@
+"""E13 — ablation: what the one-port model costs replication.
+
+The paper's latency formulas serialize every fan-out under the one-port
+rule.  Replacing the serialized sums by single-transfer maxima (a
+hypothetical multi-port platform) isolates the modelling choice: the
+latency penalty of replication is almost entirely a one-port artefact,
+which is why the paper's trade-off is non-trivial in the first place.
+"""
+
+import pytest
+
+from repro.core import IntervalMapping, latency
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+def test_e13_replication_penalty_by_degree(fig5):
+    """On Figure 5: the k-replica penalty grows linearly with k under
+    one-port but stays flat under multi-port."""
+    app, plat = fig5.application, fig5.platform
+    rows = []
+    for k in range(1, 8):
+        mapping = IntervalMapping.single_interval(2, set(range(2, 2 + k)))
+        serial = latency(mapping, app, plat, one_port=True)
+        multi = latency(mapping, app, plat, one_port=False)
+        rows.append((k, serial, multi, serial - multi))
+    report(
+        "E13: one-port vs multi-port latency by replication degree",
+        ("k", "one-port", "multi-port", "penalty"),
+        rows,
+    )
+    penalties = [row[3] for row in rows]
+    # penalty = (k-1) * delta0/b on this instance: exactly linear
+    diffs = [b - a for a, b in zip(penalties, penalties[1:])]
+    assert all(d == pytest.approx(diffs[0], rel=1e-9) for d in diffs)
+    multis = [row[2] for row in rows]
+    assert all(m == pytest.approx(multis[0], rel=1e-9) for m in multis)
+
+
+def test_e13_oneport_never_faster():
+    for kind in ("comm-homogeneous", "fully-heterogeneous"):
+        import random as pyrandom
+
+        from repro.algorithms.heuristics import random_mapping
+
+        app, plat = make_instance(kind, n=4, m=5, seed=13)
+        rng = pyrandom.Random(13)
+        for _ in range(100):
+            mapping = random_mapping(4, 5, rng)
+            assert latency(mapping, app, plat, one_port=True) >= (
+                latency(mapping, app, plat, one_port=False) - 1e-9
+            )
+
+
+def test_e13_optimum_shifts_under_multiport(fig5):
+    """Under the multi-port fiction, replication is (nearly) free, so the
+    optimal replication degree under the same budget jumps."""
+    from repro.algorithms.bicriteria import exhaustive_minimize_fp
+
+    app, plat = fig5.application, fig5.platform
+    serial = exhaustive_minimize_fp(app, plat, fig5.latency_threshold)
+    multi = exhaustive_minimize_fp(
+        app, plat, fig5.latency_threshold, one_port=False
+    )
+    report(
+        "E13: optimal FP under L<=22, one-port vs multi-port",
+        ("model", "FP", "mapping"),
+        [
+            ("one-port (paper)", serial.failure_probability, str(serial.mapping)),
+            ("multi-port", multi.failure_probability, str(multi.mapping)),
+        ],
+    )
+    assert multi.failure_probability <= serial.failure_probability + 1e-12
+
+
+def test_e13_bench_metric_ablation(benchmark, fig5):
+    mapping = fig5.two_interval_mapping
+
+    def run():
+        a = latency(mapping, fig5.application, fig5.platform, one_port=True)
+        b = latency(mapping, fig5.application, fig5.platform, one_port=False)
+        return a - b
+
+    penalty = benchmark(run)
+    assert penalty > 0

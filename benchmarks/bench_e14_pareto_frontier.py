@@ -1,0 +1,97 @@
+"""E14 — the bi-criteria trade-off: Pareto frontiers per platform class.
+
+Regenerates the latency/FP frontier on each platform class, the
+replication-count sweep along the Fully Homogeneous frontier, and the
+single-interval-vs-exact gap that separates the solved classes from the
+open one.
+"""
+
+import pytest
+
+from repro.analysis import (
+    exact_frontier,
+    frontier_fp_gap,
+    single_interval_frontier,
+)
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+@pytest.mark.parametrize(
+    "kind",
+    ["fully-homogeneous", "comm-homogeneous-failhom", "comm-homogeneous", "fully-heterogeneous"],
+)
+def test_e14_frontier_per_class(kind):
+    app, plat = make_instance(kind, n=3, m=4, seed=14)
+    front = exact_frontier(app, plat)
+    rows = [
+        (p.latency, p.failure_probability, str(p.payload)) for p in front
+    ]
+    report(
+        f"E14: exact Pareto frontier — {kind}",
+        ("latency", "FP", "mapping"),
+        rows,
+    )
+    lats = [p.latency for p in front]
+    fps = [p.failure_probability for p in front]
+    assert lats == sorted(lats)
+    assert fps == sorted(fps, reverse=True)
+
+
+def test_e14_single_interval_gap_by_class():
+    """On Lemma 1's domain the single-interval frontier matches exactly;
+    outside it a gap appears."""
+    rows = []
+    for kind in (
+        "fully-homogeneous",
+        "comm-homogeneous-failhom",
+        "comm-homogeneous",
+    ):
+        app, plat = make_instance(kind, n=3, m=4, seed=14)
+        gap = frontier_fp_gap(
+            exact_frontier(app, plat), single_interval_frontier(app, plat)
+        )
+        rows.append((kind, gap["match_rate"], gap["max_fp_excess"]))
+    report(
+        "E14: single-interval frontier vs exact, by class",
+        ("class", "match rate", "max FP excess"),
+        rows,
+    )
+    by_kind = dict((r[0], r) for r in rows)
+    assert by_kind["fully-homogeneous"][1] == 1.0
+    assert by_kind["comm-homogeneous-failhom"][1] == 1.0
+
+
+def test_e14_replication_sweep_fully_hom(fig5):
+    """Along the Fully Homogeneous frontier the replication count is the
+    only degree of freedom: the frontier is exactly the k-sweep."""
+    from repro.core import IntervalMapping, Platform, evaluate
+
+    app = fig5.application
+    plat = Platform.fully_homogeneous(
+        8, speed=10.0, bandwidth=1.0, failure_probability=0.4
+    )
+    points = []
+    for k in range(1, 9):
+        mapping = IntervalMapping.single_interval(2, set(range(1, k + 1)))
+        ev = evaluate(mapping, app, plat)
+        points.append((k, ev.latency, ev.failure_probability))
+    report(
+        "E14: replication sweep (Fully Homogeneous)",
+        ("k", "latency", "FP"),
+        points,
+    )
+    front = exact_frontier(app, plat)
+    assert len(front) == 8
+    for (k, lat, fp), p in zip(points, front):
+        assert lat == pytest.approx(p.latency)
+        assert fp == pytest.approx(p.failure_probability)
+
+
+def test_e14_bench_exact_frontier(benchmark):
+    app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=14)
+    front = benchmark.pedantic(
+        exact_frontier, args=(app, plat), rounds=1, iterations=1
+    )
+    assert front

@@ -1,0 +1,115 @@
+"""E15 — extension: the latency/reliability/throughput interplay
+(paper Section 5's future work).
+
+Regenerates the replication-flavour comparison: reliability replication
+(FP = replica product, period inflated by serialized copies) versus
+round-robin data-parallel replication (period divided by k, per-data-set
+loss = replica mean), both analytically and in the live stream engine.
+"""
+
+import pytest
+
+from repro.core import IntervalMapping, failure_probability, latency
+from repro.extensions import (
+    round_robin_dataset_failure_probability,
+    round_robin_period,
+    steady_state_period,
+)
+from repro.simulation import simulate_stream
+
+from .conftest import report
+
+
+def test_e15_replication_flavours(fig5):
+    app, plat = fig5.application, fig5.platform
+    rows = []
+    for k in (1, 2, 4, 6):
+        mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, set(range(2, 2 + k))])
+        rows.append(
+            (
+                k,
+                latency(mapping, app, plat),
+                failure_probability(mapping, plat),
+                steady_state_period(mapping, app, plat),
+                round_robin_period(mapping, app, plat),
+                round_robin_dataset_failure_probability(mapping, plat),
+            )
+        )
+    report(
+        "E15: replication flavours on Figure 5 (heavy stage, k replicas)",
+        ("k", "latency", "FP (reliab.)", "period (reliab.)", "period (RR)", "loss/dataset (RR)"),
+        rows,
+    )
+    # reliability replication: FP falls, period rises with k
+    fps = [r[2] for r in rows]
+    periods = [r[3] for r in rows]
+    assert fps == sorted(fps, reverse=True)
+    assert periods == sorted(periods)
+    # round-robin: period never grows with k (here the slow first
+    # interval pins it), and per-data-set loss exceeds the reliability FP
+    rr_periods = [r[4] for r in rows]
+    assert rr_periods == sorted(rr_periods, reverse=True)
+    for rel_period, rr_period in zip(periods[1:], rr_periods[1:]):
+        assert rr_period <= rel_period
+    for row in rows[1:]:
+        assert row[5] > row[2]
+
+
+def test_e15_round_robin_division_single_interval(fig5):
+    """On a single replicated interval the 1/k division is visible until
+    the P_in port becomes the bottleneck."""
+    app, plat = fig5.application, fig5.platform
+    rows = []
+    for k in (1, 2, 4, 8):
+        mapping = IntervalMapping.single_interval(2, set(range(2, 2 + k)))
+        rows.append((k, round_robin_period(mapping, app, plat)))
+    report(
+        "E15: round-robin period, single interval of k fast replicas",
+        ("k", "RR period"),
+        rows,
+    )
+    # k=1: (10 + 1.01)/1 = 11.01; k>=2: the P_in port (10) dominates
+    assert rows[0][1] == pytest.approx(11.01)
+    for _, period in rows[1:]:
+        assert period == pytest.approx(10.0)
+
+
+def test_e15_simulated_throughput_gain(fig5):
+    mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, {2, 3, 4}])
+    app, plat = fig5.application, fig5.platform
+    rel = simulate_stream(mapping, app, plat, num_datasets=40)
+    rr = simulate_stream(mapping, app, plat, num_datasets=40, round_robin=True)
+    report(
+        "E15: measured stream periods (k=3 heavy-stage replicas)",
+        ("mode", "period", "throughput", "mean latency"),
+        [
+            ("reliability", rel.period, rel.throughput, rel.mean_latency),
+            ("round-robin", rr.period, rr.throughput, rr.mean_latency),
+        ],
+    )
+    assert rr.period < rel.period
+    assert rr.throughput > rel.throughput
+
+
+def test_e15_bench_stream_reliability(benchmark, fig5):
+    mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, {2, 3, 4}])
+    result = benchmark.pedantic(
+        simulate_stream,
+        args=(mapping, fig5.application, fig5.platform),
+        kwargs={"num_datasets": 30},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_succeeded
+
+
+def test_e15_bench_stream_round_robin(benchmark, fig5):
+    mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, {2, 3, 4}])
+    result = benchmark.pedantic(
+        simulate_stream,
+        args=(mapping, fig5.application, fig5.platform),
+        kwargs={"num_datasets": 30, "round_robin": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_succeeded

@@ -1,0 +1,77 @@
+"""E16 — runtime scaling of every solver family.
+
+Empirically exhibits the complexity landscape the paper proves:
+
+* Theorems 1/2 solvers: (near-)constant;
+* Algorithms 1-4: linear in m;
+* Theorem 4 DP: polynomial (n * m^2);
+* Held-Karp one-to-one / exhaustive bi-criteria: exponential walls.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    algorithm3_minimize_fp,
+    count_interval_mappings,
+    exhaustive_minimize_fp,
+)
+from repro.algorithms.mono import (
+    minimize_latency_general,
+    minimize_latency_one_to_one_exact,
+)
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+@pytest.mark.parametrize("m", [8, 16, 32, 64])
+def test_e16_bench_algorithm3_linear_in_m(benchmark, m):
+    app, plat = make_instance("comm-homogeneous-failhom", n=5, m=m, seed=16)
+    result = benchmark(algorithm3_minimize_fp, app, plat, 1e12)
+    assert result.optimal
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_e16_bench_theorem4_polynomial(benchmark, n):
+    app, plat = make_instance("fully-heterogeneous", n=n, m=12, seed=16)
+    result = benchmark(minimize_latency_general, app, plat)
+    assert result.optimal
+
+
+@pytest.mark.parametrize("m", [8, 11, 14])
+def test_e16_bench_held_karp_exponential(benchmark, m):
+    app, plat = make_instance("fully-heterogeneous", n=5, m=m, seed=16)
+    result = benchmark.pedantic(
+        minimize_latency_one_to_one_exact,
+        args=(app, plat),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.optimal
+
+
+@pytest.mark.parametrize("n,m", [(2, 4), (3, 4), (3, 5), (4, 5)])
+def test_e16_bench_exhaustive_wall(benchmark, n, m):
+    app, plat = make_instance("comm-homogeneous", n=n, m=m, seed=16)
+    result = benchmark.pedantic(
+        exhaustive_minimize_fp,
+        args=(app, plat, 1e12),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.optimal
+
+
+def test_e16_search_space_growth():
+    """The exhaustive search space the NP-hard cases force."""
+    rows = []
+    for n, m in [(2, 4), (3, 5), (4, 6), (5, 8), (6, 10), (8, 12)]:
+        rows.append((n, m, count_interval_mappings(n, m)))
+    report(
+        "E16: interval-mapping search-space size",
+        ("n", "m", "mappings"),
+        rows,
+    )
+    sizes = [r[2] for r in rows]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 10_000_000  # the wall is real

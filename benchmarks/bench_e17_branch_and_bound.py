@@ -1,0 +1,86 @@
+"""E17 — ablation: branch-and-bound pruning vs plain enumeration.
+
+Same exact optimum, far fewer explored nodes: the seeded incumbent plus
+the two admissible bounds (fastest-remaining latency, all-remaining
+reliability) prune the interval-mapping tree by 1-2 orders of magnitude.
+Quantifies the value of the bounds called out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    branch_and_bound_minimize_fp,
+    exhaustive_minimize_fp,
+)
+from repro.core import IntervalMapping, latency
+from tests.conftest import make_instance
+
+from .conftest import fig5, report  # noqa: F401  (fixture re-export)
+
+
+def test_e17_node_counts(fig5):
+    rows = []
+    # Figure 5: the flagship hard-ish instance (175 099 mappings)
+    bnb = branch_and_bound_minimize_fp(
+        fig5.application, fig5.platform, fig5.latency_threshold
+    )
+    exact = exhaustive_minimize_fp(
+        fig5.application, fig5.platform, fig5.latency_threshold
+    )
+    rows.append(
+        (
+            "figure-5 (n=2, m=11)",
+            exact.extras["explored"],
+            bnb.extras["explored"],
+            exact.extras["explored"] / bnb.extras["explored"],
+        )
+    )
+    assert bnb.failure_probability == pytest.approx(
+        exact.failure_probability, abs=1e-12
+    )
+    for seed in range(3):
+        app, plat = make_instance("comm-homogeneous", n=4, m=5, seed=seed)
+        threshold = 2.0 * latency(
+            IntervalMapping.single_interval(4, {plat.fastest().index}),
+            app,
+            plat,
+        )
+        b = branch_and_bound_minimize_fp(app, plat, threshold)
+        e = exhaustive_minimize_fp(app, plat, threshold)
+        assert b.failure_probability == pytest.approx(
+            e.failure_probability, abs=1e-12
+        )
+        rows.append(
+            (
+                f"random n=4 m=5 seed={seed}",
+                e.extras["explored"],
+                b.extras["explored"],
+                e.extras["explored"] / b.extras["explored"],
+            )
+        )
+    report(
+        "E17: explored nodes, exhaustive vs branch-and-bound",
+        ("instance", "exhaustive", "B&B", "speedup factor"),
+        rows,
+    )
+    assert all(row[3] > 5 for row in rows)
+
+
+def test_e17_bench_branch_and_bound(benchmark, fig5):
+    result = benchmark(
+        branch_and_bound_minimize_fp,
+        fig5.application,
+        fig5.platform,
+        fig5.latency_threshold,
+    )
+    assert result.mapping.num_intervals == 2
+
+
+def test_e17_bench_exhaustive_reference(benchmark, fig5):
+    result = benchmark.pedantic(
+        exhaustive_minimize_fp,
+        args=(fig5.application, fig5.platform, fig5.latency_threshold),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mapping.num_intervals == 2

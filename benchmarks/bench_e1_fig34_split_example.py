@@ -1,0 +1,50 @@
+"""E1 — paper Figure 3/4: the split mapping beats any single processor.
+
+Paper claim: whole-pipeline-on-one-processor latency = **105** (either
+processor); the two-interval split = **7**; the split is the global
+optimum.  The timed operation is the Theorem 4 shortest-path solver that
+discovers the split.
+"""
+
+import pytest
+
+from repro.algorithms.mono import (
+    minimize_latency_general,
+    minimize_latency_interval_exact,
+)
+from repro.core import latency
+
+from .conftest import report
+
+
+def test_e1_numbers(fig34):
+    rows = []
+    for label, mapping, claim in (
+        ("single P1", fig34.single_processor_mappings[0], 105.0),
+        ("single P2", fig34.single_processor_mappings[1], 105.0),
+        ("split", fig34.split_mapping, 7.0),
+    ):
+        measured = latency(mapping, fig34.application, fig34.platform)
+        rows.append((label, measured, claim))
+        assert measured == pytest.approx(claim, abs=1e-12)
+    report("E1: Figure 3/4 latencies", ("mapping", "measured", "paper"), rows)
+
+
+def test_e1_split_is_global_optimum(fig34):
+    exact = minimize_latency_interval_exact(fig34.application, fig34.platform)
+    assert exact.latency == pytest.approx(7.0)
+    assert exact.mapping.num_intervals == 2
+    speedup = 105.0 / exact.latency
+    report(
+        "E1: optimality",
+        ("quantity", "value"),
+        [("optimal latency", exact.latency), ("speedup vs single", speedup)],
+    )
+    assert speedup == pytest.approx(15.0)
+
+
+def test_e1_bench_shortest_path(benchmark, fig34):
+    result = benchmark(
+        minimize_latency_general, fig34.application, fig34.platform
+    )
+    assert result.latency == pytest.approx(7.0)

@@ -1,0 +1,79 @@
+"""E2 — paper Figure 5: two intervals beat every single interval.
+
+Paper claims under latency threshold 22: best single-interval FP =
+**0.64** (two fast replicas; three would exceed the threshold:
+3*10 + 101/100 > 22); the slow+10-fast split reaches latency exactly
+**22** with FP = 1 - 0.9(1 - 0.8^10) ~ **0.1966 < 0.2**.  The timed
+operation is the exhaustive solver discovering the two-interval optimum
+in the 175 099-mapping search space.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    count_interval_mappings,
+    exhaustive_minimize_fp,
+)
+from repro.algorithms.heuristics import single_interval_minimize_fp
+from repro.core import IntervalMapping, failure_probability, latency
+
+from .conftest import report
+
+
+def test_e2_numbers(fig5):
+    app, plat = fig5.application, fig5.platform
+    single = single_interval_minimize_fp(app, plat, fig5.latency_threshold)
+    assert single.failure_probability == pytest.approx(0.64, abs=1e-12)
+
+    three_fast = IntervalMapping.single_interval(2, {2, 3, 4})
+    assert latency(three_fast, app, plat) > 22.0  # 3*10 + 1.01
+
+    two = fig5.two_interval_mapping
+    lat = latency(two, app, plat)
+    fp = failure_probability(two, plat)
+    assert lat == pytest.approx(22.0, abs=1e-12)
+    assert fp == pytest.approx(fig5.claimed_two_interval_fp, rel=1e-12)
+    assert fp < 0.2
+
+    report(
+        "E2: Figure 5 mappings under L <= 22",
+        ("mapping", "latency", "FP", "paper"),
+        [
+            ("best single interval", single.latency, single.failure_probability, "FP = 0.64"),
+            ("3 fast (infeasible)", latency(three_fast, app, plat), failure_probability(three_fast, plat), "> 22"),
+            ("slow + 10 fast", lat, fp, "22, FP < 0.2"),
+        ],
+    )
+
+
+def test_e2_exhaustive_confirms(fig5):
+    space = count_interval_mappings(2, 11)
+    assert space == 175099
+    best = exhaustive_minimize_fp(
+        fig5.application, fig5.platform, fig5.latency_threshold
+    )
+    assert best.failure_probability == pytest.approx(
+        fig5.claimed_two_interval_fp, rel=1e-12
+    )
+    assert best.mapping.num_intervals == 2
+    improvement = 0.64 / best.failure_probability
+    report(
+        "E2: exhaustive optimum",
+        ("quantity", "value"),
+        [
+            ("search space", space),
+            ("optimal FP", best.failure_probability),
+            ("FP improvement over single interval", improvement),
+        ],
+    )
+    assert improvement > 3.0  # the paper's ~3.3x reliability gain
+
+
+def test_e2_bench_exhaustive(benchmark, fig5):
+    result = benchmark.pedantic(
+        exhaustive_minimize_fp,
+        args=(fig5.application, fig5.platform, fig5.latency_threshold),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mapping.num_intervals == 2

@@ -1,0 +1,53 @@
+"""E3 — Theorem 1: minimum FP = full replication, on every platform class.
+
+Also times the (linear) solver against the exhaustive baseline to show
+the polynomial/exponential contrast the theorem implies.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import enumerate_evaluations
+from repro.algorithms.mono import minimize_failure_probability
+from tests.conftest import make_instance
+
+from .conftest import report
+
+KINDS = [
+    "fully-homogeneous",
+    "comm-homogeneous",
+    "fully-heterogeneous",
+]
+
+
+def test_e3_optimal_on_every_class():
+    rows = []
+    for kind in KINDS:
+        app, plat = make_instance(kind, n=3, m=4, seed=3)
+        fast = minimize_failure_probability(app, plat)
+        exact = min(
+            ev.failure_probability for ev in enumerate_evaluations(app, plat)
+        )
+        rows.append((kind, fast.failure_probability, exact))
+        assert fast.failure_probability == pytest.approx(exact, abs=1e-12)
+    report(
+        "E3: Theorem 1 (min FP) vs exhaustive",
+        ("platform class", "theorem 1", "exhaustive"),
+        rows,
+    )
+
+
+def test_e3_bench_solver(benchmark):
+    app, plat = make_instance("fully-heterogeneous", n=6, m=10, seed=1)
+    result = benchmark(minimize_failure_probability, app, plat)
+    assert result.mapping.used_processors == frozenset(range(1, 11))
+
+
+def test_e3_bench_exhaustive_baseline(benchmark):
+    app, plat = make_instance("fully-heterogeneous", n=3, m=4, seed=1)
+
+    def run():
+        return min(
+            ev.failure_probability for ev in enumerate_evaluations(app, plat)
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""E4 — Theorem 2: min latency on Comm. Homogeneous = fastest processor.
+
+The bench regenerates the claim (single fastest processor, no
+replication, no splitting) against exhaustive search, and times the
+constant-work solver.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import enumerate_evaluations
+from repro.algorithms.mono import minimize_latency_comm_homogeneous
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+def test_e4_matches_exhaustive():
+    rows = []
+    for seed in range(4):
+        app, plat = make_instance("comm-homogeneous", n=4, m=4, seed=seed)
+        fast = minimize_latency_comm_homogeneous(app, plat)
+        exact = min(ev.latency for ev in enumerate_evaluations(app, plat))
+        rows.append((seed, fast.latency, exact, fast.extras["processor"]))
+        assert fast.latency == pytest.approx(exact, rel=1e-12)
+        assert not fast.mapping.uses_replication
+        assert fast.mapping.is_single_interval
+    report(
+        "E4: Theorem 2 vs exhaustive",
+        ("seed", "theorem 2", "exhaustive", "chosen proc"),
+        rows,
+    )
+
+
+def test_e4_bench_solver(benchmark):
+    app, plat = make_instance("comm-homogeneous", n=8, m=16, seed=0)
+    result = benchmark(minimize_latency_comm_homogeneous, app, plat)
+    assert result.optimal

@@ -1,0 +1,60 @@
+"""E5 — Theorem 4 / Figure 6: shortest-path general mappings.
+
+Asserts optimality against brute force on small instances, checks the
+graph size formula (n*m + 2 vertices, (n-1)m^2 + 2m edges), and times
+the DP across a size sweep to exhibit the polynomial O(n m^2) scaling.
+"""
+
+import pytest
+
+from repro.algorithms.mono import (
+    layered_graph_edges,
+    minimize_latency_general,
+    minimize_latency_general_bruteforce,
+)
+from repro.workloads.synthetic import (
+    random_application,
+    random_fully_heterogeneous,
+)
+
+from .conftest import report
+
+
+def test_e5_optimality_vs_bruteforce():
+    rows = []
+    for seed in range(4):
+        app = random_application(4, seed=seed)
+        plat = random_fully_heterogeneous(4, seed=seed + 10)
+        dp = minimize_latency_general(app, plat)
+        brute = minimize_latency_general_bruteforce(app, plat)
+        rows.append((seed, dp.latency, brute.latency))
+        assert dp.latency == pytest.approx(brute.latency, rel=1e-12)
+    report(
+        "E5: Theorem 4 DP vs brute force (m^n assignments)",
+        ("seed", "shortest path", "brute force"),
+        rows,
+    )
+
+
+def test_e5_graph_size_formula():
+    rows = []
+    for n, m in [(3, 4), (5, 6), (8, 8)]:
+        app = random_application(n, seed=n)
+        plat = random_fully_heterogeneous(m, seed=m)
+        edges = sum(1 for _ in layered_graph_edges(app, plat))
+        expected = (n - 1) * m * m + 2 * m
+        rows.append((n, m, edges, expected))
+        assert edges == expected
+    report(
+        "E5: Figure 6 graph size = (n-1)m^2 + 2m",
+        ("n", "m", "edges", "formula"),
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n,m", [(5, 5), (10, 10), (20, 20), (40, 20)])
+def test_e5_bench_scaling(benchmark, n, m):
+    app = random_application(n, seed=n)
+    plat = random_fully_heterogeneous(m, seed=m)
+    result = benchmark(minimize_latency_general, app, plat)
+    assert result.optimal

@@ -1,0 +1,67 @@
+"""E6 — Theorem 3: the TSP gadget equivalence, executed.
+
+Verifies (optimal latency) == (optimal Hamiltonian path cost) + n + 2 on
+random instances, and times the exact one-to-one solver across m to show
+the exponential wall the NP-hardness implies.
+"""
+
+import pytest
+
+from repro.algorithms.mono import minimize_latency_one_to_one_exact
+from repro.reductions import (
+    build_one_to_one_gadget,
+    random_tsp_instance,
+    verify_tsp_reduction,
+)
+from repro.workloads.synthetic import (
+    random_application,
+    random_fully_heterogeneous,
+)
+
+from .conftest import report
+
+
+def test_e6_equivalence_on_random_instances():
+    rows = []
+    for seed in range(6):
+        inst = random_tsp_instance(5, seed=seed)
+        rep = verify_tsp_reduction(inst)
+        rows.append(
+            (
+                seed,
+                inst.bound,
+                rep["path_cost"],
+                rep["optimal_latency"],
+                rep["expected_latency"],
+                rep["decision"],
+            )
+        )
+        assert rep["optimal_latency"] == pytest.approx(
+            rep["expected_latency"]
+        )
+    report(
+        "E6: Theorem 3 gadget — latency = path cost + n + 2",
+        ("seed", "K", "path cost", "latency", "expected", "YES?"),
+        rows,
+    )
+
+
+def test_e6_bench_gadget_solve(benchmark):
+    inst = random_tsp_instance(7, seed=1)
+    app, plat, _ = build_one_to_one_gadget(inst)
+    result = benchmark(minimize_latency_one_to_one_exact, app, plat)
+    assert result.optimal
+
+
+@pytest.mark.parametrize("m", [6, 9, 12])
+def test_e6_bench_exponential_wall(benchmark, m):
+    """Held-Karp runtime grows ~2^m: the practical face of NP-hardness."""
+    app = random_application(m, seed=m)
+    plat = random_fully_heterogeneous(m, seed=m + 1)
+    result = benchmark.pedantic(
+        minimize_latency_one_to_one_exact,
+        args=(app, plat),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.optimal

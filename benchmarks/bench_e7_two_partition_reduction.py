@@ -1,0 +1,58 @@
+"""E7 — Theorem 7: the 2-PARTITION gadget equivalence, executed.
+
+YES/NO instances decide identically through the subset-sum DP and the
+bi-criteria gadget; the bench times the metric-level gadget enumeration
+(exponential in m) against the pseudo-polynomial DP.
+"""
+
+from repro.reductions import (
+    feasible_replica_set,
+    random_two_partition_instance,
+    solve_two_partition,
+    verify_two_partition_reduction,
+)
+
+from .conftest import report
+
+
+def test_e7_equivalence():
+    rows = []
+    for seed in range(6):
+        inst = random_two_partition_instance(6, seed=seed)
+        rep = verify_two_partition_reduction(inst)
+        rows.append(
+            (
+                seed,
+                str(inst.values),
+                rep["total"],
+                rep["partition_exists"],
+                rep["gadget_feasible"],
+            )
+        )
+        assert rep["partition_exists"] == rep["gadget_feasible"]
+    for seed in range(3):
+        inst = random_two_partition_instance(6, seed=seed, force_yes=True)
+        rep = verify_two_partition_reduction(inst)
+        assert rep["partition_exists"] and rep["gadget_feasible"]
+        rows.append(
+            (f"yes-{seed}", str(inst.values), rep["total"], True, True)
+        )
+    report(
+        "E7: Theorem 7 gadget decisions",
+        ("seed", "values", "S", "2-PARTITION", "gadget feasible"),
+        rows,
+    )
+
+
+def test_e7_bench_gadget_enumeration(benchmark):
+    inst = random_two_partition_instance(10, seed=4, force_yes=True)
+    ok, _ = benchmark.pedantic(
+        feasible_replica_set, args=(inst,), rounds=1, iterations=1
+    )
+    assert ok
+
+
+def test_e7_bench_subset_sum_dp(benchmark):
+    inst = random_two_partition_instance(60, seed=4, force_yes=True)
+    ok, _ = benchmark(solve_two_partition, inst)
+    assert ok

@@ -1,0 +1,97 @@
+"""E8 — Lemma 1: single-interval dominance, measured over random mappings.
+
+On the lemma's domain (Fully Hom.; Comm. Hom. + Failure Hom.) the
+constructed single-interval mapping dominates 100% of random mappings on
+both criteria; on the Figure 5 instance (Failure Het.) the dominance
+breaks.  The bench times the dominance check pipeline.
+"""
+
+import random as pyrandom
+
+import pytest
+
+from repro.algorithms.heuristics import random_mapping
+from repro.core import IntervalMapping, failure_probability, latency
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+def _construct_single(mapping, platform, comm_hom: bool):
+    if comm_hom:
+        k = min(len(a) for a in mapping.allocations)
+        procs = [p.index for p in platform.by_speed_descending()[:k]]
+    else:
+        k = len(mapping.allocations[0])
+        procs = [p.index for p in platform.by_reliability_descending()[:k]]
+    return IntervalMapping.single_interval(mapping.num_stages, procs)
+
+
+@pytest.mark.parametrize(
+    "kind,comm_hom",
+    [
+        ("fully-homogeneous-failhet", False),
+        ("comm-homogeneous-failhom", True),
+    ],
+)
+def test_e8_dominance_rate_is_total(kind, comm_hom):
+    dominated = 0
+    trials = 300
+    rng = pyrandom.Random(8)
+    app, plat = make_instance(kind, n=4, m=5, seed=8)
+    for _ in range(trials):
+        mapping = random_mapping(4, 5, rng)
+        single = _construct_single(mapping, plat, comm_hom)
+        if latency(single, app, plat) <= latency(mapping, app, plat) + 1e-9 and (
+            failure_probability(single, plat)
+            <= failure_probability(mapping, plat) + 1e-12
+        ):
+            dominated += 1
+    report(
+        f"E8: Lemma 1 dominance on {kind}",
+        ("trials", "dominated", "rate"),
+        [(trials, dominated, dominated / trials)],
+    )
+    assert dominated == trials
+
+
+def test_e8_dominance_fails_on_failure_heterogeneous(fig5):
+    """The Figure 5 two-interval optimum is NOT dominated by the lemma's
+    construction — the boundary of the lemma's domain."""
+    app, plat = fig5.application, fig5.platform
+    two = fig5.two_interval_mapping
+    single = _construct_single(two, plat, comm_hom=True)
+    dominated = latency(single, app, plat) <= latency(two, app, plat) + 1e-9 and (
+        failure_probability(single, plat)
+        <= failure_probability(two, plat) + 1e-12
+    )
+    report(
+        "E8: dominance attempt on Figure 5 (Failure Het.)",
+        ("single latency", "two latency", "single FP", "two FP", "dominates?"),
+        [
+            (
+                latency(single, app, plat),
+                latency(two, app, plat),
+                failure_probability(single, plat),
+                failure_probability(two, plat),
+                dominated,
+            )
+        ],
+    )
+    assert not dominated
+
+
+def test_e8_bench_dominance_check(benchmark):
+    app, plat = make_instance("comm-homogeneous-failhom", n=4, m=5, seed=8)
+    rng = pyrandom.Random(0)
+    mappings = [random_mapping(4, 5, rng) for _ in range(50)]
+
+    def run():
+        count = 0
+        for mapping in mappings:
+            single = _construct_single(mapping, plat, True)
+            if latency(single, app, plat) <= latency(mapping, app, plat) + 1e-9:
+                count += 1
+        return count
+
+    assert benchmark(run) == 50

@@ -1,0 +1,92 @@
+"""E9 — Theorem 5 / Algorithms 1-2 on Fully Homogeneous platforms.
+
+Regenerates the replication-count series (k vs threshold), checks the
+closed-form k, asserts optimality against exhaustive search, and times
+both polynomial algorithms.
+"""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    algorithm1_minimize_fp,
+    algorithm2_minimize_latency,
+    closed_form_replication_bound,
+    exhaustive_minimize_fp,
+)
+from repro.core import Platform, PipelineApplication
+from tests.conftest import make_instance
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def instance():
+    app = PipelineApplication(works=(4.0, 6.0, 2.0), volumes=(8.0, 4.0, 4.0, 2.0))
+    plat = Platform.fully_homogeneous(
+        8, speed=2.0, bandwidth=4.0, failure_probability=0.3
+    )
+    return app, plat
+
+
+def test_e9_replication_series(instance):
+    """k grows stepwise with the latency budget; FP falls as 0.3^k."""
+    app, plat = instance
+    rows = []
+    for L in (9.0, 11.0, 13.0, 17.0, 25.0, 40.0):
+        result = algorithm1_minimize_fp(app, plat, L)
+        k_formula = closed_form_replication_bound(app, plat, L)
+        rows.append(
+            (L, result.extras["replication"], k_formula, result.failure_probability)
+        )
+        assert result.extras["replication"] == k_formula
+        assert result.failure_probability == pytest.approx(
+            0.3 ** result.extras["replication"]
+        )
+    report(
+        "E9: Algorithm 1 replication vs latency budget (fp=0.3)",
+        ("L", "k (scan)", "k (closed form)", "FP = 0.3^k"),
+        rows,
+    )
+    ks = [row[1] for row in rows]
+    assert ks == sorted(ks)  # k is monotone in the budget
+
+
+def test_e9_optimality(instance):
+    app, plat = instance
+    for L in (9.0, 13.0, 25.0):
+        got = algorithm1_minimize_fp(app, plat, L)
+        want = exhaustive_minimize_fp(app, plat, L, search_cap=10_000_000)
+        assert got.failure_probability == pytest.approx(
+            want.failure_probability, abs=1e-12
+        )
+
+
+def test_e9_alg2_inverse_of_alg1(instance):
+    """Algorithm 2 at Algorithm 1's achieved FP returns the same k."""
+    app, plat = instance
+    rows = []
+    for L in (9.0, 13.0, 25.0):
+        a1 = algorithm1_minimize_fp(app, plat, L)
+        a2 = algorithm2_minimize_latency(app, plat, a1.failure_probability)
+        rows.append(
+            (L, a1.extras["replication"], a2.extras["replication"], a2.latency)
+        )
+        assert a2.extras["replication"] == a1.extras["replication"]
+        assert a2.latency <= L + 1e-9
+    report(
+        "E9: Algorithm 2 inverts Algorithm 1",
+        ("L", "k from alg1", "k from alg2", "alg2 latency"),
+        rows,
+    )
+
+
+def test_e9_bench_algorithm1(benchmark):
+    app, plat = make_instance("fully-homogeneous-failhet", n=6, m=24, seed=9)
+    result = benchmark(algorithm1_minimize_fp, app, plat, 1e9)
+    assert result.extras["replication"] == 24
+
+
+def test_e9_bench_algorithm2(benchmark):
+    app, plat = make_instance("fully-homogeneous-failhet", n=6, m=24, seed=9)
+    result = benchmark(algorithm2_minimize_latency, app, plat, 1.0)
+    assert result.optimal

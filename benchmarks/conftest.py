@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment bench both *times* its central operation (via
+pytest-benchmark) and *asserts the paper's claim* on the produced
+numbers, so `pytest benchmarks/ --benchmark-only` regenerates the
+paper's rows and fails loudly if the shape drifts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.reference import figure5_instance, figure34_instance
+
+
+@pytest.fixture(scope="session")
+def fig34():
+    """Paper Figure 3/4 instance (session-scoped: read-only)."""
+    return figure34_instance()
+
+
+@pytest.fixture(scope="session")
+def fig5():
+    """Paper Figure 5 instance (session-scoped: read-only)."""
+    return figure5_instance()
+
+
+import pathlib
+
+_REPORT_PATH = pathlib.Path(__file__).parent / "latest_report.txt"
+
+
+def report(title: str, headers, rows) -> None:
+    """Print a paper-comparison table and persist it to
+    ``benchmarks/latest_report.txt`` (pytest captures stdout, so the file
+    is the durable record of the regenerated numbers)."""
+    from repro.analysis import format_table
+
+    text = f"\n[{title}]\n" + format_table(headers, rows) + "\n"
+    print(text, end="")
+    with _REPORT_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    """Start each bench session with a clean report file."""
+    if _REPORT_PATH.exists():
+        _REPORT_PATH.unlink()
+    yield

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Trace the latency/reliability Pareto frontier of a mapping problem.
+
+The paper frames its bi-criteria problem as threshold queries ("minimise
+FP under latency L", and the converse); sweeping the thresholds traces
+the Pareto frontier.  This example:
+
+1. builds a Communication Homogeneous, Failure *Heterogeneous* instance
+   (the paper's open-problem class, Section 4.4);
+2. computes the exact frontier by exhaustive search;
+3. computes the frontier restricted to single-interval mappings (the
+   Lemma 1 shape) — the gap between the two *is* the Figure 5
+   phenomenon;
+4. sweeps the greedy and local-search heuristics and reports their
+   optimality gaps;
+5. renders everything as an ASCII scatter.
+
+Run:  python examples/pareto_frontier.py
+"""
+
+from repro.analysis import (
+    exact_frontier,
+    format_frontier,
+    frontier_fp_gap,
+    single_interval_frontier,
+    sweep_frontier,
+)
+from repro.algorithms.heuristics import (
+    greedy_minimize_fp,
+    local_search_minimize_fp,
+)
+from repro.workloads.reference import figure5_instance
+
+
+def ascii_scatter(fronts: dict[str, list], width: int = 64, height: int = 18) -> str:
+    """Plot frontiers in the (latency, FP) plane with one glyph each."""
+    points = [(p.latency, p.failure_probability) for f in fronts.values() for p in f]
+    lats = [p[0] for p in points]
+    lo, hi = min(lats), max(lats)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "EXSGL"
+    for glyph, (label, front) in zip(glyphs, fronts.items()):
+        for p in front:
+            x = int((p.latency - lo) / span * (width - 1))
+            y = int((1.0 - p.failure_probability) * (height - 1))
+            grid[height - 1 - y][x] = glyph
+    lines = ["FP"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + "-> latency")
+    legend = "   ".join(
+        f"{glyph}={label}" for glyph, label in zip(glyphs, fronts)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    inst = figure5_instance()
+    app, plat = inst.application, inst.platform
+    print(f"instance: {app}")
+    print(f"platform: {plat}  (the paper's Figure 5 setting)\n")
+
+    exact = exact_frontier(app, plat)
+    single = single_interval_frontier(app, plat)
+    greedy = sweep_frontier(app, plat, greedy_minimize_fp, num_points=14)
+    local = sweep_frontier(
+        app,
+        plat,
+        lambda a, p, t: local_search_minimize_fp(a, p, t, seed=0, restarts=4),
+        num_points=14,
+    )
+
+    print(format_frontier(exact, title="exact frontier"))
+    print()
+    print(format_frontier(single, title="single-interval frontier (Lemma 1 shape)"))
+    print()
+
+    for label, front in (("single-interval", single), ("greedy", greedy),
+                         ("local-search", local)):
+        gap = frontier_fp_gap(exact, front)
+        print(
+            f"{label:>16s}: mean FP excess {gap['mean_fp_excess']:.4f}  "
+            f"max {gap['max_fp_excess']:.4f}  "
+            f"match rate {gap['match_rate']:.0%}"
+        )
+
+    print()
+    print(
+        ascii_scatter(
+            {
+                "exact": exact,
+                "single-interval": single,
+                "greedy": greedy,
+                "local-search": local,
+            }
+        )
+    )
+    print(
+        "\nThe single-interval frontier is pinned at FP=0.64 near latency 22"
+        " while the exact frontier (and both multi-interval heuristics)"
+        " drop to 0.197 — the Figure 5 phenomenon."
+    )
+
+
+if __name__ == "__main__":
+    main()

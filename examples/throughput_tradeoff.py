@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The three-way trade-off: latency, reliability, throughput.
+
+The paper's conclusion (Section 5) sketches two replication flavours —
+reliability replication (every replica processes every data set) versus
+round-robin data-parallel replication (replicas alternate data sets) —
+and calls their interplay "a very challenging algorithmic problem".
+This example measures that interplay on the Figure 5 platform:
+
+for replication degrees k = 1..6 on the heavy stage, report
+
+* analytic latency (eq. (1)) and failure probability,
+* analytic period under both replication flavours,
+* measured period/throughput from the discrete-event stream engine,
+* per-data-set loss probability under round-robin.
+
+Run:  python examples/throughput_tradeoff.py
+"""
+
+from repro import failure_probability, latency
+from repro.analysis import format_table
+from repro.core.mapping import IntervalMapping
+from repro.extensions import (
+    round_robin_dataset_failure_probability,
+    round_robin_period,
+    steady_state_period,
+)
+from repro.simulation import simulate_stream
+from repro.workloads.reference import figure5_instance
+
+
+def main() -> None:
+    inst = figure5_instance()
+    app, plat = inst.application, inst.platform
+    print(f"instance: {app}")
+    print(f"platform: {plat}\n")
+
+    rows = []
+    for k in range(1, 7):
+        fast = set(range(2, 2 + k))
+        mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, fast])
+        lat = latency(mapping, app, plat)
+        fp = failure_probability(mapping, plat)
+        per_rel = steady_state_period(mapping, app, plat)
+        per_rr = round_robin_period(mapping, app, plat)
+        fp_rr = round_robin_dataset_failure_probability(mapping, plat)
+        sim_rel = simulate_stream(mapping, app, plat, num_datasets=40)
+        sim_rr = simulate_stream(
+            mapping, app, plat, num_datasets=40, round_robin=True
+        )
+        rows.append(
+            (
+                k,
+                lat,
+                fp,
+                per_rel,
+                sim_rel.period,
+                per_rr,
+                sim_rr.period,
+                fp_rr,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "k",
+                "latency",
+                "FP (reliab.)",
+                "period formula",
+                "period DES",
+                "RR period formula",
+                "RR period DES",
+                "RR loss/dataset",
+            ),
+            rows,
+            float_format="{:.4g}",
+        )
+    )
+    print(
+        "\nReading the table:"
+        "\n  - replication (k up) improves FP monotonically but inflates"
+        "\n    latency and the reliability-mode period (serialized copies);"
+        "\n  - round-robin replication *reduces* the period (parallel data"
+        "\n    sets) but its per-data-set loss probability is the replica"
+        "\n    mean, far worse than the replica product;"
+        "\n  - the DES tracks the no-overlap formulas from below, as the"
+        "\n    engine overlaps ports and compute where the one-port rule"
+        "\n    allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

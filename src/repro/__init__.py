@@ -1,0 +1,131 @@
+"""repro — Optimizing Latency and Reliability of Pipeline Workflow Applications.
+
+A faithful, executable reproduction of:
+
+    Anne Benoit, Veronika Rehn-Sonigo, Yves Robert.
+    *Optimizing Latency and Reliability of Pipeline Workflow Applications.*
+    INRIA RR-6345 / IPDPS 2008.
+
+The library provides:
+
+* :mod:`repro.core` — the application / platform / mapping model and the
+  latency (paper eqs. (1)-(2)) and failure-probability metrics;
+* :mod:`repro.algorithms` — the paper's polynomial algorithms (Theorems
+  1, 2, 4; Algorithms 1-4), exhaustive exact baselines and heuristics for
+  the NP-hard / open cases;
+* :mod:`repro.reductions` — executable NP-hardness gadgets (Theorems 3
+  and 7) with exact combinatorial solvers verifying both sides;
+* :mod:`repro.simulation` — a discrete-event simulator (one-port
+  communications, failure injection) and vectorised Monte-Carlo
+  estimators validating the closed forms;
+* :mod:`repro.workloads` — the paper's reference instances, a JPEG
+  encoder pipeline and synthetic generators;
+* :mod:`repro.analysis` — Pareto-frontier computation and reporting.
+
+Quickstart::
+
+    from repro import (
+        PipelineApplication, Platform, IntervalMapping, evaluate
+    )
+
+    app = PipelineApplication(works=(2, 2), volumes=(100, 100, 100))
+    platform = Platform.communication_homogeneous(
+        speeds=[2.0, 1.0], bandwidth=10.0,
+        failure_probabilities=[0.2, 0.1],
+    )
+    mapping = IntervalMapping.single_interval(app.num_stages, {1, 2})
+    print(evaluate(mapping, app, platform))
+"""
+
+from .core import (
+    IN,
+    OUT,
+    BiCriteriaPoint,
+    Endpoint,
+    FailureClass,
+    GeneralMapping,
+    HeterogeneousTopology,
+    IntervalCost,
+    IntervalMapping,
+    LatencyBreakdown,
+    LinkTopology,
+    MappingEvaluation,
+    PipelineApplication,
+    Platform,
+    PlatformClass,
+    Processor,
+    Stage,
+    StageInterval,
+    UniformTopology,
+    attainment,
+    dominates,
+    evaluate,
+    failure_probability,
+    general_mapping_latency,
+    interval_reliability,
+    is_valid_mapping,
+    latency,
+    latency_breakdown,
+    latency_heterogeneous,
+    latency_uniform,
+    pareto_front,
+    validate_mapping,
+)
+from .exceptions import (
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "InvalidApplicationError",
+    "InvalidPlatformError",
+    "InvalidMappingError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "SimulationError",
+    # model
+    "PipelineApplication",
+    "Stage",
+    "Platform",
+    "PlatformClass",
+    "FailureClass",
+    "Processor",
+    "Endpoint",
+    "IN",
+    "OUT",
+    "LinkTopology",
+    "UniformTopology",
+    "HeterogeneousTopology",
+    "IntervalMapping",
+    "GeneralMapping",
+    "StageInterval",
+    "validate_mapping",
+    "is_valid_mapping",
+    # metrics
+    "latency",
+    "latency_uniform",
+    "latency_heterogeneous",
+    "general_mapping_latency",
+    "failure_probability",
+    "interval_reliability",
+    "evaluate",
+    "MappingEvaluation",
+    "latency_breakdown",
+    "LatencyBreakdown",
+    "IntervalCost",
+    # pareto
+    "BiCriteriaPoint",
+    "dominates",
+    "pareto_front",
+    "attainment",
+]

@@ -1,0 +1,51 @@
+"""Solvers for the paper's optimisation problems.
+
+Layout mirrors the paper's Section 4:
+
+* :mod:`repro.algorithms.mono` — mono-criterion problems (Theorems 1-4);
+* :mod:`repro.algorithms.bicriteria` — Algorithms 1-4 and the exhaustive
+  exact baseline (Theorems 5-7);
+* :mod:`repro.algorithms.heuristics` — heuristics for the NP-hard / open
+  variants.
+
+Every solver returns a :class:`repro.algorithms.SolverResult`.
+"""
+
+from . import bicriteria, heuristics, mono
+from .bicriteria import (
+    algorithm1_minimize_fp,
+    algorithm2_minimize_latency,
+    algorithm3_minimize_fp,
+    algorithm4_minimize_latency,
+    count_interval_mappings,
+    exhaustive_minimize_fp,
+    exhaustive_minimize_latency,
+    exhaustive_pareto_front,
+)
+from .mono import (
+    minimize_failure_probability,
+    minimize_latency_comm_homogeneous,
+    minimize_latency_general,
+    minimize_latency_one_to_one_exact,
+)
+from .result import SolverResult
+
+__all__ = [
+    "SolverResult",
+    "mono",
+    "bicriteria",
+    "heuristics",
+    # most-used entry points re-exported flat
+    "minimize_failure_probability",
+    "minimize_latency_comm_homogeneous",
+    "minimize_latency_general",
+    "minimize_latency_one_to_one_exact",
+    "algorithm1_minimize_fp",
+    "algorithm2_minimize_latency",
+    "algorithm3_minimize_fp",
+    "algorithm4_minimize_latency",
+    "exhaustive_minimize_fp",
+    "exhaustive_minimize_latency",
+    "exhaustive_pareto_front",
+    "count_interval_mappings",
+]

@@ -1,0 +1,48 @@
+"""Bi-criteria solvers (paper Sections 4.2-4.5).
+
+* Algorithms 1-2 (Theorem 5) — Fully Homogeneous platforms;
+* Algorithms 3-4 (Theorem 6) — Communication Homogeneous platforms with
+  homogeneous failures;
+* exhaustive exact search — every platform class (exponential), the
+  ground truth for the NP-hard (Theorem 7) and open (Section 4.4) cases.
+"""
+
+from .branch_and_bound import (
+    branch_and_bound_minimize_fp,
+    branch_and_bound_minimize_latency,
+)
+from .comm_homogeneous import (
+    algorithm3_minimize_fp,
+    algorithm4_minimize_latency,
+    minimal_replication_for_fp,
+)
+from .exhaustive import (
+    count_interval_mappings,
+    enumerate_evaluations,
+    exhaustive_best,
+    exhaustive_minimize_fp,
+    exhaustive_minimize_latency,
+    exhaustive_pareto_front,
+)
+from .fully_homogeneous import (
+    algorithm1_minimize_fp,
+    algorithm2_minimize_latency,
+    closed_form_replication_bound,
+)
+
+__all__ = [
+    "algorithm1_minimize_fp",
+    "algorithm2_minimize_latency",
+    "closed_form_replication_bound",
+    "algorithm3_minimize_fp",
+    "algorithm4_minimize_latency",
+    "minimal_replication_for_fp",
+    "branch_and_bound_minimize_fp",
+    "branch_and_bound_minimize_latency",
+    "count_interval_mappings",
+    "enumerate_evaluations",
+    "exhaustive_pareto_front",
+    "exhaustive_minimize_fp",
+    "exhaustive_minimize_latency",
+    "exhaustive_best",
+]

@@ -1,0 +1,228 @@
+"""Exhaustive exact bi-criteria solver (the ground-truth baseline).
+
+Enumerates *every* interval mapping with replication — the complete search
+space of the paper's optimisation problem — and answers the two threshold
+queries plus the full Pareto front.  Exponential, of course: Theorem 7
+proves the Fully Heterogeneous decision problem NP-hard, and Section 4.4
+conjectures the Communication Homogeneous / Failure Heterogeneous case
+NP-hard too.  The solver guards the instance size and is used to
+
+* certify Algorithms 1-4 on their platform classes,
+* quantify heuristic optimality gaps (experiment E11),
+* resolve the 2-PARTITION gadget instances (experiment E7).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Callable, Iterator
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.enumeration import enumerate_interval_mappings
+from ...core.mapping import IntervalMapping
+from ...core.metrics import MappingEvaluation, evaluate
+from ...core.pareto import BiCriteriaPoint, pareto_front
+from ...core.platform import Platform
+from ...exceptions import InfeasibleProblemError, SolverError
+
+__all__ = [
+    "count_interval_mappings",
+    "enumerate_evaluations",
+    "exhaustive_pareto_front",
+    "exhaustive_minimize_fp",
+    "exhaustive_minimize_latency",
+    "exhaustive_best",
+]
+
+#: Default cap on the number of mappings the solver will enumerate.
+DEFAULT_SEARCH_CAP = 5_000_000
+
+
+def _stirling2_row(k: int) -> list[int]:
+    """Stirling numbers of the second kind ``S(k, p)`` for ``p = 0..k``."""
+    row = [1] + [0] * k  # S(0,0)=1
+    for i in range(1, k + 1):
+        new = [0] * (k + 1)
+        for p in range(1, i + 1):
+            new[p] = p * row[p] + row[p - 1]
+        row = new
+    return row
+
+
+def count_interval_mappings(num_stages: int, num_processors: int) -> int:
+    """Exact size of the interval-mapping search space.
+
+    ``sum_p C(n-1, p-1) * sum_{k>=p} C(m, k) * p! * S(k, p)`` — choose the
+    partition, choose which ``k`` processors participate, split them into
+    ``p`` ordered non-empty replication sets.
+    """
+    n, m = num_stages, num_processors
+    total = 0
+    fact = [1] * (m + 1)
+    for i in range(1, m + 1):
+        fact[i] = fact[i - 1] * i
+    stirling = [_stirling2_row(k) for k in range(m + 1)]
+    for p in range(1, min(n, m) + 1):
+        partitions = comb(n - 1, p - 1)
+        assignments = 0
+        for k in range(p, m + 1):
+            assignments += comb(m, k) * fact[p] * stirling[k][p]
+        total += partitions * assignments
+    return total
+
+
+def enumerate_evaluations(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    max_replication: int | None = None,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+) -> Iterator[MappingEvaluation]:
+    """Evaluate every interval mapping of the instance.
+
+    Raises
+    ------
+    SolverError
+        If the full search space exceeds ``search_cap`` (the cap is
+        checked against the *unrestricted* count; ``max_replication``
+        only prunes within the run).
+    """
+    space = count_interval_mappings(application.num_stages, platform.size)
+    if space > search_cap:
+        raise SolverError(
+            f"instance has {space} interval mappings, above the cap of "
+            f"{search_cap}; use the heuristics"
+        )
+    for mapping in enumerate_interval_mappings(
+        application.num_stages,
+        platform.size,
+        max_replication=max_replication,
+    ):
+        yield evaluate(mapping, application, platform, one_port=one_port)
+
+
+def exhaustive_pareto_front(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+) -> list[BiCriteriaPoint]:
+    """The exact Pareto front of (latency, FP) over all interval mappings."""
+    points = [
+        BiCriteriaPoint(ev.latency, ev.failure_probability, payload=ev.mapping)
+        for ev in enumerate_evaluations(
+            application, platform, one_port=one_port, search_cap=search_cap
+        )
+    ]
+    return pareto_front(points)
+
+
+def _best(
+    application: PipelineApplication,
+    platform: Platform,
+    feasible: Callable[[MappingEvaluation], bool],
+    key: Callable[[MappingEvaluation], tuple[float, float]],
+    solver: str,
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+) -> SolverResult:
+    best_ev: MappingEvaluation | None = None
+    best_key: tuple[float, float] | None = None
+    explored = 0
+    for ev in enumerate_evaluations(
+        application, platform, one_port=one_port, search_cap=search_cap
+    ):
+        explored += 1
+        if not feasible(ev):
+            continue
+        k = key(ev)
+        if best_key is None or k < best_key:
+            best_key = k
+            best_ev = ev
+    if best_ev is None:
+        raise InfeasibleProblemError(
+            f"{solver}: no interval mapping satisfies the threshold"
+        )
+    assert isinstance(best_ev.mapping, IntervalMapping)
+    return SolverResult(
+        mapping=best_ev.mapping,
+        latency=best_ev.latency,
+        failure_probability=best_ev.failure_probability,
+        solver=solver,
+        optimal=True,
+        extras={"explored": explored},
+    )
+
+
+def exhaustive_minimize_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    latency_threshold: float,
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Exact minimum FP subject to ``latency <= latency_threshold``.
+
+    Ties on FP are broken by lower latency.
+    """
+    slack = tolerance * max(1.0, abs(latency_threshold))
+    return _best(
+        application,
+        platform,
+        feasible=lambda ev: ev.latency <= latency_threshold + slack,
+        key=lambda ev: (ev.failure_probability, ev.latency),
+        solver="exhaustive-min-fp",
+        one_port=one_port,
+        search_cap=search_cap,
+    )
+
+
+def exhaustive_minimize_latency(
+    application: PipelineApplication,
+    platform: Platform,
+    fp_threshold: float,
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Exact minimum latency subject to ``FP <= fp_threshold``.
+
+    Ties on latency are broken by lower FP.
+    """
+    slack = tolerance * max(1.0, abs(fp_threshold))
+    return _best(
+        application,
+        platform,
+        feasible=lambda ev: ev.failure_probability <= fp_threshold + slack,
+        key=lambda ev: (ev.latency, ev.failure_probability),
+        solver="exhaustive-min-latency",
+        one_port=one_port,
+        search_cap=search_cap,
+    )
+
+
+def exhaustive_best(
+    application: PipelineApplication,
+    platform: Platform,
+    objective: Callable[[MappingEvaluation], float],
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+) -> SolverResult:
+    """Exact optimum of an arbitrary scalarised objective (research aid)."""
+    return _best(
+        application,
+        platform,
+        feasible=lambda ev: True,
+        key=lambda ev: (objective(ev), ev.latency),
+        solver="exhaustive-scalarised",
+        one_port=one_port,
+        search_cap=search_cap,
+    )

@@ -1,0 +1,231 @@
+"""Simulated annealing over interval mappings.
+
+A penalised scalar energy drives a classic geometric-cooling annealer over
+the shared move set.  For the query *min FP s.t. latency <= L*::
+
+    E(mapping) = FP + penalty * max(0, (latency - L) / L_scale)
+
+and symmetrically for the latency query.  Annealing trades the local
+search's determinism for a better chance of hopping between interval
+structures (e.g. from the one-interval basin to the Figure 5 two-interval
+optimum) on rugged Failure Heterogeneous instances.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from ..result import SolverResult
+from .neighborhood import random_mapping, random_neighbor
+from .single_interval import single_interval_candidates
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...exceptions import InfeasibleProblemError
+
+__all__ = ["anneal_minimize_fp", "anneal_minimize_latency", "AnnealingSchedule"]
+
+
+class AnnealingSchedule:
+    """Geometric cooling schedule parameters.
+
+    Attributes
+    ----------
+    initial_temperature:
+        Starting temperature (energy units).
+    cooling:
+        Multiplicative factor per step, in ``(0, 1)``.
+    steps:
+        Total number of proposed moves.
+    """
+
+    def __init__(
+        self,
+        initial_temperature: float = 0.5,
+        cooling: float = 0.995,
+        steps: int = 2000,
+    ) -> None:
+        if not 0 < cooling < 1:
+            raise ValueError(f"cooling must be in (0,1), got {cooling}")
+        if initial_temperature <= 0:
+            raise ValueError(
+                f"initial temperature must be positive, got {initial_temperature}"
+            )
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps = steps
+
+
+def _anneal(
+    application: PipelineApplication,
+    platform: Platform,
+    energy: Callable[[IntervalMapping], float],
+    feasible_rank: Callable[[IntervalMapping], tuple[float, float] | None],
+    schedule: AnnealingSchedule,
+    rng: random.Random,
+) -> IntervalMapping | None:
+    """Anneal on ``energy``; return the best *feasible* state visited.
+
+    ``feasible_rank`` maps a feasible state to its lexicographic
+    objective (lower is better) and an infeasible one to ``None``.
+    Tracking feasibility separately from energy matters: the penalised
+    energy may rank an infeasible state lowest, but the caller needs the
+    best state that actually satisfies the threshold.
+    """
+    warm = sorted(
+        single_interval_candidates(application, platform),
+        key=lambda r: energy(r.mapping),
+    )
+    current = (
+        warm[0].mapping
+        if warm
+        else random_mapping(application.num_stages, platform.size, rng)
+    )
+    current_e = energy(current)
+
+    best_feasible: IntervalMapping | None = None
+    best_rank: tuple[float, float] | None = None
+
+    def consider(state: IntervalMapping) -> None:
+        nonlocal best_feasible, best_rank
+        rank = feasible_rank(state)
+        if rank is not None and (best_rank is None or rank < best_rank):
+            best_feasible, best_rank = state, rank
+
+    # every single-interval candidate is a known state: the annealer can
+    # only improve on the best feasible one among them
+    for candidate in warm:
+        consider(candidate.mapping)
+    consider(current)
+    temperature = schedule.initial_temperature
+    for _ in range(schedule.steps):
+        candidate = random_neighbor(current, platform.size, rng)
+        cand_e = energy(candidate)
+        delta = cand_e - current_e
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current, current_e = candidate, cand_e
+            consider(current)
+        temperature = max(temperature * schedule.cooling, 1e-9)
+    return best_feasible
+
+
+def anneal_minimize_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    latency_threshold: float,
+    *,
+    schedule: AnnealingSchedule | None = None,
+    penalty: float = 10.0,
+    seed: int | None = 0,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Simulated annealing for 'minimise FP subject to latency <= L'.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the best state found is still latency-infeasible.
+    """
+    if schedule is None:
+        schedule = AnnealingSchedule()
+    rng = random.Random(seed)
+    slack = tolerance * max(1.0, abs(latency_threshold))
+    scale = max(latency_threshold, 1e-12)
+
+    def energy(mapping: IntervalMapping) -> float:
+        lat = latency(mapping, application, platform)
+        fp = failure_probability(mapping, platform)
+        violation = max(0.0, lat - latency_threshold) / scale
+        return fp + penalty * violation
+
+    def feasible_rank(mapping: IntervalMapping) -> tuple[float, float] | None:
+        lat = latency(mapping, application, platform)
+        if lat > latency_threshold + slack:
+            return None
+        return (failure_probability(mapping, platform), lat)
+
+    best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
+    if best is None:
+        raise InfeasibleProblemError(
+            "annealing found no mapping under the latency threshold "
+            f"{latency_threshold}"
+        )
+    return SolverResult(
+        mapping=best,
+        latency=latency(best, application, platform),
+        failure_probability=failure_probability(best, platform),
+        solver="annealing-min-fp",
+        optimal=False,
+        extras={"steps": schedule.steps},
+    )
+
+
+def anneal_minimize_latency(
+    application: PipelineApplication,
+    platform: Platform,
+    fp_threshold: float,
+    *,
+    schedule: AnnealingSchedule | None = None,
+    penalty: float | None = None,
+    seed: int | None = 0,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Simulated annealing for 'minimise latency subject to FP <= bound'.
+
+    The default penalty *and* the default temperature scale with the
+    latency magnitude of the single-processor mapping: energies are in
+    latency units here (unlike the FP query, where they live in [0, 1]),
+    so a fixed sub-unit temperature would freeze the walk immediately.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the best state found is still FP-infeasible.
+    """
+    rng = random.Random(seed)
+    slack = tolerance * max(1.0, abs(fp_threshold))
+    # a crude latency magnitude: whole pipeline on the fastest processor
+    fastest = platform.fastest().index
+    base = latency(
+        IntervalMapping.single_interval(application.num_stages, {fastest}),
+        application,
+        platform,
+    )
+    if penalty is None:
+        penalty = 10.0 * max(base, 1.0)
+    if schedule is None:
+        schedule = AnnealingSchedule(
+            initial_temperature=0.5 * max(base, 1.0)
+        )
+
+    def energy(mapping: IntervalMapping) -> float:
+        lat = latency(mapping, application, platform)
+        fp = failure_probability(mapping, platform)
+        violation = max(0.0, fp - fp_threshold)
+        return lat + penalty * violation
+
+    def feasible_rank(mapping: IntervalMapping) -> tuple[float, float] | None:
+        fp = failure_probability(mapping, platform)
+        if fp > fp_threshold + slack:
+            return None
+        return (latency(mapping, application, platform), fp)
+
+    best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
+    if best is None:
+        raise InfeasibleProblemError(
+            "annealing found no mapping under the FP threshold "
+            f"{fp_threshold}"
+        )
+    return SolverResult(
+        mapping=best,
+        latency=latency(best, application, platform),
+        failure_probability=failure_probability(best, platform),
+        solver="annealing-min-latency",
+        optimal=False,
+        extras={"steps": schedule.steps},
+    )

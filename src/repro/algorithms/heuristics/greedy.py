@@ -1,0 +1,294 @@
+"""Constructive split-and-replicate heuristic.
+
+A multi-interval constructive procedure inspired by the paper's Figure 5
+insight: pair slow-but-reliable processors with light stages and throw
+fast-unreliable replicas at heavy stages.
+
+For every interval count ``p`` (1 up to ``min(n, m)``):
+
+1. **Split** the pipeline into ``p`` intervals by balancing interval work
+   (greedy chain partitioning on the prefix sums);
+2. **Seed** each interval with one processor: intervals sorted by work,
+   heaviest first, get the fastest unassigned processor;
+3. **Replicate greedily**: while the latency budget allows, enrol the
+   unused processor into the interval where it most decreases the global
+   FP per unit of latency increase.
+
+The best outcome over all ``p`` is returned.  Both threshold queries are
+supported; for the latency-minimisation query step 3 instead adds the
+replica with the smallest latency increase until the FP bound is met.
+
+This is a heuristic: Theorem 7 (Fully Heterogeneous) and the Section 4.4
+conjecture (Communication Homogeneous / Failure Heterogeneous) rule out
+exact polynomial algorithms.
+"""
+
+from __future__ import annotations
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping, StageInterval
+from ...core.metrics import evaluate, failure_probability, latency
+from ...core.platform import Platform
+from ...exceptions import InfeasibleProblemError
+
+__all__ = ["greedy_minimize_fp", "greedy_minimize_latency", "balanced_partition"]
+
+
+def balanced_partition(
+    application: PipelineApplication, num_intervals: int
+) -> list[StageInterval]:
+    """Split stages into ``p`` intervals with roughly equal work.
+
+    Greedy sweep over the prefix sums: close the current interval once it
+    holds at least ``total/p`` of the remaining work, always leaving
+    enough stages for the remaining intervals.
+    """
+    n = application.num_stages
+    p = min(num_intervals, n)
+    intervals: list[StageInterval] = []
+    start = 1
+    remaining_work = application.total_work
+    for j in range(p, 0, -1):
+        if j == 1:
+            intervals.append(StageInterval(start, n))
+            break
+        target = remaining_work / j
+        acc = 0.0
+        end = start
+        # leave at least j-1 stages for the remaining intervals
+        last_allowed = n - (j - 1)
+        while end < last_allowed:
+            acc += application.work(end)
+            if acc >= target:
+                break
+            end += 1
+        intervals.append(StageInterval(start, end))
+        remaining_work -= application.interval_work(start, end)
+        start = end + 1
+    return intervals
+
+
+def _seed_allocations(
+    application: PipelineApplication,
+    platform: Platform,
+    intervals: list[StageInterval],
+) -> list[set[int]]:
+    """One processor per interval: heaviest interval gets the fastest."""
+    order = sorted(
+        range(len(intervals)),
+        key=lambda j: -application.interval_work(
+            intervals[j].start, intervals[j].end
+        ),
+    )
+    by_speed = platform.by_speed_descending()
+    allocations: list[set[int]] = [set() for _ in intervals]
+    for rank, j in enumerate(order):
+        allocations[j] = {by_speed[rank].index}
+    return allocations
+
+
+def _seed_allocations_reliable(
+    application: PipelineApplication,
+    platform: Platform,
+    intervals: list[StageInterval],
+) -> list[set[int]]:
+    """Reliability-aware seed: the heaviest interval gets the fastest
+    processor, every other interval (in decreasing work order) gets the
+    most *reliable* remaining one.
+
+    This is the Figure 5 pattern: pair the slow-but-reliable processor
+    with the light stage and reserve the fast (possibly flaky) processors
+    for the compute-heavy interval.
+    """
+    order = sorted(
+        range(len(intervals)),
+        key=lambda j: -application.interval_work(
+            intervals[j].start, intervals[j].end
+        ),
+    )
+    allocations: list[set[int]] = [set() for _ in intervals]
+    remaining = list(platform.processors)
+    # heaviest interval: fastest processor
+    heavy = order[0]
+    fastest = max(remaining, key=lambda p: (p.speed, -p.index))
+    allocations[heavy] = {fastest.index}
+    remaining.remove(fastest)
+    for j in order[1:]:
+        pick = min(
+            remaining, key=lambda p: (p.failure_probability, -p.speed, p.index)
+        )
+        allocations[j] = {pick.index}
+        remaining.remove(pick)
+    return allocations
+
+
+def _mapping(intervals: list[StageInterval], allocations: list[set[int]]) -> IntervalMapping:
+    return IntervalMapping(intervals, [frozenset(a) for a in allocations])
+
+
+def greedy_minimize_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    latency_threshold: float,
+    *,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Greedy split-and-replicate for 'minimise FP s.t. latency <= L'.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no constructed candidate meets the latency threshold.
+    """
+    slack = tolerance * max(1.0, abs(latency_threshold))
+    n, m = application.num_stages, platform.size
+    best: SolverResult | None = None
+
+    for p in range(1, min(n, m) + 1):
+        intervals = balanced_partition(application, p)
+        if len(intervals) < p:
+            continue
+        for seed_fn in (_seed_allocations, _seed_allocations_reliable):
+            allocations = seed_fn(application, platform, intervals)
+            mapping = _mapping(intervals, allocations)
+            lat = latency(mapping, application, platform)
+            if lat > latency_threshold + slack:
+                continue  # seed already too slow; other p / seed may fit
+
+            # replicate greedily while the budget allows
+            used = set().union(*allocations)
+            unused = [u for u in range(1, m + 1) if u not in used]
+            improved = True
+            while improved and unused:
+                improved = False
+                current_fp = failure_probability(mapping, platform)
+                best_gain = 0.0
+                best_choice: tuple[int, int, IntervalMapping, float] | None = None
+                for u in unused:
+                    for j in range(len(intervals)):
+                        trial_allocs = [set(a) for a in allocations]
+                        trial_allocs[j].add(u)
+                        trial = _mapping(intervals, trial_allocs)
+                        trial_lat = latency(trial, application, platform)
+                        if trial_lat > latency_threshold + slack:
+                            continue
+                        gain = current_fp - failure_probability(trial, platform)
+                        if gain > best_gain + 1e-15:
+                            best_gain = gain
+                            best_choice = (u, j, trial, trial_lat)
+                if best_choice is not None:
+                    u, j, mapping, lat = best_choice
+                    allocations[j].add(u)
+                    unused.remove(u)
+                    improved = True
+
+            ev = evaluate(mapping, application, platform)
+            cand = SolverResult(
+                mapping=mapping,
+                latency=ev.latency,
+                failure_probability=ev.failure_probability,
+                solver="greedy-split-replicate-min-fp",
+                optimal=False,
+                extras={"intervals": p, "seed": seed_fn.__name__},
+            )
+            if best is None or (
+                (cand.failure_probability, cand.latency)
+                < (best.failure_probability, best.latency)
+            ):
+                best = cand
+
+    if best is None:
+        raise InfeasibleProblemError(
+            "greedy construction found no mapping under the latency "
+            f"threshold {latency_threshold}"
+        )
+    return best
+
+
+def greedy_minimize_latency(
+    application: PipelineApplication,
+    platform: Platform,
+    fp_threshold: float,
+    *,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Greedy split-and-replicate for 'minimise latency s.t. FP <= bound'.
+
+    For each interval count the seed mapping is repaired towards
+    feasibility by enrolling, at each step, the replica with the smallest
+    latency increase per unit of FP decrease.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no constructed candidate meets the FP threshold.
+    """
+    slack = tolerance * max(1.0, abs(fp_threshold))
+    n, m = application.num_stages, platform.size
+    best: SolverResult | None = None
+
+    for p in range(1, min(n, m) + 1):
+        intervals = balanced_partition(application, p)
+        if len(intervals) < p:
+            continue
+        for seed_fn in (_seed_allocations, _seed_allocations_reliable):
+            allocations = seed_fn(application, platform, intervals)
+            mapping = _mapping(intervals, allocations)
+
+            used = set().union(*allocations)
+            unused = [u for u in range(1, m + 1) if u not in used]
+            while (
+                failure_probability(mapping, platform) > fp_threshold + slack
+                and unused
+            ):
+                current_fp = failure_probability(mapping, platform)
+                current_lat = latency(mapping, application, platform)
+                best_score = float("inf")
+                best_choice: tuple[int, int, IntervalMapping] | None = None
+                for u in unused:
+                    for j in range(len(intervals)):
+                        trial_allocs = [set(a) for a in allocations]
+                        trial_allocs[j].add(u)
+                        trial = _mapping(intervals, trial_allocs)
+                        fp_gain = current_fp - failure_probability(trial, platform)
+                        if fp_gain <= 0:
+                            continue
+                        lat_cost = max(
+                            latency(trial, application, platform) - current_lat,
+                            0.0,
+                        )
+                        score = lat_cost / fp_gain
+                        if score < best_score:
+                            best_score = score
+                            best_choice = (u, j, trial)
+                if best_choice is None:
+                    break
+                u, j, mapping = best_choice
+                allocations[j].add(u)
+                unused.remove(u)
+
+            fp = failure_probability(mapping, platform)
+            if fp > fp_threshold + slack:
+                continue
+            lat = latency(mapping, application, platform)
+            cand = SolverResult(
+                mapping=mapping,
+                latency=lat,
+                failure_probability=fp,
+                solver="greedy-split-replicate-min-latency",
+                optimal=False,
+                extras={"intervals": p, "seed": seed_fn.__name__},
+            )
+            if best is None or (
+                (cand.latency, cand.failure_probability)
+                < (best.latency, best.failure_probability)
+            ):
+                best = cand
+
+    if best is None:
+        raise InfeasibleProblemError(
+            "greedy construction found no mapping under the FP threshold "
+            f"{fp_threshold}"
+        )
+    return best

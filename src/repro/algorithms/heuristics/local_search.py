@@ -1,0 +1,195 @@
+"""Hill-climbing local search over interval mappings.
+
+First-improvement descent over the move set of
+:mod:`repro.algorithms.heuristics.neighborhood`, with multi-restart.  The
+search optimises a lexicographic objective:
+
+* query *min FP s.t. latency <= L*: primary = FP among feasible
+  mappings; infeasible mappings are ranked by latency excess, so descent
+  can walk back into the feasible region;
+* query *min latency s.t. FP <= bound*: symmetric.
+
+Works on every platform class (it only consumes the generic metric
+functions) — this is the workhorse for the NP-hard Fully Heterogeneous
+and the open Communication Homogeneous / Failure Heterogeneous cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..result import SolverResult
+from .neighborhood import neighbors, random_mapping
+from .single_interval import single_interval_candidates
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...exceptions import InfeasibleProblemError
+
+__all__ = ["local_search_minimize_fp", "local_search_minimize_latency"]
+
+_Rank = tuple[int, float, float]
+
+
+def _descend(
+    application: PipelineApplication,
+    platform: Platform,
+    start: IntervalMapping,
+    rank: Callable[[IntervalMapping], _Rank],
+    rng: random.Random,
+    max_steps: int,
+) -> tuple[IntervalMapping, _Rank, int]:
+    current = start
+    current_rank = rank(current)
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        moves = list(neighbors(current, platform.size))
+        rng.shuffle(moves)
+        for cand in moves:
+            cand_rank = rank(cand)
+            if cand_rank < current_rank:
+                current, current_rank = cand, cand_rank
+                break
+        else:
+            break  # local optimum
+    return current, current_rank, steps
+
+
+def _solve(
+    application: PipelineApplication,
+    platform: Platform,
+    rank: Callable[[IntervalMapping], _Rank],
+    solver: str,
+    *,
+    restarts: int,
+    max_steps: int,
+    seed: int | None,
+) -> tuple[IntervalMapping, _Rank, int]:
+    rng = random.Random(seed)
+    # Deterministic warm starts: the best few single-interval candidates,
+    # then random restarts.
+    warm = sorted(
+        single_interval_candidates(application, platform),
+        key=lambda r: rank(r.mapping),
+    )
+    starts: list[IntervalMapping] = [r.mapping for r in warm[:3]]
+    while len(starts) < max(restarts, 1):
+        starts.append(
+            random_mapping(application.num_stages, platform.size, rng)
+        )
+
+    best: IntervalMapping | None = None
+    best_rank: _Rank | None = None
+    total_steps = 0
+    for start in starts:
+        result, result_rank, steps = _descend(
+            application, platform, start, rank, rng, max_steps
+        )
+        total_steps += steps
+        if best_rank is None or result_rank < best_rank:
+            best, best_rank = result, result_rank
+    assert best is not None and best_rank is not None
+    return best, best_rank, total_steps
+
+
+def local_search_minimize_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    latency_threshold: float,
+    *,
+    restarts: int = 8,
+    max_steps: int = 200,
+    seed: int | None = 0,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Hill-climbing for 'minimise FP subject to latency <= L'.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the search never reaches the feasible region.
+    """
+    slack = tolerance * max(1.0, abs(latency_threshold))
+
+    def rank(mapping: IntervalMapping) -> _Rank:
+        lat = latency(mapping, application, platform)
+        fp = failure_probability(mapping, platform)
+        if lat <= latency_threshold + slack:
+            return (0, fp, lat)
+        return (1, lat - latency_threshold, fp)
+
+    best, best_rank, steps = _solve(
+        application,
+        platform,
+        rank,
+        "local-search-min-fp",
+        restarts=restarts,
+        max_steps=max_steps,
+        seed=seed,
+    )
+    if best_rank[0] != 0:
+        raise InfeasibleProblemError(
+            "local search found no mapping under the latency threshold "
+            f"{latency_threshold}"
+        )
+    return SolverResult(
+        mapping=best,
+        latency=latency(best, application, platform),
+        failure_probability=best_rank[1],
+        solver="local-search-min-fp",
+        optimal=False,
+        extras={"steps": steps, "restarts": restarts},
+    )
+
+
+def local_search_minimize_latency(
+    application: PipelineApplication,
+    platform: Platform,
+    fp_threshold: float,
+    *,
+    restarts: int = 8,
+    max_steps: int = 200,
+    seed: int | None = 0,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Hill-climbing for 'minimise latency subject to FP <= bound'.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the search never reaches the feasible region.
+    """
+    slack = tolerance * max(1.0, abs(fp_threshold))
+
+    def rank(mapping: IntervalMapping) -> _Rank:
+        lat = latency(mapping, application, platform)
+        fp = failure_probability(mapping, platform)
+        if fp <= fp_threshold + slack:
+            return (0, lat, fp)
+        return (1, fp - fp_threshold, lat)
+
+    best, best_rank, steps = _solve(
+        application,
+        platform,
+        rank,
+        "local-search-min-latency",
+        restarts=restarts,
+        max_steps=max_steps,
+        seed=seed,
+    )
+    if best_rank[0] != 0:
+        raise InfeasibleProblemError(
+            "local search found no mapping under the FP threshold "
+            f"{fp_threshold}"
+        )
+    return SolverResult(
+        mapping=best,
+        latency=best_rank[1],
+        failure_probability=failure_probability(best, platform),
+        solver="local-search-min-latency",
+        optimal=False,
+        extras={"steps": steps, "restarts": restarts},
+    )

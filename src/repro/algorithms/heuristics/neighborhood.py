@@ -1,0 +1,166 @@
+"""Neighbourhood moves over interval mappings (shared by the heuristics).
+
+A *move* transforms one valid interval mapping into another:
+
+* ``shift`` — move an interval boundary one stage left or right;
+* ``split`` — cut an interval in two, dividing its replica set (or
+  pulling an unused processor for the new half);
+* ``merge`` — fuse two adjacent intervals, uniting their replica sets;
+* ``add`` — enrol an unused processor as an extra replica;
+* ``drop`` — retire a replica (keeping ``k_j >= 1``);
+* ``swap`` — exchange an enrolled processor with an unused one.
+
+All moves preserve validity by construction (consecutive intervals,
+disjoint non-empty allocations), so the local search and the annealer
+never need to re-validate structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ...core.mapping import IntervalMapping, StageInterval
+
+__all__ = ["neighbors", "random_neighbor", "random_mapping"]
+
+
+def _rebuild(
+    intervals: list[tuple[int, int]], allocations: list[set[int]]
+) -> IntervalMapping:
+    return IntervalMapping(
+        [StageInterval(s, e) for s, e in intervals],
+        [frozenset(a) for a in allocations],
+    )
+
+
+def neighbors(
+    mapping: IntervalMapping, num_processors: int
+) -> Iterator[IntervalMapping]:
+    """Yield every mapping one move away from ``mapping``.
+
+    Deterministic order; callers shuffle if needed.
+    """
+    intervals = [(iv.start, iv.end) for iv in mapping.intervals]
+    allocations = [set(a) for a in mapping.allocations]
+    p = len(intervals)
+    used = mapping.used_processors
+    unused = [u for u in range(1, num_processors + 1) if u not in used]
+
+    # shift boundaries
+    for j in range(p - 1):
+        (s1, e1), (s2, e2) = intervals[j], intervals[j + 1]
+        if e1 > s1:  # give last stage of I_j to I_{j+1}
+            ivs = list(intervals)
+            ivs[j] = (s1, e1 - 1)
+            ivs[j + 1] = (e1, e2)
+            yield _rebuild(ivs, [set(a) for a in allocations])
+        if e2 > s2:  # take first stage of I_{j+1}
+            ivs = list(intervals)
+            ivs[j] = (s1, e1 + 1)
+            ivs[j + 1] = (s2 + 1, e2)
+            yield _rebuild(ivs, [set(a) for a in allocations])
+
+    # merge adjacent intervals
+    for j in range(p - 1):
+        ivs = intervals[:j] + [(intervals[j][0], intervals[j + 1][1])] + intervals[j + 2 :]
+        allocs = (
+            [set(a) for a in allocations[:j]]
+            + [allocations[j] | allocations[j + 1]]
+            + [set(a) for a in allocations[j + 2 :]]
+        )
+        yield _rebuild(ivs, allocs)
+
+    # split an interval
+    for j in range(p):
+        s, e = intervals[j]
+        alloc = sorted(allocations[j])
+        for cut in range(s, e):
+            ivs = intervals[:j] + [(s, cut), (cut + 1, e)] + intervals[j + 1 :]
+            if len(alloc) >= 2:
+                # divide the replica set: first half / second half
+                half = len(alloc) // 2
+                left, right = set(alloc[:half]), set(alloc[half:])
+                allocs = (
+                    [set(a) for a in allocations[:j]]
+                    + [left, right]
+                    + [set(a) for a in allocations[j + 1 :]]
+                )
+                yield _rebuild(ivs, allocs)
+            for extra in unused:
+                # keep the replica set on one half, enrol a fresh processor
+                allocs = (
+                    [set(a) for a in allocations[:j]]
+                    + [set(alloc), {extra}]
+                    + [set(a) for a in allocations[j + 1 :]]
+                )
+                yield _rebuild(ivs, allocs)
+                allocs = (
+                    [set(a) for a in allocations[:j]]
+                    + [{extra}, set(alloc)]
+                    + [set(a) for a in allocations[j + 1 :]]
+                )
+                yield _rebuild(ivs, allocs)
+
+    # add a replica
+    for j in range(p):
+        for extra in unused:
+            allocs = [set(a) for a in allocations]
+            allocs[j] = allocs[j] | {extra}
+            yield _rebuild(list(intervals), allocs)
+
+    # drop a replica
+    for j in range(p):
+        if len(allocations[j]) > 1:
+            for victim in sorted(allocations[j]):
+                allocs = [set(a) for a in allocations]
+                allocs[j] = allocs[j] - {victim}
+                yield _rebuild(list(intervals), allocs)
+
+    # swap an enrolled processor for an unused one
+    for j in range(p):
+        for victim in sorted(allocations[j]):
+            for extra in unused:
+                allocs = [set(a) for a in allocations]
+                allocs[j] = (allocs[j] - {victim}) | {extra}
+                yield _rebuild(list(intervals), allocs)
+
+
+def random_neighbor(
+    mapping: IntervalMapping, num_processors: int, rng: random.Random
+) -> IntervalMapping:
+    """A uniformly random single-move neighbour (annealing primitive).
+
+    Falls back to the mapping itself when no move applies (cannot happen
+    for ``m >= 2``: the swap/add space is non-empty unless all processors
+    are enrolled, in which case drop/merge/shift applies for ``n >= 2`` —
+    and a 1-stage 1-processor instance genuinely has a single mapping).
+    """
+    options = list(neighbors(mapping, num_processors))
+    if not options:
+        return mapping
+    return rng.choice(options)
+
+
+def random_mapping(
+    num_stages: int, num_processors: int, rng: random.Random
+) -> IntervalMapping:
+    """A uniformly-ish random valid interval mapping (restart primitive).
+
+    Draws the interval count, then boundaries, then a random disjoint
+    allocation giving each interval at least one processor.
+    """
+    p = rng.randint(1, min(num_stages, num_processors))
+    cuts = sorted(rng.sample(range(1, num_stages), p - 1))
+    bounds = [0, *cuts, num_stages]
+    intervals = [(lo + 1, hi) for lo, hi in zip(bounds, bounds[1:])]
+
+    procs = list(range(1, num_processors + 1))
+    rng.shuffle(procs)
+    allocations: list[set[int]] = [{procs[j]} for j in range(p)]
+    remaining = procs[p:]
+    for u in remaining:
+        if rng.random() < 0.5:  # leave some processors idle
+            continue
+        allocations[rng.randrange(p)].add(u)
+    return _rebuild(intervals, allocations)

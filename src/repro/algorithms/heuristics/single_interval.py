@@ -1,0 +1,157 @@
+"""Exact optimisation restricted to single-interval mappings.
+
+On Communication Homogeneous platforms a single-interval mapping is fully
+described by its replica set ``A``; latency is
+``|A|·delta_0/b + W/min_{u in A} s_u + delta_n/b`` and FP is
+``prod_{u in A} fp_u``.  For a fixed cardinality ``k`` and a fixed speed
+floor ``sigma``, the FP-optimal choice is the ``k`` most reliable
+processors among those with ``s_u >= sigma`` — so sweeping the
+``O(m^2)`` grid of ``(k, sigma)`` pairs finds the *exact* optimum over
+single-interval mappings for both threshold queries.
+
+This matters because on Failure Heterogeneous platforms the true optimum
+may need several intervals (paper Figure 5): the gap between this
+restricted exact solver and the multi-interval heuristics/exhaustive
+solver *is* the phenomenon the paper's Section 3 illustrates, and
+experiment E11 measures it.
+
+On Fully Heterogeneous platforms the same sweep runs with the eq. (2)
+metric; the reliability-greedy choice per ``(k, sigma)`` cell is then a
+heuristic (link costs may favour other replicas), flagged accordingly.
+"""
+
+from __future__ import annotations
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...exceptions import InfeasibleProblemError
+
+__all__ = [
+    "single_interval_minimize_fp",
+    "single_interval_minimize_latency",
+    "single_interval_candidates",
+]
+
+
+def single_interval_candidates(
+    application: PipelineApplication, platform: Platform
+) -> list[SolverResult]:
+    """Evaluate the ``(k, sigma)`` candidate grid of single-interval mappings.
+
+    Returns one result per candidate replica set (duplicates pruned).
+    Exact coverage of the single-interval Pareto set on Communication
+    Homogeneous platforms; heuristic coverage otherwise.
+    """
+    n = application.num_stages
+    m = platform.size
+    speed_floors = sorted({p.speed for p in platform.processors}, reverse=True)
+    seen: set[frozenset[int]] = set()
+    results: list[SolverResult] = []
+    for sigma in speed_floors:
+        eligible = [p for p in platform.processors if p.speed >= sigma]
+        eligible.sort(key=lambda p: (p.failure_probability, p.index))
+        for k in range(1, len(eligible) + 1):
+            procs = frozenset(p.index for p in eligible[:k])
+            if procs in seen:
+                continue
+            seen.add(procs)
+            mapping = IntervalMapping.single_interval(n, procs)
+            results.append(
+                SolverResult(
+                    mapping=mapping,
+                    latency=latency(mapping, application, platform),
+                    failure_probability=failure_probability(mapping, platform),
+                    solver="single-interval-grid",
+                    optimal=False,
+                    extras={"k": k, "speed_floor": sigma},
+                )
+            )
+    return results
+
+
+def single_interval_minimize_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    latency_threshold: float,
+    *,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Best single-interval FP under a latency threshold.
+
+    Exact among single-interval mappings on Communication Homogeneous
+    platforms (see module docstring); heuristic on Fully Heterogeneous
+    ones.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no candidate meets the threshold.
+    """
+    slack = tolerance * max(1.0, abs(latency_threshold))
+    best: SolverResult | None = None
+    for cand in single_interval_candidates(application, platform):
+        if cand.latency > latency_threshold + slack:
+            continue
+        if best is None or (
+            (cand.failure_probability, cand.latency)
+            < (best.failure_probability, best.latency)
+        ):
+            best = cand
+    if best is None:
+        raise InfeasibleProblemError(
+            "no single-interval mapping meets the latency threshold "
+            f"{latency_threshold}"
+        )
+    return SolverResult(
+        mapping=best.mapping,
+        latency=best.latency,
+        failure_probability=best.failure_probability,
+        solver="single-interval-min-fp",
+        optimal=False,
+        extras={
+            **best.extras,
+            "exact_within_single_interval": platform.is_communication_homogeneous,
+        },
+    )
+
+
+def single_interval_minimize_latency(
+    application: PipelineApplication,
+    platform: Platform,
+    fp_threshold: float,
+    *,
+    tolerance: float = 1e-9,
+) -> SolverResult:
+    """Best single-interval latency under an FP threshold.
+
+    Exactness mirrors :func:`single_interval_minimize_fp`.
+    """
+    slack = tolerance * max(1.0, abs(fp_threshold))
+    best: SolverResult | None = None
+    for cand in single_interval_candidates(application, platform):
+        if cand.failure_probability > fp_threshold + slack:
+            continue
+        if best is None or (
+            (cand.latency, cand.failure_probability)
+            < (best.latency, best.failure_probability)
+        ):
+            best = cand
+    if best is None:
+        raise InfeasibleProblemError(
+            "no single-interval mapping meets the FP threshold "
+            f"{fp_threshold}"
+        )
+    return SolverResult(
+        mapping=best.mapping,
+        latency=best.latency,
+        failure_probability=best.failure_probability,
+        solver="single-interval-min-latency",
+        optimal=False,
+        extras={
+            **best.extras,
+            "exact_within_single_interval": platform.is_communication_homogeneous,
+        },
+    )

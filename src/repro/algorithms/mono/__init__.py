@@ -1,0 +1,44 @@
+"""Mono-criterion solvers (paper Section 4.1).
+
+* Theorem 1 — :func:`minimize_failure_probability` (all platforms);
+* Theorem 2 — :func:`minimize_latency_comm_homogeneous`;
+* Theorem 3 context — exact/heuristic one-to-one latency solvers
+  (the problem itself is NP-hard on Fully Heterogeneous platforms);
+* Theorem 4 — :func:`minimize_latency_general` (shortest path over the
+  Figure 6 layered graph);
+* open problem — interval-mapping latency on Fully Heterogeneous
+  platforms: exact branch-and-bound plus a certified shortest-path
+  heuristic.
+"""
+
+from .general_mapping import (
+    enumerate_general_mappings,
+    layered_graph_edges,
+    minimize_latency_general,
+    minimize_latency_general_bruteforce,
+)
+from .interval_latency import (
+    minimize_latency_interval_exact,
+    minimize_latency_interval_heuristic,
+)
+from .latency import minimize_latency_comm_homogeneous
+from .one_to_one import (
+    minimize_latency_one_to_one_exact,
+    minimize_latency_one_to_one_greedy,
+    one_to_one_local_search,
+)
+from .reliability import minimize_failure_probability
+
+__all__ = [
+    "minimize_failure_probability",
+    "minimize_latency_comm_homogeneous",
+    "minimize_latency_general",
+    "minimize_latency_general_bruteforce",
+    "enumerate_general_mappings",
+    "layered_graph_edges",
+    "minimize_latency_one_to_one_exact",
+    "minimize_latency_one_to_one_greedy",
+    "one_to_one_local_search",
+    "minimize_latency_interval_exact",
+    "minimize_latency_interval_heuristic",
+]

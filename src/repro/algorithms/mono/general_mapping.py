@@ -1,0 +1,191 @@
+"""Theorem 4 — latency-optimal *general* mappings via shortest path.
+
+The paper's Figure 6 construction: a layered directed graph with vertices
+``V_{i,u}`` ("stage ``S_i`` runs on ``P_u``"), a source ``V_{0,in}`` and a
+sink ``V_{n+1,out}``.  Edges leaving ``V_{i,u}`` carry the computation
+cost ``w_i / s_u`` plus, when the processor changes, the communication
+cost ``delta_i / b_{u,v}``; edges out of the source carry
+``delta_0 / b_{in,u}``.  A source-to-sink path selects one processor per
+stage — a **general mapping** (intervals of non-consecutive stages are
+allowed) — and its weight is exactly the mapping's latency.  Since the
+graph is a DAG of ``n*m + 2`` vertices and ``(n-1)*m^2 + 2m`` edges, one
+forward dynamic-programming sweep finds the optimum in ``O(n m^2)``.
+
+Replication is deliberately absent: it can only increase latency
+(Section 4.1), so the latency-optimal solution never replicates.
+
+The module also ships a brute-force enumerator (``m^n`` assignments) used
+by the test-suite to certify the DP on small instances, and a layered-graph
+exporter consumed by the networkx cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import GeneralMapping
+from ...core.metrics import general_mapping_latency
+from ...core.platform import Platform
+from ...core.topology import IN, OUT
+from ...exceptions import SolverError
+
+__all__ = [
+    "minimize_latency_general",
+    "minimize_latency_general_bruteforce",
+    "enumerate_general_mappings",
+    "layered_graph_edges",
+]
+
+
+def minimize_latency_general(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Optimal general mapping by DP over the Theorem 4 layered graph.
+
+    Works on every platform class (on Communication Homogeneous platforms
+    it reproduces the Theorem 2 optimum: a single processor, the fastest).
+    """
+    n = application.num_stages
+    m = platform.size
+    topo = platform.topology
+    speeds = platform.speeds
+
+    # dist[u-1]: best cost of a path ending at V_{k,u} *before* paying
+    # stage k's computation (i.e. the data has just arrived on P_u).
+    dist = [
+        topo.transfer_time(application.input_size, IN, u)
+        for u in range(1, m + 1)
+    ]
+    parent: list[list[int]] = []  # parent[k-1][u-1] = predecessor processor
+
+    for k in range(1, n):
+        # leave stage k on u: pay w_k/s_u, then ship delta_k to v.
+        done = [dist[u] + application.work(k) / speeds[u] for u in range(m)]
+        delta = application.volume(k)
+        new_dist = [float("inf")] * m
+        new_parent = [0] * m
+        for v in range(m):
+            best = float("inf")
+            best_u = 0
+            for u in range(m):
+                cost = done[u] + topo.transfer_time(delta, u + 1, v + 1)
+                if cost < best:
+                    best = cost
+                    best_u = u
+            new_dist[v] = best
+            new_parent[v] = best_u
+        parent.append(new_parent)
+        dist = new_dist
+
+    # close with stage n's compute and the final output transfer
+    best_total = float("inf")
+    best_last = 0
+    for u in range(m):
+        cost = (
+            dist[u]
+            + application.work(n) / speeds[u]
+            + topo.transfer_time(application.output_size, u + 1, OUT)
+        )
+        if cost < best_total:
+            best_total = cost
+            best_last = u
+
+    assignment = [0] * n
+    assignment[n - 1] = best_last + 1
+    for k in range(n - 1, 0, -1):
+        assignment[k - 1] = parent[k - 1][assignment[k] - 1] + 1
+    mapping = GeneralMapping(assignment)
+
+    # certify: recompute through the metric (defence against DP drift)
+    recomputed = general_mapping_latency(mapping, application, platform)
+    return SolverResult(
+        mapping=mapping,
+        latency=recomputed,
+        failure_probability=float("nan"),
+        solver="theorem4-shortest-path",
+        optimal=True,
+        extras={
+            "dp_value": best_total,
+            "interval_compatible": mapping.is_interval_compatible,
+        },
+    )
+
+
+def enumerate_general_mappings(
+    num_stages: int, num_processors: int
+) -> Iterator[GeneralMapping]:
+    """All ``m^n`` general mappings (brute-force search space)."""
+    from itertools import product
+
+    for assignment in product(range(1, num_processors + 1), repeat=num_stages):
+        yield GeneralMapping(assignment)
+
+
+def minimize_latency_general_bruteforce(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    max_search_space: int = 2_000_000,
+) -> SolverResult:
+    """Exhaustive optimum over all general mappings (test baseline).
+
+    Raises
+    ------
+    SolverError
+        If ``m^n`` exceeds ``max_search_space``.
+    """
+    n = application.num_stages
+    m = platform.size
+    if m**n > max_search_space:
+        raise SolverError(
+            f"brute force over {m}^{n} general mappings exceeds the cap of "
+            f"{max_search_space}"
+        )
+    best: GeneralMapping | None = None
+    best_latency = float("inf")
+    explored = 0
+    for mapping in enumerate_general_mappings(n, m):
+        explored += 1
+        value = general_mapping_latency(mapping, application, platform)
+        if value < best_latency:
+            best_latency = value
+            best = mapping
+    assert best is not None
+    return SolverResult(
+        mapping=best,
+        latency=best_latency,
+        failure_probability=float("nan"),
+        solver="general-bruteforce",
+        optimal=True,
+        extras={"explored": explored},
+    )
+
+
+def layered_graph_edges(
+    application: PipelineApplication, platform: Platform
+) -> Iterator[tuple[object, object, float]]:
+    """Yield the Theorem 4 graph as ``(src, dst, weight)`` triples.
+
+    Vertices are ``("in",)``, ``("out",)`` and ``(k, u)`` for stage ``k``
+    on processor ``u``.  Used by the networkx cross-check in the test
+    suite and by documentation examples; the production solver
+    (:func:`minimize_latency_general`) runs the DP directly.
+    """
+    n = application.num_stages
+    m = platform.size
+    topo = platform.topology
+    for u in range(1, m + 1):
+        yield ("in",), (1, u), topo.transfer_time(application.input_size, IN, u)
+    for k in range(1, n):
+        delta = application.volume(k)
+        for u in range(1, m + 1):
+            compute = application.work(k) / platform.speed(u)
+            for v in range(1, m + 1):
+                yield (k, u), (k + 1, v), compute + topo.transfer_time(delta, u, v)
+    for u in range(1, m + 1):
+        weight = application.work(n) / platform.speed(u) + topo.transfer_time(
+            application.output_size, u, OUT
+        )
+        yield (n, u), ("out",), weight

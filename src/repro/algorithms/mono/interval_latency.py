@@ -1,0 +1,208 @@
+"""Latency-optimal *interval* mappings on Fully Heterogeneous platforms.
+
+The paper leaves the complexity of this problem open ("we suspect it might
+be NP-hard", Section 4.1).  We therefore provide:
+
+* :func:`minimize_latency_interval_exact` — branch-and-bound over interval
+  partitions and distinct processor assignments (replication is never
+  useful for latency, so each interval gets exactly one processor);
+  exponential, for small instances and as the test baseline;
+* :func:`minimize_latency_interval_heuristic` — solve the Theorem 4
+  general-mapping relaxation by shortest path; if the optimal path happens
+  to be interval-compatible (each processor's stages consecutive) it *is*
+  the interval optimum and the result carries an optimality certificate;
+  otherwise the path is repaired greedily.
+
+The relaxation is a true lower bound: every interval mapping without
+replication is a general mapping, hence ``general_opt <= interval_opt``.
+"""
+
+from __future__ import annotations
+
+from ..result import SolverResult
+from .general_mapping import minimize_latency_general
+from ...core.application import PipelineApplication
+from ...core.mapping import GeneralMapping, IntervalMapping, StageInterval
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...core.topology import IN, OUT
+from ...exceptions import SolverError
+
+__all__ = [
+    "minimize_latency_interval_exact",
+    "minimize_latency_interval_heuristic",
+]
+
+
+def minimize_latency_interval_exact(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    max_stages: int = 12,
+    max_processors: int = 12,
+) -> SolverResult:
+    """Exact latency optimum over interval mappings (one processor each).
+
+    Depth-first search over (next stage to map, processor of the previous
+    interval, set of used processors), bounded by the best solution so
+    far.  Replication is excluded: it can only increase latency
+    (Section 4.1), so the latency optimum uses ``k_j = 1`` everywhere.
+
+    Raises
+    ------
+    SolverError
+        If the instance exceeds the size guards.
+    """
+    n = application.num_stages
+    m = platform.size
+    if n > max_stages or m > max_processors:
+        raise SolverError(
+            f"exact interval search capped at n<={max_stages}, "
+            f"m<={max_processors}; got n={n}, m={m}"
+        )
+    topo = platform.topology
+    speeds = platform.speeds
+
+    # Precompute interval works W[d][e] (1-based, inclusive).
+    work_prefix = [0.0]
+    for k in range(1, n + 1):
+        work_prefix.append(work_prefix[-1] + application.work(k))
+
+    best_cost = float("inf")
+    best_plan: list[tuple[int, int, int]] | None = None  # (start, end, proc)
+    explored = 0
+
+    def dfs(
+        next_stage: int,
+        prev_proc: int | None,
+        used_mask: int,
+        cost_so_far: float,
+        plan: list[tuple[int, int, int]],
+    ) -> None:
+        nonlocal best_cost, best_plan, explored
+        explored += 1
+        if next_stage > n:
+            # close with the output transfer from the last interval's proc
+            assert prev_proc is not None
+            total = cost_so_far + topo.transfer_time(
+                application.output_size, prev_proc, OUT
+            )
+            if total < best_cost:
+                best_cost = total
+                best_plan = list(plan)
+            return
+        if cost_so_far >= best_cost:
+            return  # bound: costs only grow
+        for end in range(next_stage, n + 1):
+            interval_work = work_prefix[end] - work_prefix[next_stage - 1]
+            for proc in range(1, m + 1):
+                if used_mask & (1 << proc):
+                    continue
+                if prev_proc is None:
+                    arrive = topo.transfer_time(
+                        application.input_size, IN, proc
+                    )
+                else:
+                    arrive = topo.transfer_time(
+                        application.volume(next_stage - 1), prev_proc, proc
+                    )
+                new_cost = cost_so_far + arrive + interval_work / speeds[proc - 1]
+                if new_cost >= best_cost:
+                    continue
+                plan.append((next_stage, end, proc))
+                dfs(end + 1, proc, used_mask | (1 << proc), new_cost, plan)
+                plan.pop()
+
+    dfs(1, None, 0, 0.0, [])
+    assert best_plan is not None
+    mapping = IntervalMapping(
+        [StageInterval(s, e) for s, e, _ in best_plan],
+        [{p} for _, _, p in best_plan],
+    )
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="interval-latency-exact",
+        optimal=True,
+        extras={"explored": explored},
+    )
+
+
+def _repair_to_interval(mapping: GeneralMapping) -> list[tuple[int, int, int]]:
+    """Greedy repair of a general mapping into interval form.
+
+    Walk the runs left to right; when a processor re-appears, keep the
+    first (longest-prefix) occurrence and mark later occurrences for
+    reassignment (handled by the caller, which substitutes unused
+    processors).  Returns ``(start, end, proc)`` runs with processors
+    possibly repeated — the caller must fix duplicates.
+    """
+    return [
+        (iv.start, iv.end, proc) for iv, proc in mapping.runs()
+    ]
+
+
+def minimize_latency_interval_heuristic(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Shortest-path relaxation with interval repair.
+
+    Solves the Theorem 4 general-mapping problem (polynomial) and converts
+    the optimal path into an interval mapping:
+
+    * if the path is already interval-compatible, the result is **provably
+      optimal** among interval mappings (``extras["certified"] = True``) —
+      the relaxation lower bound is attained;
+    * otherwise, duplicate processor occurrences after the first are
+      replaced by the cheapest unused processors, and
+      ``extras["lower_bound"]`` reports the relaxation value.
+    """
+    relax = minimize_latency_general(application, platform)
+    gm = relax.mapping
+    assert isinstance(gm, GeneralMapping)
+    if gm.is_interval_compatible:
+        mapping = gm.to_interval_mapping()
+        return SolverResult(
+            mapping=mapping,
+            latency=latency(mapping, application, platform),
+            failure_probability=failure_probability(mapping, platform),
+            solver="interval-latency-sp-heuristic",
+            optimal=True,
+            extras={"certified": True, "lower_bound": relax.latency},
+        )
+
+    runs = _repair_to_interval(gm)
+    seen: set[int] = set()
+    free = [u for u in range(1, platform.size + 1)]
+    fixed_runs: list[tuple[int, int, int]] = []
+    for start, end, proc in runs:
+        if proc in seen:
+            # substitute the fastest processor not used yet
+            candidates = [u for u in free if u not in seen]
+            if not candidates:
+                raise SolverError(
+                    "repair failed: more runs than processors"
+                )
+            proc = max(candidates, key=lambda u: platform.speed(u))
+        seen.add(proc)
+        fixed_runs.append((start, end, proc))
+    # merge adjacent runs that ended up on the same processor
+    merged: list[tuple[int, int, int]] = []
+    for run in fixed_runs:
+        if merged and merged[-1][2] == run[2]:
+            merged[-1] = (merged[-1][0], run[1], run[2])
+        else:
+            merged.append(run)
+    mapping = IntervalMapping(
+        [StageInterval(s, e) for s, e, _ in merged],
+        [{p} for _, _, p in merged],
+    )
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="interval-latency-sp-heuristic",
+        optimal=False,
+        extras={"certified": False, "lower_bound": relax.latency},
+    )

@@ -1,0 +1,53 @@
+"""Theorem 2 — minimizing latency on Communication Homogeneous platforms.
+
+    "On a Communication Homogeneous platform, the latency is minimized by
+    mapping the whole pipeline as a single interval on the fastest
+    processor."
+
+With identical links, splitting only adds communications, and replication
+only adds serialized sends (replication can never decrease latency —
+Section 4.1) — so the optimum is one interval, one processor, the fastest.
+"""
+
+from __future__ import annotations
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...exceptions import SolverError
+
+__all__ = ["minimize_latency_comm_homogeneous"]
+
+
+def minimize_latency_comm_homogeneous(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Latency-optimal mapping on a Communication Homogeneous platform.
+
+    Raises
+    ------
+    SolverError
+        If the platform has heterogeneous links (the theorem's proof
+        relies on uniform bandwidths; on Fully Heterogeneous platforms
+        use :func:`repro.algorithms.mono.general_mapping.minimize_latency_general`
+        or the exhaustive interval solver).
+    """
+    if not platform.is_communication_homogeneous:
+        raise SolverError(
+            "Theorem 2 requires a Communication Homogeneous platform; "
+            f"got {platform.platform_class.value}"
+        )
+    fastest = platform.fastest()
+    mapping = IntervalMapping.single_interval(
+        application.num_stages, {fastest.index}
+    )
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="theorem2-min-latency-comm-hom",
+        optimal=True,
+        extras={"processor": fastest.index, "speed": fastest.speed},
+    )

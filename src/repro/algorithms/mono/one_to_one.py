@@ -1,0 +1,271 @@
+"""One-to-one latency minimisation on Fully Heterogeneous platforms.
+
+Theorem 3 proves this problem NP-hard (reduction from the Travelling
+Salesman Problem: processors are cities, inter-processor bandwidths encode
+edge costs).  Accordingly this module provides
+
+* :func:`minimize_latency_one_to_one_exact` — a Held-Karp dynamic program
+  over processor subsets, ``O(2^m · m^2)``: exact, exponential, practical
+  to ``m ~ 16`` (mirrors how one solves small TSPs exactly);
+* :func:`minimize_latency_one_to_one_greedy` — nearest-neighbour style
+  construction, polynomial, no guarantee;
+* :func:`one_to_one_local_search` — 2-swap improvement on top of any
+  starting assignment.
+
+The exact solver doubles as the certifier for the Theorem 3 gadget tests
+(:mod:`repro.reductions.tsp`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+from ...core.topology import IN, OUT
+from ...exceptions import SolverError
+
+__all__ = [
+    "minimize_latency_one_to_one_exact",
+    "minimize_latency_one_to_one_greedy",
+    "one_to_one_local_search",
+]
+
+_EXACT_PROCESSOR_CAP = 18
+
+
+def _check_instance(application: PipelineApplication, platform: Platform) -> None:
+    if application.num_stages > platform.size:
+        raise SolverError(
+            f"one-to-one mappings need m >= n; got n={application.num_stages}"
+            f" stages and m={platform.size} processors"
+        )
+
+
+def minimize_latency_one_to_one_exact(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Exact one-to-one latency optimum by Held-Karp subset DP.
+
+    State: (subset ``S`` of processors already used, last processor
+    ``u in S``) with ``|S|`` = number of stages assigned so far; value =
+    minimum cost of routing the first ``|S|`` stages through ``S`` ending
+    on ``u``.  Exponential in ``m`` — the NP-hardness of Theorem 3 says we
+    cannot do fundamentally better in the worst case.
+
+    Raises
+    ------
+    SolverError
+        If ``n > m`` or ``m`` exceeds the practical cap (18).
+    """
+    _check_instance(application, platform)
+    n = application.num_stages
+    m = platform.size
+    if m > _EXACT_PROCESSOR_CAP:
+        raise SolverError(
+            f"Held-Karp over {m} processors exceeds the cap of "
+            f"{_EXACT_PROCESSOR_CAP} (2^m states)"
+        )
+    topo = platform.topology
+    speeds = platform.speeds
+
+    INF = float("inf")
+    # frontier[mask] = {last: (cost, parent_last)} for masks of popcount t
+    frontier: dict[int, dict[int, tuple[float, int]]] = {}
+    for u in range(m):
+        cost = (
+            topo.transfer_time(application.input_size, IN, u + 1)
+            + application.work(1) / speeds[u]
+        )
+        frontier[1 << u] = {u: (cost, -1)}
+
+    history: list[dict[int, dict[int, tuple[float, int]]]] = [frontier]
+    for t in range(2, n + 1):
+        delta = application.volume(t - 1)
+        work = application.work(t)
+        nxt: dict[int, dict[int, tuple[float, int]]] = {}
+        for mask, lasts in frontier.items():
+            for u, (cost, _) in lasts.items():
+                for v in range(m):
+                    bit = 1 << v
+                    if mask & bit:
+                        continue
+                    new_cost = (
+                        cost
+                        + topo.transfer_time(delta, u + 1, v + 1)
+                        + work / speeds[v]
+                    )
+                    entry = nxt.setdefault(mask | bit, {})
+                    if v not in entry or new_cost < entry[v][0]:
+                        entry[v] = (new_cost, u)
+        frontier = nxt
+        history.append(frontier)
+
+    best = INF
+    best_state: tuple[int, int] | None = None
+    for mask, lasts in frontier.items():
+        for u, (cost, _) in lasts.items():
+            total = cost + topo.transfer_time(
+                application.output_size, u + 1, OUT
+            )
+            if total < best:
+                best = total
+                best_state = (mask, u)
+    if best_state is None:  # pragma: no cover - n >= 1 guarantees states
+        raise SolverError("no one-to-one assignment found")
+
+    # reconstruct the stage -> processor chain
+    mask, u = best_state
+    chain = [u]
+    for t in range(n, 1, -1):
+        _, parent = history[t - 1][mask][u]
+        mask ^= 1 << u
+        u = parent
+        chain.append(u)
+    chain.reverse()
+    mapping = IntervalMapping.one_to_one([u + 1 for u in chain])
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="one-to-one-held-karp",
+        optimal=True,
+        extras={"states": sum(len(v) for v in history[-1].values())},
+    )
+
+
+def minimize_latency_one_to_one_greedy(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Nearest-neighbour construction: cheapest next processor per stage.
+
+    At stage ``k`` (having just left processor ``u``) pick the unused
+    processor ``v`` minimising arrival + compute cost; the final stage
+    also accounts for the output link.  Polynomial (``O(n·m)``) and
+    heuristic — Theorem 3 says no polynomial algorithm is exact unless
+    P=NP.
+    """
+    _check_instance(application, platform)
+    n = application.num_stages
+    m = platform.size
+    topo = platform.topology
+
+    assignment: list[int] = []
+    used: set[int] = set()
+    prev: int | None = None
+    for k in range(1, n + 1):
+        best_v = -1
+        best_cost = float("inf")
+        for v in range(1, m + 1):
+            if v in used:
+                continue
+            if k == 1:
+                arrive = topo.transfer_time(application.input_size, IN, v)
+            else:
+                arrive = topo.transfer_time(application.volume(k - 1), prev, v)
+            cost = arrive + application.work(k) / platform.speed(v)
+            if k == n:
+                cost += topo.transfer_time(application.output_size, v, OUT)
+            if cost < best_cost:
+                best_cost = cost
+                best_v = v
+        assignment.append(best_v)
+        used.add(best_v)
+        prev = best_v
+    mapping = IntervalMapping.one_to_one(assignment)
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="one-to-one-greedy",
+        optimal=False,
+    )
+
+
+def one_to_one_local_search(
+    application: PipelineApplication,
+    platform: Platform,
+    start: Sequence[int] | None = None,
+    *,
+    max_rounds: int = 100,
+    seed: int | None = None,
+) -> SolverResult:
+    """2-swap hill climbing over one-to-one assignments.
+
+    Starting from ``start`` (default: the greedy construction), repeatedly
+    apply the best improving exchange — swapping the processors of two
+    stages, or replacing a stage's processor by an unused one — until a
+    local optimum is reached.
+    """
+    _check_instance(application, platform)
+    n = application.num_stages
+    m = platform.size
+    rng = random.Random(seed)
+
+    if start is not None:
+        assignment = list(start)
+        if len(assignment) != n or len(set(assignment)) != n:
+            raise SolverError(
+                "start must assign a distinct processor to each stage"
+            )
+    else:
+        greedy = minimize_latency_one_to_one_greedy(application, platform)
+        assignment = [
+            next(iter(alloc)) for alloc in greedy.mapping.allocations
+        ]
+
+    def value(assign: list[int]) -> float:
+        return latency(
+            IntervalMapping.one_to_one(assign), application, platform
+        )
+
+    current = value(assignment)
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        # swap moves
+        indices = list(range(n))
+        rng.shuffle(indices)
+        for i in indices:
+            for j in range(n):
+                if i == j:
+                    continue
+                assignment[i], assignment[j] = assignment[j], assignment[i]
+                candidate = value(assignment)
+                if candidate < current - 1e-12:
+                    current = candidate
+                    improved = True
+                else:
+                    assignment[i], assignment[j] = (
+                        assignment[j],
+                        assignment[i],
+                    )
+        # replace moves (bring in unused processors)
+        unused = [u for u in range(1, m + 1) if u not in assignment]
+        for i in range(n):
+            for u in list(unused):
+                old = assignment[i]
+                assignment[i] = u
+                candidate = value(assignment)
+                if candidate < current - 1e-12:
+                    current = candidate
+                    unused.remove(u)
+                    unused.append(old)
+                    improved = True
+                else:
+                    assignment[i] = old
+    mapping = IntervalMapping.one_to_one(assignment)
+    return SolverResult(
+        mapping=mapping,
+        latency=current,
+        failure_probability=failure_probability(mapping, platform),
+        solver="one-to-one-local-search",
+        optimal=False,
+        extras={"rounds": rounds},
+    )

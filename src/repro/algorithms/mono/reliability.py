@@ -1,0 +1,43 @@
+"""Theorem 1 — minimizing the failure probability is polynomial.
+
+    "The minimum is reached by replicating the whole pipeline as a single
+    interval on all processors.  This is true for all platform types."
+
+The optimal ``FP`` is ``prod_u fp_u``: with a single interval replicated
+everywhere, the application fails only if *every* processor fails.  Any
+other mapping partitions the processors into (subsets of) intervals, and
+``1 - prod_j (1 - prod_{u in alloc(j)} fp_u) >= prod_u fp_u`` — each
+interval is a single point of failure over fewer processors.
+"""
+
+from __future__ import annotations
+
+from ..result import SolverResult
+from ...core.application import PipelineApplication
+from ...core.mapping import IntervalMapping
+from ...core.metrics import failure_probability, latency
+from ...core.platform import Platform
+
+__all__ = ["minimize_failure_probability"]
+
+
+def minimize_failure_probability(
+    application: PipelineApplication, platform: Platform
+) -> SolverResult:
+    """Return the FP-optimal mapping: one interval replicated on everything.
+
+    Valid on every platform class (Theorem 1).  The resulting latency is
+    reported but deliberately unconstrained — this is the mono-criterion
+    problem.
+    """
+    mapping = IntervalMapping.single_interval(
+        application.num_stages, range(1, platform.size + 1)
+    )
+    return SolverResult(
+        mapping=mapping,
+        latency=latency(mapping, application, platform),
+        failure_probability=failure_probability(mapping, platform),
+        solver="theorem1-min-fp",
+        optimal=True,
+        extras={"replication": platform.size},
+    )

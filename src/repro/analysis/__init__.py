@@ -1,0 +1,21 @@
+"""Analysis helpers: Pareto frontiers and plain-text reporting."""
+
+from .frontier import (
+    exact_frontier,
+    frontier_fp_gap,
+    latency_grid,
+    single_interval_frontier,
+    sweep_frontier,
+)
+from .reporting import format_frontier, format_mapping_row, format_table
+
+__all__ = [
+    "exact_frontier",
+    "single_interval_frontier",
+    "sweep_frontier",
+    "frontier_fp_gap",
+    "latency_grid",
+    "format_table",
+    "format_frontier",
+    "format_mapping_row",
+]

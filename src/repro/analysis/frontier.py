@@ -1,0 +1,151 @@
+"""Pareto-frontier computation and comparison utilities.
+
+The bi-criteria framing of the paper ("minimise FP under a latency bound,
+or the converse") is equivalent to tracing the Pareto frontier of the
+(latency, FP) objective plane.  This module builds frontiers three ways —
+exhaustively (exact, small instances), from the single-interval grid
+(exact on Communication Homogeneous platforms *within* the Lemma 1
+shape), and by threshold sweeps over any heuristic — and quantifies the
+gaps between them (experiments E11 and E14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..algorithms.bicriteria.exhaustive import exhaustive_pareto_front
+from ..algorithms.heuristics.single_interval import single_interval_candidates
+from ..algorithms.result import SolverResult
+from ..core.application import PipelineApplication
+from ..core.pareto import BiCriteriaPoint, pareto_front
+from ..core.platform import Platform
+from ..exceptions import InfeasibleProblemError
+
+__all__ = [
+    "exact_frontier",
+    "single_interval_frontier",
+    "sweep_frontier",
+    "frontier_fp_gap",
+    "latency_grid",
+]
+
+MinFpSolver = Callable[[PipelineApplication, Platform, float], SolverResult]
+
+
+def exact_frontier(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    search_cap: int = 5_000_000,
+) -> list[BiCriteriaPoint]:
+    """Exact Pareto frontier by exhaustive enumeration (small instances)."""
+    return exhaustive_pareto_front(
+        application, platform, search_cap=search_cap
+    )
+
+
+def single_interval_frontier(
+    application: PipelineApplication, platform: Platform
+) -> list[BiCriteriaPoint]:
+    """Frontier restricted to single-interval mappings (Lemma 1 shape).
+
+    Exact within that restriction on Communication Homogeneous
+    platforms; the distance to :func:`exact_frontier` quantifies how much
+    multi-interval structure buys on Failure Heterogeneous instances
+    (the Figure 5 phenomenon).
+    """
+    points = [
+        BiCriteriaPoint(r.latency, r.failure_probability, payload=r.mapping)
+        for r in single_interval_candidates(application, platform)
+    ]
+    return pareto_front(points)
+
+
+def latency_grid(
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    num_points: int = 20,
+) -> list[float]:
+    """A sensible grid of latency thresholds for frontier sweeps.
+
+    Spans from the fastest single-processor mapping to the slowest
+    single-interval candidate (full replication), inclusive.
+    """
+    candidates = [
+        r.latency for r in single_interval_candidates(application, platform)
+    ]
+    lo, hi = min(candidates), max(candidates)
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / max(num_points - 1, 1)
+    return [lo + i * step for i in range(num_points)]
+
+
+def sweep_frontier(
+    application: PipelineApplication,
+    platform: Platform,
+    solver: MinFpSolver,
+    thresholds: Sequence[float] | None = None,
+    *,
+    num_points: int = 20,
+) -> list[BiCriteriaPoint]:
+    """Heuristic frontier: sweep latency thresholds through a min-FP solver.
+
+    Thresholds where the solver reports infeasibility are skipped.
+    """
+    if thresholds is None:
+        thresholds = latency_grid(
+            application, platform, num_points=num_points
+        )
+    points: list[BiCriteriaPoint] = []
+    for threshold in thresholds:
+        try:
+            result = solver(application, platform, threshold)
+        except InfeasibleProblemError:
+            continue
+        points.append(
+            BiCriteriaPoint(
+                result.latency, result.failure_probability, payload=result.mapping
+            )
+        )
+    return pareto_front(points)
+
+
+def frontier_fp_gap(
+    reference: Iterable[BiCriteriaPoint],
+    candidate: Iterable[BiCriteriaPoint],
+) -> dict[str, float]:
+    """Quantify how much worse ``candidate`` is than ``reference``.
+
+    At every reference latency, compare the best FP each frontier attains
+    within that budget.  Returns the mean and max *absolute* FP excess
+    plus the fraction of budgets where the candidate matches the
+    reference within 1e-12 (``match_rate``).  An empty candidate at some
+    budget counts as excess 1.0 (the worst possible FP).
+    """
+    ref = sorted(reference, key=lambda p: p.latency)
+    cand = sorted(candidate, key=lambda p: p.latency)
+    if not ref:
+        raise ValueError("reference frontier is empty")
+    excesses: list[float] = []
+    matches = 0
+    for point in ref:
+        budget = point.latency * (1 + 1e-12)
+        best_ref = min(
+            p.failure_probability for p in ref if p.latency <= budget
+        )
+        cand_feasible = [
+            p.failure_probability for p in cand if p.latency <= budget
+        ]
+        best_cand = min(cand_feasible) if cand_feasible else 1.0
+        excess = max(0.0, best_cand - best_ref)
+        excesses.append(excess)
+        if excess <= 1e-12:
+            matches += 1
+    return {
+        "mean_fp_excess": sum(excesses) / len(excesses),
+        "max_fp_excess": max(excesses),
+        "match_rate": matches / len(excesses),
+        "points": float(len(excesses)),
+    }

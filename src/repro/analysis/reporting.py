@@ -1,0 +1,69 @@
+"""Plain-text reporting helpers for benches, examples and the CLI.
+
+Everything renders to ASCII so the benchmark harness can print the same
+rows the paper's worked examples state, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core.pareto import BiCriteriaPoint
+
+__all__ = ["format_table", "format_frontier", "format_mapping_row"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    width = [
+        max(len(r[c]) for r in rendered) for c in range(len(rendered[0]))
+    ]
+    lines = []
+    for i, row_cells in enumerate(rendered):
+        line = "  ".join(
+            cell.ljust(width[c]) for c, cell in enumerate(row_cells)
+        )
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in width))
+    return "\n".join(lines)
+
+
+def format_frontier(
+    points: Sequence[BiCriteriaPoint], *, title: str = "Pareto frontier"
+) -> str:
+    """Render a Pareto frontier as a latency/FP/mapping table."""
+    rows = [
+        (
+            p.latency,
+            p.failure_probability,
+            str(p.payload) if p.payload is not None else "-",
+        )
+        for p in points
+    ]
+    table = format_table(("latency", "failure-prob", "mapping"), rows)
+    return f"{title} ({len(points)} points)\n{table}"
+
+
+def format_mapping_row(label: str, latency: float, fp: float, mapping: Any) -> str:
+    """One aligned summary line for a named mapping."""
+    return (
+        f"{label:<28s} latency={latency:>10.4f}  FP={fp:>10.6f}  {mapping}"
+    )

@@ -1,0 +1,255 @@
+"""Command-line interface: ``repro-pipeline`` / ``python -m repro``.
+
+Subcommands
+-----------
+``examples``
+    Reproduce the paper's Section 3 worked examples, printing the claimed
+    and measured numbers side by side.
+``frontier``
+    Trace the exact (latency, FP) Pareto frontier of a random instance.
+``solve``
+    Run one of the paper's algorithms on a random instance.
+``simulate``
+    Stream data sets through a mapping in the discrete-event engine and
+    report latency/period/success statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pipeline",
+        description=(
+            "Reproduction of Benoit, Rehn-Sonigo & Robert (2008): "
+            "latency/reliability bi-criteria mapping of pipeline workflows."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="reproduce the paper's worked examples")
+
+    frontier = sub.add_parser(
+        "frontier", help="exact Pareto frontier of a random instance"
+    )
+    frontier.add_argument("--stages", type=int, default=3)
+    frontier.add_argument("--processors", type=int, default=4)
+    frontier.add_argument("--seed", type=int, default=0)
+    frontier.add_argument(
+        "--platform",
+        choices=["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"],
+        default="comm-homogeneous",
+    )
+
+    solve = sub.add_parser("solve", help="run a paper algorithm")
+    solve.add_argument(
+        "algorithm",
+        choices=["min-fp", "min-latency", "alg1", "alg2", "alg3", "alg4"],
+    )
+    solve.add_argument("--stages", type=int, default=3)
+    solve.add_argument("--processors", type=int, default=4)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="latency threshold (alg1/alg3) or FP threshold (alg2/alg4)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="discrete-event stream through a mapping"
+    )
+    simulate.add_argument("--stages", type=int, default=3)
+    simulate.add_argument("--processors", type=int, default=4)
+    simulate.add_argument("--datasets", type=int, default=20)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--round-robin", action="store_true")
+    return parser
+
+
+def _cmd_examples() -> int:
+    from .analysis.reporting import format_table
+    from .core.metrics import failure_probability, latency
+    from .workloads.reference import figure5_instance, figure34_instance
+
+    fig34 = figure34_instance()
+    rows = []
+    for label, mapping in (
+        ("whole pipeline on P1", fig34.single_processor_mappings[0]),
+        ("whole pipeline on P2", fig34.single_processor_mappings[1]),
+        ("split S1->P1, S2->P2", fig34.split_mapping),
+    ):
+        rows.append(
+            (label, latency(mapping, fig34.application, fig34.platform))
+        )
+    print("Paper Figure 3/4 (claimed: 105 / 105 / 7)")
+    print(format_table(("mapping", "latency"), rows))
+    print()
+
+    fig5 = figure5_instance()
+    rows = []
+    for label, mapping in (
+        ("best single interval", fig5.best_single_interval),
+        ("slow+fast two intervals", fig5.two_interval_mapping),
+    ):
+        rows.append(
+            (
+                label,
+                latency(mapping, fig5.application, fig5.platform),
+                failure_probability(mapping, fig5.platform),
+            )
+        )
+    print(
+        "Paper Figure 5 (claimed: FP 0.64 @ L<=22 single interval; "
+        "latency 22, FP<0.2 two intervals)"
+    )
+    print(format_table(("mapping", "latency", "failure-prob"), rows))
+    return 0
+
+
+def _random_instance(stages: int, processors: int, seed: int, kind: str):
+    from .workloads.synthetic import random_application, random_platform
+
+    application = random_application(stages, seed=seed)
+    platform = random_platform(processors, kind, seed=seed + 1)
+    return application, platform
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from .analysis.frontier import exact_frontier
+    from .analysis.reporting import format_frontier
+
+    application, platform = _random_instance(
+        args.stages, args.processors, args.seed, args.platform
+    )
+    front = exact_frontier(application, platform)
+    print(f"instance: {application}")
+    print(f"platform: {platform}")
+    print(format_frontier(front))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .algorithms.bicriteria import (
+        algorithm1_minimize_fp,
+        algorithm2_minimize_latency,
+        algorithm3_minimize_fp,
+        algorithm4_minimize_latency,
+    )
+    from .algorithms.mono import (
+        minimize_failure_probability,
+        minimize_latency_general,
+    )
+
+    kind = {
+        "alg1": "fully-homogeneous",
+        "alg2": "fully-homogeneous",
+        "alg3": "comm-homogeneous",
+        "alg4": "comm-homogeneous",
+        "min-fp": "comm-homogeneous",
+        "min-latency": "fully-heterogeneous",
+    }[args.algorithm]
+    application, platform = _random_instance(
+        args.stages, args.processors, args.seed, kind
+    )
+    if kind == "comm-homogeneous" and args.algorithm in ("alg3", "alg4"):
+        # Theorem 6 needs homogeneous failures
+        platform = platform.with_failure_probabilities(
+            [platform.failure_probabilities[0]] * platform.size
+        )
+    threshold = args.threshold
+    if args.algorithm == "min-fp":
+        result = minimize_failure_probability(application, platform)
+    elif args.algorithm == "min-latency":
+        result = minimize_latency_general(application, platform)
+    elif args.algorithm == "alg1":
+        result = algorithm1_minimize_fp(
+            application, platform, threshold if threshold is not None else 1e9
+        )
+    elif args.algorithm == "alg2":
+        result = algorithm2_minimize_latency(
+            application, platform, threshold if threshold is not None else 1.0
+        )
+    elif args.algorithm == "alg3":
+        result = algorithm3_minimize_fp(
+            application, platform, threshold if threshold is not None else 1e9
+        )
+    else:
+        result = algorithm4_minimize_latency(
+            application, platform, threshold if threshold is not None else 1.0
+        )
+    print(f"instance: {application}")
+    print(f"platform: {platform}")
+    print(result)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .algorithms.heuristics import single_interval_candidates
+    from .simulation import (
+        BernoulliMissionModel,
+        check_one_port,
+        simulate_stream,
+    )
+
+    application, platform = _random_instance(
+        args.stages, args.processors, args.seed, "comm-homogeneous"
+    )
+    # pick a mid-replication single-interval mapping to make it interesting
+    candidates = sorted(
+        single_interval_candidates(application, platform),
+        key=lambda r: r.failure_probability,
+    )
+    mapping = candidates[0].mapping
+    rng = np.random.default_rng(args.seed)
+    scenario = BernoulliMissionModel(mission_time=1e12).draw(platform, rng)
+    result = simulate_stream(
+        mapping,
+        application,
+        platform,
+        num_datasets=args.datasets,
+        scenario=scenario,
+        round_robin=args.round_robin,
+    )
+    check_one_port(result.trace)
+    ok = sum(1 for o in result.outcomes if o.success)
+    print(f"mapping : {mapping}")
+    print(f"datasets: {args.datasets}  completed: {ok}")
+    print(f"mean latency: {result.mean_latency:.4f}")
+    print(f"period      : {result.period:.4f}")
+    print(f"throughput  : {result.throughput:.6f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "examples":
+        return _cmd_examples()
+    if args.command == "frontier":
+        return _cmd_frontier(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

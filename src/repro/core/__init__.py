@@ -1,0 +1,115 @@
+"""Core model of the paper: applications, platforms, mappings, metrics.
+
+This subpackage implements Section 2 of Benoit, Rehn-Sonigo & Robert
+(2008) verbatim: the pipeline application (Figure 1), the clique platform
+with one-port communications (Figure 2), interval/one-to-one/general
+mappings, and the two objective functions — latency (eqs. (1) and (2))
+and failure probability.
+"""
+
+from .application import PipelineApplication, Stage
+from .enumeration import (
+    allocations_for_partition,
+    count_interval_partitions,
+    enumerate_interval_mappings,
+    enumerate_one_to_one_mappings,
+    interval_partitions,
+)
+from .mapping import GeneralMapping, IntervalMapping, StageInterval
+from .metrics import (
+    IntervalCost,
+    LatencyBreakdown,
+    MappingEvaluation,
+    evaluate,
+    failure_probability,
+    general_mapping_latency,
+    interval_reliability,
+    latency,
+    latency_breakdown,
+    latency_heterogeneous,
+    latency_uniform,
+)
+from .pareto import (
+    BiCriteriaPoint,
+    attainment,
+    dominates,
+    is_dominated,
+    pareto_front,
+)
+from .platform import FailureClass, Platform, PlatformClass
+from .processor import Processor
+from .serialization import (
+    application_from_dict,
+    application_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+)
+from .topology import (
+    IN,
+    OUT,
+    Endpoint,
+    HeterogeneousTopology,
+    LinkTopology,
+    UniformTopology,
+)
+from .validation import is_valid_mapping, validate_mapping
+
+__all__ = [
+    # application
+    "PipelineApplication",
+    "Stage",
+    # platform
+    "Platform",
+    "PlatformClass",
+    "FailureClass",
+    "Processor",
+    "Endpoint",
+    "IN",
+    "OUT",
+    "LinkTopology",
+    "UniformTopology",
+    "HeterogeneousTopology",
+    # mappings
+    "IntervalMapping",
+    "GeneralMapping",
+    "StageInterval",
+    "validate_mapping",
+    "is_valid_mapping",
+    # metrics
+    "latency",
+    "latency_uniform",
+    "latency_heterogeneous",
+    "general_mapping_latency",
+    "failure_probability",
+    "interval_reliability",
+    "evaluate",
+    "MappingEvaluation",
+    "latency_breakdown",
+    "LatencyBreakdown",
+    "IntervalCost",
+    # pareto
+    "BiCriteriaPoint",
+    "dominates",
+    "is_dominated",
+    "pareto_front",
+    "attainment",
+    # enumeration
+    "interval_partitions",
+    "allocations_for_partition",
+    "enumerate_interval_mappings",
+    "enumerate_one_to_one_mappings",
+    "count_interval_partitions",
+    # serialization
+    "application_to_dict",
+    "application_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+]

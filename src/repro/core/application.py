@@ -1,0 +1,287 @@
+"""Pipeline application model (paper Figure 1, Section 2.1).
+
+An application is a linear chain of ``n`` stages ``S_1 .. S_n``.  Stage
+``S_k`` receives an input of size ``delta_{k-1}`` from its predecessor,
+performs ``w_k`` units of computation and emits an output of size
+``delta_k`` to its successor.  ``delta_0`` is the size of the initial
+input read from the special processor ``P_in`` and ``delta_n`` the size of
+the final result written to ``P_out``.
+
+The canonical constructor is :class:`PipelineApplication`, which stores the
+``n + 1`` communication volumes and the ``n`` work amounts.  All values are
+non-negative floats; a zero communication volume models a stage boundary
+with negligible data movement (the paper's Figure 5 instance uses
+``delta_2 = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidApplicationError
+
+__all__ = ["Stage", "PipelineApplication"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A single pipeline stage ``S_k``.
+
+    Attributes
+    ----------
+    index:
+        1-based position ``k`` of the stage in the pipeline.
+    work:
+        Computation amount ``w_k`` (floating point operations).  A
+        processor of speed ``s`` executes the stage in ``w_k / s`` time
+        units.
+    input_size:
+        Communication volume ``delta_{k-1}`` read from the predecessor.
+    output_size:
+        Communication volume ``delta_k`` written to the successor.
+    name:
+        Optional human-readable label (e.g. ``"DCT"`` for the JPEG
+        workload).
+    """
+
+    index: int
+    work: float
+    input_size: float
+    output_size: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise InvalidApplicationError(
+                f"stage index must be >= 1, got {self.index}"
+            )
+        if self.work < 0:
+            raise InvalidApplicationError(
+                f"stage {self.index}: work must be non-negative, got {self.work}"
+            )
+        if self.input_size < 0 or self.output_size < 0:
+            raise InvalidApplicationError(
+                f"stage {self.index}: communication volumes must be "
+                f"non-negative, got input={self.input_size}, "
+                f"output={self.output_size}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display label: the explicit name if set, else ``S<k>``."""
+        return self.name or f"S{self.index}"
+
+
+@dataclass(frozen=True)
+class PipelineApplication:
+    """A pipeline workflow application of ``n`` stages.
+
+    Parameters
+    ----------
+    works:
+        The ``n`` computation amounts ``(w_1, .., w_n)``.
+    volumes:
+        The ``n + 1`` communication volumes ``(delta_0, .., delta_n)``.
+        ``volumes[k]`` is ``delta_k``: the data flowing between ``S_k``
+        and ``S_{k+1}`` (with ``delta_0`` entering from ``P_in`` and
+        ``delta_n`` leaving to ``P_out``).
+    stage_names:
+        Optional labels, one per stage.
+
+    Examples
+    --------
+    The two-stage application of the paper's Figure 3::
+
+        >>> app = PipelineApplication(works=(2, 2), volumes=(100, 100, 100))
+        >>> app.num_stages
+        2
+        >>> app.total_work
+        4.0
+    """
+
+    works: tuple[float, ...]
+    volumes: tuple[float, ...]
+    stage_names: tuple[str, ...] = field(default=())
+
+    def __init__(
+        self,
+        works: Sequence[float],
+        volumes: Sequence[float],
+        stage_names: Sequence[str] | None = None,
+    ) -> None:
+        object.__setattr__(self, "works", tuple(float(w) for w in works))
+        object.__setattr__(self, "volumes", tuple(float(d) for d in volumes))
+        if stage_names is None:
+            names: tuple[str, ...] = tuple("" for _ in self.works)
+        else:
+            names = tuple(stage_names)
+        object.__setattr__(self, "stage_names", names)
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.works)
+        if n == 0:
+            raise InvalidApplicationError("a pipeline needs at least one stage")
+        if len(self.volumes) != n + 1:
+            raise InvalidApplicationError(
+                f"expected {n + 1} communication volumes for {n} stages, "
+                f"got {len(self.volumes)}"
+            )
+        if len(self.stage_names) != n:
+            raise InvalidApplicationError(
+                f"expected {n} stage names, got {len(self.stage_names)}"
+            )
+        for k, w in enumerate(self.works, start=1):
+            if w < 0:
+                raise InvalidApplicationError(
+                    f"stage {k}: work must be non-negative, got {w}"
+                )
+        for k, d in enumerate(self.volumes):
+            if d < 0:
+                raise InvalidApplicationError(
+                    f"delta_{k} must be non-negative, got {d}"
+                )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        """Number of stages ``n``."""
+        return len(self.works)
+
+    def work(self, k: int) -> float:
+        """Work ``w_k`` of stage ``k`` (1-based)."""
+        self._check_stage_index(k)
+        return self.works[k - 1]
+
+    def volume(self, k: int) -> float:
+        """Communication volume ``delta_k`` for ``k`` in ``0..n``."""
+        if not 0 <= k <= self.num_stages:
+            raise IndexError(
+                f"delta index must be in 0..{self.num_stages}, got {k}"
+            )
+        return self.volumes[k]
+
+    @property
+    def input_size(self) -> float:
+        """Initial input volume ``delta_0`` read from ``P_in``."""
+        return self.volumes[0]
+
+    @property
+    def output_size(self) -> float:
+        """Final result volume ``delta_n`` written to ``P_out``."""
+        return self.volumes[-1]
+
+    @property
+    def total_work(self) -> float:
+        """Total computation ``sum_k w_k`` over the whole pipeline."""
+        return float(sum(self.works))
+
+    def interval_work(self, start: int, end: int) -> float:
+        """Total work of the stage interval ``[start..end]`` (inclusive)."""
+        self._check_stage_index(start)
+        self._check_stage_index(end)
+        if start > end:
+            raise IndexError(f"empty interval [{start}..{end}]")
+        return float(sum(self.works[start - 1 : end]))
+
+    def stage(self, k: int) -> Stage:
+        """Materialise stage ``k`` as a :class:`Stage` record."""
+        self._check_stage_index(k)
+        return Stage(
+            index=k,
+            work=self.works[k - 1],
+            input_size=self.volumes[k - 1],
+            output_size=self.volumes[k],
+            name=self.stage_names[k - 1],
+        )
+
+    def stages(self) -> Iterator[Stage]:
+        """Iterate over all stages as :class:`Stage` records."""
+        for k in range(1, self.num_stages + 1):
+            yield self.stage(k)
+
+    def _check_stage_index(self, k: int) -> None:
+        if not 1 <= k <= self.num_stages:
+            raise IndexError(
+                f"stage index must be in 1..{self.num_stages}, got {k}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, num_stages: int, work: float = 1.0, volume: float = 1.0
+    ) -> "PipelineApplication":
+        """Pipeline with identical stages: ``w_k = work``, ``delta_k = volume``.
+
+        This is the shape used by the paper's Theorem 3 gadget (all unit
+        costs).
+        """
+        if num_stages < 1:
+            raise InvalidApplicationError("a pipeline needs at least one stage")
+        return cls(
+            works=tuple(work for _ in range(num_stages)),
+            volumes=tuple(volume for _ in range(num_stages + 1)),
+        )
+
+    @classmethod
+    def from_stages(
+        cls, stages: Iterable[Stage], input_size: float
+    ) -> "PipelineApplication":
+        """Rebuild an application from :class:`Stage` records.
+
+        The records must be consecutive (indices ``1..n``) and their
+        input/output volumes must chain consistently
+        (``stages[k].output_size == stages[k+1].input_size``).
+        """
+        seq = sorted(stages, key=lambda s: s.index)
+        if not seq:
+            raise InvalidApplicationError("a pipeline needs at least one stage")
+        expected = list(range(1, len(seq) + 1))
+        if [s.index for s in seq] != expected:
+            raise InvalidApplicationError(
+                f"stage indices must be exactly 1..{len(seq)}, "
+                f"got {[s.index for s in seq]}"
+            )
+        if seq[0].input_size != input_size:
+            raise InvalidApplicationError(
+                "first stage input_size must equal the application input_size"
+            )
+        for left, right in zip(seq, seq[1:]):
+            if left.output_size != right.input_size:
+                raise InvalidApplicationError(
+                    f"volume mismatch between stages {left.index} and "
+                    f"{right.index}: {left.output_size} != {right.input_size}"
+                )
+        volumes = [input_size] + [s.output_size for s in seq]
+        return cls(
+            works=tuple(s.work for s in seq),
+            volumes=tuple(volumes),
+            stage_names=tuple(s.name for s in seq),
+        )
+
+    def scaled(self, work_factor: float = 1.0, volume_factor: float = 1.0) -> "PipelineApplication":
+        """Return a copy with all works / volumes multiplied by factors.
+
+        Useful for sweeping communication-to-computation ratios in the
+        benchmark harness.
+        """
+        if work_factor < 0 or volume_factor < 0:
+            raise InvalidApplicationError("scale factors must be non-negative")
+        return PipelineApplication(
+            works=tuple(w * work_factor for w in self.works),
+            volumes=tuple(d * volume_factor for d in self.volumes),
+            stage_names=self.stage_names,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"[{self.volumes[0]:g}]"]
+        for k in range(self.num_stages):
+            name = self.stage_names[k] or f"S{k + 1}"
+            parts.append(f"{name}(w={self.works[k]:g})")
+            parts.append(f"[{self.volumes[k + 1]:g}]")
+        return " -> ".join(parts)

@@ -1,0 +1,127 @@
+"""Combinatorial enumeration of interval mappings.
+
+These generators power the exhaustive exact solvers (the baselines the
+paper's polynomial algorithms and our heuristics are verified against) and
+the hypothesis test strategies.  Counts grow fast — interval partitions
+are ``2^(n-1)`` and processor assignments are sums over ordered set
+partitions — so callers bound ``n`` and ``m`` (the exhaustive solvers
+enforce limits).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from .mapping import IntervalMapping, StageInterval
+
+__all__ = [
+    "interval_partitions",
+    "allocations_for_partition",
+    "enumerate_interval_mappings",
+    "enumerate_one_to_one_mappings",
+    "count_interval_partitions",
+]
+
+
+def interval_partitions(
+    num_stages: int, max_intervals: int | None = None
+) -> Iterator[tuple[StageInterval, ...]]:
+    """Yield every partition of ``[1..n]`` into consecutive intervals.
+
+    A partition is determined by its set of break positions (after which
+    stage a new interval starts); there are ``2^(n-1)`` of them.  With
+    ``max_intervals`` set, partitions with more than that many intervals
+    are skipped (processor availability bounds ``p <= m``).
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    cut_positions = range(1, num_stages)  # a cut after stage c
+    limit = num_stages if max_intervals is None else min(max_intervals, num_stages)
+    for p_minus_1 in range(0, limit):
+        for cuts in combinations(cut_positions, p_minus_1):
+            bounds = [0, *cuts, num_stages]
+            yield tuple(
+                StageInterval(lo + 1, hi)
+                for lo, hi in zip(bounds, bounds[1:])
+            )
+
+
+def count_interval_partitions(num_stages: int, max_intervals: int | None = None) -> int:
+    """Number of partitions :func:`interval_partitions` would yield."""
+    from math import comb
+
+    limit = num_stages if max_intervals is None else min(max_intervals, num_stages)
+    return sum(comb(num_stages - 1, p - 1) for p in range(1, limit + 1))
+
+
+def allocations_for_partition(
+    num_intervals: int,
+    processors: Sequence[int],
+    *,
+    max_replication: int | None = None,
+) -> Iterator[tuple[frozenset[int], ...]]:
+    """Yield every assignment of disjoint non-empty processor sets.
+
+    Enumerates, for ``p`` intervals over the given processor pool, every
+    tuple of pairwise-disjoint non-empty subsets (not necessarily covering
+    the pool).  ``max_replication`` caps ``k_j`` to prune the search.
+    """
+    pool = tuple(sorted(processors))
+    if num_intervals < 1:
+        raise ValueError(f"num_intervals must be >= 1, got {num_intervals}")
+
+    def rec(
+        j: int, remaining: tuple[int, ...]
+    ) -> Iterator[tuple[frozenset[int], ...]]:
+        if j == num_intervals:
+            yield ()
+            return
+        # the remaining intervals each need >= 1 processor
+        needed_later = num_intervals - j - 1
+        max_k = len(remaining) - needed_later
+        if max_replication is not None:
+            max_k = min(max_k, max_replication)
+        for k in range(1, max_k + 1):
+            for subset in combinations(remaining, k):
+                chosen = frozenset(subset)
+                rest = tuple(u for u in remaining if u not in chosen)
+                for tail in rec(j + 1, rest):
+                    yield (chosen, *tail)
+
+    yield from rec(0, pool)
+
+
+def enumerate_interval_mappings(
+    num_stages: int,
+    num_processors: int,
+    *,
+    max_replication: int | None = None,
+) -> Iterator[IntervalMapping]:
+    """Yield every interval mapping of ``n`` stages on ``m`` processors.
+
+    The complete search space of the paper's optimisation problem
+    (Section 2.2): all interval partitions crossed with all disjoint
+    replication assignments.  Exponential — use only for small instances.
+    """
+    processors = tuple(range(1, num_processors + 1))
+    for partition in interval_partitions(num_stages, max_intervals=num_processors):
+        for allocs in allocations_for_partition(
+            len(partition), processors, max_replication=max_replication
+        ):
+            yield IntervalMapping(partition, allocs)
+
+
+def enumerate_one_to_one_mappings(
+    num_stages: int, num_processors: int
+) -> Iterator[IntervalMapping]:
+    """Yield every one-to-one mapping (stage -> distinct processor).
+
+    ``m! / (m-n)!`` mappings; the Theorem 3 search space.
+    """
+    from itertools import permutations
+
+    if num_stages > num_processors:
+        return
+    for perm in permutations(range(1, num_processors + 1), num_stages):
+        yield IntervalMapping.one_to_one(perm)

@@ -1,0 +1,330 @@
+"""Mapping representations (paper Section 2.2).
+
+The paper's central object is the **interval mapping with replication**: a
+partition of the stage range ``[1..n]`` into ``p <= m`` intervals
+``I_j = [d_j .. e_j]`` together with an allocation function ``alloc(j)``
+returning the *set* of ``k_j >= 1`` processors that replicate interval
+``I_j``.  Two structural rules apply:
+
+* intervals are consecutive and non-empty: ``d_1 = 1``,
+  ``d_{j+1} = e_j + 1``, ``e_p = n``;
+* allocation sets of distinct intervals are disjoint (a stage runs on a
+  single processor, and a processor serves one interval for every data
+  set).
+
+Two special cases get their own helpers: **one-to-one mappings** (every
+stage is its own singleton interval, used by Theorem 3) and **general
+mappings** (the interval constraint is dropped entirely; a processor may
+receive non-consecutive stages — used by Theorem 4 only, represented by
+:class:`GeneralMapping`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidMappingError
+
+__all__ = ["StageInterval", "IntervalMapping", "GeneralMapping"]
+
+
+@dataclass(frozen=True, order=True)
+class StageInterval:
+    """A run ``[start .. end]`` of consecutive stages (1-based, inclusive)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise InvalidMappingError(
+                f"interval start must be >= 1, got {self.start}"
+            )
+        if self.end < self.start:
+            raise InvalidMappingError(
+                f"empty interval [{self.start}..{self.end}]"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of stages in the interval."""
+        return self.end - self.start + 1
+
+    def __contains__(self, stage: int) -> bool:
+        return self.start <= stage <= self.end
+
+    def stages(self) -> Iterator[int]:
+        """Iterate the 1-based stage indices the interval covers."""
+        return iter(range(self.start, self.end + 1))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.start == self.end:
+            return f"[S{self.start}]"
+        return f"[S{self.start}..S{self.end}]"
+
+
+@dataclass(frozen=True)
+class IntervalMapping:
+    """An interval mapping with replication.
+
+    ``intervals[j]`` is replicated on the processor set
+    ``allocations[j]``.  The structural rules of the paper are enforced at
+    construction time; compatibility with a *specific* application and
+    platform (stage count, processor indices) is checked by
+    :func:`repro.core.validation.validate_mapping`.
+    """
+
+    intervals: tuple[StageInterval, ...]
+    allocations: tuple[frozenset[int], ...]
+
+    def __init__(
+        self,
+        intervals: Sequence[StageInterval | tuple[int, int]],
+        allocations: Sequence[Iterable[int]],
+    ) -> None:
+        ivs = tuple(
+            iv if isinstance(iv, StageInterval) else StageInterval(*iv)
+            for iv in intervals
+        )
+        allocs = tuple(frozenset(int(u) for u in a) for a in allocations)
+        object.__setattr__(self, "intervals", ivs)
+        object.__setattr__(self, "allocations", allocs)
+        self._validate_structure()
+
+    def _validate_structure(self) -> None:
+        if not self.intervals:
+            raise InvalidMappingError("a mapping needs at least one interval")
+        if len(self.intervals) != len(self.allocations):
+            raise InvalidMappingError(
+                f"{len(self.intervals)} intervals but "
+                f"{len(self.allocations)} allocation sets"
+            )
+        if self.intervals[0].start != 1:
+            raise InvalidMappingError(
+                f"first interval must start at stage 1, "
+                f"got {self.intervals[0].start}"
+            )
+        for left, right in zip(self.intervals, self.intervals[1:]):
+            if right.start != left.end + 1:
+                raise InvalidMappingError(
+                    f"intervals must be consecutive: {left} is followed "
+                    f"by {right}"
+                )
+        seen: set[int] = set()
+        for j, alloc in enumerate(self.allocations, start=1):
+            if not alloc:
+                raise InvalidMappingError(
+                    f"interval {j} has an empty allocation set"
+                )
+            overlap = seen & alloc
+            if overlap:
+                raise InvalidMappingError(
+                    f"processor(s) {sorted(overlap)} allocated to more than "
+                    f"one interval"
+                )
+            seen |= alloc
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_intervals(self) -> int:
+        """Number of intervals ``p``."""
+        return len(self.intervals)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages covered (``e_p``)."""
+        return self.intervals[-1].end
+
+    @property
+    def replication_counts(self) -> tuple[int, ...]:
+        """``(k_1, .., k_p)`` — replication degree of each interval."""
+        return tuple(len(a) for a in self.allocations)
+
+    @property
+    def used_processors(self) -> frozenset[int]:
+        """Union of all allocation sets."""
+        out: set[int] = set()
+        for a in self.allocations:
+            out |= a
+        return frozenset(out)
+
+    @property
+    def is_one_to_one(self) -> bool:
+        """True when every stage is a singleton interval on one processor."""
+        return all(iv.length == 1 for iv in self.intervals) and all(
+            len(a) == 1 for a in self.allocations
+        )
+
+    @property
+    def is_single_interval(self) -> bool:
+        """True when the whole pipeline forms one interval."""
+        return self.num_intervals == 1
+
+    @property
+    def uses_replication(self) -> bool:
+        """True when at least one interval is replicated (``k_j > 1``)."""
+        return any(len(a) > 1 for a in self.allocations)
+
+    def interval_index_of_stage(self, stage: int) -> int:
+        """0-based index ``j`` of the interval containing ``stage``."""
+        for j, iv in enumerate(self.intervals):
+            if stage in iv:
+                return j
+        raise IndexError(
+            f"stage {stage} outside the mapped range 1..{self.num_stages}"
+        )
+
+    def allocation_of_stage(self, stage: int) -> frozenset[int]:
+        """Processor set executing ``stage``."""
+        return self.allocations[self.interval_index_of_stage(stage)]
+
+    def items(self) -> Iterator[tuple[StageInterval, frozenset[int]]]:
+        """Iterate ``(interval, allocation)`` pairs in pipeline order."""
+        return iter(zip(self.intervals, self.allocations))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_interval(
+        cls, num_stages: int, processors: Iterable[int]
+    ) -> "IntervalMapping":
+        """Map the whole pipeline as one interval replicated on a set.
+
+        This is the optimal shape on Fully Homogeneous and Communication
+        Homogeneous / Failure Homogeneous platforms (Lemma 1).
+        """
+        return cls([StageInterval(1, num_stages)], [processors])
+
+    @classmethod
+    def one_to_one(cls, processors_by_stage: Sequence[int]) -> "IntervalMapping":
+        """One-to-one mapping: stage ``k`` on ``processors_by_stage[k-1]``.
+
+        Consecutive stages may share a processor only by widening an
+        interval, so the processors must be pairwise distinct (the paper's
+        one-to-one mappings use each processor at most once).
+        """
+        if len(set(processors_by_stage)) != len(processors_by_stage):
+            raise InvalidMappingError(
+                "one-to-one mappings require pairwise distinct processors"
+            )
+        intervals = [StageInterval(k, k) for k in range(1, len(processors_by_stage) + 1)]
+        allocations = [{u} for u in processors_by_stage]
+        return cls(intervals, allocations)
+
+    @classmethod
+    def from_boundaries(
+        cls,
+        num_stages: int,
+        boundaries: Sequence[int],
+        allocations: Sequence[Iterable[int]],
+    ) -> "IntervalMapping":
+        """Build from interval *end* positions.
+
+        ``boundaries`` lists ``(e_1, .., e_p)`` with ``e_p = num_stages``;
+        the starts are derived.  Convenient for enumeration code.
+        """
+        if not boundaries or boundaries[-1] != num_stages:
+            raise InvalidMappingError(
+                f"the last boundary must equal num_stages={num_stages}, "
+                f"got {list(boundaries)}"
+            )
+        starts = [1] + [e + 1 for e in boundaries[:-1]]
+        intervals = [StageInterval(s, e) for s, e in zip(starts, boundaries)]
+        return cls(intervals, allocations)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for iv, alloc in self.items():
+            procs = ",".join(f"P{u}" for u in sorted(alloc))
+            parts.append(f"{iv}->{{{procs}}}")
+        return " | ".join(parts)
+
+
+@dataclass(frozen=True)
+class GeneralMapping:
+    """A general (non interval-based) mapping without replication.
+
+    ``assignment[k-1]`` is the processor executing stage ``k``.  A
+    processor may appear on non-consecutive stages — the relaxation under
+    which latency minimisation becomes polynomial on Fully Heterogeneous
+    platforms (Theorem 4).  Consecutive stages on the same processor incur
+    no communication cost.
+    """
+
+    assignment: tuple[int, ...]
+
+    def __init__(self, assignment: Sequence[int]) -> None:
+        if not assignment:
+            raise InvalidMappingError("a mapping needs at least one stage")
+        object.__setattr__(
+            self, "assignment", tuple(int(u) for u in assignment)
+        )
+
+    @property
+    def num_stages(self) -> int:
+        """Number of mapped stages."""
+        return len(self.assignment)
+
+    @property
+    def used_processors(self) -> frozenset[int]:
+        """Set of processors appearing in the assignment."""
+        return frozenset(self.assignment)
+
+    def processor_of_stage(self, stage: int) -> int:
+        """Processor executing stage ``stage`` (1-based)."""
+        if not 1 <= stage <= self.num_stages:
+            raise IndexError(
+                f"stage index must be in 1..{self.num_stages}, got {stage}"
+            )
+        return self.assignment[stage - 1]
+
+    def runs(self) -> list[tuple[StageInterval, int]]:
+        """Maximal runs of consecutive stages on the same processor.
+
+        Returns ``[(interval, processor), ..]`` in pipeline order.  A
+        general mapping is interval-compatible iff no processor appears in
+        two distinct runs.
+        """
+        out: list[tuple[StageInterval, int]] = []
+        start = 1
+        for k in range(2, self.num_stages + 1):
+            if self.assignment[k - 1] != self.assignment[k - 2]:
+                out.append((StageInterval(start, k - 1), self.assignment[start - 1]))
+                start = k
+        out.append(
+            (StageInterval(start, self.num_stages), self.assignment[start - 1])
+        )
+        return out
+
+    @property
+    def is_interval_compatible(self) -> bool:
+        """True when every processor's stages are consecutive."""
+        runs = self.runs()
+        return len({proc for _, proc in runs}) == len(runs)
+
+    def to_interval_mapping(self) -> IntervalMapping:
+        """Convert to an :class:`IntervalMapping` (no replication).
+
+        Raises
+        ------
+        InvalidMappingError
+            If some processor holds non-consecutive stages.
+        """
+        runs = self.runs()
+        if not self.is_interval_compatible:
+            raise InvalidMappingError(
+                "general mapping assigns non-consecutive stages to a "
+                "processor; not interval-compatible"
+            )
+        return IntervalMapping(
+            [iv for iv, _ in runs], [{proc} for _, proc in runs]
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " | ".join(
+            f"{iv}->P{proc}" for iv, proc in self.runs()
+        )

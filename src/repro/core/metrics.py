@@ -1,0 +1,375 @@
+"""Latency and failure-probability metrics (paper Section 2.2).
+
+This module is the **single source of truth** for the paper's two
+objective functions.  Every solver, test, bench and the discrete-event
+simulator validate against these closed forms.
+
+Failure probability
+-------------------
+``FP = 1 - prod_j (1 - prod_{u in alloc(j)} fp_u)`` — the application
+fails iff *every* replica of *some* interval fails; processors fail
+independently.
+
+Latency, uniform links (paper eq. (1))
+--------------------------------------
+For Fully Homogeneous and Communication Homogeneous platforms with link
+bandwidth ``b``::
+
+    T = sum_j [ k_j * delta_{d_j - 1} / b + W_j / min_{u in alloc(j)} s_u ]
+        + delta_n / b
+
+The ``k_j`` factor is the worst case under the one-port model: the sends
+into interval ``j``'s replicas are serialised, and the adversarial failure
+pattern (the designated senders die first) forces all of them onto the
+critical path.  Compute time is bounded by the slowest replica.  The final
+output to ``P_out`` is a single send.
+
+Latency, heterogeneous links (paper eq. (2))
+--------------------------------------------
+With ``alloc(p+1) = {out}``::
+
+    T = sum_{u in alloc(1)} delta_0 / b_{in,u}
+      + sum_j max_{u in alloc(j)} [ W_j / s_u
+                                    + sum_{v in alloc(j+1)} delta_{e_j} / b_{u,v} ]
+
+Equation (1) is exactly the specialisation of eq. (2) to uniform
+bandwidths (we expose both and property-test the equality).
+
+Ablation switch
+---------------
+Both formulas accept ``one_port=False``, replacing every serialised sum of
+outgoing sends by the maximum single send (a hypothetical multi-port
+platform).  This powers experiment E13 (how much does one-port
+serialisation cost replication?).  It is *not* part of the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .application import PipelineApplication
+from .mapping import GeneralMapping, IntervalMapping
+from .platform import Platform
+from .topology import IN, OUT
+from .validation import validate_mapping
+
+__all__ = [
+    "failure_probability",
+    "interval_reliability",
+    "latency",
+    "latency_uniform",
+    "latency_heterogeneous",
+    "general_mapping_latency",
+    "IntervalCost",
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "MappingEvaluation",
+    "evaluate",
+]
+
+
+# ----------------------------------------------------------------------
+# failure probability
+# ----------------------------------------------------------------------
+def interval_reliability(platform: Platform, allocation: frozenset[int] | set[int]) -> float:
+    """Probability ``1 - prod_{u in alloc} fp_u`` that an interval survives.
+
+    An interval survives iff at least one of its replicas survives, i.e.
+    unless *all* of them fail.
+    """
+    prod = 1.0
+    for u in allocation:
+        prod *= platform.failure_probability(u)
+    return 1.0 - prod
+
+
+def failure_probability(
+    mapping: IntervalMapping,
+    platform: Platform,
+    application: PipelineApplication | None = None,
+) -> float:
+    """Global failure probability ``FP`` of an interval mapping.
+
+    ``application`` is optional and only used for validation (the formula
+    does not depend on stage costs).
+
+    Numerically stable evaluation: computing ``1 - prod_j (1 - p_j)``
+    naively loses ~8 significant digits when the per-interval failure
+    products ``p_j`` are tiny (e.g. the Theorem 7 gadgets, where
+    ``p_j = exp(-S/2)``), so we accumulate ``sum_j log1p(-p_j)`` and
+    return ``-expm1`` of it.  For a single interval this reproduces
+    ``prod_u fp_u`` to full precision.
+    """
+    if application is not None:
+        validate_mapping(mapping, application, platform)
+    log_success = 0.0
+    for alloc in mapping.allocations:
+        prod = 1.0
+        for u in alloc:
+            prod *= platform.failure_probability(u)
+        if prod >= 1.0:
+            return 1.0  # some interval fails almost surely
+        log_success += math.log1p(-prod)
+    return -math.expm1(log_success)
+
+
+# ----------------------------------------------------------------------
+# latency
+# ----------------------------------------------------------------------
+def latency_uniform(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+) -> float:
+    """Paper eq. (1): latency on a platform with uniform link bandwidth.
+
+    Raises
+    ------
+    repro.exceptions.InvalidPlatformError
+        If the platform's links are not uniform.
+    """
+    validate_mapping(mapping, application, platform)
+    b = platform.uniform_bandwidth
+    total = 0.0
+    for iv, alloc in mapping.items():
+        k_j = len(alloc) if one_port else 1
+        delta_in = application.volume(iv.start - 1)
+        slowest = min(platform.speed(u) for u in alloc)
+        total += k_j * delta_in / b
+        total += application.interval_work(iv.start, iv.end) / slowest
+    total += application.output_size / b
+    return total
+
+
+def latency_heterogeneous(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+) -> float:
+    """Paper eq. (2): latency with per-link bandwidths.
+
+    Valid on *any* platform; on uniform links it coincides with eq. (1)
+    (machine-checked property).  ``alloc(p+1) = {out}`` per the paper.
+    """
+    validate_mapping(mapping, application, platform)
+    topo = platform.topology
+
+    # Serialized input sends from P_in to every replica of interval 1.
+    first_alloc = mapping.allocations[0]
+    delta0 = application.input_size
+    input_terms = [topo.transfer_time(delta0, IN, u) for u in sorted(first_alloc)]
+    total = sum(input_terms) if one_port else max(input_terms)
+
+    p = mapping.num_intervals
+    for j, (iv, alloc) in enumerate(mapping.items()):
+        if j + 1 < p:
+            next_targets: list[Any] = sorted(mapping.allocations[j + 1])
+        else:
+            next_targets = [OUT]
+        delta_out = application.volume(iv.end)
+        work = application.interval_work(iv.start, iv.end)
+        worst = -math.inf
+        for u in sorted(alloc):
+            send_terms = [topo.transfer_time(delta_out, u, v) for v in next_targets]
+            sends = sum(send_terms) if one_port else max(send_terms)
+            worst = max(worst, work / platform.speed(u) + sends)
+        total += worst
+    return total
+
+
+def latency(
+    mapping: IntervalMapping | GeneralMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+) -> float:
+    """Latency of a mapping, dispatching on mapping kind and platform class.
+
+    * :class:`GeneralMapping` — Theorem 4 path cost (no replication);
+    * :class:`IntervalMapping` on uniform links — paper eq. (1);
+    * :class:`IntervalMapping` on heterogeneous links — paper eq. (2).
+    """
+    if isinstance(mapping, GeneralMapping):
+        return general_mapping_latency(mapping, application, platform)
+    if platform.is_communication_homogeneous:
+        return latency_uniform(mapping, application, platform, one_port=one_port)
+    return latency_heterogeneous(mapping, application, platform, one_port=one_port)
+
+
+def general_mapping_latency(
+    mapping: GeneralMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> float:
+    """Latency of a general mapping (Theorem 4 objective).
+
+    The cost of the path ``V_{0,in} -> V_{1,pi(1)} -> .. -> V_{n+1,out}``:
+    input transfer, per-stage compute, inter-stage transfers only when the
+    processor changes, final output transfer.  No replication is involved
+    (replication can only increase latency — paper Section 4.1).
+    """
+    validate_mapping(mapping, application, platform)
+    topo = platform.topology
+    n = application.num_stages
+    total = topo.transfer_time(application.input_size, IN, mapping.assignment[0])
+    for k in range(1, n + 1):
+        u = mapping.assignment[k - 1]
+        total += application.work(k) / platform.speed(u)
+        if k < n:
+            v = mapping.assignment[k]
+            total += topo.transfer_time(application.volume(k), u, v)
+    total += topo.transfer_time(
+        application.output_size, mapping.assignment[-1], OUT
+    )
+    return total
+
+
+# ----------------------------------------------------------------------
+# breakdowns and combined evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntervalCost:
+    """Per-interval latency contributions (reporting aid).
+
+    For uniform platforms ``input_time`` is ``k_j * delta/b`` and
+    ``output_time`` is folded into the next interval's ``input_time``
+    (plus the final ``delta_n/b`` term, reported separately in
+    :class:`LatencyBreakdown`).  For heterogeneous platforms the eq. (2)
+    grouping is used: ``output_time`` carries the serialized sends of the
+    interval's critical replica and ``input_time`` is zero except for the
+    first interval.
+    """
+
+    interval_index: int
+    replication: int
+    input_time: float
+    compute_time: float
+    output_time: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the interval's contributions."""
+        return self.input_time + self.compute_time + self.output_time
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency decomposed into per-interval costs plus the closing term."""
+
+    intervals: tuple[IntervalCost, ...]
+    final_output_time: float
+
+    @property
+    def total(self) -> float:
+        """Total latency — equals :func:`latency` on the same inputs."""
+        return sum(c.total for c in self.intervals) + self.final_output_time
+
+
+def latency_breakdown(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+) -> LatencyBreakdown:
+    """Decompose :func:`latency` into per-interval contributions."""
+    validate_mapping(mapping, application, platform)
+    costs: list[IntervalCost] = []
+    if platform.is_communication_homogeneous:
+        b = platform.uniform_bandwidth
+        for j, (iv, alloc) in enumerate(mapping.items(), start=1):
+            k_j = len(alloc) if one_port else 1
+            delta_in = application.volume(iv.start - 1)
+            slowest = min(platform.speed(u) for u in alloc)
+            costs.append(
+                IntervalCost(
+                    interval_index=j,
+                    replication=len(alloc),
+                    input_time=k_j * delta_in / b,
+                    compute_time=application.interval_work(iv.start, iv.end)
+                    / slowest,
+                    output_time=0.0,
+                )
+            )
+        final = application.output_size / b
+        return LatencyBreakdown(tuple(costs), final)
+
+    topo = platform.topology
+    p = mapping.num_intervals
+    first_alloc = sorted(mapping.allocations[0])
+    in_terms = [
+        topo.transfer_time(application.input_size, IN, u) for u in first_alloc
+    ]
+    first_input = sum(in_terms) if one_port else max(in_terms)
+    for j, (iv, alloc) in enumerate(mapping.items()):
+        next_targets: list[Any]
+        if j + 1 < p:
+            next_targets = sorted(mapping.allocations[j + 1])
+        else:
+            next_targets = [OUT]
+        delta_out = application.volume(iv.end)
+        work = application.interval_work(iv.start, iv.end)
+        best_total = -math.inf
+        best_pair = (0.0, 0.0)
+        for u in sorted(alloc):
+            send_terms = [
+                topo.transfer_time(delta_out, u, v) for v in next_targets
+            ]
+            sends = sum(send_terms) if one_port else max(send_terms)
+            comp = work / platform.speed(u)
+            if comp + sends > best_total:
+                best_total = comp + sends
+                best_pair = (comp, sends)
+        costs.append(
+            IntervalCost(
+                interval_index=j + 1,
+                replication=len(alloc),
+                input_time=first_input if j == 0 else 0.0,
+                compute_time=best_pair[0],
+                output_time=best_pair[1],
+            )
+        )
+    return LatencyBreakdown(tuple(costs), 0.0)
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """Both objectives of a mapping, bundled for bi-criteria reasoning."""
+
+    latency: float
+    failure_probability: float
+    mapping: Any = field(default=None, compare=False)
+
+    def dominates(self, other: "MappingEvaluation") -> bool:
+        """Weak Pareto dominance: no worse on both, strictly better on one."""
+        no_worse = (
+            self.latency <= other.latency
+            and self.failure_probability <= other.failure_probability
+        )
+        strictly = (
+            self.latency < other.latency
+            or self.failure_probability < other.failure_probability
+        )
+        return no_worse and strictly
+
+
+def evaluate(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    one_port: bool = True,
+) -> MappingEvaluation:
+    """Evaluate both objectives of an interval mapping at once."""
+    return MappingEvaluation(
+        latency=latency(mapping, application, platform, one_port=one_port),
+        failure_probability=failure_probability(mapping, platform),
+        mapping=mapping,
+    )

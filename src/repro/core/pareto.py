@@ -1,0 +1,101 @@
+"""Pareto-dominance utilities for the (latency, failure-probability) plane.
+
+Both criteria are minimised.  Points carry an arbitrary payload (normally
+the mapping that realises them) so frontiers remain actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "BiCriteriaPoint",
+    "dominates",
+    "pareto_front",
+    "is_dominated",
+    "attainment",
+]
+
+
+@dataclass(frozen=True)
+class BiCriteriaPoint:
+    """A point in the (latency, failure-probability) objective plane."""
+
+    latency: float
+    failure_probability: float
+    payload: Any = field(default=None, compare=False)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The bare objective vector."""
+        return (self.latency, self.failure_probability)
+
+
+def dominates(
+    a: BiCriteriaPoint, b: BiCriteriaPoint, *, tolerance: float = 0.0
+) -> bool:
+    """True when ``a`` weakly dominates ``b`` (minimisation on both axes).
+
+    ``a`` must be no worse than ``b`` on both objectives (up to
+    ``tolerance``) and strictly better on at least one (beyond
+    ``tolerance``).
+    """
+    no_worse = (
+        a.latency <= b.latency + tolerance
+        and a.failure_probability <= b.failure_probability + tolerance
+    )
+    strictly = (
+        a.latency < b.latency - tolerance
+        or a.failure_probability < b.failure_probability - tolerance
+    )
+    return no_worse and strictly
+
+
+def is_dominated(
+    point: BiCriteriaPoint,
+    others: Iterable[BiCriteriaPoint],
+    *,
+    tolerance: float = 0.0,
+) -> bool:
+    """True when some point of ``others`` dominates ``point``."""
+    return any(dominates(o, point, tolerance=tolerance) for o in others)
+
+
+def pareto_front(
+    points: Iterable[BiCriteriaPoint], *, tolerance: float = 0.0
+) -> list[BiCriteriaPoint]:
+    """Non-dominated subset, sorted by increasing latency.
+
+    Duplicate objective vectors are collapsed to the first occurrence.
+    The classic sweep: sort by latency (ties: failure probability), keep
+    points whose failure probability strictly improves the running
+    minimum.  ``O(N log N)``.
+    """
+    ordered = sorted(
+        points, key=lambda p: (p.latency, p.failure_probability)
+    )
+    front: list[BiCriteriaPoint] = []
+    best_fp = float("inf")
+    for p in ordered:
+        if p.failure_probability < best_fp - tolerance:
+            front.append(p)
+            best_fp = p.failure_probability
+    return front
+
+
+def attainment(
+    front: Sequence[BiCriteriaPoint], latency_threshold: float
+) -> float | None:
+    """Best failure probability attainable within a latency budget.
+
+    Given a Pareto front (sorted or not), return the minimum failure
+    probability among points with ``latency <= latency_threshold``, or
+    ``None`` when the budget admits no point.  This is the paper's
+    'minimise FP under a fixed latency L' query answered from a frontier.
+    """
+    feasible = [
+        p.failure_probability for p in front if p.latency <= latency_threshold
+    ]
+    if not feasible:
+        return None
+    return min(feasible)

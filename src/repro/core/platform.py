@@ -1,0 +1,326 @@
+"""Target platform model and classification (paper Section 2.1).
+
+A :class:`Platform` bundles ``m`` :class:`~repro.core.processor.Processor`
+records with a :class:`~repro.core.topology.LinkTopology`.  The paper
+distinguishes three platform classes along the speed/link axis and two
+along the failure axis:
+
+* **Fully Homogeneous** — identical speeds *and* identical links;
+* **Communication Homogeneous** — identical links, heterogeneous speeds;
+* **Fully Heterogeneous** — heterogeneous links (speeds arbitrary);
+
+crossed with
+
+* **Failure Homogeneous** — identical failure probabilities;
+* **Failure Heterogeneous** — arbitrary failure probabilities.
+
+The class predicates drive solver dispatch: each algorithm of the paper is
+only valid on specific classes, and :mod:`repro.algorithms` refuses to run
+outside its domain (raising :class:`~repro.exceptions.SolverError`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import InvalidPlatformError
+from .processor import Processor
+from .topology import (
+    IN,
+    OUT,
+    HeterogeneousTopology,
+    LinkTopology,
+    Node,
+    UniformTopology,
+)
+
+__all__ = ["PlatformClass", "FailureClass", "Platform"]
+
+
+class PlatformClass(enum.Enum):
+    """Speed/link heterogeneity classes of the paper."""
+
+    FULLY_HOMOGENEOUS = "fully-homogeneous"
+    COMMUNICATION_HOMOGENEOUS = "communication-homogeneous"
+    FULLY_HETEROGENEOUS = "fully-heterogeneous"
+
+
+class FailureClass(enum.Enum):
+    """Failure-probability homogeneity classes of the paper."""
+
+    HOMOGENEOUS = "failure-homogeneous"
+    HETEROGENEOUS = "failure-heterogeneous"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A set of processors fully interconnected by a link topology.
+
+    Processors must be numbered ``1..m`` consecutively (this keeps every
+    mapping, metric and simulator indexing scheme trivially consistent).
+    """
+
+    processors: tuple[Processor, ...]
+    topology: LinkTopology
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise InvalidPlatformError("a platform needs at least one processor")
+        indices = [p.index for p in self.processors]
+        if indices != list(range(1, len(self.processors) + 1)):
+            raise InvalidPlatformError(
+                f"processors must be numbered 1..m consecutively, got {indices}"
+            )
+        if self.topology.num_processors != len(self.processors):
+            raise InvalidPlatformError(
+                f"topology spans {self.topology.num_processors} processors "
+                f"but the platform has {len(self.processors)}"
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of compute processors ``m`` (excluding ``P_in``/``P_out``)."""
+        return len(self.processors)
+
+    def processor(self, u: int) -> Processor:
+        """Processor ``P_u`` by 1-based index."""
+        if not 1 <= u <= self.size:
+            raise IndexError(f"processor index must be in 1..{self.size}, got {u}")
+        return self.processors[u - 1]
+
+    def speed(self, u: int) -> float:
+        """Speed ``s_u``."""
+        return self.processor(u).speed
+
+    def failure_probability(self, u: int) -> float:
+        """Failure probability ``fp_u``."""
+        return self.processor(u).failure_probability
+
+    def bandwidth(self, src: Node, dst: Node) -> float:
+        """Bandwidth ``b_{src,dst}`` (see :class:`LinkTopology`)."""
+        return self.topology.bandwidth(src, dst)
+
+    def transfer_time(self, size: float, src: Node, dst: Node) -> float:
+        """Linear-cost transfer time ``size / b_{src,dst}``."""
+        return self.topology.transfer_time(size, src, dst)
+
+    @property
+    def speeds(self) -> tuple[float, ...]:
+        """All speeds, indexed ``u-1``."""
+        return tuple(p.speed for p in self.processors)
+
+    @property
+    def failure_probabilities(self) -> tuple[float, ...]:
+        """All failure probabilities, indexed ``u-1``."""
+        return tuple(p.failure_probability for p in self.processors)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def platform_class(self) -> PlatformClass:
+        """Speed/link class per the paper's taxonomy."""
+        if not self.topology.is_uniform:
+            return PlatformClass.FULLY_HETEROGENEOUS
+        if len(set(self.speeds)) == 1:
+            return PlatformClass.FULLY_HOMOGENEOUS
+        return PlatformClass.COMMUNICATION_HOMOGENEOUS
+
+    @property
+    def failure_class(self) -> FailureClass:
+        """Failure-probability class per the paper's taxonomy."""
+        if len(set(self.failure_probabilities)) == 1:
+            return FailureClass.HOMOGENEOUS
+        return FailureClass.HETEROGENEOUS
+
+    @property
+    def is_fully_homogeneous(self) -> bool:
+        """Identical speeds and identical links."""
+        return self.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+
+    @property
+    def is_communication_homogeneous(self) -> bool:
+        """Identical links (speeds may differ).
+
+        Note this is *inclusive*: a Fully Homogeneous platform is also
+        Communication Homogeneous, matching the paper's usage (eq. (1)
+        applies to both).
+        """
+        return self.topology.is_uniform
+
+    @property
+    def is_fully_heterogeneous(self) -> bool:
+        """At least two distinct link bandwidths."""
+        return not self.topology.is_uniform
+
+    @property
+    def is_failure_homogeneous(self) -> bool:
+        """All failure probabilities equal."""
+        return self.failure_class is FailureClass.HOMOGENEOUS
+
+    @property
+    def uniform_bandwidth(self) -> float:
+        """The single link bandwidth ``b`` of a uniform topology.
+
+        Raises
+        ------
+        InvalidPlatformError
+            If the topology is not uniform.
+        """
+        if isinstance(self.topology, UniformTopology):
+            return self.topology.link_bandwidth
+        if self.topology.is_uniform:
+            return self.topology.bandwidth(IN, 1)
+        raise InvalidPlatformError(
+            "uniform_bandwidth is only defined for communication-homogeneous "
+            "platforms"
+        )
+
+    # ------------------------------------------------------------------
+    # ordering helpers used by the paper's algorithms
+    # ------------------------------------------------------------------
+    def by_speed_descending(self) -> list[Processor]:
+        """Processors sorted fastest first (ties broken by index).
+
+        Algorithms 3-4 enrol 'the fastest k processors' in this order.
+        """
+        return sorted(self.processors, key=lambda p: (-p.speed, p.index))
+
+    def by_reliability_descending(self) -> list[Processor]:
+        """Processors sorted most reliable first (smallest ``fp_u`` first).
+
+        Algorithms 1-2 enrol 'the k most reliable processors' in this
+        order.
+        """
+        return sorted(
+            self.processors, key=lambda p: (p.failure_probability, p.index)
+        )
+
+    def fastest(self) -> Processor:
+        """The fastest processor (Theorem 2 maps the whole pipeline on it)."""
+        return self.by_speed_descending()[0]
+
+    def kth_fastest_speed(self, k: int) -> float:
+        """Speed of the ``k``-th fastest processor (1-based ``k``)."""
+        if not 1 <= k <= self.size:
+            raise IndexError(f"k must be in 1..{self.size}, got {k}")
+        return self.by_speed_descending()[k - 1].speed
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def fully_homogeneous(
+        cls,
+        num_processors: int,
+        speed: float = 1.0,
+        bandwidth: float = 1.0,
+        failure_probability: float = 0.0,
+        failure_probabilities: Sequence[float] | None = None,
+    ) -> "Platform":
+        """Build a Fully Homogeneous platform.
+
+        ``failure_probabilities`` overrides the scalar value to model the
+        'identical processors, heterogeneous failures' extension mentioned
+        after Theorem 5.
+        """
+        if failure_probabilities is None:
+            fps: Sequence[float] = [failure_probability] * num_processors
+        else:
+            fps = list(failure_probabilities)
+            if len(fps) != num_processors:
+                raise InvalidPlatformError(
+                    f"expected {num_processors} failure probabilities, "
+                    f"got {len(fps)}"
+                )
+        procs = tuple(
+            Processor(index=u + 1, speed=speed, failure_probability=fps[u])
+            for u in range(num_processors)
+        )
+        return cls(procs, UniformTopology(num_processors, bandwidth))
+
+    @classmethod
+    def communication_homogeneous(
+        cls,
+        speeds: Sequence[float],
+        bandwidth: float = 1.0,
+        failure_probabilities: Sequence[float] | None = None,
+    ) -> "Platform":
+        """Build a Communication Homogeneous platform from speed list."""
+        m = len(speeds)
+        if failure_probabilities is None:
+            failure_probabilities = [0.0] * m
+        if len(failure_probabilities) != m:
+            raise InvalidPlatformError(
+                f"expected {m} failure probabilities, "
+                f"got {len(failure_probabilities)}"
+            )
+        procs = tuple(
+            Processor(
+                index=u + 1,
+                speed=float(speeds[u]),
+                failure_probability=float(failure_probabilities[u]),
+            )
+            for u in range(m)
+        )
+        return cls(procs, UniformTopology(m, bandwidth))
+
+    @classmethod
+    def fully_heterogeneous(
+        cls,
+        speeds: Sequence[float],
+        in_bandwidths: Sequence[float],
+        out_bandwidths: Sequence[float],
+        link_bandwidths: Sequence[Sequence[float]],
+        failure_probabilities: Sequence[float] | None = None,
+    ) -> "Platform":
+        """Build a Fully Heterogeneous platform from explicit matrices."""
+        m = len(speeds)
+        if failure_probabilities is None:
+            failure_probabilities = [0.0] * m
+        if len(failure_probabilities) != m:
+            raise InvalidPlatformError(
+                f"expected {m} failure probabilities, "
+                f"got {len(failure_probabilities)}"
+            )
+        procs = tuple(
+            Processor(
+                index=u + 1,
+                speed=float(speeds[u]),
+                failure_probability=float(failure_probabilities[u]),
+            )
+            for u in range(m)
+        )
+        topo = HeterogeneousTopology(in_bandwidths, out_bandwidths, link_bandwidths)
+        return cls(procs, topo)
+
+    def with_failure_probabilities(
+        self, failure_probabilities: Iterable[float]
+    ) -> "Platform":
+        """Copy of the platform with substituted failure probabilities."""
+        fps = list(failure_probabilities)
+        if len(fps) != self.size:
+            raise InvalidPlatformError(
+                f"expected {self.size} failure probabilities, got {len(fps)}"
+            )
+        procs = tuple(
+            Processor(
+                index=p.index,
+                speed=p.speed,
+                failure_probability=float(fp),
+                name=p.name,
+            )
+            for p, fp in zip(self.processors, fps)
+        )
+        return Platform(procs, self.topology)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Platform(m={self.size}, {self.platform_class.value}, "
+            f"{self.failure_class.value})"
+        )

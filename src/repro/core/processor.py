@@ -1,0 +1,78 @@
+"""Processor model (paper Section 2.1).
+
+A processor ``P_u`` is characterised by its speed ``s_u`` (it executes
+``X`` operations in ``X / s_u`` time units) and its failure probability
+``fp_u`` — the probability that the processor breaks down at some point
+during the (long) execution of the workflow.  The paper treats ``fp_u`` as
+a constant per-mission probability; see
+:mod:`repro.simulation.failures` for the time-resolved interpretation used
+by the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import InvalidPlatformError
+
+__all__ = ["Processor"]
+
+
+@dataclass(frozen=True, order=True)
+class Processor:
+    """A compute resource ``P_u`` of the target platform.
+
+    Attributes
+    ----------
+    index:
+        1-based identifier ``u`` within the platform.
+    speed:
+        Speed ``s_u > 0``; executing ``X`` operations takes ``X / s_u``.
+    failure_probability:
+        ``fp_u`` in ``[0, 1]``: the probability the processor fails at
+        some point while the workflow runs.
+    name:
+        Optional human-readable label.
+
+    The ordering (``order=True``) sorts by ``index`` first, which gives a
+    stable, deterministic ordering for processor sets throughout the
+    library.
+    """
+
+    index: int
+    speed: float
+    failure_probability: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise InvalidPlatformError(
+                f"processor index must be >= 1, got {self.index}"
+            )
+        if not self.speed > 0 or not math.isfinite(self.speed):
+            raise InvalidPlatformError(
+                f"P{self.index}: speed must be positive and finite, "
+                f"got {self.speed}"
+            )
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise InvalidPlatformError(
+                f"P{self.index}: failure probability must lie in [0, 1], "
+                f"got {self.failure_probability}"
+            )
+
+    @property
+    def reliability(self) -> float:
+        """Probability ``1 - fp_u`` that the processor survives the mission."""
+        return 1.0 - self.failure_probability
+
+    @property
+    def label(self) -> str:
+        """Display label: the explicit name if set, else ``P<u>``."""
+        return self.name or f"P{self.index}"
+
+    def execution_time(self, work: float) -> float:
+        """Time to execute ``work`` operations on this processor."""
+        if work < 0:
+            raise ValueError(f"work must be non-negative, got {work}")
+        return work / self.speed

@@ -1,0 +1,217 @@
+"""JSON-friendly serialisation of model objects.
+
+Round-trips applications, platforms and mappings through plain dicts so
+instances can be saved, versioned and shared (benchmark corpora,
+regression fixtures, external tooling).  Every ``*_to_dict`` /
+``*_from_dict`` pair is inverse-tested property-style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..exceptions import ReproError
+from .application import PipelineApplication
+from .mapping import GeneralMapping, IntervalMapping, StageInterval
+from .platform import Platform
+from .topology import HeterogeneousTopology, UniformTopology
+
+__all__ = [
+    "application_to_dict",
+    "application_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def application_to_dict(application: PipelineApplication) -> dict[str, Any]:
+    """Serialise an application to a JSON-compatible dict."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "application",
+        "works": list(application.works),
+        "volumes": list(application.volumes),
+        "stage_names": list(application.stage_names),
+    }
+
+
+def application_from_dict(data: Mapping[str, Any]) -> PipelineApplication:
+    """Inverse of :func:`application_to_dict`."""
+    _expect(data, "application")
+    names = data.get("stage_names") or None
+    return PipelineApplication(
+        works=data["works"], volumes=data["volumes"], stage_names=names
+    )
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Serialise a platform (uniform or heterogeneous topology)."""
+    out: dict[str, Any] = {
+        "schema": _SCHEMA_VERSION,
+        "kind": "platform",
+        "speeds": list(platform.speeds),
+        "failure_probabilities": list(platform.failure_probabilities),
+        "names": [p.name for p in platform.processors],
+    }
+    topo = platform.topology
+    if isinstance(topo, UniformTopology):
+        out["topology"] = {
+            "type": "uniform",
+            "bandwidth": topo.link_bandwidth,
+        }
+    elif isinstance(topo, HeterogeneousTopology):
+        from .topology import IN, OUT
+
+        m = platform.size
+        # diagonal entries are placeholders: the constructor ignores them
+        out["topology"] = {
+            "type": "heterogeneous",
+            "in_bandwidths": [topo.bandwidth(IN, u) for u in range(1, m + 1)],
+            "out_bandwidths": [
+                topo.bandwidth(u, OUT) for u in range(1, m + 1)
+            ],
+            "link_bandwidths": [
+                [
+                    1.0 if u == v else topo.bandwidth(u, v)
+                    for v in range(1, m + 1)
+                ]
+                for u in range(1, m + 1)
+            ],
+            "in_out_bandwidth": topo.bandwidth(IN, OUT),
+        }
+    else:  # pragma: no cover - no other topologies exist
+        raise ReproError(f"cannot serialise topology {type(topo).__name__}")
+    return out
+
+
+def platform_from_dict(data: Mapping[str, Any]) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    _expect(data, "platform")
+    topo = data["topology"]
+    speeds = data["speeds"]
+    fps = data["failure_probabilities"]
+    if topo["type"] == "uniform":
+        platform = Platform.communication_homogeneous(
+            speeds, bandwidth=topo["bandwidth"], failure_probabilities=fps
+        )
+    elif topo["type"] == "heterogeneous":
+        from .platform import Platform as _P
+
+        platform = _P(
+            processors=Platform.communication_homogeneous(
+                speeds, failure_probabilities=fps
+            ).processors,
+            topology=HeterogeneousTopology(
+                topo["in_bandwidths"],
+                topo["out_bandwidths"],
+                topo["link_bandwidths"],
+                topo.get("in_out_bandwidth"),
+            ),
+        )
+    else:
+        raise ReproError(f"unknown topology type {topo['type']!r}")
+    names = data.get("names")
+    if names and any(names):
+        from .processor import Processor
+
+        platform = Platform(
+            tuple(
+                Processor(
+                    index=p.index,
+                    speed=p.speed,
+                    failure_probability=p.failure_probability,
+                    name=name,
+                )
+                for p, name in zip(platform.processors, names)
+            ),
+            platform.topology,
+        )
+    return platform
+
+
+def mapping_to_dict(
+    mapping: IntervalMapping | GeneralMapping,
+) -> dict[str, Any]:
+    """Serialise a mapping (interval or general)."""
+    if isinstance(mapping, IntervalMapping):
+        return {
+            "schema": _SCHEMA_VERSION,
+            "kind": "interval-mapping",
+            "intervals": [[iv.start, iv.end] for iv in mapping.intervals],
+            "allocations": [sorted(a) for a in mapping.allocations],
+        }
+    if isinstance(mapping, GeneralMapping):
+        return {
+            "schema": _SCHEMA_VERSION,
+            "kind": "general-mapping",
+            "assignment": list(mapping.assignment),
+        }
+    raise ReproError(f"cannot serialise mapping {type(mapping).__name__}")
+
+
+def mapping_from_dict(
+    data: Mapping[str, Any],
+) -> IntervalMapping | GeneralMapping:
+    """Inverse of :func:`mapping_to_dict`."""
+    kind = data.get("kind")
+    if kind == "interval-mapping":
+        return IntervalMapping(
+            [StageInterval(s, e) for s, e in data["intervals"]],
+            [set(a) for a in data["allocations"]],
+        )
+    if kind == "general-mapping":
+        return GeneralMapping(data["assignment"])
+    raise ReproError(f"unknown mapping kind {kind!r}")
+
+
+def instance_to_dict(
+    application: PipelineApplication,
+    platform: Platform,
+    mapping: IntervalMapping | GeneralMapping | None = None,
+) -> dict[str, Any]:
+    """Bundle a whole problem instance (optionally with a mapping)."""
+    out = {
+        "schema": _SCHEMA_VERSION,
+        "kind": "instance",
+        "application": application_to_dict(application),
+        "platform": platform_to_dict(platform),
+    }
+    if mapping is not None:
+        out["mapping"] = mapping_to_dict(mapping)
+    return out
+
+
+def instance_from_dict(
+    data: Mapping[str, Any],
+) -> tuple[
+    PipelineApplication,
+    Platform,
+    IntervalMapping | GeneralMapping | None,
+]:
+    """Inverse of :func:`instance_to_dict`."""
+    _expect(data, "instance")
+    mapping = (
+        mapping_from_dict(data["mapping"]) if "mapping" in data else None
+    )
+    return (
+        application_from_dict(data["application"]),
+        platform_from_dict(data["platform"]),
+        mapping,
+    )
+
+
+def _expect(data: Mapping[str, Any], kind: str) -> None:
+    got = data.get("kind")
+    if got != kind:
+        raise ReproError(f"expected a serialised {kind!r}, got {got!r}")
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported schema version {data.get('schema')!r} "
+            f"(this library writes version {_SCHEMA_VERSION})"
+        )

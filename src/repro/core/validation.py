@@ -1,0 +1,67 @@
+"""Cross-object validation: does a mapping fit an application and platform?
+
+Structural rules internal to a mapping (consecutive intervals, disjoint
+non-empty allocations) are enforced by the mapping constructors; this
+module checks *compatibility*: the mapping must cover exactly the
+application's stages and reference only processors that exist on the
+platform.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidMappingError
+from .application import PipelineApplication
+from .mapping import GeneralMapping, IntervalMapping
+from .platform import Platform
+
+__all__ = ["validate_mapping", "is_valid_mapping"]
+
+
+def validate_mapping(
+    mapping: IntervalMapping | GeneralMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> None:
+    """Raise :class:`InvalidMappingError` unless the mapping is compatible.
+
+    Checks performed:
+
+    * the mapping covers exactly ``application.num_stages`` stages;
+    * every referenced processor index exists on the platform;
+    * (interval mappings) the total number of enrolled processors does not
+      exceed ``m`` — implied by disjointness + index validity, re-checked
+      for defence in depth.
+    """
+    n = application.num_stages
+    if mapping.num_stages != n:
+        raise InvalidMappingError(
+            f"mapping covers {mapping.num_stages} stages but the "
+            f"application has {n}"
+        )
+    used = mapping.used_processors
+    for u in used:
+        if not 1 <= u <= platform.size:
+            raise InvalidMappingError(
+                f"mapping references processor P{u} but the platform has "
+                f"only P1..P{platform.size}"
+            )
+    if isinstance(mapping, IntervalMapping):
+        total_enrolled = sum(mapping.replication_counts)
+        if total_enrolled > platform.size:
+            raise InvalidMappingError(
+                f"mapping enrolls {total_enrolled} processor slots but the "
+                f"platform has only {platform.size} processors"
+            )
+
+
+def is_valid_mapping(
+    mapping: IntervalMapping | GeneralMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> bool:
+    """Boolean form of :func:`validate_mapping`."""
+    try:
+        validate_mapping(mapping, application, platform)
+    except InvalidMappingError:
+        return False
+    return True

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the main
+subsystems: model construction, mapping validation, solver execution and
+simulation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidApplicationError",
+    "InvalidPlatformError",
+    "InvalidMappingError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class InvalidApplicationError(ReproError):
+    """A pipeline application description is malformed.
+
+    Raised for non-positive stage counts, negative work amounts or
+    negative communication volumes.
+    """
+
+
+class InvalidPlatformError(ReproError):
+    """A platform description is malformed.
+
+    Raised for non-positive processor speeds or bandwidths, failure
+    probabilities outside ``[0, 1]``, or inconsistent topology matrices.
+    """
+
+
+class InvalidMappingError(ReproError):
+    """A mapping does not respect the model rules of the paper.
+
+    The interval-mapping rules (paper Section 2.2) are: the intervals must
+    partition ``[1..n]`` into consecutive, non-empty runs; each interval
+    must be replicated on a non-empty set of processors; and the processor
+    sets of distinct intervals must be disjoint.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """No mapping satisfies the requested threshold(s).
+
+    Raised e.g. by Algorithm 1 when even a single processor exceeds the
+    latency bound, or by Algorithm 2 when replicating on every processor
+    still misses the failure-probability bound.
+    """
+
+
+class SolverError(ReproError):
+    """A solver was invoked outside its domain of validity.
+
+    For example, running Algorithm 3 (which assumes a Communication
+    Homogeneous platform with homogeneous failures) on a Fully
+    Heterogeneous platform.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,20 @@
+"""Extensions beyond the paper's core results.
+
+Currently: the throughput/period axis sketched in the paper's conclusion
+(Section 5), including round-robin data-parallel replication and its
+reliability cost.
+"""
+
+from .throughput import (
+    round_robin_dataset_failure_probability,
+    round_robin_period,
+    steady_state_period,
+    throughput,
+)
+
+__all__ = [
+    "steady_state_period",
+    "round_robin_period",
+    "round_robin_dataset_failure_probability",
+    "throughput",
+]

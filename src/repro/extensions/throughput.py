@@ -1,0 +1,200 @@
+"""Throughput/period metrics — the paper's future-work axis (Section 5).
+
+The conclusion sketches the three-criteria problem (latency, reliability,
+throughput) and distinguishes two replication flavours:
+
+* **reliability replication** (this paper): every replica of an interval
+  processes *every* data set; throughput is bounded by the serialized
+  fan-out and the slowest replica;
+* **round-robin (data-parallel) replication**: replicas alternate data
+  sets, multiplying throughput at the price of per-data-set reliability.
+
+This module provides steady-state period formulas for both flavours under
+the one-port model, mirroring the treatment of the cited latency/
+throughput literature ([16], [5], [4]); the discrete-event engine
+(:func:`repro.simulation.pipeline.simulate_stream`) cross-checks them
+operationally (experiment E15).
+
+Period model (reliability replication)
+--------------------------------------
+In steady state each resource must absorb one data set per period ``P``:
+
+* ``P_in``'s port serializes the ``k_1`` input copies:
+  ``k_1 * delta_0 / b_{in,*}`` per data set;
+* the *sender* replica ``u`` of interval ``j`` pays, per data set, its
+  own input, its compute, and the serialized fan-out to the next
+  interval: ``delta_{d_j-1}/b + W_j/s_u + sum_v delta_{e_j}/b_{u,v}``;
+* a non-sender replica pays input + compute only.
+
+``period = max`` over all resources, taking the adversarial (worst
+surviving sender) choice per interval, consistent with eq. (2)'s worst
+case.  Round-robin replication divides each replica's load by ``k_j``
+(it only sees every ``k_j``-th data set) but the designated *receiver*
+rotates, so the upstream sender still pays one transfer per data set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.metrics import failure_probability
+from ..core.platform import Platform
+from ..core.topology import IN, OUT, Node
+from ..core.validation import validate_mapping
+
+__all__ = [
+    "steady_state_period",
+    "round_robin_period",
+    "round_robin_dataset_failure_probability",
+    "throughput",
+]
+
+
+def _interval_sender_load(
+    application: PipelineApplication,
+    platform: Platform,
+    mapping: IntervalMapping,
+    j: int,
+    u: int,
+    per_dataset_fraction: float = 1.0,
+    single_copy_sends: bool = False,
+) -> float:
+    """Per-period load of replica ``u`` acting as interval ``j``'s sender.
+
+    ``single_copy_sends`` models round-robin replication downstream: the
+    sender ships *one* copy per data set (to the rotating designee, worst
+    link assumed) instead of the full serialized fan-out.
+    """
+    iv = mapping.intervals[j]
+    topo = platform.topology
+    prev: Node = IN if j == 0 else sorted(mapping.allocations[j - 1])[0]
+    receive = topo.transfer_time(application.volume(iv.start - 1), prev, u)
+    compute = application.interval_work(iv.start, iv.end) / platform.speed(u)
+    if j + 1 < mapping.num_intervals:
+        targets: list[Node] = sorted(mapping.allocations[j + 1])
+    else:
+        targets = [OUT]
+    send_terms = [
+        topo.transfer_time(application.volume(iv.end), u, v) for v in targets
+    ]
+    sends = max(send_terms) if single_copy_sends else sum(send_terms)
+    return per_dataset_fraction * (receive + compute + sends)
+
+
+def steady_state_period(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> float:
+    """Worst-case steady-state period under reliability replication.
+
+    Every replica receives and computes every data set; per interval the
+    adversarial surviving sender (the one with the largest cycle) is
+    assumed, mirroring the latency formulas' worst case.
+    """
+    validate_mapping(mapping, application, platform)
+    topo = platform.topology
+    candidates: list[float] = []
+    # P_in's port: k_1 serialized copies per data set
+    first = sorted(mapping.allocations[0])
+    candidates.append(
+        sum(topo.transfer_time(application.input_size, IN, u) for u in first)
+    )
+    # P_out's port
+    last_senders = sorted(mapping.allocations[-1])
+    candidates.append(
+        max(
+            topo.transfer_time(application.output_size, u, OUT)
+            for u in last_senders
+        )
+    )
+    for j in range(mapping.num_intervals):
+        worst = -math.inf
+        for u in sorted(mapping.allocations[j]):
+            worst = max(
+                worst,
+                _interval_sender_load(application, platform, mapping, j, u),
+            )
+        candidates.append(worst)
+    return max(candidates)
+
+
+def round_robin_period(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> float:
+    """Steady-state period when replicas alternate data sets (round-robin).
+
+    Replica ``u`` of an interval with ``k_j`` replicas only handles every
+    ``k_j``-th data set, so its per-period load divides by ``k_j``; every
+    sender (``P_in`` included) ships *one* copy per data set — to the
+    rotating designated replica — instead of the serialized ``k`` copies
+    of reliability replication.
+    """
+    validate_mapping(mapping, application, platform)
+    topo = platform.topology
+    candidates: list[float] = []
+    first = sorted(mapping.allocations[0])
+    candidates.append(
+        max(topo.transfer_time(application.input_size, IN, u) for u in first)
+    )
+    last = sorted(mapping.allocations[-1])
+    candidates.append(
+        max(topo.transfer_time(application.output_size, u, OUT) for u in last)
+    )
+    for j in range(mapping.num_intervals):
+        k_j = len(mapping.allocations[j])
+        worst = -math.inf
+        for u in sorted(mapping.allocations[j]):
+            worst = max(
+                worst,
+                _interval_sender_load(
+                    application,
+                    platform,
+                    mapping,
+                    j,
+                    u,
+                    1.0 / k_j,
+                    single_copy_sends=True,
+                ),
+            )
+        candidates.append(worst)
+    return max(candidates)
+
+
+def round_robin_dataset_failure_probability(
+    mapping: IntervalMapping, platform: Platform
+) -> float:
+    """Per-data-set failure probability under round-robin replication.
+
+    A data set is lost when *its designated replica* in some interval is
+    down; averaging over the rotation, the per-interval loss probability
+    is the mean ``fp`` of the replicas (not the product!) — the
+    reliability price of data-parallel replication that the paper's
+    conclusion points at.
+    """
+    success = 1.0
+    for alloc in mapping.allocations:
+        mean_fp = sum(
+            platform.failure_probability(u) for u in alloc
+        ) / len(alloc)
+        success *= 1.0 - mean_fp
+    return 1.0 - success
+
+
+def throughput(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    round_robin: bool = False,
+) -> float:
+    """Data sets per unit time: inverse of the steady-state period."""
+    if round_robin:
+        period = round_robin_period(mapping, application, platform)
+    else:
+        period = steady_state_period(mapping, application, platform)
+    return 1.0 / period if period > 0 else math.inf

@@ -1,0 +1,37 @@
+"""Executable NP-hardness reductions (paper Theorems 3 and 7).
+
+Each gadget builder converts a classic NP-complete instance into an
+instance of the paper's mapping problems using the library's own model
+types; exact solvers on both sides make the polynomial equivalences
+machine-checkable on concrete instances.
+"""
+
+from .tsp import (
+    TSPInstance,
+    build_one_to_one_gadget,
+    random_tsp_instance,
+    solve_hamiltonian_path,
+    verify_tsp_reduction,
+)
+from .two_partition import (
+    TwoPartitionInstance,
+    build_bicriteria_gadget,
+    feasible_replica_set,
+    random_two_partition_instance,
+    solve_two_partition,
+    verify_two_partition_reduction,
+)
+
+__all__ = [
+    "TSPInstance",
+    "build_one_to_one_gadget",
+    "solve_hamiltonian_path",
+    "verify_tsp_reduction",
+    "random_tsp_instance",
+    "TwoPartitionInstance",
+    "build_bicriteria_gadget",
+    "solve_two_partition",
+    "feasible_replica_set",
+    "verify_two_partition_reduction",
+    "random_two_partition_instance",
+]

@@ -1,0 +1,227 @@
+"""Theorem 7 gadget — 2-PARTITION reduces to the bi-criteria problem.
+
+The paper proves the Fully Heterogeneous bi-criteria decision problem
+("is there a mapping with latency <= L *and* failure probability <= FP?")
+NP-hard by reduction from 2-PARTITION:
+
+* integers ``a_1..a_m`` with total ``S`` become ``m`` unit-speed
+  processors with ``fp_j = exp(-a_j)``, input bandwidth
+  ``b_{in,j} = 1/a_j`` and output bandwidth ``b_{j,out} = 1``;
+* the application is a single stage, ``w = 1``, ``delta_0 = delta_1 = 1``;
+* thresholds: ``L = S/2 + 2`` and ``FP = exp(-S/2)``.
+
+A replication set ``I`` has latency ``sum_{j in I} a_j + 2`` (the
+serialized input sends dominate) and failure probability
+``exp(-sum_{j in I} a_j)`` — so both thresholds hold simultaneously iff
+``sum_{j in I} a_j = S/2`` exactly: an equal partition.
+
+This module builds the gadget from library types, solves 2-PARTITION
+exactly (subset-sum DP), resolves the mapping side by enumerating replica
+sets through the real eq. (2)/FP metrics, and checks the equivalence
+(experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.metrics import failure_probability, latency
+from ..core.platform import Platform
+from ..exceptions import ReproError
+
+__all__ = [
+    "TwoPartitionInstance",
+    "build_bicriteria_gadget",
+    "solve_two_partition",
+    "feasible_replica_set",
+    "verify_two_partition_reduction",
+    "random_two_partition_instance",
+]
+
+
+@dataclass(frozen=True)
+class TwoPartitionInstance:
+    """A 2-PARTITION decision instance: positive integers ``a_1..a_m``."""
+
+    values: tuple[int, ...]
+
+    def __init__(self, values: Sequence[int]) -> None:
+        vals = tuple(int(v) for v in values)
+        if len(vals) < 2:
+            raise ReproError("2-PARTITION needs at least two integers")
+        if any(v <= 0 for v in vals):
+            raise ReproError(f"values must be positive integers, got {vals}")
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def total(self) -> int:
+        """``S = sum a_i``."""
+        return sum(self.values)
+
+
+def build_bicriteria_gadget(
+    instance: TwoPartitionInstance,
+) -> tuple[PipelineApplication, Platform, float, float]:
+    """Materialise the Theorem 7 construction.
+
+    Returns ``(application, platform, latency_threshold, fp_threshold)``.
+    """
+    m = len(instance.values)
+    application = PipelineApplication(works=(1.0,), volumes=(1.0, 1.0))
+    platform = Platform.fully_heterogeneous(
+        speeds=[1.0] * m,
+        in_bandwidths=[1.0 / a for a in instance.values],
+        out_bandwidths=[1.0] * m,
+        link_bandwidths=[[1.0] * m for _ in range(m)],
+        failure_probabilities=[math.exp(-a) for a in instance.values],
+    )
+    S = instance.total
+    return application, platform, S / 2 + 2, math.exp(-S / 2)
+
+
+def solve_two_partition(
+    instance: TwoPartitionInstance,
+) -> tuple[bool, frozenset[int] | None]:
+    """Exact 2-PARTITION by subset-sum dynamic programming.
+
+    Returns ``(exists, subset)`` with the subset given as 0-based indices
+    summing to ``S/2`` (or ``None``).  Pseudo-polynomial
+    ``O(m · S)`` — exactly the weak NP-hardness structure of the problem.
+    """
+    S = instance.total
+    if S % 2 != 0:
+        return False, None
+    half = S // 2
+    # reachable[s] = index of a value last used to reach sum s (or -1)
+    reachable: list[int | None] = [None] * (half + 1)
+    reachable[0] = -1
+    order: list[list[int | None]] = [list(reachable)]
+    for idx, a in enumerate(instance.values):
+        new = list(reachable)
+        for s in range(half, a - 1, -1):
+            if reachable[s - a] is not None and new[s] is None:
+                new[s] = idx
+        reachable = new
+        order.append(list(reachable))
+    if reachable[half] is None:
+        return False, None
+    # reconstruct
+    subset: set[int] = set()
+    s = half
+    for idx in range(len(instance.values), 0, -1):
+        prev = order[idx - 1]
+        if prev[s] is not None:
+            continue  # sum s reachable without value idx-1
+        a = instance.values[idx - 1]
+        subset.add(idx - 1)
+        s -= a
+        if s == 0:
+            break
+    if sum(instance.values[i] for i in subset) != half:  # pragma: no cover
+        raise ReproError("subset-sum reconstruction failed")
+    return True, frozenset(subset)
+
+
+def feasible_replica_set(
+    instance: TwoPartitionInstance,
+    *,
+    use_metrics: bool = True,
+) -> tuple[bool, frozenset[int] | None]:
+    """Resolve the mapping side of the gadget exactly.
+
+    The gadget's application has a single stage, so every interval
+    mapping is a single interval with some replica set ``I``; we
+    enumerate all ``2^m - 1`` of them and evaluate the *library metrics*
+    (eq. (2) latency + FP) against the thresholds.  With
+    ``use_metrics=False`` the closed forms ``sum a + 2`` /
+    ``exp(-sum a)`` are used instead (fast path for large ``m``).
+
+    Returns ``(feasible, replica_set)`` (0-based indices).
+    """
+    application, platform, lat_thr, fp_thr = build_bicriteria_gadget(instance)
+    m = len(instance.values)
+    for k in range(1, m + 1):
+        for procs in combinations(range(1, m + 1), k):
+            if use_metrics:
+                mapping = IntervalMapping.single_interval(1, procs)
+                lat = latency(mapping, application, platform)
+                fp = failure_probability(mapping, platform)
+            else:
+                ssum = sum(instance.values[u - 1] for u in procs)
+                lat = ssum + 2.0
+                fp = math.exp(-ssum)
+            if lat <= lat_thr + 1e-9 and fp <= fp_thr * (1 + 1e-9):
+                return True, frozenset(u - 1 for u in procs)
+    return False, None
+
+
+def verify_two_partition_reduction(
+    instance: TwoPartitionInstance,
+) -> dict[str, object]:
+    """Machine-check the Theorem 7 equivalence on a concrete instance.
+
+    Solves 2-PARTITION by DP and the gadget by metric enumeration;
+    asserts the decisions agree, and when YES, that the mapping's replica
+    set sums to exactly ``S/2``.
+    """
+    exists, subset = solve_two_partition(instance)
+    feasible, replica = feasible_replica_set(instance)
+    if exists != feasible:
+        raise ReproError(
+            f"reduction equivalence violated: 2-PARTITION={exists} but "
+            f"gadget feasible={feasible} for values {instance.values}"
+        )
+    if feasible:
+        assert replica is not None
+        ssum = sum(instance.values[i] for i in replica)
+        if 2 * ssum != instance.total:
+            raise ReproError(
+                f"feasible replica set sums to {ssum}, expected "
+                f"{instance.total / 2}"
+            )
+    return {
+        "partition_exists": exists,
+        "partition_subset": subset,
+        "gadget_feasible": feasible,
+        "replica_set": replica,
+        "total": instance.total,
+    }
+
+
+def random_two_partition_instance(
+    num_values: int,
+    *,
+    seed: int | None = None,
+    value_range: tuple[int, int] = (1, 12),
+    force_yes: bool | None = None,
+) -> TwoPartitionInstance:
+    """Draw a random instance; optionally force a YES instance.
+
+    ``force_yes=True`` mirrors a random subset to guarantee an equal
+    partition; ``force_yes=False`` makes the total odd (a certain NO);
+    ``None`` leaves it to chance.
+    """
+    rng = random.Random(seed)
+    lo, hi = value_range
+    if force_yes:
+        half = [rng.randint(lo, hi) for _ in range(max(1, num_values // 2))]
+        values = list(half)
+        # mirror: add values that re-create the same sum on the other side
+        remaining = sum(half)
+        while remaining > 0 and len(values) < num_values - 1:
+            v = rng.randint(1, min(hi, remaining))
+            values.append(v)
+            remaining -= v
+        if remaining > 0:
+            values.append(remaining)
+        return TwoPartitionInstance(values)
+    values = [rng.randint(lo, hi) for _ in range(num_values)]
+    if force_yes is False and sum(values) % 2 == 0:
+        values[0] += 1
+    return TwoPartitionInstance(values)

@@ -1,0 +1,77 @@
+"""Simulation substrate: the platform of Section 2.1, made executable.
+
+The paper analyses an abstract platform (clique, linear-cost links,
+one-port contention, per-mission failure probabilities).  This subpackage
+implements exactly that model as a discrete-event system so that every
+closed-form prediction can be validated operationally:
+
+* :mod:`~repro.simulation.kernel` — generator-based DES core (events,
+  processes, FIFO resources);
+* :mod:`~repro.simulation.failures` — failure models reducing to the
+  paper's per-mission marginals;
+* :mod:`~repro.simulation.pipeline` — single-data-set replay (worst-case
+  == eqs. (1)/(2), realistic <= worst case) and multi-data-set streaming
+  with operational one-port enforcement;
+* :mod:`~repro.simulation.montecarlo` — vectorised estimators matching
+  the analytic FP and bounding realised latencies;
+* :mod:`~repro.simulation.trace` — execution traces + independent
+  one-port invariant checking.
+"""
+
+from .failures import (
+    BernoulliMissionModel,
+    ExponentialLifetimeModel,
+    FailureScenario,
+    all_fail_except,
+    no_failures,
+)
+from .kernel import AllOf, Event, Process, Resource, Simulator, Timeout
+from .montecarlo import (
+    LatencySample,
+    MonteCarloEstimate,
+    empirical_vs_analytic_fp,
+    estimate_failure_probability,
+    sample_latencies,
+)
+from .pipeline import (
+    DatasetOutcome,
+    ElectionPolicy,
+    StreamResult,
+    realized_latency,
+    simulate_stream,
+)
+from .trace import Trace, TraceEvent, TraceKind, check_dataflow, check_one_port
+
+__all__ = [
+    # kernel
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "Resource",
+    # failures
+    "FailureScenario",
+    "BernoulliMissionModel",
+    "ExponentialLifetimeModel",
+    "no_failures",
+    "all_fail_except",
+    # pipeline
+    "ElectionPolicy",
+    "DatasetOutcome",
+    "realized_latency",
+    "StreamResult",
+    "simulate_stream",
+    # monte carlo
+    "MonteCarloEstimate",
+    "estimate_failure_probability",
+    "LatencySample",
+    "sample_latencies",
+    "empirical_vs_analytic_fp",
+    # trace
+    "Trace",
+    "TraceEvent",
+    "TraceKind",
+    "check_one_port",
+    "check_dataflow",
+]

@@ -1,0 +1,183 @@
+"""Failure models: realising the paper's per-mission probabilities.
+
+The paper collapses the whole (long) execution into a single per-processor
+probability ``fp_u`` that the processor breaks down at *some* point.  Two
+concrete time-resolved models reduce to that marginal:
+
+* :class:`BernoulliMissionModel` — each processor is either dead for the
+  whole mission (probability ``fp_u``) or alive throughout.  This is the
+  exact semantics of the closed-form FP formula and the default for
+  Monte-Carlo validation.
+* :class:`ExponentialLifetimeModel` — processor ``u`` draws an
+  exponential lifetime with rate ``lambda_u = -ln(1 - fp_u) / T`` so that
+  ``P(lifetime <= T) = fp_u`` for mission length ``T``.  This gives the
+  simulator actual failure *times* (processors die mid-run), matching the
+  paper's remark that "the maximum latency will be determined by the
+  latency of the datasets which are processed after the failure".
+
+Both models produce a :class:`FailureScenario`: a concrete realisation of
+who fails and when.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..exceptions import SimulationError
+
+__all__ = [
+    "FailureScenario",
+    "FailureModel",
+    "BernoulliMissionModel",
+    "ExponentialLifetimeModel",
+    "no_failures",
+    "all_fail_except",
+]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A concrete failure realisation for one mission.
+
+    ``failure_times[u-1]`` is the instant processor ``u`` dies
+    (``math.inf`` = survives the mission).  A processor 'fails the
+    mission' iff its failure time is strictly below the mission length.
+    """
+
+    failure_times: tuple[float, ...]
+    mission_time: float = math.inf
+
+    def alive(self, u: int, at: float = 0.0) -> bool:
+        """Is processor ``u`` still up at time ``at``?"""
+        return self.failure_times[u - 1] > at
+
+    def survives_mission(self, u: int) -> bool:
+        """Does processor ``u`` survive the whole mission?"""
+        return self.failure_times[u - 1] >= self.mission_time
+
+    @property
+    def surviving_set(self) -> frozenset[int]:
+        """Processors (1-based) that survive the mission."""
+        return frozenset(
+            u + 1
+            for u, t in enumerate(self.failure_times)
+            if t >= self.mission_time
+        )
+
+    @property
+    def num_processors(self) -> int:
+        """Platform size this scenario spans."""
+        return len(self.failure_times)
+
+
+class FailureModel(Protocol):
+    """Anything that can draw failure scenarios for a platform."""
+
+    def draw(
+        self, platform: Platform, rng: np.random.Generator
+    ) -> FailureScenario:
+        """Draw one scenario."""
+        ...  # pragma: no cover
+
+    def draw_alive_matrix(
+        self, platform: Platform, trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised draws: bool array ``(trials, m)``, True = survives."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class BernoulliMissionModel:
+    """Dead-for-the-mission with probability ``fp_u`` (paper semantics)."""
+
+    mission_time: float = 1.0
+
+    def draw(
+        self, platform: Platform, rng: np.random.Generator
+    ) -> FailureScenario:
+        """One scenario: failed processors die at time 0."""
+        times = tuple(
+            0.0 if rng.random() < p.failure_probability else math.inf
+            for p in platform.processors
+        )
+        return FailureScenario(times, self.mission_time)
+
+    def draw_alive_matrix(
+        self, platform: Platform, trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``(trials, m)`` survival draws in one vectorised shot."""
+        fps = np.asarray(platform.failure_probabilities)
+        return rng.random((trials, platform.size)) >= fps
+
+
+@dataclass(frozen=True)
+class ExponentialLifetimeModel:
+    """Exponential lifetimes calibrated to the per-mission marginals.
+
+    ``P(fail before mission_time) = fp_u`` exactly; a processor with
+    ``fp_u = 0`` never fails, ``fp_u = 1`` fails at time 0.
+    """
+
+    mission_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.mission_time > 0:
+            raise SimulationError(
+                f"mission_time must be positive, got {self.mission_time}"
+            )
+
+    def rate(self, failure_probability: float) -> float:
+        """Failure rate ``lambda`` matching the mission marginal."""
+        if failure_probability >= 1.0:
+            return math.inf
+        if failure_probability <= 0.0:
+            return 0.0
+        return -math.log1p(-failure_probability) / self.mission_time
+
+    def draw(
+        self, platform: Platform, rng: np.random.Generator
+    ) -> FailureScenario:
+        """One scenario with real failure instants."""
+        times = []
+        for p in platform.processors:
+            lam = self.rate(p.failure_probability)
+            if lam == 0.0:
+                times.append(math.inf)
+            elif math.isinf(lam):
+                times.append(0.0)
+            else:
+                times.append(float(rng.exponential(1.0 / lam)))
+        return FailureScenario(tuple(times), self.mission_time)
+
+    def draw_alive_matrix(
+        self, platform: Platform, trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised survival draws (lifetime >= mission)."""
+        fps = np.asarray(platform.failure_probabilities)
+        # survival probability is 1 - fp regardless of the hazard shape
+        return rng.random((trials, platform.size)) >= fps
+
+
+def no_failures(platform: Platform, mission_time: float = math.inf) -> FailureScenario:
+    """Scenario in which every processor survives."""
+    return FailureScenario(
+        tuple(math.inf for _ in range(platform.size)), mission_time
+    )
+
+
+def all_fail_except(
+    platform: Platform,
+    survivors: Sequence[int],
+    mission_time: float = math.inf,
+) -> FailureScenario:
+    """Adversarial scenario: everything outside ``survivors`` dies at 0."""
+    keep = set(survivors)
+    times = tuple(
+        math.inf if (u + 1) in keep else 0.0 for u in range(platform.size)
+    )
+    return FailureScenario(times, mission_time)

@@ -1,0 +1,237 @@
+"""Minimal discrete-event simulation kernel (generator-based processes).
+
+A deliberately small SimPy-flavoured core: enough to model processors,
+one-port links and failure timelines without external dependencies.
+
+Concepts
+--------
+* :class:`Simulator` — the event loop; owns the clock and the pending
+  event heap.
+* :class:`Event` — a one-shot occurrence; processes *yield* events to
+  wait on them.  Triggering an event wakes every waiter at the current
+  simulation time.
+* :class:`Timeout` — an event scheduled ``delay`` time units ahead.
+* :class:`Process` — wraps a generator; each ``yield``ed event suspends
+  the process until the event fires.  A process is itself an event that
+  triggers when the generator returns (its value is the generator's
+  return value).
+* :class:`Resource` — FIFO counted resource (capacity ``c``); models a
+  processor's communication port (capacity 1 = the one-port rule).
+
+Determinism: the heap breaks time ties by insertion sequence number, so
+runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "AllOf", "Resource", "Simulator"]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event triggers.
+
+        If the event already triggered, the callback runs at the current
+        time (scheduled immediately).
+        """
+        if self.triggered:
+            self.sim._schedule_call(lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event now, waking all waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim._schedule_call(lambda fn=fn: fn(self))
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A generator-driven activity.
+
+    The generator yields :class:`Event` instances; each yield suspends
+    the process until that event fires (the event's ``value`` is sent
+    back into the generator).  When the generator returns, the process —
+    itself an event — triggers with the return value.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        sim._schedule_call(lambda: self._step(None))
+
+    def _step(self, sent: Any) -> None:
+        try:
+            target = self._gen.send(sent)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event "
+                f"instances"
+            )
+        target.add_callback(lambda ev: self._step(ev.value))
+
+
+class AllOf(Event):
+    """Conjunction event: fires once every constituent event has fired."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            sim._schedule_call(lambda: self.trigger([]))
+            return
+        for ev in events:
+            ev.add_callback(self._one_done)
+
+    def _one_done(self, _ev: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self.trigger(None)
+
+
+class Resource:
+    """FIFO counted resource.
+
+    ``capacity=1`` models a communication port under the one-port rule:
+    at most one transfer may involve the port at any instant.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Event] = []
+        self.name = name
+
+    def request(self) -> Event:
+        """Return an event that fires when a unit is granted."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.trigger(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a unit; the longest-waiting requester (if any) gets it."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            ev = self._waiters.pop(0)
+            ev.trigger(self)  # unit passes directly to the waiter
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiters)
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered pending heap."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None] | Event]] = []
+        self._seq = 0
+
+    # -- internal scheduling -------------------------------------------------
+    def _schedule_at(self, time: float, item: Callable[[], None] | Event) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, item))
+        self._seq += 1
+
+    def _schedule_call(self, fn: Callable[[], None]) -> None:
+        self._schedule_at(self.now, fn)
+
+    # -- public API ----------------------------------------------------------
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing ``delay`` units from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        """A bare event to be triggered manually."""
+        return Event(self)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Launch a generator as a process."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all given events have fired."""
+        return AllOf(self, events)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        """Create a counted FIFO resource."""
+        return Resource(self, capacity, name)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _, item = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            if isinstance(item, Event):
+                item.trigger()
+            else:
+                item()
+        return self.now

@@ -1,0 +1,171 @@
+"""Vectorised Monte-Carlo validation of the closed-form metrics.
+
+Following the hpc-parallel guideline of vectorising only the hot loop:
+the failure-probability estimator draws the full ``(trials, m)`` survival
+matrix in one numpy shot and reduces it with boolean algebra — no Python
+per-trial loop.  The latency sampler, which needs the per-scenario replay
+logic, loops in Python over (typically thousands of) trials and reuses
+:func:`repro.simulation.pipeline.realized_latency`.
+
+These estimators power experiment E12: the analytic FP must sit inside
+the Monte-Carlo confidence interval, and every realised latency must stay
+at or below the analytic worst case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .failures import BernoulliMissionModel, FailureModel, FailureScenario
+from .pipeline import ElectionPolicy, realized_latency
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.metrics import failure_probability
+from ..core.platform import Platform
+from ..core.validation import validate_mapping
+
+__all__ = [
+    "MonteCarloEstimate",
+    "estimate_failure_probability",
+    "LatencySample",
+    "sample_latencies",
+]
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """A Monte-Carlo mean with its sampling uncertainty."""
+
+    mean: float
+    stderr: float
+    trials: int
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def contains(self, value: float, *, z: float = 3.0) -> bool:
+        """Is ``value`` within ``z`` standard errors of the mean?
+
+        A ``z=3`` gate keeps the validation tests at a ~0.3% false-alarm
+        rate per check while still catching real formula errors.
+        """
+        slack = max(z * self.stderr, 1e-12)
+        return abs(value - self.mean) <= slack
+
+
+def estimate_failure_probability(
+    mapping: IntervalMapping,
+    platform: Platform,
+    *,
+    trials: int = 100_000,
+    rng: np.random.Generator | None = None,
+    model: FailureModel | None = None,
+) -> MonteCarloEstimate:
+    """Estimate FP by vectorised survival sampling.
+
+    Draws ``(trials, m)`` Bernoulli survivals, computes per-trial success
+    (every interval keeps at least one live replica) and returns the
+    failure frequency with its binomial standard error.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = rng if rng is not None else np.random.default_rng()
+    model = model if model is not None else BernoulliMissionModel()
+    alive = model.draw_alive_matrix(platform, trials, rng)  # (trials, m)
+    success = np.ones(trials, dtype=bool)
+    for alloc in mapping.allocations:
+        cols = [u - 1 for u in sorted(alloc)]
+        success &= alive[:, cols].any(axis=1)
+    fp_hat = 1.0 - float(success.mean())
+    stderr = math.sqrt(max(fp_hat * (1.0 - fp_hat), 0.0) / trials)
+    return MonteCarloEstimate(fp_hat, stderr, trials)
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Realised latencies over random failure scenarios."""
+
+    latencies: tuple[float, ...]  # successful runs only
+    failures: int
+    trials: int
+    worst_case: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of scenarios in which the pipeline completed."""
+        return 1.0 - self.failures / self.trials
+
+    @property
+    def max_latency(self) -> float:
+        """Largest realised latency (``-inf`` when all runs failed)."""
+        return max(self.latencies, default=-math.inf)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean realised latency (``nan`` when all runs failed)."""
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+
+def sample_latencies(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    trials: int = 1000,
+    rng: np.random.Generator | None = None,
+    model: FailureModel | None = None,
+    policy: ElectionPolicy = ElectionPolicy.FIRST_SURVIVOR,
+) -> LatencySample:
+    """Replay random failure scenarios and collect realised latencies.
+
+    The returned sample carries the analytic worst case
+    (:func:`repro.core.metrics.latency` via the WORST_CASE replay) so
+    callers can assert the bound ``max realised <= worst case``.
+    """
+    validate_mapping(mapping, application, platform)
+    rng = rng if rng is not None else np.random.default_rng()
+    model = model if model is not None else BernoulliMissionModel()
+    worst = realized_latency(
+        mapping, application, platform, policy=ElectionPolicy.WORST_CASE
+    ).latency
+    latencies: list[float] = []
+    failures = 0
+    for _ in range(trials):
+        scenario: FailureScenario = model.draw(platform, rng)
+        outcome = realized_latency(
+            mapping, application, platform, scenario, policy=policy
+        )
+        if outcome.success:
+            latencies.append(outcome.latency)
+        else:
+            failures += 1
+    return LatencySample(tuple(latencies), failures, trials, worst)
+
+
+def empirical_vs_analytic_fp(
+    mapping: IntervalMapping,
+    platform: Platform,
+    *,
+    trials: int = 100_000,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Convenience report comparing analytic FP with the MC estimate."""
+    analytic = failure_probability(mapping, platform)
+    estimate = estimate_failure_probability(
+        mapping, platform, trials=trials, rng=rng
+    )
+    return {
+        "analytic": analytic,
+        "estimate": estimate.mean,
+        "stderr": estimate.stderr,
+        "z": (estimate.mean - analytic) / max(estimate.stderr, 1e-300),
+        "trials": float(trials),
+    }

@@ -1,0 +1,442 @@
+"""Executing a mapped pipeline: analytic replay and discrete-event stream.
+
+Two complementary engines validate the paper's closed forms:
+
+* :func:`realized_latency` — an arithmetic replay of a *single* data
+  set's journey under a concrete failure scenario.  In
+  :attr:`ElectionPolicy.WORST_CASE` mode it mirrors the adversarial
+  assumptions behind eqs. (1)/(2) exactly (all ``k_j`` input sends
+  serialized, consensus barrier, critical replica elected) and therefore
+  must equal :func:`repro.core.metrics.latency` to the last bit — the
+  E12 identity check.  In :attr:`ElectionPolicy.FIRST_SURVIVOR` mode it
+  replays the realistic protocol (sends only to live replicas; the
+  earliest-finishing survivor is elected sender) and is provably no
+  slower than the worst case — the E12 bound check.
+
+* :func:`simulate_stream` — a full discrete-event simulation of many
+  data sets flowing through the mapping, with per-processor port
+  resources enforcing the one-port rule operationally, failure times
+  injected mid-run, and a complete :class:`~repro.simulation.trace.Trace`
+  for invariant checking.  Used for the latency/throughput/reliability
+  interplay experiments (E15) and as an independent cross-check of the
+  arithmetic replay (they must agree for a single data set).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Generator
+
+from .failures import FailureScenario, no_failures
+from .kernel import Event, Resource, Simulator
+from .trace import Trace, TraceEvent, TraceKind
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.platform import Platform
+from ..core.topology import IN, OUT, Node
+from ..core.validation import validate_mapping
+from ..exceptions import SimulationError
+
+__all__ = [
+    "ElectionPolicy",
+    "DatasetOutcome",
+    "realized_latency",
+    "StreamResult",
+    "simulate_stream",
+]
+
+
+class ElectionPolicy(enum.Enum):
+    """Which surviving replica performs an interval's outgoing sends."""
+
+    #: Adversarial semantics of eqs. (1)/(2): every replica is served,
+    #: computation starts after the full serialized fan-out (consensus
+    #: barrier) and the critical (slowest compute+send) replica is
+    #: elected.  Equals the analytic latency exactly.
+    WORST_CASE = "worst-case"
+
+    #: Realistic protocol: only live replicas are served, each starts
+    #: computing on arrival of its own input, and the earliest-finishing
+    #: survivor is elected sender.
+    FIRST_SURVIVOR = "first-survivor"
+
+
+@dataclass(frozen=True)
+class DatasetOutcome:
+    """Result of pushing one data set through a mapped pipeline."""
+
+    success: bool
+    latency: float
+    failed_interval: int | None = None
+
+
+def realized_latency(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    scenario: FailureScenario | None = None,
+    *,
+    policy: ElectionPolicy = ElectionPolicy.FIRST_SURVIVOR,
+) -> DatasetOutcome:
+    """Arithmetic replay of a single data set under a failure scenario.
+
+    ``scenario=None`` means no failures.  Mission-level (Bernoulli)
+    failure semantics: a replica participates iff it survives the whole
+    mission.
+    """
+    validate_mapping(mapping, application, platform)
+    topo = platform.topology
+    if scenario is None:
+        scenario = no_failures(platform)
+    if scenario.num_processors != platform.size:
+        raise SimulationError(
+            f"scenario spans {scenario.num_processors} processors, "
+            f"platform has {platform.size}"
+        )
+
+    if policy is ElectionPolicy.WORST_CASE:
+        return _worst_case_replay(mapping, application, platform)
+
+    # ---------------- first-survivor replay ---------------------------
+    p = mapping.num_intervals
+    clock = 0.0
+    sender: Node = IN
+    for j, (iv, alloc) in enumerate(mapping.items()):
+        live = sorted(u for u in alloc if scenario.survives_mission(u))
+        if not live:
+            return DatasetOutcome(False, math.inf, failed_interval=j + 1)
+        delta_in = application.volume(iv.start - 1)
+        work = application.interval_work(iv.start, iv.end)
+        # serialized sends from the elected upstream sender to live replicas
+        done_times: dict[int, float] = {}
+        t = clock
+        for u in live:
+            t += topo.transfer_time(delta_in, sender, u)
+            done_times[u] = t + work / platform.speed(u)
+        # elect the earliest-finishing survivor (ties: smallest index)
+        sender = min(live, key=lambda u: (done_times[u], u))
+        clock = done_times[sender]
+    clock += topo.transfer_time(application.output_size, sender, OUT)
+    return DatasetOutcome(True, clock)
+
+
+def _worst_case_replay(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+) -> DatasetOutcome:
+    """Barrier replay mirroring eq. (2) term-for-term (and eq. (1) on
+    uniform links, which is the same sum reassociated)."""
+    topo = platform.topology
+    p = mapping.num_intervals
+    first_alloc = sorted(mapping.allocations[0])
+    total = sum(
+        topo.transfer_time(application.input_size, IN, u) for u in first_alloc
+    )
+    for j, (iv, alloc) in enumerate(mapping.items()):
+        if j + 1 < p:
+            targets: list[Node] = sorted(mapping.allocations[j + 1])
+        else:
+            targets = [OUT]
+        delta_out = application.volume(iv.end)
+        work = application.interval_work(iv.start, iv.end)
+        worst = -math.inf
+        for u in sorted(alloc):
+            sends = sum(topo.transfer_time(delta_out, u, v) for v in targets)
+            worst = max(worst, work / platform.speed(u) + sends)
+        total += worst
+    return DatasetOutcome(True, total)
+
+
+# ----------------------------------------------------------------------
+# discrete-event stream simulation
+# ----------------------------------------------------------------------
+@dataclass
+class StreamResult:
+    """Outcome of a discrete-event stream run."""
+
+    completion_times: list[float]
+    outcomes: list[DatasetOutcome]
+    trace: Trace = field(repr=False, default_factory=Trace)
+
+    @property
+    def num_datasets(self) -> int:
+        """Data sets fed into the pipeline."""
+        return len(self.outcomes)
+
+    @property
+    def all_succeeded(self) -> bool:
+        """True when every data set completed."""
+        return all(o.success for o in self.outcomes)
+
+    @property
+    def max_latency(self) -> float:
+        """Worst per-data-set latency among successes (-inf when none)."""
+        return max(
+            (o.latency for o in self.outcomes if o.success),
+            default=-math.inf,
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-data-set latency among successes (nan when none)."""
+        vals = [o.latency for o in self.outcomes if o.success]
+        return sum(vals) / len(vals) if vals else math.nan
+
+    @property
+    def period(self) -> float:
+        """Average inter-completion spacing (steady-state period estimate).
+
+        ``nan`` with fewer than two successful completions.
+        """
+        done = sorted(t for t, o in zip(self.completion_times, self.outcomes) if o.success)
+        if len(done) < 2:
+            return math.nan
+        return (done[-1] - done[0]) / (len(done) - 1)
+
+    @property
+    def throughput(self) -> float:
+        """Completed data sets per unit time (inverse of :attr:`period`)."""
+        period = self.period
+        return 1.0 / period if period and not math.isnan(period) else math.nan
+
+
+class _StreamEngine:
+    """Process network for one stream run (implementation detail)."""
+
+    def __init__(
+        self,
+        mapping: IntervalMapping,
+        application: PipelineApplication,
+        platform: Platform,
+        scenario: FailureScenario,
+        num_datasets: int,
+        arrival_period: float,
+        round_robin: bool = False,
+    ) -> None:
+        self.mapping = mapping
+        self.app = application
+        self.platform = platform
+        self.scenario = scenario
+        self.num_datasets = num_datasets
+        self.arrival_period = arrival_period
+        self.round_robin = round_robin
+        self.sim = Simulator()
+        self.trace = Trace()
+        # one communication port per node (one-port rule)
+        self.ports: dict[Node, Resource] = {
+            IN: self.sim.resource(1, "port:in"),
+            OUT: self.sim.resource(1, "port:out"),
+        }
+        for u in range(1, platform.size + 1):
+            self.ports[u] = self.sim.resource(1, f"port:P{u}")
+        p = mapping.num_intervals
+        # arrival[j][u][d] -> Event delivering dataset d to replica u of I_j
+        self.arrival: list[dict[int, list[Event]]] = []
+        for alloc in mapping.allocations:
+            self.arrival.append(
+                {u: [self.sim.event() for _ in range(num_datasets)] for u in alloc}
+            )
+        # admitted[d] fires once dataset d's live sets / senders are frozen
+        # (or the dataset was rejected); replicas wait on it before acting.
+        self.admitted: list[Event] = [
+            self.sim.event() for _ in range(num_datasets)
+        ]
+        self.live_sets: list[list[list[int]]] = [
+            [[] for _ in range(p)] for _ in range(num_datasets)
+        ]
+        self.senders: list[list[int | None]] = [
+            [None] * p for _ in range(num_datasets)
+        ]
+        self.completions: list[float] = [math.nan] * num_datasets
+        self.admit_times: list[float] = [math.nan] * num_datasets
+        self.failed_at: list[int | None] = [None] * num_datasets
+
+    # -- helpers -------------------------------------------------------
+    def _port_order(self, a: Node, b: Node) -> tuple[Node, Node]:
+        def key(n: Node) -> tuple[int, int]:
+            if n is IN:
+                return (0, 0)
+            if n is OUT:
+                return (2, 0)
+            return (1, n)  # type: ignore[return-value]
+
+        return (a, b) if key(a) <= key(b) else (b, a)
+
+    def _transfer(
+        self, src: Node, dst: Node, size: float, dataset: int
+    ) -> Generator[Event, object, None]:
+        """Acquire both ports (global order → deadlock-free), hold, record."""
+        duration = self.platform.transfer_time(size, src, dst)
+        first, second = self._port_order(src, dst)
+        yield self.ports[first].request()
+        yield self.ports[second].request()
+        start = self.sim.now
+        yield self.sim.timeout(duration)
+        self.trace.record(
+            TraceEvent(
+                TraceKind.TRANSFER, start, self.sim.now, src, dst, dataset, size
+            )
+        )
+        self.ports[second].release()
+        self.ports[first].release()
+
+    def _alive_now(self, u: int) -> bool:
+        return self.scenario.alive(u, self.sim.now)
+
+    # -- processes -----------------------------------------------------
+    def _feeder(self) -> Generator[Event, object, None]:
+        """Inject data sets: serialized input sends to interval 1."""
+        for d in range(self.num_datasets):
+            if self.arrival_period > 0 and d > 0:
+                target = d * self.arrival_period
+                if target > self.sim.now:
+                    yield self.sim.timeout(target - self.sim.now)
+            self.admit_times[d] = self.sim.now
+            # freeze the live sets and senders for this data set now
+            ok = True
+            for j, alloc in enumerate(self.mapping.allocations):
+                live = sorted(u for u in alloc if self._alive_now(u))
+                if live and self.round_robin:
+                    # data-parallel replication: one designated replica
+                    # per data set, rotating over the full replica set —
+                    # the data set is lost if its designee is down.
+                    replicas = sorted(alloc)
+                    designee = replicas[d % len(replicas)]
+                    live = [designee] if designee in live else []
+                self.live_sets[d][j] = live
+                if not live:
+                    self.failed_at[d] = j + 1
+                    ok = False
+                    break
+                # the sender is elected at run time: the first replica to
+                # finish computing claims the forwarding duty (matches the
+                # FIRST_SURVIVOR arithmetic replay)
+            if not ok:
+                # rejected: clear all live sets so every replica skips d
+                self.live_sets[d] = [
+                    [] for _ in range(self.mapping.num_intervals)
+                ]
+                self.admitted[d].trigger(False)
+                continue
+            self.admitted[d].trigger(True)
+            for u in self.live_sets[d][0]:
+                yield from self._transfer(IN, u, self.app.input_size, d)
+                self.arrival[0][u][d].trigger(self.sim.now)
+
+    def _replica(self, j: int, u: int) -> Generator[Event, object, None]:
+        """Worker for replica ``u`` of interval ``j`` (0-based)."""
+        iv = self.mapping.intervals[j]
+        work = self.app.interval_work(iv.start, iv.end)
+        speed = self.platform.speed(u)
+        p = self.mapping.num_intervals
+        for d in range(self.num_datasets):
+            yield self.admitted[d]
+            if u not in self.live_sets[d][j]:
+                continue  # rejected data set, or replica dead at admission
+            yield self.arrival[j][u][d]
+            start = self.sim.now
+            yield self.sim.timeout(work / speed)
+            self.trace.record(
+                TraceEvent(TraceKind.COMPUTE, start, self.sim.now, u, u, d, work)
+            )
+            if self.senders[d][j] is None:
+                self.senders[d][j] = u  # first finisher claims the send
+            if self.senders[d][j] != u:
+                continue  # hot standby: computed, but does not forward
+            if j + 1 < p:
+                delta = self.app.volume(iv.end)
+                for v in self.live_sets[d][j + 1]:
+                    yield from self._transfer(u, v, delta, d)
+                    self.arrival[j + 1][v][d].trigger(self.sim.now)
+            else:
+                yield from self._transfer(u, OUT, self.app.output_size, d)
+                self.completions[d] = self.sim.now
+
+    def run(self) -> StreamResult:
+        """Launch all processes and drain the event loop."""
+        self.sim.process(self._feeder())
+        for j, alloc in enumerate(self.mapping.allocations):
+            for u in sorted(alloc):
+                self.sim.process(self._replica(j, u))
+        self.sim.run()
+        outcomes = []
+        for d in range(self.num_datasets):
+            if self.failed_at[d] is not None:
+                outcomes.append(
+                    DatasetOutcome(False, math.inf, self.failed_at[d])
+                )
+            elif math.isnan(self.completions[d]):
+                raise SimulationError(
+                    f"dataset {d} neither completed nor failed — "
+                    f"engine deadlock?"
+                )
+            else:
+                outcomes.append(
+                    DatasetOutcome(
+                        True, self.completions[d] - self.admit_times[d]
+                    )
+                )
+        return StreamResult(list(self.completions), outcomes, self.trace)
+
+
+def simulate_stream(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    num_datasets: int = 1,
+    scenario: FailureScenario | None = None,
+    arrival_period: float = 0.0,
+    round_robin: bool = False,
+) -> StreamResult:
+    """Discrete-event simulation of ``num_datasets`` flowing through
+    the mapped pipeline.
+
+    Parameters
+    ----------
+    scenario:
+        Failure realisation (default: no failures).  Liveness is
+        evaluated when each data set is admitted; processors that die
+        later in the run stop participating for subsequent data sets.
+    arrival_period:
+        Inter-arrival spacing of data sets at ``P_in``; ``0`` feeds the
+        next data set as soon as the input port frees up (back-to-back
+        streaming, the steady-state regime).
+    round_robin:
+        Use data-parallel (round-robin) replication instead of
+        reliability replication: each data set visits one rotating
+        designated replica per interval (paper Section 5's second
+        replication flavour; see :mod:`repro.extensions.throughput`).
+
+    Notes
+    -----
+    The engine follows the FIRST_SURVIVOR protocol with a deterministic
+    consensus pick (the lowest-indexed live replica forwards).  The
+    one-port rule is enforced operationally by per-node port resources
+    and re-checked on the trace by
+    :func:`repro.simulation.trace.check_one_port`.
+    """
+    validate_mapping(mapping, application, platform)
+    if num_datasets < 1:
+        raise SimulationError(
+            f"num_datasets must be >= 1, got {num_datasets}"
+        )
+    if arrival_period < 0:
+        raise SimulationError(
+            f"arrival_period must be non-negative, got {arrival_period}"
+        )
+    if scenario is None:
+        scenario = no_failures(platform)
+    engine = _StreamEngine(
+        mapping,
+        application,
+        platform,
+        scenario,
+        num_datasets,
+        arrival_period,
+        round_robin,
+    )
+    return engine.run()

@@ -1,0 +1,148 @@
+"""Execution traces and model-invariant checking.
+
+The simulator emits a flat list of :class:`TraceEvent` records (transfers
+and computations).  :func:`check_one_port` independently re-verifies the
+paper's one-port rule on the finished trace — a processor must never be
+involved in two overlapping communications — so the resource-based
+enforcement inside the engine is cross-checked rather than trusted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.topology import Endpoint, Node
+from ..exceptions import SimulationError
+
+__all__ = ["TraceKind", "TraceEvent", "Trace", "check_one_port", "check_dataflow"]
+
+
+class TraceKind(enum.Enum):
+    """Kinds of trace records."""
+
+    TRANSFER = "transfer"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed activity in a simulation run."""
+
+    kind: TraceKind
+    start: float
+    end: float
+    src: Node
+    dst: Node
+    dataset: int
+    amount: float  # bytes for transfers, operations for compute
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"trace event ends before it starts: {self}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Event length in simulated time units."""
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only record of simulator activity."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an event."""
+        self.events.append(event)
+
+    def transfers(self) -> list[TraceEvent]:
+        """All communication events, time-ordered."""
+        return sorted(
+            (e for e in self.events if e.kind is TraceKind.TRANSFER),
+            key=lambda e: (e.start, e.end),
+        )
+
+    def computations(self) -> list[TraceEvent]:
+        """All computation events, time-ordered."""
+        return sorted(
+            (e for e in self.events if e.kind is TraceKind.COMPUTE),
+            key=lambda e: (e.start, e.end),
+        )
+
+    def events_touching(self, node: Node) -> list[TraceEvent]:
+        """Events in which ``node`` participates (as src or dst)."""
+        return [e for e in self.events if e.src == node or e.dst == node]
+
+    @property
+    def makespan(self) -> float:
+        """Final completion time over all events (0 when empty)."""
+        return max((e.end for e in self.events), default=0.0)
+
+
+def check_one_port(trace: Trace, *, tolerance: float = 1e-12) -> None:
+    """Verify the one-port rule over a finished trace.
+
+    For every node (processors and the special ``P_in`` / ``P_out``), the
+    communications touching it must be pairwise non-overlapping: a node
+    is in at most one send *or* receive at any instant.  Zero-duration
+    transfers (empty messages) are exempt.
+
+    Raises
+    ------
+    SimulationError
+        On the first violation found.
+    """
+    by_node: dict[Node, list[TraceEvent]] = {}
+    for ev in trace.transfers():
+        if ev.duration <= tolerance:
+            continue
+        by_node.setdefault(ev.src, []).append(ev)
+        by_node.setdefault(ev.dst, []).append(ev)
+    for node, events in by_node.items():
+        events.sort(key=lambda e: (e.start, e.end))
+        for left, right in zip(events, events[1:]):
+            if right.start < left.end - tolerance:
+                raise SimulationError(
+                    f"one-port violation at node {node}: "
+                    f"[{left.start:.6g}, {left.end:.6g}] overlaps "
+                    f"[{right.start:.6g}, {right.end:.6g}]"
+                )
+
+
+def _is_endpoint(node: Node) -> bool:
+    return isinstance(node, Endpoint)
+
+
+def check_dataflow(trace: Trace, num_datasets: int) -> None:
+    """Sanity-check per-dataset causality in a trace.
+
+    For every dataset, events must be time-ordered along the pipeline:
+    each computation on a dataset must start no earlier than some
+    transfer delivering that dataset ended (except datasets originating
+    at ``P_in`` with zero-size input).  This is a coarse causality check
+    used by integration tests.
+    """
+    for d in range(num_datasets):
+        events = sorted(
+            (e for e in trace.events if e.dataset == d),
+            key=lambda e: (e.start, e.end),
+        )
+        for ev in events:
+            if ev.kind is TraceKind.COMPUTE and not _is_endpoint(ev.src):
+                arrivals: Iterable[TraceEvent] = (
+                    t
+                    for t in events
+                    if t.kind is TraceKind.TRANSFER and t.dst == ev.src
+                )
+                earliest = min((t.end for t in arrivals), default=None)
+                if earliest is not None and ev.start < earliest - 1e-12:
+                    raise SimulationError(
+                        f"dataset {d}: compute on {ev.src} starts at "
+                        f"{ev.start} before its first input arrives at "
+                        f"{earliest}"
+                    )

@@ -1,0 +1,38 @@
+"""Workloads: the paper's reference instances plus generators.
+
+* :mod:`~repro.workloads.reference` — the exact Section 3 examples with
+  their claimed numbers (Figures 3/4 and 5);
+* :mod:`~repro.workloads.jpeg` — the JPEG-encoder pipeline the paper's
+  introduction motivates;
+* :mod:`~repro.workloads.synthetic` — seeded random applications and
+  platforms for every platform class.
+"""
+
+from .jpeg import JPEG_STAGE_NAMES, jpeg_encoder_pipeline
+from .reference import (
+    Figure5Instance,
+    Figure34Instance,
+    figure5_instance,
+    figure34_instance,
+)
+from .synthetic import (
+    random_application,
+    random_comm_homogeneous,
+    random_fully_heterogeneous,
+    random_fully_homogeneous,
+    random_platform,
+)
+
+__all__ = [
+    "figure34_instance",
+    "Figure34Instance",
+    "figure5_instance",
+    "Figure5Instance",
+    "jpeg_encoder_pipeline",
+    "JPEG_STAGE_NAMES",
+    "random_application",
+    "random_fully_homogeneous",
+    "random_comm_homogeneous",
+    "random_fully_heterogeneous",
+    "random_platform",
+]

@@ -1,0 +1,99 @@
+"""A JPEG-encoder-shaped pipeline workload.
+
+The paper's introduction motivates pipeline workflows with digital image
+processing, naming JPEG encoding explicitly, and its companion study
+([3]: Benoit, Kosch, Rehn-Sonigo, Robert 2008) maps the JPEG encoder
+pipeline onto clusters.  We reproduce that workload *shape* from the
+standard algorithm structure (the companion report's exact cost tables
+are not available offline — see DESIGN.md substitution table):
+
+1. **scale/preprocess** — light compute over the full RGB frame;
+2. **colour-space conversion** (RGB -> YCbCr) — per-pixel arithmetic;
+3. **chroma subsampling** (4:2:0) — halves the data volume;
+4. **block split + forward DCT** — the compute hot spot;
+5. **quantisation** — per-coefficient division, moderate compute;
+6. **zig-zag + run-length encoding** — data-dependent, shrinks volume;
+7. **entropy (Huffman) coding** — table-driven, output is the compressed
+   stream (~10:1 on the original).
+
+Volumes fall monotonically after subsampling and collapse at the entropy
+stage; compute is front-loaded around the DCT.  Those two gradients are
+what make interval-mapping decisions interesting, and they are preserved
+by construction.
+"""
+
+from __future__ import annotations
+
+from ..core.application import PipelineApplication
+
+__all__ = ["jpeg_encoder_pipeline", "JPEG_STAGE_NAMES"]
+
+JPEG_STAGE_NAMES: tuple[str, ...] = (
+    "scale",
+    "rgb-to-ycbcr",
+    "subsample-420",
+    "block-dct",
+    "quantize",
+    "zigzag-rle",
+    "huffman",
+)
+
+#: per-pixel relative cost factors for each stage (operations per input
+#: pixel of that stage), reflecting the standard encoder structure:
+#: the DCT dominates, colour conversion and quantisation are moderate,
+#: the reorder/RLE and table lookups are cheap per byte.
+_WORK_PER_PIXEL: tuple[float, ...] = (1.0, 3.0, 0.5, 16.0, 2.0, 1.0, 2.5)
+
+#: data volume multipliers after each stage (relative to the stage input):
+#: scaling keeps size, conversion keeps size, 4:2:0 halves it, DCT and
+#: quantisation keep coefficient counts, RLE shrinks ~60%, Huffman ~50%
+#: of the RLE stream (net ~10:1 vs the raw frame).
+_VOLUME_FACTORS: tuple[float, ...] = (1.0, 1.0, 0.5, 1.0, 1.0, 0.4, 0.5)
+
+
+def jpeg_encoder_pipeline(
+    *,
+    width: int = 1920,
+    height: int = 1080,
+    bytes_per_pixel: float = 3.0,
+    work_scale: float = 1.0,
+) -> PipelineApplication:
+    """Build the 7-stage JPEG encoder pipeline for a given frame size.
+
+    Parameters
+    ----------
+    width, height:
+        Frame dimensions in pixels.
+    bytes_per_pixel:
+        Raw input depth (3 = 8-bit RGB).
+    work_scale:
+        Multiplies every stage's computation (calibrates the
+        communication-to-computation ratio against a platform's
+        speed/bandwidth units).
+
+    Returns
+    -------
+    PipelineApplication
+        ``n = 7`` stages with named stages, volumes in bytes and work in
+        scaled per-pixel operation counts.
+    """
+    if width < 1 or height < 1:
+        raise ValueError(f"frame must be non-empty, got {width}x{height}")
+    if bytes_per_pixel <= 0:
+        raise ValueError(
+            f"bytes_per_pixel must be positive, got {bytes_per_pixel}"
+        )
+    pixels = float(width * height)
+    volumes = [pixels * bytes_per_pixel]
+    for factor in _VOLUME_FACTORS:
+        volumes.append(volumes[-1] * factor)
+    # work of stage k is proportional to its *input* volume
+    works = [
+        work_scale * _WORK_PER_PIXEL[k] * volumes[k]
+        for k in range(len(_WORK_PER_PIXEL))
+    ]
+    return PipelineApplication(
+        works=tuple(works),
+        volumes=tuple(volumes),
+        stage_names=JPEG_STAGE_NAMES,
+    )

@@ -1,0 +1,122 @@
+"""The paper's concrete instances (Section 3 and the reduction examples).
+
+Each builder returns the exact application/platform pair printed in the
+paper, together with the numbers the paper claims — so tests and benches
+can assert digit-for-digit reproduction:
+
+* :func:`figure34_instance` — the two-stage pipeline of Figure 3 on the
+  Fully Heterogeneous platform of Figure 4.  Claims: latency 105 when the
+  whole pipeline sits on either single processor, latency 7 when split
+  across both.
+* :func:`figure5_instance` — the two-stage pipeline of Figure 5 on a
+  Communication Homogeneous platform (1 slow/reliable + 10
+  fast/unreliable processors).  Claims under latency threshold 22: best
+  single-interval FP = 0.64 (two fast replicas); the slow+fast split
+  reaches latency exactly 22 with FP = 1 - 0.9(1 - 0.8^10) < 0.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.platform import Platform
+
+__all__ = [
+    "Figure34Instance",
+    "figure34_instance",
+    "Figure5Instance",
+    "figure5_instance",
+]
+
+
+@dataclass(frozen=True)
+class Figure34Instance:
+    """The Figure 3 + Figure 4 example with its paper-claimed numbers."""
+
+    application: PipelineApplication
+    platform: Platform
+    single_processor_mappings: tuple[IntervalMapping, IntervalMapping]
+    split_mapping: IntervalMapping
+    #: latency of the whole pipeline on either processor (paper: 105)
+    claimed_single_latency: float = 105.0
+    #: latency of the two-interval split (paper: 7)
+    claimed_split_latency: float = 7.0
+
+
+def figure34_instance() -> Figure34Instance:
+    """Build the paper's Figure 3/4 motivating example.
+
+    Two stages with ``w = 2`` and ``delta = 100`` everywhere; two
+    unit-speed processors; fast (bandwidth 100) links along
+    ``P_in -> P1 -> P2 -> P_out`` and slow (bandwidth 1) links on
+    ``P_in -> P2`` and ``P1 -> P_out``.
+    """
+    application = PipelineApplication(works=(2.0, 2.0), volumes=(100.0, 100.0, 100.0))
+    platform = Platform.fully_heterogeneous(
+        speeds=[1.0, 1.0],
+        in_bandwidths=[100.0, 1.0],
+        out_bandwidths=[1.0, 100.0],
+        # the P1<->P2 link is fast; self-links are never used
+        link_bandwidths=[[1.0, 100.0], [100.0, 1.0]],
+    )
+    single_p1 = IntervalMapping.single_interval(2, {1})
+    single_p2 = IntervalMapping.single_interval(2, {2})
+    split = IntervalMapping([(1, 1), (2, 2)], [{1}, {2}])
+    return Figure34Instance(
+        application=application,
+        platform=platform,
+        single_processor_mappings=(single_p1, single_p2),
+        split_mapping=split,
+    )
+
+
+@dataclass(frozen=True)
+class Figure5Instance:
+    """The Figure 5 example with its paper-claimed numbers."""
+
+    application: PipelineApplication
+    platform: Platform
+    #: the best mapping restricted to one interval under the threshold
+    best_single_interval: IntervalMapping
+    #: the paper's two-interval solution (slow on S1, 10 fast on S2)
+    two_interval_mapping: IntervalMapping
+    latency_threshold: float = 22.0
+    #: FP of the best single-interval mapping (paper: 1-(1-0.8^2)=0.64)
+    claimed_single_interval_fp: float = 0.64
+    #: latency of the two-interval mapping (paper: 22)
+    claimed_two_interval_latency: float = 22.0
+    #: FP bound of the two-interval mapping (paper: < 0.2)
+    claimed_two_interval_fp_bound: float = 0.2
+
+    @property
+    def claimed_two_interval_fp(self) -> float:
+        """Exact value of the paper's expression ``1 - 0.9(1 - 0.8^10)``."""
+        return 1.0 - (1.0 - 0.1) * (1.0 - 0.8**10)
+
+
+def figure5_instance() -> Figure5Instance:
+    """Build the paper's Figure 5 motivating example.
+
+    Two stages (``w1 = 1``, ``w2 = 100``; ``delta_0 = 10``,
+    ``delta_1 = 1``, ``delta_2 = 0``) on 11 processors: ``P1`` slow and
+    reliable (speed 1, fp 0.1), ``P2..P11`` fast and unreliable (speed
+    100, fp 0.8), all links of bandwidth 1.
+    """
+    application = PipelineApplication(works=(1.0, 100.0), volumes=(10.0, 1.0, 0.0))
+    platform = Platform.communication_homogeneous(
+        speeds=[1.0] + [100.0] * 10,
+        bandwidth=1.0,
+        failure_probabilities=[0.1] + [0.8] * 10,
+    )
+    best_single = IntervalMapping.single_interval(2, {2, 3})
+    two_interval = IntervalMapping(
+        [(1, 1), (2, 2)], [{1}, set(range(2, 12))]
+    )
+    return Figure5Instance(
+        application=application,
+        platform=platform,
+        best_single_interval=best_single,
+        two_interval_mapping=two_interval,
+    )

@@ -1,0 +1,117 @@
+"""Branch-and-bound exact solver: equivalence with plain enumeration."""
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    branch_and_bound_minimize_fp,
+    branch_and_bound_minimize_latency,
+    exhaustive_minimize_fp,
+    exhaustive_minimize_latency,
+)
+from repro.core import IntervalMapping, latency
+from repro.exceptions import InfeasibleProblemError, SolverError
+from repro.workloads.reference import figure5_instance
+
+from ..conftest import make_instance
+
+
+def thresholds_for(app, plat):
+    base = latency(
+        IntervalMapping.single_interval(app.num_stages, {plat.fastest().index}),
+        app,
+        plat,
+    )
+    return [base, base * 1.5, base * 2.5, base * 5.0]
+
+
+class TestMinFP:
+    @pytest.mark.parametrize(
+        "kind",
+        ["fully-homogeneous", "comm-homogeneous", "comm-homogeneous-failhom"],
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exhaustive(self, kind, seed):
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        for threshold in thresholds_for(app, plat):
+            try:
+                bnb = branch_and_bound_minimize_fp(app, plat, threshold)
+            except InfeasibleProblemError:
+                with pytest.raises(InfeasibleProblemError):
+                    exhaustive_minimize_fp(app, plat, threshold)
+                continue
+            exact = exhaustive_minimize_fp(app, plat, threshold)
+            assert bnb.failure_probability == pytest.approx(
+                exact.failure_probability, abs=1e-12
+            )
+            assert bnb.latency <= threshold * (1 + 1e-9)
+
+    def test_figure5_two_interval_optimum(self):
+        inst = figure5_instance()
+        result = branch_and_bound_minimize_fp(
+            inst.application, inst.platform, inst.latency_threshold
+        )
+        assert result.failure_probability == pytest.approx(
+            inst.claimed_two_interval_fp, rel=1e-12
+        )
+        assert result.mapping.num_intervals == 2
+
+    def test_prunes_versus_exhaustive(self):
+        """The point of the bounds: far fewer nodes than full enumeration."""
+        inst = figure5_instance()
+        bnb = branch_and_bound_minimize_fp(
+            inst.application, inst.platform, inst.latency_threshold
+        )
+        exact = exhaustive_minimize_fp(
+            inst.application, inst.platform, inst.latency_threshold
+        )
+        assert bnb.extras["explored"] < exact.extras["explored"] / 10
+
+    def test_infeasible(self):
+        inst = figure5_instance()
+        with pytest.raises(InfeasibleProblemError):
+            branch_and_bound_minimize_fp(
+                inst.application, inst.platform, 0.01
+            )
+
+    def test_rejects_heterogeneous_links(self, het_platform, small_app):
+        with pytest.raises(SolverError):
+            branch_and_bound_minimize_fp(small_app, het_platform, 100.0)
+
+
+class TestMinLatency:
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "comm-homogeneous-failhom"]
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exhaustive(self, kind, seed):
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        for fp_threshold in (1.0, 0.5, 0.2, 0.05):
+            try:
+                bnb = branch_and_bound_minimize_latency(
+                    app, plat, fp_threshold
+                )
+            except InfeasibleProblemError:
+                with pytest.raises(InfeasibleProblemError):
+                    exhaustive_minimize_latency(app, plat, fp_threshold)
+                continue
+            exact = exhaustive_minimize_latency(app, plat, fp_threshold)
+            assert bnb.latency == pytest.approx(exact.latency, rel=1e-9)
+            assert bnb.failure_probability <= fp_threshold * (1 + 1e-9)
+
+    def test_trivial_threshold_is_theorem2(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=9)
+        result = branch_and_bound_minimize_latency(app, plat, 1.0)
+        from repro.algorithms.mono import minimize_latency_comm_homogeneous
+
+        assert result.latency == pytest.approx(
+            minimize_latency_comm_homogeneous(app, plat).latency, rel=1e-12
+        )
+
+    def test_infeasible(self):
+        app, plat = make_instance("comm-homogeneous", n=2, m=3, seed=2)
+        tiny = 1e-12
+        try:
+            branch_and_bound_minimize_latency(app, plat, tiny)
+        except InfeasibleProblemError:
+            with pytest.raises(InfeasibleProblemError):
+                exhaustive_minimize_latency(app, plat, tiny)

@@ -1,0 +1,92 @@
+"""Tests for interval-mapping latency on Fully Heterogeneous platforms
+(the paper's open problem, Section 4.1)."""
+
+import pytest
+
+from repro.algorithms.bicriteria import enumerate_evaluations
+from repro.algorithms.mono import (
+    minimize_latency_general,
+    minimize_latency_interval_exact,
+    minimize_latency_interval_heuristic,
+)
+from repro.exceptions import SolverError
+from repro.workloads.synthetic import (
+    random_application,
+    random_fully_heterogeneous,
+)
+
+from ..conftest import make_instance
+
+
+def exhaustive_interval_optimum(app, plat):
+    """Best latency over all interval mappings (replication included —
+    it never wins, which the assertion below double-checks)."""
+    return min(ev.latency for ev in enumerate_evaluations(app, plat))
+
+
+class TestExactBranchAndBound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exhaustive(self, seed):
+        app, plat = make_instance("fully-heterogeneous", n=3, m=4, seed=seed)
+        result = minimize_latency_interval_exact(app, plat)
+        assert result.latency == pytest.approx(
+            exhaustive_interval_optimum(app, plat), rel=1e-12
+        )
+        assert not result.mapping.uses_replication
+
+    def test_figure34(self, fig34):
+        result = minimize_latency_interval_exact(
+            fig34.application, fig34.platform
+        )
+        assert result.latency == pytest.approx(7.0)
+        assert result.mapping.num_intervals == 2
+
+    def test_size_guards(self):
+        app = random_application(13, seed=1)
+        plat = random_fully_heterogeneous(4, seed=2)
+        with pytest.raises(SolverError):
+            minimize_latency_interval_exact(app, plat)
+
+    def test_at_least_general_relaxation(self):
+        """General mappings relax interval mappings: SP value is a lower
+        bound on the interval optimum."""
+        for seed in range(5):
+            app, plat = make_instance(
+                "fully-heterogeneous", n=4, m=4, seed=seed
+            )
+            lower = minimize_latency_general(app, plat).latency
+            exact = minimize_latency_interval_exact(app, plat).latency
+            assert exact >= lower - 1e-9
+
+
+class TestShortestPathHeuristic:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_certified_results_match_exact(self, seed):
+        app, plat = make_instance("fully-heterogeneous", n=4, m=5, seed=seed)
+        heur = minimize_latency_interval_heuristic(app, plat)
+        exact = minimize_latency_interval_exact(app, plat)
+        if heur.extras.get("certified"):
+            assert heur.latency == pytest.approx(exact.latency, rel=1e-12)
+        else:
+            assert heur.latency >= exact.latency - 1e-9
+        assert heur.latency >= heur.extras["lower_bound"] - 1e-9
+
+    def test_figure34_certified(self, fig34):
+        heur = minimize_latency_interval_heuristic(
+            fig34.application, fig34.platform
+        )
+        assert heur.extras["certified"]
+        assert heur.latency == pytest.approx(7.0)
+
+    def test_repair_produces_valid_interval_mapping(self):
+        # hunt for an instance where the SP path is not interval-compatible
+        for seed in range(60):
+            app, plat = make_instance(
+                "fully-heterogeneous", n=5, m=4, seed=seed
+            )
+            heur = minimize_latency_interval_heuristic(app, plat)
+            if not heur.extras.get("certified"):
+                assert heur.mapping.num_stages == app.num_stages
+                assert not heur.mapping.uses_replication
+                return
+        pytest.skip("no repair-needing instance found in the seed range")

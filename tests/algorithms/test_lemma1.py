@@ -1,0 +1,105 @@
+"""Machine-checked Lemma 1: single-interval dominance.
+
+On Fully Homogeneous platforms (any failure probabilities) and on
+Communication Homogeneous / Failure Homogeneous platforms, the paper's
+Lemma 1 constructs, from *any* interval mapping, a single-interval
+mapping that is at least as good on **both** criteria.  We re-implement
+the two constructions from the proof and property-check the dominance on
+random mappings; we also verify the Figure 5 counterexample (Comm. Hom. +
+Failure *Heterogeneous*) where the lemma genuinely fails.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    IntervalMapping,
+    failure_probability,
+    latency,
+)
+from repro.workloads.reference import figure5_instance
+
+from ..strategies import (
+    app_platform_mapping,
+    comm_homogeneous_platforms,
+    fully_homogeneous_platforms,
+)
+
+
+def lemma1_fully_homogeneous(mapping, platform):
+    """Proof construction, Fully Homogeneous case: replicate the whole
+    pipeline on the k0 most reliable processors, k0 = |alloc(1)|."""
+    k0 = len(mapping.allocations[0])
+    most_reliable = [
+        p.index for p in platform.by_reliability_descending()[:k0]
+    ]
+    return IntervalMapping.single_interval(mapping.num_stages, most_reliable)
+
+
+def lemma1_comm_homogeneous(mapping, platform):
+    """Proof construction, Comm. Hom. + Failure Hom. case: replicate on
+    the k fastest processors, k = min_j |alloc(j)|."""
+    k = min(len(a) for a in mapping.allocations)
+    fastest = [p.index for p in platform.by_speed_descending()[:k]]
+    return IntervalMapping.single_interval(mapping.num_stages, fastest)
+
+
+@given(app_platform_mapping(fully_homogeneous_platforms(max_processors=6)))
+@settings(max_examples=200, deadline=None)
+def test_lemma1_dominance_fully_homogeneous(triple):
+    app, platform, mapping = triple
+    single = lemma1_fully_homogeneous(mapping, platform)
+    assert latency(single, app, platform) <= (
+        latency(mapping, app, platform) + 1e-9
+    )
+    assert failure_probability(single, platform) <= (
+        failure_probability(mapping, platform) + 1e-12
+    )
+
+
+@given(
+    app_platform_mapping(
+        comm_homogeneous_platforms(max_processors=6, failure_homogeneous=True)
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_lemma1_dominance_comm_homogeneous_failure_homogeneous(triple):
+    app, platform, mapping = triple
+    single = lemma1_comm_homogeneous(mapping, platform)
+    assert latency(single, app, platform) <= (
+        latency(mapping, app, platform) + 1e-9
+    )
+    assert failure_probability(single, platform) <= (
+        failure_probability(mapping, platform) + 1e-12
+    )
+
+
+def test_lemma1_fails_on_failure_heterogeneous():
+    """Figure 5: no single-interval mapping under L=22 gets close to the
+    two-interval optimum's FP — the lemma cannot be extended."""
+    fig5 = figure5_instance()
+    app, plat = fig5.application, fig5.platform
+    two = fig5.two_interval_mapping
+    fp_two = failure_probability(two, plat)
+    assert latency(two, app, plat) <= fig5.latency_threshold + 1e-9
+
+    from repro.algorithms.heuristics import single_interval_candidates
+
+    feasible_single_fps = [
+        c.failure_probability
+        for c in single_interval_candidates(app, plat)
+        if c.latency <= fig5.latency_threshold + 1e-9
+    ]
+    assert min(feasible_single_fps) == pytest.approx(0.64, abs=1e-12)
+    assert fp_two < min(feasible_single_fps)
+
+
+def test_lemma1_construction_matches_paper_structure(fig5):
+    """Sanity of the proof helpers on a concrete mapping."""
+    mapping = IntervalMapping([(1, 1), (2, 2)], [{2, 3}, {4, 5, 6}])
+    single = lemma1_comm_homogeneous(mapping, fig5.platform)
+    assert single.is_single_interval
+    assert len(single.allocations[0]) == 2  # min(2, 3)
+    # the two fastest processors are fast ones (speed 100)
+    speeds = {fig5.platform.speed(u) for u in single.allocations[0]}
+    assert speeds == {100.0}

@@ -1,0 +1,138 @@
+"""Tests for the mono-criterion solvers (Theorems 1, 2, 4)."""
+
+import pytest
+
+from repro.algorithms.bicriteria import enumerate_evaluations
+from repro.algorithms.mono import (
+    minimize_failure_probability,
+    minimize_latency_comm_homogeneous,
+    minimize_latency_general,
+    minimize_latency_general_bruteforce,
+)
+from repro.core import Platform, failure_probability, latency
+from repro.exceptions import SolverError
+from repro.workloads.synthetic import random_application
+
+from ..conftest import make_instance
+
+
+class TestTheorem1MinFP:
+    def test_uses_every_processor(self, small_app, comm_hom_platform):
+        result = minimize_failure_probability(small_app, comm_hom_platform)
+        assert result.mapping.is_single_interval
+        assert result.mapping.used_processors == frozenset({1, 2, 3, 4})
+        assert result.optimal
+
+    def test_fp_is_product_of_all(self, small_app):
+        plat = Platform.fully_homogeneous(
+            3, failure_probabilities=[0.5, 0.2, 0.1]
+        )
+        result = minimize_failure_probability(small_app, plat)
+        assert result.failure_probability == pytest.approx(0.5 * 0.2 * 0.1)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "fully-homogeneous",
+            "fully-homogeneous-failhet",
+            "comm-homogeneous",
+            "fully-heterogeneous",
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_exhaustive_on_all_platform_classes(self, kind, seed):
+        """Theorem 1's claim: optimal on *every* platform type."""
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        result = minimize_failure_probability(app, plat)
+        best = min(
+            ev.failure_probability
+            for ev in enumerate_evaluations(app, plat)
+        )
+        assert result.failure_probability == pytest.approx(best, abs=1e-12)
+
+
+class TestTheorem2MinLatency:
+    def test_fastest_single_processor(self, small_app, comm_hom_platform):
+        result = minimize_latency_comm_homogeneous(
+            small_app, comm_hom_platform
+        )
+        assert result.mapping.is_single_interval
+        assert result.mapping.used_processors == frozenset({1})  # speed 3.0
+        assert not result.mapping.uses_replication
+
+    @pytest.mark.parametrize(
+        "kind", ["fully-homogeneous", "comm-homogeneous"]
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_exhaustive(self, kind, seed):
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        result = minimize_latency_comm_homogeneous(app, plat)
+        best = min(ev.latency for ev in enumerate_evaluations(app, plat))
+        assert result.latency == pytest.approx(best, rel=1e-12)
+
+    def test_rejects_heterogeneous_platform(self, small_app, het_platform):
+        with pytest.raises(SolverError):
+            minimize_latency_comm_homogeneous(small_app, het_platform)
+
+
+class TestTheorem4GeneralMapping:
+    def test_figure34_split(self, fig34):
+        result = minimize_latency_general(fig34.application, fig34.platform)
+        assert result.latency == pytest.approx(7.0)
+        assert result.extras["interval_compatible"]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce_fully_heterogeneous(self, seed):
+        app, plat = make_instance("fully-heterogeneous", n=4, m=4, seed=seed)
+        dp = minimize_latency_general(app, plat)
+        brute = minimize_latency_general_bruteforce(app, plat)
+        assert dp.latency == pytest.approx(brute.latency, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reduces_to_theorem2_on_comm_hom(self, seed):
+        """On uniform links the optimal general mapping is one processor."""
+        app, plat = make_instance("comm-homogeneous", n=4, m=4, seed=seed)
+        dp = minimize_latency_general(app, plat)
+        thm2 = minimize_latency_comm_homogeneous(app, plat)
+        assert dp.latency == pytest.approx(thm2.latency, rel=1e-12)
+
+    def test_dp_value_matches_metric(self, het_platform):
+        app = random_application(4, seed=99)
+        result = minimize_latency_general(app, het_platform)
+        assert result.extras["dp_value"] == pytest.approx(
+            result.latency, rel=1e-9
+        )
+
+    def test_networkx_cross_check(self, het_platform):
+        """The layered-graph export agrees with an independent SP solver."""
+        import networkx as nx
+
+        from repro.algorithms.mono import layered_graph_edges
+
+        app = random_application(4, seed=123)
+        graph = nx.DiGraph()
+        for src, dst, weight in layered_graph_edges(app, het_platform):
+            graph.add_edge(src, dst, weight=weight)
+        nx_length = nx.shortest_path_length(
+            graph, ("in",), ("out",), weight="weight"
+        )
+        dp = minimize_latency_general(app, het_platform)
+        assert dp.latency == pytest.approx(nx_length, rel=1e-9)
+
+    def test_graph_size_matches_paper(self, het_platform):
+        """Paper: n*m + 2 vertices and (n-1)m^2 + 2m edges."""
+        from repro.algorithms.mono import layered_graph_edges
+
+        app = random_application(3, seed=5)
+        n, m = 3, het_platform.size
+        edges = list(layered_graph_edges(app, het_platform))
+        assert len(edges) == (n - 1) * m * m + 2 * m
+        vertices = {e[0] for e in edges} | {e[1] for e in edges}
+        assert len(vertices) == n * m + 2
+
+    def test_bruteforce_cap(self, het_platform):
+        app = random_application(12, seed=1)
+        with pytest.raises(SolverError):
+            minimize_latency_general_bruteforce(
+                app, het_platform, max_search_space=100
+            )

@@ -1,0 +1,90 @@
+"""Tests for the local-search neighbourhood over interval mappings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.heuristics import (
+    neighbors,
+    random_mapping,
+    random_neighbor,
+)
+from repro.core import IntervalMapping
+
+from ..strategies import interval_mappings
+
+
+class TestNeighbors:
+    def test_all_neighbors_valid(self):
+        mapping = IntervalMapping([(1, 2), (3, 4)], [{1, 2}, {3}])
+        for nb in neighbors(mapping, num_processors=5):
+            assert isinstance(nb, IntervalMapping)
+            assert nb.num_stages == 4
+
+    def test_merge_reaches_single_interval(self):
+        mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, {2}])
+        merged = [
+            nb for nb in neighbors(mapping, 2) if nb.is_single_interval
+        ]
+        assert merged
+        assert merged[0].allocations[0] == frozenset({1, 2})
+
+    def test_split_present_for_multistage_interval(self):
+        mapping = IntervalMapping.single_interval(3, {1, 2})
+        splits = [
+            nb for nb in neighbors(mapping, 4) if nb.num_intervals == 2
+        ]
+        assert splits
+
+    def test_add_and_drop_replicas(self):
+        mapping = IntervalMapping.single_interval(2, {1, 2})
+        sizes = {
+            len(nb.allocations[0])
+            for nb in neighbors(mapping, 3)
+            if nb.is_single_interval
+        }
+        assert 1 in sizes  # drop
+        assert 3 in sizes  # add
+
+    def test_shift_moves_boundary(self):
+        mapping = IntervalMapping([(1, 2), (3, 3)], [{1}, {2}])
+        boundaries = {
+            tuple(iv.end for iv in nb.intervals)
+            for nb in neighbors(mapping, 2)
+            if nb.num_intervals == 2
+        }
+        assert (1, 3) in boundaries
+
+    @given(
+        interval_mappings(num_stages=4, num_processors=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_neighbor_always_valid(self, mapping, seed):
+        rng = random.Random(seed)
+        nb = random_neighbor(mapping, 5, rng)
+        assert isinstance(nb, IntervalMapping)
+        assert nb.num_stages == mapping.num_stages
+        assert all(1 <= u <= 5 for u in nb.used_processors)
+
+    def test_single_stage_single_processor_fixed_point(self):
+        mapping = IntervalMapping.single_interval(1, {1})
+        rng = random.Random(0)
+        nb = random_neighbor(mapping, 1, rng)
+        assert nb == mapping
+
+
+class TestRandomMapping:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_random_mapping_valid(self, seed):
+        rng = random.Random(seed)
+        mapping = random_mapping(4, 6, rng)
+        assert mapping.num_stages == 4
+        assert all(1 <= u <= 6 for u in mapping.used_processors)
+
+    def test_deterministic_given_seed(self):
+        a = random_mapping(5, 5, random.Random(99))
+        b = random_mapping(5, 5, random.Random(99))
+        assert a == b

@@ -1,0 +1,104 @@
+"""Tests for the one-to-one latency solvers (Theorem 3 context)."""
+
+import pytest
+
+from repro.algorithms.mono import (
+    minimize_latency_one_to_one_exact,
+    minimize_latency_one_to_one_greedy,
+    one_to_one_local_search,
+)
+from repro.core import IntervalMapping, enumerate_one_to_one_mappings, latency
+from repro.exceptions import SolverError
+from repro.workloads.synthetic import (
+    random_application,
+    random_fully_heterogeneous,
+)
+
+
+def brute_force_optimum(app, plat):
+    return min(
+        latency(m, app, plat)
+        for m in enumerate_one_to_one_mappings(app.num_stages, plat.size)
+    )
+
+
+class TestHeldKarpExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce(self, seed):
+        app = random_application(4, seed=seed)
+        plat = random_fully_heterogeneous(5, seed=seed + 100)
+        result = minimize_latency_one_to_one_exact(app, plat)
+        assert result.mapping.is_one_to_one
+        assert result.latency == pytest.approx(
+            brute_force_optimum(app, plat), rel=1e-12
+        )
+
+    def test_n_equals_m(self):
+        app = random_application(5, seed=7)
+        plat = random_fully_heterogeneous(5, seed=17)
+        result = minimize_latency_one_to_one_exact(app, plat)
+        assert result.mapping.used_processors == frozenset(range(1, 6))
+        assert result.latency == pytest.approx(
+            brute_force_optimum(app, plat), rel=1e-12
+        )
+
+    def test_single_stage(self):
+        app = random_application(1, seed=3)
+        plat = random_fully_heterogeneous(4, seed=13)
+        result = minimize_latency_one_to_one_exact(app, plat)
+        assert result.latency == pytest.approx(
+            brute_force_optimum(app, plat), rel=1e-12
+        )
+
+    def test_rejects_n_gt_m(self):
+        app = random_application(4, seed=1)
+        plat = random_fully_heterogeneous(3, seed=2)
+        with pytest.raises(SolverError):
+            minimize_latency_one_to_one_exact(app, plat)
+
+    def test_rejects_huge_m(self):
+        app = random_application(2, seed=1)
+        plat = random_fully_heterogeneous(19, seed=2)
+        with pytest.raises(SolverError):
+            minimize_latency_one_to_one_exact(app, plat)
+
+    def test_latency_recomputed_through_metric(self):
+        app = random_application(3, seed=21)
+        plat = random_fully_heterogeneous(4, seed=22)
+        result = minimize_latency_one_to_one_exact(app, plat)
+        assert result.latency == pytest.approx(
+            latency(result.mapping, app, plat), rel=1e-12
+        )
+
+
+class TestGreedyAndLocalSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_greedy_within_search_space(self, seed):
+        app = random_application(3, seed=seed)
+        plat = random_fully_heterogeneous(5, seed=seed + 50)
+        result = minimize_latency_one_to_one_greedy(app, plat)
+        assert result.mapping.is_one_to_one
+        assert result.latency >= brute_force_optimum(app, plat) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_local_search_never_worse_than_greedy(self, seed):
+        app = random_application(3, seed=seed)
+        plat = random_fully_heterogeneous(5, seed=seed + 50)
+        greedy = minimize_latency_one_to_one_greedy(app, plat)
+        improved = one_to_one_local_search(app, plat, seed=seed)
+        assert improved.latency <= greedy.latency + 1e-9
+
+    def test_local_search_from_explicit_start(self):
+        app = random_application(3, seed=9)
+        plat = random_fully_heterogeneous(4, seed=19)
+        result = one_to_one_local_search(app, plat, start=[1, 2, 3], seed=0)
+        start_latency = latency(
+            IntervalMapping.one_to_one([1, 2, 3]), app, plat
+        )
+        assert result.latency <= start_latency + 1e-9
+
+    def test_local_search_rejects_bad_start(self):
+        app = random_application(3, seed=9)
+        plat = random_fully_heterogeneous(4, seed=19)
+        with pytest.raises(SolverError):
+            one_to_one_local_search(app, plat, start=[1, 1, 2])

@@ -1,0 +1,108 @@
+"""Tests for frontier computation and gap metrics."""
+
+import pytest
+
+from repro.analysis import (
+    exact_frontier,
+    frontier_fp_gap,
+    latency_grid,
+    single_interval_frontier,
+    sweep_frontier,
+)
+from repro.algorithms.heuristics import (
+    greedy_minimize_fp,
+    local_search_minimize_fp,
+    single_interval_minimize_fp,
+)
+from repro.core import BiCriteriaPoint
+
+from ..conftest import make_instance
+
+
+class TestExactFrontier:
+    def test_non_dominated_and_sorted(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=0)
+        front = exact_frontier(app, plat)
+        lats = [p.latency for p in front]
+        fps = [p.failure_probability for p in front]
+        assert lats == sorted(lats)
+        assert fps == sorted(fps, reverse=True)
+        assert front  # never empty
+
+    def test_figure5_contains_paper_solution(self, fig5):
+        front = exact_frontier(fig5.application, fig5.platform)
+        target = (22.0, fig5.claimed_two_interval_fp)
+        assert any(
+            p.latency <= target[0] + 1e-9
+            and p.failure_probability <= target[1] + 1e-12
+            for p in front
+        )
+
+
+class TestSingleIntervalFrontier:
+    def test_subset_of_exact_on_failhom(self):
+        """With homogeneous failures (Lemma 1 domain) the single-interval
+        frontier must match the exact frontier."""
+        app, plat = make_instance(
+            "comm-homogeneous-failhom", n=3, m=4, seed=1
+        )
+        exact = exact_frontier(app, plat)
+        single = single_interval_frontier(app, plat)
+        gap = frontier_fp_gap(exact, single)
+        assert gap["match_rate"] == 1.0
+
+    def test_gap_positive_on_figure5(self, fig5):
+        exact = exact_frontier(fig5.application, fig5.platform)
+        single = single_interval_frontier(fig5.application, fig5.platform)
+        gap = frontier_fp_gap(exact, single)
+        assert gap["max_fp_excess"] > 0.1  # the 0.64-vs-0.197 effect
+
+
+class TestSweepFrontier:
+    @pytest.mark.parametrize(
+        "solver",
+        [
+            single_interval_minimize_fp,
+            greedy_minimize_fp,
+            local_search_minimize_fp,
+        ],
+    )
+    def test_sweep_produces_valid_frontier(self, solver):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=2)
+        front = sweep_frontier(app, plat, solver, num_points=8)
+        assert front
+        lats = [p.latency for p in front]
+        assert lats == sorted(lats)
+
+    def test_local_search_sweep_close_to_exact(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=3)
+        exact = exact_frontier(app, plat)
+        approx = sweep_frontier(
+            app, plat, local_search_minimize_fp, num_points=10
+        )
+        gap = frontier_fp_gap(exact, approx)
+        assert gap["mean_fp_excess"] < 0.1
+
+    def test_latency_grid_spans_candidates(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=4)
+        grid = latency_grid(app, plat, num_points=5)
+        assert len(grid) == 5
+        assert grid == sorted(grid)
+
+
+class TestGapMetric:
+    def test_identical_frontiers_have_zero_gap(self):
+        front = [BiCriteriaPoint(1.0, 0.5), BiCriteriaPoint(2.0, 0.2)]
+        gap = frontier_fp_gap(front, list(front))
+        assert gap["mean_fp_excess"] == 0.0
+        assert gap["match_rate"] == 1.0
+
+    def test_missing_budget_counts_as_worst(self):
+        ref = [BiCriteriaPoint(1.0, 0.5)]
+        cand = [BiCriteriaPoint(5.0, 0.1)]  # infeasible at budget 1.0
+        gap = frontier_fp_gap(ref, cand)
+        assert gap["max_fp_excess"] == pytest.approx(0.5)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_fp_gap([], [BiCriteriaPoint(1.0, 0.5)])

@@ -1,0 +1,47 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.analysis import format_frontier, format_mapping_row, format_table
+from repro.core import BiCriteriaPoint
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ("name", "value"), [("a", 1.0), ("long-name", 123.456)]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.123456789,)])
+        assert "0.123457" in out
+
+    def test_custom_float_format(self):
+        out = format_table(("x",), [(0.5,)], float_format="{:.1f}")
+        assert "0.5" in out
+
+    def test_non_float_cells(self):
+        out = format_table(("a", "b"), [(1, "text")])
+        assert "text" in out
+
+
+class TestFrontierFormatting:
+    def test_format_frontier(self):
+        pts = [
+            BiCriteriaPoint(1.0, 0.5, payload="m1"),
+            BiCriteriaPoint(2.0, 0.25, payload="m2"),
+        ]
+        out = format_frontier(pts, title="test front")
+        assert "test front (2 points)" in out
+        assert "m1" in out and "m2" in out
+
+    def test_none_payload(self):
+        out = format_frontier([BiCriteriaPoint(1.0, 0.5)])
+        assert "-" in out
+
+    def test_mapping_row(self):
+        row = format_mapping_row("label", 1.5, 0.25, "MAP")
+        assert "label" in row and "MAP" in row
+        assert "1.5000" in row and "0.250000" in row

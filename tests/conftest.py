@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's reference instances and random factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.reference import figure5_instance, figure34_instance
+from repro.workloads.synthetic import (
+    random_application,
+    random_comm_homogeneous,
+    random_fully_heterogeneous,
+    random_fully_homogeneous,
+)
+
+
+@pytest.fixture
+def fig34():
+    """The paper's Figure 3/4 example (Fully Heterogeneous split case)."""
+    return figure34_instance()
+
+
+@pytest.fixture
+def fig5():
+    """The paper's Figure 5 example (Comm. Homogeneous, Failure Het.)."""
+    return figure5_instance()
+
+
+@pytest.fixture
+def small_app():
+    """A fixed three-stage application with mixed costs."""
+    from repro.core import PipelineApplication
+
+    return PipelineApplication(works=(4.0, 6.0, 2.0), volumes=(8.0, 4.0, 4.0, 2.0))
+
+
+@pytest.fixture
+def hom_platform():
+    """A fixed Fully Homogeneous platform (6 processors)."""
+    from repro.core import Platform
+
+    return Platform.fully_homogeneous(
+        6, speed=2.0, bandwidth=4.0, failure_probability=0.3
+    )
+
+
+@pytest.fixture
+def comm_hom_platform():
+    """A fixed Communication Homogeneous / Failure Homogeneous platform."""
+    from repro.core import Platform
+
+    return Platform.communication_homogeneous(
+        [3.0, 2.0, 1.0, 2.5], bandwidth=4.0, failure_probabilities=[0.4] * 4
+    )
+
+
+@pytest.fixture
+def het_platform():
+    """A fixed small Fully Heterogeneous platform (4 processors)."""
+    return random_fully_heterogeneous(4, seed=1234)
+
+
+def make_instance(kind: str, n: int, m: int, seed: int):
+    """Build a (application, platform) pair for a platform-kind string."""
+    app = random_application(n, seed=seed)
+    if kind == "fully-homogeneous":
+        plat = random_fully_homogeneous(m, seed=seed + 1)
+    elif kind == "fully-homogeneous-failhet":
+        plat = random_fully_homogeneous(
+            m, seed=seed + 1, failure_heterogeneous=True
+        )
+    elif kind == "comm-homogeneous":
+        plat = random_comm_homogeneous(m, seed=seed + 1)
+    elif kind == "comm-homogeneous-failhom":
+        plat = random_comm_homogeneous(
+            m, seed=seed + 1, failure_homogeneous=True
+        )
+    elif kind == "fully-heterogeneous":
+        plat = random_fully_heterogeneous(m, seed=seed + 1)
+    else:
+        raise ValueError(kind)
+    return app, plat

@@ -1,0 +1,155 @@
+"""Unit tests for the pipeline application model."""
+
+import pytest
+
+from repro.core import PipelineApplication, Stage
+from repro.exceptions import InvalidApplicationError
+
+
+class TestStage:
+    def test_basic_fields(self):
+        s = Stage(index=2, work=5.0, input_size=3.0, output_size=1.0, name="dct")
+        assert s.index == 2
+        assert s.work == 5.0
+        assert s.label == "dct"
+
+    def test_default_label(self):
+        assert Stage(index=3, work=1, input_size=1, output_size=1).label == "S3"
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=0, work=1, input_size=1, output_size=1)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=-1, input_size=1, output_size=1)
+
+    def test_rejects_negative_volumes(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=1, input_size=-1, output_size=1)
+        with pytest.raises(InvalidApplicationError):
+            Stage(index=1, work=1, input_size=1, output_size=-2)
+
+
+class TestPipelineApplication:
+    def test_basic_accessors(self):
+        app = PipelineApplication(works=(2, 3), volumes=(10, 5, 1))
+        assert app.num_stages == 2
+        assert app.work(1) == 2.0
+        assert app.work(2) == 3.0
+        assert app.volume(0) == 10.0
+        assert app.volume(2) == 1.0
+        assert app.input_size == 10.0
+        assert app.output_size == 1.0
+        assert app.total_work == 5.0
+
+    def test_interval_work(self):
+        app = PipelineApplication(works=(1, 2, 3, 4), volumes=(0, 0, 0, 0, 0))
+        assert app.interval_work(1, 4) == 10.0
+        assert app.interval_work(2, 3) == 5.0
+        assert app.interval_work(3, 3) == 3.0
+
+    def test_interval_work_rejects_empty(self):
+        app = PipelineApplication(works=(1, 2), volumes=(0, 0, 0))
+        with pytest.raises(IndexError):
+            app.interval_work(2, 1)
+
+    def test_stage_materialisation(self):
+        app = PipelineApplication(
+            works=(2, 3), volumes=(10, 5, 1), stage_names=("a", "b")
+        )
+        s2 = app.stage(2)
+        assert s2.input_size == 5.0
+        assert s2.output_size == 1.0
+        assert s2.name == "b"
+        assert [s.index for s in app.stages()] == [1, 2]
+
+    def test_stage_index_bounds(self):
+        app = PipelineApplication(works=(1,), volumes=(1, 1))
+        with pytest.raises(IndexError):
+            app.work(0)
+        with pytest.raises(IndexError):
+            app.work(2)
+        with pytest.raises(IndexError):
+            app.volume(3)
+
+    def test_rejects_empty_pipeline(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(works=(), volumes=(1,))
+
+    def test_rejects_volume_count_mismatch(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(works=(1, 2), volumes=(1, 2))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(works=(-1,), volumes=(1, 1))
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(works=(1,), volumes=(1, -1))
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication(works=(1,), volumes=(1, 1), stage_names=("a", "b"))
+
+    def test_zero_volumes_allowed(self):
+        # the paper's Figure 5 instance has delta_2 = 0
+        app = PipelineApplication(works=(1, 100), volumes=(10, 1, 0))
+        assert app.output_size == 0.0
+
+    def test_uniform_constructor(self):
+        app = PipelineApplication.uniform(4, work=2.0, volume=3.0)
+        assert app.num_stages == 4
+        assert set(app.works) == {2.0}
+        assert set(app.volumes) == {3.0}
+
+    def test_uniform_rejects_zero_stages(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.uniform(0)
+
+    def test_from_stages_roundtrip(self):
+        app = PipelineApplication(
+            works=(2, 3, 4), volumes=(9, 8, 7, 6), stage_names=("x", "y", "z")
+        )
+        rebuilt = PipelineApplication.from_stages(
+            list(app.stages()), input_size=app.input_size
+        )
+        assert rebuilt == app
+
+    def test_from_stages_rejects_gap(self):
+        s1 = Stage(index=1, work=1, input_size=1, output_size=2)
+        s3 = Stage(index=3, work=1, input_size=2, output_size=3)
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.from_stages([s1, s3], input_size=1)
+
+    def test_from_stages_rejects_volume_mismatch(self):
+        s1 = Stage(index=1, work=1, input_size=1, output_size=2)
+        s2 = Stage(index=2, work=1, input_size=99, output_size=3)
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.from_stages([s1, s2], input_size=1)
+
+    def test_from_stages_rejects_bad_input_size(self):
+        s1 = Stage(index=1, work=1, input_size=1, output_size=2)
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.from_stages([s1], input_size=5)
+
+    def test_scaled(self):
+        app = PipelineApplication(works=(2, 4), volumes=(1, 2, 3))
+        scaled = app.scaled(work_factor=2.0, volume_factor=0.5)
+        assert scaled.works == (4.0, 8.0)
+        assert scaled.volumes == (0.5, 1.0, 1.5)
+
+    def test_scaled_rejects_negative(self):
+        app = PipelineApplication(works=(1,), volumes=(1, 1))
+        with pytest.raises(InvalidApplicationError):
+            app.scaled(work_factor=-1)
+
+    def test_str_contains_stages(self):
+        app = PipelineApplication(works=(1, 2), volumes=(3, 4, 5))
+        text = str(app)
+        assert "S1" in text and "S2" in text
+
+    def test_equality_and_hash(self):
+        a = PipelineApplication(works=(1, 2), volumes=(3, 4, 5))
+        b = PipelineApplication(works=(1, 2), volumes=(3, 4, 5))
+        assert a == b
+        assert hash(a) == hash(b)

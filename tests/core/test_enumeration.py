@@ -1,0 +1,97 @@
+"""Unit tests for the interval-mapping enumeration machinery."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    IntervalMapping,
+    allocations_for_partition,
+    count_interval_partitions,
+    enumerate_interval_mappings,
+    enumerate_one_to_one_mappings,
+    interval_partitions,
+)
+from repro.algorithms.bicriteria import count_interval_mappings
+
+
+class TestIntervalPartitions:
+    def test_count_matches_formula(self):
+        # 2^(n-1) partitions for unrestricted interval counts
+        for n in range(1, 7):
+            parts = list(interval_partitions(n))
+            assert len(parts) == 2 ** (n - 1)
+            assert count_interval_partitions(n) == 2 ** (n - 1)
+
+    def test_partitions_are_valid(self):
+        for partition in interval_partitions(4):
+            assert partition[0].start == 1
+            assert partition[-1].end == 4
+            for left, right in zip(partition, partition[1:]):
+                assert right.start == left.end + 1
+
+    def test_max_intervals_cap(self):
+        capped = list(interval_partitions(4, max_intervals=2))
+        assert all(len(p) <= 2 for p in capped)
+        assert len(capped) == 1 + 3  # 1 single + C(3,1) two-interval
+        assert count_interval_partitions(4, max_intervals=2) == 4
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            list(interval_partitions(0))
+
+
+class TestAllocations:
+    def test_counts_small(self):
+        # 2 intervals over 3 procs: ordered disjoint non-empty pairs
+        allocs = list(allocations_for_partition(2, [1, 2, 3]))
+        # (choose k=2: 3*2=6 ordered singleton pairs) +
+        # (one pair singleton+double: 3 choices of pair * 2 orders = 6):
+        # sum_k C(3,k)*2!*S(k,2) = C(3,2)*2*1 + C(3,3)*2*3 = 6 + 6? No:
+        # S(2,2)=1 -> 3*2*1=6 ; S(3,2)=3 -> 1*2*3=6 ; total 12
+        assert len(allocs) == 12
+        for pair in allocs:
+            assert len(pair) == 2
+            assert pair[0] and pair[1]
+            assert not (pair[0] & pair[1])
+
+    def test_max_replication(self):
+        allocs = list(
+            allocations_for_partition(1, [1, 2, 3], max_replication=1)
+        )
+        assert len(allocs) == 3
+        assert all(len(a[0]) == 1 for a in allocs)
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(ValueError):
+            list(allocations_for_partition(0, [1]))
+
+
+class TestEnumerateMappings:
+    def test_all_valid_and_unique(self):
+        mappings = list(enumerate_interval_mappings(3, 3))
+        assert all(isinstance(m, IntervalMapping) for m in mappings)
+        keys = {(m.intervals, m.allocations) for m in mappings}
+        assert len(keys) == len(mappings)
+
+    def test_count_matches_closed_form(self):
+        for n, m in [(1, 1), (2, 2), (2, 3), (3, 2), (3, 3), (1, 4)]:
+            enumerated = sum(1 for _ in enumerate_interval_mappings(n, m))
+            assert enumerated == count_interval_mappings(n, m), (n, m)
+
+    def test_single_stage_counts(self):
+        # n=1: every non-empty subset of processors
+        assert count_interval_mappings(1, 4) == 2**4 - 1
+        assert sum(1 for _ in enumerate_interval_mappings(1, 4)) == 15
+
+    def test_one_to_one_enumeration(self):
+        mappings = list(enumerate_one_to_one_mappings(2, 3))
+        assert len(mappings) == 6  # 3P2 permutations
+        assert all(m.is_one_to_one for m in mappings)
+
+    def test_one_to_one_empty_when_m_lt_n(self):
+        assert list(enumerate_one_to_one_mappings(3, 2)) == []
+
+    def test_figure5_space_size(self):
+        # the search space the exhaustive solver reports for Figure 5
+        assert count_interval_mappings(2, 11) == 175099

@@ -1,0 +1,169 @@
+"""Unit tests for interval / one-to-one / general mappings."""
+
+import pytest
+
+from repro.core import GeneralMapping, IntervalMapping, StageInterval
+from repro.exceptions import InvalidMappingError
+
+
+class TestStageInterval:
+    def test_basics(self):
+        iv = StageInterval(2, 4)
+        assert iv.length == 3
+        assert 2 in iv and 4 in iv and 5 not in iv
+        assert list(iv.stages()) == [2, 3, 4]
+
+    def test_singleton(self):
+        iv = StageInterval(3, 3)
+        assert iv.length == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidMappingError):
+            StageInterval(3, 2)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(InvalidMappingError):
+            StageInterval(0, 2)
+
+
+class TestIntervalMapping:
+    def test_structure(self):
+        mapping = IntervalMapping([(1, 2), (3, 3)], [{1, 2}, {3}])
+        assert mapping.num_intervals == 2
+        assert mapping.num_stages == 3
+        assert mapping.replication_counts == (2, 1)
+        assert mapping.used_processors == frozenset({1, 2, 3})
+        assert not mapping.is_one_to_one
+        assert not mapping.is_single_interval
+        assert mapping.uses_replication
+
+    def test_tuple_interval_coercion(self):
+        mapping = IntervalMapping([(1, 1)], [{5}])
+        assert mapping.intervals[0] == StageInterval(1, 1)
+
+    def test_stage_lookup(self):
+        mapping = IntervalMapping([(1, 2), (3, 4)], [{1}, {2}])
+        assert mapping.interval_index_of_stage(2) == 0
+        assert mapping.interval_index_of_stage(3) == 1
+        assert mapping.allocation_of_stage(4) == frozenset({2})
+        with pytest.raises(IndexError):
+            mapping.interval_index_of_stage(5)
+
+    def test_rejects_gap(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 1), (3, 3)], [{1}, {2}])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 2), (2, 3)], [{1}, {2}])
+
+    def test_rejects_not_starting_at_one(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(2, 3)], [{1}])
+
+    def test_rejects_empty_allocation(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 1)], [set()])
+
+    def test_rejects_shared_processor(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 1), (2, 2)], [{1}, {1}])
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 1)], [{1}, {2}])
+
+    def test_rejects_no_intervals(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([], [])
+
+    def test_single_interval_constructor(self):
+        mapping = IntervalMapping.single_interval(4, {2, 5})
+        assert mapping.is_single_interval
+        assert mapping.num_stages == 4
+        assert mapping.allocations[0] == frozenset({2, 5})
+
+    def test_one_to_one_constructor(self):
+        mapping = IntervalMapping.one_to_one([3, 1, 2])
+        assert mapping.is_one_to_one
+        assert mapping.num_intervals == 3
+        assert [next(iter(a)) for a in mapping.allocations] == [3, 1, 2]
+
+    def test_one_to_one_rejects_duplicates(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping.one_to_one([1, 1])
+
+    def test_from_boundaries(self):
+        mapping = IntervalMapping.from_boundaries(5, [2, 5], [{1}, {2}])
+        assert mapping.intervals == (StageInterval(1, 2), StageInterval(3, 5))
+
+    def test_from_boundaries_rejects_wrong_end(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping.from_boundaries(5, [2, 4], [{1}, {2}])
+
+    def test_items_and_str(self):
+        mapping = IntervalMapping([(1, 2), (3, 3)], [{2, 1}, {3}])
+        pairs = list(mapping.items())
+        assert pairs[0][1] == frozenset({1, 2})
+        text = str(mapping)
+        assert "P1" in text and "P3" in text
+
+    def test_immutability(self):
+        mapping = IntervalMapping.single_interval(2, {1})
+        with pytest.raises(AttributeError):
+            mapping.intervals = ()  # type: ignore[misc]
+
+    def test_equality(self):
+        a = IntervalMapping([(1, 2)], [{1, 2}])
+        b = IntervalMapping([(1, 2)], [{2, 1}])
+        assert a == b
+
+
+class TestGeneralMapping:
+    def test_basics(self):
+        gm = GeneralMapping([1, 2, 1])
+        assert gm.num_stages == 3
+        assert gm.used_processors == frozenset({1, 2})
+        assert gm.processor_of_stage(3) == 1
+
+    def test_stage_bounds(self):
+        gm = GeneralMapping([1])
+        with pytest.raises(IndexError):
+            gm.processor_of_stage(0)
+        with pytest.raises(IndexError):
+            gm.processor_of_stage(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidMappingError):
+            GeneralMapping([])
+
+    def test_runs(self):
+        gm = GeneralMapping([1, 1, 2, 1])
+        runs = gm.runs()
+        assert [(iv.start, iv.end, p) for iv, p in runs] == [
+            (1, 2, 1),
+            (3, 3, 2),
+            (4, 4, 1),
+        ]
+        assert not gm.is_interval_compatible
+
+    def test_interval_compatible_conversion(self):
+        gm = GeneralMapping([3, 3, 1, 2, 2])
+        assert gm.is_interval_compatible
+        im = gm.to_interval_mapping()
+        assert im.num_intervals == 3
+        assert im.allocations == (
+            frozenset({3}),
+            frozenset({1}),
+            frozenset({2}),
+        )
+
+    def test_incompatible_conversion_raises(self):
+        gm = GeneralMapping([1, 2, 1])
+        with pytest.raises(InvalidMappingError):
+            gm.to_interval_mapping()
+
+    def test_single_stage(self):
+        gm = GeneralMapping([7])
+        assert gm.is_interval_compatible
+        assert gm.to_interval_mapping().used_processors == frozenset({7})

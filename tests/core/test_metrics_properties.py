@@ -1,0 +1,116 @@
+"""Property-based invariants of the metric functions (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IntervalMapping,
+    failure_probability,
+    latency,
+    latency_heterogeneous,
+    latency_uniform,
+)
+
+from ..strategies import (
+    app_platform_mapping,
+    comm_homogeneous_platforms,
+    fully_heterogeneous_platforms,
+)
+
+
+@given(app_platform_mapping(comm_homogeneous_platforms(max_processors=5)))
+@settings(max_examples=150, deadline=None)
+def test_eq1_equals_eq2_on_uniform_links(triple):
+    """Paper eq. (1) is the uniform-bandwidth specialisation of eq. (2)."""
+    app, platform, mapping = triple
+    eq1 = latency_uniform(mapping, app, platform)
+    eq2 = latency_heterogeneous(mapping, app, platform)
+    assert math.isclose(eq1, eq2, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(app_platform_mapping(comm_homogeneous_platforms(max_processors=5)))
+@settings(max_examples=100, deadline=None)
+def test_eq1_equals_eq2_under_multiport_ablation(triple):
+    app, platform, mapping = triple
+    eq1 = latency_uniform(mapping, app, platform, one_port=False)
+    eq2 = latency_heterogeneous(mapping, app, platform, one_port=False)
+    assert math.isclose(eq1, eq2, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(app_platform_mapping())
+@settings(max_examples=150, deadline=None)
+def test_fp_within_unit_interval(triple):
+    _, platform, mapping = triple
+    fp = failure_probability(mapping, platform)
+    assert 0.0 <= fp <= 1.0
+
+
+@given(app_platform_mapping())
+@settings(max_examples=150, deadline=None)
+def test_latency_non_negative(triple):
+    app, platform, mapping = triple
+    assert latency(mapping, app, platform) >= 0.0
+
+
+@given(app_platform_mapping())
+@settings(max_examples=100, deadline=None)
+def test_one_port_never_faster_than_multiport(triple):
+    """Serialised fan-out can only add latency (ablation sanity)."""
+    app, platform, mapping = triple
+    serial = latency(mapping, app, platform, one_port=True)
+    multi = latency(mapping, app, platform, one_port=False)
+    assert serial >= multi - 1e-9
+
+
+@given(
+    app_platform_mapping(fully_heterogeneous_platforms(min_processors=2)),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_adding_a_replica_lowers_fp_and_raises_latency(triple, pick):
+    """Replication is the paper's core trade-off: FP down, latency up."""
+    app, platform, mapping = triple
+    unused = sorted(
+        set(range(1, platform.size + 1)) - set(mapping.used_processors)
+    )
+    if not unused:
+        return
+    extra = unused[pick % len(unused)]
+    j = pick % mapping.num_intervals
+    allocations = [set(a) for a in mapping.allocations]
+    allocations[j].add(extra)
+    bigger = IntervalMapping(list(mapping.intervals), allocations)
+
+    assert failure_probability(bigger, platform) <= (
+        failure_probability(mapping, platform) + 1e-12
+    )
+    assert latency(bigger, app, platform) >= (
+        latency(mapping, app, platform) - 1e-9
+    )
+
+
+@given(app_platform_mapping())
+@settings(max_examples=100, deadline=None)
+def test_fp_independent_of_costs(triple):
+    """FP depends only on the allocation structure, never on stage costs."""
+    app, platform, mapping = triple
+    fp1 = failure_probability(mapping, platform)
+    fp2 = failure_probability(mapping, platform, app.scaled(3.0, 0.25))
+    assert fp1 == fp2
+
+
+@given(
+    app_platform_mapping(comm_homogeneous_platforms(max_processors=5)),
+    st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_latency_scales_linearly_with_work(triple, factor):
+    """On a fixed mapping, scaling all works scales the compute term."""
+    app, platform, mapping = triple
+    base = latency(mapping, app, platform)
+    comm_only = latency(mapping, app.scaled(0.0, 1.0), platform)
+    scaled = latency(mapping, app.scaled(factor, 1.0), platform)
+    expected = comm_only + factor * (base - comm_only)
+    assert math.isclose(scaled, expected, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,115 @@
+"""Unit + property tests for Pareto-dominance utilities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BiCriteriaPoint, attainment, dominates, pareto_front
+from repro.core.pareto import is_dominated
+
+_vals = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+_points = st.lists(
+    st.builds(BiCriteriaPoint, latency=_vals, failure_probability=_vals),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        a = BiCriteriaPoint(1.0, 0.1)
+        b = BiCriteriaPoint(2.0, 0.2)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = BiCriteriaPoint(1.0, 0.1)
+        b = BiCriteriaPoint(1.0, 0.1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_one_axis_improvement_suffices(self):
+        a = BiCriteriaPoint(1.0, 0.1)
+        b = BiCriteriaPoint(1.0, 0.2)
+        assert dominates(a, b)
+
+    def test_trade_off_is_incomparable(self):
+        a = BiCriteriaPoint(1.0, 0.9)
+        b = BiCriteriaPoint(9.0, 0.1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tolerance(self):
+        a = BiCriteriaPoint(1.0, 0.1)
+        b = BiCriteriaPoint(1.0 + 1e-13, 0.2)
+        assert dominates(a, b, tolerance=1e-12)
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        pts = [
+            BiCriteriaPoint(1.0, 0.9),
+            BiCriteriaPoint(2.0, 0.5),
+            BiCriteriaPoint(3.0, 0.6),  # dominated by (2.0, 0.5)
+            BiCriteriaPoint(4.0, 0.1),
+        ]
+        front = pareto_front(pts)
+        assert [(p.latency, p.failure_probability) for p in front] == [
+            (1.0, 0.9),
+            (2.0, 0.5),
+            (4.0, 0.1),
+        ]
+
+    def test_duplicates_collapse(self):
+        pts = [BiCriteriaPoint(1.0, 0.5)] * 3
+        assert len(pareto_front(pts)) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @given(_points)
+    @settings(max_examples=100, deadline=None)
+    def test_front_members_are_mutually_non_dominating(self, pts):
+        front = pareto_front(pts)
+        for i, a in enumerate(front):
+            for b in front[i + 1 :]:
+                assert not dominates(a, b)
+                assert not dominates(b, a)
+
+    @given(_points)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_dominated_or_equal_to_front(self, pts):
+        front = pareto_front(pts)
+        for p in pts:
+            on_front = any(
+                f.latency == p.latency
+                and f.failure_probability == p.failure_probability
+                for f in front
+            )
+            assert on_front or is_dominated(p, front)
+
+    @given(_points)
+    @settings(max_examples=100, deadline=None)
+    def test_front_sorted_by_latency_and_fp_decreasing(self, pts):
+        front = pareto_front(pts)
+        lats = [p.latency for p in front]
+        fps = [p.failure_probability for p in front]
+        assert lats == sorted(lats)
+        assert fps == sorted(fps, reverse=True)
+
+
+class TestAttainment:
+    def test_basic(self):
+        front = [
+            BiCriteriaPoint(1.0, 0.9),
+            BiCriteriaPoint(2.0, 0.5),
+            BiCriteriaPoint(4.0, 0.1),
+        ]
+        assert attainment(front, 0.5) is None
+        assert attainment(front, 1.0) == 0.9
+        assert attainment(front, 3.0) == 0.5
+        assert attainment(front, 100.0) == 0.1
+
+    def test_payload_preserved(self):
+        p = BiCriteriaPoint(1.0, 0.5, payload="mapping")
+        assert pareto_front([p])[0].payload == "mapping"
+        assert p.as_tuple() == (1.0, 0.5)

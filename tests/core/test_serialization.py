@@ -1,0 +1,132 @@
+"""Round-trip tests for the JSON serialisation layer."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    GeneralMapping,
+    IntervalMapping,
+    application_from_dict,
+    application_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+)
+from repro.exceptions import ReproError
+
+from ..strategies import (
+    applications,
+    app_platform_mapping,
+    fully_heterogeneous_platforms,
+    platforms,
+)
+
+
+class TestApplicationRoundTrip:
+    @given(applications())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, app):
+        data = application_to_dict(app)
+        json.dumps(data)  # must be JSON-compatible
+        assert application_from_dict(data) == app
+
+    def test_stage_names_preserved(self):
+        from repro.workloads.jpeg import jpeg_encoder_pipeline
+
+        app = jpeg_encoder_pipeline(width=64, height=64)
+        rebuilt = application_from_dict(application_to_dict(app))
+        assert rebuilt.stage_names == app.stage_names
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            application_from_dict({"kind": "platform", "schema": 1})
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ReproError):
+            application_from_dict({"kind": "application", "schema": 99})
+
+
+class TestPlatformRoundTrip:
+    @given(platforms())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_metrics_equivalent(self, plat):
+        """The rebuilt platform must be metric-indistinguishable."""
+        from repro.core import IN, OUT
+
+        data = platform_to_dict(plat)
+        json.dumps(data)
+        rebuilt = platform_from_dict(data)
+        assert rebuilt.speeds == plat.speeds
+        assert rebuilt.failure_probabilities == plat.failure_probabilities
+        m = plat.size
+        for u in range(1, m + 1):
+            assert rebuilt.bandwidth(IN, u) == plat.bandwidth(IN, u)
+            assert rebuilt.bandwidth(u, OUT) == plat.bandwidth(u, OUT)
+            for v in range(1, m + 1):
+                if u != v:
+                    assert rebuilt.bandwidth(u, v) == plat.bandwidth(u, v)
+        assert rebuilt.platform_class is plat.platform_class
+
+    @given(fully_heterogeneous_platforms(min_processors=2))
+    @settings(max_examples=50, deadline=None)
+    def test_heterogeneous_roundtrip(self, plat):
+        rebuilt = platform_from_dict(platform_to_dict(plat))
+        assert rebuilt.topology == plat.topology
+
+    def test_processor_names_preserved(self):
+        from repro.core import Platform, Processor, UniformTopology
+
+        procs = (
+            Processor(index=1, speed=1.0, failure_probability=0.1, name="head"),
+            Processor(index=2, speed=2.0, failure_probability=0.2, name="gpu"),
+        )
+        plat = Platform(procs, UniformTopology(2, 1.0))
+        rebuilt = platform_from_dict(platform_to_dict(plat))
+        assert [p.name for p in rebuilt.processors] == ["head", "gpu"]
+
+
+class TestMappingRoundTrip:
+    def test_interval_mapping(self):
+        mapping = IntervalMapping([(1, 2), (3, 3)], [{1, 4}, {2}])
+        data = mapping_to_dict(mapping)
+        json.dumps(data)
+        assert mapping_from_dict(data) == mapping
+
+    def test_general_mapping(self):
+        mapping = GeneralMapping([2, 1, 2])
+        assert mapping_from_dict(mapping_to_dict(mapping)) == mapping
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            mapping_from_dict({"kind": "nonsense"})
+
+
+class TestInstanceRoundTrip:
+    @given(app_platform_mapping())
+    @settings(max_examples=50, deadline=None)
+    def test_full_instance(self, triple):
+        from repro.core import failure_probability, latency
+
+        app, plat, mapping = triple
+        data = instance_to_dict(app, plat, mapping)
+        json.dumps(data)
+        app2, plat2, mapping2 = instance_from_dict(data)
+        # the round-tripped triple evaluates identically
+        assert latency(mapping2, app2, plat2) == latency(mapping, app, plat)
+        assert failure_probability(mapping2, plat2) == failure_probability(
+            mapping, plat
+        )
+
+    def test_instance_without_mapping(self):
+        from repro.workloads.reference import figure5_instance
+
+        inst = figure5_instance()
+        data = instance_to_dict(inst.application, inst.platform)
+        app, plat, mapping = instance_from_dict(data)
+        assert mapping is None
+        assert app == inst.application

@@ -1,0 +1,57 @@
+"""Unit tests for mapping/application/platform compatibility checks."""
+
+import pytest
+
+from repro.core import (
+    GeneralMapping,
+    IntervalMapping,
+    PipelineApplication,
+    Platform,
+    is_valid_mapping,
+    validate_mapping,
+)
+from repro.exceptions import InvalidMappingError
+
+
+@pytest.fixture
+def app():
+    return PipelineApplication(works=(1, 2), volumes=(1, 1, 1))
+
+
+@pytest.fixture
+def platform():
+    return Platform.fully_homogeneous(3)
+
+
+class TestValidateMapping:
+    def test_accepts_valid_interval_mapping(self, app, platform):
+        mapping = IntervalMapping([(1, 1), (2, 2)], [{1}, {2, 3}])
+        validate_mapping(mapping, app, platform)  # no raise
+        assert is_valid_mapping(mapping, app, platform)
+
+    def test_accepts_valid_general_mapping(self, app, platform):
+        validate_mapping(GeneralMapping([3, 3]), app, platform)
+
+    def test_rejects_wrong_stage_count(self, app, platform):
+        mapping = IntervalMapping.single_interval(3, {1})
+        with pytest.raises(InvalidMappingError, match="stages"):
+            validate_mapping(mapping, app, platform)
+        assert not is_valid_mapping(mapping, app, platform)
+
+    def test_rejects_unknown_processor(self, app, platform):
+        mapping = IntervalMapping.single_interval(2, {4})
+        with pytest.raises(InvalidMappingError, match="P4"):
+            validate_mapping(mapping, app, platform)
+
+    def test_rejects_zero_processor(self, app, platform):
+        mapping = GeneralMapping([0, 1])
+        with pytest.raises(InvalidMappingError):
+            validate_mapping(mapping, app, platform)
+
+    def test_general_mapping_stage_count(self, app, platform):
+        with pytest.raises(InvalidMappingError):
+            validate_mapping(GeneralMapping([1, 2, 3]), app, platform)
+
+    def test_general_mapping_may_reuse_processor(self, platform):
+        app3 = PipelineApplication(works=(1, 1, 1), volumes=(1, 1, 1, 1))
+        validate_mapping(GeneralMapping([1, 2, 1]), app3, platform)

@@ -1,0 +1,145 @@
+"""Tests for the throughput/period extension (paper Section 5)."""
+
+import pytest
+
+from repro.core import IntervalMapping, StageInterval
+from repro.extensions import (
+    round_robin_dataset_failure_probability,
+    round_robin_period,
+    steady_state_period,
+    throughput,
+)
+from repro.simulation import simulate_stream
+
+from ..conftest import make_instance
+
+
+class TestPeriodFormulas:
+    def test_single_processor_period(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2})
+        period = steady_state_period(
+            mapping, fig5.application, fig5.platform
+        )
+        # P2's cycle: receive 10 + compute 101/100 + send 0
+        assert period == pytest.approx(10 + 1.01)
+
+    def test_replication_slows_period(self, fig5):
+        k1 = IntervalMapping.single_interval(2, {2})
+        k3 = IntervalMapping.single_interval(2, {2, 3, 4})
+        p1 = steady_state_period(k1, fig5.application, fig5.platform)
+        p3 = steady_state_period(k3, fig5.application, fig5.platform)
+        assert p3 >= p1
+
+    def test_round_robin_speeds_up(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2, 3, 4})
+        rel = steady_state_period(mapping, fig5.application, fig5.platform)
+        rr = round_robin_period(mapping, fig5.application, fig5.platform)
+        assert rr <= rel
+
+    def test_throughput_inverse(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2})
+        period = steady_state_period(mapping, fig5.application, fig5.platform)
+        assert throughput(
+            mapping, fig5.application, fig5.platform
+        ) == pytest.approx(1.0 / period)
+        assert throughput(
+            mapping, fig5.application, fig5.platform, round_robin=True
+        ) == pytest.approx(
+            1.0 / round_robin_period(mapping, fig5.application, fig5.platform)
+        )
+
+
+class TestRoundRobinReliability:
+    def test_mean_failure_per_interval(self, fig5):
+        mapping = fig5.two_interval_mapping
+        fp = round_robin_dataset_failure_probability(mapping, fig5.platform)
+        # interval 1: mean fp 0.1; interval 2: mean fp 0.8
+        assert fp == pytest.approx(1 - 0.9 * 0.2, rel=1e-12)
+
+    def test_round_robin_less_reliable_than_replication(self, fig5):
+        from repro.core import failure_probability
+
+        mapping = fig5.two_interval_mapping
+        rr = round_robin_dataset_failure_probability(mapping, fig5.platform)
+        rel = failure_probability(mapping, fig5.platform)
+        assert rr > rel  # the paper's throughput/reliability tension
+
+
+class TestAgainstStreamSimulation:
+    """The DES steady-state period must approach the formula."""
+
+    def test_reliability_replication_period(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2, 3})
+        predicted = steady_state_period(
+            mapping, fig5.application, fig5.platform
+        )
+        res = simulate_stream(
+            mapping, fig5.application, fig5.platform, num_datasets=40
+        )
+        assert res.all_succeeded
+        assert res.period == pytest.approx(predicted, rel=0.15)
+
+    def test_round_robin_period(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2, 3})
+        predicted = round_robin_period(
+            mapping, fig5.application, fig5.platform
+        )
+        res = simulate_stream(
+            mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=40,
+            round_robin=True,
+        )
+        assert res.all_succeeded
+        assert res.period == pytest.approx(predicted, rel=0.25)
+
+    def test_round_robin_beats_replication_in_simulation(self, fig5):
+        mapping = IntervalMapping.single_interval(2, {2, 3, 4, 5})
+        rel = simulate_stream(
+            mapping, fig5.application, fig5.platform, num_datasets=30
+        )
+        rr = simulate_stream(
+            mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=30,
+            round_robin=True,
+        )
+        assert rr.period < rel.period
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_period_formula_bounds_unreplicated_streams(self, seed):
+        """With one processor per interval, the serial cycle
+        (receive + compute + send) is a *no-overlap* upper bound on the
+        live period; the engine may overlap a port receive with the CPU
+        compute of the previous data set, gaining at most 2x."""
+        import random as pyrandom
+
+        rng = pyrandom.Random(seed)
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=seed)
+        cuts = sorted(rng.sample([1, 2], rng.randint(0, 2)))
+        bounds = [0, *cuts, 3]
+        intervals = [
+            StageInterval(lo + 1, hi) for lo, hi in zip(bounds, bounds[1:])
+        ]
+        procs = rng.sample(range(1, 5), len(intervals))
+        mapping = IntervalMapping(intervals, [{p} for p in procs])
+        res = simulate_stream(mapping, app, plat, num_datasets=60)
+        predicted = steady_state_period(mapping, app, plat)
+        assert res.period <= predicted * 1.05 + 1e-9
+        assert res.period >= predicted * 0.45 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_period_formula_upper_bounds_replicated_streams(self, seed):
+        """With replication the live engine rotates the forwarding duty,
+        so the adversarial-sender formula is an upper-side estimate."""
+        import random as pyrandom
+
+        from repro.algorithms.heuristics import random_mapping
+
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=seed)
+        mapping = random_mapping(3, 4, pyrandom.Random(seed))
+        res = simulate_stream(mapping, app, plat, num_datasets=50)
+        predicted = steady_state_period(mapping, app, plat)
+        assert res.period <= predicted * 1.25 + 1e-9

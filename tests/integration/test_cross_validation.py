@@ -1,0 +1,120 @@
+"""Cross-validation: analytic formulas vs arithmetic replay vs DES vs
+Monte-Carlo (experiment E12's machinery, exercised as tests)."""
+
+import random as pyrandom
+
+import numpy as np
+import pytest
+
+from repro.algorithms.heuristics import random_mapping
+from repro.core import failure_probability, latency
+from repro.simulation import (
+    BernoulliMissionModel,
+    ElectionPolicy,
+    check_dataflow,
+    check_one_port,
+    estimate_failure_probability,
+    realized_latency,
+    sample_latencies,
+    simulate_stream,
+)
+
+from ..conftest import make_instance
+
+KINDS = ["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"]
+
+
+class TestAnalyticVsReplay:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_worst_case_identity(self, kind, seed):
+        """eq (1)/(2) == adversarial replay, bit-for-bit tolerance."""
+        app, plat = make_instance(kind, n=4, m=5, seed=seed)
+        mapping = random_mapping(4, 5, pyrandom.Random(seed))
+        assert realized_latency(
+            mapping, app, plat, policy=ElectionPolicy.WORST_CASE
+        ).latency == pytest.approx(latency(mapping, app, plat), rel=1e-12)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_realistic_bounded_by_worst_case(self, kind, seed):
+        app, plat = make_instance(kind, n=4, m=5, seed=seed)
+        mapping = random_mapping(4, 5, pyrandom.Random(seed))
+        sample = sample_latencies(
+            mapping, app, plat, trials=200, rng=np.random.default_rng(seed)
+        )
+        if sample.latencies:
+            assert sample.max_latency <= sample.worst_case + 1e-9
+
+
+class TestReplayVsDES:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_dataset_identity(self, kind, seed):
+        """The DES engine and the arithmetic replay agree on a single
+        data set with no failures."""
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        mapping = random_mapping(3, 4, pyrandom.Random(seed))
+        des = simulate_stream(mapping, app, plat)
+        arith = realized_latency(mapping, app, plat)
+        assert des.outcomes[0].latency == pytest.approx(
+            arith.latency, rel=1e-9
+        )
+        check_one_port(des.trace)
+        check_dataflow(des.trace, 1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_dataset_identity_under_failures(self, seed):
+        app, plat = make_instance("comm-homogeneous", n=3, m=5, seed=seed)
+        mapping = random_mapping(3, 5, pyrandom.Random(seed))
+        model = BernoulliMissionModel(mission_time=1e9)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            scenario = model.draw(plat, rng)
+            arith = realized_latency(mapping, app, plat, scenario)
+            des = simulate_stream(mapping, app, plat, scenario=scenario)
+            if arith.success:
+                assert des.outcomes[0].success
+                assert des.outcomes[0].latency == pytest.approx(
+                    arith.latency, rel=1e-9
+                )
+            else:
+                assert not des.outcomes[0].success
+                assert des.outcomes[0].failed_interval == arith.failed_interval
+
+
+class TestAnalyticVsMonteCarlo:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fp_within_confidence(self, kind, seed):
+        app, plat = make_instance(kind, n=3, m=5, seed=seed)
+        mapping = random_mapping(3, 5, pyrandom.Random(seed))
+        analytic = failure_probability(mapping, plat)
+        estimate = estimate_failure_probability(
+            mapping, plat, trials=40_000, rng=np.random.default_rng(seed)
+        )
+        assert estimate.contains(analytic, z=4.5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_success_rate_matches_one_minus_fp(self, seed):
+        app, plat = make_instance("comm-homogeneous", n=3, m=5, seed=seed)
+        mapping = random_mapping(3, 5, pyrandom.Random(seed))
+        sample = sample_latencies(
+            mapping, app, plat, trials=3000, rng=np.random.default_rng(seed)
+        )
+        analytic = 1 - failure_probability(mapping, plat)
+        assert sample.success_rate == pytest.approx(analytic, abs=0.04)
+
+
+class TestStreamInvariants:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("round_robin", [False, True])
+    def test_one_port_holds_under_streaming(self, kind, round_robin):
+        app, plat = make_instance(kind, n=3, m=4, seed=5)
+        mapping = random_mapping(3, 4, pyrandom.Random(5))
+        res = simulate_stream(
+            mapping, app, plat, num_datasets=15, round_robin=round_robin
+        )
+        check_one_port(res.trace)
+        check_dataflow(res.trace, 15)
+        assert res.all_succeeded

@@ -1,0 +1,131 @@
+"""Tests for the Theorem 3 TSP reduction gadget."""
+
+import pytest
+
+from repro.algorithms.mono import minimize_latency_one_to_one_exact
+from repro.exceptions import ReproError
+from repro.reductions import (
+    TSPInstance,
+    build_one_to_one_gadget,
+    random_tsp_instance,
+    solve_hamiltonian_path,
+    verify_tsp_reduction,
+)
+
+
+def triangle_instance(bound=10.0):
+    """3 vertices: s=0, t=2; path 0-1-2 costs 3, direct 0-2 costs 9."""
+    costs = [
+        [0.0, 1.0, 9.0],
+        [1.0, 0.0, 2.0],
+        [9.0, 2.0, 0.0],
+    ]
+    return TSPInstance(costs, source=0, tail=2, bound=bound)
+
+
+class TestTSPInstance:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TSPInstance([[0.0]], 0, 0, 1.0)  # too small
+        with pytest.raises(ReproError):
+            TSPInstance([[0, 1], [2, 0]], 0, 1, 1.0)  # asymmetric
+        with pytest.raises(ReproError):
+            TSPInstance([[0, -1], [-1, 0]], 0, 1, 1.0)  # negative cost
+        with pytest.raises(ReproError):
+            TSPInstance([[0, 1], [1, 0]], 0, 0, 1.0)  # source == tail
+        with pytest.raises(ReproError):
+            TSPInstance([[0, 1, 1], [1, 0, 1]], 0, 1, 1.0)  # not square
+
+
+class TestHamiltonianPathSolver:
+    def test_triangle(self):
+        cost, path = solve_hamiltonian_path(triangle_instance())
+        assert cost == 3.0
+        assert path == [0, 1, 2]
+
+    def test_path_visits_all_vertices_once(self):
+        inst = random_tsp_instance(6, seed=2)
+        cost, path = solve_hamiltonian_path(inst)
+        assert sorted(path) == list(range(6))
+        assert path[0] == inst.source and path[-1] == inst.tail
+        assert cost == pytest.approx(
+            sum(inst.costs[a][b] for a, b in zip(path, path[1:]))
+        )
+
+    def test_optimality_against_bruteforce(self):
+        from itertools import permutations
+
+        inst = random_tsp_instance(6, seed=5)
+        middles = [
+            v
+            for v in range(inst.num_vertices)
+            if v not in (inst.source, inst.tail)
+        ]
+        brute = min(
+            sum(
+                inst.costs[a][b]
+                for a, b in zip(
+                    [inst.source, *perm, inst.tail],
+                    [*perm, inst.tail],
+                )
+            )
+            for perm in permutations(middles)
+        )
+        cost, _ = solve_hamiltonian_path(inst)
+        assert cost == pytest.approx(brute)
+
+
+class TestGadget:
+    def test_gadget_structure(self):
+        inst = triangle_instance()
+        app, plat, threshold = build_one_to_one_gadget(inst)
+        n = inst.num_vertices
+        assert app.num_stages == n
+        assert plat.size == n
+        assert threshold == inst.bound + n + 2
+        assert set(app.works) == {1.0}
+        assert set(app.volumes) == {1.0}
+        assert set(plat.speeds) == {1.0}
+        # encoded bandwidths
+        assert plat.bandwidth(1, 2) == pytest.approx(1.0)  # cost 1
+        assert plat.bandwidth(2, 3) == pytest.approx(0.5)  # cost 2
+        from repro.core import IN, OUT
+
+        assert plat.bandwidth(IN, 1) == 1.0  # source vertex
+        assert plat.bandwidth(3, OUT) == 1.0  # tail vertex
+        # slow links are below the budget-busting threshold
+        assert plat.bandwidth(IN, 2) < 1.0 / (inst.bound + n + 3)
+
+    def test_optimal_mapping_follows_optimal_path(self):
+        inst = triangle_instance()
+        app, plat, _ = build_one_to_one_gadget(inst)
+        result = minimize_latency_one_to_one_exact(app, plat)
+        # expected: latency = path cost + n + 2 = 3 + 3 + 2 = 8
+        assert result.latency == pytest.approx(8.0)
+        chain = [next(iter(a)) for a in result.mapping.allocations]
+        assert chain == [1, 2, 3]  # vertices 0,1,2 as processors 1,2,3
+
+
+class TestReductionEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        inst = random_tsp_instance(5, seed=seed)
+        report = verify_tsp_reduction(inst)
+        assert report["optimal_latency"] == pytest.approx(
+            report["expected_latency"]
+        )
+
+    def test_yes_instance(self):
+        report = verify_tsp_reduction(triangle_instance(bound=3.0))
+        assert report["decision"] is True
+
+    def test_no_instance(self):
+        report = verify_tsp_reduction(triangle_instance(bound=2.9))
+        assert report["decision"] is False
+
+    def test_boundary_instance_exact(self):
+        """Bound exactly at the optimal path cost is a YES instance."""
+        inst = triangle_instance(bound=3.0)
+        cost, _ = solve_hamiltonian_path(inst)
+        assert cost == inst.bound
+        assert verify_tsp_reduction(inst)["decision"] is True

@@ -1,0 +1,110 @@
+"""Tests for the Theorem 7 2-PARTITION reduction gadget."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.reductions import (
+    TwoPartitionInstance,
+    build_bicriteria_gadget,
+    feasible_replica_set,
+    random_two_partition_instance,
+    solve_two_partition,
+    verify_two_partition_reduction,
+)
+
+
+class TestTwoPartitionInstance:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TwoPartitionInstance([5])
+        with pytest.raises(ReproError):
+            TwoPartitionInstance([1, -2])
+        with pytest.raises(ReproError):
+            TwoPartitionInstance([1, 0])
+
+    def test_total(self):
+        assert TwoPartitionInstance([1, 2, 3]).total == 6
+
+
+class TestSubsetSumSolver:
+    def test_simple_yes(self):
+        exists, subset = solve_two_partition(TwoPartitionInstance([1, 2, 3]))
+        assert exists
+        assert sum([1, 2, 3][i] for i in subset) == 3
+
+    def test_odd_total_no(self):
+        exists, subset = solve_two_partition(TwoPartitionInstance([1, 2, 4]))
+        assert not exists and subset is None
+
+    def test_even_total_but_no_partition(self):
+        exists, _ = solve_two_partition(TwoPartitionInstance([1, 1, 6]))
+        assert not exists
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_bruteforce(self, seed):
+        from itertools import combinations
+
+        inst = random_two_partition_instance(7, seed=seed)
+        half, S = None, inst.total
+        brute = any(
+            2 * sum(c) == S
+            for k in range(1, 7)
+            for c in combinations(inst.values, k)
+        )
+        exists, subset = solve_two_partition(inst)
+        assert exists == brute
+        if exists:
+            assert 2 * sum(inst.values[i] for i in subset) == S
+
+
+class TestGadget:
+    def test_structure(self):
+        inst = TwoPartitionInstance([2, 3, 5])
+        app, plat, L, FP = build_bicriteria_gadget(inst)
+        assert app.num_stages == 1
+        assert app.works == (1.0,)
+        assert app.volumes == (1.0, 1.0)
+        assert plat.size == 3
+        assert L == inst.total / 2 + 2
+        assert FP == pytest.approx(math.exp(-inst.total / 2))
+        from repro.core import IN, OUT
+
+        assert plat.bandwidth(IN, 1) == pytest.approx(1 / 2)
+        assert plat.bandwidth(IN, 3) == pytest.approx(1 / 5)
+        assert plat.bandwidth(2, OUT) == 1.0
+        assert plat.failure_probability(2) == pytest.approx(math.exp(-3))
+
+    def test_metrics_match_closed_form(self):
+        """Library metrics and the proof's closed forms agree on replica
+        sets of the gadget."""
+        inst = TwoPartitionInstance([2, 3, 5, 4])
+        ok_metric, set_metric = feasible_replica_set(inst, use_metrics=True)
+        ok_closed, set_closed = feasible_replica_set(inst, use_metrics=False)
+        assert ok_metric == ok_closed
+        if ok_metric:
+            total = inst.total
+            assert 2 * sum(inst.values[i] for i in set_metric) == total
+            assert 2 * sum(inst.values[i] for i in set_closed) == total
+
+
+class TestReductionEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        inst = random_two_partition_instance(6, seed=seed)
+        report = verify_two_partition_reduction(inst)
+        assert report["partition_exists"] == report["gadget_feasible"]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_forced_yes(self, seed):
+        inst = random_two_partition_instance(7, seed=seed, force_yes=True)
+        report = verify_two_partition_reduction(inst)
+        assert report["partition_exists"] is True
+        assert report["replica_set"] is not None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_forced_no(self, seed):
+        inst = random_two_partition_instance(6, seed=seed, force_yes=False)
+        report = verify_two_partition_reduction(inst)
+        assert report["partition_exists"] is False

@@ -1,0 +1,105 @@
+"""Tests for failure models and scenarios."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Platform
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    BernoulliMissionModel,
+    ExponentialLifetimeModel,
+    FailureScenario,
+    all_fail_except,
+    no_failures,
+)
+
+
+@pytest.fixture
+def platform():
+    return Platform.communication_homogeneous(
+        [1.0, 2.0, 3.0], failure_probabilities=[0.0, 0.5, 1.0]
+    )
+
+
+class TestFailureScenario:
+    def test_alive_queries(self):
+        sc = FailureScenario((math.inf, 0.0, 5.0), mission_time=10.0)
+        assert sc.alive(1, 0.0) and sc.alive(1, 100.0)
+        assert not sc.alive(2, 0.0)
+        assert sc.alive(3, 4.9) and not sc.alive(3, 5.0)
+        assert sc.survives_mission(1)
+        assert not sc.survives_mission(2)
+        assert not sc.survives_mission(3)
+        assert sc.surviving_set == frozenset({1})
+        assert sc.num_processors == 3
+
+    def test_helpers(self, platform):
+        sc = no_failures(platform)
+        assert sc.surviving_set == frozenset({1, 2, 3})
+        sc2 = all_fail_except(platform, [2], mission_time=1.0)
+        assert sc2.surviving_set == frozenset({2})
+
+
+class TestBernoulliModel:
+    def test_certain_outcomes(self, platform):
+        rng = np.random.default_rng(0)
+        model = BernoulliMissionModel()
+        sc = model.draw(platform, rng)
+        assert sc.survives_mission(1)  # fp = 0
+        assert not sc.survives_mission(3)  # fp = 1
+
+    def test_marginal_frequency(self, platform):
+        rng = np.random.default_rng(1)
+        model = BernoulliMissionModel()
+        alive = model.draw_alive_matrix(platform, 50_000, rng)
+        assert alive.shape == (50_000, 3)
+        assert alive[:, 0].all()
+        assert not alive[:, 2].any()
+        assert alive[:, 1].mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_scalar_draw_matches_marginals(self, platform):
+        rng = np.random.default_rng(2)
+        model = BernoulliMissionModel()
+        survived = sum(
+            model.draw(platform, rng).survives_mission(2)
+            for _ in range(5000)
+        )
+        assert survived / 5000 == pytest.approx(0.5, abs=0.03)
+
+
+class TestExponentialModel:
+    def test_rate_calibration(self):
+        model = ExponentialLifetimeModel(mission_time=10.0)
+        lam = model.rate(0.5)
+        # P(exp(lam) <= 10) = 1 - exp(-10 lam) = 0.5
+        assert 1 - math.exp(-10 * lam) == pytest.approx(0.5, rel=1e-12)
+        assert model.rate(0.0) == 0.0
+        assert math.isinf(model.rate(1.0))
+
+    def test_mission_marginal(self, platform):
+        rng = np.random.default_rng(3)
+        model = ExponentialLifetimeModel(mission_time=7.0)
+        survived = sum(
+            model.draw(platform, rng).survives_mission(2)
+            for _ in range(5000)
+        )
+        assert survived / 5000 == pytest.approx(0.5, abs=0.03)
+
+    def test_extreme_fps(self, platform):
+        rng = np.random.default_rng(4)
+        model = ExponentialLifetimeModel(mission_time=1.0)
+        sc = model.draw(platform, rng)
+        assert sc.failure_times[0] == math.inf  # fp=0 never fails
+        assert sc.failure_times[2] == 0.0  # fp=1 fails immediately
+
+    def test_alive_matrix_marginals(self, platform):
+        rng = np.random.default_rng(5)
+        model = ExponentialLifetimeModel(mission_time=2.0)
+        alive = model.draw_alive_matrix(platform, 50_000, rng)
+        assert alive[:, 1].mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_bad_mission_time(self):
+        with pytest.raises(SimulationError):
+            ExponentialLifetimeModel(mission_time=0.0)

@@ -1,0 +1,261 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import Resource, Simulator
+
+
+class TestTimeAndTimeouts:
+    def test_clock_advances(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+            yield sim.timeout(2.5)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        end = sim.run()
+        assert fired == [5.0, 7.5]
+        assert end == 7.5
+
+    def test_zero_delay(self):
+        sim = Simulator()
+        done = []
+
+        def proc():
+            yield sim.timeout(0.0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(10.0)
+            fired.append("late")
+
+        sim.process(proc())
+        assert sim.run(until=5.0) == 5.0
+        assert fired == []
+        sim.run()
+        assert fired == ["late"]
+
+    def test_deterministic_tie_breaking(self):
+        sim = Simulator()
+        order = []
+
+        def make(name):
+            def proc():
+                yield sim.timeout(1.0)
+                order.append(name)
+
+            return proc
+
+        for name in ["a", "b", "c"]:
+            sim.process(make(name)())
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_manual_event_passes_value(self):
+        sim = Simulator()
+        got = []
+
+        def waiter(ev):
+            value = yield ev
+            got.append(value)
+
+        ev = sim.event()
+
+        def trigger():
+            yield sim.timeout(3.0)
+            ev.trigger("payload")
+
+        sim.process(waiter(ev))
+        sim.process(trigger())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_event_cannot_trigger_twice(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_waiting_on_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger(42)
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(0.0, 42)]
+
+    def test_process_is_an_event(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(4.0)
+            return "child-result"
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(4.0, "child-result")]
+
+    def test_all_of(self):
+        sim = Simulator()
+        done = []
+
+        def worker(delay):
+            yield sim.timeout(delay)
+
+        def parent():
+            procs = [sim.process(worker(d)) for d in (1.0, 5.0, 3.0)]
+            yield sim.all_of(procs)
+            done.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done == [5.0]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        done = []
+
+        def parent():
+            yield sim.all_of([])
+            done.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done == [0.0]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        port = sim.resource(1, "port")
+        spans = []
+
+        def worker(name, hold):
+            yield port.request()
+            start = sim.now
+            yield sim.timeout(hold)
+            spans.append((name, start, sim.now))
+            port.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 3.0))
+        sim.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = sim.resource(2)
+        finish = []
+
+        def worker():
+            yield res.request()
+            yield sim.timeout(1.0)
+            finish.append(sim.now)
+            res.release()
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert finish == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        order = []
+
+        def worker(name):
+            yield res.request()
+            order.append(name)
+            yield sim.timeout(1.0)
+            res.release()
+
+        for name in "abcd":
+            sim.process(worker(name))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_counters(self):
+        sim = Simulator()
+        res = sim.resource(1)
+
+        def holder():
+            yield res.request()
+            assert res.in_use == 1
+            yield sim.timeout(1.0)
+            res.release()
+
+        def waiter():
+            ev = res.request()
+            assert res.queue_length == 1
+            yield ev
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.resource(0)
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+
+        sim.process(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim._schedule_at(1.0, sim.event())

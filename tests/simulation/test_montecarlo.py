@@ -1,0 +1,141 @@
+"""Monte-Carlo validation of the closed-form metrics (experiment E12)."""
+
+import numpy as np
+import pytest
+
+from repro.core import IntervalMapping, failure_probability
+from repro.simulation import (
+    ElectionPolicy,
+    ExponentialLifetimeModel,
+    empirical_vs_analytic_fp,
+    estimate_failure_probability,
+    sample_latencies,
+)
+
+from ..conftest import make_instance
+
+
+class TestFailureProbabilityEstimation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_analytic_within_3_sigma(self, seed, fig5):
+        import random as pyrandom
+
+        from repro.algorithms.heuristics import random_mapping
+
+        app, plat = make_instance("comm-homogeneous", n=3, m=5, seed=seed)
+        mapping = random_mapping(3, 5, pyrandom.Random(seed))
+        analytic = failure_probability(mapping, plat)
+        est = estimate_failure_probability(
+            mapping, plat, trials=60_000, rng=np.random.default_rng(seed)
+        )
+        assert est.contains(analytic, z=4.0)
+
+    def test_figure5_mappings(self, fig5):
+        rng = np.random.default_rng(7)
+        report = empirical_vs_analytic_fp(
+            fig5.two_interval_mapping, fig5.platform, trials=200_000, rng=rng
+        )
+        assert abs(report["z"]) < 4.0
+        assert report["analytic"] == pytest.approx(
+            fig5.claimed_two_interval_fp, rel=1e-12
+        )
+
+    def test_exponential_model_same_marginals(self, fig5):
+        rng = np.random.default_rng(11)
+        est = estimate_failure_probability(
+            fig5.two_interval_mapping,
+            fig5.platform,
+            trials=100_000,
+            rng=rng,
+            model=ExponentialLifetimeModel(mission_time=3.0),
+        )
+        assert est.contains(
+            failure_probability(fig5.two_interval_mapping, fig5.platform),
+            z=4.0,
+        )
+
+    def test_degenerate_cases(self):
+        from repro.core import Platform
+
+        plat = Platform.fully_homogeneous(2, failure_probability=0.0)
+        mapping = IntervalMapping.single_interval(1, {1, 2})
+        est = estimate_failure_probability(
+            mapping, plat, trials=1000, rng=np.random.default_rng(0)
+        )
+        assert est.mean == 0.0
+        assert est.ci95[0] <= 0.0 <= est.ci95[1]
+
+    def test_trials_validation(self, fig5):
+        with pytest.raises(ValueError):
+            estimate_failure_probability(
+                fig5.two_interval_mapping, fig5.platform, trials=0
+            )
+
+    def test_estimate_interface(self):
+        from repro.simulation import MonteCarloEstimate
+
+        est = MonteCarloEstimate(mean=0.5, stderr=0.01, trials=100)
+        lo, hi = est.ci95
+        assert lo == pytest.approx(0.5 - 1.96 * 0.01)
+        assert hi == pytest.approx(0.5 + 1.96 * 0.01)
+        assert est.contains(0.52, z=3.0)
+        assert not est.contains(0.56, z=3.0)
+
+
+class TestLatencySampling:
+    def test_bounded_by_worst_case(self, fig5):
+        sample = sample_latencies(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            trials=500,
+            rng=np.random.default_rng(3),
+        )
+        assert sample.worst_case == pytest.approx(22.0)
+        assert sample.max_latency <= sample.worst_case + 1e-9
+        assert sample.mean_latency <= sample.worst_case
+
+    def test_success_rate_tracks_fp(self, fig5):
+        sample = sample_latencies(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            trials=4000,
+            rng=np.random.default_rng(5),
+        )
+        analytic_success = 1 - failure_probability(
+            fig5.two_interval_mapping, fig5.platform
+        )
+        assert sample.success_rate == pytest.approx(
+            analytic_success, abs=0.03
+        )
+
+    def test_worst_case_policy_sampling(self, fig5):
+        sample = sample_latencies(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            trials=50,
+            rng=np.random.default_rng(9),
+            policy=ElectionPolicy.WORST_CASE,
+        )
+        # worst-case policy ignores the scenario: every latency equals it
+        assert all(
+            lat == pytest.approx(sample.worst_case)
+            for lat in sample.latencies
+        )
+
+    def test_all_failed_sample(self):
+        from repro.core import Platform, PipelineApplication
+
+        plat = Platform.fully_homogeneous(1, failure_probability=1.0)
+        app = PipelineApplication(works=(1.0,), volumes=(1, 1))
+        mapping = IntervalMapping.single_interval(1, {1})
+        sample = sample_latencies(
+            mapping, app, plat, trials=10, rng=np.random.default_rng(0)
+        )
+        assert sample.failures == 10
+        assert sample.success_rate == 0.0
+        import math
+
+        assert math.isnan(sample.mean_latency)

@@ -1,0 +1,272 @@
+"""Tests for the pipeline replay and the discrete-event stream engine."""
+
+import math
+
+import pytest
+
+from repro.core import IntervalMapping, latency
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    ElectionPolicy,
+    all_fail_except,
+    check_dataflow,
+    check_one_port,
+    no_failures,
+    realized_latency,
+    simulate_stream,
+)
+
+from ..conftest import make_instance
+
+
+class TestWorstCaseReplay:
+    """WORST_CASE replay must equal the analytic latency exactly."""
+
+    def test_figure34(self, fig34):
+        for mapping in (*fig34.single_processor_mappings, fig34.split_mapping):
+            wc = realized_latency(
+                mapping,
+                fig34.application,
+                fig34.platform,
+                policy=ElectionPolicy.WORST_CASE,
+            )
+            assert wc.success
+            assert wc.latency == latency(
+                mapping, fig34.application, fig34.platform
+            )
+
+    def test_figure5(self, fig5):
+        wc = realized_latency(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            policy=ElectionPolicy.WORST_CASE,
+        )
+        assert wc.latency == latency(
+            fig5.two_interval_mapping, fig5.application, fig5.platform
+        )
+
+    @pytest.mark.parametrize(
+        "kind", ["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"]
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_identity_on_random_instances(self, kind, seed):
+        from repro.algorithms.heuristics import random_mapping
+        import random as pyrandom
+
+        app, plat = make_instance(kind, n=4, m=5, seed=seed)
+        mapping = random_mapping(4, 5, pyrandom.Random(seed))
+        wc = realized_latency(
+            mapping, app, plat, policy=ElectionPolicy.WORST_CASE
+        )
+        assert wc.latency == pytest.approx(
+            latency(mapping, app, plat), rel=1e-12
+        )
+
+
+class TestFirstSurvivorReplay:
+    def test_no_failures_success(self, fig5):
+        outcome = realized_latency(
+            fig5.two_interval_mapping, fig5.application, fig5.platform
+        )
+        assert outcome.success
+        assert outcome.latency <= latency(
+            fig5.two_interval_mapping, fig5.application, fig5.platform
+        )
+
+    def test_dead_interval_fails(self, fig5):
+        scenario = all_fail_except(fig5.platform, [1], mission_time=1.0)
+        outcome = realized_latency(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            scenario,
+        )
+        assert not outcome.success
+        assert outcome.failed_interval == 2
+        assert math.isinf(outcome.latency)
+
+    def test_survivor_subset_latency(self, fig5):
+        # only the slow processor and one fast replica survive
+        scenario = all_fail_except(fig5.platform, [1, 5], mission_time=1.0)
+        outcome = realized_latency(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            scenario,
+        )
+        # 10 (input) + 1 (w1) + 1 (send) + 1 (w2/100) + 0 (output) = 13
+        assert outcome.success
+        assert outcome.latency == pytest.approx(13.0)
+
+    def test_scenario_size_mismatch(self, fig5):
+        from repro.simulation import FailureScenario
+
+        bad = FailureScenario((math.inf,), mission_time=1.0)
+        with pytest.raises(SimulationError):
+            realized_latency(
+                fig5.two_interval_mapping,
+                fig5.application,
+                fig5.platform,
+                bad,
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounded_by_worst_case(self, seed):
+        """Realistic replay never exceeds the analytic worst case."""
+        import numpy as np
+
+        from repro.algorithms.heuristics import random_mapping
+        from repro.simulation import BernoulliMissionModel
+        import random as pyrandom
+
+        app, plat = make_instance("comm-homogeneous", n=4, m=5, seed=seed)
+        mapping = random_mapping(4, 5, pyrandom.Random(seed))
+        worst = latency(mapping, app, plat)
+        model = BernoulliMissionModel()
+        rng = np.random.default_rng(seed)
+        for _ in range(50):
+            outcome = realized_latency(
+                mapping, app, plat, model.draw(plat, rng)
+            )
+            if outcome.success:
+                assert outcome.latency <= worst + 1e-9
+
+
+class TestStreamEngine:
+    def test_single_dataset_matches_arithmetic_replay(self, fig5):
+        res = simulate_stream(
+            fig5.two_interval_mapping, fig5.application, fig5.platform
+        )
+        arith = realized_latency(
+            fig5.two_interval_mapping, fig5.application, fig5.platform
+        )
+        assert res.outcomes[0].latency == pytest.approx(arith.latency)
+
+    @pytest.mark.parametrize("kind", ["comm-homogeneous", "fully-heterogeneous"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_dataset_identity_random(self, kind, seed):
+        import random as pyrandom
+
+        from repro.algorithms.heuristics import random_mapping
+
+        app, plat = make_instance(kind, n=3, m=4, seed=seed)
+        mapping = random_mapping(3, 4, pyrandom.Random(seed))
+        res = simulate_stream(mapping, app, plat)
+        arith = realized_latency(mapping, app, plat)
+        assert res.outcomes[0].latency == pytest.approx(
+            arith.latency, rel=1e-9
+        )
+
+    def test_trace_invariants(self, fig5):
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=10,
+        )
+        check_one_port(res.trace)
+        check_dataflow(res.trace, 10)
+        assert res.all_succeeded
+        assert res.num_datasets == 10
+
+    def test_failed_interval_rejects_datasets(self, fig5):
+        scenario = all_fail_except(fig5.platform, [1], mission_time=1.0)
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=3,
+            scenario=scenario,
+        )
+        assert not res.all_succeeded
+        assert all(o.failed_interval == 2 for o in res.outcomes)
+
+    def test_arrival_period_spacing(self, fig5):
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=4,
+            arrival_period=50.0,
+        )
+        # period larger than the pipeline's service time: no queueing, so
+        # every data set sees the single-data-set latency
+        lats = [o.latency for o in res.outcomes]
+        assert all(
+            lat == pytest.approx(lats[0], rel=1e-9) for lat in lats
+        )
+        assert res.period == pytest.approx(50.0, rel=1e-9)
+
+    def test_backpressure_increases_sojourn(self, fig5):
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=8,
+        )
+        # back-to-back feeding: later data sets queue behind earlier ones
+        assert res.outcomes[-1].latency >= res.outcomes[0].latency - 1e-9
+        assert res.max_latency >= res.mean_latency
+
+    def test_round_robin_distributes(self, fig5):
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=10,
+            round_robin=True,
+        )
+        assert res.all_succeeded
+        check_one_port(res.trace)
+        # each fast replica computes exactly one of the 10 data sets
+        compute_by_proc = {}
+        for ev in res.trace.computations():
+            if ev.src != 1:
+                compute_by_proc.setdefault(ev.src, []).append(ev.dataset)
+        assert len(compute_by_proc) == 10
+        assert all(len(v) == 1 for v in compute_by_proc.values())
+
+    def test_round_robin_designee_death_fails_dataset(self, fig5):
+        # kill fast processor P2: datasets routed to it are lost
+        survivors = [1] + list(range(3, 12))
+        scenario = all_fail_except(fig5.platform, survivors, mission_time=1.0)
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=10,
+            scenario=scenario,
+            round_robin=True,
+        )
+        failed = [o for o in res.outcomes if not o.success]
+        assert len(failed) == 1  # exactly the data set designated to P2
+
+    def test_validation_errors(self, fig5):
+        with pytest.raises(SimulationError):
+            simulate_stream(
+                fig5.two_interval_mapping,
+                fig5.application,
+                fig5.platform,
+                num_datasets=0,
+            )
+        with pytest.raises(SimulationError):
+            simulate_stream(
+                fig5.two_interval_mapping,
+                fig5.application,
+                fig5.platform,
+                arrival_period=-1.0,
+            )
+
+    def test_stream_result_properties_with_failures(self, fig5):
+        scenario = all_fail_except(fig5.platform, [1], mission_time=1.0)
+        res = simulate_stream(
+            fig5.two_interval_mapping,
+            fig5.application,
+            fig5.platform,
+            num_datasets=2,
+            scenario=scenario,
+        )
+        assert res.max_latency == -math.inf
+        assert math.isnan(res.mean_latency)
+        assert math.isnan(res.period)

@@ -1,0 +1,100 @@
+"""Property-based invariants of the discrete-event stream engine."""
+
+import random as pyrandom
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.heuristics import random_mapping
+from repro.core import latency
+from repro.simulation import (
+    check_dataflow,
+    check_one_port,
+    realized_latency,
+    simulate_stream,
+)
+
+from ..conftest import make_instance
+from ..strategies import applications, comm_homogeneous_platforms
+
+
+@st.composite
+def stream_cases(draw):
+    """(application, platform, mapping, num_datasets) quadruples."""
+    app = draw(applications(min_stages=1, max_stages=3))
+    plat = draw(comm_homogeneous_platforms(min_processors=1, max_processors=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    mapping = random_mapping(app.num_stages, plat.size, pyrandom.Random(seed))
+    num = draw(st.integers(min_value=1, max_value=5))
+    return app, plat, mapping, num
+
+
+@given(stream_cases())
+@settings(max_examples=60, deadline=None)
+def test_stream_invariants_hold(case):
+    """One-port and causality hold for every random stream run."""
+    app, plat, mapping, num = case
+    res = simulate_stream(mapping, app, plat, num_datasets=num)
+    check_one_port(res.trace)
+    check_dataflow(res.trace, num)
+    assert res.num_datasets == num
+    assert res.all_succeeded  # no failure scenario was injected
+
+
+@given(stream_cases())
+@settings(max_examples=40, deadline=None)
+def test_first_dataset_matches_arithmetic_replay(case):
+    app, plat, mapping, _ = case
+    res = simulate_stream(mapping, app, plat, num_datasets=1)
+    arith = realized_latency(mapping, app, plat)
+    assert abs(res.outcomes[0].latency - arith.latency) <= 1e-9 * max(
+        1.0, arith.latency
+    )
+
+
+@given(stream_cases())
+@settings(max_examples=40, deadline=None)
+def test_sojourn_never_below_isolated_latency(case):
+    """Queueing can only delay a data set, never accelerate it."""
+    app, plat, mapping, num = case
+    res = simulate_stream(mapping, app, plat, num_datasets=num)
+    isolated = realized_latency(mapping, app, plat).latency
+    for outcome in res.outcomes:
+        assert outcome.latency >= isolated - 1e-9
+
+
+@given(stream_cases())
+@settings(max_examples=30, deadline=None)
+def test_worst_case_upper_bounds_single_dataset(case):
+    """A lone data set can never exceed the paper's worst-case latency."""
+    app, plat, mapping, _ = case
+    res = simulate_stream(mapping, app, plat, num_datasets=1)
+    assert res.outcomes[0].latency <= latency(mapping, app, plat) + 1e-9
+
+
+@given(stream_cases())
+@settings(max_examples=30, deadline=None)
+def test_round_robin_completes_everything_without_failures(case):
+    app, plat, mapping, num = case
+    res = simulate_stream(
+        mapping, app, plat, num_datasets=num, round_robin=True
+    )
+    assert res.all_succeeded
+    check_one_port(res.trace)
+
+
+def test_wide_arrival_period_decouples_datasets():
+    """With arrivals slower than the service time, every data set sees
+    the isolated latency (no queueing): sojourn variance collapses."""
+    app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=3)
+    mapping = random_mapping(3, 4, pyrandom.Random(3))
+    isolated = realized_latency(mapping, app, plat).latency
+    res = simulate_stream(
+        mapping,
+        app,
+        plat,
+        num_datasets=6,
+        arrival_period=isolated * 4.0,
+    )
+    for outcome in res.outcomes:
+        assert abs(outcome.latency - isolated) <= 1e-9 * max(1.0, isolated)

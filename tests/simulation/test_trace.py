@@ -1,0 +1,99 @@
+"""Tests for trace records and the one-port invariant checker."""
+
+import pytest
+
+from repro.core import IN, OUT
+from repro.exceptions import SimulationError
+from repro.simulation import Trace, TraceEvent, TraceKind, check_one_port
+from repro.simulation.trace import check_dataflow
+
+
+def transfer(start, end, src, dst, dataset=0, amount=1.0):
+    return TraceEvent(TraceKind.TRANSFER, start, end, src, dst, dataset, amount)
+
+
+def compute(start, end, proc, dataset=0, amount=1.0):
+    return TraceEvent(TraceKind.COMPUTE, start, end, proc, proc, dataset, amount)
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        ev = transfer(1.0, 3.5, IN, 1)
+        assert ev.duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            transfer(3.0, 1.0, IN, 1)
+
+
+class TestTrace:
+    def test_filters_and_makespan(self):
+        trace = Trace()
+        trace.record(transfer(0, 1, IN, 1))
+        trace.record(compute(1, 4, 1))
+        trace.record(transfer(4, 5, 1, OUT))
+        assert len(trace.transfers()) == 2
+        assert len(trace.computations()) == 1
+        assert trace.makespan == 5.0
+        assert len(trace.events_touching(1)) == 3
+        assert len(trace.events_touching(IN)) == 1
+
+    def test_empty_makespan(self):
+        assert Trace().makespan == 0.0
+
+
+class TestOnePortChecker:
+    def test_accepts_serialized_transfers(self):
+        trace = Trace()
+        trace.record(transfer(0, 2, IN, 1))
+        trace.record(transfer(2, 4, IN, 2))
+        check_one_port(trace)
+
+    def test_rejects_overlap_at_sender(self):
+        trace = Trace()
+        trace.record(transfer(0, 2, 1, 2))
+        trace.record(transfer(1, 3, 1, 3))
+        with pytest.raises(SimulationError, match="one-port"):
+            check_one_port(trace)
+
+    def test_rejects_overlap_at_receiver(self):
+        trace = Trace()
+        trace.record(transfer(0, 2, 1, 3))
+        trace.record(transfer(1, 3, 2, 3))
+        with pytest.raises(SimulationError, match="one-port"):
+            check_one_port(trace)
+
+    def test_distinct_pairs_may_overlap(self):
+        # paper: independent communications between distinct pairs are fine
+        trace = Trace()
+        trace.record(transfer(0, 2, 1, 2))
+        trace.record(transfer(0, 2, 3, 4))
+        check_one_port(trace)
+
+    def test_zero_duration_exempt(self):
+        trace = Trace()
+        trace.record(transfer(0, 2, 1, 2))
+        trace.record(transfer(1, 1, 1, 3, amount=0.0))
+        check_one_port(trace)
+
+    def test_compute_overlap_allowed(self):
+        # one-port constrains communications only
+        trace = Trace()
+        trace.record(transfer(0, 2, IN, 1))
+        trace.record(compute(1, 5, 1))
+        check_one_port(trace)
+
+
+class TestDataflowChecker:
+    def test_accepts_causal_trace(self):
+        trace = Trace()
+        trace.record(transfer(0, 1, IN, 1, dataset=0))
+        trace.record(compute(1, 2, 1, dataset=0))
+        check_dataflow(trace, 1)
+
+    def test_rejects_compute_before_arrival(self):
+        trace = Trace()
+        trace.record(transfer(1, 2, IN, 1, dataset=0))
+        trace.record(compute(0, 1, 1, dataset=0))
+        with pytest.raises(SimulationError):
+            check_dataflow(trace, 1)

@@ -1,0 +1,170 @@
+"""Hypothesis strategies for model objects.
+
+Kept in one module so every property test draws from the same,
+well-bounded distributions: small instance sizes (enumeration stays
+cheap), costs within a few orders of magnitude (float comparisons stay
+meaningful), failure probabilities covering both extremes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import (
+    GeneralMapping,
+    IntervalMapping,
+    PipelineApplication,
+    Platform,
+    StageInterval,
+)
+
+__all__ = [
+    "applications",
+    "fully_homogeneous_platforms",
+    "comm_homogeneous_platforms",
+    "fully_heterogeneous_platforms",
+    "platforms",
+    "interval_mappings",
+    "app_platform_mapping",
+]
+
+_costs = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_positive = st.floats(
+    min_value=0.1, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_fps = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def applications(draw, min_stages: int = 1, max_stages: int = 5):
+    """Random pipeline applications with bounded costs."""
+    n = draw(st.integers(min_value=min_stages, max_value=max_stages))
+    works = draw(
+        st.lists(_costs, min_size=n, max_size=n)
+    )
+    volumes = draw(st.lists(_costs, min_size=n + 1, max_size=n + 1))
+    return PipelineApplication(works=works, volumes=volumes)
+
+
+@st.composite
+def fully_homogeneous_platforms(
+    draw, min_processors: int = 1, max_processors: int = 6
+):
+    """Random Fully Homogeneous platforms (optionally het. failures)."""
+    m = draw(st.integers(min_value=min_processors, max_value=max_processors))
+    speed = draw(_positive)
+    bandwidth = draw(_positive)
+    fps = draw(st.lists(_fps, min_size=m, max_size=m))
+    return Platform.fully_homogeneous(
+        m, speed=speed, bandwidth=bandwidth, failure_probabilities=fps
+    )
+
+
+@st.composite
+def comm_homogeneous_platforms(
+    draw,
+    min_processors: int = 1,
+    max_processors: int = 6,
+    failure_homogeneous: bool = False,
+):
+    """Random Communication Homogeneous platforms."""
+    m = draw(st.integers(min_value=min_processors, max_value=max_processors))
+    speeds = draw(st.lists(_positive, min_size=m, max_size=m))
+    bandwidth = draw(_positive)
+    if failure_homogeneous:
+        fp = draw(_fps)
+        fps = [fp] * m
+    else:
+        fps = draw(st.lists(_fps, min_size=m, max_size=m))
+    return Platform.communication_homogeneous(
+        speeds, bandwidth=bandwidth, failure_probabilities=fps
+    )
+
+
+@st.composite
+def fully_heterogeneous_platforms(
+    draw, min_processors: int = 1, max_processors: int = 5
+):
+    """Random Fully Heterogeneous platforms (symmetric links)."""
+    m = draw(st.integers(min_value=min_processors, max_value=max_processors))
+    speeds = draw(st.lists(_positive, min_size=m, max_size=m))
+    in_b = draw(st.lists(_positive, min_size=m, max_size=m))
+    out_b = draw(st.lists(_positive, min_size=m, max_size=m))
+    links = [[1.0] * m for _ in range(m)]
+    for u in range(m):
+        for v in range(u + 1, m):
+            links[u][v] = links[v][u] = draw(_positive)
+    fps = draw(st.lists(_fps, min_size=m, max_size=m))
+    return Platform.fully_heterogeneous(
+        speeds, in_b, out_b, links, failure_probabilities=fps
+    )
+
+
+def platforms(min_processors: int = 1, max_processors: int = 5):
+    """Any platform class."""
+    return st.one_of(
+        fully_homogeneous_platforms(min_processors, max_processors),
+        comm_homogeneous_platforms(min_processors, max_processors),
+        fully_heterogeneous_platforms(min_processors, max_processors),
+    )
+
+
+@st.composite
+def interval_mappings(draw, num_stages: int, num_processors: int):
+    """A random valid interval mapping for given sizes."""
+    p = draw(
+        st.integers(min_value=1, max_value=min(num_stages, num_processors))
+    )
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_stages - 1),
+                min_size=p - 1,
+                max_size=p - 1,
+                unique=True,
+            )
+        )
+    ) if num_stages > 1 else []
+    p = len(cuts) + 1
+    bounds = [0, *cuts, num_stages]
+    intervals = [
+        StageInterval(lo + 1, hi) for lo, hi in zip(bounds, bounds[1:])
+    ]
+    procs = list(range(1, num_processors + 1))
+    perm = draw(st.permutations(procs))
+    allocations: list[set[int]] = [{perm[j]} for j in range(p)]
+    for extra in perm[p:]:
+        target = draw(st.integers(min_value=-1, max_value=p - 1))
+        if target >= 0:
+            allocations[target].add(extra)
+    return IntervalMapping(intervals, allocations)
+
+
+@st.composite
+def app_platform_mapping(draw, platform_strategy=None):
+    """A consistent (application, platform, mapping) triple."""
+    app = draw(applications(max_stages=4))
+    if platform_strategy is None:
+        strategy = platforms(min_processors=1, max_processors=5)
+    else:
+        strategy = platform_strategy
+    platform = draw(strategy)
+    mapping = draw(interval_mappings(app.num_stages, platform.size))
+    return app, platform, mapping
+
+
+@st.composite
+def general_mappings(draw, num_stages: int, num_processors: int):
+    """A random general mapping (any stage -> any processor)."""
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_processors),
+            min_size=num_stages,
+            max_size=num_stages,
+        )
+    )
+    return GeneralMapping(assignment)

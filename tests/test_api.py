@@ -1,0 +1,88 @@
+"""Public API surface tests: everything advertised must import and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.algorithms",
+            "repro.algorithms.mono",
+            "repro.algorithms.bicriteria",
+            "repro.algorithms.heuristics",
+            "repro.reductions",
+            "repro.simulation",
+            "repro.workloads",
+            "repro.extensions",
+            "repro.analysis",
+            "repro.cli",
+        ],
+    )
+    def test_submodules_export_all(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_from_docstring(self):
+        """The module docstring's quickstart must actually run."""
+        from repro import (
+            IntervalMapping,
+            PipelineApplication,
+            Platform,
+            evaluate,
+        )
+
+        app = PipelineApplication(works=(2, 2), volumes=(100, 100, 100))
+        platform = Platform.communication_homogeneous(
+            speeds=[2.0, 1.0],
+            bandwidth=10.0,
+            failure_probabilities=[0.2, 0.1],
+        )
+        mapping = IntervalMapping.single_interval(app.num_stages, {1, 2})
+        ev = evaluate(mapping, app, platform)
+        assert ev.latency > 0
+        assert 0 <= ev.failure_probability <= 1
+
+    def test_exception_hierarchy(self):
+        from repro import (
+            InfeasibleProblemError,
+            InvalidApplicationError,
+            InvalidMappingError,
+            InvalidPlatformError,
+            ReproError,
+            SimulationError,
+            SolverError,
+        )
+
+        for exc in (
+            InvalidApplicationError,
+            InvalidPlatformError,
+            InvalidMappingError,
+            InfeasibleProblemError,
+            SolverError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_public_items_documented(self):
+        """Every public callable/class carries a docstring."""
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-pipeline" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_examples_prints_paper_numbers(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "105" in out
+        assert "0.64" in out
+        assert "0.196637" in out
+
+    def test_frontier(self, capsys):
+        assert main(["frontier", "--stages", "2", "--processors", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["min-fp", "min-latency", "alg1", "alg2", "alg3", "alg4"]
+    )
+    def test_solve(self, algorithm, capsys):
+        args = ["solve", algorithm, "--stages", "2", "--processors", "3"]
+        if algorithm in ("alg1", "alg3"):
+            args += ["--threshold", "1000"]
+        elif algorithm in ("alg2", "alg4"):
+            args += ["--threshold", "0.99"]
+        assert main(args) == 0
+        assert "SolverResult" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--stages",
+                    "2",
+                    "--processors",
+                    "3",
+                    "--datasets",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+
+    def test_simulate_round_robin(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--stages",
+                    "2",
+                    "--processors",
+                    "3",
+                    "--datasets",
+                    "6",
+                    "--round-robin",
+                ]
+            )
+            == 0
+        )
+        assert "throughput" in capsys.readouterr().out

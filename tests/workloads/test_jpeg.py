@@ -1,0 +1,63 @@
+"""Tests for the JPEG encoder workload."""
+
+import pytest
+
+from repro.workloads.jpeg import JPEG_STAGE_NAMES, jpeg_encoder_pipeline
+
+
+class TestJpegPipeline:
+    def test_structure(self):
+        app = jpeg_encoder_pipeline()
+        assert app.num_stages == 7
+        assert app.stage_names == JPEG_STAGE_NAMES
+
+    def test_input_volume_matches_frame(self):
+        app = jpeg_encoder_pipeline(width=100, height=50, bytes_per_pixel=3)
+        assert app.input_size == 100 * 50 * 3
+
+    def test_compression_ratio(self):
+        """Output must be roughly a tenth of the input (JPEG ~10:1)."""
+        app = jpeg_encoder_pipeline()
+        ratio = app.input_size / app.output_size
+        assert 8.0 <= ratio <= 12.0
+
+    def test_volumes_shrink_after_subsampling(self):
+        app = jpeg_encoder_pipeline()
+        # delta_2 (after conversion) -> delta_3 (after 4:2:0) halves
+        assert app.volume(3) == pytest.approx(app.volume(2) * 0.5)
+        # and volumes never grow along the tail
+        tail = app.volumes[2:]
+        assert all(b <= a for a, b in zip(tail, tail[1:]))
+
+    def test_dct_dominates_compute(self):
+        app = jpeg_encoder_pipeline()
+        dct_index = JPEG_STAGE_NAMES.index("block-dct") + 1
+        assert app.work(dct_index) == max(app.works)
+
+    def test_work_scale(self):
+        base = jpeg_encoder_pipeline(work_scale=1.0)
+        doubled = jpeg_encoder_pipeline(work_scale=2.0)
+        assert doubled.total_work == pytest.approx(2 * base.total_work)
+        assert doubled.volumes == base.volumes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jpeg_encoder_pipeline(width=0)
+        with pytest.raises(ValueError):
+            jpeg_encoder_pipeline(bytes_per_pixel=0)
+
+    def test_mappable_on_cluster(self):
+        """Integration smoke: the workload flows through the solvers."""
+        from repro.algorithms.bicriteria import exhaustive_minimize_fp
+        from repro.core import Platform, latency
+        from repro.core.mapping import IntervalMapping
+
+        app = jpeg_encoder_pipeline(width=64, height=64, work_scale=1e-6)
+        plat = Platform.communication_homogeneous(
+            [5.0, 3.0, 2.0], bandwidth=2000.0,
+            failure_probabilities=[0.2, 0.1, 0.3],
+        )
+        single = IntervalMapping.single_interval(7, {1})
+        budget = 2.0 * latency(single, app, plat)
+        result = exhaustive_minimize_fp(app, plat, budget)
+        assert result.latency <= budget

@@ -1,0 +1,101 @@
+"""The paper's Section 3 examples must reproduce digit-for-digit."""
+
+import pytest
+
+from repro.core import failure_probability, latency
+from repro.workloads.reference import figure5_instance, figure34_instance
+
+
+class TestFigure34:
+    def test_claimed_single_processor_latency(self):
+        inst = figure34_instance()
+        for mapping in inst.single_processor_mappings:
+            assert latency(
+                mapping, inst.application, inst.platform
+            ) == pytest.approx(inst.claimed_single_latency, abs=1e-12)
+
+    def test_claimed_split_latency(self):
+        inst = figure34_instance()
+        assert latency(
+            inst.split_mapping, inst.application, inst.platform
+        ) == pytest.approx(inst.claimed_split_latency, abs=1e-12)
+
+    def test_split_is_globally_optimal(self):
+        """The paper: 'a mapping which minimizes the latency must map each
+        stage on a different processor'."""
+        from repro.algorithms.mono import (
+            minimize_latency_general,
+            minimize_latency_interval_exact,
+        )
+
+        inst = figure34_instance()
+        sp = minimize_latency_general(inst.application, inst.platform)
+        assert sp.latency == pytest.approx(7.0)
+        exact = minimize_latency_interval_exact(inst.application, inst.platform)
+        assert exact.latency == pytest.approx(7.0)
+        assert exact.mapping.num_intervals == 2
+
+    def test_platform_is_fully_heterogeneous(self):
+        inst = figure34_instance()
+        assert inst.platform.is_fully_heterogeneous
+
+
+class TestFigure5:
+    def test_single_interval_claims(self):
+        inst = figure5_instance()
+        lat = latency(
+            inst.best_single_interval, inst.application, inst.platform
+        )
+        # paper: 2 fast processors give 2*10 + 101/100 = 21.01 <= 22
+        assert lat == pytest.approx(21.01, abs=1e-12)
+        assert lat <= inst.latency_threshold
+        assert failure_probability(
+            inst.best_single_interval, inst.platform
+        ) == pytest.approx(inst.claimed_single_interval_fp, abs=1e-12)
+
+    def test_three_fast_processors_violate_threshold(self):
+        """Paper: 'if we use three fast processors, the latency is
+        3*10 + 101/100 > 22'."""
+        from repro.core import IntervalMapping
+
+        inst = figure5_instance()
+        three = IntervalMapping.single_interval(2, {2, 3, 4})
+        assert latency(three, inst.application, inst.platform) > 22.0
+
+    def test_slow_processor_unusable_in_single_interval(self):
+        from repro.core import IntervalMapping
+
+        inst = figure5_instance()
+        with_slow = IntervalMapping.single_interval(2, {1, 2})
+        # compute bound drops to speed 1: 101/1 dominates
+        assert latency(with_slow, inst.application, inst.platform) > 22.0
+
+    def test_two_interval_claims(self):
+        inst = figure5_instance()
+        lat = latency(
+            inst.two_interval_mapping, inst.application, inst.platform
+        )
+        assert lat == pytest.approx(
+            inst.claimed_two_interval_latency, abs=1e-12
+        )
+        fp = failure_probability(inst.two_interval_mapping, inst.platform)
+        assert fp == pytest.approx(inst.claimed_two_interval_fp, rel=1e-12)
+        assert fp < inst.claimed_two_interval_fp_bound
+
+    def test_two_interval_is_exhaustive_optimum(self):
+        """The paper's solution is the true optimum under L=22."""
+        from repro.algorithms.bicriteria import exhaustive_minimize_fp
+
+        inst = figure5_instance()
+        best = exhaustive_minimize_fp(
+            inst.application, inst.platform, inst.latency_threshold
+        )
+        assert best.failure_probability == pytest.approx(
+            inst.claimed_two_interval_fp, rel=1e-12
+        )
+        assert best.mapping.num_intervals == 2
+
+    def test_platform_classification(self):
+        inst = figure5_instance()
+        assert inst.platform.is_communication_homogeneous
+        assert not inst.platform.is_failure_homogeneous

@@ -1,0 +1,67 @@
+"""Tests for the synthetic instance generators."""
+
+import pytest
+
+from repro.core import PlatformClass
+from repro.workloads.synthetic import (
+    random_application,
+    random_comm_homogeneous,
+    random_fully_heterogeneous,
+    random_fully_homogeneous,
+    random_platform,
+)
+
+
+class TestGenerators:
+    def test_application_shape(self):
+        app = random_application(5, seed=0)
+        assert app.num_stages == 5
+        assert len(app.volumes) == 6
+
+    def test_deterministic_with_seed(self):
+        assert random_application(4, seed=7) == random_application(4, seed=7)
+        a = random_fully_heterogeneous(4, seed=7)
+        b = random_fully_heterogeneous(4, seed=7)
+        assert a.speeds == b.speeds
+        assert a.topology == b.topology
+
+    def test_fully_homogeneous_class(self):
+        plat = random_fully_homogeneous(4, seed=1)
+        assert plat.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+        assert plat.is_failure_homogeneous
+
+    def test_fully_homogeneous_failhet(self):
+        plat = random_fully_homogeneous(4, seed=1, failure_heterogeneous=True)
+        assert plat.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+        assert not plat.is_failure_homogeneous
+
+    def test_comm_homogeneous_class(self):
+        plat = random_comm_homogeneous(4, seed=2)
+        assert plat.platform_class is PlatformClass.COMMUNICATION_HOMOGENEOUS
+
+    def test_comm_homogeneous_failhom(self):
+        plat = random_comm_homogeneous(4, seed=2, failure_homogeneous=True)
+        assert plat.is_failure_homogeneous
+
+    def test_fully_heterogeneous_class(self):
+        plat = random_fully_heterogeneous(4, seed=3)
+        assert plat.platform_class is PlatformClass.FULLY_HETEROGENEOUS
+
+    def test_ranges_respected(self):
+        plat = random_comm_homogeneous(
+            10, seed=4, speed_range=(2.0, 3.0), fp_range=(0.1, 0.2)
+        )
+        assert all(2.0 <= s <= 3.0 for s in plat.speeds)
+        assert all(0.1 <= f <= 0.2 for f in plat.failure_probabilities)
+
+    def test_dispatch(self):
+        for kind, cls in [
+            ("fully-homogeneous", PlatformClass.FULLY_HOMOGENEOUS),
+            ("comm-homogeneous", PlatformClass.COMMUNICATION_HOMOGENEOUS),
+            ("fully-heterogeneous", PlatformClass.FULLY_HETEROGENEOUS),
+        ]:
+            assert random_platform(3, kind, seed=5).platform_class is cls
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            random_platform(3, "quantum")
