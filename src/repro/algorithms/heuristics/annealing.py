@@ -22,7 +22,7 @@ from .neighborhood import random_mapping, random_neighbor
 from .single_interval import single_interval_candidates
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
-from ...core.metrics import failure_probability, latency
+from ...core.metrics import EvaluationCache, failure_probability, latency
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
 
@@ -136,18 +136,21 @@ def anneal_minimize_fp(
     rng = random.Random(seed)
     slack = tolerance * max(1.0, abs(latency_threshold))
     scale = max(latency_threshold, 1e-12)
+    # random-neighbour moves perturb one or two intervals, so the
+    # memoized per-interval terms make each energy evaluation nearly free
+    cache = EvaluationCache(application, platform)
 
     def energy(mapping: IntervalMapping) -> float:
-        lat = latency(mapping, application, platform)
-        fp = failure_probability(mapping, platform)
+        lat = cache.latency(mapping)
+        fp = cache.failure_probability(mapping)
         violation = max(0.0, lat - latency_threshold) / scale
         return fp + penalty * violation
 
     def feasible_rank(mapping: IntervalMapping) -> tuple[float, float] | None:
-        lat = latency(mapping, application, platform)
+        lat = cache.latency(mapping)
         if lat > latency_threshold + slack:
             return None
-        return (failure_probability(mapping, platform), lat)
+        return (cache.failure_probability(mapping), lat)
 
     best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
     if best is None:
@@ -203,17 +206,19 @@ def anneal_minimize_latency(
             initial_temperature=0.5 * max(base, 1.0)
         )
 
+    cache = EvaluationCache(application, platform)
+
     def energy(mapping: IntervalMapping) -> float:
-        lat = latency(mapping, application, platform)
-        fp = failure_probability(mapping, platform)
+        lat = cache.latency(mapping)
+        fp = cache.failure_probability(mapping)
         violation = max(0.0, fp - fp_threshold)
         return lat + penalty * violation
 
     def feasible_rank(mapping: IntervalMapping) -> tuple[float, float] | None:
-        fp = failure_probability(mapping, platform)
+        fp = cache.failure_probability(mapping)
         if fp > fp_threshold + slack:
             return None
-        return (latency(mapping, application, platform), fp)
+        return (cache.latency(mapping), fp)
 
     best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
     if best is None:

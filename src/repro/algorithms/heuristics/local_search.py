@@ -24,7 +24,7 @@ from .neighborhood import neighbors, random_mapping
 from .single_interval import single_interval_candidates
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
-from ...core.metrics import failure_probability, latency
+from ...core.metrics import EvaluationCache, failure_probability, latency
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
 
@@ -113,10 +113,13 @@ def local_search_minimize_fp(
         If the search never reaches the feasible region.
     """
     slack = tolerance * max(1.0, abs(latency_threshold))
+    # neighbourhood moves change one or two intervals, so memoized
+    # per-interval terms make re-ranking nearly free
+    cache = EvaluationCache(application, platform)
 
     def rank(mapping: IntervalMapping) -> _Rank:
-        lat = latency(mapping, application, platform)
-        fp = failure_probability(mapping, platform)
+        lat = cache.latency(mapping)
+        fp = cache.failure_probability(mapping)
         if lat <= latency_threshold + slack:
             return (0, fp, lat)
         return (1, lat - latency_threshold, fp)
@@ -163,10 +166,11 @@ def local_search_minimize_latency(
         If the search never reaches the feasible region.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
+    cache = EvaluationCache(application, platform)
 
     def rank(mapping: IntervalMapping) -> _Rank:
-        lat = latency(mapping, application, platform)
-        fp = failure_probability(mapping, platform)
+        lat = cache.latency(mapping)
+        fp = cache.failure_probability(mapping)
         if fp <= fp_threshold + slack:
             return (0, lat, fp)
         return (1, fp - fp_threshold, lat)

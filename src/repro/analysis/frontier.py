@@ -19,7 +19,7 @@ from ..algorithms.result import SolverResult
 from ..core.application import PipelineApplication
 from ..core.pareto import BiCriteriaPoint, pareto_front
 from ..core.platform import Platform
-from ..exceptions import InfeasibleProblemError
+from ..exceptions import InfeasibleProblemError, SolverError
 
 __all__ = [
     "exact_frontier",
@@ -85,30 +85,67 @@ def latency_grid(
 def sweep_frontier(
     application: PipelineApplication,
     platform: Platform,
-    solver: MinFpSolver,
+    solver: MinFpSolver | str,
     thresholds: Sequence[float] | None = None,
     *,
     num_points: int = 20,
+    workers: int | None = None,
+    seed: int | None = None,
 ) -> list[BiCriteriaPoint]:
     """Heuristic frontier: sweep latency thresholds through a min-FP solver.
 
-    Thresholds where the solver reports infeasibility are skipped.
+    ``solver`` is either a callable ``(application, platform, threshold)
+    -> SolverResult`` or the name of a registered engine solver (see
+    :mod:`repro.engine.registry`); names additionally unlock parallel
+    sweeps — with ``workers`` the thresholds are sharded across
+    processes by the engine's batch executor, with results identical to
+    the serial sweep.  Thresholds where the solver reports infeasibility
+    are skipped.
     """
     if thresholds is None:
         thresholds = latency_grid(
             application, platform, num_points=num_points
         )
-    points: list[BiCriteriaPoint] = []
-    for threshold in thresholds:
-        try:
-            result = solver(application, platform, threshold)
-        except InfeasibleProblemError:
-            continue
-        points.append(
-            BiCriteriaPoint(
-                result.latency, result.failure_probability, payload=result.mapping
-            )
+    results: list[SolverResult]
+    if isinstance(solver, str):
+        from ..engine.batch import threshold_sweep
+
+        outcomes = threshold_sweep(
+            solver,
+            application,
+            platform,
+            thresholds,
+            workers=workers,
+            seed=seed,
         )
+        results = []
+        for outcome in outcomes:
+            if outcome.result is not None:
+                results.append(outcome.result)
+            elif not outcome.error.startswith("InfeasibleProblemError"):
+                # match the serial path: only infeasibility is skipped
+                raise SolverError(
+                    f"sweep {outcome.tag} failed: {outcome.error}"
+                )
+    else:
+        if workers is not None and workers > 1:
+            raise ValueError(
+                "parallel sweeps need a registered solver name, not a "
+                "bare callable (the engine must be able to dispatch the "
+                "solver inside worker processes)"
+            )
+        results = []
+        for threshold in thresholds:
+            try:
+                results.append(solver(application, platform, threshold))
+            except InfeasibleProblemError:
+                continue
+    points = [
+        BiCriteriaPoint(
+            result.latency, result.failure_probability, payload=result.mapping
+        )
+        for result in results
+    ]
     return pareto_front(points)
 
 

@@ -12,6 +12,10 @@ Subcommands
 ``simulate``
     Stream data sets through a mapping in the discrete-event engine and
     report latency/period/success statistics.
+``batch``
+    Solve many random instances (sharded over worker processes with
+    deterministic seeding) through the engine's solver registry; JSON or
+    table output.  ``--list-solvers`` dumps the registry metadata.
 """
 
 from __future__ import annotations
@@ -76,6 +80,49 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--datasets", type=int, default=20)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--round-robin", action="store_true")
+
+    batch = sub.add_parser(
+        "batch", help="solve many instances through the engine registry"
+    )
+    batch.add_argument(
+        "--solver",
+        default=None,
+        help="registered solver name (see --list-solvers)",
+    )
+    batch.add_argument(
+        "--list-solvers",
+        action="store_true",
+        help="print the solver registry and exit",
+    )
+    batch.add_argument("--instances", type=int, default=4)
+    batch.add_argument("--stages", type=int, default=3)
+    batch.add_argument("--processors", type=int, default=4)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--platform",
+        choices=["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"],
+        default="comm-homogeneous",
+    )
+    batch.add_argument(
+        "--failure-homogeneous",
+        action="store_true",
+        help="force identical failure probabilities (Algorithms 3-4)",
+    )
+    batch.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="latency bound (min-fp solvers) or FP bound (min-latency solvers)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for the batch executor (default: serial)",
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     return parser
 
 
@@ -235,6 +282,118 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.reporting import format_table
+    from .core.serialization import mapping_to_dict
+    from .engine import BatchTask, run_batch, solver_specs
+    from .exceptions import ReproError
+    from .workloads.synthetic import random_application, random_platform
+
+    if args.list_solvers:
+        records = [
+            {
+                "name": spec.name,
+                "objective": spec.objective.value,
+                "kind": "exact" if spec.exact else "heuristic",
+                "needs_threshold": spec.needs_threshold,
+                "description": spec.description,
+            }
+            for spec in solver_specs()
+        ]
+        if args.json:
+            print(json.dumps(records, indent=2))
+        else:
+            print(
+                format_table(
+                    ("solver", "objective", "kind", "threshold", "description"),
+                    [
+                        (
+                            r["name"],
+                            r["objective"],
+                            r["kind"],
+                            "yes" if r["needs_threshold"] else "no",
+                            r["description"],
+                        )
+                        for r in records
+                    ],
+                )
+            )
+        return 0
+
+    if args.solver is None:
+        print("error: --solver is required (or use --list-solvers)")
+        return 2
+
+    tasks = []
+    for i in range(args.instances):
+        seed = args.seed + 2 * i
+        application = random_application(args.stages, seed=seed)
+        platform = random_platform(args.processors, args.platform, seed=seed + 1)
+        if args.failure_homogeneous:
+            platform = platform.with_failure_probabilities(
+                [platform.failure_probabilities[0]] * platform.size
+            )
+        tasks.append(
+            BatchTask(
+                solver=args.solver,
+                application=application,
+                platform=platform,
+                threshold=args.threshold,
+                tag=f"instance-{i}(seed={seed})",
+            )
+        )
+    try:
+        outcomes = run_batch(tasks, workers=args.workers, seed=args.seed)
+    except ReproError as exc:
+        # malformed batch (unknown solver, missing threshold): a usage
+        # error, not a per-task failure — no traceback at the user
+        print(f"error: {exc}")
+        return 2
+
+    if args.json:
+        records = []
+        for o in outcomes:
+            record: dict[str, object] = {
+                "index": o.index,
+                "tag": o.tag,
+                "solver": o.solver,
+                "elapsed": o.elapsed,
+            }
+            if o.result is not None:
+                record.update(
+                    latency=o.result.latency,
+                    failure_probability=o.result.failure_probability,
+                    optimal=o.result.optimal,
+                    mapping=mapping_to_dict(o.result.mapping),
+                )
+            else:
+                record["error"] = o.error
+            records.append(record)
+        print(json.dumps(records, indent=2))
+    else:
+        rows = [
+            (
+                o.tag,
+                f"{o.result.latency:.6g}" if o.result else "-",
+                f"{o.result.failure_probability:.6g}" if o.result else "-",
+                f"{o.elapsed:.4f}s",
+                "" if o.result else (o.error or ""),
+            )
+            for o in outcomes
+        ]
+        print(
+            format_table(
+                ("task", "latency", "failure-prob", "time", "error"), rows
+            )
+        )
+    failures = sum(1 for o in outcomes if o.result is None)
+    if outcomes and failures == len(outcomes):
+        return 1  # every task failed
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -247,6 +406,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

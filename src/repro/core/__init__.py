@@ -17,6 +17,7 @@ from .enumeration import (
 )
 from .mapping import GeneralMapping, IntervalMapping, StageInterval
 from .metrics import (
+    EvaluationCache,
     IntervalCost,
     LatencyBreakdown,
     MappingEvaluation,
@@ -87,6 +88,7 @@ __all__ = [
     "failure_probability",
     "interval_reliability",
     "evaluate",
+    "EvaluationCache",
     "MappingEvaluation",
     "latency_breakdown",
     "LatencyBreakdown",

@@ -109,7 +109,9 @@ def enumerate_interval_mappings(
         for allocs in allocations_for_partition(
             len(partition), processors, max_replication=max_replication
         ):
-            yield IntervalMapping(partition, allocs)
+            # both factors are normalised and structurally valid by
+            # construction, so skip the constructor's re-validation
+            yield IntervalMapping._trusted(partition, allocs)
 
 
 def enumerate_one_to_one_mappings(

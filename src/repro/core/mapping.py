@@ -189,6 +189,24 @@ class IntervalMapping:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _trusted(
+        cls,
+        intervals: tuple[StageInterval, ...],
+        allocations: tuple[frozenset[int], ...],
+    ) -> "IntervalMapping":
+        """Construct without normalisation or structural validation.
+
+        For enumeration/search hot loops only: the caller guarantees the
+        structural rules by construction (consecutive intervals starting
+        at 1, disjoint non-empty frozensets) and passes already-normalised
+        tuples.  Everywhere else, use the public constructor.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "intervals", intervals)
+        object.__setattr__(self, "allocations", allocations)
+        return self
+
+    @classmethod
     def single_interval(
         cls, num_stages: int, processors: Iterable[int]
     ) -> "IntervalMapping":

@@ -67,6 +67,7 @@ __all__ = [
     "latency_breakdown",
     "MappingEvaluation",
     "evaluate",
+    "EvaluationCache",
 ]
 
 
@@ -373,3 +374,213 @@ def evaluate(
         failure_probability=failure_probability(mapping, platform),
         mapping=mapping,
     )
+
+
+# ----------------------------------------------------------------------
+# memoized evaluation
+# ----------------------------------------------------------------------
+class EvaluationCache:
+    """Memoized evaluation of interval mappings on one fixed instance.
+
+    Both objectives decompose into per-interval terms that depend only on
+    a small key:
+
+    * failure probability — each allocation set contributes
+      ``log1p(-prod_u fp_u)`` independently of everything else;
+    * latency, uniform links (eq. (1)) — interval ``j`` contributes
+      ``k_j * delta_{d_j-1}/b + W_j / min s_u``, a function of
+      ``(d_j, e_j, alloc_j)`` alone;
+    * latency, heterogeneous links (eq. (2)) — interval ``j``'s term
+      additionally depends on the *successor* allocation (the one-port
+      sends target its replicas), so the key is
+      ``(d_j, e_j, alloc_j, alloc_{j+1})``, plus one input term keyed by
+      ``alloc_1``.
+
+    Neighbouring mappings — consecutive states in exhaustive enumeration,
+    or local-search / annealing moves — share almost all of their terms,
+    so after a warm-up each evaluation is a handful of dictionary lookups
+    instead of a full metric recomputation.  Terms are accumulated in the
+    exact order the plain functions use, so results are **bit-for-bit
+    identical** to :func:`latency` / :func:`failure_probability` /
+    :func:`evaluate` (a machine-checked property).
+
+    The cache trusts its callers on compatibility (it performs the cheap
+    stage-count / processor-index check of ``validate_mapping`` inline
+    only when ``check=True``); mappings must come from the same
+    ``(application, platform)`` the cache was built for.
+    """
+
+    def __init__(
+        self,
+        application: PipelineApplication,
+        platform: Platform,
+        *,
+        one_port: bool = True,
+        check: bool = False,
+    ) -> None:
+        self.application = application
+        self.platform = platform
+        self.one_port = one_port
+        self.check = check
+        self._uniform = platform.is_communication_homogeneous
+        self._bandwidth = (
+            platform.uniform_bandwidth if self._uniform else None
+        )
+        self._final_term = (
+            application.output_size / self._bandwidth if self._uniform else 0.0
+        )
+        # interval work is re-derived as sum(works[a-1:b]) on every term
+        # miss — prefix sums would be faster still but not bit-identical
+        # to PipelineApplication.interval_work (float + is not associative)
+        self._works = application.works
+        self._volumes = application.volumes
+        self._speeds = platform.speeds
+        self._fps = platform.failure_probabilities
+        self._topology = platform.topology
+        # (start, end, alloc[, next_alloc]) -> (comm_term, comp_term) | worst
+        self._lat_terms: dict = {}
+        # alloc -> log1p(-prod fp) (``-inf`` when the interval surely fails)
+        self._rel_terms: dict[frozenset[int], float] = {}
+        # alloc_1 -> serialized input-send time (heterogeneous only)
+        self._in_terms: dict[frozenset[int], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache effectiveness counters (term-level hits/misses)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._lat_terms)
+            + len(self._rel_terms)
+            + len(self._in_terms),
+        }
+
+    def _check_compatible(self, mapping: IntervalMapping) -> None:
+        validate_mapping(mapping, self.application, self.platform)
+
+    # ------------------------------------------------------------------
+    # failure probability
+    # ------------------------------------------------------------------
+    def _rel_term(self, alloc: frozenset[int]) -> float:
+        term = self._rel_terms.get(alloc)
+        if term is None:
+            self.misses += 1
+            prod = 1.0
+            for u in alloc:
+                prod *= self._fps[u - 1]
+            term = math.log1p(-prod) if prod < 1.0 else -math.inf
+            self._rel_terms[alloc] = term
+        else:
+            self.hits += 1
+        return term
+
+    def failure_probability(self, mapping: IntervalMapping) -> float:
+        """Memoized :func:`failure_probability` (bit-identical result)."""
+        if self.check:
+            self._check_compatible(mapping)
+        log_success = 0.0
+        for alloc in mapping.allocations:
+            term = self._rel_term(alloc)
+            if term == -math.inf:
+                return 1.0  # some interval fails almost surely
+            log_success += term
+        return -math.expm1(log_success)
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+    def _uniform_term(
+        self, start: int, end: int, alloc: frozenset[int]
+    ) -> tuple[float, float]:
+        key = (start, end, alloc)
+        term = self._lat_terms.get(key)
+        if term is None:
+            self.misses += 1
+            k_j = len(alloc) if self.one_port else 1
+            slowest = min(self._speeds[u - 1] for u in alloc)
+            term = (
+                k_j * self._volumes[start - 1] / self._bandwidth,
+                float(sum(self._works[start - 1 : end])) / slowest,
+            )
+            self._lat_terms[key] = term
+        else:
+            self.hits += 1
+        return term
+
+    def _input_term(self, alloc: frozenset[int]) -> float:
+        term = self._in_terms.get(alloc)
+        if term is None:
+            self.misses += 1
+            delta0 = self._volumes[0]
+            sends = [
+                self._topology.transfer_time(delta0, IN, u)
+                for u in sorted(alloc)
+            ]
+            term = sum(sends) if self.one_port else max(sends)
+            self._in_terms[alloc] = term
+        else:
+            self.hits += 1
+        return term
+
+    def _het_term(
+        self,
+        start: int,
+        end: int,
+        alloc: frozenset[int],
+        next_alloc: frozenset[int] | None,
+    ) -> float:
+        key = (start, end, alloc, next_alloc)
+        term = self._lat_terms.get(key)
+        if term is None:
+            self.misses += 1
+            next_targets: list[Any] = (
+                [OUT] if next_alloc is None else sorted(next_alloc)
+            )
+            delta_out = self._volumes[end]
+            work = float(sum(self._works[start - 1 : end]))
+            worst = -math.inf
+            for u in sorted(alloc):
+                send_terms = [
+                    self._topology.transfer_time(delta_out, u, v)
+                    for v in next_targets
+                ]
+                sends = sum(send_terms) if self.one_port else max(send_terms)
+                worst = max(worst, work / self._speeds[u - 1] + sends)
+            term = worst
+            self._lat_terms[key] = term
+        else:
+            self.hits += 1
+        return term
+
+    def latency(self, mapping: IntervalMapping) -> float:
+        """Memoized :func:`latency` (bit-identical result)."""
+        if self.check:
+            self._check_compatible(mapping)
+        intervals = mapping.intervals
+        allocations = mapping.allocations
+        if self._uniform:
+            total = 0.0
+            for iv, alloc in zip(intervals, allocations):
+                comm, comp = self._uniform_term(iv.start, iv.end, alloc)
+                total += comm
+                total += comp
+            total += self._final_term
+            return total
+        total = self._input_term(allocations[0])
+        p = len(intervals)
+        for j in range(p):
+            iv = intervals[j]
+            next_alloc = allocations[j + 1] if j + 1 < p else None
+            total += self._het_term(iv.start, iv.end, allocations[j], next_alloc)
+        return total
+
+    def evaluate(self, mapping: IntervalMapping) -> MappingEvaluation:
+        """Memoized :func:`evaluate` (bit-identical result)."""
+        return MappingEvaluation(
+            latency=self.latency(mapping),
+            failure_probability=self.failure_probability(mapping),
+            mapping=mapping,
+        )

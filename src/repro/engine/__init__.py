@@ -1,0 +1,51 @@
+"""Parallel solver engine: registry, uniform dispatch, batch execution.
+
+This subsystem turns the paper's individual algorithms into a batched,
+parallel solving service:
+
+* :mod:`repro.engine.registry` — every exact solver and heuristic under
+  a uniform ``solve(name, application, platform, threshold=None,
+  **opts)`` interface with capability metadata (platform-class domain,
+  exact vs heuristic, objective, seededness);
+* :mod:`repro.engine.batch` — shard many instances, or many threshold
+  queries over one instance, across ``multiprocessing`` workers with
+  deterministic seeding and in-order result aggregation.
+
+Quickstart::
+
+    from repro import engine
+    from repro.workloads.synthetic import random_application, random_platform
+
+    app = random_application(4, seed=0)
+    plat = random_platform(4, "comm-homogeneous", seed=1)
+
+    result = engine.solve("local-search-min-fp", app, plat, threshold=30.0)
+    outcomes = engine.threshold_sweep(
+        "greedy-min-fp", app, plat, [10, 20, 30, 40], workers=4
+    )
+"""
+
+from .batch import BatchOutcome, BatchTask, run_batch, threshold_sweep
+from .registry import (
+    Objective,
+    SolverSpec,
+    get_solver,
+    register,
+    solve,
+    solver_names,
+    solver_specs,
+)
+
+__all__ = [
+    "Objective",
+    "SolverSpec",
+    "register",
+    "get_solver",
+    "solver_names",
+    "solver_specs",
+    "solve",
+    "BatchTask",
+    "BatchOutcome",
+    "run_batch",
+    "threshold_sweep",
+]

@@ -1,0 +1,205 @@
+"""Batch executor: many solver queries, optionally across processes.
+
+Turns solving into a batched service instead of one-off function calls:
+a list of :class:`BatchTask` records (any mix of instances, solvers and
+thresholds) is executed either serially or sharded across
+``multiprocessing`` workers, with
+
+* **deterministic seeding** — randomised solvers receive a per-task seed
+  derived as ``base_seed + task_index``, so results are reproducible and
+  *identical* between serial and parallel runs (a machine-checked
+  property);
+* **result aggregation** — outcomes come back in task order, each
+  carrying the :class:`~repro.algorithms.result.SolverResult` or the
+  error string (one infeasible or guarded task never aborts the batch)
+  plus its wall-clock time.
+
+Typical uses: solving a whole experiment grid of random instances, or
+sweeping many threshold queries over one instance to trace a frontier
+(see :func:`threshold_sweep` and :mod:`repro.analysis.frontier`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..algorithms.result import SolverResult
+from ..core.application import PipelineApplication
+from ..core.platform import Platform
+from ..exceptions import ReproError, SolverError
+from .registry import get_solver, solve
+
+__all__ = ["BatchTask", "BatchOutcome", "run_batch", "threshold_sweep"]
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One solver invocation inside a batch."""
+
+    solver: str
+    application: PipelineApplication
+    platform: Platform
+    threshold: float | None = None
+    opts: Mapping[str, Any] = field(default_factory=dict)
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one :class:`BatchTask` (in input order).
+
+    Exactly one of ``result`` and ``error`` is set; ``error`` carries
+    the exception type and message of a failed/infeasible task.  The
+    originating ``task`` rides along so aggregators (reports,
+    Monte-Carlo cross-checks) can reach the instance without tracking
+    the input list.
+    """
+
+    index: int
+    solver: str
+    tag: str
+    result: SolverResult | None
+    error: str | None
+    elapsed: float
+    task: BatchTask
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a result."""
+        return self.result is not None
+
+
+def _effective_opts(
+    task: BatchTask, index: int, base_seed: int | None
+) -> dict[str, Any]:
+    """Task options with the deterministic per-task seed injected."""
+    opts = dict(task.opts)
+    if (
+        base_seed is not None
+        and get_solver(task.solver).seeded
+        and "seed" not in opts
+    ):
+        opts["seed"] = base_seed + index
+    return opts
+
+
+def _execute(payload: tuple[int, BatchTask, dict[str, Any]]) -> BatchOutcome:
+    """Run one task (top-level so multiprocessing can pickle it)."""
+    index, task, opts = payload
+    start = time.perf_counter()
+    try:
+        # through the registry front door, so every dispatch validation
+        # (threshold shape, platform domain) applies identically to
+        # batched and direct solves; domain violations surface as
+        # per-task errors, keeping mixed batches alive
+        result: SolverResult | None = solve(
+            task.solver,
+            task.application,
+            task.platform,
+            task.threshold,
+            **opts,
+        )
+        error = None
+    except ReproError as exc:
+        result = None
+        error = f"{type(exc).__name__}: {exc}"
+    return BatchOutcome(
+        index=index,
+        solver=task.solver,
+        tag=task.tag,
+        result=result,
+        error=error,
+        elapsed=time.perf_counter() - start,
+        task=task,
+    )
+
+
+def run_batch(
+    tasks: Iterable[BatchTask],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    chunksize: int | None = None,
+) -> list[BatchOutcome]:
+    """Execute a batch of solver tasks, serially or across processes.
+
+    Parameters
+    ----------
+    tasks:
+        The queries to run; outcomes are returned in the same order.
+    workers:
+        ``None``/``0``/``1`` runs in-process; larger values shard the
+        batch over a ``multiprocessing`` pool of that many workers.
+    seed:
+        Base seed for randomised solvers: task ``i`` runs with
+        ``seed + i`` (unless its ``opts`` already pin one).  Seeding —
+        and therefore every result — is independent of ``workers``.
+    chunksize:
+        Pool chunk size; defaults to an even split across workers.
+
+    Raises
+    ------
+    repro.exceptions.SolverError
+        Immediately (before running anything) if a task names an
+        unregistered solver, omits a required threshold, or passes one
+        to a solver that takes none — a malformed batch is a
+        programming error, unlike a solver failure, which is reported
+        per-outcome.
+    """
+    payloads: list[tuple[int, BatchTask, dict[str, Any]]] = []
+    for index, task in enumerate(tasks):
+        spec = get_solver(task.solver)
+        if spec.needs_threshold and task.threshold is None:
+            raise SolverError(
+                f"batch task {index} ({task.solver!r}) requires a threshold"
+            )
+        if not spec.needs_threshold and task.threshold is not None:
+            raise SolverError(
+                f"batch task {index} ({task.solver!r}) does not take a "
+                f"threshold"
+            )
+        payloads.append((index, task, _effective_opts(task, index, seed)))
+
+    if not payloads:
+        return []
+    if workers is None or workers <= 1:
+        return [_execute(p) for p in payloads]
+
+    workers = min(workers, len(payloads))
+    if chunksize is None:
+        chunksize = max(1, len(payloads) // workers)
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(_execute, payloads, chunksize=chunksize)
+
+
+def threshold_sweep(
+    solver: str,
+    application: PipelineApplication,
+    platform: Platform,
+    thresholds: Sequence[float],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    opts: Mapping[str, Any] | None = None,
+) -> list[BatchOutcome]:
+    """Run one threshold query per value over a single instance.
+
+    The bread-and-butter frontier workload: outcomes are returned in
+    threshold order, infeasible thresholds showing up as failed
+    outcomes rather than aborting the sweep.
+    """
+    tasks = [
+        BatchTask(
+            solver=solver,
+            application=application,
+            platform=platform,
+            threshold=float(t),
+            opts=dict(opts or {}),
+            tag=f"threshold={t:g}",
+        )
+        for t in thresholds
+    ]
+    return run_batch(tasks, workers=workers, seed=seed)

@@ -30,6 +30,7 @@ from .montecarlo import (
     LatencySample,
     MonteCarloEstimate,
     empirical_vs_analytic_fp,
+    validate_batch_fp,
     estimate_failure_probability,
     sample_latencies,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "LatencySample",
     "sample_latencies",
     "empirical_vs_analytic_fp",
+    "validate_batch_fp",
     # trace
     "Trace",
     "TraceEvent",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -32,6 +33,8 @@ __all__ = [
     "estimate_failure_probability",
     "LatencySample",
     "sample_latencies",
+    "empirical_vs_analytic_fp",
+    "validate_batch_fp",
 ]
 
 
@@ -169,3 +172,35 @@ def empirical_vs_analytic_fp(
         "z": (estimate.mean - analytic) / max(estimate.stderr, 1e-300),
         "trials": float(trials),
     }
+
+
+def validate_batch_fp(
+    outcomes: Iterable[Any],
+    *,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Monte-Carlo cross-check of a batch run's analytic FP values.
+
+    Consumes :class:`repro.engine.batch.BatchOutcome` records (or any
+    object with ``.result`` / ``.index``), replays each successful
+    task's mapping on its platform and reports the analytic-vs-estimate
+    comparison of :func:`empirical_vs_analytic_fp` per outcome, keyed by
+    batch index.  Each outcome gets an independent, deterministic RNG
+    stream (``seed + index``), so reports do not depend on how the batch
+    was sharded.  Failed outcomes and general-mapping results (whose FP
+    is out of scope) are skipped — absent from the returned list.
+    """
+    reports: list[dict[str, float]] = []
+    for outcome in outcomes:
+        result = outcome.result
+        if result is None or not isinstance(result.mapping, IntervalMapping):
+            continue
+        platform = outcome.task.platform
+        rng = np.random.default_rng(seed + outcome.index)
+        report = empirical_vs_analytic_fp(
+            result.mapping, platform, trials=trials, rng=rng
+        )
+        report["index"] = float(outcome.index)
+        reports.append(report)
+    return reports

@@ -16,7 +16,7 @@ from repro.core import IntervalMapping, Platform, latency
 from repro.exceptions import InfeasibleProblemError, SolverError
 from repro.workloads.synthetic import random_application
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 def latency_thresholds(app, plat):

@@ -12,7 +12,7 @@ from repro.core import IntervalMapping, latency
 from repro.exceptions import InfeasibleProblemError, SolverError
 from repro.workloads.reference import figure5_instance
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 def thresholds_for(app, plat):

@@ -25,7 +25,7 @@ from repro.exceptions import InfeasibleProblemError
 from repro.workloads.reference import figure5_instance
 from repro.workloads.synthetic import random_application
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 MIN_FP_HEURISTICS = [
     single_interval_minimize_fp,

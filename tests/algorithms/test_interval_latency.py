@@ -15,7 +15,7 @@ from repro.workloads.synthetic import (
     random_fully_heterogeneous,
 )
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 def exhaustive_interval_optimum(app, plat):

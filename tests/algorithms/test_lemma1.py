@@ -19,7 +19,7 @@ from repro.core import (
 )
 from repro.workloads.reference import figure5_instance
 
-from ..strategies import (
+from tests.strategies import (
     app_platform_mapping,
     comm_homogeneous_platforms,
     fully_homogeneous_platforms,

@@ -13,7 +13,7 @@ from repro.core import Platform, failure_probability, latency
 from repro.exceptions import SolverError
 from repro.workloads.synthetic import random_application
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 class TestTheorem1MinFP:

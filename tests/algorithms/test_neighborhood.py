@@ -12,7 +12,7 @@ from repro.algorithms.heuristics import (
 )
 from repro.core import IntervalMapping
 
-from ..strategies import interval_mappings
+from tests.strategies import interval_mappings
 
 
 class TestNeighbors:

@@ -16,7 +16,7 @@ from repro.algorithms.heuristics import (
 )
 from repro.core import BiCriteriaPoint
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 class TestExactFrontier:

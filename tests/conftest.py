@@ -5,12 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.workloads.reference import figure5_instance, figure34_instance
-from repro.workloads.synthetic import (
-    random_application,
-    random_comm_homogeneous,
-    random_fully_heterogeneous,
-    random_fully_homogeneous,
-)
+from repro.workloads.synthetic import random_fully_heterogeneous
 
 
 @pytest.fixture
@@ -59,23 +54,7 @@ def het_platform():
     return random_fully_heterogeneous(4, seed=1234)
 
 
-def make_instance(kind: str, n: int, m: int, seed: int):
-    """Build a (application, platform) pair for a platform-kind string."""
-    app = random_application(n, seed=seed)
-    if kind == "fully-homogeneous":
-        plat = random_fully_homogeneous(m, seed=seed + 1)
-    elif kind == "fully-homogeneous-failhet":
-        plat = random_fully_homogeneous(
-            m, seed=seed + 1, failure_heterogeneous=True
-        )
-    elif kind == "comm-homogeneous":
-        plat = random_comm_homogeneous(m, seed=seed + 1)
-    elif kind == "comm-homogeneous-failhom":
-        plat = random_comm_homogeneous(
-            m, seed=seed + 1, failure_homogeneous=True
-        )
-    elif kind == "fully-heterogeneous":
-        plat = random_fully_heterogeneous(m, seed=seed + 1)
-    else:
-        raise ValueError(kind)
-    return app, plat
+# Re-exported so legacy ``from tests.conftest import make_instance`` call
+# sites (the benchmark harness) keep working; new code should import from
+# :mod:`tests.helpers`.
+from tests.helpers import make_instance  # noqa: E402,F401

@@ -1,0 +1,160 @@
+"""The incremental EvaluationCache must agree *exactly* with the plain
+metric functions — on arbitrary mappings, and along the neighbourhood
+walks that local search and annealing actually perform."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    EvaluationCache,
+    IntervalMapping,
+    PipelineApplication,
+    Platform,
+    evaluate,
+    failure_probability,
+    latency,
+)
+from repro.core.enumeration import enumerate_interval_mappings
+from repro.exceptions import InvalidMappingError
+
+from tests.strategies import (
+    app_platform_mapping,
+    comm_homogeneous_platforms,
+    fully_heterogeneous_platforms,
+    mapping_walks,
+)
+
+
+@given(app_platform_mapping())
+@settings(max_examples=150, deadline=None)
+def test_cache_matches_evaluate_exactly(triple):
+    """Bit-for-bit agreement on a cold cache, any platform class."""
+    app, platform, mapping = triple
+    cache = EvaluationCache(app, platform)
+    ev = evaluate(mapping, app, platform)
+    cv = cache.evaluate(mapping)
+    assert cv.latency == ev.latency
+    assert cv.failure_probability == ev.failure_probability
+
+
+@given(app_platform_mapping())
+@settings(max_examples=100, deadline=None)
+def test_warm_cache_matches_evaluate_exactly(triple):
+    """A second (fully cached) evaluation returns the same bits."""
+    app, platform, mapping = triple
+    cache = EvaluationCache(app, platform)
+    first = cache.evaluate(mapping)
+    hits_before = cache.hits
+    second = cache.evaluate(mapping)
+    assert cache.hits > hits_before
+    assert second.latency == first.latency == latency(mapping, app, platform)
+    assert (
+        second.failure_probability
+        == first.failure_probability
+        == failure_probability(mapping, platform)
+    )
+
+
+@given(mapping_walks())
+@settings(max_examples=100, deadline=None)
+def test_cache_exact_along_neighborhood_walks(walk_triple):
+    """Local-search/annealing move sequences never drift from the truth."""
+    app, platform, walk = walk_triple
+    cache = EvaluationCache(app, platform)
+    for mapping in walk:
+        assert cache.latency(mapping) == latency(mapping, app, platform)
+        assert cache.failure_probability(mapping) == failure_probability(
+            mapping, platform
+        )
+
+
+@given(mapping_walks(platform_strategy=fully_heterogeneous_platforms()))
+@settings(max_examples=75, deadline=None)
+def test_cache_exact_on_heterogeneous_walks(walk_triple):
+    """Eq. (2) terms depend on the successor allocation — still exact."""
+    app, platform, walk = walk_triple
+    cache = EvaluationCache(app, platform)
+    for mapping in walk:
+        assert cache.latency(mapping) == latency(mapping, app, platform)
+
+
+@given(
+    app_platform_mapping(
+        comm_homogeneous_platforms(min_processors=2, max_processors=5)
+    )
+)
+@settings(max_examples=75, deadline=None)
+def test_cache_respects_one_port_flag(triple):
+    app, platform, mapping = triple
+    cache = EvaluationCache(app, platform, one_port=False)
+    assert cache.latency(mapping) == latency(
+        mapping, app, platform, one_port=False
+    )
+
+
+def test_cache_sweep_matches_full_evaluation_exactly():
+    """Deterministic end-to-end check over a whole enumeration sweep."""
+    app = PipelineApplication(works=(4.0, 6.0, 2.0, 1.0), volumes=(8.0, 4.0, 4.0, 2.0, 1.0))
+    platform = Platform.communication_homogeneous(
+        [3.0, 2.0, 1.0, 2.5],
+        bandwidth=4.0,
+        failure_probabilities=[0.4, 0.1, 0.3, 0.2],
+    )
+    cache = EvaluationCache(app, platform)
+    count = 0
+    for mapping in enumerate_interval_mappings(4, 4):
+        cv = cache.evaluate(mapping)
+        assert cv.latency == latency(mapping, app, platform)
+        assert cv.failure_probability == failure_probability(mapping, platform)
+        count += 1
+    assert count > 100
+    stats = cache.stats
+    # the whole point: terms are shared massively across the sweep
+    assert stats["hits"] > 5 * stats["misses"]
+
+
+def test_cache_check_flag_validates_compatibility():
+    app = PipelineApplication(works=(1.0, 1.0), volumes=(1.0, 1.0, 1.0))
+    platform = Platform.fully_homogeneous(2, failure_probability=0.1)
+    cache = EvaluationCache(app, platform, check=True)
+    bad_stage_count = IntervalMapping.single_interval(3, {1})
+    with pytest.raises(InvalidMappingError):
+        cache.latency(bad_stage_count)
+    bad_processor = IntervalMapping.single_interval(2, {5})
+    with pytest.raises(InvalidMappingError):
+        cache.failure_probability(bad_processor)
+
+
+def test_cache_certain_failure_interval():
+    """An allocation of all-certain-failure processors yields FP = 1."""
+    app = PipelineApplication(works=(1.0, 1.0), volumes=(1.0, 1.0, 1.0))
+    platform = Platform.fully_homogeneous(
+        2, failure_probability=1.0, speed=1.0, bandwidth=1.0
+    )
+    mapping = IntervalMapping.single_interval(2, {1, 2})
+    cache = EvaluationCache(app, platform)
+    assert cache.failure_probability(mapping) == 1.0
+    assert cache.failure_probability(mapping) == failure_probability(
+        mapping, platform
+    )
+
+
+def test_trusted_enumeration_equals_public_constructor():
+    """The fast-path mappings are indistinguishable from validated ones."""
+    for fast in enumerate_interval_mappings(3, 3):
+        rebuilt = IntervalMapping(fast.intervals, fast.allocations)
+        assert fast == rebuilt
+        assert fast.num_intervals == rebuilt.num_intervals
+        assert fast.used_processors == rebuilt.used_processors
+
+
+def test_cache_stats_shape():
+    app = PipelineApplication(works=(1.0,), volumes=(1.0, 1.0))
+    platform = Platform.fully_homogeneous(1, failure_probability=0.5)
+    cache = EvaluationCache(app, platform)
+    assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+    cache.evaluate(IntervalMapping.single_interval(1, {1}))
+    assert cache.stats["misses"] > 0
+    assert math.isfinite(cache.stats["hits"])

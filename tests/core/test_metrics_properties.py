@@ -13,7 +13,7 @@ from repro.core import (
     latency_uniform,
 )
 
-from ..strategies import (
+from tests.strategies import (
     app_platform_mapping,
     comm_homogeneous_platforms,
     fully_heterogeneous_platforms,

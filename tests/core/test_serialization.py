@@ -19,7 +19,7 @@ from repro.core import (
 )
 from repro.exceptions import ReproError
 
-from ..strategies import (
+from tests.strategies import (
     applications,
     app_platform_mapping,
     fully_heterogeneous_platforms,

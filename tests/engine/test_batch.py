@@ -1,0 +1,210 @@
+"""Batch executor: parallel == serial, deterministic seeding, isolation."""
+
+import pytest
+
+from repro import engine
+from repro.analysis.frontier import sweep_frontier
+from repro.exceptions import SolverError
+from repro.simulation import validate_batch_fp
+from repro.workloads.reference import figure5_instance
+
+from tests.helpers import make_instance
+
+
+def _mixed_tasks():
+    tasks = [
+        engine.BatchTask(
+            "greedy-min-fp",
+            *make_instance("comm-homogeneous", 3, 4, seed),
+            threshold=80.0,
+            tag=f"greedy-{seed}",
+        )
+        for seed in range(4)
+    ]
+    tasks += [
+        engine.BatchTask(
+            "local-search-min-latency",
+            *make_instance("fully-heterogeneous", 3, 3, seed),
+            threshold=0.95,
+            opts={"restarts": 2, "max_steps": 40},
+            tag=f"ls-{seed}",
+        )
+        for seed in range(3)
+    ]
+    tasks.append(
+        engine.BatchTask(
+            "theorem1-min-fp",
+            *make_instance("fully-homogeneous", 2, 3, 9),
+            tag="t1",
+        )
+    )
+    return tasks
+
+
+def _outcome_key(outcome):
+    if outcome.result is None:
+        return (outcome.index, outcome.tag, outcome.error)
+    return (
+        outcome.index,
+        outcome.tag,
+        outcome.result.latency,
+        outcome.result.failure_probability,
+        outcome.result.mapping,
+    )
+
+
+class TestRunBatch:
+    def test_parallel_identical_to_serial(self):
+        tasks = _mixed_tasks()
+        serial = engine.run_batch(tasks, seed=5)
+        parallel = engine.run_batch(tasks, workers=3, seed=5)
+        assert [_outcome_key(o) for o in serial] == [
+            _outcome_key(o) for o in parallel
+        ]
+
+    def test_deterministic_across_runs(self):
+        tasks = _mixed_tasks()
+        first = engine.run_batch(tasks, workers=2, seed=1)
+        second = engine.run_batch(tasks, workers=2, seed=1)
+        assert [_outcome_key(o) for o in first] == [
+            _outcome_key(o) for o in second
+        ]
+
+    def test_outcomes_keep_input_order_and_tasks(self):
+        tasks = _mixed_tasks()
+        outcomes = engine.run_batch(tasks, workers=2)
+        assert [o.index for o in outcomes] == list(range(len(tasks)))
+        for task, outcome in zip(tasks, outcomes):
+            assert outcome.task.solver == task.solver
+            assert outcome.tag == task.tag
+            assert outcome.elapsed >= 0.0
+
+    def test_explicit_opts_seed_wins_over_base_seed(self):
+        app, plat = make_instance("comm-homogeneous", 3, 4, 2)
+        task = engine.BatchTask(
+            "local-search-min-fp",
+            app,
+            plat,
+            threshold=80.0,
+            opts={"seed": 123},
+        )
+        a = engine.run_batch([task], seed=1)[0]
+        b = engine.run_batch([task], seed=999)[0]
+        assert _outcome_key(a) == _outcome_key(b)
+
+    def test_infeasible_task_is_isolated(self):
+        app, plat = make_instance("comm-homogeneous", 3, 4, 3)
+        tasks = [
+            engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
+            engine.BatchTask("greedy-min-fp", app, plat, threshold=1e-9),
+            engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
+        ]
+        outcomes = engine.run_batch(tasks, workers=2)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "InfeasibleProblemError" in outcomes[1].error
+
+    def test_malformed_batch_rejected_upfront(self):
+        app, plat = make_instance("comm-homogeneous", 2, 2, 0)
+        with pytest.raises(SolverError, match="unknown solver"):
+            engine.run_batch([engine.BatchTask("nope", app, plat)])
+        with pytest.raises(SolverError, match="requires a threshold"):
+            engine.run_batch([engine.BatchTask("greedy-min-fp", app, plat)])
+        with pytest.raises(SolverError, match="does not take a threshold"):
+            engine.run_batch(
+                [engine.BatchTask("theorem1-min-fp", app, plat, threshold=5.0)]
+            )
+
+    def test_out_of_domain_task_is_isolated_not_fatal(self):
+        # the batch path dispatches through registry.solve, so domain
+        # violations get the same validation as direct solves but stay
+        # per-task
+        app, plat = make_instance("comm-homogeneous", 2, 3, 0)
+        ok_task = engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
+        bad_task = engine.BatchTask("alg1", app, plat, threshold=80.0)
+        outcomes = engine.run_batch([ok_task, bad_task])
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "does not support" in outcomes[1].error
+
+    def test_empty_batch(self):
+        assert engine.run_batch([]) == []
+
+
+class TestThresholdSweep:
+    def test_sweep_orders_and_tags(self):
+        fig5 = figure5_instance()
+        thresholds = [10.0, 22.0, 50.0, 200.0]
+        outcomes = engine.threshold_sweep(
+            "single-interval-min-fp",
+            fig5.application,
+            fig5.platform,
+            thresholds,
+        )
+        assert len(outcomes) == len(thresholds)
+        assert outcomes[1].tag == "threshold=22"
+        # FP can only improve as the latency budget loosens
+        fps = [o.result.failure_probability for o in outcomes if o.ok]
+        assert fps == sorted(fps, reverse=True)
+
+    def test_sweep_parallel_equals_serial(self):
+        app, plat = make_instance("comm-homogeneous", 4, 4, 21)
+        thresholds = [20.0, 40.0, 60.0, 80.0, 100.0, 150.0]
+        serial = engine.threshold_sweep(
+            "greedy-min-fp", app, plat, thresholds
+        )
+        parallel = engine.threshold_sweep(
+            "greedy-min-fp", app, plat, thresholds, workers=3
+        )
+        assert [_outcome_key(o) for o in serial] == [
+            _outcome_key(o) for o in parallel
+        ]
+
+
+class TestFrontierIntegration:
+    def test_named_solver_matches_callable(self):
+        from repro.algorithms.heuristics import greedy_minimize_fp
+
+        app, plat = make_instance("comm-homogeneous", 4, 4, 31)
+        by_name = sweep_frontier(app, plat, "greedy-min-fp", num_points=8)
+        by_callable = sweep_frontier(app, plat, greedy_minimize_fp, num_points=8)
+        assert [(p.latency, p.failure_probability) for p in by_name] == [
+            (p.latency, p.failure_probability) for p in by_callable
+        ]
+
+    def test_parallel_sweep_matches_serial(self):
+        app, plat = make_instance("comm-homogeneous", 4, 4, 31)
+        serial = sweep_frontier(app, plat, "greedy-min-fp", num_points=8)
+        parallel = sweep_frontier(
+            app, plat, "greedy-min-fp", num_points=8, workers=2
+        )
+        assert [(p.latency, p.failure_probability) for p in serial] == [
+            (p.latency, p.failure_probability) for p in parallel
+        ]
+
+    def test_parallel_needs_registered_name(self):
+        from repro.algorithms.heuristics import greedy_minimize_fp
+
+        app, plat = make_instance("comm-homogeneous", 3, 3, 1)
+        with pytest.raises(ValueError, match="registered solver name"):
+            sweep_frontier(app, plat, greedy_minimize_fp, workers=4)
+
+
+class TestMonteCarloCrossCheck:
+    def test_validate_batch_fp_agrees_with_analytic(self):
+        tasks = [
+            engine.BatchTask(
+                "greedy-min-fp",
+                *make_instance("comm-homogeneous", 3, 4, seed),
+                threshold=80.0,
+            )
+            for seed in range(3)
+        ]
+        outcomes = engine.run_batch(tasks, workers=2)
+        reports = validate_batch_fp(outcomes, trials=20_000, seed=0)
+        assert len(reports) == sum(1 for o in outcomes if o.ok)
+        for report in reports:
+            assert 0.0 <= report["analytic"] <= 1.0
+            # 5-sigma gate: loose enough to be stable, tight enough to
+            # catch a wrong formula
+            assert abs(report["z"]) < 5.0

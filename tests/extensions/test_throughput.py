@@ -11,7 +11,7 @@ from repro.extensions import (
 )
 from repro.simulation import simulate_stream
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 class TestPeriodFormulas:

@@ -1,0 +1,43 @@
+"""Plain-function test helpers importable from any test module.
+
+Kept separate from ``conftest.py`` (which pytest loads as a plugin and
+which is therefore awkward to import) so both the test suite and the
+benchmark harness can use ``from tests.helpers import make_instance``.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import PipelineApplication
+from repro.core.platform import Platform
+from repro.workloads.synthetic import (
+    random_application,
+    random_comm_homogeneous,
+    random_fully_heterogeneous,
+    random_fully_homogeneous,
+)
+
+__all__ = ["make_instance"]
+
+
+def make_instance(
+    kind: str, n: int, m: int, seed: int
+) -> tuple[PipelineApplication, Platform]:
+    """Build a (application, platform) pair for a platform-kind string."""
+    app = random_application(n, seed=seed)
+    if kind == "fully-homogeneous":
+        plat = random_fully_homogeneous(m, seed=seed + 1)
+    elif kind == "fully-homogeneous-failhet":
+        plat = random_fully_homogeneous(
+            m, seed=seed + 1, failure_heterogeneous=True
+        )
+    elif kind == "comm-homogeneous":
+        plat = random_comm_homogeneous(m, seed=seed + 1)
+    elif kind == "comm-homogeneous-failhom":
+        plat = random_comm_homogeneous(
+            m, seed=seed + 1, failure_homogeneous=True
+        )
+    elif kind == "fully-heterogeneous":
+        plat = random_fully_heterogeneous(m, seed=seed + 1)
+    else:
+        raise ValueError(kind)
+    return app, plat

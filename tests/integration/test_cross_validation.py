@@ -19,7 +19,7 @@ from repro.simulation import (
     simulate_stream,
 )
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 KINDS = ["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"]
 

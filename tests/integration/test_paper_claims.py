@@ -32,7 +32,7 @@ from repro.reductions import (
     verify_two_partition_reduction,
 )
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 ALL_KINDS = [
     "fully-homogeneous",

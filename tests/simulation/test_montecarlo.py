@@ -12,7 +12,7 @@ from repro.simulation import (
     sample_latencies,
 )
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 class TestFailureProbabilityEstimation:

@@ -16,7 +16,7 @@ from repro.simulation import (
     simulate_stream,
 )
 
-from ..conftest import make_instance
+from tests.helpers import make_instance
 
 
 class TestWorstCaseReplay:

@@ -14,8 +14,8 @@ from repro.simulation import (
     simulate_stream,
 )
 
-from ..conftest import make_instance
-from ..strategies import applications, comm_homogeneous_platforms
+from tests.helpers import make_instance
+from tests.strategies import applications, comm_homogeneous_platforms
 
 
 @st.composite

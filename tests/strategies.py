@@ -26,6 +26,7 @@ __all__ = [
     "platforms",
     "interval_mappings",
     "app_platform_mapping",
+    "mapping_walks",
 ]
 
 _costs = st.floats(
@@ -155,6 +156,27 @@ def app_platform_mapping(draw, platform_strategy=None):
     platform = draw(strategy)
     mapping = draw(interval_mappings(app.num_stages, platform.size))
     return app, platform, mapping
+
+
+@st.composite
+def mapping_walks(draw, steps: int = 4, platform_strategy=None):
+    """An (application, platform, walk) triple of neighbourhood moves.
+
+    The walk starts at a random valid mapping and applies up to ``steps``
+    random moves from the heuristics' shared move set — exactly the
+    access pattern of local search and annealing, which the incremental
+    evaluation cache must reproduce bit-for-bit.
+    """
+    from repro.algorithms.heuristics.neighborhood import neighbors
+
+    app, platform, mapping = draw(app_platform_mapping(platform_strategy))
+    walk = [mapping]
+    for _ in range(steps):
+        moves = list(neighbors(walk[-1], platform.size))
+        if not moves:
+            break
+        walk.append(draw(st.sampled_from(moves)))
+    return app, platform, walk
 
 
 @st.composite

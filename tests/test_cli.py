@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -77,3 +79,109 @@ class TestCommands:
             == 0
         )
         assert "throughput" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    BASE = [
+        "batch",
+        "--solver",
+        "greedy-min-fp",
+        "--instances",
+        "4",
+        "--stages",
+        "3",
+        "--processors",
+        "4",
+        "--threshold",
+        "80",
+        "--seed",
+        "7",
+    ]
+
+    def test_json_output_shape(self, capsys):
+        assert main([*self.BASE, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4
+        for i, record in enumerate(records):
+            assert record["index"] == i
+            assert record["solver"] == "greedy-min-fp"
+            assert "seed=" in record["tag"]
+            if "error" not in record:
+                assert record["latency"] > 0
+                assert 0.0 <= record["failure_probability"] <= 1.0
+                assert record["mapping"]["kind"] == "interval-mapping"
+
+    def test_workers_do_not_change_results(self, capsys):
+        assert main([*self.BASE, "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*self.BASE, "--json", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_elapsed(raw):
+            return [
+                {k: v for k, v in r.items() if k != "elapsed"}
+                for r in json.loads(raw)
+            ]
+
+        assert strip_elapsed(serial) == strip_elapsed(parallel)
+
+    def test_deterministic_given_seed(self, capsys):
+        args = [
+            "batch",
+            "--solver",
+            "local-search-min-fp",
+            "--instances",
+            "3",
+            "--threshold",
+            "90",
+            "--seed",
+            "3",
+            "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        for a, b in zip(first, second):
+            assert a.get("latency") == b.get("latency")
+            assert a.get("failure_probability") == b.get("failure_probability")
+            assert a.get("mapping") == b.get("mapping")
+
+    def test_table_output(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "failure-prob" in out
+        assert "instance-0(seed=7)" in out
+
+    def test_list_solvers(self, capsys):
+        assert main(["batch", "--list-solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "alg1" in out
+        assert "exhaustive-min-fp" in out
+        assert "heuristic" in out
+
+    def test_list_solvers_json(self, capsys):
+        assert main(["batch", "--list-solvers", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        names = {r["name"] for r in records}
+        assert {"alg1", "alg3", "greedy-min-fp", "anneal-min-latency"} <= names
+
+    def test_missing_solver_is_an_error(self, capsys):
+        assert main(["batch"]) == 2
+        assert "--solver is required" in capsys.readouterr().out
+
+    def test_all_failed_sets_exit_code(self, capsys):
+        # an impossible latency bound fails every instance
+        args = [
+            "batch",
+            "--solver",
+            "greedy-min-fp",
+            "--instances",
+            "2",
+            "--threshold",
+            "1e-12",
+            "--json",
+        ]
+        assert main(args) == 1
+        records = json.loads(capsys.readouterr().out)
+        assert all("error" in r for r in records)
