@@ -1,0 +1,120 @@
+"""E19 — engine v2: streaming delivery and the persistent result store.
+
+Quantifies the two service claims of the streaming engine:
+
+* **time-to-first-outcome** — ``iter_batch`` surfaces its first result
+  in roughly ``total / tasks`` time, while ``run_batch`` only returns
+  after the whole grid; the ratio is the responsiveness win for long
+  sweeps;
+* **store reuse** — a warm :class:`~repro.engine.store.ResultStore`
+  answers a repeated threshold grid with zero solver invocations, so
+  the warm/cold ratio approaches the pure solve cost.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import (
+    BatchTask,
+    MemoryStore,
+    iter_batch,
+    run_batch,
+    threshold_sweep,
+)
+from tests.conftest import make_instance
+
+from .conftest import report
+
+_THRESHOLDS = [20.0, 30.0, 40.0, 55.0, 70.0, 90.0, 110.0, 140.0]
+
+
+def _tasks(app, plat):
+    return [
+        BatchTask(
+            "exhaustive-min-fp",
+            app,
+            plat,
+            threshold=t,
+            tag=f"L<={t:g}",
+        )
+        for t in _THRESHOLDS
+    ]
+
+
+def test_e19_time_to_first_outcome():
+    app, plat = make_instance("comm-homogeneous", n=6, m=4, seed=19)
+    tasks = _tasks(app, plat)
+
+    start = time.perf_counter()
+    outcomes = run_batch(tasks)
+    full_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stream = iter_batch(tasks)
+    first = next(stream)
+    first_time = time.perf_counter() - start
+    rest = [first, *stream]
+
+    assert [o.ok for o in rest] == [o.ok for o in outcomes]
+    report(
+        "E19: streaming time-to-first-outcome "
+        f"({len(tasks)} exhaustive tasks)",
+        ("path", "seconds"),
+        [
+            ("run_batch (first result = last)", f"{full_time:.4f}"),
+            ("iter_batch first outcome", f"{first_time:.4f}"),
+            ("ratio", f"{full_time / max(first_time, 1e-9):.1f}x"),
+        ],
+    )
+    # the first streamed outcome must be observable well before the
+    # whole batch would have completed
+    assert first_time < full_time
+
+
+def test_e19_store_warm_sweep_speedup():
+    app, plat = make_instance("comm-homogeneous", n=6, m=4, seed=19)
+    store = MemoryStore()
+
+    start = time.perf_counter()
+    cold = threshold_sweep(
+        "exhaustive-min-fp", app, plat, _THRESHOLDS, store=store
+    )
+    cold_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = threshold_sweep(
+        "exhaustive-min-fp", app, plat, _THRESHOLDS, store=store
+    )
+    warm_time = time.perf_counter() - start
+
+    assert store.stats.hits == len(_THRESHOLDS)
+    assert all(o.cached for o in warm)
+    assert [
+        (c.ok, c.result.objectives if c.ok else c.error) for c in cold
+    ] == [(w.ok, w.result.objectives if w.ok else w.error) for w in warm]
+    speedup = cold_time / max(warm_time, 1e-9)
+    report(
+        f"E19: warm store on a {len(_THRESHOLDS)}-point exhaustive sweep",
+        ("path", "seconds", "speedup"),
+        [
+            ("cold (all solved)", f"{cold_time:.4f}", "1.0x"),
+            ("warm (all from store)", f"{warm_time:.4f}", f"{speedup:.0f}x"),
+        ],
+    )
+    assert speedup > 5.0, f"store speedup only {speedup:.1f}x"
+
+
+def test_e19_bench_warm_store(benchmark):
+    """pytest-benchmark row: the warm-store sweep path."""
+    app, plat = make_instance("comm-homogeneous", n=5, m=4, seed=19)
+    store = MemoryStore()
+    threshold_sweep("exhaustive-min-fp", app, plat, _THRESHOLDS, store=store)
+
+    def warm():
+        return threshold_sweep(
+            "exhaustive-min-fp", app, plat, _THRESHOLDS, store=store
+        )
+
+    outcomes = benchmark(warm)
+    assert all(o.cached for o in outcomes if o.ok)

@@ -25,15 +25,18 @@ def fig5():
     return figure5_instance()
 
 
+import json
 import pathlib
 
 _REPORT_PATH = pathlib.Path(__file__).parent / "latest_report.txt"
+_JSON_PATH = pathlib.Path(__file__).parent / "BENCH_report.json"
 
 
 def report(title: str, headers, rows) -> None:
-    """Print a paper-comparison table and persist it to
-    ``benchmarks/latest_report.txt`` (pytest captures stdout, so the file
-    is the durable record of the regenerated numbers)."""
+    """Print a paper-comparison table and persist it twice: human-readable
+    to ``benchmarks/latest_report.txt`` and machine-readable to
+    ``benchmarks/BENCH_report.json`` (the artifact CI uploads, so the
+    perf trajectory is tracked across runs)."""
     from repro.analysis import format_table
 
     text = f"\n[{title}]\n" + format_table(headers, rows) + "\n"
@@ -41,10 +44,25 @@ def report(title: str, headers, rows) -> None:
     with _REPORT_PATH.open("a", encoding="utf-8") as fh:
         fh.write(text)
 
+    records = []
+    if _JSON_PATH.exists():
+        records = json.loads(_JSON_PATH.read_text(encoding="utf-8"))
+    records.append(
+        {
+            "title": title,
+            "headers": list(headers),
+            "rows": [[str(cell) for cell in row] for row in rows],
+        }
+    )
+    _JSON_PATH.write_text(
+        json.dumps(records, indent=1), encoding="utf-8"
+    )
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_report():
-    """Start each bench session with a clean report file."""
-    if _REPORT_PATH.exists():
-        _REPORT_PATH.unlink()
+    """Start each bench session with clean report files."""
+    for path in (_REPORT_PATH, _JSON_PATH):
+        if path.exists():
+            path.unlink()
     yield

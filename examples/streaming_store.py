@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Streaming batches, fault policies and the persistent result store.
+
+Demonstrates the ``repro.engine`` v2 service features end to end:
+
+1. stream a threshold sweep with ``iter_batch`` — outcomes arrive as
+   tasks finish, not when the whole grid is done;
+2. fault isolation — a task with broken options crashes *inside* its
+   worker and comes back as a failed outcome with a structured
+   ``ErrorKind``; the rest of the batch is unaffected;
+3. retry/timeout policies via ``BatchPolicy``;
+4. the persistent result store — re-running the same grid against a
+   warm store performs zero new solver invocations and returns
+   bit-identical results.
+
+Run:  python examples/streaming_store.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import engine
+from repro.workloads.synthetic import random_application, random_platform
+
+
+def make_tasks(app, plat, thresholds):
+    return [
+        engine.BatchTask(
+            "local-search-min-fp",
+            app,
+            plat,
+            threshold=t,
+            tag=f"L<={t:g}",
+        )
+        for t in thresholds
+    ]
+
+
+def main() -> None:
+    app = random_application(4, seed=0)
+    plat = random_platform(4, "comm-homogeneous", seed=1)
+    thresholds = [20.0, 30.0, 45.0, 60.0, 90.0, 120.0]
+
+    # 1. Streaming: outcomes arrive as they complete.
+    print("streaming sweep (4 workers):")
+    start = time.perf_counter()
+    for outcome in engine.iter_batch(
+        make_tasks(app, plat, thresholds), workers=4, seed=7
+    ):
+        status = (
+            f"FP={outcome.result.failure_probability:.6f}"
+            if outcome.ok
+            else f"{outcome.error_kind.value}"
+        )
+        print(
+            f"  +{time.perf_counter() - start:5.2f}s  "
+            f"{outcome.tag:8s} -> {status}"
+        )
+    print()
+
+    # 2. Fault isolation: a crashing task is one failed outcome.
+    tasks = make_tasks(app, plat, [30.0, 60.0])
+    tasks.insert(
+        1,
+        engine.BatchTask(
+            "local-search-min-fp",
+            app,
+            plat,
+            threshold=60.0,
+            opts={"no_such_option": True},
+            tag="broken",
+        ),
+    )
+    print("mixed batch with a crashing task:")
+    for outcome in engine.iter_batch(tasks, seed=7):
+        kind = outcome.error_kind.value if outcome.error_kind else "ok"
+        print(f"  {outcome.tag:8s} [{kind:7s}] {outcome.error or ''}")
+    print()
+
+    # 3. Policies: per-task timeout and bounded retries with backoff.
+    policy = engine.BatchPolicy(retries=1, timeout=30.0, backoff=0.2)
+    outcomes = engine.run_batch(
+        make_tasks(app, plat, thresholds[:3]), policy=policy, seed=7
+    )
+    print(
+        f"with policy {policy.retries} retry / {policy.timeout:g}s timeout: "
+        f"{sum(o.ok for o in outcomes)}/{len(outcomes)} ok, "
+        f"attempts={[o.attempts for o in outcomes]}\n"
+    )
+
+    # 4. Persistent store: the second run never invokes a solver.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "results.json"
+        with engine.open_store(path) as store:
+            cold_start = time.perf_counter()
+            cold = engine.run_batch(
+                make_tasks(app, plat, thresholds),
+                seed=7,
+                store=store,
+            )
+            cold_time = time.perf_counter() - cold_start
+        with engine.open_store(path) as store:
+            warm_start = time.perf_counter()
+            warm = engine.run_batch(
+                make_tasks(app, plat, thresholds),
+                seed=7,
+                store=store,
+            )
+            warm_time = time.perf_counter() - warm_start
+            stats = store.stats
+        identical = all(
+            c.result.objectives == w.result.objectives
+            for c, w in zip(cold, warm)
+            if c.ok
+        )
+        print("persistent store (JSON backend):")
+        print(f"  cold run: {cold_time:.3f}s (all solved fresh)")
+        print(
+            f"  warm run: {warm_time:.3f}s, "
+            f"{stats.hits}/{len(thresholds)} served from store "
+            f"({stats.hit_rate:.0%} hit rate)"
+        )
+        print(f"  bit-identical: {identical}")
+        assert identical and stats.hit_rate == 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ gaps between them (experiments E11 and E14).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..algorithms.bicriteria.exhaustive import exhaustive_pareto_front
 from ..algorithms.heuristics.single_interval import single_interval_candidates
@@ -20,6 +20,9 @@ from ..core.application import PipelineApplication
 from ..core.pareto import BiCriteriaPoint, pareto_front
 from ..core.platform import Platform
 from ..exceptions import InfeasibleProblemError, SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.store import ResultStore
 
 __all__ = [
     "exact_frontier",
@@ -79,7 +82,15 @@ def latency_grid(
     if hi <= lo:
         return [lo]
     step = (hi - lo) / max(num_points - 1, 1)
-    return [lo + i * step for i in range(num_points)]
+    # pin the top point to exactly hi: accumulating lo + (n-1)*step can
+    # land a float ulp below it, silently making the slowest
+    # single-interval candidate infeasible at the top threshold
+    grid = [lo + i * step for i in range(num_points - 1)] + [hi]
+    deduped: list[float] = []
+    for value in grid:
+        if not deduped or value > deduped[-1]:
+            deduped.append(value)
+    return deduped
 
 
 def sweep_frontier(
@@ -91,6 +102,7 @@ def sweep_frontier(
     num_points: int = 20,
     workers: int | None = None,
     seed: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> list[BiCriteriaPoint]:
     """Heuristic frontier: sweep latency thresholds through a min-FP solver.
 
@@ -99,8 +111,9 @@ def sweep_frontier(
     :mod:`repro.engine.registry`); names additionally unlock parallel
     sweeps — with ``workers`` the thresholds are sharded across
     processes by the engine's batch executor, with results identical to
-    the serial sweep.  Thresholds where the solver reports infeasibility
-    are skipped.
+    the serial sweep — and result reuse via a
+    :class:`~repro.engine.store.ResultStore` (``store``).  Thresholds
+    where the solver reports infeasibility are skipped.
     """
     if thresholds is None:
         thresholds = latency_grid(
@@ -109,6 +122,7 @@ def sweep_frontier(
     results: list[SolverResult]
     if isinstance(solver, str):
         from ..engine.batch import threshold_sweep
+        from ..engine.policy import ErrorKind
 
         outcomes = threshold_sweep(
             solver,
@@ -117,13 +131,16 @@ def sweep_frontier(
             thresholds,
             workers=workers,
             seed=seed,
+            store=store,
         )
         results = []
         for outcome in outcomes:
             if outcome.result is not None:
                 results.append(outcome.result)
-            elif not outcome.error.startswith("InfeasibleProblemError"):
-                # match the serial path: only infeasibility is skipped
+            elif outcome.error_kind is not ErrorKind.INFEASIBLE:
+                # match the serial path: only infeasibility is skipped;
+                # the structured kind survives exception renames and
+                # wrapping, unlike the old error-string prefix match
                 raise SolverError(
                     f"sweep {outcome.tag} failed: {outcome.error}"
                 )

@@ -15,7 +15,11 @@ Subcommands
 ``batch``
     Solve many random instances (sharded over worker processes with
     deterministic seeding) through the engine's solver registry; JSON or
-    table output.  ``--list-solvers`` dumps the registry metadata.
+    table output, or ``--stream`` for per-outcome lines as tasks finish.
+    ``--store PATH`` reuses prior solves from a persistent result store
+    (``--no-store`` disables), ``--retries``/``--timeout``/``--backoff``
+    set the per-task fault policy.  ``--list-solvers`` dumps the
+    registry metadata.
 """
 
 from __future__ import annotations
@@ -122,6 +126,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
+    )
+    batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each outcome as it completes instead of a final table",
+    )
+    batch.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent result store (.json file or SQLite database); "
+        "repeated runs reuse prior solves",
+    )
+    batch.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and always re-solve",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry crashed/timed-out tasks this many times (default: 0)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock budget in seconds (default: none)",
+    )
+    batch.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base retry backoff in seconds, doubled per attempt",
     )
     return parser
 
@@ -287,7 +326,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from .analysis.reporting import format_table
     from .core.serialization import mapping_to_dict
-    from .engine import BatchTask, run_batch, solver_specs
+    from .engine import (
+        BatchPolicy,
+        BatchTask,
+        iter_batch,
+        open_store,
+        run_batch,
+        solver_specs,
+    )
     from .exceptions import ReproError
     from .workloads.synthetic import random_application, random_platform
 
@@ -344,11 +390,56 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 tag=f"instance-{i}(seed={seed})",
             )
         )
+    if args.stream and args.json:
+        # --json promises one parseable array, --stream line-at-a-time
+        # delivery; silently ignoring either flag would be worse
+        print("error: --stream and --json are mutually exclusive")
+        return 2
     try:
-        outcomes = run_batch(tasks, workers=args.workers, seed=args.seed)
+        policy = BatchPolicy(
+            retries=args.retries, timeout=args.timeout, backoff=args.backoff
+        )
+        store = None
+        if args.store and not args.no_store:
+            store = open_store(args.store)
+    except (ReproError, ValueError, OSError) as exc:
+        # bad policy values or an unreadable/incompatible store file are
+        # usage errors, same as a malformed batch below
+        print(f"error: {exc}")
+        return 2
+    try:
+        if args.stream:
+            # streaming delivery: one line per outcome, as they finish
+            outcomes = []
+            for o in iter_batch(
+                tasks,
+                workers=args.workers,
+                seed=args.seed,
+                policy=policy,
+                store=store,
+            ):
+                outcomes.append(o)
+                status = (
+                    f"latency={o.result.latency:.6g} "
+                    f"FP={o.result.failure_probability:.6g}"
+                    if o.result
+                    else f"{o.error_kind.value}: {o.error}"
+                )
+                cached = " [cached]" if o.cached else ""
+                print(f"[{o.index}] {o.tag}: {status}{cached}")
+        else:
+            outcomes = run_batch(
+                tasks,
+                workers=args.workers,
+                seed=args.seed,
+                policy=policy,
+                store=store,
+            )
     except ReproError as exc:
         # malformed batch (unknown solver, missing threshold): a usage
         # error, not a per-task failure — no traceback at the user
+        if store is not None:
+            store.close()
         print(f"error: {exc}")
         return 2
 
@@ -360,6 +451,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "tag": o.tag,
                 "solver": o.solver,
                 "elapsed": o.elapsed,
+                "attempts": o.attempts,
+                "cached": o.cached,
             }
             if o.result is not None:
                 record.update(
@@ -370,15 +463,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 )
             else:
                 record["error"] = o.error
+                record["error_kind"] = (
+                    o.error_kind.value if o.error_kind else None
+                )
             records.append(record)
         print(json.dumps(records, indent=2))
-    else:
+    elif not args.stream:
         rows = [
             (
                 o.tag,
                 f"{o.result.latency:.6g}" if o.result else "-",
                 f"{o.result.failure_probability:.6g}" if o.result else "-",
-                f"{o.elapsed:.4f}s",
+                f"{o.elapsed:.4f}s" + (" (cached)" if o.cached else ""),
                 "" if o.result else (o.error or ""),
             )
             for o in outcomes
@@ -388,6 +484,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 ("task", "latency", "failure-prob", "time", "error"), rows
             )
         )
+    if store is not None:
+        stats = store.stats
+        print(
+            f"store: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.writes} write(s) ({stats.hit_rate:.0%} hit rate)",
+            file=sys.stderr,
+        )
+        store.close()
     failures = sum(1 for o in outcomes if o.result is None)
     if outcomes and failures == len(outcomes):
         return 1  # every task failed

@@ -8,6 +8,7 @@ regression fixtures, external tooling).  Every ``*_to_dict`` /
 
 from __future__ import annotations
 
+import json
 from typing import Any, Mapping
 
 from ..exceptions import ReproError
@@ -25,6 +26,9 @@ __all__ = [
     "mapping_from_dict",
     "instance_to_dict",
     "instance_from_dict",
+    "solver_result_to_dict",
+    "solver_result_from_dict",
+    "canonical_json",
 ]
 
 _SCHEMA_VERSION = 1
@@ -203,6 +207,70 @@ def instance_from_dict(
         application_from_dict(data["application"]),
         platform_from_dict(data["platform"]),
         mapping,
+    )
+
+
+def solver_result_to_dict(result: "SolverResult") -> dict[str, Any]:
+    """Serialise a :class:`~repro.algorithms.result.SolverResult`.
+
+    The objectives and the mapping round-trip exactly (JSON preserves
+    float bits via shortest-repr); ``extras`` are coerced to
+    JSON-compatible values (tuples/sets become lists, exotic objects
+    their ``repr``) since they are diagnostics, not part of the result's
+    identity.
+    """
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "solver-result",
+        "mapping": mapping_to_dict(result.mapping),
+        "latency": result.latency,
+        "failure_probability": result.failure_probability,
+        "solver": result.solver,
+        "optimal": result.optimal,
+        "extras": {str(k): _jsonable(v) for k, v in result.extras.items()},
+    }
+
+
+def solver_result_from_dict(data: Mapping[str, Any]) -> "SolverResult":
+    """Inverse of :func:`solver_result_to_dict`."""
+    from ..algorithms.result import SolverResult
+
+    _expect(data, "solver-result")
+    return SolverResult(
+        mapping=mapping_from_dict(data["mapping"]),
+        latency=data["latency"],
+        failure_probability=data["failure_probability"],
+        solver=data["solver"],
+        optimal=data["optimal"],
+        extras=dict(data.get("extras", {})),
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort coercion of an extras value to JSON-compatible form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding for content-addressed keys.
+
+    Sorted keys, no whitespace, shortest-repr floats: equal Python
+    values always encode to the same byte string, so hashes over the
+    output are stable across processes and sessions.
+    """
+    return json.dumps(
+        _jsonable(data),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
     )
 
 

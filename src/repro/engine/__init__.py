@@ -1,15 +1,22 @@
-"""Parallel solver engine: registry, uniform dispatch, batch execution.
+"""Parallel solver engine: registry, streaming batches, result store.
 
 This subsystem turns the paper's individual algorithms into a batched,
-parallel solving service:
+parallel, fault-isolated solving service:
 
 * :mod:`repro.engine.registry` — every exact solver and heuristic under
   a uniform ``solve(name, application, platform, threshold=None,
   **opts)`` interface with capability metadata (platform-class domain,
-  exact vs heuristic, objective, seededness);
+  exact vs heuristic, objective, seededness, version);
 * :mod:`repro.engine.batch` — shard many instances, or many threshold
   queries over one instance, across ``multiprocessing`` workers with
-  deterministic seeding and in-order result aggregation.
+  deterministic seeding; :func:`iter_batch` streams outcomes as tasks
+  finish, :func:`run_batch` drains the stream into an ordered list;
+* :mod:`repro.engine.policy` — per-task timeout/retry policies and the
+  structured :class:`ErrorKind` failure taxonomy (a crashing task is a
+  failed outcome, never an aborted batch);
+* :mod:`repro.engine.store` — persistent result store (JSON or SQLite)
+  keyed by a canonical instance hash, so repeated experiment grids
+  reuse prior solves instead of recomputing them.
 
 Quickstart::
 
@@ -20,12 +27,26 @@ Quickstart::
     plat = random_platform(4, "comm-homogeneous", seed=1)
 
     result = engine.solve("local-search-min-fp", app, plat, threshold=30.0)
-    outcomes = engine.threshold_sweep(
-        "greedy-min-fp", app, plat, [10, 20, 30, 40], workers=4
-    )
+
+    # stream a sweep with fault isolation, retries and a warm store
+    store = engine.open_store("results.sqlite")
+    policy = engine.BatchPolicy(retries=1, timeout=30.0)
+    for outcome in engine.iter_batch(
+        [engine.BatchTask("greedy-min-fp", app, plat, threshold=t)
+         for t in (10, 20, 30, 40)],
+        workers=4, policy=policy, store=store,
+    ):
+        print(outcome.tag, outcome.ok, outcome.error_kind)
 """
 
-from .batch import BatchOutcome, BatchTask, run_batch, threshold_sweep
+from .batch import (
+    BatchOutcome,
+    BatchTask,
+    iter_batch,
+    run_batch,
+    threshold_sweep,
+)
+from .policy import BatchPolicy, ErrorKind, TaskTimeoutError
 from .registry import (
     Objective,
     SolverSpec,
@@ -34,18 +55,40 @@ from .registry import (
     solve,
     solver_names,
     solver_specs,
+    unregister,
+)
+from .store import (
+    JSONStore,
+    MemoryStore,
+    ResultStore,
+    SQLiteStore,
+    StoreStats,
+    instance_key,
+    open_store,
 )
 
 __all__ = [
     "Objective",
     "SolverSpec",
     "register",
+    "unregister",
     "get_solver",
     "solver_names",
     "solver_specs",
     "solve",
     "BatchTask",
     "BatchOutcome",
+    "iter_batch",
     "run_batch",
     "threshold_sweep",
+    "BatchPolicy",
+    "ErrorKind",
+    "TaskTimeoutError",
+    "ResultStore",
+    "MemoryStore",
+    "JSONStore",
+    "SQLiteStore",
+    "StoreStats",
+    "instance_key",
+    "open_store",
 ]

@@ -1,18 +1,32 @@
-"""Batch executor: many solver queries, optionally across processes.
+"""Streaming batch executor: many solver queries as a resilient service.
 
 Turns solving into a batched service instead of one-off function calls:
 a list of :class:`BatchTask` records (any mix of instances, solvers and
 thresholds) is executed either serially or sharded across
 ``multiprocessing`` workers, with
 
+* **streaming results** — :func:`iter_batch` yields
+  :class:`BatchOutcome`\\ s as tasks finish (``imap_unordered`` under the
+  hood, with an ordering buffer restoring input order by default), so
+  long grids produce output from the first completion instead of the
+  last;
+* **fault isolation** — *every* task failure (infeasible threshold,
+  domain violation, crash inside a solver, timeout) is captured as a
+  failed outcome with a structured
+  :class:`~repro.engine.policy.ErrorKind`; one bad task never aborts a
+  mixed batch;
+* **retry/timeout policies** — a :class:`~repro.engine.policy.BatchPolicy`
+  gives every task a wall-clock budget and bounded retries with
+  exponential backoff (transient kinds only: deterministic verdicts
+  like infeasibility are never retried);
 * **deterministic seeding** — randomised solvers receive a per-task seed
   derived as ``base_seed + task_index``, so results are reproducible and
-  *identical* between serial and parallel runs (a machine-checked
-  property);
-* **result aggregation** — outcomes come back in task order, each
-  carrying the :class:`~repro.algorithms.result.SolverResult` or the
-  error string (one infeasible or guarded task never aborts the batch)
-  plus its wall-clock time.
+  *identical* between serial, parallel and streamed runs (a
+  machine-checked property);
+* **result reuse** — with a :class:`~repro.engine.store.ResultStore`,
+  outcomes of deterministic tasks are content-addressed by
+  :func:`~repro.engine.store.instance_key` and served from the store on
+  repeat queries (zero solver invocations on a warm grid).
 
 Typical uses: solving a whole experiment grid of random instances, or
 sweeping many threshold queries over one instance to trace a frontier
@@ -24,15 +38,27 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..algorithms.result import SolverResult
 from ..core.application import PipelineApplication
 from ..core.platform import Platform
-from ..exceptions import ReproError, SolverError
+from ..core.serialization import (
+    solver_result_from_dict,
+    solver_result_to_dict,
+)
+from ..exceptions import SolverError
+from .policy import BatchPolicy, ErrorKind, classify_exception, run_with_timeout
 from .registry import get_solver, solve
+from .store import ResultStore, instance_key
 
-__all__ = ["BatchTask", "BatchOutcome", "run_batch", "threshold_sweep"]
+__all__ = [
+    "BatchTask",
+    "BatchOutcome",
+    "iter_batch",
+    "run_batch",
+    "threshold_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -49,13 +75,15 @@ class BatchTask:
 
 @dataclass(frozen=True)
 class BatchOutcome:
-    """Result of one :class:`BatchTask` (in input order).
+    """Result of one :class:`BatchTask`.
 
-    Exactly one of ``result`` and ``error`` is set; ``error`` carries
-    the exception type and message of a failed/infeasible task.  The
-    originating ``task`` rides along so aggregators (reports,
-    Monte-Carlo cross-checks) can reach the instance without tracking
-    the input list.
+    Exactly one of ``result`` and ``error`` is set; a failed task
+    additionally carries the structured ``error_kind`` (so aggregators
+    branch on an enum, not on exception strings) next to the legacy
+    ``error`` string (exception type + message).  The originating
+    ``task`` rides along so aggregators (reports, Monte-Carlo
+    cross-checks) can reach the instance without tracking the input
+    list.
     """
 
     index: int
@@ -65,6 +93,9 @@ class BatchOutcome:
     error: str | None
     elapsed: float
     task: BatchTask
+    error_kind: ErrorKind | None = None
+    attempts: int = 1
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -86,70 +117,66 @@ def _effective_opts(
     return opts
 
 
-def _execute(payload: tuple[int, BatchTask, dict[str, Any]]) -> BatchOutcome:
-    """Run one task (top-level so multiprocessing can pickle it)."""
-    index, task, opts = payload
-    start = time.perf_counter()
-    try:
-        # through the registry front door, so every dispatch validation
-        # (threshold shape, platform domain) applies identically to
-        # batched and direct solves; domain violations surface as
-        # per-task errors, keeping mixed batches alive
-        result: SolverResult | None = solve(
-            task.solver,
-            task.application,
-            task.platform,
-            task.threshold,
-            **opts,
-        )
-        error = None
-    except ReproError as exc:
-        result = None
-        error = f"{type(exc).__name__}: {exc}"
-    return BatchOutcome(
-        index=index,
-        solver=task.solver,
-        tag=task.tag,
-        result=result,
-        error=error,
-        elapsed=time.perf_counter() - start,
-        task=task,
-    )
+def _execute(
+    payload: tuple[int, BatchTask, dict[str, Any], BatchPolicy]
+) -> BatchOutcome:
+    """Run one task (top-level so multiprocessing can pickle it).
 
-
-def run_batch(
-    tasks: Iterable[BatchTask],
-    *,
-    workers: int | None = None,
-    seed: int | None = None,
-    chunksize: int | None = None,
-) -> list[BatchOutcome]:
-    """Execute a batch of solver tasks, serially or across processes.
-
-    Parameters
-    ----------
-    tasks:
-        The queries to run; outcomes are returned in the same order.
-    workers:
-        ``None``/``0``/``1`` runs in-process; larger values shard the
-        batch over a ``multiprocessing`` pool of that many workers.
-    seed:
-        Base seed for randomised solvers: task ``i`` runs with
-        ``seed + i`` (unless its ``opts`` already pin one).  Seeding —
-        and therefore every result — is independent of ``workers``.
-    chunksize:
-        Pool chunk size; defaults to an even split across workers.
-
-    Raises
-    ------
-    repro.exceptions.SolverError
-        Immediately (before running anything) if a task names an
-        unregistered solver, omits a required threshold, or passes one
-        to a solver that takes none — a malformed batch is a
-        programming error, unlike a solver failure, which is reported
-        per-outcome.
+    All failure handling lives here: every exception raised by the
+    solver (not just library errors — a ``TypeError`` from bad opts, a
+    timeout, any bug) is captured as a failed outcome with its
+    :class:`ErrorKind`, and transient kinds are retried per the policy.
+    Process-fatal signals (``KeyboardInterrupt``/``SystemExit``)
+    propagate.
     """
-    payloads: list[tuple[int, BatchTask, dict[str, Any]]] = []
+    index, task, opts, policy = payload
+    start = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        result: SolverResult | None = None
+        error: str | None = None
+        kind: ErrorKind | None = None
+        try:
+            # through the registry front door, so every dispatch
+            # validation (threshold shape, platform domain) applies
+            # identically to batched and direct solves
+            result = run_with_timeout(
+                lambda: solve(
+                    task.solver,
+                    task.application,
+                    task.platform,
+                    task.threshold,
+                    **opts,
+                ),
+                policy.timeout,
+            )
+        except Exception as exc:
+            kind = classify_exception(exc)
+            error = f"{type(exc).__name__}: {exc}"
+            if policy.should_retry(kind, attempt):
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+        return BatchOutcome(
+            index=index,
+            solver=task.solver,
+            tag=task.tag,
+            result=result,
+            error=error,
+            elapsed=time.perf_counter() - start,
+            task=task,
+            error_kind=kind,
+            attempts=attempt,
+        )
+
+
+def _prepare(
+    tasks: Sequence[BatchTask], seed: int | None, policy: BatchPolicy
+) -> list[tuple[int, BatchTask, dict[str, Any], BatchPolicy]]:
+    """Validate a batch up front and attach effective opts + policy."""
+    payloads = []
     for index, task in enumerate(tasks):
         spec = get_solver(task.solver)
         if spec.needs_threshold and task.threshold is None:
@@ -161,18 +188,249 @@ def run_batch(
                 f"batch task {index} ({task.solver!r}) does not take a "
                 f"threshold"
             )
-        payloads.append((index, task, _effective_opts(task, index, seed)))
+        payloads.append(
+            (index, task, _effective_opts(task, index, seed), policy)
+        )
+    return payloads
 
-    if not payloads:
-        return []
-    if workers is None or workers <= 1:
-        return [_execute(p) for p in payloads]
 
-    workers = min(workers, len(payloads))
+# ----------------------------------------------------------------------
+# store codec: BatchOutcome <-> JSON record
+# ----------------------------------------------------------------------
+def _task_key(
+    task: BatchTask, opts: Mapping[str, Any]
+) -> str | None:
+    """Store key for a task, or None when its outcome is not reusable.
+
+    A cached result must be deterministic to replay: unseeded runs of a
+    randomised solver produce a different result every time, so they
+    bypass the store entirely (neither looked up nor written — a lookup
+    would silently pin one arbitrary draw forever).
+    """
+    spec = get_solver(task.solver)
+    if spec.seeded and "seed" not in opts:
+        return None
+    return instance_key(
+        task.solver,
+        task.application,
+        task.platform,
+        task.threshold,
+        opts,
+        solver_version=spec.version,
+    )
+
+
+def _outcome_to_record(outcome: BatchOutcome) -> dict[str, Any]:
+    return {
+        "solver": outcome.solver,
+        "result": (
+            solver_result_to_dict(outcome.result)
+            if outcome.result is not None
+            else None
+        ),
+        "error": outcome.error,
+        "error_kind": (
+            outcome.error_kind.value if outcome.error_kind else None
+        ),
+        "elapsed": outcome.elapsed,
+        "attempts": outcome.attempts,
+    }
+
+
+def _outcome_from_record(
+    record: Mapping[str, Any], index: int, task: BatchTask
+) -> BatchOutcome:
+    result = record.get("result")
+    kind = record.get("error_kind")
+    return BatchOutcome(
+        index=index,
+        solver=task.solver,
+        tag=task.tag,
+        result=solver_result_from_dict(result) if result else None,
+        error=record.get("error"),
+        elapsed=record.get("elapsed", 0.0),
+        task=task,
+        error_kind=ErrorKind(kind) if kind else None,
+        attempts=record.get("attempts", 1),
+        cached=True,
+    )
+
+
+def _storable(outcome: BatchOutcome) -> bool:
+    """Only deterministic verdicts are worth persisting.
+
+    Successes and structural failures (infeasible, unsupported, invalid)
+    replay identically; timeouts and crashes describe the environment of
+    one run and must stay retryable on the next.
+    """
+    return outcome.ok or (
+        outcome.error_kind is not None and outcome.error_kind.deterministic
+    )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def iter_batch(
+    tasks: Iterable[BatchTask],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    chunksize: int | None = 1,
+    in_order: bool = True,
+) -> Iterator[BatchOutcome]:
+    """Execute a batch, yielding outcomes as tasks complete.
+
+    The streaming sibling of :func:`run_batch`: the first outcome is
+    observable long before the batch finishes, which is what long
+    threshold grids and interactive frontends want.  Outcomes are
+    *identical* to :func:`run_batch` under the same ``seed`` — only the
+    delivery changes.
+
+    Parameters
+    ----------
+    tasks:
+        The queries to run.
+    workers:
+        ``None``/``0``/``1`` runs in-process; larger values shard the
+        batch over a ``multiprocessing`` pool and stream completions
+        through ``imap_unordered``.
+    seed:
+        Base seed for randomised solvers: task ``i`` runs with
+        ``seed + i`` (unless its ``opts`` already pin one).  Seeding —
+        and therefore every result — is independent of ``workers``.
+    policy:
+        Per-task :class:`~repro.engine.policy.BatchPolicy` (timeout,
+        retries, backoff).  Defaults to no timeout and no retries.
+    store:
+        Optional :class:`~repro.engine.store.ResultStore`: deterministic
+        tasks found in the store are served without invoking the solver
+        (``outcome.cached`` is True), new deterministic outcomes are
+        written back.
+    chunksize:
+        Pool chunk size (streaming responsiveness vs dispatch
+        overhead); the default of 1 yields each completion as it
+        happens, ``None`` picks an even split of the *dispatched* tasks
+        (store hits excluded) across workers — better amortisation,
+        chunkier delivery.
+    in_order:
+        True (default) buffers out-of-order completions and yields in
+        task order; False yields in completion order (each outcome still
+        carries its ``index``).
+
+    Raises
+    ------
+    repro.exceptions.SolverError
+        Immediately (before running anything) if a task names an
+        unregistered solver, omits a required threshold, or passes one
+        to a solver that takes none — a malformed batch is a
+        programming error, unlike a solver failure, which is reported
+        per-outcome.
+    """
+    policy = policy or BatchPolicy()
+    payloads = _prepare(list(tasks), seed, policy)
+    total = len(payloads)
+    if total == 0:
+        return
+
+    # resolve store hits up front; misses carry their key for write-back
+    ready: dict[int, BatchOutcome] = {}
+    misses: list[tuple[int, BatchTask, dict[str, Any], BatchPolicy]] = []
+    keys: dict[int, str] = {}
+    if store is not None:
+        for payload in payloads:
+            index, task, opts, _ = payload
+            key = _task_key(task, opts)
+            record = store.get(key) if key is not None else None
+            if record is not None:
+                ready[index] = _outcome_from_record(record, index, task)
+            else:
+                if key is not None:
+                    keys[index] = key
+                misses.append(payload)
+    else:
+        misses = payloads
+
+    def _finish(outcome: BatchOutcome) -> BatchOutcome:
+        if store is not None and _storable(outcome):
+            key = keys.get(outcome.index)
+            if key is not None:
+                store.put(key, _outcome_to_record(outcome))
+        return outcome
+
+    if workers is None or workers <= 1 or not misses:
+        # serial: tasks run lazily as the consumer pulls outcomes
+        if in_order:
+            by_index = {p[0]: p for p in misses}
+            for index in range(total):
+                if index in ready:
+                    yield ready[index]
+                else:
+                    yield _finish(_execute(by_index[index]))
+        else:
+            for outcome in sorted(ready.values(), key=lambda o: o.index):
+                yield outcome
+            for payload in misses:
+                yield _finish(_execute(payload))
+        return
+
+    workers = min(workers, len(misses))
     if chunksize is None:
-        chunksize = max(1, len(payloads) // workers)
+        # even split of the *dispatched* work: deriving this from the
+        # full task count would lump a mostly-warm batch's few misses
+        # into one worker's chunk
+        chunksize = max(1, len(misses) // workers)
     with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(_execute, payloads, chunksize=chunksize)
+        completions = pool.imap_unordered(
+            _execute, misses, chunksize=max(1, chunksize)
+        )
+        if in_order:
+            next_index = 0
+            while next_index in ready:
+                yield ready.pop(next_index)
+                next_index += 1
+            for outcome in completions:
+                ready[outcome.index] = _finish(outcome)
+                while next_index in ready:
+                    yield ready.pop(next_index)
+                    next_index += 1
+        else:
+            for outcome in sorted(ready.values(), key=lambda o: o.index):
+                yield outcome
+            for outcome in completions:
+                yield _finish(outcome)
+
+
+def run_batch(
+    tasks: Iterable[BatchTask],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    chunksize: int | None = None,
+) -> list[BatchOutcome]:
+    """Execute a batch of solver tasks, returning outcomes in task order.
+
+    A convenience wrapper over :func:`iter_batch` (which see for the
+    ``policy``/``store`` semantics): the whole batch is drained into a
+    list.  ``chunksize`` defaults to an even split of the dispatched
+    tasks across workers — better dispatch amortisation than the
+    streaming default, identical results.
+    """
+    return list(
+        iter_batch(
+            list(tasks),
+            workers=workers,
+            seed=seed,
+            policy=policy,
+            store=store,
+            chunksize=chunksize,
+            in_order=True,
+        )
+    )
 
 
 def threshold_sweep(
@@ -183,13 +441,17 @@ def threshold_sweep(
     *,
     workers: int | None = None,
     seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
     opts: Mapping[str, Any] | None = None,
 ) -> list[BatchOutcome]:
     """Run one threshold query per value over a single instance.
 
     The bread-and-butter frontier workload: outcomes are returned in
     threshold order, infeasible thresholds showing up as failed
-    outcomes rather than aborting the sweep.
+    outcomes rather than aborting the sweep.  With a ``store``,
+    re-running a sweep over a previously solved grid performs zero new
+    solver invocations.
     """
     tasks = [
         BatchTask(
@@ -202,4 +464,6 @@ def threshold_sweep(
         )
         for t in thresholds
     ]
-    return run_batch(tasks, workers=workers, seed=seed)
+    return run_batch(
+        tasks, workers=workers, seed=seed, policy=policy, store=store
+    )

@@ -1,0 +1,194 @@
+"""Per-task execution policies: error taxonomy, retries, timeouts.
+
+The streaming batch engine treats every task as an isolated unit of
+work.  This module defines the vocabulary it uses to do so:
+
+* :class:`ErrorKind` — a structured classification of task failures
+  (infeasible, out of domain, crash, timeout, ...), carried on
+  :class:`~repro.engine.batch.BatchOutcome` so aggregators branch on an
+  enum instead of parsing exception strings;
+* :class:`BatchPolicy` — per-task retry/timeout/backoff configuration
+  applied uniformly to a batch;
+* :func:`run_with_timeout` — a best-effort wall-clock guard around one
+  solver call (``SIGALRM``-based, so it works both in-process and inside
+  ``multiprocessing`` pool workers, which run tasks on their main
+  thread).
+"""
+
+from __future__ import annotations
+
+import enum
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+from ..exceptions import (
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    ReproError,
+    SolverError,
+)
+
+__all__ = [
+    "ErrorKind",
+    "TaskTimeoutError",
+    "BatchPolicy",
+    "classify_exception",
+    "run_with_timeout",
+]
+
+
+class ErrorKind(enum.Enum):
+    """Structured classification of a failed batch task.
+
+    ``INFEASIBLE``, ``UNSUPPORTED`` and ``INVALID`` are *deterministic*
+    verdicts about the instance (re-running cannot change them), whereas
+    ``TIMEOUT`` and ``CRASH`` describe the execution environment and are
+    the default candidates for retries.
+    """
+
+    #: no mapping satisfies the requested threshold(s)
+    INFEASIBLE = "infeasible"
+    #: the solver was invoked outside its domain (platform class,
+    #: size guard, ...)
+    UNSUPPORTED = "unsupported"
+    #: the instance itself is malformed (model validation errors)
+    INVALID = "invalid"
+    #: the task exceeded the policy's wall-clock budget
+    TIMEOUT = "timeout"
+    #: any other exception escaping the solver (a bug, bad opts, ...)
+    CRASH = "crash"
+
+    @property
+    def deterministic(self) -> bool:
+        """True when re-running the task cannot change the verdict."""
+        return self in _DETERMINISTIC
+
+
+_DETERMINISTIC = frozenset(
+    {ErrorKind.INFEASIBLE, ErrorKind.UNSUPPORTED, ErrorKind.INVALID}
+)
+
+
+class TaskTimeoutError(ReproError):
+    """A batch task exceeded its :class:`BatchPolicy` timeout."""
+
+
+def classify_exception(exc: BaseException) -> ErrorKind:
+    """Map an exception raised by a solver to its :class:`ErrorKind`."""
+    if isinstance(exc, TaskTimeoutError):
+        return ErrorKind.TIMEOUT
+    if isinstance(exc, InfeasibleProblemError):
+        return ErrorKind.INFEASIBLE
+    if isinstance(exc, SolverError):
+        return ErrorKind.UNSUPPORTED
+    if isinstance(
+        exc,
+        (InvalidApplicationError, InvalidPlatformError, InvalidMappingError),
+    ):
+        return ErrorKind.INVALID
+    return ErrorKind.CRASH
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Retry/timeout policy applied to every task of a batch.
+
+    Attributes
+    ----------
+    retries:
+        Additional attempts after the first one (0 disables retries).
+        Only failures whose kind is in ``retry_on`` are retried;
+        deterministic verdicts (infeasible, unsupported, invalid) never
+        are, regardless of this setting.
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` disables).
+        Enforced via ``SIGALRM`` where available (main thread on Unix,
+        which covers both the serial path and pool workers); elsewhere
+        the task runs unguarded.
+    backoff:
+        Base delay in seconds between attempts; attempt ``k`` (1-based)
+        sleeps ``backoff * 2**(k-1)`` before retrying.
+    retry_on:
+        Error kinds that qualify for a retry.
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    backoff: float = 0.0
+    retry_on: frozenset[ErrorKind] = field(
+        default_factory=lambda: frozenset(
+            {ErrorKind.TIMEOUT, ErrorKind.CRASH}
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        object.__setattr__(self, "retry_on", frozenset(self.retry_on))
+
+    def should_retry(self, kind: ErrorKind, attempt: int) -> bool:
+        """True when a failure of ``kind`` on attempt ``attempt``
+        (1-based) warrants another attempt."""
+        return (
+            attempt <= self.retries
+            and kind in self.retry_on
+            and not kind.deterministic
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay before the retry following attempt ``attempt``."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * (2.0 ** (attempt - 1))
+
+
+_T = TypeVar("_T")
+
+
+def run_with_timeout(
+    fn: Callable[[], _T], timeout: float | None
+) -> _T:
+    """Call ``fn()``, raising :class:`TaskTimeoutError` past ``timeout``.
+
+    Uses an interval timer + ``SIGALRM``, the only mechanism that can
+    interrupt a pure-Python hot loop without cooperation from the
+    solver.  Signals only work on the main thread of a process; batch
+    workers satisfy that (``multiprocessing`` runs tasks on each
+    worker's main thread), but when called from a non-main thread or a
+    platform without ``SIGALRM`` the function degrades to an unguarded
+    call rather than failing.
+    """
+    if timeout is None:
+        return fn()
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):  # pragma: no cover - platform/threading fallback
+        return fn()
+
+    finished = False
+
+    def _raise(signum: int, frame: Any) -> None:
+        # the alarm can be delivered after fn() already returned (the
+        # gap before the finally clears the itimer); a completed task
+        # must not be misreported as a timeout
+        if not finished:
+            raise TaskTimeoutError(f"task exceeded timeout of {timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        result = fn()
+        finished = True
+        return result
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

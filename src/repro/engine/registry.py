@@ -35,6 +35,7 @@ __all__ = [
     "Objective",
     "SolverSpec",
     "register",
+    "unregister",
     "get_solver",
     "solver_names",
     "solver_specs",
@@ -92,6 +93,11 @@ class SolverSpec:
         probabilities (Algorithms 3-4).
     description:
         One-line summary shown by ``repro-pipeline batch --list-solvers``.
+    version:
+        Implementation version, folded into persistent-store keys
+        (:func:`repro.engine.store.instance_key`); bump it when a
+        solver's results change so stale cached solves are invalidated
+        instead of replayed.
     """
 
     name: str
@@ -103,6 +109,7 @@ class SolverSpec:
     platforms: frozenset[PlatformClass] = _ALL
     requires_failure_homogeneous: bool = False
     description: str = ""
+    version: int = 1
 
     def supports(self, platform: Platform) -> bool:
         """True when the platform's classes are inside the solver's domain."""
@@ -125,6 +132,18 @@ def register(spec: SolverSpec) -> SolverSpec:
         raise ValueError(f"solver {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
     return spec
+
+
+def unregister(name: str) -> SolverSpec:
+    """Remove a solver from the registry, returning its spec.
+
+    Mostly for test fixtures that register synthetic solvers (crashing,
+    sleeping, counting) and must leave the registry clean.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise SolverError(f"unknown solver {name!r}") from None
 
 
 def get_solver(name: str) -> SolverSpec:

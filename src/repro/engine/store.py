@@ -1,0 +1,305 @@
+"""Persistent result store: instance-keyed reuse of prior solves.
+
+Repeated experiment grids (threshold sweeps, parameter studies,
+regression reruns) mostly re-solve instances that have been solved
+before.  This module gives the batch engine a content-addressed cache
+for those solves:
+
+* :func:`instance_key` — a canonical SHA-256 over the *semantic*
+  identity of a query: serialised application + platform (via
+  :mod:`repro.core.serialization`), solver name and version, threshold,
+  and the effective options (including the derived per-task seed).
+  Equal queries hash equally across processes and sessions; any change
+  to the instance, solver or options changes the key.
+* :class:`ResultStore` backends — in-memory, single-file JSON
+  (human-inspectable, good for small corpora) and SQLite (concurrent-
+  reader friendly, good for large grids) — all with hit/miss/write
+  statistics.
+* :func:`open_store` — backend selection by path (``:memory:``,
+  ``*.json``, anything else → SQLite).
+
+Stores hold plain JSON records (the batch layer owns the
+outcome <-> record codec), so they stay decoupled from the executor and
+usable by external tooling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..core.application import PipelineApplication
+from ..core.platform import Platform
+from ..core.serialization import (
+    application_to_dict,
+    canonical_json,
+    platform_to_dict,
+)
+from ..exceptions import ReproError
+
+__all__ = [
+    "instance_key",
+    "StoreStats",
+    "ResultStore",
+    "MemoryStore",
+    "JSONStore",
+    "SQLiteStore",
+    "open_store",
+]
+
+#: bump when the record layout or key derivation changes incompatibly
+_STORE_SCHEMA = 1
+
+
+def instance_key(
+    solver: str,
+    application: PipelineApplication,
+    platform: Platform,
+    threshold: float | None = None,
+    opts: Mapping[str, Any] | None = None,
+    *,
+    solver_version: int = 1,
+) -> str:
+    """Canonical content hash of one solver query.
+
+    The key covers everything that determines the result: the full
+    serialised instance, the solver (name + registry version, so a
+    solver fix invalidates its old entries), the threshold, and the
+    *effective* options — for seeded solvers that includes the derived
+    per-task seed, which is what makes cached heuristic results
+    deterministic to reuse.
+    """
+    payload = {
+        "schema": _STORE_SCHEMA,
+        "solver": solver,
+        "solver_version": solver_version,
+        "application": application_to_dict(application),
+        "platform": platform_to_dict(platform),
+        "threshold": threshold,
+        "opts": dict(opts or {}),
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters for one store lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultStore:
+    """Base class: stat-keeping wrapper over a key -> record mapping.
+
+    Subclasses implement ``_get``/``_put``/``_keys``/``close``; records
+    are JSON-compatible dicts.  Stores are context managers (``close``
+    on exit).
+    """
+
+    stats: StoreStats = field(default_factory=StoreStats, init=False)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Record for ``key`` (counting a hit) or None (a miss)."""
+        record = self._get(key)
+        if record is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Insert/overwrite the record for ``key``."""
+        self._put(key, dict(record))
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._keys())
+
+    def keys(self) -> Iterator[str]:
+        return self._keys()
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- backend hooks -------------------------------------------------
+    def _get(self, key: str) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def _put(self, key: str, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+
+class MemoryStore(ResultStore):
+    """Process-local store (tests, one-shot scripts)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: dict[str, dict[str, Any]] = {}
+
+    def _get(self, key: str) -> dict[str, Any] | None:
+        return self._data.get(key)
+
+    def _put(self, key: str, record: dict[str, Any]) -> None:
+        self._data[key] = record
+
+    def _keys(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+
+class JSONStore(ResultStore):
+    """Single-file JSON store (atomic rewrite, batched).
+
+    Human-inspectable and diff-friendly; intended for small/medium
+    corpora.  The whole file is loaded at open; writes are batched —
+    the file is rewritten (temp file + rename, so a crash never leaves
+    a half-written store behind) every ``flush_every`` puts and on
+    :meth:`close`/context-manager exit, keeping a cold N-task batch at
+    O(N/flush_every) rewrites instead of O(N).
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str], *, flush_every: int = 32
+    ) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
+        self._data: dict[str, dict[str, Any]] = {}
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != _STORE_SCHEMA:
+                raise ReproError(
+                    f"store {self.path!r} has unsupported schema "
+                    f"{payload.get('schema')!r}"
+                )
+            self._data = payload["records"]
+
+    def _get(self, key: str) -> dict[str, Any] | None:
+        return self._data.get(key)
+
+    def _put(self, key: str, record: dict[str, Any]) -> None:
+        self._data[key] = record
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self.flush()
+
+    def _keys(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+    def close(self) -> None:
+        if self._pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the backing file with the current records."""
+        self._pending = 0
+        payload = {"schema": _STORE_SCHEMA, "records": self._data}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".store-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:  # pragma: no cover - crash-safety path
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+class SQLiteStore(ResultStore):
+    """SQLite-backed store (scales to large grids, concurrent readers)."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " schema INTEGER NOT NULL,"
+            " record TEXT NOT NULL)"
+        )
+        self._conn.commit()
+
+    def _get(self, key: str) -> dict[str, Any] | None:
+        row = self._conn.execute(
+            "SELECT schema, record FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        schema, record = row
+        if schema != _STORE_SCHEMA:
+            return None  # stale schema: treat as a miss, will be rewritten
+        return json.loads(record)
+
+    def _put(self, key: str, record: dict[str, Any]) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (key, schema, record) "
+            "VALUES (?, ?, ?)",
+            (key, _STORE_SCHEMA, json.dumps(record, sort_keys=True)),
+        )
+        self._conn.commit()
+
+    def _keys(self) -> Iterator[str]:
+        return (
+            row[0]
+            for row in self._conn.execute("SELECT key FROM results").fetchall()
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def open_store(path: str | os.PathLike[str]) -> ResultStore:
+    """Open a result store by path.
+
+    ``":memory:"`` → :class:`MemoryStore`; a ``.json`` suffix →
+    :class:`JSONStore`; anything else → :class:`SQLiteStore`.
+    """
+    spec = os.fspath(path)
+    if spec == ":memory:":
+        return MemoryStore()
+    if spec.endswith(".json"):
+        return JSONStore(spec)
+    return SQLiteStore(spec)

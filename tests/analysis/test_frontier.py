@@ -89,6 +89,81 @@ class TestSweepFrontier:
         assert len(grid) == 5
         assert grid == sorted(grid)
 
+    def test_latency_grid_top_point_is_exactly_hi(self):
+        """Regression: lo + (n-1)*step can land a float ulp off hi,
+        making the slowest single-interval candidate infeasible at the
+        top threshold."""
+        from repro.algorithms.heuristics import single_interval_candidates
+
+        for seed in range(6):
+            app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=seed)
+            candidates = [
+                r.latency for r in single_interval_candidates(app, plat)
+            ]
+            lo, hi = min(candidates), max(candidates)
+            for num_points in (2, 5, 20, 33):
+                grid = latency_grid(app, plat, num_points=num_points)
+                assert grid[0] == lo
+                assert grid[-1] == hi  # bitwise, not approx
+                assert grid == sorted(set(grid))  # strictly increasing
+
+    def test_latency_grid_slowest_candidate_feasible_at_top(self):
+        """With the endpoint pinned, every single-interval candidate is
+        admissible somewhere on the grid — including full replication."""
+        from repro.algorithms.heuristics import single_interval_candidates
+        from repro.engine import threshold_sweep
+
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=4)
+        candidates = list(single_interval_candidates(app, plat))
+        best_fp = min(r.failure_probability for r in candidates)
+        grid = latency_grid(app, plat, num_points=7)
+        outcomes = threshold_sweep(
+            "single-interval-min-fp", app, plat, [grid[-1]]
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].result.failure_probability == pytest.approx(
+            best_fp, abs=0.0
+        )
+
+    def test_sweep_skips_infeasible_by_kind_not_string(self):
+        """Satellite regression: feasibility is decided by the structured
+        error kind, so sweeps survive exception renaming/wrapping but
+        still fail loudly on genuine solver crashes."""
+        from repro.engine import threshold_sweep
+        from repro.exceptions import SolverError as SE
+
+        from tests.engine.synthetic import (
+            always_crash_min_fp,
+            register_synthetic,
+        )
+
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=2)
+        # infeasible thresholds are skipped silently
+        front = sweep_frontier(
+            app, plat, "greedy-min-fp", thresholds=[1e-9, 50.0, 80.0]
+        )
+        assert front
+        # crashes are not mistaken for infeasibility
+        with register_synthetic("crashy-sweep", always_crash_min_fp):
+            with pytest.raises(SE, match="sweep .* failed"):
+                sweep_frontier(app, plat, "crashy-sweep", thresholds=[50.0])
+
+    def test_sweep_frontier_with_store_reuses_solves(self):
+        from repro.engine import MemoryStore
+
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=2)
+        store = MemoryStore()
+        cold = sweep_frontier(
+            app, plat, "greedy-min-fp", num_points=6, store=store
+        )
+        warm = sweep_frontier(
+            app, plat, "greedy-min-fp", num_points=6, store=store
+        )
+        assert store.stats.hits == 6
+        assert [(p.latency, p.failure_probability) for p in cold] == [
+            (p.latency, p.failure_probability) for p in warm
+        ]
+
 
 class TestGapMetric:
     def test_identical_frontiers_have_zero_gap(self):

@@ -97,6 +97,71 @@ class TestParetoFront:
         assert fps == sorted(fps, reverse=True)
 
 
+class TestToleranceEdgeCases:
+    """``tolerance > 0`` semantics (satellite coverage)."""
+
+    def test_improvement_within_tolerance_does_not_dominate(self):
+        a = BiCriteriaPoint(1.0, 0.1)
+        b = BiCriteriaPoint(1.0, 0.1 + 1e-13)
+        # b is worse, but only within tolerance: no strict improvement
+        assert not dominates(a, b, tolerance=1e-12)
+        assert not dominates(b, a, tolerance=1e-12)
+
+    def test_tolerated_regression_on_one_axis(self):
+        # a is an ulp slower but much more reliable: with tolerance it
+        # counts as "no worse" on latency and strictly better on FP
+        a = BiCriteriaPoint(1.0 + 1e-13, 0.1)
+        b = BiCriteriaPoint(1.0, 0.9)
+        assert dominates(a, b, tolerance=1e-12)
+        assert not dominates(a, b, tolerance=0.0)
+
+    def test_dominance_never_symmetric_under_tolerance(self):
+        pts = [
+            (BiCriteriaPoint(1.0, 0.5), BiCriteriaPoint(1.0 + 5e-13, 0.5)),
+            (BiCriteriaPoint(2.0, 0.2), BiCriteriaPoint(2.1, 0.1)),
+        ]
+        for a, b in pts:
+            for tol in (0.0, 1e-12, 0.05):
+                assert not (
+                    dominates(a, b, tolerance=tol)
+                    and dominates(b, a, tolerance=tol)
+                )
+
+    def test_front_collapses_near_duplicate_fp(self):
+        pts = [
+            BiCriteriaPoint(1.0, 0.5),
+            BiCriteriaPoint(2.0, 0.5 - 1e-13),  # not a real improvement
+            BiCriteriaPoint(3.0, 0.1),
+        ]
+        front = pareto_front(pts, tolerance=1e-12)
+        assert [(p.latency, p.failure_probability) for p in front] == [
+            (1.0, 0.5),
+            (3.0, 0.1),
+        ]
+        # zero tolerance keeps the ulp-level "improvement"
+        assert len(pareto_front(pts)) == 3
+
+    def test_front_with_large_tolerance_keeps_first_of_cluster(self):
+        pts = [
+            BiCriteriaPoint(1.0, 0.50),
+            BiCriteriaPoint(2.0, 0.48),
+            BiCriteriaPoint(3.0, 0.46),
+            BiCriteriaPoint(4.0, 0.10),
+        ]
+        front = pareto_front(pts, tolerance=0.05)
+        assert [(p.latency, p.failure_probability) for p in front] == [
+            (1.0, 0.50),
+            (4.0, 0.10),
+        ]
+
+    def test_is_dominated_with_tolerance(self):
+        point = BiCriteriaPoint(2.0, 0.5 + 1e-13)
+        others = [BiCriteriaPoint(2.0, 0.5)]
+        assert not is_dominated(point, others, tolerance=1e-12)
+        better = [BiCriteriaPoint(1.0, 0.4)]
+        assert is_dominated(point, better, tolerance=1e-12)
+
+
 class TestAttainment:
     def test_basic(self):
         front = [

@@ -130,3 +130,74 @@ class TestInstanceRoundTrip:
         app, plat, mapping = instance_from_dict(data)
         assert mapping is None
         assert app == inst.application
+
+
+class TestSolverResultRoundTrip:
+    def _result(self):
+        from repro.algorithms.heuristics import greedy_minimize_fp
+
+        from tests.helpers import make_instance
+
+        app, plat = make_instance("comm-homogeneous", 3, 4, 7)
+        return greedy_minimize_fp(app, plat, 60.0)
+
+    def test_roundtrip_bit_identical(self):
+        from repro.core.serialization import (
+            solver_result_from_dict,
+            solver_result_to_dict,
+        )
+
+        result = self._result()
+        data = solver_result_to_dict(result)
+        json.dumps(data)  # must be JSON-compatible
+        back = solver_result_from_dict(data)
+        assert back.latency == result.latency  # bitwise
+        assert back.failure_probability == result.failure_probability
+        assert back.mapping == result.mapping
+        assert back.solver == result.solver
+        assert back.optimal == result.optimal
+
+    def test_json_text_round_trip_preserves_floats(self):
+        from repro.core.serialization import (
+            solver_result_from_dict,
+            solver_result_to_dict,
+        )
+
+        result = self._result()
+        text = json.dumps(solver_result_to_dict(result))
+        back = solver_result_from_dict(json.loads(text))
+        assert back.latency == result.latency
+        assert back.failure_probability == result.failure_probability
+
+    def test_wrong_kind_rejected(self):
+        from repro.core.serialization import solver_result_from_dict
+
+        with pytest.raises(ReproError, match="solver-result"):
+            solver_result_from_dict({"kind": "application", "schema": 1})
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        from repro.core.serialization import canonical_json
+
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_compact_and_deterministic(self):
+        from repro.core.serialization import canonical_json
+
+        text = canonical_json({"a": [1, 2.5, "x"], "b": None})
+        assert text == '{"a":[1,2.5,"x"],"b":null}'
+
+    def test_coerces_tuples_and_sets(self):
+        from repro.core.serialization import canonical_json
+
+        assert canonical_json((1, 2)) == "[1,2]"
+        assert canonical_json({3, 1, 2}) == "[1,2,3]"
+
+    def test_float_bits_survive(self):
+        from repro.core.serialization import canonical_json
+
+        value = 0.1 + 0.2  # 0.30000000000000004
+        assert json.loads(canonical_json(value)) == value

@@ -1,0 +1,122 @@
+"""Error taxonomy, retry policy and timeout guard."""
+
+import time
+
+import pytest
+
+from repro.engine.policy import (
+    BatchPolicy,
+    ErrorKind,
+    TaskTimeoutError,
+    classify_exception,
+    run_with_timeout,
+)
+from repro.exceptions import (
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    SolverError,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        ("exc", "kind"),
+        [
+            (InfeasibleProblemError("no mapping"), ErrorKind.INFEASIBLE),
+            (SolverError("out of domain"), ErrorKind.UNSUPPORTED),
+            (InvalidApplicationError("bad app"), ErrorKind.INVALID),
+            (InvalidPlatformError("bad plat"), ErrorKind.INVALID),
+            (InvalidMappingError("bad map"), ErrorKind.INVALID),
+            (TaskTimeoutError("too slow"), ErrorKind.TIMEOUT),
+            (TypeError("bad opts"), ErrorKind.CRASH),
+            (ZeroDivisionError("bug"), ErrorKind.CRASH),
+            (RuntimeError("anything"), ErrorKind.CRASH),
+        ],
+    )
+    def test_classify(self, exc, kind):
+        assert classify_exception(exc) is kind
+
+    def test_deterministic_partition(self):
+        deterministic = {k for k in ErrorKind if k.deterministic}
+        assert deterministic == {
+            ErrorKind.INFEASIBLE,
+            ErrorKind.UNSUPPORTED,
+            ErrorKind.INVALID,
+        }
+        assert not ErrorKind.TIMEOUT.deterministic
+        assert not ErrorKind.CRASH.deterministic
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.retries == 0
+        assert policy.timeout is None
+        assert policy.retry_on == frozenset(
+            {ErrorKind.TIMEOUT, ErrorKind.CRASH}
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"timeout": 0.0},
+            {"timeout": -5.0},
+            {"backoff": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchPolicy(**kwargs)
+
+    def test_should_retry_respects_budget_and_kind(self):
+        policy = BatchPolicy(retries=2)
+        assert policy.should_retry(ErrorKind.CRASH, attempt=1)
+        assert policy.should_retry(ErrorKind.TIMEOUT, attempt=2)
+        assert not policy.should_retry(ErrorKind.CRASH, attempt=3)
+        # deterministic verdicts are never retried
+        assert not policy.should_retry(ErrorKind.INFEASIBLE, attempt=1)
+        assert not policy.should_retry(ErrorKind.UNSUPPORTED, attempt=1)
+
+    def test_deterministic_kind_not_retried_even_if_requested(self):
+        policy = BatchPolicy(
+            retries=5, retry_on=frozenset({ErrorKind.INFEASIBLE})
+        )
+        assert not policy.should_retry(ErrorKind.INFEASIBLE, attempt=1)
+
+    def test_exponential_backoff(self):
+        policy = BatchPolicy(retries=3, backoff=0.5)
+        assert policy.delay(1) == 0.5
+        assert policy.delay(2) == 1.0
+        assert policy.delay(3) == 2.0
+        assert BatchPolicy(retries=3).delay(1) == 0.0
+
+    def test_policy_is_hashable_and_picklable(self):
+        import pickle
+
+        policy = BatchPolicy(retries=1, timeout=2.0, backoff=0.1)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+        hash(policy)
+
+
+class TestRunWithTimeout:
+    def test_fast_call_passes_through(self):
+        assert run_with_timeout(lambda: 42, timeout=5.0) == 42
+        assert run_with_timeout(lambda: "ok", timeout=None) == "ok"
+
+    def test_slow_call_times_out(self):
+        with pytest.raises(TaskTimeoutError):
+            run_with_timeout(lambda: time.sleep(2.0), timeout=0.05)
+
+    def test_timer_is_cleared_after_success(self):
+        run_with_timeout(lambda: None, timeout=0.05)
+        time.sleep(0.1)  # would fire the stale alarm if it survived
+
+    def test_exception_passes_through_and_clears_timer(self):
+        with pytest.raises(ValueError):
+            run_with_timeout(
+                lambda: (_ for _ in ()).throw(ValueError("x")), timeout=5.0
+            )
+        time.sleep(0.01)

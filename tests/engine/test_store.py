@@ -1,0 +1,247 @@
+"""Persistent result store: keys, backends, stats, dedup reuse."""
+
+import json
+
+import pytest
+
+from repro import engine
+from repro.engine.store import (
+    JSONStore,
+    MemoryStore,
+    SQLiteStore,
+    instance_key,
+    open_store,
+)
+from repro.exceptions import ReproError
+
+from tests.engine.synthetic import (
+    always_crash_min_fp,
+    counting_min_fp,
+    invocations,
+    register_synthetic,
+)
+from tests.helpers import make_instance
+
+
+@pytest.fixture
+def instance():
+    return make_instance("comm-homogeneous", 3, 4, 7)
+
+
+class TestInstanceKey:
+    def test_stable_across_calls(self, instance):
+        app, plat = instance
+        a = instance_key("greedy-min-fp", app, plat, 50.0, {"x": 1})
+        b = instance_key("greedy-min-fp", app, plat, 50.0, {"x": 1})
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_sensitive_to_every_component(self, instance):
+        app, plat = instance
+        app2, plat2 = make_instance("comm-homogeneous", 3, 4, 8)
+        base = instance_key("greedy-min-fp", app, plat, 50.0, {})
+        assert instance_key("anneal-min-fp", app, plat, 50.0, {}) != base
+        assert instance_key("greedy-min-fp", app2, plat, 50.0, {}) != base
+        assert instance_key("greedy-min-fp", app, plat2, 50.0, {}) != base
+        assert instance_key("greedy-min-fp", app, plat, 51.0, {}) != base
+        assert (
+            instance_key("greedy-min-fp", app, plat, 50.0, {"seed": 1})
+            != base
+        )
+        assert (
+            instance_key("greedy-min-fp", app, plat, 50.0, {}, solver_version=2)
+            != base
+        )
+
+    def test_opts_order_irrelevant(self, instance):
+        app, plat = instance
+        a = instance_key("g", app, plat, 1.0, {"a": 1, "b": 2})
+        b = instance_key("g", app, plat, 1.0, {"b": 2, "a": 1})
+        assert a == b
+
+
+class TestBackends:
+    RECORD = {"solver": "x", "result": None, "error": "E: boom",
+              "error_kind": "crash", "elapsed": 0.1, "attempts": 2}
+
+    @pytest.fixture(params=["memory", "json", "sqlite"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            yield MemoryStore()
+        elif request.param == "json":
+            with JSONStore(tmp_path / "s.json") as s:
+                yield s
+        else:
+            with SQLiteStore(tmp_path / "s.sqlite") as s:
+                yield s
+
+    def test_round_trip(self, store):
+        assert store.get("k") is None
+        store.put("k", self.RECORD)
+        assert store.get("k") == self.RECORD
+        assert "k" in store
+        assert "other" not in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["k"]
+
+    def test_overwrite(self, store):
+        store.put("k", self.RECORD)
+        store.put("k", {**self.RECORD, "attempts": 5})
+        assert store.get("k")["attempts"] == 5
+        assert len(store) == 1
+
+    def test_stats(self, store):
+        store.get("missing")
+        store.put("k", self.RECORD)
+        store.get("k")
+        store.get("k")
+        assert store.stats.hits == 2
+        assert store.stats.misses == 1
+        assert store.stats.writes == 1
+        assert store.stats.hit_rate == pytest.approx(2 / 3)
+        assert store.stats.as_dict()["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_empty_stats(self):
+        assert MemoryStore().stats.hit_rate == 0.0
+
+
+class TestPersistence:
+    def test_json_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.json"
+        with JSONStore(path) as store:
+            store.put("k", {"v": 1})
+        with JSONStore(path) as store:
+            assert store.get("k") == {"v": 1}
+
+    def test_json_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        with JSONStore(path) as store:
+            store.put("k", {"v": 1})
+        payload = json.loads(path.read_text())
+        assert payload["records"]["k"] == {"v": 1}
+
+    def test_json_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text('{"schema": 999, "records": {}}')
+        with pytest.raises(ReproError, match="schema"):
+            JSONStore(path)
+
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with SQLiteStore(path) as store:
+            store.put("k", {"v": 1})
+        with SQLiteStore(path) as store:
+            assert store.get("k") == {"v": 1}
+
+
+class TestOpenStore:
+    def test_dispatch(self, tmp_path):
+        assert isinstance(open_store(":memory:"), MemoryStore)
+        json_store = open_store(tmp_path / "a.json")
+        assert isinstance(json_store, JSONStore)
+        sqlite_store = open_store(tmp_path / "a.db")
+        assert isinstance(sqlite_store, SQLiteStore)
+        sqlite_store.close()
+
+
+class TestDedupReuse:
+    """The acceptance criterion: warm grids never re-invoke solvers."""
+
+    def test_warm_threshold_sweep_zero_invocations(self, tmp_path, instance):
+        app, plat = instance
+        counter = tmp_path / "count"
+        thresholds = [30.0, 50.0, 80.0, 120.0]
+        with register_synthetic("counting-min-fp", counting_min_fp):
+            with engine.open_store(tmp_path / "store.json") as store:
+                cold = engine.threshold_sweep(
+                    "counting-min-fp", app, plat, thresholds,
+                    store=store, opts={"counter_file": str(counter)},
+                )
+            assert invocations(counter) == len(thresholds)
+            with engine.open_store(tmp_path / "store.json") as store:
+                warm = engine.threshold_sweep(
+                    "counting-min-fp", app, plat, thresholds,
+                    store=store, opts={"counter_file": str(counter)},
+                )
+                assert store.stats.hits == len(thresholds)
+                assert store.stats.misses == 0
+                assert store.stats.hit_rate == 1.0
+        # zero new solver invocations on the warm run
+        assert invocations(counter) == len(thresholds)
+        # and bit-identical results
+        assert [
+            (o.result.latency, o.result.failure_probability, o.result.mapping)
+            for o in cold
+        ] == [
+            (o.result.latency, o.result.failure_probability, o.result.mapping)
+            for o in warm
+        ]
+        assert all(o.cached for o in warm)
+        assert not any(o.cached for o in cold)
+
+    def test_infeasible_outcomes_are_cached_too(self, instance):
+        app, plat = instance
+        store = MemoryStore()
+        cold = engine.threshold_sweep(
+            "greedy-min-fp", app, plat, [1e-9], store=store
+        )
+        warm = engine.threshold_sweep(
+            "greedy-min-fp", app, plat, [1e-9], store=store
+        )
+        assert cold[0].error_kind is engine.ErrorKind.INFEASIBLE
+        assert warm[0].error_kind is engine.ErrorKind.INFEASIBLE
+        assert warm[0].cached
+        assert warm[0].error == cold[0].error
+
+    def test_crash_outcomes_are_not_cached(self, instance):
+        app, plat = instance
+        store = MemoryStore()
+        with register_synthetic("crashy-store", always_crash_min_fp):
+            engine.run_batch(
+                [engine.BatchTask("crashy-store", app, plat, threshold=1.0)],
+                store=store,
+            )
+            again = engine.run_batch(
+                [engine.BatchTask("crashy-store", app, plat, threshold=1.0)],
+                store=store,
+            )
+        assert store.stats.writes == 0
+        assert not again[0].cached
+
+    def test_unseeded_random_solver_bypasses_store(self, instance):
+        app, plat = instance
+        store = MemoryStore()
+        task = engine.BatchTask(
+            "local-search-min-fp", app, plat, threshold=80.0
+        )
+        engine.run_batch([task], store=store)  # no base seed -> no key
+        assert store.stats.lookups == 0
+        assert store.stats.writes == 0
+        # with a base seed the task is deterministic and cacheable
+        engine.run_batch([task], seed=0, store=store)
+        assert store.stats.writes == 1
+        warm = engine.run_batch([task], seed=0, store=store)
+        assert warm[0].cached
+
+
+class TestJSONStoreFlushing:
+    def test_batched_flush_persists_on_close(self, tmp_path):
+        path = tmp_path / "s.json"
+        store = JSONStore(path, flush_every=100)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        # below the flush threshold: nothing on disk yet
+        assert not path.exists()
+        store.close()
+        with JSONStore(path) as reopened:
+            assert reopened.get("a") == {"v": 1}
+            assert reopened.get("b") == {"v": 2}
+
+    def test_flush_threshold_triggers_write(self, tmp_path):
+        path = tmp_path / "s.json"
+        store = JSONStore(path, flush_every=2)
+        store.put("a", {"v": 1})
+        assert not path.exists()
+        store.put("b", {"v": 2})
+        assert path.exists()  # threshold reached
+        store.close()

@@ -185,3 +185,100 @@ class TestBatchCommand:
         assert main(args) == 1
         records = json.loads(capsys.readouterr().out)
         assert all("error" in r for r in records)
+
+
+class TestBatchStoreAndStreaming:
+    def _base(self, *extra):
+        return [
+            "batch",
+            "--solver",
+            "greedy-min-fp",
+            "--instances",
+            "3",
+            "--threshold",
+            "80",
+            "--seed",
+            "7",
+            *extra,
+        ]
+
+    def test_store_warm_run_is_all_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "results.json")
+        assert main(self._base("--store", store, "--json")) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert not any(r["cached"] for r in cold)
+        assert main(self._base("--store", store, "--json")) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(r["cached"] for r in warm)
+        for a, b in zip(cold, warm):
+            assert a.get("latency") == b.get("latency")
+            assert a.get("mapping") == b.get("mapping")
+
+    def test_store_stats_reported(self, tmp_path, capsys):
+        store = str(tmp_path / "results.json")
+        assert main(self._base("--store", store)) == 0
+        err = capsys.readouterr().err
+        assert "3 miss(es)" in err
+        assert main(self._base("--store", store)) == 0
+        err = capsys.readouterr().err
+        assert "3 hit(s)" in err
+        assert "100% hit rate" in err
+
+    def test_sqlite_store_backend(self, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        assert main(self._base("--store", store)) == 0
+        capsys.readouterr()
+        assert main(self._base("--store", store, "--json")) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(r["cached"] for r in warm)
+
+    def test_no_store_disables_store(self, tmp_path, capsys):
+        store = str(tmp_path / "results.json")
+        assert main(self._base("--store", store, "--no-store")) == 0
+        out = capsys.readouterr()
+        assert "store:" not in out.err
+        assert not (tmp_path / "results.json").exists()
+
+    def test_stream_prints_one_line_per_outcome(self, capsys):
+        assert main(self._base("--stream")) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("[")]
+        assert len(lines) == 3
+        assert "[0] instance-0(seed=7):" in lines[0]
+        assert "latency=" in lines[0]
+
+    def test_stream_marks_cached_outcomes(self, tmp_path, capsys):
+        store = str(tmp_path / "results.json")
+        assert main(self._base("--store", store, "--stream")) == 0
+        capsys.readouterr()
+        assert main(self._base("--store", store, "--stream")) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cached]") == 3
+
+    def test_policy_flags_accepted(self, capsys):
+        args = self._base(
+            "--retries", "1", "--timeout", "30", "--backoff", "0.1", "--json"
+        )
+        assert main(args) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert all(r["attempts"] == 1 for r in records)
+
+    def test_stream_json_rejected(self, capsys):
+        assert main(self._base("--stream", "--json")) == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_bad_policy_is_usage_error(self, capsys):
+        assert main(self._base("--retries", "-1")) == 2
+        assert "error:" in capsys.readouterr().out
+        assert main(self._base("--timeout", "0")) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_corrupt_store_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(self._base("--store", str(bad))) == 2
+        assert "error:" in capsys.readouterr().out
+        wrong_schema = tmp_path / "schema.json"
+        wrong_schema.write_text('{"schema": 999, "records": {}}')
+        assert main(self._base("--store", str(wrong_schema))) == 2
+        assert "error:" in capsys.readouterr().out
