@@ -1,0 +1,168 @@
+"""E20 — vectorized bulk evaluation vs the memoized scalar sweep.
+
+The PR 1 baseline evaluates the exhaustive search space one mapping at
+a time through the memoized ``EvaluationCache``; the bulk path encodes
+the space into padded boundary/bitmask blocks and evaluates each block
+in a handful of numpy array operations.  This bench records the
+speedup on the flagship n=7/m=4 sweep (target: >= 5x), checks the
+Pareto fronts stay *identical* on the paper's reference instances, and
+quantifies the one-pass threshold sweep against per-threshold solves.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.bicriteria import (
+    count_interval_mappings,
+    exhaustive_minimize_fp,
+    exhaustive_pareto_front,
+    exhaustive_sweep_min_fp,
+)
+from repro.analysis.frontier import latency_grid
+from repro.core.metrics_bulk import HAS_NUMPY
+from tests.conftest import make_instance
+
+from .conftest import fig5, fig34, report  # noqa: F401  (fixture re-export)
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy required")
+
+
+def _best_time(fn, repeats=5):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _front_key(front):
+    return [(p.latency, p.failure_probability) for p in front]
+
+
+def test_e20_bulk_speedup_n7_m4():
+    app, plat = make_instance("comm-homogeneous", n=7, m=4, seed=0)
+    space = count_interval_mappings(7, 4)
+
+    t_scalar, front_scalar = _best_time(
+        lambda: exhaustive_pareto_front(app, plat, use_bulk=False)
+    )
+    t_bulk, front_bulk = _best_time(
+        lambda: exhaustive_pareto_front(app, plat, use_bulk=True)
+    )
+    speedup = t_scalar / t_bulk
+    assert _front_key(front_scalar) == _front_key(front_bulk)
+
+    # heterogeneous links exercise the eq. (2) bulk kernel
+    app_het, plat_het = make_instance("fully-heterogeneous", n=7, m=4, seed=0)
+    t_scalar_het, front_scalar_het = _best_time(
+        lambda: exhaustive_pareto_front(app_het, plat_het, use_bulk=False)
+    )
+    t_bulk_het, front_bulk_het = _best_time(
+        lambda: exhaustive_pareto_front(app_het, plat_het, use_bulk=True)
+    )
+    speedup_het = t_scalar_het / t_bulk_het
+    assert _front_key(front_scalar_het) == _front_key(front_bulk_het)
+
+    # one size up: the gap widens with the space
+    app5, plat5 = make_instance("comm-homogeneous", n=7, m=5, seed=1)
+    t_scalar5, front_scalar5 = _best_time(
+        lambda: exhaustive_pareto_front(app5, plat5, use_bulk=False),
+        repeats=2,
+    )
+    t_bulk5, front_bulk5 = _best_time(
+        lambda: exhaustive_pareto_front(app5, plat5, use_bulk=True),
+        repeats=2,
+    )
+    speedup5 = t_scalar5 / t_bulk5
+    assert _front_key(front_scalar5) == _front_key(front_bulk5)
+
+    report(
+        "E20: vectorized bulk evaluation vs memoized scalar sweep",
+        ("instance (mappings)", "scalar seconds", "bulk seconds", "speedup"),
+        [
+            (
+                f"n=7 m=4 uniform ({space})",
+                f"{t_scalar:.4f}",
+                f"{t_bulk:.4f}",
+                f"{speedup:.1f}x",
+            ),
+            (
+                f"n=7 m=4 heterogeneous ({space})",
+                f"{t_scalar_het:.4f}",
+                f"{t_bulk_het:.4f}",
+                f"{speedup_het:.1f}x",
+            ),
+            (
+                f"n=7 m=5 uniform ({count_interval_mappings(7, 5)})",
+                f"{t_scalar5:.4f}",
+                f"{t_bulk5:.4f}",
+                f"{speedup5:.1f}x",
+            ),
+        ],
+    )
+    # target is >= 5x on the flagship sweep; assert a safety margin below
+    # it so CI noise cannot flake the job while real regressions still fail
+    assert speedup >= 3.0
+    assert speedup_het >= 2.0
+    assert speedup5 >= 3.0
+
+
+def test_e20_pareto_identity_on_reference_instances(fig34, fig5):
+    rows = []
+    for name, inst in (("figure 3/4", fig34), ("figure 5", fig5)):
+        app, plat = inst.application, inst.platform
+        bulk = exhaustive_pareto_front(app, plat, use_bulk=True)
+        scalar = exhaustive_pareto_front(app, plat, use_bulk=False)
+        assert _front_key(bulk) == _front_key(scalar)
+        assert [p.payload for p in bulk] == [p.payload for p in scalar]
+        rows.append((name, len(bulk), "identical"))
+    report(
+        "E20: bulk vs scalar Pareto fronts on the paper instances",
+        ("instance", "front size", "comparison"),
+        rows,
+    )
+
+
+def test_e20_one_pass_threshold_sweep():
+    app, plat = make_instance("comm-homogeneous", n=7, m=4, seed=0)
+    thresholds = latency_grid(app, plat, num_points=12)
+
+    def per_threshold():
+        out = []
+        for threshold in thresholds:
+            out.append(
+                exhaustive_minimize_fp(
+                    app, plat, threshold, use_bulk=False
+                )
+            )
+        return out
+
+    t_loop, loop_results = _best_time(per_threshold, repeats=2)
+    t_sweep, sweep_results = _best_time(
+        lambda: exhaustive_sweep_min_fp(app, plat, thresholds), repeats=2
+    )
+    assert [r.mapping for r in sweep_results] == [
+        r.mapping for r in loop_results
+    ]
+    report(
+        "E20: one-pass exhaustive threshold sweep (12 thresholds)",
+        ("path", "seconds", "speedup"),
+        [
+            ("per-threshold scalar", f"{t_loop:.4f}", "1.0x"),
+            (
+                "one-pass bulk sweep",
+                f"{t_sweep:.4f}",
+                f"{t_loop / t_sweep:.1f}x",
+            ),
+        ],
+    )
+    assert t_loop / t_sweep > 5.0
+
+
+def test_e20_bench_bulk_front(benchmark):
+    app, plat = make_instance("comm-homogeneous", n=7, m=4, seed=0)
+    front = benchmark(exhaustive_pareto_front, app, plat)
+    assert front

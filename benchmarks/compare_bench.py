@@ -1,0 +1,164 @@
+"""Compare a fresh ``BENCH_report.json`` against the committed baseline.
+
+The bench harness (``benchmarks/conftest.report``) serialises every
+experiment table as ``{"title", "headers", "rows"}`` records.  This
+script extracts the *tracked* numeric metrics from both files — cells
+under a time-like header (lower is better) or a speedup/ratio-like
+header (higher is better) — and fails with a readable table when any
+metric regresses beyond the threshold (default 25%).
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        benchmarks/BENCH_baseline.json benchmarks/BENCH_report.json
+
+Exit status 0 when nothing regressed, 1 otherwise.  Metrics present in
+only one of the two files are reported as ``new`` / ``missing`` but are
+never failures (benches come and go across PRs; wall-clock noise is why
+the CI step lives in the ``continue-on-error`` benchmarks job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: headers treated as "lower is better" (substring match, lowercase)
+LOWER_IS_BETTER = ("second", "time")
+#: headers / row labels treated as "higher is better"
+HIGHER_IS_BETTER = ("speedup", "ratio", "throughput")
+
+
+def _direction(header: str, row_label: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 untracked.
+
+    The row label wins over the column header: e.g. a ``ratio`` row in a
+    ``seconds`` column (bench E19) is a higher-is-better metric.
+    """
+    row = row_label.strip().lower()
+    if any(token in row for token in HIGHER_IS_BETTER):
+        return 1
+    label = header.strip().lower()
+    if any(token in label for token in HIGHER_IS_BETTER):
+        return 1
+    if any(token in label for token in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def _parse_number(cell: str) -> float | None:
+    """Parse a report cell: plain floats plus the ``9.8x`` ratio form."""
+    text = str(cell).strip().rstrip("x")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def extract_metrics(report_path: Path) -> dict[tuple[str, str, str], tuple[float, int]]:
+    """``(table title, row label, header) -> (value, direction)``."""
+    records = json.loads(report_path.read_text(encoding="utf-8"))
+    metrics: dict[tuple[str, str, str], tuple[float, int]] = {}
+    for record in records:
+        headers = record["headers"]
+        for row in record["rows"]:
+            label = str(row[0])
+            for header, cell in zip(headers[1:], row[1:]):
+                direction = _direction(str(header), label)
+                if direction == 0:
+                    continue
+                value = _parse_number(cell)
+                if value is None:
+                    continue
+                metrics[(record["title"], label, str(header))] = (
+                    value,
+                    direction,
+                )
+    return metrics
+
+
+def format_row(columns, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+
+
+def compare(
+    baseline_path: Path, current_path: Path, threshold: float
+) -> int:
+    baseline = extract_metrics(baseline_path)
+    current = extract_metrics(current_path)
+
+    rows: list[tuple[str, str, str, str, str]] = []
+    regressions = 0
+    for key in sorted(set(baseline) | set(current)):
+        title, label, header = key
+        name = f"{title} :: {label} [{header}]"
+        if key not in baseline:
+            value, _ = current[key]
+            rows.append((name, "-", f"{value:g}", "new", "ok"))
+            continue
+        if key not in current:
+            value, _ = baseline[key]
+            rows.append((name, f"{value:g}", "-", "missing", "ok"))
+            continue
+        base_value, direction = baseline[key]
+        cur_value, _ = current[key]
+        if base_value == 0:
+            change = 0.0
+        else:
+            change = (cur_value - base_value) / abs(base_value)
+        # a regression is slower (time up) or less speedup (ratio down)
+        regressed = (
+            change > threshold if direction < 0 else change < -threshold
+        )
+        status = "REGRESSED" if regressed else "ok"
+        regressions += regressed
+        rows.append(
+            (
+                name,
+                f"{base_value:g}",
+                f"{cur_value:g}",
+                f"{change:+.1%}",
+                status,
+            )
+        )
+
+    header_row = ("metric", "baseline", "current", "change", "status")
+    widths = [
+        max(len(str(r[i])) for r in [header_row, *rows])
+        for i in range(len(header_row))
+    ]
+    print(format_row(header_row, widths))
+    print(format_row(["-" * w for w in widths], widths))
+    for row in rows:
+        print(format_row(row, widths))
+    print(
+        f"\n{len(rows)} tracked metrics, {regressions} regressed "
+        f"(threshold {threshold:.0%})"
+    )
+    return 1 if regressions else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when bench metrics regress vs the baseline"
+    )
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression tolerance (default: 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    for path in (args.baseline, args.current):
+        if not path.exists():
+            print(f"missing report file: {path}", file=sys.stderr)
+            return 2
+    return compare(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

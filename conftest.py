@@ -1,0 +1,15 @@
+"""Repository-root pytest bootstrap.
+
+Makes a bare ``python -m pytest -x -q`` work from a clean checkout: the
+package lives under ``src/`` (src-layout), so unless it has been
+``pip install -e .``-ed, ``import repro`` would fail during collection.
+Prepending ``src/`` here keeps the checkout's sources authoritative in
+either case (an installed copy never shadows the tree under test).
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

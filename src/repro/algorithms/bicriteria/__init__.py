@@ -23,6 +23,7 @@ from .exhaustive import (
     exhaustive_minimize_fp,
     exhaustive_minimize_latency,
     exhaustive_pareto_front,
+    exhaustive_sweep_min_fp,
 )
 from .fully_homogeneous import (
     algorithm1_minimize_fp,
@@ -44,5 +45,6 @@ __all__ = [
     "exhaustive_pareto_front",
     "exhaustive_minimize_fp",
     "exhaustive_minimize_latency",
+    "exhaustive_sweep_min_fp",
     "exhaustive_best",
 ]

@@ -32,6 +32,7 @@ from ..result import SolverResult
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping, StageInterval
 from ...core.metrics import failure_probability, latency
+from ...core.metrics_bulk import HAS_NUMPY, build_mask_tables
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError, SolverError
 
@@ -42,12 +43,20 @@ __all__ = [
 
 _PROCESSOR_CAP = 20
 
+#: Per-bitmask bounding tables are built for up to this many processors
+#: (``2^m`` float entries each); above it the per-call loops are used.
+_TABLE_CAP = 16
+
 
 class _Searcher:
     """Shared DFS machinery for both threshold queries."""
 
     def __init__(
-        self, application: PipelineApplication, platform: Platform
+        self,
+        application: PipelineApplication,
+        platform: Platform,
+        *,
+        use_tables: bool = True,
     ) -> None:
         if not platform.is_communication_homogeneous:
             raise SolverError(
@@ -67,24 +76,58 @@ class _Searcher:
         self.b = platform.uniform_bandwidth
         self.speeds = platform.speeds
         self.fps = platform.failure_probabilities
+        self.volumes = application.volumes
         prefix = [0.0]
         for k in range(1, self.n + 1):
             prefix.append(prefix[-1] + application.work(k))
         self.work_prefix = prefix
         self.out_term = application.output_size / self.b
         self.explored = 0
+        self._pop: list[int] | None = None
+        self._min_speed: list[float] | None = None
+        self._max_speed: list[float] | None = None
+        self._fp_prod: list[float] | None = None
+        if use_tables and HAS_NUMPY and self.m <= _TABLE_CAP:
+            self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Vectorized bounding tables over all ``2^m`` processor masks.
+
+        Every per-mask quantity the DFS bounds need — replica count,
+        slowest/fastest member speed, failure product — comes from the
+        shared :func:`repro.core.metrics_bulk.build_mask_tables` numpy
+        dynamic program, dumped to plain lists so the DFS pays a single
+        O(1) index per bound instead of an O(m) bit loop.  The fold
+        order matches the scalar loops exactly (ascending processor
+        index), so the DFS explores the identical tree and returns
+        bit-identical incumbents — only faster.
+        """
+        pop, min_speed, max_speed, fp_prod = build_mask_tables(
+            self.speeds, self.fps
+        )
+        self._pop = pop.tolist()
+        self._min_speed = min_speed.tolist()
+        self._max_speed = max_speed.tolist()
+        self._fp_prod = fp_prod.tolist()
 
     # -- per-interval contributions (eq. (1)) ---------------------------
     def interval_latency(self, d: int, e: int, mask: int) -> float:
+        work = self.work_prefix[e] - self.work_prefix[d - 1]
+        if self._pop is not None:
+            return (
+                self._pop[mask] * self.volumes[d - 1] / self.b
+                + work / self._min_speed[mask]
+            )
         k = mask.bit_count()
-        delta_in = self.app.volume(d - 1)
+        delta_in = self.volumes[d - 1]
         slowest = min(
             self.speeds[u] for u in range(self.m) if mask >> u & 1
         )
-        work = self.work_prefix[e] - self.work_prefix[d - 1]
         return k * delta_in / self.b + work / slowest
 
     def interval_reliability(self, mask: int) -> float:
+        if self._fp_prod is not None:
+            return 1.0 - self._fp_prod[mask]
         prod = 1.0
         for u in range(self.m):
             if mask >> u & 1:
@@ -95,14 +138,19 @@ class _Searcher:
     def best_future_latency(self, d: int, remaining: int) -> float:
         """Cheapest completion of stages d..n: one interval, k=1, the
         fastest remaining processor."""
-        fastest = max(
-            self.speeds[u] for u in range(self.m) if remaining >> u & 1
-        )
+        if self._max_speed is not None:
+            fastest = self._max_speed[remaining]
+        else:
+            fastest = max(
+                self.speeds[u] for u in range(self.m) if remaining >> u & 1
+            )
         work = self.work_prefix[self.n] - self.work_prefix[d - 1]
-        return self.app.volume(d - 1) / self.b + work / fastest
+        return self.volumes[d - 1] / self.b + work / fastest
 
     def best_future_reliability(self, remaining: int) -> float:
         """Upper bound on the product of future interval reliabilities."""
+        if self._fp_prod is not None:
+            return 1.0 - self._fp_prod[remaining]
         prod = 1.0
         for u in range(self.m):
             if remaining >> u & 1:
@@ -135,6 +183,7 @@ def branch_and_bound_minimize_fp(
     latency_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_tables: bool = True,
 ) -> SolverResult:
     """Exact 'minimise FP subject to latency <= L' by pruned DFS.
 
@@ -148,7 +197,7 @@ def branch_and_bound_minimize_fp(
     SolverError
         On Fully Heterogeneous platforms or very large processor counts.
     """
-    s = _Searcher(application, platform)
+    s = _Searcher(application, platform, use_tables=use_tables)
     slack = tolerance * max(1.0, abs(latency_threshold))
     budget = latency_threshold + slack - s.out_term
 
@@ -235,6 +284,7 @@ def branch_and_bound_minimize_latency(
     fp_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_tables: bool = True,
 ) -> SolverResult:
     """Exact 'minimise latency subject to FP <= threshold' by pruned DFS.
 
@@ -243,7 +293,7 @@ def branch_and_bound_minimize_latency(
     (a) the incumbent latency and (b) the best achievable success
     probability of any completion.
     """
-    s = _Searcher(application, platform)
+    s = _Searcher(application, platform, use_tables=use_tables)
     slack = tolerance * max(1.0, abs(fp_threshold))
     required_success = 1.0 - (fp_threshold + slack)
 

@@ -15,16 +15,24 @@ NP-hard too.  The solver guards the instance size and is used to
 from __future__ import annotations
 
 from math import comb
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from ..result import SolverResult
 from ...core.application import PipelineApplication
-from ...core.enumeration import enumerate_interval_mappings
+from ...core.enumeration import enumerate_interval_mappings, iter_mapping_blocks
 from ...core.mapping import IntervalMapping
-from ...core.metrics import EvaluationCache, MappingEvaluation
+from ...core.metrics import EvaluationCache, MappingEvaluation, evaluate
+from ...core.metrics_bulk import (
+    HAS_NUMPY,
+    BulkEvaluator,
+    nondominated_mask,
+)
 from ...core.pareto import BiCriteriaPoint, pareto_front
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError, SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = [
     "count_interval_mappings",
@@ -32,11 +40,27 @@ __all__ = [
     "exhaustive_pareto_front",
     "exhaustive_minimize_fp",
     "exhaustive_minimize_latency",
+    "exhaustive_sweep_min_fp",
     "exhaustive_best",
 ]
 
 #: Default cap on the number of mappings the solver will enumerate.
 DEFAULT_SEARCH_CAP = 5_000_000
+
+#: Default number of mappings per vectorized evaluation block.
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def _bulk_enabled(use_bulk: bool | None) -> bool:
+    """Resolve the three-state ``use_bulk`` flag against numpy presence."""
+    if use_bulk is None:
+        return HAS_NUMPY
+    if use_bulk and not HAS_NUMPY:
+        raise SolverError(
+            "use_bulk=True requires numpy; install it or pass "
+            "use_bulk=None/False for the scalar path"
+        )
+    return use_bulk
 
 
 def _stirling2_row(k: int) -> list[int]:
@@ -96,12 +120,7 @@ def enumerate_evaluations(
         checked against the *unrestricted* count; ``max_replication``
         only prunes within the run).
     """
-    space = count_interval_mappings(application.num_stages, platform.size)
-    if space > search_cap:
-        raise SolverError(
-            f"instance has {space} interval mappings, above the cap of "
-            f"{search_cap}; use the heuristics"
-        )
+    _check_search_cap(application, platform, search_cap)
     if cache is None:
         cache = EvaluationCache(application, platform, one_port=one_port)
     elif (
@@ -121,21 +140,67 @@ def enumerate_evaluations(
         yield cache.evaluate(mapping)
 
 
+def _check_search_cap(
+    application: PipelineApplication, platform: Platform, search_cap: int
+) -> int:
+    space = count_interval_mappings(application.num_stages, platform.size)
+    if space > search_cap:
+        raise SolverError(
+            f"instance has {space} interval mappings, above the cap of "
+            f"{search_cap}; use the heuristics"
+        )
+    return space
+
+
 def exhaustive_pareto_front(
     application: PipelineApplication,
     platform: Platform,
     *,
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
+    use_bulk: bool | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> list[BiCriteriaPoint]:
-    """The exact Pareto front of (latency, FP) over all interval mappings."""
-    points = [
-        BiCriteriaPoint(ev.latency, ev.failure_probability, payload=ev.mapping)
-        for ev in enumerate_evaluations(
-            application, platform, one_port=one_port, search_cap=search_cap
-        )
-    ]
-    return pareto_front(points)
+    """The exact Pareto front of (latency, FP) over all interval mappings.
+
+    With numpy available (``use_bulk=None``/``True``) the space is
+    evaluated in vectorized blocks: each block is reduced to its
+    non-dominated rows in array ops, only those survivors are decoded
+    into mappings and re-evaluated through the scalar path, and the
+    final front is assembled from the scalar values — so the reported
+    numbers stay scalar-exact while the sweep itself is a handful of
+    array operations per block (bench E20).
+    """
+    if not _bulk_enabled(use_bulk):
+        points = [
+            BiCriteriaPoint(
+                ev.latency, ev.failure_probability, payload=ev.mapping
+            )
+            for ev in enumerate_evaluations(
+                application, platform, one_port=one_port, search_cap=search_cap
+            )
+        ]
+        return pareto_front(points)
+
+    import numpy as np
+
+    _check_search_cap(application, platform, search_cap)
+    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    cache = EvaluationCache(application, platform, one_port=one_port)
+    survivors: list[BiCriteriaPoint] = []
+    for block in iter_mapping_blocks(
+        application, platform, block_size=block_size
+    ):
+        lats, fps = evaluator.evaluate_block(block)
+        for i in np.flatnonzero(nondominated_mask(lats, fps)):
+            mapping = block.mapping(int(i))
+            ev = cache.evaluate(mapping)
+            survivors.append(
+                BiCriteriaPoint(
+                    ev.latency, ev.failure_probability, payload=mapping
+                )
+            )
+    return pareto_front(survivors)
 
 
 def _best(
@@ -176,6 +241,80 @@ def _best(
     )
 
 
+def _block_argbest(
+    feasible: "np.ndarray",
+    primary: "np.ndarray",
+    secondary: "np.ndarray",
+) -> tuple[int, tuple[float, float]] | None:
+    """First row attaining the lexicographic minimum among feasible rows.
+
+    Mirrors the scalar loop's tie breaking: strict improvement on the
+    ``(primary, secondary)`` key, first-in-enumeration-order wins.
+    """
+    import numpy as np
+
+    if not bool(feasible.any()):
+        return None
+    p = np.where(feasible, primary, np.inf)
+    p_min = p.min()
+    tied = p == p_min
+    s = np.where(tied, secondary, np.inf)
+    s_min = s.min()
+    row = int(np.argmax(tied & (s == s_min)))
+    return row, (float(p_min), float(s_min))
+
+
+def _best_bulk(
+    application: PipelineApplication,
+    platform: Platform,
+    vec_feasible: Callable[["np.ndarray", "np.ndarray"], "np.ndarray"],
+    vec_key: Callable[
+        ["np.ndarray", "np.ndarray"], tuple["np.ndarray", "np.ndarray"]
+    ],
+    solver: str,
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> SolverResult:
+    """Vectorized counterpart of :func:`_best` over mapping blocks.
+
+    The winning row is decoded and re-evaluated through the scalar
+    :func:`repro.core.metrics.evaluate`, so the reported objectives are
+    identical to the scalar solver's (selection itself happens on bulk
+    values, which agree within the documented tolerance).
+    """
+    explored = _check_search_cap(application, platform, search_cap)
+    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    best_key: tuple[float, float] | None = None
+    best_mapping: IntervalMapping | None = None
+    for block in iter_mapping_blocks(
+        application, platform, block_size=block_size
+    ):
+        lats, fps = evaluator.evaluate_block(block)
+        primary, secondary = vec_key(lats, fps)
+        found = _block_argbest(vec_feasible(lats, fps), primary, secondary)
+        if found is None:
+            continue
+        row, key = found
+        if best_key is None or key < best_key:
+            best_key = key
+            best_mapping = block.mapping(row)
+    if best_mapping is None:
+        raise InfeasibleProblemError(
+            f"{solver}: no interval mapping satisfies the threshold"
+        )
+    ev = evaluate(best_mapping, application, platform, one_port=one_port)
+    return SolverResult(
+        mapping=best_mapping,
+        latency=ev.latency,
+        failure_probability=ev.failure_probability,
+        solver=solver,
+        optimal=True,
+        extras={"explored": explored, "bulk": True},
+    )
+
+
 def exhaustive_minimize_fp(
     application: PipelineApplication,
     platform: Platform,
@@ -184,12 +323,25 @@ def exhaustive_minimize_fp(
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Exact minimum FP subject to ``latency <= latency_threshold``.
 
-    Ties on FP are broken by lower latency.
+    Ties on FP are broken by lower latency.  ``use_bulk`` selects the
+    vectorized block path (``None`` = automatic when numpy is present);
+    the winning mapping's reported objectives are always scalar-exact.
     """
     slack = tolerance * max(1.0, abs(latency_threshold))
+    if _bulk_enabled(use_bulk):
+        return _best_bulk(
+            application,
+            platform,
+            vec_feasible=lambda lats, fps: lats <= latency_threshold + slack,
+            vec_key=lambda lats, fps: (fps, lats),
+            solver="exhaustive-min-fp",
+            one_port=one_port,
+            search_cap=search_cap,
+        )
     return _best(
         application,
         platform,
@@ -209,12 +361,24 @@ def exhaustive_minimize_latency(
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Exact minimum latency subject to ``FP <= fp_threshold``.
 
-    Ties on latency are broken by lower FP.
+    Ties on latency are broken by lower FP.  ``use_bulk`` selects the
+    vectorized block path (``None`` = automatic when numpy is present).
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
+    if _bulk_enabled(use_bulk):
+        return _best_bulk(
+            application,
+            platform,
+            vec_feasible=lambda lats, fps: fps <= fp_threshold + slack,
+            vec_key=lambda lats, fps: (lats, fps),
+            solver="exhaustive-min-latency",
+            one_port=one_port,
+            search_cap=search_cap,
+        )
     return _best(
         application,
         platform,
@@ -224,6 +388,85 @@ def exhaustive_minimize_latency(
         one_port=one_port,
         search_cap=search_cap,
     )
+
+
+def exhaustive_sweep_min_fp(
+    application: PipelineApplication,
+    platform: Platform,
+    thresholds: Sequence[float],
+    *,
+    one_port: bool = True,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+    tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> list[SolverResult | None]:
+    """Answer many 'min FP s.t. latency <= L' queries in one enumeration.
+
+    Returns one :class:`SolverResult` per threshold (``None`` where the
+    threshold is infeasible), each identical to what
+    :func:`exhaustive_minimize_fp` returns for that threshold — but the
+    mapping space is enumerated and evaluated **once** for the whole
+    grid instead of once per threshold, which is what makes dense
+    frontier sweeps tractable (:func:`repro.analysis.frontier.sweep_frontier`
+    routes exhaustive sweeps here).
+    """
+    thresholds = list(thresholds)
+    if not thresholds:
+        return []
+    if not _bulk_enabled(use_bulk):
+        results: list[SolverResult | None] = []
+        for threshold in thresholds:
+            try:
+                results.append(
+                    exhaustive_minimize_fp(
+                        application,
+                        platform,
+                        threshold,
+                        one_port=one_port,
+                        search_cap=search_cap,
+                        tolerance=tolerance,
+                        use_bulk=False,
+                    )
+                )
+            except InfeasibleProblemError:
+                results.append(None)
+        return results
+
+    explored = _check_search_cap(application, platform, search_cap)
+    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    bounds = [t + tolerance * max(1.0, abs(t)) for t in thresholds]
+    best_keys: list[tuple[float, float] | None] = [None] * len(thresholds)
+    best_mappings: list[IntervalMapping | None] = [None] * len(thresholds)
+    for block in iter_mapping_blocks(
+        application, platform, block_size=block_size
+    ):
+        lats, fps = evaluator.evaluate_block(block)
+        for t, bound in enumerate(bounds):
+            found = _block_argbest(lats <= bound, fps, lats)
+            if found is None:
+                continue
+            row, key = found
+            if best_keys[t] is None or key < best_keys[t]:
+                best_keys[t] = key
+                best_mappings[t] = block.mapping(row)
+    results = []
+    for mapping in best_mappings:
+        if mapping is None:
+            results.append(None)
+            continue
+        ev = evaluate(mapping, application, platform, one_port=one_port)
+        results.append(
+            SolverResult(
+                mapping=mapping,
+                latency=ev.latency,
+                failure_probability=ev.failure_probability,
+                solver="exhaustive-min-fp",
+                optimal=True,
+                extras={"explored": explored, "bulk": True},
+            )
+        )
+    return results
 
 
 def exhaustive_best(

@@ -114,13 +114,40 @@ def sweep_frontier(
     the serial sweep — and result reuse via a
     :class:`~repro.engine.store.ResultStore` (``store``).  Thresholds
     where the solver reports infeasibility are skipped.
+
+    Exhaustive sweeps take a one-pass fast path: when the solver is the
+    exhaustive min-FP solver (by name or callable), numpy is available
+    and neither a store nor worker sharding is requested, the mapping
+    space is enumerated and bulk-evaluated **once** for the whole
+    threshold grid via
+    :func:`repro.algorithms.bicriteria.exhaustive_sweep_min_fp`, instead
+    of once per threshold — per-threshold results are identical.
     """
     if thresholds is None:
         thresholds = latency_grid(
             application, platform, num_points=num_points
         )
     results: list[SolverResult]
-    if isinstance(solver, str):
+    from ..algorithms.bicriteria.exhaustive import (
+        exhaustive_minimize_fp,
+        exhaustive_sweep_min_fp,
+    )
+    from ..core.metrics_bulk import HAS_NUMPY
+
+    if (
+        solver in ("exhaustive-min-fp", exhaustive_minimize_fp)
+        and store is None
+        and (workers is None or workers <= 1)
+        and HAS_NUMPY
+    ):
+        results = [
+            result
+            for result in exhaustive_sweep_min_fp(
+                application, platform, thresholds
+            )
+            if result is not None
+        ]
+    elif isinstance(solver, str):
         from ..engine.batch import threshold_sweep
         from ..engine.policy import ErrorKind
 

@@ -9,11 +9,13 @@ and failure probability.
 
 from .application import PipelineApplication, Stage
 from .enumeration import (
+    allocation_mask_rows,
     allocations_for_partition,
     count_interval_partitions,
     enumerate_interval_mappings,
     enumerate_one_to_one_mappings,
     interval_partitions,
+    iter_mapping_blocks,
 )
 from .mapping import GeneralMapping, IntervalMapping, StageInterval
 from .metrics import (
@@ -29,6 +31,13 @@ from .metrics import (
     latency_breakdown,
     latency_heterogeneous,
     latency_uniform,
+)
+from .metrics_bulk import (
+    BULK_RELATIVE_TOLERANCE,
+    HAS_NUMPY,
+    BulkEvaluator,
+    MappingBlock,
+    nondominated_mask,
 )
 from .pareto import (
     BiCriteriaPoint,
@@ -102,9 +111,17 @@ __all__ = [
     # enumeration
     "interval_partitions",
     "allocations_for_partition",
+    "allocation_mask_rows",
     "enumerate_interval_mappings",
     "enumerate_one_to_one_mappings",
     "count_interval_partitions",
+    "iter_mapping_blocks",
+    # bulk evaluation
+    "HAS_NUMPY",
+    "BULK_RELATIVE_TOLERANCE",
+    "BulkEvaluator",
+    "MappingBlock",
+    "nondominated_mask",
     # serialization
     "application_to_dict",
     "application_from_dict",

@@ -11,9 +11,14 @@ enforce limits).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from .mapping import IntervalMapping, StageInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .application import PipelineApplication
+    from .metrics_bulk import MappingBlock
+    from .platform import Platform
 
 __all__ = [
     "interval_partitions",
@@ -21,6 +26,8 @@ __all__ = [
     "enumerate_interval_mappings",
     "enumerate_one_to_one_mappings",
     "count_interval_partitions",
+    "allocation_mask_rows",
+    "iter_mapping_blocks",
 ]
 
 
@@ -112,6 +119,133 @@ def enumerate_interval_mappings(
             # both factors are normalised and structurally valid by
             # construction, so skip the constructor's re-validation
             yield IntervalMapping._trusted(partition, allocs)
+
+
+def allocation_mask_rows(
+    num_intervals: int,
+    num_processors: int,
+    *,
+    max_replication: int | None = None,
+) -> list[tuple[int, ...]]:
+    """All disjoint allocation tuples for ``p`` intervals, as bitmasks.
+
+    Bit ``u-1`` of ``row[j]`` is set iff processor ``u`` replicates
+    interval ``j``.  Rows appear in exactly the order
+    :func:`allocations_for_partition` yields them over the full pool
+    ``1..m`` — the allocation factor of the enumeration order does not
+    depend on the partition, which is what lets the blocked producer
+    reuse one allocation table across every partition of the same size.
+    """
+    pool = tuple(range(1, num_processors + 1))
+    if num_intervals < 1:
+        raise ValueError(f"num_intervals must be >= 1, got {num_intervals}")
+
+    rows: list[tuple[int, ...]] = []
+
+    def rec(j: int, remaining: tuple[int, ...], prefix: tuple[int, ...]) -> None:
+        if j == num_intervals:
+            rows.append(prefix)
+            return
+        needed_later = num_intervals - j - 1
+        max_k = len(remaining) - needed_later
+        if max_replication is not None:
+            max_k = min(max_k, max_replication)
+        for k in range(1, max_k + 1):
+            for subset in combinations(remaining, k):
+                mask = 0
+                for u in subset:
+                    mask |= 1 << (u - 1)
+                chosen = set(subset)
+                rest = tuple(u for u in remaining if u not in chosen)
+                rec(j + 1, rest, prefix + (mask,))
+
+    rec(0, pool, ())
+    return rows
+
+
+def iter_mapping_blocks(
+    application: "PipelineApplication",
+    platform: "Platform",
+    *,
+    block_size: int = 4096,
+    max_replication: int | None = None,
+) -> Iterator["MappingBlock"]:
+    """Yield the full interval-mapping space as padded numpy blocks.
+
+    Produces the same mappings in the same order as
+    :func:`enumerate_interval_mappings` (a machine-checked property), but
+    encoded for :class:`repro.core.metrics_bulk.BulkEvaluator`: interval
+    end boundaries and allocation bitmasks, zero-padded to
+    ``min(n, m)`` columns.  The allocation factor is enumerated once per
+    interval count ``p`` and tiled across every partition of that size,
+    so the per-mapping Python cost is amortised away — encoding is a few
+    array operations per partition instead of object construction per
+    mapping.
+
+    Raises
+    ------
+    repro.exceptions.SolverError
+        When numpy is unavailable (use the scalar enumeration then).
+    """
+    from ..exceptions import SolverError
+    from .metrics_bulk import HAS_NUMPY, MappingBlock
+
+    if not HAS_NUMPY:
+        raise SolverError(
+            "iter_mapping_blocks requires numpy; fall back to "
+            "enumerate_interval_mappings"
+        )
+    import numpy as np
+
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    n = application.num_stages
+    m = platform.size
+    width = min(n, m)
+    alloc_tables: dict[int, "np.ndarray"] = {}
+
+    pending: list[tuple["np.ndarray", "np.ndarray"]] = []
+    pending_rows = 0
+
+    def flush() -> Iterator["MappingBlock"]:
+        nonlocal pending, pending_rows
+        if not pending:
+            return
+        ends = np.vstack([e for e, _ in pending])
+        masks = np.vstack([a for _, a in pending])
+        pending = []
+        pending_rows = 0
+        yield MappingBlock(
+            num_stages=n, num_processors=m, ends=ends, masks=masks
+        )
+
+    for partition in interval_partitions(n, max_intervals=m):
+        p = len(partition)
+        table = alloc_tables.get(p)
+        if table is None:
+            rows = allocation_mask_rows(
+                p, m, max_replication=max_replication
+            )
+            table = np.zeros((len(rows), width), dtype=np.int64)
+            if rows:
+                table[:, :p] = np.asarray(rows, dtype=np.int64)
+            alloc_tables[p] = table
+        if table.shape[0] == 0:
+            continue
+        ends_row = np.zeros(width, dtype=np.int64)
+        ends_row[:p] = [iv.end for iv in partition]
+        offset = 0
+        total = table.shape[0]
+        while offset < total:
+            take = min(total - offset, block_size - pending_rows)
+            chunk = table[offset : offset + take]
+            ends_chunk = np.broadcast_to(ends_row, chunk.shape)
+            pending.append((ends_chunk, chunk))
+            pending_rows += take
+            offset += take
+            if pending_rows >= block_size:
+                yield from flush()
+    yield from flush()
 
 
 def enumerate_one_to_one_mappings(

@@ -29,7 +29,6 @@ from ..exceptions import InvalidPlatformError
 from .processor import Processor
 from .topology import (
     IN,
-    OUT,
     HeterogeneousTopology,
     LinkTopology,
     Node,

@@ -354,7 +354,11 @@ _spec(
     objective=Objective.MIN_FP,
     exact=True,
     needs_threshold=True,
-    description="exhaustive exact min FP (memoized enumeration, small instances)",
+    description="exhaustive exact min FP (vectorized block enumeration, "
+    "small instances)",
+    # v2: vectorized bulk evaluation path (PR 3) — extras and ulp-level
+    # tie-breaking changed, so stale store entries must not replay
+    version=2,
 )
 _spec(
     name="exhaustive-min-latency",
@@ -362,8 +366,9 @@ _spec(
     objective=Objective.MIN_LATENCY,
     exact=True,
     needs_threshold=True,
-    description="exhaustive exact min latency (memoized enumeration, "
-    "small instances)",
+    description="exhaustive exact min latency (vectorized block "
+    "enumeration, small instances)",
+    version=2,
 )
 _spec(
     name="bnb-min-fp",

@@ -39,7 +39,6 @@ import math
 
 from ..core.application import PipelineApplication
 from ..core.mapping import IntervalMapping
-from ..core.metrics import failure_probability
 from ..core.platform import Platform
 from ..core.topology import IN, OUT, Node
 from ..core.validation import validate_mapping

@@ -1,0 +1,283 @@
+"""Scalar ↔ vectorized equivalence of the bulk evaluation path.
+
+The :class:`~repro.core.metrics_bulk.BulkEvaluator` must agree with the
+scalar :func:`~repro.core.metrics.evaluate` /
+:class:`~repro.core.metrics.EvaluationCache` on every mapping, within
+the documented :data:`~repro.core.metrics_bulk.BULK_RELATIVE_TOLERANCE`
+— on random instances of every platform class, and on the degenerate
+shapes (single interval, every stage its own interval) where padding
+bugs would hide.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BULK_RELATIVE_TOLERANCE,
+    BulkEvaluator,
+    EvaluationCache,
+    IntervalMapping,
+    MappingBlock,
+    PipelineApplication,
+    Platform,
+    evaluate,
+    nondominated_mask,
+    pareto_front,
+)
+from repro.core.enumeration import (
+    allocation_mask_rows,
+    allocations_for_partition,
+    enumerate_interval_mappings,
+    iter_mapping_blocks,
+)
+from repro.core.pareto import BiCriteriaPoint
+from repro.exceptions import SolverError
+
+from tests.helpers import make_instance
+from tests.strategies import (
+    applications,
+    comm_homogeneous_platforms,
+    fully_heterogeneous_platforms,
+    interval_mappings,
+    platforms,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def assert_bulk_matches_scalar(app, plat, mappings, *, one_port=True):
+    """Encode ``mappings`` and compare both objectives per row."""
+    block = MappingBlock.from_mappings(mappings, app.num_stages, plat.size)
+    evaluator = BulkEvaluator(app, plat, one_port=one_port)
+    lats, fps = evaluator.evaluate_block(block)
+    cache = EvaluationCache(app, plat, one_port=one_port)
+    for i, mapping in enumerate(mappings):
+        scalar = cache.evaluate(mapping)
+        assert math.isclose(
+            lats[i], scalar.latency, rel_tol=BULK_RELATIVE_TOLERANCE
+        ), (mapping, lats[i], scalar.latency)
+        assert math.isclose(
+            fps[i],
+            scalar.failure_probability,
+            rel_tol=BULK_RELATIVE_TOLERANCE,
+            abs_tol=1e-300,
+        ), (mapping, fps[i], scalar.failure_probability)
+
+
+@st.composite
+def app_platform_mappings(draw, platform_strategy=None, max_mappings=8):
+    """A consistent (application, platform, [mappings]) triple."""
+    app = draw(applications(max_stages=4))
+    if platform_strategy is None:
+        platform_strategy = platforms(min_processors=1, max_processors=5)
+    plat = draw(platform_strategy)
+    count = draw(st.integers(min_value=1, max_value=max_mappings))
+    mappings = [
+        draw(interval_mappings(app.num_stages, plat.size))
+        for _ in range(count)
+    ]
+    return app, plat, mappings
+
+
+class TestBulkMatchesScalar:
+    @given(app_platform_mappings())
+    @settings(max_examples=120, deadline=None)
+    def test_any_platform_class(self, triple):
+        app, plat, mappings = triple
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    @given(
+        app_platform_mappings(
+            platform_strategy=comm_homogeneous_platforms(
+                min_processors=1, max_processors=6
+            )
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_uniform_links(self, triple):
+        app, plat, mappings = triple
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    @given(
+        app_platform_mappings(
+            platform_strategy=fully_heterogeneous_platforms(
+                min_processors=1, max_processors=5
+            )
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_heterogeneous_links(self, triple):
+        app, plat, mappings = triple
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    @given(app_platform_mappings())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_port_ablation(self, triple):
+        app, plat, mappings = triple
+        assert_bulk_matches_scalar(app, plat, mappings, one_port=False)
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_whole_space_small_instances(self, kind, seed):
+        app, plat = make_instance(kind, n=4, m=4, seed=seed)
+        mappings = list(enumerate_interval_mappings(4, 4))
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+
+class TestEdgeShapes:
+    """Padding-sensitive degenerate shapes, checked explicitly."""
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    def test_single_interval_full_replication(self, kind):
+        app, plat = make_instance(kind, n=5, m=4, seed=7)
+        mappings = [
+            IntervalMapping.single_interval(5, {1}),
+            IntervalMapping.single_interval(5, {3}),
+            IntervalMapping.single_interval(5, {1, 2, 3, 4}),
+        ]
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    def test_every_stage_its_own_interval(self, kind):
+        app, plat = make_instance(kind, n=4, m=4, seed=7)
+        mappings = [
+            IntervalMapping.one_to_one([1, 2, 3, 4]),
+            IntervalMapping.one_to_one([4, 3, 2, 1]),
+        ]
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    def test_single_stage_pipeline(self):
+        app = PipelineApplication(works=(3.0,), volumes=(1.0, 2.0))
+        plat = Platform.communication_homogeneous(
+            [1.0, 2.0], failure_probabilities=[0.2, 0.5]
+        )
+        mappings = list(enumerate_interval_mappings(1, 2))
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    def test_certain_failure_maps_to_fp_one(self):
+        app = PipelineApplication(works=(1.0, 1.0), volumes=(1.0, 1.0, 1.0))
+        plat = Platform.communication_homogeneous(
+            [1.0, 1.0], failure_probabilities=[1.0, 0.5]
+        )
+        mappings = list(enumerate_interval_mappings(2, 2))
+        assert_bulk_matches_scalar(app, plat, mappings)
+
+    def test_reference_instances(self, fig34, fig5):
+        for inst in (fig34, fig5):
+            app, plat = inst.application, inst.platform
+            mappings = list(
+                enumerate_interval_mappings(app.num_stages, plat.size)
+            )[:2000]
+            assert_bulk_matches_scalar(app, plat, mappings)
+
+
+class TestMappingBlock:
+    def test_round_trip(self):
+        app, plat = make_instance("comm-homogeneous", n=5, m=3, seed=0)
+        mappings = list(enumerate_interval_mappings(5, 3))
+        block = MappingBlock.from_mappings(mappings, 5, 3)
+        assert len(block) == len(mappings)
+        assert list(block.mappings()) == mappings
+
+    def test_instance_mismatch_rejected(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=3, seed=0)
+        other_app, other_plat = make_instance(
+            "comm-homogeneous", n=4, m=2, seed=0
+        )
+        block = MappingBlock.from_mappings(
+            list(enumerate_interval_mappings(4, 2)), 4, 2
+        )
+        evaluator = BulkEvaluator(app, plat)
+        with pytest.raises(SolverError):
+            evaluator.latencies(block)
+
+
+class TestIterMappingBlocks:
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 2), (4, 4), (5, 3), (7, 4)])
+    def test_matches_scalar_enumeration_in_order(self, n, m):
+        app, plat = make_instance("comm-homogeneous", n=n, m=m, seed=1)
+        scalar = list(enumerate_interval_mappings(n, m))
+        blocks = list(iter_mapping_blocks(app, plat, block_size=64))
+        decoded = [mp for block in blocks for mp in block.mappings()]
+        assert decoded == scalar
+        assert all(len(block) <= 64 for block in blocks)
+
+    def test_max_replication_parity(self):
+        app, plat = make_instance("comm-homogeneous", n=4, m=4, seed=2)
+        scalar = list(
+            enumerate_interval_mappings(4, 4, max_replication=2)
+        )
+        decoded = [
+            mp
+            for block in iter_mapping_blocks(
+                app, plat, block_size=50, max_replication=2
+            )
+            for mp in block.mappings()
+        ]
+        assert decoded == scalar
+
+    def test_allocation_mask_rows_match_frozenset_enumeration(self):
+        for p, m in [(1, 3), (2, 4), (3, 4), (4, 4)]:
+            masks = allocation_mask_rows(p, m)
+            reference = [
+                tuple(
+                    sum(1 << (u - 1) for u in alloc) for alloc in allocs
+                )
+                for allocs in allocations_for_partition(
+                    p, range(1, m + 1)
+                )
+            ]
+            assert masks == reference
+
+    def test_invalid_block_size_rejected(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=2, seed=0)
+        with pytest.raises(ValueError):
+            next(iter_mapping_blocks(app, plat, block_size=0))
+
+
+class TestNondominatedMask:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_prefilter_preserves_pareto_front(self, pairs):
+        lats = np.array([p[0] for p in pairs])
+        fps = np.array([p[1] for p in pairs])
+        keep = nondominated_mask(lats, fps)
+        points = [
+            BiCriteriaPoint(lat, fp, payload=i)
+            for i, (lat, fp) in enumerate(pairs)
+        ]
+        survivors = [p for p, k in zip(points, keep) if k]
+        full_front = pareto_front(points)
+        filtered_front = pareto_front(survivors)
+        assert [
+            (p.latency, p.failure_probability, p.payload)
+            for p in filtered_front
+        ] == [
+            (p.latency, p.failure_probability, p.payload)
+            for p in full_front
+        ]
+
+    def test_duplicates_all_kept(self):
+        lats = np.array([1.0, 1.0, 2.0])
+        fps = np.array([0.5, 0.5, 0.1])
+        assert nondominated_mask(lats, fps).tolist() == [True, True, True]
+
+    def test_empty_input(self):
+        assert nondominated_mask(np.zeros(0), np.zeros(0)).tolist() == []
