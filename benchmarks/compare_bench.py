@@ -12,10 +12,15 @@ Usage::
     python benchmarks/compare_bench.py \
         benchmarks/BENCH_baseline.json benchmarks/BENCH_report.json
 
-Exit status 0 when nothing regressed, 1 otherwise.  Metrics present in
-only one of the two files are reported as ``new`` / ``missing`` but are
-never failures (benches come and go across PRs; wall-clock noise is why
-the CI step lives in the ``continue-on-error`` benchmarks job).
+Exit status 0 when nothing regressed, 1 otherwise.  Metrics present
+only in the fresh report are ``new`` (never failures — benches are
+added across PRs); metrics present in the *baseline* but missing from
+the fresh report are **failures** by default — a silently deleted or
+broken bench is a coverage regression, not noise — unless
+``--allow-missing`` is passed (the escape hatch for a PR that
+intentionally retires a bench without refreshing the baseline in the
+same commit).  Wall-clock noise is why the CI step lives in the
+``continue-on-error`` benchmarks job.
 """
 
 from __future__ import annotations
@@ -84,13 +89,18 @@ def format_row(columns, widths) -> str:
 
 
 def compare(
-    baseline_path: Path, current_path: Path, threshold: float
+    baseline_path: Path,
+    current_path: Path,
+    threshold: float,
+    *,
+    allow_missing: bool = False,
 ) -> int:
     baseline = extract_metrics(baseline_path)
     current = extract_metrics(current_path)
 
     rows: list[tuple[str, str, str, str, str]] = []
     regressions = 0
+    missing = 0
     for key in sorted(set(baseline) | set(current)):
         title, label, header = key
         name = f"{title} :: {label} [{header}]"
@@ -100,7 +110,9 @@ def compare(
             continue
         if key not in current:
             value, _ = baseline[key]
-            rows.append((name, f"{value:g}", "-", "missing", "ok"))
+            status = "ok" if allow_missing else "MISSING"
+            missing += not allow_missing
+            rows.append((name, f"{value:g}", "-", "missing", status))
             continue
         base_value, direction = baseline[key]
         cur_value, _ = current[key]
@@ -134,10 +146,18 @@ def compare(
     for row in rows:
         print(format_row(row, widths))
     print(
-        f"\n{len(rows)} tracked metrics, {regressions} regressed "
+        f"\n{len(rows)} tracked metrics, {regressions} regressed, "
+        f"{missing} missing from the fresh report "
         f"(threshold {threshold:.0%})"
     )
-    return 1 if regressions else 0
+    if missing:
+        print(
+            "baseline metrics are missing from the fresh report: a bench "
+            "was deleted or stopped reporting; refresh "
+            "benchmarks/BENCH_baseline.json or pass --allow-missing if "
+            "intentional"
+        )
+    return 1 if regressions or missing else 0
 
 
 def main(argv=None) -> int:
@@ -152,12 +172,23 @@ def main(argv=None) -> int:
         default=0.25,
         help="relative regression tolerance (default: 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline metrics absent from the fresh report "
+        "(default: fail — a vanished bench hides coverage loss)",
+    )
     args = parser.parse_args(argv)
     for path in (args.baseline, args.current):
         if not path.exists():
             print(f"missing report file: {path}", file=sys.stderr)
             return 2
-    return compare(args.baseline, args.current, args.threshold)
+    return compare(
+        args.baseline,
+        args.current,
+        args.threshold,
+        allow_missing=args.allow_missing,
+    )
 
 
 if __name__ == "__main__":

@@ -23,9 +23,9 @@ from ...core.enumeration import enumerate_interval_mappings, iter_mapping_blocks
 from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, MappingEvaluation, evaluate
 from ...core.metrics_bulk import (
-    HAS_NUMPY,
     BulkEvaluator,
     nondominated_mask,
+    resolve_use_bulk,
 )
 from ...core.pareto import BiCriteriaPoint, pareto_front
 from ...core.platform import Platform
@@ -51,16 +51,9 @@ DEFAULT_SEARCH_CAP = 5_000_000
 DEFAULT_BLOCK_SIZE = 4096
 
 
-def _bulk_enabled(use_bulk: bool | None) -> bool:
-    """Resolve the three-state ``use_bulk`` flag against numpy presence."""
-    if use_bulk is None:
-        return HAS_NUMPY
-    if use_bulk and not HAS_NUMPY:
-        raise SolverError(
-            "use_bulk=True requires numpy; install it or pass "
-            "use_bulk=None/False for the scalar path"
-        )
-    return use_bulk
+#: Back-compat alias: the knob resolver now lives in ``core.metrics_bulk``
+#: so the heuristics layer shares the exact same three-state semantics.
+_bulk_enabled = resolve_use_bulk
 
 
 def _stirling2_row(k: int) -> list[int]:

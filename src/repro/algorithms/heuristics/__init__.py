@@ -13,20 +13,40 @@ polynomial algorithms, so this subpackage provides:
   hill climbing over a rich move set;
 * :mod:`~repro.algorithms.heuristics.annealing` — simulated annealing on
   the same moves.
+
+All four solvers accept a ``use_bulk`` knob (automatic when numpy is
+present): candidate pools are then generated in boundary/bitmask row
+form (:func:`~repro.algorithms.heuristics.neighborhood.neighbor_rows`)
+and scored through :class:`~repro.core.metrics_bulk.BulkEvaluator`,
+with decisions still taken on scalar-exact values — results are
+bit-identical to the scalar path under a fixed seed (see
+:mod:`~repro.algorithms.heuristics.bulk`).
 """
 
 from .annealing import AnnealingSchedule, anneal_minimize_fp, anneal_minimize_latency
 from .greedy import balanced_partition, greedy_minimize_fp, greedy_minimize_latency
 from .local_search import local_search_minimize_fp, local_search_minimize_latency
-from .neighborhood import neighbors, random_mapping, random_neighbor
+from .neighborhood import (
+    neighbor_block,
+    neighbor_blocks,
+    neighbor_rows,
+    neighbors,
+    random_mapping,
+    random_neighbor,
+    row_mapping,
+)
 from .single_interval import (
     single_interval_candidates,
+    single_interval_mappings,
     single_interval_minimize_fp,
     single_interval_minimize_latency,
+    single_interval_replica_sets,
 )
 
 __all__ = [
     "single_interval_candidates",
+    "single_interval_mappings",
+    "single_interval_replica_sets",
     "single_interval_minimize_fp",
     "single_interval_minimize_latency",
     "greedy_minimize_fp",
@@ -38,6 +58,10 @@ __all__ = [
     "anneal_minimize_latency",
     "AnnealingSchedule",
     "neighbors",
+    "neighbor_rows",
+    "neighbor_block",
+    "neighbor_blocks",
+    "row_mapping",
     "random_neighbor",
     "random_mapping",
 ]

@@ -9,6 +9,15 @@ and symmetrically for the latency query.  Annealing trades the local
 search's determinism for a better chance of hopping between interval
 structures (e.g. from the one-interval basin to the Figure 5 two-interval
 optimum) on rugged Failure Heterogeneous instances.
+
+With ``use_bulk`` the proposal draw goes through the candidate-pool
+path (:class:`~repro.algorithms.heuristics.bulk.PooledNeighborSampler`):
+the neighbourhood is materialised once per *accepted* state as
+lightweight boundary/bitmask rows and reused across every rejected
+proposal, instead of rebuilding all neighbour mappings on each step.
+Proposal energies stay scalar (one memoized evaluation per step, same
+as before), so the proposal sequence, every Metropolis decision and the
+final result are bit-identical to the classic path under a fixed seed.
 """
 
 from __future__ import annotations
@@ -19,10 +28,11 @@ from typing import Callable
 
 from ..result import SolverResult
 from .neighborhood import random_mapping, random_neighbor
-from .single_interval import single_interval_candidates
+from .single_interval import single_interval_mappings
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
+from ...core.metrics_bulk import resolve_use_bulk
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
 
@@ -68,6 +78,9 @@ def _anneal(
     feasible_rank: Callable[[IntervalMapping], tuple[float, float] | None],
     schedule: AnnealingSchedule,
     rng: random.Random,
+    proposer: Callable[[IntervalMapping, random.Random], IntervalMapping]
+    | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> IntervalMapping | None:
     """Anneal on ``energy``; return the best *feasible* state visited.
 
@@ -76,13 +89,16 @@ def _anneal(
     Tracking feasibility separately from energy matters: the penalised
     energy may rank an infeasible state lowest, but the caller needs the
     best state that actually satisfies the threshold.
+
+    ``proposer`` overrides the neighbour draw (the pooled bulk sampler
+    plugs in here; it must consume the rng exactly like
+    :func:`random_neighbor`).  ``trace`` collects every accepted state.
     """
     warm = sorted(
-        single_interval_candidates(application, platform),
-        key=lambda r: energy(r.mapping),
+        single_interval_mappings(application, platform), key=energy
     )
     current = (
-        warm[0].mapping
+        warm[0]
         if warm
         else random_mapping(application.num_stages, platform.size, rng)
     )
@@ -100,18 +116,34 @@ def _anneal(
     # every single-interval candidate is a known state: the annealer can
     # only improve on the best feasible one among them
     for candidate in warm:
-        consider(candidate.mapping)
+        consider(candidate)
     consider(current)
     temperature = schedule.initial_temperature
     for _ in range(schedule.steps):
-        candidate = random_neighbor(current, platform.size, rng)
+        if proposer is None:
+            candidate = random_neighbor(current, platform.size, rng)
+        else:
+            candidate = proposer(current, rng)
         cand_e = energy(candidate)
         delta = cand_e - current_e
         if delta <= 0 or rng.random() < math.exp(-delta / temperature):
             current, current_e = candidate, cand_e
+            if trace is not None:
+                trace.append(current)
             consider(current)
         temperature = max(temperature * schedule.cooling, 1e-9)
     return best_feasible
+
+
+def _make_proposer(
+    use_bulk: bool | None, platform: Platform
+) -> Callable[[IntervalMapping, random.Random], IntervalMapping] | None:
+    """The pooled bulk sampler when the knob resolves on, else None."""
+    if not resolve_use_bulk(use_bulk):
+        return None
+    from .bulk import PooledNeighborSampler
+
+    return PooledNeighborSampler(platform.size)
 
 
 def anneal_minimize_fp(
@@ -123,8 +155,15 @@ def anneal_minimize_fp(
     penalty: float = 10.0,
     seed: int | None = 0,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise FP subject to latency <= L'.
+
+    ``use_bulk`` routes proposals through the cached candidate-pool
+    sampler (``None`` = automatic when numpy is present); the walk and
+    the result are identical either way.  Pass a list as ``trace`` to
+    collect every accepted state in order.
 
     Raises
     ------
@@ -152,7 +191,16 @@ def anneal_minimize_fp(
             return None
         return (cache.failure_probability(mapping), lat)
 
-    best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
+    best = _anneal(
+        application,
+        platform,
+        energy,
+        feasible_rank,
+        schedule,
+        rng,
+        proposer=_make_proposer(use_bulk, platform),
+        trace=trace,
+    )
     if best is None:
         raise InfeasibleProblemError(
             "annealing found no mapping under the latency threshold "
@@ -177,6 +225,8 @@ def anneal_minimize_latency(
     penalty: float | None = None,
     seed: int | None = 0,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise latency subject to FP <= bound'.
 
@@ -184,6 +234,7 @@ def anneal_minimize_latency(
     latency magnitude of the single-processor mapping: energies are in
     latency units here (unlike the FP query, where they live in [0, 1]),
     so a fixed sub-unit temperature would freeze the walk immediately.
+    ``use_bulk``/``trace`` behave as in :func:`anneal_minimize_fp`.
 
     Raises
     ------
@@ -220,7 +271,16 @@ def anneal_minimize_latency(
             return None
         return (cache.latency(mapping), fp)
 
-    best = _anneal(application, platform, energy, feasible_rank, schedule, rng)
+    best = _anneal(
+        application,
+        platform,
+        energy,
+        feasible_rank,
+        schedule,
+        rng,
+        proposer=_make_proposer(use_bulk, platform),
+        trace=trace,
+    )
     if best is None:
         raise InfeasibleProblemError(
             "annealing found no mapping under the FP threshold "

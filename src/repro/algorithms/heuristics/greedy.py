@@ -21,16 +21,34 @@ replica with the smallest latency increase until the FP bound is met.
 This is a heuristic: Theorem 7 (Fully Heterogeneous) and the Section 4.4
 conjecture (Communication Homogeneous / Failure Heterogeneous) rule out
 exact polynomial algorithms.
+
+With numpy present (``use_bulk``) every replication round scores its
+whole ``(processor, interval)`` enrolment-trial pool through
+:class:`~repro.core.metrics_bulk.BulkEvaluator` in one call; only the
+trials the conservative prefilter margin cannot rule out are re-scored
+through the scalar metrics, in the scalar loop's trial order — so the
+enrolment sequence and the final mapping are identical to the scalar
+path (a machine-checked property).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..result import SolverResult
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping, StageInterval
 from ...core.metrics import evaluate, failure_probability, latency
+from ...core.metrics_bulk import (
+    BlockBuilder,
+    BulkEvaluator,
+    resolve_use_bulk,
+)
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["greedy_minimize_fp", "greedy_minimize_latency", "balanced_partition"]
 
@@ -127,14 +145,51 @@ def _mapping(intervals: list[StageInterval], allocations: list[set[int]]) -> Int
     return IntervalMapping(intervals, [frozenset(a) for a in allocations])
 
 
+def _bulk_trial_scores(
+    evaluator: BulkEvaluator,
+    application: PipelineApplication,
+    intervals: list[StageInterval],
+    allocations: list[set[int]],
+    unused: list[int],
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Bulk-score every ``(unused processor, interval)`` enrolment trial.
+
+    Row ``ui * p + j`` enrols ``unused[ui]`` into interval ``j`` —
+    exactly the scalar loops' trial order, so index arithmetic recovers
+    the trial from a surviving row.
+    """
+    from .neighborhood import _mask
+
+    p = len(intervals)
+    ends = tuple(iv.end for iv in intervals)
+    base_masks = [_mask(alloc) for alloc in allocations]
+    builder = BlockBuilder(
+        application.num_stages,
+        evaluator.platform.size,
+        capacity=max(1, len(unused) * p),
+    )
+    for u in unused:
+        bit = 1 << (u - 1)
+        for j in range(p):
+            masks = list(base_masks)
+            masks[j] |= bit
+            builder.append(ends, masks)
+    return evaluator.evaluate_block(builder.build())
+
+
 def greedy_minimize_fp(
     application: PipelineApplication,
     platform: Platform,
     latency_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise FP s.t. latency <= L'.
+
+    ``use_bulk`` selects vectorized trial scoring (``None`` = automatic
+    when numpy is present); the constructed mapping is identical either
+    way.
 
     Raises
     ------
@@ -143,6 +198,8 @@ def greedy_minimize_fp(
     """
     slack = tolerance * max(1.0, abs(latency_threshold))
     n, m = application.num_stages, platform.size
+    bulk = resolve_use_bulk(use_bulk)
+    evaluator = BulkEvaluator(application, platform) if bulk else None
     best: SolverResult | None = None
 
     for p in range(1, min(n, m) + 1):
@@ -163,20 +220,29 @@ def greedy_minimize_fp(
             while improved and unused:
                 improved = False
                 current_fp = failure_probability(mapping, platform)
+                trial_rows = _fp_trial_candidates(
+                    evaluator,
+                    application,
+                    intervals,
+                    allocations,
+                    unused,
+                    latency_threshold,
+                    slack,
+                    current_fp,
+                )
                 best_gain = 0.0
                 best_choice: tuple[int, int, IntervalMapping, float] | None = None
-                for u in unused:
-                    for j in range(len(intervals)):
-                        trial_allocs = [set(a) for a in allocations]
-                        trial_allocs[j].add(u)
-                        trial = _mapping(intervals, trial_allocs)
-                        trial_lat = latency(trial, application, platform)
-                        if trial_lat > latency_threshold + slack:
-                            continue
-                        gain = current_fp - failure_probability(trial, platform)
-                        if gain > best_gain + 1e-15:
-                            best_gain = gain
-                            best_choice = (u, j, trial, trial_lat)
+                for u, j in trial_rows:
+                    trial_allocs = [set(a) for a in allocations]
+                    trial_allocs[j].add(u)
+                    trial = _mapping(intervals, trial_allocs)
+                    trial_lat = latency(trial, application, platform)
+                    if trial_lat > latency_threshold + slack:
+                        continue
+                    gain = current_fp - failure_probability(trial, platform)
+                    if gain > best_gain + 1e-15:
+                        best_gain = gain
+                        best_choice = (u, j, trial, trial_lat)
                 if best_choice is not None:
                     u, j, mapping, lat = best_choice
                     allocations[j].add(u)
@@ -206,18 +272,63 @@ def greedy_minimize_fp(
     return best
 
 
+def _fp_trial_candidates(
+    evaluator: BulkEvaluator | None,
+    application: PipelineApplication,
+    intervals: list[StageInterval],
+    allocations: list[set[int]],
+    unused: list[int],
+    latency_threshold: float,
+    slack: float,
+    current_fp: float,
+) -> list[tuple[int, int]]:
+    """The ``(u, j)`` trials one min-FP replication round must score.
+
+    Scalar mode returns the full grid; bulk mode prunes it to the trials
+    that may still win the round — every trial whose bulk latency could
+    be feasible *and* whose bulk FP gain is within the conservative
+    margin of the best gain among clearly feasible trials (the scalar
+    winner provably sits in that set).
+    """
+    p = len(intervals)
+    grid = [(u, j) for u in unused for j in range(p)]
+    if evaluator is None:
+        return grid
+
+    import numpy as np
+
+    from .bulk import margin, value_margin
+
+    lats, fps = _bulk_trial_scores(
+        evaluator, application, intervals, allocations, unused
+    )
+    gains = current_fp - fps
+    lat_slack = margin(latency_threshold)
+    gain_slack = value_margin(current_fp)
+    maybe_feasible = lats <= latency_threshold + slack + lat_slack
+    clearly_feasible = lats <= latency_threshold + slack - lat_slack
+    if bool(clearly_feasible.any()):
+        cutoff = float(gains[clearly_feasible].max()) - gain_slack
+    else:
+        cutoff = -np.inf
+    keep = maybe_feasible & (gains >= cutoff) & (gains > -gain_slack)
+    return [grid[int(i)] for i in np.flatnonzero(keep)]
+
+
 def greedy_minimize_latency(
     application: PipelineApplication,
     platform: Platform,
     fp_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise latency s.t. FP <= bound'.
 
     For each interval count the seed mapping is repaired towards
     feasibility by enrolling, at each step, the replica with the smallest
-    latency increase per unit of FP decrease.
+    latency increase per unit of FP decrease.  ``use_bulk`` behaves as in
+    :func:`greedy_minimize_fp`.
 
     Raises
     ------
@@ -226,6 +337,8 @@ def greedy_minimize_latency(
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
     n, m = application.num_stages, platform.size
+    bulk = resolve_use_bulk(use_bulk)
+    evaluator = BulkEvaluator(application, platform) if bulk else None
     best: SolverResult | None = None
 
     for p in range(1, min(n, m) + 1):
@@ -244,24 +357,32 @@ def greedy_minimize_latency(
             ):
                 current_fp = failure_probability(mapping, platform)
                 current_lat = latency(mapping, application, platform)
+                trial_rows = _latency_trial_candidates(
+                    evaluator,
+                    application,
+                    intervals,
+                    allocations,
+                    unused,
+                    current_fp,
+                    current_lat,
+                )
                 best_score = float("inf")
                 best_choice: tuple[int, int, IntervalMapping] | None = None
-                for u in unused:
-                    for j in range(len(intervals)):
-                        trial_allocs = [set(a) for a in allocations]
-                        trial_allocs[j].add(u)
-                        trial = _mapping(intervals, trial_allocs)
-                        fp_gain = current_fp - failure_probability(trial, platform)
-                        if fp_gain <= 0:
-                            continue
-                        lat_cost = max(
-                            latency(trial, application, platform) - current_lat,
-                            0.0,
-                        )
-                        score = lat_cost / fp_gain
-                        if score < best_score:
-                            best_score = score
-                            best_choice = (u, j, trial)
+                for u, j in trial_rows:
+                    trial_allocs = [set(a) for a in allocations]
+                    trial_allocs[j].add(u)
+                    trial = _mapping(intervals, trial_allocs)
+                    fp_gain = current_fp - failure_probability(trial, platform)
+                    if fp_gain <= 0:
+                        continue
+                    lat_cost = max(
+                        latency(trial, application, platform) - current_lat,
+                        0.0,
+                    )
+                    score = lat_cost / fp_gain
+                    if score < best_score:
+                        best_score = score
+                        best_choice = (u, j, trial)
                 if best_choice is None:
                     break
                 u, j, mapping = best_choice
@@ -292,3 +413,53 @@ def greedy_minimize_latency(
             f"{fp_threshold}"
         )
     return best
+
+
+def _latency_trial_candidates(
+    evaluator: BulkEvaluator | None,
+    application: PipelineApplication,
+    intervals: list[StageInterval],
+    allocations: list[set[int]],
+    unused: list[int],
+    current_fp: float,
+    current_lat: float,
+) -> list[tuple[int, int]]:
+    """The ``(u, j)`` trials one min-latency repair round must score.
+
+    Bulk mode bounds each trial's latency-per-FP-gain score from both
+    sides (margins cover the bulk/scalar tolerance): trials whose lower
+    bound exceeds the best upper bound can never win the round and are
+    dropped; trials whose FP gain is surely non-positive are dropped
+    outright.  The scalar winner always survives.
+    """
+    p = len(intervals)
+    grid = [(u, j) for u in unused for j in range(p)]
+    if evaluator is None:
+        return grid
+
+    import numpy as np
+
+    from .bulk import margin, value_margin
+
+    lats, fps = _bulk_trial_scores(
+        evaluator, application, intervals, allocations, unused
+    )
+    gains = current_fp - fps
+    costs = np.maximum(lats - current_lat, 0.0)
+    gain_slack = value_margin(current_fp)
+    lat_slack = margin(current_lat)
+    surely_positive = gains - gain_slack > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        upper = np.where(
+            surely_positive,
+            (costs + lat_slack) / np.maximum(gains - gain_slack, 1e-300),
+            np.inf,
+        )
+        lower = np.where(
+            gains + gain_slack > 0,
+            np.maximum(costs - lat_slack, 0.0) / (gains + gain_slack),
+            np.inf,
+        )
+    best_upper = float(upper.min()) if len(upper) else float("inf")
+    keep = (gains + gain_slack > 0) & (lower <= best_upper)
+    return [grid[int(i)] for i in np.flatnonzero(keep)]

@@ -12,25 +12,92 @@ search optimises a lexicographic objective:
 Works on every platform class (it only consumes the generic metric
 functions) — this is the workhorse for the NP-hard Fully Heterogeneous
 and the open Communication Homogeneous / Failure Heterogeneous cases.
+
+With numpy present (``use_bulk``) each descent step scores the *whole*
+neighbourhood through :class:`~repro.core.metrics_bulk.BulkEvaluator`
+in one vectorized call; candidates the bulk scores prove non-improving
+(within the conservative prefilter margin of
+:mod:`repro.algorithms.heuristics.bulk`) are skipped, and only the
+handful of survivors are re-ranked through the exact scalar cache in
+the original shuffled order.  Every accept/reject decision is therefore
+made on scalar values: the accepted-move sequence and the final result
+are bit-identical to the scalar path under the same seed (a
+machine-checked property).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..result import SolverResult
-from .neighborhood import neighbors, random_mapping
-from .single_interval import single_interval_candidates
+from .neighborhood import neighbor_rows, neighbors, random_mapping, row_mapping
+from .single_interval import single_interval_mappings
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
+from ...core.metrics_bulk import BulkEvaluator, resolve_use_bulk
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["local_search_minimize_fp", "local_search_minimize_latency"]
 
 _Rank = tuple[int, float, float]
+
+#: Conservative bulk prefilter: ``(latencies, fps, current_rank) ->
+#: keep mask``.  Must never drop a candidate whose scalar rank improves
+#: on ``current_rank`` (see repro.algorithms.heuristics.bulk).
+_Prefilter = Callable[["np.ndarray", "np.ndarray", _Rank], "np.ndarray"]
+
+
+class _BulkNeighborhood:
+    """Vectorized neighbourhood scoring for one descent run."""
+
+    def __init__(
+        self,
+        application: PipelineApplication,
+        platform: Platform,
+        prefilter: _Prefilter,
+    ) -> None:
+        from .bulk import score_rows
+
+        self._score_rows = score_rows
+        self._evaluator = BulkEvaluator(application, platform)
+        self._n = application.num_stages
+        self._m = platform.size
+        self._prefilter = prefilter
+
+    def first_improvement(
+        self,
+        current: IntervalMapping,
+        rank: Callable[[IntervalMapping], _Rank],
+        current_rank: _Rank,
+        rng: random.Random,
+    ) -> tuple[IntervalMapping, _Rank] | None:
+        """The first scalar-confirmed improving move, in shuffled order.
+
+        Consumes the rng exactly like the scalar loop (one shuffle of an
+        equally long sequence), scores the whole pool in one bulk call,
+        and scalar-ranks only prefilter survivors.
+        """
+        rows = list(neighbor_rows(current, self._m))
+        order = list(range(len(rows)))
+        rng.shuffle(order)
+        if not rows:
+            return None
+        lats, fps = self._score_rows(self._evaluator, self._n, self._m, rows)
+        keep = self._prefilter(lats, fps, current_rank)
+        for idx in order:
+            if not keep[idx]:
+                continue
+            cand = row_mapping(rows[idx], self._m)
+            cand_rank = rank(cand)
+            if cand_rank < current_rank:
+                return cand, cand_rank
+        return None
 
 
 def _descend(
@@ -40,18 +107,30 @@ def _descend(
     rank: Callable[[IntervalMapping], _Rank],
     rng: random.Random,
     max_steps: int,
+    pool: _BulkNeighborhood | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> tuple[IntervalMapping, _Rank, int]:
     current = start
     current_rank = rank(current)
     steps = 0
     while steps < max_steps:
         steps += 1
+        if pool is not None:
+            found = pool.first_improvement(current, rank, current_rank, rng)
+            if found is None:
+                break
+            current, current_rank = found
+            if trace is not None:
+                trace.append(current)
+            continue
         moves = list(neighbors(current, platform.size))
         rng.shuffle(moves)
         for cand in moves:
             cand_rank = rank(cand)
             if cand_rank < current_rank:
                 current, current_rank = cand, cand_rank
+                if trace is not None:
+                    trace.append(current)
                 break
         else:
             break  # local optimum
@@ -67,15 +146,16 @@ def _solve(
     restarts: int,
     max_steps: int,
     seed: int | None,
+    pool: _BulkNeighborhood | None,
+    trace: list[IntervalMapping] | None,
 ) -> tuple[IntervalMapping, _Rank, int]:
     rng = random.Random(seed)
     # Deterministic warm starts: the best few single-interval candidates,
     # then random restarts.
     warm = sorted(
-        single_interval_candidates(application, platform),
-        key=lambda r: rank(r.mapping),
+        single_interval_mappings(application, platform), key=rank
     )
-    starts: list[IntervalMapping] = [r.mapping for r in warm[:3]]
+    starts: list[IntervalMapping] = warm[:3]
     while len(starts) < max(restarts, 1):
         starts.append(
             random_mapping(application.num_stages, platform.size, rng)
@@ -86,7 +166,7 @@ def _solve(
     total_steps = 0
     for start in starts:
         result, result_rank, steps = _descend(
-            application, platform, start, rank, rng, max_steps
+            application, platform, start, rank, rng, max_steps, pool, trace
         )
         total_steps += steps
         if best_rank is None or result_rank < best_rank:
@@ -104,8 +184,16 @@ def local_search_minimize_fp(
     max_steps: int = 200,
     seed: int | None = 0,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise FP subject to latency <= L'.
+
+    ``use_bulk`` selects vectorized neighbourhood scoring (``None`` =
+    automatic when numpy is present); the accepted-move sequence and the
+    result are identical either way.  Pass a list as ``trace`` to
+    collect every accepted mapping in order (equivalence testing /
+    trajectory inspection).
 
     Raises
     ------
@@ -124,6 +212,28 @@ def local_search_minimize_fp(
             return (0, fp, lat)
         return (1, lat - latency_threshold, fp)
 
+    pool: _BulkNeighborhood | None = None
+    if resolve_use_bulk(use_bulk):
+        from .bulk import margin, value_margin
+
+        def prefilter(
+            lats: "np.ndarray", fps: "np.ndarray", cr: _Rank
+        ) -> "np.ndarray":
+            lat_slack = margin(latency_threshold)
+            maybe_feasible = lats <= latency_threshold + slack + lat_slack
+            if cr[0] == 0:
+                # improving on a feasible state needs fp <= current fp
+                # (ties fall through to the latency tie-break)
+                return maybe_feasible & (fps <= cr[1] + value_margin(cr[1]))
+            # an infeasible state improves by becoming feasible or by
+            # shrinking the latency excess
+            excess_slack = margin(latency_threshold, cr[1])
+            return maybe_feasible | (
+                lats - latency_threshold <= cr[1] + excess_slack
+            )
+
+        pool = _BulkNeighborhood(application, platform, prefilter)
+
     best, best_rank, steps = _solve(
         application,
         platform,
@@ -132,6 +242,8 @@ def local_search_minimize_fp(
         restarts=restarts,
         max_steps=max_steps,
         seed=seed,
+        pool=pool,
+        trace=trace,
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(
@@ -157,8 +269,12 @@ def local_search_minimize_latency(
     max_steps: int = 200,
     seed: int | None = 0,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
+    trace: list[IntervalMapping] | None = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise latency subject to FP <= bound'.
+
+    ``use_bulk``/``trace`` behave as in :func:`local_search_minimize_fp`.
 
     Raises
     ------
@@ -175,6 +291,24 @@ def local_search_minimize_latency(
             return (0, lat, fp)
         return (1, fp - fp_threshold, lat)
 
+    pool: _BulkNeighborhood | None = None
+    if resolve_use_bulk(use_bulk):
+        from .bulk import margin, value_margin
+
+        def prefilter(
+            lats: "np.ndarray", fps: "np.ndarray", cr: _Rank
+        ) -> "np.ndarray":
+            fp_slack = value_margin(fp_threshold)
+            maybe_feasible = fps <= fp_threshold + slack + fp_slack
+            if cr[0] == 0:
+                return maybe_feasible & (lats <= cr[1] + margin(cr[1]))
+            excess_slack = value_margin(fp_threshold, cr[1])
+            return maybe_feasible | (
+                fps - fp_threshold <= cr[1] + excess_slack
+            )
+
+        pool = _BulkNeighborhood(application, platform, prefilter)
+
     best, best_rank, steps = _solve(
         application,
         platform,
@@ -183,6 +317,8 @@ def local_search_minimize_latency(
         restarts=restarts,
         max_steps=max_steps,
         seed=seed,
+        pool=pool,
+        trace=trace,
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(

@@ -13,16 +13,43 @@ A *move* transforms one valid interval mapping into another:
 All moves preserve validity by construction (consecutive intervals,
 disjoint non-empty allocations), so the local search and the annealer
 never need to re-validate structure.
+
+Besides the mapping-object generator (:func:`neighbors`) the module
+offers the same move set in *row* form for the bulk evaluation path:
+:func:`neighbor_rows` yields padded-free ``(ends, masks)`` integer
+tuples — exactly one per :func:`neighbors` yield, in exactly the same
+order — and :func:`neighbor_block` / :func:`neighbor_blocks` pack them
+into :class:`~repro.core.metrics_bulk.MappingBlock`\\ s for
+:class:`~repro.core.metrics_bulk.BulkEvaluator`.  Generating rows skips
+the per-candidate ``IntervalMapping`` construction entirely; only the
+few candidates a solver actually inspects are decoded back via
+:func:`row_mapping`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ...core.mapping import IntervalMapping, StageInterval
+from ...core.metrics_bulk import BlockBuilder
 
-__all__ = ["neighbors", "random_neighbor", "random_mapping"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...core.metrics_bulk import MappingBlock
+
+__all__ = [
+    "neighbors",
+    "neighbor_rows",
+    "neighbor_block",
+    "neighbor_blocks",
+    "row_mapping",
+    "random_neighbor",
+    "random_mapping",
+]
+
+#: One neighbourhood candidate in row encoding: interval end boundaries
+#: and allocation bitmasks (bit ``u-1`` = processor ``u``), unpadded.
+Row = tuple[tuple[int, ...], tuple[int, ...]]
 
 
 def _rebuild(
@@ -124,6 +151,146 @@ def neighbors(
                 allocs = [set(a) for a in allocations]
                 allocs[j] = (allocs[j] - {victim}) | {extra}
                 yield _rebuild(list(intervals), allocs)
+
+
+def _mask(processors: Iterator[int] | list[int] | set[int]) -> int:
+    result = 0
+    for u in processors:
+        result |= 1 << (u - 1)
+    return result
+
+
+def neighbor_rows(
+    mapping: IntervalMapping, num_processors: int
+) -> Iterator[Row]:
+    """Yield every move of :func:`neighbors` in ``(ends, masks)`` row form.
+
+    The contract is strict: row ``i`` decodes (via :func:`row_mapping`)
+    to exactly the ``i``-th mapping :func:`neighbors` yields, so bulk
+    consumers inherit the scalar loops' candidate order — which is what
+    keeps first-improvement descent and annealing proposal draws
+    bit-identical between the two paths (a machine-checked property).
+    """
+    ends = tuple(iv.end for iv in mapping.intervals)
+    masks = tuple(_mask(a) for a in mapping.allocations)
+    allocs = [sorted(a) for a in mapping.allocations]
+    p = len(ends)
+    used = mapping.used_processors
+    unused = [u for u in range(1, num_processors + 1) if u not in used]
+    unused_bits = [1 << (u - 1) for u in unused]
+
+    # shift boundaries
+    starts = (1,) + tuple(e + 1 for e in ends[:-1])
+    for j in range(p - 1):
+        s1, e1 = starts[j], ends[j]
+        s2, e2 = starts[j + 1], ends[j + 1]
+        if e1 > s1:  # give last stage of I_j to I_{j+1}
+            yield ends[:j] + (e1 - 1,) + ends[j + 1 :], masks
+        if e2 > s2:  # take first stage of I_{j+1}
+            yield ends[:j] + (e1 + 1,) + ends[j + 1 :], masks
+
+    # merge adjacent intervals
+    for j in range(p - 1):
+        yield (
+            ends[:j] + ends[j + 1 :],
+            masks[:j] + (masks[j] | masks[j + 1],) + masks[j + 2 :],
+        )
+
+    # split an interval
+    for j in range(p):
+        s, e = starts[j], ends[j]
+        alloc = allocs[j]
+        full = masks[j]
+        for cut in range(s, e):
+            split_ends = ends[:j] + (cut,) + ends[j:]
+            if len(alloc) >= 2:
+                half = len(alloc) // 2
+                left, right = _mask(alloc[:half]), _mask(alloc[half:])
+                yield split_ends, masks[:j] + (left, right) + masks[j + 1 :]
+            for extra in unused_bits:
+                yield split_ends, masks[:j] + (full, extra) + masks[j + 1 :]
+                yield split_ends, masks[:j] + (extra, full) + masks[j + 1 :]
+
+    # add a replica
+    for j in range(p):
+        for extra in unused_bits:
+            yield ends, masks[:j] + (masks[j] | extra,) + masks[j + 1 :]
+
+    # drop a replica
+    for j in range(p):
+        if len(allocs[j]) > 1:
+            for victim in allocs[j]:
+                bit = 1 << (victim - 1)
+                yield ends, masks[:j] + (masks[j] & ~bit,) + masks[j + 1 :]
+
+    # swap an enrolled processor for an unused one
+    for j in range(p):
+        for victim in allocs[j]:
+            bit = 1 << (victim - 1)
+            without = masks[j] & ~bit
+            for extra in unused_bits:
+                yield ends, masks[:j] + (without | extra,) + masks[j + 1 :]
+
+
+def row_mapping(
+    row: Row, num_processors: int
+) -> IntervalMapping:
+    """Decode one ``(ends, masks)`` row back into an :class:`IntervalMapping`.
+
+    Rows come from :func:`neighbor_rows`, whose moves preserve validity
+    by construction, so decoding skips structural re-validation.
+    """
+    ends, masks = row
+    intervals = []
+    allocations = []
+    start = 1
+    for end, mask in zip(ends, masks):
+        intervals.append(StageInterval(start, end))
+        allocations.append(
+            frozenset(
+                u + 1 for u in range(num_processors) if mask >> u & 1
+            )
+        )
+        start = end + 1
+    return IntervalMapping._trusted(tuple(intervals), tuple(allocations))
+
+
+def neighbor_block(
+    mapping: IntervalMapping,
+    num_stages: int,
+    num_processors: int,
+) -> "MappingBlock":
+    """The whole one-move neighbourhood as one :class:`MappingBlock`.
+
+    Requires numpy; row order matches :func:`neighbors` exactly.
+    """
+    builder = BlockBuilder(num_stages, num_processors)
+    builder.extend(neighbor_rows(mapping, num_processors))
+    return builder.build()
+
+
+def neighbor_blocks(
+    mapping: IntervalMapping,
+    num_stages: int,
+    num_processors: int,
+    *,
+    block_size: int = 4096,
+) -> Iterator["MappingBlock"]:
+    """Yield the neighbourhood as padded blocks of at most ``block_size``.
+
+    The chunked sibling of :func:`neighbor_block`, for very large
+    neighbourhoods (n, m in the dozens) where one monolithic block would
+    spike memory; concatenating the chunks reproduces the full
+    neighbourhood in :func:`neighbors` order.
+    """
+    builder = BlockBuilder(num_stages, num_processors)
+    for row in neighbor_rows(mapping, num_processors):
+        builder.append(*row)
+        if len(builder) >= block_size:
+            yield builder.build()
+            builder = BlockBuilder(num_stages, num_processors)
+    if len(builder):
+        yield builder.build()
 
 
 def random_neighbor(

@@ -18,6 +18,13 @@ experiment E11 measures it.
 On Fully Heterogeneous platforms the same sweep runs with the eq. (2)
 metric; the reliability-greedy choice per ``(k, sigma)`` cell is then a
 heuristic (link costs may favour other replicas), flagged accordingly.
+
+With numpy present (``use_bulk``) the candidate grid is scored through
+:class:`~repro.core.metrics_bulk.BulkEvaluator` in one block; the
+handful of candidates within the conservative prefilter margin of the
+bulk optimum are re-evaluated through the scalar metrics, so the
+selected mapping and its reported objectives are identical to the
+scalar sweep's.
 """
 
 from __future__ import annotations
@@ -26,6 +33,11 @@ from ..result import SolverResult
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
 from ...core.metrics import failure_probability, latency
+from ...core.metrics_bulk import (
+    BlockBuilder,
+    BulkEvaluator,
+    resolve_use_bulk,
+)
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
 
@@ -33,7 +45,52 @@ __all__ = [
     "single_interval_minimize_fp",
     "single_interval_minimize_latency",
     "single_interval_candidates",
+    "single_interval_replica_sets",
+    "single_interval_mappings",
 ]
+
+
+def single_interval_replica_sets(
+    platform: Platform,
+) -> list[tuple[frozenset[int], int, float]]:
+    """The deduplicated ``(replica set, k, speed floor)`` candidate grid.
+
+    The raw material of :func:`single_interval_candidates`, exposed
+    separately so callers that only need the *pool* (warm starts, the
+    bulk scoring path) skip the per-candidate scalar evaluations.
+    Order is deterministic: speed floors descending, then cardinality
+    ascending, first occurrence of each distinct set kept.
+    """
+    speed_floors = sorted({p.speed for p in platform.processors}, reverse=True)
+    seen: set[frozenset[int]] = set()
+    grid: list[tuple[frozenset[int], int, float]] = []
+    for sigma in speed_floors:
+        eligible = [p for p in platform.processors if p.speed >= sigma]
+        eligible.sort(key=lambda p: (p.failure_probability, p.index))
+        for k in range(1, len(eligible) + 1):
+            procs = frozenset(p.index for p in eligible[:k])
+            if procs in seen:
+                continue
+            seen.add(procs)
+            grid.append((procs, k, sigma))
+    return grid
+
+
+def single_interval_mappings(
+    application: PipelineApplication, platform: Platform
+) -> list[IntervalMapping]:
+    """The candidate grid as mappings only (no scalar evaluation).
+
+    Same order as :func:`single_interval_candidates`; this is what the
+    local search and annealing warm starts consume — they re-rank the
+    mappings through their own cached metrics anyway, so evaluating
+    them here would be pure waste.
+    """
+    n = application.num_stages
+    return [
+        IntervalMapping.single_interval(n, procs)
+        for procs, _, _ in single_interval_replica_sets(platform)
+    ]
 
 
 def single_interval_candidates(
@@ -45,31 +102,57 @@ def single_interval_candidates(
     Exact coverage of the single-interval Pareto set on Communication
     Homogeneous platforms; heuristic coverage otherwise.
     """
+    grid = single_interval_replica_sets(platform)
+    return _evaluate_grid_subset(
+        application, platform, grid, range(len(grid))
+    )
+
+
+def _bulk_candidate_survivors(
+    application: PipelineApplication,
+    platform: Platform,
+    threshold: float,
+    slack: float,
+    minimize_fp: bool,
+) -> list[SolverResult]:
+    """Scalar-evaluated grid candidates that may win, per the bulk prefilter.
+
+    Conservative in the strict sense: every candidate the scalar sweep
+    could select (or that could tie-break the selection) survives; see
+    :mod:`repro.algorithms.heuristics.bulk` for the margin contract.
+    """
+    import numpy as np
+
+    from .bulk import margin, value_margin
+    from .neighborhood import _mask
+
+    grid = single_interval_replica_sets(platform)
     n = application.num_stages
-    m = platform.size
-    speed_floors = sorted({p.speed for p in platform.processors}, reverse=True)
-    seen: set[frozenset[int]] = set()
-    results: list[SolverResult] = []
-    for sigma in speed_floors:
-        eligible = [p for p in platform.processors if p.speed >= sigma]
-        eligible.sort(key=lambda p: (p.failure_probability, p.index))
-        for k in range(1, len(eligible) + 1):
-            procs = frozenset(p.index for p in eligible[:k])
-            if procs in seen:
-                continue
-            seen.add(procs)
-            mapping = IntervalMapping.single_interval(n, procs)
-            results.append(
-                SolverResult(
-                    mapping=mapping,
-                    latency=latency(mapping, application, platform),
-                    failure_probability=failure_probability(mapping, platform),
-                    solver="single-interval-grid",
-                    optimal=False,
-                    extras={"k": k, "speed_floor": sigma},
-                )
-            )
-    return results
+    builder = BlockBuilder(n, platform.size, capacity=len(grid))
+    for procs, _, _ in grid:
+        builder.append((n,), (_mask(procs),))
+    evaluator = BulkEvaluator(application, platform)
+    lats, fps = evaluator.evaluate_block(builder.build())
+
+    if minimize_fp:
+        constrained, objective = lats, fps
+        slack_margin = margin(threshold)
+        objective_margin = value_margin
+    else:
+        constrained, objective = fps, lats
+        slack_margin = value_margin(threshold)
+        objective_margin = margin
+    maybe = constrained <= threshold + slack + slack_margin
+    clearly = constrained <= threshold + slack - slack_margin
+    if bool(clearly.any()):
+        best = float(objective[clearly].min())
+        cutoff = best + objective_margin(best)
+        keep = maybe & (objective <= cutoff)
+    else:
+        keep = maybe
+    return _evaluate_grid_subset(
+        application, platform, grid, (int(i) for i in np.flatnonzero(keep))
+    )
 
 
 def single_interval_minimize_fp(
@@ -78,12 +161,15 @@ def single_interval_minimize_fp(
     latency_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Best single-interval FP under a latency threshold.
 
     Exact among single-interval mappings on Communication Homogeneous
     platforms (see module docstring); heuristic on Fully Heterogeneous
-    ones.
+    ones.  ``use_bulk`` selects vectorized grid scoring (``None`` =
+    automatic when numpy is present); the selected mapping and reported
+    objectives are identical either way.
 
     Raises
     ------
@@ -91,8 +177,14 @@ def single_interval_minimize_fp(
         If no candidate meets the threshold.
     """
     slack = tolerance * max(1.0, abs(latency_threshold))
+    if resolve_use_bulk(use_bulk):
+        candidates = _bulk_candidate_survivors(
+            application, platform, latency_threshold, slack, minimize_fp=True
+        )
+    else:
+        candidates = single_interval_candidates(application, platform)
     best: SolverResult | None = None
-    for cand in single_interval_candidates(application, platform):
+    for cand in candidates:
         if cand.latency > latency_threshold + slack:
             continue
         if best is None or (
@@ -118,20 +210,53 @@ def single_interval_minimize_fp(
     )
 
 
+def _evaluate_grid_subset(
+    application: PipelineApplication,
+    platform: Platform,
+    grid: list[tuple[frozenset[int], int, float]],
+    indices,
+) -> list[SolverResult]:
+    """Scalar-evaluate selected grid candidates, preserving grid order."""
+    n = application.num_stages
+    results: list[SolverResult] = []
+    for i in indices:
+        procs, k, sigma = grid[i]
+        mapping = IntervalMapping.single_interval(n, procs)
+        results.append(
+            SolverResult(
+                mapping=mapping,
+                latency=latency(mapping, application, platform),
+                failure_probability=failure_probability(mapping, platform),
+                solver="single-interval-grid",
+                optimal=False,
+                extras={"k": k, "speed_floor": sigma},
+            )
+        )
+    return results
+
+
 def single_interval_minimize_latency(
     application: PipelineApplication,
     platform: Platform,
     fp_threshold: float,
     *,
     tolerance: float = 1e-9,
+    use_bulk: bool | None = None,
 ) -> SolverResult:
     """Best single-interval latency under an FP threshold.
 
-    Exactness mirrors :func:`single_interval_minimize_fp`.
+    Exactness mirrors :func:`single_interval_minimize_fp`, as does the
+    ``use_bulk`` contract.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
+    if resolve_use_bulk(use_bulk):
+        candidates = _bulk_candidate_survivors(
+            application, platform, fp_threshold, slack, minimize_fp=False
+        )
+    else:
+        candidates = single_interval_candidates(application, platform)
     best: SolverResult | None = None
-    for cand in single_interval_candidates(application, platform):
+    for cand in candidates:
         if cand.failure_probability > fp_threshold + slack:
             continue
         if best is None or (

@@ -61,9 +61,11 @@ __all__ = [
     "BULK_RELATIVE_TOLERANCE",
     "MASK_TABLE_LIMIT",
     "MappingBlock",
+    "BlockBuilder",
     "BulkEvaluator",
     "build_mask_tables",
     "nondominated_mask",
+    "resolve_use_bulk",
 ]
 
 #: True when numpy is importable and the bulk path is available.
@@ -84,6 +86,23 @@ def _require_numpy() -> None:
             "bulk evaluation requires numpy; install it or use the "
             "scalar EvaluationCache path"
         )
+
+
+def resolve_use_bulk(use_bulk: bool | None) -> bool:
+    """Resolve the three-state ``use_bulk`` knob against numpy presence.
+
+    ``None`` means *automatic*: bulk when numpy is importable, scalar
+    otherwise.  An explicit ``True`` on a numpy-less install is an error
+    (silently degrading would hide an order-of-magnitude slowdown).
+    """
+    if use_bulk is None:
+        return HAS_NUMPY
+    if use_bulk and not HAS_NUMPY:
+        raise SolverError(
+            "use_bulk=True requires numpy; install it or pass "
+            "use_bulk=None/False for the scalar path"
+        )
+    return use_bulk
 
 
 def build_mask_tables(
@@ -206,6 +225,90 @@ class MappingBlock:
             num_processors=num_processors,
             ends=ends,
             masks=masks,
+        )
+
+
+class BlockBuilder:
+    """Incremental :class:`MappingBlock` assembly for move-generated pools.
+
+    The enumeration producer (:func:`repro.core.enumeration.iter_mapping_blocks`)
+    knows its block shapes up front; candidate pools generated by
+    neighbourhood moves do not — a move can merge two intervals (one
+    column fewer) or split one (one column more) relative to the pool's
+    seed mapping.  The builder accepts one ``(ends, masks)`` row at a
+    time, widens its padded storage geometrically as wider rows arrive,
+    and emits a :class:`MappingBlock` preserving append order — so
+    consumers keep the "first candidate wins ties" semantics of the
+    scalar loops they replace.
+    """
+
+    def __init__(
+        self,
+        num_stages: int,
+        num_processors: int,
+        *,
+        capacity: int = 64,
+    ) -> None:
+        _require_numpy()
+        self.num_stages = num_stages
+        self.num_processors = num_processors
+        width = max(1, min(num_stages, num_processors))
+        self._ends = _np.zeros((max(1, capacity), width), dtype=_np.int64)
+        self._masks = _np.zeros_like(self._ends)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self, rows: int, width: int) -> None:
+        old_rows, old_width = self._ends.shape
+        new_rows = max(rows, old_rows)
+        new_width = max(width, old_width)
+        if new_rows == old_rows and new_width == old_width:
+            return
+        ends = _np.zeros((new_rows, new_width), dtype=_np.int64)
+        masks = _np.zeros_like(ends)
+        ends[: self._size, :old_width] = self._ends[: self._size]
+        masks[: self._size, :old_width] = self._masks[: self._size]
+        self._ends = ends
+        self._masks = masks
+
+    def append(self, ends: Sequence[int], masks: Sequence[int]) -> None:
+        """Append one mapping row (parallel end/bitmask sequences)."""
+        p = len(ends)
+        if p != len(masks):
+            raise SolverError(
+                f"row has {p} interval ends but {len(masks)} masks"
+            )
+        if self._size >= self._ends.shape[0] or p > self._ends.shape[1]:
+            self._grow(
+                rows=max(self._size + 1, 2 * self._ends.shape[0]),
+                width=p,
+            )
+        self._ends[self._size, :p] = ends
+        self._ends[self._size, p:] = 0
+        self._masks[self._size, :p] = masks
+        self._masks[self._size, p:] = 0
+        self._size += 1
+
+    def extend(
+        self, rows: Iterable[tuple[Sequence[int], Sequence[int]]]
+    ) -> None:
+        """Append many ``(ends, masks)`` rows in order."""
+        for ends, masks in rows:
+            self.append(ends, masks)
+
+    def build(self) -> MappingBlock:
+        """Freeze the appended rows into a :class:`MappingBlock`.
+
+        The returned block owns copies of the rows; the builder can keep
+        accepting appends afterwards without aliasing it.
+        """
+        return MappingBlock(
+            num_stages=self.num_stages,
+            num_processors=self.num_processors,
+            ends=self._ends[: self._size].copy(),
+            masks=self._masks[: self._size].copy(),
         )
 
 

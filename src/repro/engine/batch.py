@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -223,6 +224,7 @@ def _task_key(
 def _outcome_to_record(outcome: BatchOutcome) -> dict[str, Any]:
     return {
         "solver": outcome.solver,
+        "solver_version": get_solver(outcome.solver).version,
         "result": (
             solver_result_to_dict(outcome.result)
             if outcome.result is not None
@@ -254,6 +256,34 @@ def _outcome_from_record(
         attempts=record.get("attempts", 1),
         cached=True,
     )
+
+
+def _validated_record(
+    record: Mapping[str, Any] | None, task: BatchTask
+) -> Mapping[str, Any] | None:
+    """Reject a stored record whose solver version is stale.
+
+    The version is part of the store key, so fresh stores never collide
+    across versions — but a manually edited or migrated store can serve
+    an old-version record under a current key.  Such a record is treated
+    as a miss (the task re-solves and overwrites it) with a warning, so
+    stale results are never silently replayed.  Records predating the
+    version field (PR 2/3 stores) carry no version claim and pass
+    unchecked.
+    """
+    if record is None:
+        return None
+    stored = record.get("solver_version")
+    expected = get_solver(task.solver).version
+    if stored is not None and stored != expected:
+        warnings.warn(
+            f"store record for solver {task.solver!r} carries version "
+            f"{stored} but the registered solver is version {expected}; "
+            f"ignoring the stale entry and re-solving",
+            stacklevel=3,
+        )
+        return None
+    return record
 
 
 def _storable(outcome: BatchOutcome) -> bool:
@@ -344,6 +374,7 @@ def iter_batch(
             index, task, opts, _ = payload
             key = _task_key(task, opts)
             record = store.get(key) if key is not None else None
+            record = _validated_record(record, task)
             if record is not None:
                 ready[index] = _outcome_from_record(record, index, task)
             else:

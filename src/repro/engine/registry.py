@@ -390,6 +390,9 @@ _spec(
 )
 
 # heuristics for the NP-hard / open cases
+# v2: bulk candidate-pool scoring (use_bulk knob, PR 4) — results are
+# bit-identical to v1 but the accepted option surface changed, so stale
+# store entries must not mix with new ones
 _spec(
     name="single-interval-min-fp",
     func=heuristics.single_interval_minimize_fp,
@@ -397,6 +400,7 @@ _spec(
     exact=False,
     needs_threshold=True,
     description="best single-interval mapping under a latency bound",
+    version=2,
 )
 _spec(
     name="single-interval-min-latency",
@@ -405,6 +409,7 @@ _spec(
     exact=False,
     needs_threshold=True,
     description="best single-interval mapping under an FP bound",
+    version=2,
 )
 _spec(
     name="greedy-min-fp",
@@ -413,6 +418,7 @@ _spec(
     exact=False,
     needs_threshold=True,
     description="constructive split-and-replicate (latency bound)",
+    version=2,
 )
 _spec(
     name="greedy-min-latency",
@@ -421,6 +427,7 @@ _spec(
     exact=False,
     needs_threshold=True,
     description="constructive split-and-replicate (FP bound)",
+    version=2,
 )
 _spec(
     name="local-search-min-fp",
@@ -430,6 +437,7 @@ _spec(
     needs_threshold=True,
     seeded=True,
     description="multi-restart hill climbing (latency bound)",
+    version=2,
 )
 _spec(
     name="local-search-min-latency",
@@ -439,6 +447,7 @@ _spec(
     needs_threshold=True,
     seeded=True,
     description="multi-restart hill climbing (FP bound)",
+    version=2,
 )
 _spec(
     name="anneal-min-fp",
@@ -448,6 +457,7 @@ _spec(
     needs_threshold=True,
     seeded=True,
     description="simulated annealing (latency bound)",
+    version=2,
 )
 _spec(
     name="anneal-min-latency",
@@ -457,4 +467,5 @@ _spec(
     needs_threshold=True,
     seeded=True,
     description="simulated annealing (FP bound)",
+    version=2,
 )

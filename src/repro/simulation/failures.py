@@ -23,12 +23,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np  # noqa: F811
 
 from ..core.platform import Platform
 from ..exceptions import SimulationError
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise SimulationError(
+            "vectorised failure sampling requires numpy; install it or "
+            "use the scalar draw() path"
+        )
 
 __all__ = [
     "FailureScenario",
@@ -111,6 +125,7 @@ class BernoulliMissionModel:
         self, platform: Platform, trials: int, rng: np.random.Generator
     ) -> np.ndarray:
         """``(trials, m)`` survival draws in one vectorised shot."""
+        _require_numpy()
         fps = np.asarray(platform.failure_probabilities)
         return rng.random((trials, platform.size)) >= fps
 
@@ -158,6 +173,7 @@ class ExponentialLifetimeModel:
         self, platform: Platform, trials: int, rng: np.random.Generator
     ) -> np.ndarray:
         """Vectorised survival draws (lifetime >= mission)."""
+        _require_numpy()
         fps = np.asarray(platform.failure_probabilities)
         # survival probability is 1 - fp regardless of the hazard shape
         return rng.random((trials, platform.size)) >= fps

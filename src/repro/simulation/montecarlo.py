@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
-import numpy as np
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np  # noqa: F811
 
 from .failures import BernoulliMissionModel, FailureModel, FailureScenario
 from .pipeline import ElectionPolicy, realized_latency
@@ -27,6 +33,7 @@ from ..core.mapping import IntervalMapping
 from ..core.metrics import failure_probability
 from ..core.platform import Platform
 from ..core.validation import validate_mapping
+from ..exceptions import SimulationError
 
 __all__ = [
     "MonteCarloEstimate",
@@ -36,6 +43,14 @@ __all__ = [
     "empirical_vs_analytic_fp",
     "validate_batch_fp",
 ]
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise SimulationError(
+            "Monte-Carlo estimation requires numpy; install it to run "
+            "the vectorised validators"
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,7 @@ def estimate_failure_probability(
     (every interval keeps at least one live replica) and returns the
     failure frequency with its binomial standard error.
     """
+    _require_numpy()
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     rng = rng if rng is not None else np.random.default_rng()
@@ -133,6 +149,7 @@ def sample_latencies(
     (:func:`repro.core.metrics.latency` via the WORST_CASE replay) so
     callers can assert the bound ``max realised <= worst case``.
     """
+    _require_numpy()
     validate_mapping(mapping, application, platform)
     rng = rng if rng is not None else np.random.default_rng()
     model = model if model is not None else BernoulliMissionModel()
@@ -191,6 +208,7 @@ def validate_batch_fp(
     was sharded.  Failed outcomes and general-mapping results (whose FP
     is out of scope) are skipped — absent from the returned list.
     """
+    _require_numpy()
     reports: list[dict[str, float]] = []
     for outcome in outcomes:
         result = outcome.result

@@ -22,7 +22,7 @@ from repro.exceptions import InfeasibleProblemError, SolverError
 
 from tests.helpers import make_instance
 
-pytest.importorskip("numpy")
+pytest.importorskip("numpy", exc_type=ImportError)
 
 KINDS = ["comm-homogeneous", "fully-heterogeneous"]
 

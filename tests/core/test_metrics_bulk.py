@@ -45,7 +45,7 @@ from tests.strategies import (
     platforms,
 )
 
-np = pytest.importorskip("numpy")
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 def assert_bulk_matches_scalar(app, plat, mappings, *, one_port=True):

@@ -192,6 +192,7 @@ class TestFrontierIntegration:
 
 class TestMonteCarloCrossCheck:
     def test_validate_batch_fp_agrees_with_analytic(self):
+        pytest.importorskip("numpy", exc_type=ImportError)
         tasks = [
             engine.BatchTask(
                 "greedy-min-fp",

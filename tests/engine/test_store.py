@@ -245,3 +245,48 @@ class TestJSONStoreFlushing:
         store.put("b", {"v": 2})
         assert path.exists()  # threshold reached
         store.close()
+
+
+class TestSolverVersionGuard:
+    """A stale record (manual edit / migrated store) must never replay."""
+
+    def _cold_run(self, instance):
+        app, plat = instance
+        store = MemoryStore()
+        task = engine.BatchTask("greedy-min-fp", app, plat, threshold=200.0)
+        (outcome,) = engine.run_batch([task], store=store)
+        assert outcome.ok and not outcome.cached
+        (key,) = store.keys()
+        return store, task, key, outcome
+
+    def test_record_carries_registered_version(self, instance):
+        from repro.engine.registry import get_solver
+
+        store, _, key, _ = self._cold_run(instance)
+        record = store.get(key)
+        assert record["solver_version"] == get_solver("greedy-min-fp").version
+
+    def test_version_mismatch_warns_and_resolves(self, instance):
+        store, task, key, cold = self._cold_run(instance)
+        record = dict(store.get(key))
+        record["solver_version"] = 1  # simulate a stale entry
+        store.put(key, record)
+        with pytest.warns(UserWarning, match="version 1 but the registered"):
+            (again,) = engine.run_batch([task], store=store)
+        # the stale entry was ignored: re-solved, not served from cache
+        assert again.ok and not again.cached
+        assert again.result.mapping == cold.result.mapping
+        # and the store now holds the refreshed record
+        from repro.engine.registry import get_solver
+
+        assert store.get(key)["solver_version"] == get_solver(
+            "greedy-min-fp"
+        ).version
+
+    def test_legacy_record_without_version_still_served(self, instance):
+        store, task, key, _ = self._cold_run(instance)
+        record = dict(store.get(key))
+        del record["solver_version"]  # PR 2/3 stores predate the field
+        store.put(key, record)
+        (again,) = engine.run_batch([task], store=store)
+        assert again.ok and again.cached

@@ -3,8 +3,9 @@ Monte-Carlo (experiment E12's machinery, exercised as tests)."""
 
 import random as pyrandom
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.algorithms.heuristics import random_mapping
 from repro.core import failure_probability, latency

@@ -1,7 +1,8 @@
 """Monte-Carlo validation of the closed-form metrics (experiment E12)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.core import IntervalMapping, failure_probability
 from repro.simulation import (

@@ -114,7 +114,7 @@ class TestFirstSurvivorReplay:
     @pytest.mark.parametrize("seed", range(6))
     def test_bounded_by_worst_case(self, seed):
         """Realistic replay never exceeds the analytic worst case."""
-        import numpy as np
+        np = pytest.importorskip("numpy", exc_type=ImportError)
 
         from repro.algorithms.heuristics import random_mapping
         from repro.simulation import BernoulliMissionModel

@@ -45,6 +45,7 @@ class TestCommands:
         assert "SolverResult" in capsys.readouterr().out
 
     def test_simulate(self, capsys):
+        pytest.importorskip("numpy", exc_type=ImportError)
         assert (
             main(
                 [
@@ -63,6 +64,7 @@ class TestCommands:
         assert "mean latency" in out
 
     def test_simulate_round_robin(self, capsys):
+        pytest.importorskip("numpy", exc_type=ImportError)
         assert (
             main(
                 [
