@@ -29,6 +29,7 @@ from typing import Callable
 from ..result import SolverResult
 from .neighborhood import random_mapping, random_neighbor
 from .single_interval import single_interval_mappings
+from .warm import WarmStarts, decode_warm_starts
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
@@ -81,6 +82,7 @@ def _anneal(
     proposer: Callable[[IntervalMapping, random.Random], IntervalMapping]
     | None = None,
     trace: list[IntervalMapping] | None = None,
+    warm_starts: list[IntervalMapping] | None = None,
 ) -> IntervalMapping | None:
     """Anneal on ``energy``; return the best *feasible* state visited.
 
@@ -93,13 +95,18 @@ def _anneal(
     ``proposer`` overrides the neighbour draw (the pooled bulk sampler
     plugs in here; it must consume the rng exactly like
     :func:`random_neighbor`).  ``trace`` collects every accepted state.
+    ``warm_starts`` join the single-interval pool as known states: the
+    energy-best of the combined pool becomes the initial state, and each
+    is ``consider``-ed, so the returned result is never worse than any
+    feasible warm start.
     """
     warm = sorted(
         single_interval_mappings(application, platform), key=energy
     )
+    seeds = [*(warm_starts or []), *warm]
     current = (
-        warm[0]
-        if warm
+        min(seeds, key=energy)
+        if seeds
         else random_mapping(application.num_stages, platform.size, rng)
     )
     current_e = energy(current)
@@ -113,9 +120,9 @@ def _anneal(
         if rank is not None and (best_rank is None or rank < best_rank):
             best_feasible, best_rank = state, rank
 
-    # every single-interval candidate is a known state: the annealer can
-    # only improve on the best feasible one among them
-    for candidate in warm:
+    # every seed is a known state: the annealer can only improve on the
+    # best feasible one among them
+    for candidate in seeds:
         consider(candidate)
     consider(current)
     temperature = schedule.initial_temperature
@@ -157,13 +164,16 @@ def anneal_minimize_fp(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise FP subject to latency <= L'.
 
     ``use_bulk`` routes proposals through the cached candidate-pool
     sampler (``None`` = automatic when numpy is present); the walk and
     the result are identical either way.  Pass a list as ``trace`` to
-    collect every accepted state in order.
+    collect every accepted state in order.  ``warm_starts`` (mappings or
+    serialised dicts) join the initial candidate pool; the result is
+    never worse than any feasible warm start.
 
     Raises
     ------
@@ -200,6 +210,7 @@ def anneal_minimize_fp(
         rng,
         proposer=_make_proposer(use_bulk, platform),
         trace=trace,
+        warm_starts=decode_warm_starts(warm_starts),
     )
     if best is None:
         raise InfeasibleProblemError(
@@ -227,6 +238,7 @@ def anneal_minimize_latency(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise latency subject to FP <= bound'.
 
@@ -234,7 +246,8 @@ def anneal_minimize_latency(
     latency magnitude of the single-processor mapping: energies are in
     latency units here (unlike the FP query, where they live in [0, 1]),
     so a fixed sub-unit temperature would freeze the walk immediately.
-    ``use_bulk``/``trace`` behave as in :func:`anneal_minimize_fp`.
+    ``use_bulk``/``trace``/``warm_starts`` behave as in
+    :func:`anneal_minimize_fp`.
 
     Raises
     ------
@@ -280,6 +293,7 @@ def anneal_minimize_latency(
         rng,
         proposer=_make_proposer(use_bulk, platform),
         trace=trace,
+        warm_starts=decode_warm_starts(warm_starts),
     )
     if best is None:
         raise InfeasibleProblemError(

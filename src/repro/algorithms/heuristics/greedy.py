@@ -46,6 +46,7 @@ from ...core.metrics_bulk import (
 )
 from ...core.platform import Platform
 from ...exceptions import InfeasibleProblemError
+from .warm import WarmStarts, decode_warm_starts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -145,6 +146,32 @@ def _mapping(intervals: list[StageInterval], allocations: list[set[int]]) -> Int
     return IntervalMapping(intervals, [frozenset(a) for a in allocations])
 
 
+def _warm_results(
+    application: PipelineApplication,
+    platform: Platform,
+    warm_starts: WarmStarts | None,
+    solver: str,
+) -> list[SolverResult]:
+    """Warm starts evaluated as ready-made candidates.
+
+    The greedy procedure is constructive (there is no descent to seed),
+    so warm starts compete directly against the constructed mappings in
+    the final selection — which is exactly what makes the result never
+    worse than any feasible warm start.
+    """
+    return [
+        SolverResult(
+            mapping=mapping,
+            latency=latency(mapping, application, platform),
+            failure_probability=failure_probability(mapping, platform),
+            solver=solver,
+            optimal=False,
+            extras={"intervals": mapping.num_intervals, "seed": "warm_start"},
+        )
+        for mapping in decode_warm_starts(warm_starts)
+    ]
+
+
 def _bulk_trial_scores(
     evaluator: BulkEvaluator,
     application: PipelineApplication,
@@ -184,12 +211,15 @@ def greedy_minimize_fp(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise FP s.t. latency <= L'.
 
     ``use_bulk`` selects vectorized trial scoring (``None`` = automatic
     when numpy is present); the constructed mapping is identical either
-    way.
+    way.  ``warm_starts`` (mappings or serialised dicts) compete as
+    ready-made candidates in the final selection, so the result is never
+    worse than any feasible warm start.
 
     Raises
     ------
@@ -201,6 +231,16 @@ def greedy_minimize_fp(
     bulk = resolve_use_bulk(use_bulk)
     evaluator = BulkEvaluator(application, platform) if bulk else None
     best: SolverResult | None = None
+    for cand in _warm_results(
+        application, platform, warm_starts, "greedy-split-replicate-min-fp"
+    ):
+        if cand.latency > latency_threshold + slack:
+            continue
+        if best is None or (
+            (cand.failure_probability, cand.latency)
+            < (best.failure_probability, best.latency)
+        ):
+            best = cand
 
     for p in range(1, min(n, m) + 1):
         intervals = balanced_partition(application, p)
@@ -322,13 +362,14 @@ def greedy_minimize_latency(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise latency s.t. FP <= bound'.
 
     For each interval count the seed mapping is repaired towards
     feasibility by enrolling, at each step, the replica with the smallest
-    latency increase per unit of FP decrease.  ``use_bulk`` behaves as in
-    :func:`greedy_minimize_fp`.
+    latency increase per unit of FP decrease.  ``use_bulk`` and
+    ``warm_starts`` behave as in :func:`greedy_minimize_fp`.
 
     Raises
     ------
@@ -340,6 +381,16 @@ def greedy_minimize_latency(
     bulk = resolve_use_bulk(use_bulk)
     evaluator = BulkEvaluator(application, platform) if bulk else None
     best: SolverResult | None = None
+    for cand in _warm_results(
+        application, platform, warm_starts, "greedy-split-replicate-min-latency"
+    ):
+        if cand.failure_probability > fp_threshold + slack:
+            continue
+        if best is None or (
+            (cand.latency, cand.failure_probability)
+            < (best.latency, best.failure_probability)
+        ):
+            best = cand
 
     for p in range(1, min(n, m) + 1):
         intervals = balanced_partition(application, p)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable
 from ..result import SolverResult
 from .neighborhood import neighbor_rows, neighbors, random_mapping, row_mapping
 from .single_interval import single_interval_mappings
+from .warm import WarmStarts, decode_warm_starts
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
@@ -148,14 +149,18 @@ def _solve(
     seed: int | None,
     pool: _BulkNeighborhood | None,
     trace: list[IntervalMapping] | None,
+    warm_starts: list[IntervalMapping],
 ) -> tuple[IntervalMapping, _Rank, int]:
     rng = random.Random(seed)
-    # Deterministic warm starts: the best few single-interval candidates,
-    # then random restarts.
+    # Deterministic starts: caller-supplied warm starts first (sweep
+    # chaining seeds descents from the previous threshold's optimum —
+    # descent is monotone, so the result can never rank worse than any
+    # of them), then the best few single-interval candidates, then
+    # random restarts up to the restart budget.
     warm = sorted(
         single_interval_mappings(application, platform), key=rank
     )
-    starts: list[IntervalMapping] = warm[:3]
+    starts: list[IntervalMapping] = [*warm_starts, *warm[:3]]
     while len(starts) < max(restarts, 1):
         starts.append(
             random_mapping(application.num_stages, platform.size, rng)
@@ -186,6 +191,7 @@ def local_search_minimize_fp(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise FP subject to latency <= L'.
 
@@ -193,7 +199,10 @@ def local_search_minimize_fp(
     automatic when numpy is present); the accepted-move sequence and the
     result are identical either way.  Pass a list as ``trace`` to
     collect every accepted mapping in order (equivalence testing /
-    trajectory inspection).
+    trajectory inspection).  ``warm_starts`` (mappings or their
+    serialised dicts) seed extra descents ahead of the built-in starts;
+    the result never ranks worse than any supplied warm start (see
+    :mod:`repro.algorithms.heuristics.warm`).
 
     Raises
     ------
@@ -244,6 +253,7 @@ def local_search_minimize_fp(
         seed=seed,
         pool=pool,
         trace=trace,
+        warm_starts=decode_warm_starts(warm_starts),
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(
@@ -271,10 +281,12 @@ def local_search_minimize_latency(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
+    warm_starts: WarmStarts | None = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise latency subject to FP <= bound'.
 
-    ``use_bulk``/``trace`` behave as in :func:`local_search_minimize_fp`.
+    ``use_bulk``/``trace``/``warm_starts`` behave as in
+    :func:`local_search_minimize_fp`.
 
     Raises
     ------
@@ -319,6 +331,7 @@ def local_search_minimize_latency(
         seed=seed,
         pool=pool,
         trace=trace,
+        warm_starts=decode_warm_starts(warm_starts),
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(

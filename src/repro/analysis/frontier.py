@@ -103,87 +103,72 @@ def sweep_frontier(
     workers: int | None = None,
     seed: int | None = None,
     store: "ResultStore | None" = None,
+    warm_start: str = "off",
+    shared_cache: bool = True,
 ) -> list[BiCriteriaPoint]:
     """Heuristic frontier: sweep latency thresholds through a min-FP solver.
 
-    ``solver`` is either a callable ``(application, platform, threshold)
-    -> SolverResult`` or the name of a registered engine solver (see
-    :mod:`repro.engine.registry`); names additionally unlock parallel
-    sweeps — with ``workers`` the thresholds are sharded across
-    processes by the engine's batch executor, with results identical to
-    the serial sweep — and result reuse via a
-    :class:`~repro.engine.store.ResultStore` (``store``).  Thresholds
-    where the solver reports infeasibility are skipped.
+    A thin wrapper over the unified sweep engine
+    (:mod:`repro.engine.sweeps`).  ``solver`` is either a callable
+    ``(application, platform, threshold) -> SolverResult`` or the name
+    of a registered engine solver (see :mod:`repro.engine.registry`);
+    names additionally unlock parallel sweeps — with ``workers`` the
+    thresholds are sharded across processes by the engine's batch
+    executor, with results identical to the serial sweep — result reuse
+    via a :class:`~repro.engine.store.ResultStore` (``store``), the
+    shared evaluation-cache hand-off (``shared_cache``) and warm-start
+    chaining (``warm_start="chain"``; monotone grids, warm-startable
+    solvers).  Thresholds where the solver reports infeasibility are
+    skipped; duplicate grid points are solved once.
 
-    Exhaustive sweeps take a one-pass fast path: when the solver is the
-    exhaustive min-FP solver (by name or callable), numpy is available
-    and neither a store nor worker sharding is requested, the mapping
-    space is enumerated and bulk-evaluated **once** for the whole
-    threshold grid via
+    Exhaustive sweeps keep their one-pass fast path: when the solver is
+    the exhaustive min-FP solver (by name or callable), numpy is
+    available and neither a store nor worker sharding is requested, the
+    mapping space is enumerated and bulk-evaluated **once** for the
+    whole threshold grid via
     :func:`repro.algorithms.bicriteria.exhaustive_sweep_min_fp`, instead
     of once per threshold — per-threshold results are identical.
     """
+    from ..algorithms.bicriteria.exhaustive import exhaustive_minimize_fp
+
+    if solver is exhaustive_minimize_fp:
+        solver = "exhaustive-min-fp"
+    if isinstance(solver, str):
+        from ..engine.sweeps import SweepPlan, run_sweep
+
+        plan = SweepPlan.single(
+            application,
+            platform,
+            solver,
+            thresholds,
+            num_points=num_points,
+            warm_start=warm_start,
+        )
+        result = run_sweep(
+            plan,
+            workers=workers,
+            seed=seed,
+            store=store,
+            shared_cache=shared_cache,
+        )
+        return result.cells[0].frontier(strict=True)
+
+    if workers is not None and workers > 1:
+        raise ValueError(
+            "parallel sweeps need a registered solver name, not a "
+            "bare callable (the engine must be able to dispatch the "
+            "solver inside worker processes)"
+        )
     if thresholds is None:
         thresholds = latency_grid(
             application, platform, num_points=num_points
         )
-    results: list[SolverResult]
-    from ..algorithms.bicriteria.exhaustive import (
-        exhaustive_minimize_fp,
-        exhaustive_sweep_min_fp,
-    )
-    from ..core.metrics_bulk import HAS_NUMPY
-
-    if (
-        solver in ("exhaustive-min-fp", exhaustive_minimize_fp)
-        and store is None
-        and (workers is None or workers <= 1)
-        and HAS_NUMPY
-    ):
-        results = [
-            result
-            for result in exhaustive_sweep_min_fp(
-                application, platform, thresholds
-            )
-            if result is not None
-        ]
-    elif isinstance(solver, str):
-        from ..engine.batch import threshold_sweep
-        from ..engine.policy import ErrorKind
-
-        outcomes = threshold_sweep(
-            solver,
-            application,
-            platform,
-            thresholds,
-            workers=workers,
-            seed=seed,
-            store=store,
-        )
-        results = []
-        for outcome in outcomes:
-            if outcome.result is not None:
-                results.append(outcome.result)
-            elif outcome.error_kind is not ErrorKind.INFEASIBLE:
-                # match the serial path: only infeasibility is skipped;
-                # the structured kind survives exception renames and
-                # wrapping, unlike the old error-string prefix match
-                raise SolverError(
-                    f"sweep {outcome.tag} failed: {outcome.error}"
-                )
-    else:
-        if workers is not None and workers > 1:
-            raise ValueError(
-                "parallel sweeps need a registered solver name, not a "
-                "bare callable (the engine must be able to dispatch the "
-                "solver inside worker processes)"
-            )
-        results = []
-        for threshold in thresholds:
-            try:
-                results.append(solver(application, platform, threshold))
-            except InfeasibleProblemError:
-                continue
+    results: list[SolverResult] = []
+    for threshold in thresholds:
+        try:
+            results.append(solver(application, platform, threshold))
+        except InfeasibleProblemError:
+            continue
     points = [
         BiCriteriaPoint(
             result.latency, result.failure_probability, payload=result.mapping

@@ -17,9 +17,17 @@ Subcommands
     deterministic seeding) through the engine's solver registry; JSON or
     table output, or ``--stream`` for per-outcome lines as tasks finish.
     ``--store PATH`` reuses prior solves from a persistent result store
-    (``--no-store`` disables), ``--retries``/``--timeout``/``--backoff``
-    set the per-task fault policy.  ``--list-solvers`` dumps the
-    registry metadata.
+    (``--no-store`` disables, ``--store-max-records`` caps it with LRU
+    eviction), ``--retries``/``--timeout``/``--backoff`` set the
+    per-task fault policy.  ``--list-solvers`` dumps the registry
+    metadata.
+``sweep``
+    Run a declarative sweep spec (JSON file: instances × solvers ×
+    threshold grid, see :mod:`repro.engine.sweeps`) through the unified
+    sweep engine — duplicate dedup, shared evaluation caches,
+    ``--warm-start chain`` for warm-start chaining — and print each
+    cell's Pareto frontier.  ``--list-scenarios`` dumps the scenario
+    registry usable in specs.
 """
 
 from __future__ import annotations
@@ -145,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --store and always re-solve",
     )
     batch.add_argument(
+        "--store-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the result store at N records "
+        "(least-recently-used entries are evicted)",
+    )
+    batch.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -161,6 +177,62 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="base retry backoff in seconds, doubled per attempt",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative sweep spec through the sweep engine"
+    )
+    sweep.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        metavar="SPEC.json",
+        help="JSON sweep spec (instances x solvers x threshold grid)",
+    )
+    sweep.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario-generator registry and exit",
+    )
+    sweep.add_argument(
+        "--warm-start",
+        choices=["off", "chain"],
+        default=None,
+        help="override the spec's warm_start knob",
+    )
+    sweep.add_argument(
+        "--no-shared-cache",
+        action="store_true",
+        help="disable the shared evaluation-cache hand-off",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for non-chained grids (default: serial)",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent result store (.json file or SQLite database)",
+    )
+    sweep.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and always re-solve",
+    )
+    sweep.add_argument(
+        "--store-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the result store at N records "
+        "(least-recently-used entries are evicted)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
     )
     return parser
 
@@ -401,7 +473,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         store = None
         if args.store and not args.no_store:
-            store = open_store(args.store)
+            store = open_store(
+                args.store, max_records=args.store_max_records
+            )
     except (ReproError, ValueError, OSError) as exc:
         # bad policy values or an unreadable/incompatible store file are
         # usage errors, same as a malformed batch below
@@ -498,6 +572,172 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.reporting import format_table
+    from .engine import open_store
+    from .engine.policy import ErrorKind
+    from .engine.sweeps import SweepPlan, run_sweep
+    from .exceptions import ReproError
+    from .workloads.scenarios import SCENARIOS, scenario_names
+
+    if args.list_scenarios:
+        records = [
+            {
+                "name": name,
+                "description": next(
+                    iter((SCENARIOS[name].__doc__ or "").strip().splitlines()),
+                    "",
+                ),
+            }
+            for name in scenario_names()
+        ]
+        if args.json:
+            print(json.dumps(records, indent=2))
+        else:
+            print(
+                format_table(
+                    ("scenario", "description"),
+                    [(r["name"], r["description"]) for r in records],
+                )
+            )
+        return 0
+
+    if args.spec is None:
+        print("error: a SPEC.json file is required (or use --list-scenarios)")
+        return 2
+
+    try:
+        with open(args.spec, encoding="utf-8") as fh:
+            spec = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read sweep spec {args.spec!r}: {exc}")
+        return 2
+    if not isinstance(spec, dict):
+        print(
+            f"error: sweep spec {args.spec!r} must be a JSON object, "
+            f"got {type(spec).__name__}"
+        )
+        return 2
+    try:
+        if args.warm_start is not None:
+            spec = {**spec, "warm_start": args.warm_start}
+        plan = SweepPlan.from_spec(spec)
+        store = None
+        if args.store and not args.no_store:
+            store = open_store(
+                args.store, max_records=args.store_max_records
+            )
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        result = run_sweep(
+            plan,
+            workers=args.workers,
+            seed=args.seed,
+            store=store,
+            shared_cache=not args.no_shared_cache,
+        )
+    except ReproError as exc:
+        if store is not None:
+            store.close()
+        print(f"error: {exc}")
+        return 2
+
+    if args.json:
+        records = []
+        for cell in result.cells:
+            records.append(
+                {
+                    "instance": cell.instance_tag,
+                    "solver": cell.solver,
+                    "thresholds": list(cell.thresholds),
+                    "unique_thresholds": cell.unique_thresholds,
+                    "chained": cell.chained,
+                    "outcomes": [
+                        {
+                            "threshold": t,
+                            "ok": o.ok,
+                            "latency": o.result.latency if o.ok else None,
+                            "failure_probability": (
+                                o.result.failure_probability if o.ok else None
+                            ),
+                            "cached": o.cached,
+                            "error": o.error,
+                            "error_kind": (
+                                o.error_kind.value if o.error_kind else None
+                            ),
+                        }
+                        for t, o in zip(cell.thresholds, cell.outcomes)
+                    ],
+                    "frontier": [
+                        {
+                            "latency": p.latency,
+                            "failure_probability": p.failure_probability,
+                        }
+                        for p in cell.frontier(strict=False)
+                    ],
+                }
+            )
+        print(json.dumps(records, indent=2))
+    else:
+        for cell in result.cells:
+            solved = sum(1 for o in cell.outcomes if o.ok)
+            chained = " [chained]" if cell.chained else ""
+            print(
+                f"{cell.instance_tag} x {cell.solver}: "
+                f"{solved}/{len(cell.outcomes)} feasible "
+                f"({cell.unique_thresholds} unique point(s)){chained}"
+            )
+            # a crashed/misconfigured solver must never read as merely
+            # "infeasible": print each distinct non-infeasible failure
+            errors = {}
+            for o in cell.outcomes:
+                if o.result is None and o.error_kind is not ErrorKind.INFEASIBLE:
+                    errors.setdefault(o.error, []).append(o.tag)
+            for message, tags in errors.items():
+                kind = next(
+                    o.error_kind.value
+                    for o in cell.outcomes
+                    if o.error == message and o.error_kind
+                )
+                print(
+                    f"  {kind} at {len(tags)} point(s) "
+                    f"(first: {tags[0]}): {message}"
+                )
+            rows = [
+                (f"{p.latency:.6g}", f"{p.failure_probability:.6g}")
+                for p in cell.frontier(strict=False)
+            ]
+            print(format_table(("latency", "failure-prob"), rows))
+            print()
+    if store is not None:
+        stats = store.stats
+        print(
+            f"store: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.writes} write(s), {stats.evictions} eviction(s) "
+            f"({stats.hit_rate:.0%} hit rate)",
+            file=sys.stderr,
+        )
+        store.close()
+    failures = [
+        o
+        for cell in result.cells
+        for o in cell.outcomes
+        if o.result is None
+    ]
+    total = sum(len(cell.outcomes) for cell in result.cells)
+    if total and len(failures) == total:
+        return 1  # every grid point failed
+    if any(
+        o.error_kind is not ErrorKind.INFEASIBLE for o in failures
+    ):
+        return 1  # a solver crashed/misfired somewhere: not a clean sweep
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -512,6 +752,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

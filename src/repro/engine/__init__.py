@@ -16,7 +16,13 @@ parallel, fault-isolated solving service:
   failed outcome, never an aborted batch);
 * :mod:`repro.engine.store` — persistent result store (JSON or SQLite)
   keyed by a canonical instance hash, so repeated experiment grids
-  reuse prior solves instead of recomputing them.
+  reuse prior solves instead of recomputing them, with LRU record caps
+  (``max_records``/``prune``);
+* :mod:`repro.engine.sweeps` — the unified sweep engine: declarative
+  :class:`SweepPlan`\\ s (instances × solvers × threshold grids, JSON
+  spec round-trip, scenario-generator references) executed with
+  duplicate dedup, a shared evaluation-cache hand-off (serial *and*
+  cross-process) and warm-start chaining for the heuristics.
 
 Quickstart::
 
@@ -66,6 +72,14 @@ from .store import (
     instance_key,
     open_store,
 )
+from .sweeps import (
+    SweepCell,
+    SweepInstance,
+    SweepPlan,
+    SweepResult,
+    SweepSolver,
+    run_sweep,
+)
 
 __all__ = [
     "Objective",
@@ -91,4 +105,10 @@ __all__ = [
     "StoreStats",
     "instance_key",
     "open_store",
+    "SweepInstance",
+    "SweepSolver",
+    "SweepPlan",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -310,6 +310,8 @@ def iter_batch(
     store: ResultStore | None = None,
     chunksize: int | None = 1,
     in_order: bool = True,
+    initializer: Any = None,
+    initargs: tuple = (),
 ) -> Iterator[BatchOutcome]:
     """Execute a batch, yielding outcomes as tasks complete.
 
@@ -349,6 +351,12 @@ def iter_batch(
         True (default) buffers out-of-order completions and yields in
         task order; False yields in completion order (each outcome still
         carries its ``index``).
+    initializer / initargs:
+        Run once in every *worker process* before it takes tasks
+        (forwarded to ``multiprocessing.Pool``).  The sweep engine uses
+        this to ship a pre-computed evaluation-cache snapshot to
+        workers; serial runs skip it (the parent's process state is
+        already live).
 
     Raises
     ------
@@ -413,7 +421,9 @@ def iter_batch(
         # full task count would lump a mostly-warm batch's few misses
         # into one worker's chunk
         chunksize = max(1, len(misses) // workers)
-    with multiprocessing.Pool(processes=workers) as pool:
+    with multiprocessing.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         completions = pool.imap_unordered(
             _execute, misses, chunksize=max(1, chunksize)
         )
@@ -442,14 +452,16 @@ def run_batch(
     policy: BatchPolicy | None = None,
     store: ResultStore | None = None,
     chunksize: int | None = None,
+    initializer: Any = None,
+    initargs: tuple = (),
 ) -> list[BatchOutcome]:
     """Execute a batch of solver tasks, returning outcomes in task order.
 
     A convenience wrapper over :func:`iter_batch` (which see for the
-    ``policy``/``store`` semantics): the whole batch is drained into a
-    list.  ``chunksize`` defaults to an even split of the dispatched
-    tasks across workers — better dispatch amortisation than the
-    streaming default, identical results.
+    ``policy``/``store``/``initializer`` semantics): the whole batch is
+    drained into a list.  ``chunksize`` defaults to an even split of the
+    dispatched tasks across workers — better dispatch amortisation than
+    the streaming default, identical results.
     """
     return list(
         iter_batch(
@@ -460,6 +472,8 @@ def run_batch(
             store=store,
             chunksize=chunksize,
             in_order=True,
+            initializer=initializer,
+            initargs=initargs,
         )
     )
 
@@ -475,26 +489,42 @@ def threshold_sweep(
     policy: BatchPolicy | None = None,
     store: ResultStore | None = None,
     opts: Mapping[str, Any] | None = None,
+    warm_start: str = "off",
+    shared_cache: bool = True,
 ) -> list[BatchOutcome]:
     """Run one threshold query per value over a single instance.
 
-    The bread-and-butter frontier workload: outcomes are returned in
-    threshold order, infeasible thresholds showing up as failed
-    outcomes rather than aborting the sweep.  With a ``store``,
-    re-running a sweep over a previously solved grid performs zero new
-    solver invocations.
+    The bread-and-butter frontier workload, now a thin wrapper over the
+    sweep engine (:mod:`repro.engine.sweeps`): outcomes are returned in
+    threshold order, infeasible thresholds showing up as failed outcomes
+    rather than aborting the sweep.  Duplicate thresholds are solved
+    once and fanned back out to every grid position; adjacent points
+    share pre-computed evaluation terms (``shared_cache``); and
+    ``warm_start="chain"`` chains the accepted mapping of each point
+    into the next solve on monotone grids (warm-startable solvers
+    only).  With a ``store``, re-running a sweep over a previously
+    solved grid performs zero new solver invocations.
     """
-    tasks = [
-        BatchTask(
-            solver=solver,
-            application=application,
-            platform=platform,
-            threshold=float(t),
-            opts=dict(opts or {}),
-            tag=f"threshold={t:g}",
-        )
-        for t in thresholds
-    ]
-    return run_batch(
-        tasks, workers=workers, seed=seed, policy=policy, store=store
+    from .sweeps import SweepPlan, run_sweep
+
+    plan = SweepPlan.single(
+        application,
+        platform,
+        solver,
+        thresholds,
+        opts=opts,
+        warm_start=warm_start,
+        # keep historic threshold_sweep behaviour: every point is a real
+        # batch task with honest per-task elapsed/cached metadata (the
+        # enumerate-once fast path lives in sweep_frontier's plans)
+        one_pass_exhaustive=False,
     )
+    result = run_sweep(
+        plan,
+        workers=workers,
+        seed=seed,
+        policy=policy,
+        store=store,
+        shared_cache=shared_cache,
+    )
+    return list(result.cells[0].outcomes)

@@ -86,6 +86,11 @@ class SolverSpec:
         True when the solver accepts a ``seed`` keyword (randomised
         heuristics); the batch executor uses this to derive
         deterministic per-task seeds.
+    warm_startable:
+        True when the solver accepts a ``warm_starts`` keyword
+        (candidate mappings it is guaranteed to match or beat); the
+        sweep engine uses this to chain threshold grids
+        (:mod:`repro.engine.sweeps`).
     platforms:
         Platform classes the solver accepts.
     requires_failure_homogeneous:
@@ -106,6 +111,7 @@ class SolverSpec:
     exact: bool
     needs_threshold: bool
     seeded: bool = False
+    warm_startable: bool = False
     platforms: frozenset[PlatformClass] = _ALL
     requires_failure_homogeneous: bool = False
     description: str = ""
@@ -393,6 +399,8 @@ _spec(
 # v2: bulk candidate-pool scoring (use_bulk knob, PR 4) — results are
 # bit-identical to v1 but the accepted option surface changed, so stale
 # store entries must not mix with new ones
+# v3 (greedy/local-search/anneal): warm_starts option (sweep chaining,
+# PR 5) — defaults unchanged, but the option surface changed again
 _spec(
     name="single-interval-min-fp",
     func=heuristics.single_interval_minimize_fp,
@@ -417,8 +425,9 @@ _spec(
     objective=Objective.MIN_FP,
     exact=False,
     needs_threshold=True,
+    warm_startable=True,
     description="constructive split-and-replicate (latency bound)",
-    version=2,
+    version=3,
 )
 _spec(
     name="greedy-min-latency",
@@ -426,8 +435,9 @@ _spec(
     objective=Objective.MIN_LATENCY,
     exact=False,
     needs_threshold=True,
+    warm_startable=True,
     description="constructive split-and-replicate (FP bound)",
-    version=2,
+    version=3,
 )
 _spec(
     name="local-search-min-fp",
@@ -436,8 +446,9 @@ _spec(
     exact=False,
     needs_threshold=True,
     seeded=True,
+    warm_startable=True,
     description="multi-restart hill climbing (latency bound)",
-    version=2,
+    version=3,
 )
 _spec(
     name="local-search-min-latency",
@@ -446,8 +457,9 @@ _spec(
     exact=False,
     needs_threshold=True,
     seeded=True,
+    warm_startable=True,
     description="multi-restart hill climbing (FP bound)",
-    version=2,
+    version=3,
 )
 _spec(
     name="anneal-min-fp",
@@ -456,8 +468,9 @@ _spec(
     exact=False,
     needs_threshold=True,
     seeded=True,
+    warm_startable=True,
     description="simulated annealing (latency bound)",
-    version=2,
+    version=3,
 )
 _spec(
     name="anneal-min-latency",
@@ -466,6 +479,7 @@ _spec(
     exact=False,
     needs_threshold=True,
     seeded=True,
+    warm_startable=True,
     description="simulated annealing (FP bound)",
-    version=2,
+    version=3,
 )

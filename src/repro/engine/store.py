@@ -15,6 +15,14 @@ for those solves:
   (human-inspectable, good for small corpora) and SQLite (concurrent-
   reader friendly, good for large grids) — all with hit/miss/write
   statistics.
+* **eviction/GC** — every backend takes a ``max_records`` cap enforced
+  with least-recently-used pruning (while capped, a hit refreshes a
+  record's recency; uncapped lookups stay read-only), plus an explicit
+  :meth:`ResultStore.prune` API for one-off garbage collection of an
+  uncapped store (write-order eviction there); evictions are counted
+  in :class:`StoreStats`.  Recency survives reopening for the
+  persistent backends (JSON keeps dict order, SQLite keeps an indexed
+  ``seq`` column).
 * :func:`open_store` — backend selection by path (``:memory:``,
   ``*.json``, anything else → SQLite).
 
@@ -89,11 +97,12 @@ def instance_key(
 
 @dataclass
 class StoreStats:
-    """Hit/miss/write counters for one store lifetime."""
+    """Hit/miss/write/eviction counters for one store lifetime."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -109,6 +118,7 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -117,26 +127,70 @@ class StoreStats:
 class ResultStore:
     """Base class: stat-keeping wrapper over a key -> record mapping.
 
-    Subclasses implement ``_get``/``_put``/``_keys``/``close``; records
-    are JSON-compatible dicts.  Stores are context managers (``close``
-    on exit).
+    Subclasses implement ``_get``/``_put``/``_keys``/``_touch``/
+    ``_delete``/``_lru_keys``/``close``; records are JSON-compatible
+    dicts.  Stores are context managers (``close`` on exit).
+
+    ``max_records`` caps the record count: every :meth:`put` that grows
+    the store past the cap evicts the least-recently-*used* records (a
+    hit counts as use) until the cap holds again.  ``None`` (default)
+    means unbounded, with :meth:`prune` available for explicit GC.
     """
 
+    max_records: int | None = None
     stats: StoreStats = field(default_factory=StoreStats, init=False)
 
+    def __post_init__(self) -> None:
+        if self.max_records is not None and self.max_records < 1:
+            raise ReproError(
+                f"max_records must be >= 1, got {self.max_records}"
+            )
+
     def get(self, key: str) -> dict[str, Any] | None:
-        """Record for ``key`` (counting a hit) or None (a miss)."""
+        """Record for ``key`` (counting a hit) or None (a miss).
+
+        With a cap set, a hit also refreshes the record's recency.
+        Uncapped stores skip the touch: lookups stay read-only (no
+        write transactions on the SQLite hot path), and :meth:`prune`
+        then evicts by write order instead of use order.
+        """
         record = self._get(key)
         if record is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+            if self.max_records is not None:
+                self._touch(key)
         return record
 
     def put(self, key: str, record: Mapping[str, Any]) -> None:
-        """Insert/overwrite the record for ``key``."""
+        """Insert/overwrite the record for ``key`` (enforcing the cap)."""
         self._put(key, dict(record))
         self.stats.writes += 1
+        if self.max_records is not None:
+            self.prune()
+
+    def prune(self, max_records: int | None = None) -> int:
+        """Evict least-recently-used records beyond the cap.
+
+        ``max_records`` overrides the store's configured cap for this
+        call (explicit GC of an uncapped store — which tracks no use
+        recency, so eviction there falls back to write order); with
+        neither set this is a no-op.  Returns the number of evicted
+        records.
+        """
+        limit = self.max_records if max_records is None else max_records
+        if limit is None:
+            return 0
+        if limit < 0:
+            raise ReproError(f"prune limit must be >= 0, got {limit}")
+        excess = len(self) - limit
+        if excess <= 0:
+            return 0
+        for key in list(self._lru_keys())[:excess]:
+            self._delete(key)
+        self.stats.evictions += excess
+        return excess
 
     def __contains__(self, key: str) -> bool:
         return self._get(key) is not None
@@ -166,22 +220,50 @@ class ResultStore:
     def _keys(self) -> Iterator[str]:
         raise NotImplementedError
 
+    def _touch(self, key: str) -> None:
+        """Refresh ``key``'s recency (called on every hit)."""
+        raise NotImplementedError
+
+    def _delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def _lru_keys(self) -> Iterator[str]:
+        """Keys in least-recently-used-first order."""
+        raise NotImplementedError
+
 
 class MemoryStore(ResultStore):
-    """Process-local store (tests, one-shot scripts)."""
+    """Process-local store (tests, one-shot scripts).
 
-    def __init__(self) -> None:
-        super().__init__()
+    Dict insertion order doubles as the recency order: hits and
+    overwrites move the key to the back, evictions pop from the front.
+    """
+
+    def __init__(self, *, max_records: int | None = None) -> None:
+        super().__init__(max_records)
         self._data: dict[str, dict[str, Any]] = {}
 
     def _get(self, key: str) -> dict[str, Any] | None:
         return self._data.get(key)
 
     def _put(self, key: str, record: dict[str, Any]) -> None:
+        self._data.pop(key, None)  # re-insert so overwrite refreshes recency
         self._data[key] = record
 
     def _keys(self) -> Iterator[str]:
         return iter(list(self._data))
+
+    def _touch(self, key: str) -> None:
+        self._data[key] = self._data.pop(key)
+
+    def _delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def _lru_keys(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class JSONStore(ResultStore):
@@ -196,12 +278,17 @@ class JSONStore(ResultStore):
     """
 
     def __init__(
-        self, path: str | os.PathLike[str], *, flush_every: int = 32
+        self,
+        path: str | os.PathLike[str],
+        *,
+        flush_every: int = 32,
+        max_records: int | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(max_records)
         self.path = os.fspath(path)
         self._flush_every = max(1, flush_every)
         self._pending = 0
+        self._dirty = False
         self._data: dict[str, dict[str, Any]] = {}
         if os.path.exists(self.path):
             with open(self.path, encoding="utf-8") as fh:
@@ -212,11 +299,15 @@ class JSONStore(ResultStore):
                     f"{payload.get('schema')!r}"
                 )
             self._data = payload["records"]
+        # a freshly applied (or tightened) cap prunes the loaded records
+        if self.max_records is not None and len(self._data) > self.max_records:
+            self.prune()
 
     def _get(self, key: str) -> dict[str, Any] | None:
         return self._data.get(key)
 
     def _put(self, key: str, record: dict[str, Any]) -> None:
+        self._data.pop(key, None)  # re-insert so overwrite refreshes recency
         self._data[key] = record
         self._pending += 1
         if self._pending >= self._flush_every:
@@ -225,13 +316,30 @@ class JSONStore(ResultStore):
     def _keys(self) -> Iterator[str]:
         return iter(list(self._data))
 
+    def _touch(self, key: str) -> None:
+        # recency-only change: reorder now, persist with the next flush
+        # (or at close) instead of rewriting the file per lookup
+        self._data[key] = self._data.pop(key)
+        self._dirty = True
+
+    def _delete(self, key: str) -> None:
+        self._data.pop(key, None)
+        self._dirty = True
+
+    def _lru_keys(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
     def close(self) -> None:
-        if self._pending:
+        if self._pending or self._dirty:
             self.flush()
 
     def flush(self) -> None:
         """Atomically rewrite the backing file with the current records."""
         self._pending = 0
+        self._dirty = False
         payload = {"schema": _STORE_SCHEMA, "records": self._data}
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp = tempfile.mkstemp(
@@ -239,7 +347,10 @@ class JSONStore(ResultStore):
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
+                # no sort_keys: the records map's insertion order *is*
+                # the LRU order, and must survive a reopen for the cap
+                # to evict the genuinely oldest entries
+                json.dump(payload, fh, indent=1)
             os.replace(tmp, self.path)
         except BaseException:  # pragma: no cover - crash-safety path
             if os.path.exists(tmp):
@@ -248,19 +359,49 @@ class JSONStore(ResultStore):
 
 
 class SQLiteStore(ResultStore):
-    """SQLite-backed store (scales to large grids, concurrent readers)."""
+    """SQLite-backed store (scales to large grids, concurrent readers).
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
-        super().__init__()
+    Recency lives in a monotonically increasing ``seq`` column (bumped
+    on every put *and* hit), so LRU eviction order survives reopening.
+    Pre-eviction databases without the column are migrated in place.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        max_records: int | None = None,
+    ) -> None:
+        super().__init__(max_records)
         self.path = os.fspath(path)
         self._conn = sqlite3.connect(self.path)
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " key TEXT PRIMARY KEY,"
             " schema INTEGER NOT NULL,"
-            " record TEXT NOT NULL)"
+            " record TEXT NOT NULL,"
+            " seq INTEGER NOT NULL DEFAULT 0)"
+        )
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "seq" not in columns:  # pre-eviction database: migrate in place
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN seq INTEGER NOT NULL DEFAULT 0"
+            )
+        # MAX(seq) runs on every put (and every hit when capped); the
+        # index keeps that O(log n) instead of a table scan
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS results_seq ON results (seq)"
         )
         self._conn.commit()
+        if self.max_records is not None and len(self) > self.max_records:
+            self.prune()
+
+    def _next_seq(self) -> int:
+        row = self._conn.execute("SELECT MAX(seq) FROM results").fetchone()
+        return (row[0] or 0) + 1
 
     def _get(self, key: str) -> dict[str, Any] | None:
         row = self._conn.execute(
@@ -275,9 +416,14 @@ class SQLiteStore(ResultStore):
 
     def _put(self, key: str, record: dict[str, Any]) -> None:
         self._conn.execute(
-            "INSERT OR REPLACE INTO results (key, schema, record) "
-            "VALUES (?, ?, ?)",
-            (key, _STORE_SCHEMA, json.dumps(record, sort_keys=True)),
+            "INSERT OR REPLACE INTO results (key, schema, record, seq) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                key,
+                _STORE_SCHEMA,
+                json.dumps(record, sort_keys=True),
+                self._next_seq(),
+            ),
         )
         self._conn.commit()
 
@@ -287,19 +433,45 @@ class SQLiteStore(ResultStore):
             for row in self._conn.execute("SELECT key FROM results").fetchall()
         )
 
+    def _touch(self, key: str) -> None:
+        self._conn.execute(
+            "UPDATE results SET seq = ? WHERE key = ?",
+            (self._next_seq(), key),
+        )
+        self._conn.commit()
+
+    def _delete(self, key: str) -> None:
+        self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def _lru_keys(self) -> Iterator[str]:
+        return (
+            row[0]
+            for row in self._conn.execute(
+                "SELECT key FROM results ORDER BY seq ASC, key ASC"
+            ).fetchall()
+        )
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
     def close(self) -> None:
         self._conn.close()
 
 
-def open_store(path: str | os.PathLike[str]) -> ResultStore:
+def open_store(
+    path: str | os.PathLike[str], *, max_records: int | None = None
+) -> ResultStore:
     """Open a result store by path.
 
     ``":memory:"`` → :class:`MemoryStore`; a ``.json`` suffix →
     :class:`JSONStore`; anything else → :class:`SQLiteStore`.
+    ``max_records`` applies the LRU record cap to whichever backend is
+    selected.
     """
     spec = os.fspath(path)
     if spec == ":memory:":
-        return MemoryStore()
+        return MemoryStore(max_records=max_records)
     if spec.endswith(".json"):
-        return JSONStore(spec)
-    return SQLiteStore(spec)
+        return JSONStore(spec, max_records=max_records)
+    return SQLiteStore(spec, max_records=max_records)

@@ -1,0 +1,735 @@
+"""Unified sweep engine: every grid experiment behind one front door.
+
+The paper's central experiments are *threshold sweeps* — solve one
+(application, platform) instance across a grid of latency/reliability
+thresholds to trace a Pareto frontier.  Before this module the sweep
+logic was scattered (``analysis.frontier.sweep_frontier``,
+``engine.batch.threshold_sweep``, the exhaustive one-pass fast path),
+each with its own caching story and no reuse between adjacent grid
+points.  Here a sweep is *declarative*:
+
+* :class:`SweepPlan` — instances × solvers × threshold grid, built
+  programmatically or from a JSON/dict spec (:meth:`SweepPlan.from_spec`);
+  instances can reference the named scenario generators of
+  :mod:`repro.workloads.scenarios`;
+* :func:`run_sweep` — compiles the plan into batch tasks and executes
+  them through the engine (:func:`repro.engine.batch.run_batch`), so
+  worker sharding, fault isolation, retry/timeout policies and the
+  persistent result store all apply unchanged.
+
+On top of plain batching the sweep engine adds three grid-level
+optimisations — dedup and the cache hand-off are bit-identical to the
+naive sweep; warm-start chaining may return *different* (never worse
+than its seeds, possibly better) results and is therefore opt-in:
+
+* **duplicate-threshold dedup** — equal grid points are solved once and
+  fanned back out to every original position (previously each duplicate
+  re-solved the same query);
+* **shared evaluation-cache hand-off** — the per-interval terms of
+  :class:`repro.core.metrics.EvaluationCache` are pre-computed once for
+  the sweep's candidate pool and *shared*: serial sweeps reuse one live
+  term set across every grid point (via
+  :func:`repro.core.metrics.install_shared_terms`), parallel sweeps ship
+  a read-only snapshot to every pool worker through the pool
+  initializer, so workers no longer rebuild their caches from nothing.
+  Preloaded terms are exactly the values a cold cache would compute, so
+  results are bit-identical;
+* **warm-start chaining** (``warm_start="chain"``) — on a monotone grid
+  (detected automatically) the accepted mapping at threshold ``t_i``
+  seeds the warm-startable heuristics at ``t_{i+1}``
+  (:mod:`repro.algorithms.heuristics.warm`).  Each chained solve is
+  provably never worse than its seed evaluated at the new threshold, so
+  on a loosening grid the chained frontier weakly dominates the chain of
+  seeds; with reduced per-point effort (``chain_opts``) this is what
+  makes dense heuristic grids cheap (bench E22).  Chaining is inherently
+  sequential, so it runs in-process; non-monotone grids and
+  non-warm-startable solvers fall back to the batched path.
+
+``analysis.frontier.sweep_frontier`` and
+``engine.batch.threshold_sweep`` are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..core.application import PipelineApplication
+from ..core.metrics import (
+    EvaluationCache,
+    export_shared_terms,
+    install_shared_terms,
+    instance_token,
+    shared_cache_terms,
+)
+from ..core.pareto import BiCriteriaPoint, pareto_front
+from ..core.platform import Platform
+from ..core.serialization import (
+    application_from_dict,
+    application_to_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+)
+from ..exceptions import ReproError, SolverError
+from .batch import BatchOutcome, BatchTask, run_batch
+from .policy import BatchPolicy, ErrorKind
+from .registry import Objective, SolverSpec, get_solver
+from .store import ResultStore
+
+__all__ = [
+    "SweepInstance",
+    "SweepSolver",
+    "SweepPlan",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "warm_pool_terms",
+]
+
+#: effort reductions applied to chained (non-first) grid points when the
+#: solver entry does not specify its own ``chain_opts``: a solver seeded
+#: with the previous optimum does not need its full cold restart budget
+_DEFAULT_CHAIN_OPTS: dict[str, dict[str, Any]] = {
+    "local-search-min-fp": {"restarts": 2},
+    "local-search-min-latency": {"restarts": 2},
+}
+
+
+# ----------------------------------------------------------------------
+# plan model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepInstance:
+    """One (application, platform) pair inside a plan.
+
+    ``scenario`` records the ``(name, seed, params)`` provenance when
+    the instance came from a scenario generator, so
+    :meth:`SweepPlan.to_spec` can round-trip the compact form instead of
+    the serialised arrays.
+    """
+
+    application: PipelineApplication
+    platform: Platform
+    tag: str = ""
+    scenario: Mapping[str, Any] | None = field(default=None, compare=False)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any], index: int) -> "SweepInstance":
+        if not isinstance(spec, Mapping):
+            raise ReproError(
+                f"sweep instance {index} must be an object, "
+                f"got {type(spec).__name__}"
+            )
+        if "scenario" in spec:
+            from ..workloads.scenarios import make_scenario
+
+            name = spec["scenario"]
+            seed = spec.get("seed")
+            params = dict(spec.get("params", {}))
+            application, platform = make_scenario(
+                name, seed=seed, params=params
+            )
+            tag = spec.get("tag") or f"{name}[seed={seed}]"
+            return cls(
+                application,
+                platform,
+                tag=tag,
+                scenario={"scenario": name, "seed": seed, "params": params},
+            )
+        if "application" in spec and "platform" in spec:
+            return cls(
+                application_from_dict(spec["application"]),
+                platform_from_dict(spec["platform"]),
+                tag=spec.get("tag") or f"instance-{index}",
+            )
+        raise ReproError(
+            "a sweep instance spec needs either a 'scenario' name or an "
+            "inline 'application' + 'platform'"
+        )
+
+    def to_spec(self) -> dict[str, Any]:
+        if self.scenario is not None:
+            return {"tag": self.tag, **dict(self.scenario)}
+        return {
+            "tag": self.tag,
+            "application": application_to_dict(self.application),
+            "platform": platform_to_dict(self.platform),
+        }
+
+
+@dataclass(frozen=True)
+class SweepSolver:
+    """One solver entry: registry name, base options, chain overrides.
+
+    ``chain_opts`` (merged over ``opts`` on every chained, i.e.
+    non-first, grid point) is where warm-start sweeps dial the per-point
+    effort down; ``None`` picks the per-solver defaults
+    (``_DEFAULT_CHAIN_OPTS``), ``{}`` disables any reduction.
+    """
+
+    name: str
+    opts: Mapping[str, Any] = field(default_factory=dict)
+    chain_opts: Mapping[str, Any] | None = None
+
+    @classmethod
+    def from_spec(
+        cls, spec: "str | Mapping[str, Any]"
+    ) -> "SweepSolver":
+        if isinstance(spec, str):
+            return cls(name=spec)
+        if not isinstance(spec, Mapping) or "name" not in spec:
+            raise ReproError(
+                "a sweep solver entry must be a registry name or an "
+                "object with a 'name'"
+            )
+        return cls(
+            name=spec["name"],
+            opts=dict(spec.get("opts", {})),
+            chain_opts=(
+                dict(spec["chain_opts"]) if "chain_opts" in spec else None
+            ),
+        )
+
+    def to_spec(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "opts": dict(self.opts)}
+        if self.chain_opts is not None:
+            out["chain_opts"] = dict(self.chain_opts)
+        return out
+
+    def effective_chain_opts(self) -> dict[str, Any]:
+        if self.chain_opts is not None:
+            return dict(self.chain_opts)
+        return dict(_DEFAULT_CHAIN_OPTS.get(self.name, {}))
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A declarative grid experiment: instances × solvers × thresholds.
+
+    ``thresholds`` applies to every instance; ``None`` derives a
+    per-instance latency grid
+    (:func:`repro.analysis.frontier.latency_grid` with ``num_points``),
+    which is only meaningful for latency-bounded (``MIN_FP``) solvers.
+    ``warm_start`` is the chaining knob (``"off"`` | ``"chain"``);
+    ``one_pass_exhaustive`` lets exhaustive min-FP sweeps answer the
+    whole grid from a single enumeration pass when no store/worker
+    sharding is involved.
+    """
+
+    instances: tuple[SweepInstance, ...]
+    solvers: tuple[SweepSolver, ...]
+    thresholds: tuple[float, ...] | None = None
+    num_points: int = 20
+    warm_start: str = "off"
+    one_pass_exhaustive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ReproError("a sweep plan needs at least one instance")
+        if not self.solvers:
+            raise ReproError("a sweep plan needs at least one solver")
+        if self.warm_start not in ("off", "chain"):
+            raise ReproError(
+                f"warm_start must be 'off' or 'chain', got {self.warm_start!r}"
+            )
+        for solver in self.solvers:
+            spec = get_solver(solver.name)  # raises on unknown names
+            if not spec.needs_threshold:
+                raise ReproError(
+                    f"solver {solver.name!r} takes no threshold and cannot "
+                    "be swept"
+                )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        application: PipelineApplication,
+        platform: Platform,
+        solver: str,
+        thresholds: Sequence[float] | None = None,
+        *,
+        opts: Mapping[str, Any] | None = None,
+        chain_opts: Mapping[str, Any] | None = None,
+        num_points: int = 20,
+        warm_start: str = "off",
+        one_pass_exhaustive: bool = True,
+        tag: str = "instance-0",
+    ) -> "SweepPlan":
+        """One instance, one solver — the classic threshold sweep."""
+        return cls(
+            instances=(SweepInstance(application, platform, tag=tag),),
+            solvers=(
+                SweepSolver(
+                    name=solver, opts=dict(opts or {}), chain_opts=chain_opts
+                ),
+            ),
+            thresholds=(
+                tuple(float(t) for t in thresholds)
+                if thresholds is not None
+                else None
+            ),
+            num_points=num_points,
+            warm_start=warm_start,
+            one_pass_exhaustive=one_pass_exhaustive,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "SweepPlan":
+        """Build a plan from its JSON/dict form (see module docstring)."""
+        if not isinstance(spec, Mapping):
+            raise ReproError(
+                f"a sweep spec must be an object, got {type(spec).__name__}"
+            )
+        if "instances" not in spec or "solvers" not in spec:
+            raise ReproError(
+                "a sweep spec needs 'instances' and 'solvers' lists"
+            )
+        thresholds = spec.get("thresholds")
+        grid = spec.get("grid", {})
+        if thresholds is not None and grid:
+            raise ReproError(
+                "a sweep spec takes either explicit 'thresholds' or a "
+                "'grid', not both"
+            )
+        return cls(
+            instances=tuple(
+                SweepInstance.from_spec(entry, i)
+                for i, entry in enumerate(spec["instances"])
+            ),
+            solvers=tuple(
+                SweepSolver.from_spec(entry) for entry in spec["solvers"]
+            ),
+            thresholds=(
+                tuple(float(t) for t in thresholds)
+                if thresholds is not None
+                else None
+            ),
+            num_points=int(grid.get("num_points", 20)),
+            warm_start=spec.get("warm_start", "off"),
+            one_pass_exhaustive=bool(spec.get("one_pass_exhaustive", True)),
+        )
+
+    def to_spec(self) -> dict[str, Any]:
+        """JSON-compatible dict form (inverse of :meth:`from_spec`)."""
+        out: dict[str, Any] = {
+            "instances": [inst.to_spec() for inst in self.instances],
+            "solvers": [solver.to_spec() for solver in self.solvers],
+            "warm_start": self.warm_start,
+            "one_pass_exhaustive": self.one_pass_exhaustive,
+        }
+        if self.thresholds is not None:
+            out["thresholds"] = list(self.thresholds)
+        else:
+            out["grid"] = {"num_points": self.num_points}
+        return out
+
+    def grid_for(self, instance: SweepInstance) -> list[float]:
+        """The instance's threshold grid (explicit or derived)."""
+        if self.thresholds is not None:
+            return [float(t) for t in self.thresholds]
+        for solver in self.solvers:
+            if get_solver(solver.name).objective is not Objective.MIN_FP:
+                raise ReproError(
+                    "an automatic latency grid only fits latency-bounded "
+                    f"(min-FP) solvers; give explicit thresholds for "
+                    f"{solver.name!r}"
+                )
+        from ..analysis.frontier import latency_grid
+
+        return latency_grid(
+            instance.application,
+            instance.platform,
+            num_points=self.num_points,
+        )
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """All outcomes of one (instance, solver) pair over the grid.
+
+    ``outcomes`` has one entry per *original* grid position (duplicates
+    share the solved outcome, re-indexed); ``unique_thresholds`` is how
+    many points were actually dispatched, ``chained`` whether warm-start
+    chaining ran.
+    """
+
+    instance_tag: str
+    solver: str
+    thresholds: tuple[float, ...]
+    outcomes: tuple[BatchOutcome, ...]
+    unique_thresholds: int
+    chained: bool
+
+    def results(self) -> list[Any]:
+        """The successful :class:`SolverResult`\\ s, in grid order."""
+        return [o.result for o in self.outcomes if o.ok]
+
+    def frontier(self, *, strict: bool = True) -> list[BiCriteriaPoint]:
+        """Pareto frontier of the cell's successful outcomes.
+
+        Infeasible thresholds are skipped; with ``strict`` (default) any
+        *other* failure kind raises — a crashed solver must not
+        silently produce a thinner frontier.
+        """
+        if strict:
+            self.raise_on_failure()
+        return pareto_front(
+            [
+                BiCriteriaPoint(
+                    o.result.latency,
+                    o.result.failure_probability,
+                    payload=o.result.mapping,
+                )
+                for o in self.outcomes
+                if o.ok
+            ]
+        )
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`SolverError` on any non-infeasible failure."""
+        for outcome in self.outcomes:
+            if outcome.result is None and (
+                outcome.error_kind is not ErrorKind.INFEASIBLE
+            ):
+                raise SolverError(
+                    f"sweep {outcome.tag} failed: {outcome.error}"
+                )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every cell of one :func:`run_sweep` call."""
+
+    cells: tuple[SweepCell, ...]
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self.cells)
+
+    def cell(
+        self, instance_tag: str | None = None, solver: str | None = None
+    ) -> SweepCell:
+        """The unique cell matching the given filters.
+
+        Raises
+        ------
+        repro.exceptions.ReproError
+            When no cell, or more than one, matches.
+        """
+        matches = [
+            c
+            for c in self.cells
+            if (instance_tag is None or c.instance_tag == instance_tag)
+            and (solver is None or c.solver == solver)
+        ]
+        if len(matches) != 1:
+            raise ReproError(
+                f"{len(matches)} sweep cells match "
+                f"(instance_tag={instance_tag!r}, solver={solver!r})"
+            )
+        return matches[0]
+
+
+# ----------------------------------------------------------------------
+# shared evaluation-cache hand-off
+# ----------------------------------------------------------------------
+def warm_pool_terms(
+    application: PipelineApplication, platform: Platform
+) -> None:
+    """Pre-compute the candidate-pool evaluation terms for one instance.
+
+    Evaluates the deduplicated single-interval candidate grid — the
+    warm-start pool every heuristic re-ranks on *every* solve — through
+    an :class:`~repro.core.metrics.EvaluationCache`.  Call it with the
+    instance's shared term set installed and the terms land there,
+    ready for every later cache (in this process or, snapshotted, in
+    pool workers).
+    """
+    from ..algorithms.heuristics.single_interval import (
+        single_interval_mappings,
+    )
+
+    cache = EvaluationCache(application, platform)
+    for mapping in single_interval_mappings(application, platform):
+        cache.evaluate(mapping)
+
+
+def _install_worker_terms(
+    payload: tuple[str, bool, Mapping[str, dict]],
+) -> None:
+    """Pool-worker initializer: adopt the parent's term snapshot."""
+    token, one_port, terms = payload
+    install_shared_terms(
+        None,  # type: ignore[arg-type] — the token stands in for the pair
+        None,  # type: ignore[arg-type]
+        one_port=one_port,
+        terms=terms,
+        token=token,
+    )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _is_monotone(values: Sequence[float]) -> bool:
+    ascending = all(a <= b for a, b in zip(values, values[1:]))
+    descending = all(a >= b for a, b in zip(values, values[1:]))
+    return ascending or descending
+
+
+def _infeasible_outcome(
+    index: int, task: BatchTask, elapsed: float
+) -> BatchOutcome:
+    return BatchOutcome(
+        index=index,
+        solver=task.solver,
+        tag=task.tag,
+        result=None,
+        error=(
+            "InfeasibleProblemError: no mapping satisfies threshold "
+            f"{task.threshold:g}"
+        ),
+        elapsed=elapsed,
+        task=task,
+        error_kind=ErrorKind.INFEASIBLE,
+    )
+
+
+def _run_exhaustive_one_pass(
+    instance: SweepInstance,
+    tasks: list[BatchTask],
+    unique: list[float],
+) -> list[BatchOutcome] | None:
+    """The whole grid from one enumeration pass, or None to fall back.
+
+    Per-threshold results are identical to solving each point alone
+    (the machine-checked contract of
+    :func:`~repro.algorithms.bicriteria.exhaustive.exhaustive_sweep_min_fp`);
+    any failure (size guards, numpy quirks) falls back to the batched
+    per-point path, which reports errors with full fault isolation.
+    """
+    from ..algorithms.bicriteria.exhaustive import exhaustive_sweep_min_fp
+
+    start = time.perf_counter()
+    try:
+        results = exhaustive_sweep_min_fp(
+            instance.application, instance.platform, unique
+        )
+    except Exception:
+        return None
+    per_point = (time.perf_counter() - start) / max(len(unique), 1)
+    outcomes: list[BatchOutcome] = []
+    for i, (task, result) in enumerate(zip(tasks, results)):
+        if result is None:
+            outcomes.append(_infeasible_outcome(i, task, per_point))
+        else:
+            outcomes.append(
+                BatchOutcome(
+                    index=i,
+                    solver=task.solver,
+                    tag=task.tag,
+                    result=result,
+                    error=None,
+                    elapsed=per_point,
+                    task=task,
+                )
+            )
+    return outcomes
+
+
+def _run_chained(
+    solver: SweepSolver,
+    spec: SolverSpec,
+    tasks: list[BatchTask],
+    *,
+    seed: int | None,
+    policy: BatchPolicy | None,
+    store: ResultStore | None,
+) -> list[BatchOutcome]:
+    """Solve the grid in order, seeding each point with the last optimum.
+
+    Inherently sequential (point ``i+1`` consumes point ``i``'s
+    mapping), so it runs in-process; the store still applies per point —
+    and because the seed mapping is part of the task's options (hence
+    its store key), a re-run of the same chained sweep is fully
+    store-warm.
+    """
+    outcomes: list[BatchOutcome] = []
+    previous = None
+    for pos, task in enumerate(tasks):
+        opts = dict(task.opts)
+        if spec.seeded and seed is not None and "seed" not in opts:
+            # the same derived per-task seed the batched path would use
+            opts["seed"] = seed + pos
+        if previous is not None:
+            opts.update(solver.effective_chain_opts())
+            opts["warm_starts"] = [mapping_to_dict(previous)]
+        outcome = run_batch(
+            [replace(task, opts=opts)], policy=policy, store=store
+        )[0]
+        outcome = replace(outcome, index=pos)
+        outcomes.append(outcome)
+        if outcome.ok:
+            previous = outcome.result.mapping
+    return outcomes
+
+
+def _one_pass_applies(
+    plan: SweepPlan,
+    solver: SweepSolver,
+    store: ResultStore | None,
+    parallel: bool,
+) -> bool:
+    """True when this cell will try the exhaustive one-pass fast path."""
+    if not (
+        plan.one_pass_exhaustive
+        and solver.name == "exhaustive-min-fp"
+        and not solver.opts
+        and store is None
+        and not parallel
+    ):
+        return False
+    from ..core.metrics_bulk import HAS_NUMPY
+
+    return HAS_NUMPY
+
+
+def _run_cell(
+    plan: SweepPlan,
+    instance: SweepInstance,
+    solver: SweepSolver,
+    *,
+    workers: int | None,
+    seed: int | None,
+    policy: BatchPolicy | None,
+    store: ResultStore | None,
+    shared_cache: bool,
+) -> SweepCell:
+    grid = [float(t) for t in plan.grid_for(instance)]
+    spec = get_solver(solver.name)
+    unique = list(dict.fromkeys(grid))
+    tasks = [
+        BatchTask(
+            solver=solver.name,
+            application=instance.application,
+            platform=instance.platform,
+            threshold=t,
+            opts=dict(solver.opts),
+            tag=f"threshold={t:g}",
+        )
+        for t in unique
+    ]
+    chained = (
+        plan.warm_start == "chain"
+        and spec.warm_startable
+        and len(unique) > 1
+        and _is_monotone(unique)
+    )
+    parallel = workers is not None and workers > 1
+
+    def execute() -> list[BatchOutcome]:
+        if not tasks:
+            return []
+        if _one_pass_applies(plan, solver, store, parallel):
+            outcomes = _run_exhaustive_one_pass(instance, tasks, unique)
+            if outcomes is not None:
+                return outcomes
+        if chained:
+            return _run_chained(
+                solver, spec, tasks, seed=seed, policy=policy, store=store
+            )
+        initializer = None
+        initargs: tuple = ()
+        if parallel and shared_cache:
+            token = instance_token(instance.application, instance.platform)
+            terms = export_shared_terms(
+                instance.application, instance.platform
+            )
+            if terms is not None:
+                initializer = _install_worker_terms
+                initargs = ((token, True, terms),)
+        return run_batch(
+            tasks,
+            workers=workers,
+            seed=seed,
+            policy=policy,
+            store=store,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    unique_outcomes = execute()
+
+    # fan the solved points back out to every original grid position
+    position = {t: i for i, t in enumerate(unique)}
+    outcomes = tuple(
+        replace(unique_outcomes[position[t]], index=pos)
+        for pos, t in enumerate(grid)
+    )
+    return SweepCell(
+        instance_tag=instance.tag,
+        solver=solver.name,
+        thresholds=tuple(grid),
+        outcomes=outcomes,
+        unique_thresholds=len(unique),
+        chained=chained,
+    )
+
+
+def run_sweep(
+    plan: SweepPlan,
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    shared_cache: bool = True,
+) -> SweepResult:
+    """Execute a :class:`SweepPlan`, one cell per (instance, solver).
+
+    ``workers``/``seed``/``policy``/``store`` carry the exact
+    :func:`~repro.engine.batch.run_batch` semantics (deterministic
+    per-task seeding over the *deduplicated* grid, fault isolation,
+    result reuse).  ``shared_cache`` enables the evaluation-term
+    hand-off (see module docstring), installed once per instance and
+    shared by every solver cell on it; cells that never build an
+    :class:`~repro.core.metrics.EvaluationCache` (the exhaustive
+    one-pass fast path) skip the pool warm-up entirely.  Disabling it
+    reproduces the old every-call-starts-cold behaviour, bit-identical
+    results either way.
+    """
+    parallel = workers is not None and workers > 1
+    cells: list[SweepCell] = []
+    for instance in plan.instances:
+
+        def run_instance_cells() -> None:
+            for solver in plan.solvers:
+                cells.append(
+                    _run_cell(
+                        plan,
+                        instance,
+                        solver,
+                        workers=workers,
+                        seed=seed,
+                        policy=policy,
+                        store=store,
+                        shared_cache=shared_cache,
+                    )
+                )
+
+        needs_terms = shared_cache and any(
+            not _one_pass_applies(plan, solver, store, parallel)
+            for solver in plan.solvers
+        )
+        if needs_terms:
+            with shared_cache_terms(instance.application, instance.platform):
+                warm_pool_terms(instance.application, instance.platform)
+                run_instance_cells()
+        else:
+            run_instance_cells()
+    return SweepResult(cells=tuple(cells))

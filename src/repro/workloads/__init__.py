@@ -5,7 +5,10 @@
 * :mod:`~repro.workloads.jpeg` — the JPEG-encoder pipeline the paper's
   introduction motivates;
 * :mod:`~repro.workloads.synthetic` — seeded random applications and
-  platforms for every platform class.
+  platforms for every platform class;
+* :mod:`~repro.workloads.scenarios` — named, parameterized scenario
+  families (edge/hub/cloud tiers, failure mixes, wide/narrow pipelines)
+  that sweep specs reference by name.
 """
 
 from .jpeg import JPEG_STAGE_NAMES, jpeg_encoder_pipeline
@@ -14,6 +17,15 @@ from .reference import (
     Figure34Instance,
     figure5_instance,
     figure34_instance,
+)
+from .scenarios import (
+    SCENARIOS,
+    edge_hub_cloud,
+    failure_mix,
+    make_scenario,
+    narrow_pipeline,
+    scenario_names,
+    wide_pipeline,
 )
 from .synthetic import (
     random_application,
@@ -35,4 +47,11 @@ __all__ = [
     "random_comm_homogeneous",
     "random_fully_heterogeneous",
     "random_platform",
+    "SCENARIOS",
+    "scenario_names",
+    "make_scenario",
+    "edge_hub_cloud",
+    "failure_mix",
+    "wide_pipeline",
+    "narrow_pipeline",
 ]

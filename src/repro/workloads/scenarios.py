@@ -1,0 +1,266 @@
+"""Parameterized scenario generators for sweep experiments.
+
+The paper's experiments draw uniformly random instances; real
+deployments are structured.  This module generates *named, seeded,
+parameterized* scenario families — each a function returning one
+``(application, platform)`` pair — and registers them so sweep specs
+(:mod:`repro.engine.sweeps`) and the CLI can reference them by name:
+
+* ``edge-hub-cloud`` — a three-tier platform in the spirit of
+  edge-computing allocation frameworks: slow-but-plentiful edge
+  devices with flaky links, mid-tier hubs, and fast reliable cloud
+  nodes, with bandwidth stratified by tier;
+* ``failure-mix`` — a Communication Homogeneous platform mixing a few
+  reliable workstations into a pool of failure-prone scavenged
+  desktops (the regime where the Figure 5 multi-interval phenomenon
+  bites hardest);
+* ``wide-pipeline`` — many light stages with chunky inter-stage
+  volumes (communication-dominated mappings);
+* ``narrow-pipeline`` — few heavy stages with thin volumes
+  (compute-dominated mappings, replication is cheap).
+
+Every generator takes an explicit ``seed`` plus keyword parameters with
+documented defaults, so scenario instances are exactly reproducible
+from their ``(name, seed, params)`` triple — which is precisely what a
+JSON sweep spec stores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping, Tuple
+
+from ..core.application import PipelineApplication
+from ..core.platform import Platform
+from .synthetic import random_application
+from ..exceptions import ReproError
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_names",
+    "make_scenario",
+    "edge_hub_cloud",
+    "failure_mix",
+    "wide_pipeline",
+    "narrow_pipeline",
+]
+
+Instance = Tuple[PipelineApplication, Platform]
+
+
+def edge_hub_cloud(
+    *,
+    seed: int | None = None,
+    num_edge: int = 3,
+    num_hub: int = 2,
+    num_cloud: int = 3,
+    stages: int = 6,
+    edge_speed: tuple[float, float] = (0.5, 2.0),
+    hub_speed: tuple[float, float] = (3.0, 6.0),
+    cloud_speed: tuple[float, float] = (8.0, 15.0),
+    edge_fp: tuple[float, float] = (0.2, 0.6),
+    hub_fp: tuple[float, float] = (0.05, 0.15),
+    cloud_fp: tuple[float, float] = (0.01, 0.05),
+    edge_bandwidth: tuple[float, float] = (0.5, 2.0),
+    backbone_bandwidth: tuple[float, float] = (5.0, 10.0),
+) -> Instance:
+    """Three speed/reliability tiers with tier-stratified links.
+
+    Input data arrives at the edge (fast links from ``P_in`` to edge
+    nodes, slow to the cloud), results leave from the cloud; any link
+    touching an edge node is an edge-grade link, hub/cloud links run at
+    backbone grade.  The resulting platform is Fully Heterogeneous.
+    """
+    rng = random.Random(seed)
+    tiers = (
+        [(edge_speed, edge_fp)] * num_edge
+        + [(hub_speed, hub_fp)] * num_hub
+        + [(cloud_speed, cloud_fp)] * num_cloud
+    )
+    if not tiers:
+        raise ReproError("edge-hub-cloud needs at least one processor")
+    m = len(tiers)
+    speeds = [rng.uniform(*speed) for speed, _ in tiers]
+    fps = [rng.uniform(*fp) for _, fp in tiers]
+    is_edge = [i < num_edge for i in range(m)]
+
+    def link(u: int, v: int) -> float:
+        band = (
+            edge_bandwidth
+            if (is_edge[u] or is_edge[v])
+            else backbone_bandwidth
+        )
+        return rng.uniform(*band)
+
+    # data enters at the edge and leaves from the cloud: edge nodes sit
+    # next to the source (fast ingest, slow egress), cloud nodes behind
+    # the long-haul uplink (slow ingest, fast egress)
+    in_b = [
+        rng.uniform(*(backbone_bandwidth if edge else edge_bandwidth))
+        for edge in is_edge
+    ]
+    out_b = [
+        rng.uniform(*(edge_bandwidth if edge else backbone_bandwidth))
+        for edge in is_edge
+    ]
+    links = [[1.0] * m for _ in range(m)]
+    for u in range(m):
+        for v in range(u + 1, m):
+            links[u][v] = links[v][u] = link(u, v)
+    application = random_application(
+        stages, seed=rng.randrange(2**31), work_range=(2.0, 15.0)
+    )
+    platform = Platform.fully_heterogeneous(
+        speeds, in_b, out_b, links, failure_probabilities=fps
+    )
+    return application, platform
+
+
+def failure_mix(
+    *,
+    seed: int | None = None,
+    num_processors: int = 6,
+    stages: int = 5,
+    reliable_count: int = 2,
+    reliable_fp: tuple[float, float] = (0.01, 0.05),
+    flaky_fp: tuple[float, float] = (0.4, 0.8),
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    bandwidth_range: tuple[float, float] = (1.0, 10.0),
+) -> Instance:
+    """Reliable minority in a failure-prone pool (Comm. Homogeneous).
+
+    ``reliable_count`` processors draw from ``reliable_fp``, the rest
+    from ``flaky_fp``; speeds are independent of reliability, so the
+    fast processors are usually the flaky ones — the trade-off the
+    paper's bi-criteria framing is about.
+    """
+    if not 0 <= reliable_count <= num_processors:
+        raise ReproError(
+            f"reliable_count must be in [0, {num_processors}], "
+            f"got {reliable_count}"
+        )
+    rng = random.Random(seed)
+    speeds = [rng.uniform(*speed_range) for _ in range(num_processors)]
+    fps = [
+        rng.uniform(*reliable_fp)
+        if i < reliable_count
+        else rng.uniform(*flaky_fp)
+        for i in range(num_processors)
+    ]
+    application = random_application(stages, seed=rng.randrange(2**31))
+    platform = Platform.communication_homogeneous(
+        speeds,
+        bandwidth=rng.uniform(*bandwidth_range),
+        failure_probabilities=fps,
+    )
+    return application, platform
+
+
+def wide_pipeline(
+    *,
+    seed: int | None = None,
+    stages: int = 12,
+    num_processors: int = 5,
+    work_range: tuple[float, float] = (0.5, 3.0),
+    volume_range: tuple[float, float] = (5.0, 20.0),
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    bandwidth_range: tuple[float, float] = (1.0, 5.0),
+    fp_range: tuple[float, float] = (0.05, 0.5),
+) -> Instance:
+    """Many light stages, heavy inter-stage traffic (comm-dominated).
+
+    Interval structure matters a lot here: every extra interval pays
+    another serialized transfer, so good mappings are coarse.
+    """
+    rng = random.Random(seed)
+    application = random_application(
+        stages,
+        seed=rng.randrange(2**31),
+        work_range=work_range,
+        volume_range=volume_range,
+    )
+    speeds = [rng.uniform(*speed_range) for _ in range(num_processors)]
+    platform = Platform.communication_homogeneous(
+        speeds,
+        bandwidth=rng.uniform(*bandwidth_range),
+        failure_probabilities=[
+            rng.uniform(*fp_range) for _ in range(num_processors)
+        ],
+    )
+    return application, platform
+
+
+def narrow_pipeline(
+    *,
+    seed: int | None = None,
+    stages: int = 3,
+    num_processors: int = 6,
+    work_range: tuple[float, float] = (20.0, 60.0),
+    volume_range: tuple[float, float] = (0.5, 3.0),
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    bandwidth_range: tuple[float, float] = (5.0, 10.0),
+    fp_range: tuple[float, float] = (0.05, 0.5),
+) -> Instance:
+    """Few heavy stages, thin volumes (compute-dominated).
+
+    Replication is nearly free (transfers are small), so frontiers are
+    dominated by how well compute is spread — the opposite regime from
+    :func:`wide_pipeline`.
+    """
+    rng = random.Random(seed)
+    application = random_application(
+        stages,
+        seed=rng.randrange(2**31),
+        work_range=work_range,
+        volume_range=volume_range,
+    )
+    speeds = [rng.uniform(*speed_range) for _ in range(num_processors)]
+    platform = Platform.communication_homogeneous(
+        speeds,
+        bandwidth=rng.uniform(*bandwidth_range),
+        failure_probabilities=[
+            rng.uniform(*fp_range) for _ in range(num_processors)
+        ],
+    )
+    return application, platform
+
+
+#: scenario-name -> generator registry (what sweep specs reference)
+SCENARIOS: dict[str, Callable[..., Instance]] = {
+    "edge-hub-cloud": edge_hub_cloud,
+    "failure-mix": failure_mix,
+    "wide-pipeline": wide_pipeline,
+    "narrow-pipeline": narrow_pipeline,
+}
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def make_scenario(
+    name: str,
+    *,
+    seed: int | None = None,
+    params: Mapping[str, object] | None = None,
+) -> Instance:
+    """Build a scenario instance from its ``(name, seed, params)`` triple.
+
+    Raises
+    ------
+    repro.exceptions.ReproError
+        For unknown scenario names (the message lists what exists) or
+        parameters the generator does not accept.
+    """
+    try:
+        generator = SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+    try:
+        return generator(seed=seed, **dict(params or {}))
+    except TypeError as exc:
+        raise ReproError(f"bad parameters for scenario {name!r}: {exc}") from exc

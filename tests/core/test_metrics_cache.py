@@ -158,3 +158,112 @@ def test_cache_stats_shape():
     cache.evaluate(IntervalMapping.single_interval(1, {1}))
     assert cache.stats["misses"] > 0
     assert math.isfinite(cache.stats["hits"])
+
+
+class TestSharedTerms:
+    """Snapshot export / cross-cache hand-off (the sweep-engine cache)."""
+
+    def _instance(self):
+        from tests.helpers import make_instance
+
+        return make_instance("comm-homogeneous", 4, 4, 13)
+
+    def _het_instance(self):
+        from tests.helpers import make_instance
+
+        return make_instance("fully-heterogeneous", 4, 4, 13)
+
+    def _pool(self, app, plat):
+        from repro.algorithms.heuristics import single_interval_mappings
+
+        return single_interval_mappings(app, plat)
+
+    @pytest.mark.parametrize("kind", ["uniform", "het"])
+    def test_preloaded_cache_is_bit_identical_and_all_hits(self, kind):
+        app, plat = self._instance() if kind == "uniform" else self._het_instance()
+        pool = self._pool(app, plat)
+        warm_cache = EvaluationCache(app, plat)
+        expected = [warm_cache.evaluate(m) for m in pool]
+        snapshot = warm_cache.export_terms()
+
+        cold = EvaluationCache(app, plat)
+        cold.preload(snapshot)
+        assert cold.misses == 0
+        for m, exp in zip(pool, expected):
+            got = cold.evaluate(m)
+            assert got.latency == exp.latency
+            assert got.failure_probability == exp.failure_probability
+        assert cold.misses == 0  # every term came from the snapshot
+
+    def test_export_terms_returns_copies(self):
+        app, plat = self._instance()
+        cache = EvaluationCache(app, plat)
+        cache.evaluate(self._pool(app, plat)[0])
+        snapshot = cache.export_terms()
+        snapshot["rel"].clear()
+        assert cache._rel_terms  # the cache's own dicts are untouched
+
+    def test_shared_registry_hands_terms_across_caches(self):
+        from repro.core import metrics
+
+        app, plat = self._instance()
+        pool = self._pool(app, plat)
+        with metrics.shared_cache_terms(app, plat) as shared:
+            first = EvaluationCache(app, plat)
+            assert first._lat_terms is shared["lat"]
+            for m in pool:
+                first.evaluate(m)
+            second = EvaluationCache(app, plat)
+            second.evaluate(pool[0])
+            assert second.misses == 0  # terms flowed through the registry
+        # the context removed the entry: later caches start cold again
+        assert not metrics._SHARED_TERMS
+        third = EvaluationCache(app, plat)
+        third.evaluate(pool[0])
+        assert third.misses > 0
+
+    def test_shared_registry_keyed_by_exact_instance(self):
+        from repro.core import metrics
+        from tests.helpers import make_instance
+
+        app, plat = self._instance()
+        other_app, other_plat = make_instance("comm-homogeneous", 4, 4, 14)
+        with metrics.shared_cache_terms(app, plat):
+            warm = EvaluationCache(app, plat)
+            for m in self._pool(app, plat):
+                warm.evaluate(m)
+            foreign = EvaluationCache(other_app, other_plat)
+            foreign.evaluate(self._pool(other_app, other_plat)[0])
+            assert foreign.misses > 0  # different instance: no sharing
+
+    def test_shared_registry_keyed_by_one_port(self):
+        from repro.core import metrics
+
+        app, plat = self._instance()
+        pool = self._pool(app, plat)
+        with metrics.shared_cache_terms(app, plat, one_port=True):
+            warm = EvaluationCache(app, plat, one_port=True)
+            for m in pool:
+                warm.evaluate(m)
+            multi_port = EvaluationCache(app, plat, one_port=False)
+            multi_port.evaluate(pool[-1])
+            assert multi_port.misses > 0  # one_port=False terms differ
+
+    def test_install_and_export_round_trip(self):
+        from repro.core import metrics
+
+        app, plat = self._instance()
+        pool = self._pool(app, plat)
+        cache = EvaluationCache(app, plat)
+        for m in pool:
+            cache.evaluate(m)
+        snapshot = cache.export_terms()
+        assert metrics.export_shared_terms(app, plat) is None
+        with metrics.shared_cache_terms(app, plat, terms=snapshot):
+            exported = metrics.export_shared_terms(app, plat)
+            assert exported is not None
+            assert exported["rel"] == snapshot["rel"]
+            seeded = EvaluationCache(app, plat)
+            seeded.evaluate(pool[0])
+            assert seeded.misses == 0
+        metrics.clear_shared_terms()

@@ -290,3 +290,150 @@ class TestSolverVersionGuard:
         store.put(key, record)
         (again,) = engine.run_batch([task], store=store)
         assert again.ok and again.cached
+
+
+class TestEvictionAndPrune:
+    """LRU record caps and the explicit prune() API (all backends)."""
+
+    def _stores(self, tmp_path, max_records):
+        return [
+            MemoryStore(max_records=max_records),
+            JSONStore(
+                tmp_path / "cap.json", max_records=max_records, flush_every=2
+            ),
+            SQLiteStore(tmp_path / "cap.sqlite", max_records=max_records),
+        ]
+
+    def test_cap_evicts_least_recently_used(self, tmp_path):
+        for store in self._stores(tmp_path, max_records=3):
+            for i in range(5):
+                store.put(f"k{i}", {"v": i})
+            assert len(store) == 3
+            assert "k0" not in store and "k1" not in store
+            assert store.stats.evictions == 2
+            # a hit refreshes recency: k2 survives the next eviction
+            assert store.get("k2") == {"v": 2}
+            store.put("k5", {"v": 5})
+            assert "k2" in store and "k3" not in store
+            store.close()
+
+    def test_overwrite_refreshes_recency(self, tmp_path):
+        for store in self._stores(tmp_path, max_records=2):
+            store.put("a", {"v": 0})
+            store.put("b", {"v": 1})
+            store.put("a", {"v": 2})  # refresh: b is now the LRU entry
+            store.put("c", {"v": 3})
+            assert "a" in store and "b" not in store
+            store.close()
+
+    def test_prune_api_on_uncapped_store(self, tmp_path):
+        for store in self._stores(tmp_path, max_records=None):
+            for i in range(6):
+                store.put(f"k{i}", {"v": i})
+            assert store.prune() == 0  # no cap, explicit limit required
+            evicted = store.prune(2)
+            assert evicted == 4
+            assert len(store) == 2
+            assert set(store.keys()) == {"k4", "k5"}
+            assert store.stats.evictions == 4
+            store.close()
+
+    def test_lru_order_survives_reopen_json(self, tmp_path):
+        path = tmp_path / "order.json"
+        store = JSONStore(path, max_records=10)
+        for i in range(4):
+            store.put(f"k{i}", {"v": i})
+        store.get("k0")  # k0 becomes most recent (capped: hits touch)
+        store.close()
+        reopened = JSONStore(path)
+        assert reopened.prune(1) == 3
+        assert set(reopened.keys()) == {"k0"}
+        reopened.close()
+
+    def test_lru_order_survives_reopen_sqlite(self, tmp_path):
+        path = tmp_path / "order.sqlite"
+        store = SQLiteStore(path, max_records=10)
+        for i in range(4):
+            store.put(f"k{i}", {"v": i})
+        store.get("k0")
+        store.close()
+        reopened = SQLiteStore(path)
+        assert reopened.prune(1) == 3
+        assert set(reopened.keys()) == {"k0"}
+        reopened.close()
+
+    def test_uncapped_lookups_do_not_track_recency(self, tmp_path):
+        """Uncapped stores keep lookups read-only: prune() then evicts
+        by write order, not use order."""
+        store = SQLiteStore(tmp_path / "ro.sqlite")
+        for i in range(4):
+            store.put(f"k{i}", {"v": i})
+        store.get("k0")  # no touch: k0 stays oldest-written
+        assert store.prune(2) == 2
+        assert set(store.keys()) == {"k2", "k3"}
+        store.close()
+
+    def test_reopen_with_tighter_cap_prunes_immediately(self, tmp_path):
+        for path, cls in (
+            (tmp_path / "tight.json", JSONStore),
+            (tmp_path / "tight.sqlite", SQLiteStore),
+        ):
+            store = cls(path)
+            for i in range(5):
+                store.put(f"k{i}", {"v": i})
+            store.close()
+            capped = cls(path, max_records=2)
+            assert len(capped) == 2
+            assert set(capped.keys()) == {"k3", "k4"}
+            capped.close()
+
+    def test_pre_eviction_sqlite_store_is_migrated(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "legacy.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE results ("
+            " key TEXT PRIMARY KEY,"
+            " schema INTEGER NOT NULL,"
+            " record TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO results VALUES ('old', 1, '{\"v\": 1}')"
+        )
+        conn.commit()
+        conn.close()
+        store = SQLiteStore(path, max_records=5)
+        assert store.get("old") == {"v": 1}
+        store.put("new", {"v": 2})
+        assert len(store) == 2
+        store.close()
+
+    def test_bad_max_records_rejected(self):
+        with pytest.raises(ReproError, match="max_records"):
+            MemoryStore(max_records=0)
+
+    def test_open_store_passes_cap_through(self, tmp_path):
+        for path in (":memory:", tmp_path / "c.json", tmp_path / "c.sqlite"):
+            store = open_store(path, max_records=2)
+            for i in range(4):
+                store.put(f"k{i}", {"v": i})
+            assert len(store) == 2
+            store.close()
+
+    def test_capped_store_through_batch_engine(self, instance):
+        """A capped store still serves the engine: recent grid points
+        hit, evicted ones transparently re-solve."""
+        app, plat = instance
+        store = MemoryStore(max_records=2)
+        thresholds = [30.0, 45.0, 60.0]
+        engine.threshold_sweep(
+            "greedy-min-fp", app, plat, thresholds, store=store
+        )
+        assert len(store) == 2  # the oldest grid point was evicted
+        again = engine.threshold_sweep(
+            "greedy-min-fp", app, plat, thresholds, store=store
+        )
+        cached = [o.cached for o in again]
+        assert cached.count(True) >= 1  # warm tail
+        assert cached.count(False) >= 1  # evicted head re-solved

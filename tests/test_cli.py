@@ -284,3 +284,170 @@ class TestBatchStoreAndStreaming:
         wrong_schema.write_text('{"schema": 999, "records": {}}')
         assert main(self._base("--store", str(wrong_schema))) == 2
         assert "error:" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def _spec(self, tmp_path, **overrides):
+        spec = {
+            "instances": [
+                {
+                    "scenario": "failure-mix",
+                    "seed": 5,
+                    "params": {"num_processors": 4, "stages": 3},
+                }
+            ],
+            "solvers": ["greedy-min-fp"],
+            "thresholds": [20.0, 30.0, 30.0, 45.0],
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_table_output(self, tmp_path, capsys):
+        assert main(["sweep", self._spec(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "failure-mix[seed=5] x greedy-min-fp" in out
+        assert "3 unique point(s)" in out  # the duplicate threshold deduped
+        assert "latency" in out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        assert main(["sweep", self._spec(tmp_path), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        cell = records[0]
+        assert cell["unique_thresholds"] == 3
+        assert len(cell["outcomes"]) == 4
+        assert cell["frontier"]
+
+    def test_warm_start_flag_overrides_spec(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    self._spec(tmp_path),
+                    "--warm-start",
+                    "chain",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["chained"] is True
+
+    def test_store_round_trip_and_stats(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        store = tmp_path / "results.json"
+        assert main(["sweep", spec, "--store", str(store)]) == 0
+        err = capsys.readouterr().err
+        assert "3 write(s)" in err
+        assert main(["sweep", spec, "--store", str(store)]) == 0
+        err = capsys.readouterr().err
+        assert "3 hit(s)" in err
+        assert "100% hit rate" in err
+
+    def test_store_max_records_caps_the_store(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        store = tmp_path / "capped.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    spec,
+                    "--store",
+                    str(store),
+                    "--store-max-records",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "1 eviction(s)" in err
+        from repro.engine.store import JSONStore
+
+        reopened = JSONStore(store)
+        assert len(reopened) == 2
+        reopened.close()
+
+    def test_list_scenarios(self, capsys):
+        assert main(["sweep", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "edge-hub-cloud" in out
+        assert "failure-mix" in out
+
+    def test_missing_spec_is_usage_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "SPEC.json" in capsys.readouterr().out
+
+    def test_unreadable_spec_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bad_plan_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"instances": [], "solvers": []}))
+        assert main(["sweep", str(path)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_batch_store_max_records_flag(self, tmp_path, capsys):
+        store = tmp_path / "batch.json"
+        argv = [
+            "batch",
+            "--solver",
+            "greedy-min-fp",
+            "--instances",
+            "4",
+            "--threshold",
+            "60.0",
+            "--store",
+            str(store),
+            "--store-max-records",
+            "2",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        from repro.engine.store import JSONStore
+
+        reopened = JSONStore(store)
+        assert len(reopened) == 2
+        reopened.close()
+
+    def test_non_object_spec_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "array.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert main(["sweep", str(path)]) == 2
+        assert "must be a JSON object" in capsys.readouterr().out
+
+    def test_non_object_instance_entry_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "badinst.json"
+        path.write_text(
+            json.dumps({"instances": [7], "solvers": ["greedy-min-fp"]})
+        )
+        assert main(["sweep", str(path)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_solver_crash_is_surfaced_and_sets_exit_code(
+        self, tmp_path, capsys
+    ):
+        """A crashed solver must never read as merely infeasible: the
+        table shows the error and the exit code is non-zero."""
+        from tests.engine.synthetic import (
+            always_crash_min_fp,
+            register_synthetic,
+        )
+
+        spec = self._spec(tmp_path)
+        with register_synthetic("crashy-cli-sweep", always_crash_min_fp):
+            bad = json.loads((tmp_path / "spec.json").read_text())
+            bad["solvers"] = ["greedy-min-fp", "crashy-cli-sweep"]
+            path = tmp_path / "crash.json"
+            path.write_text(json.dumps(bad))
+            assert main(["sweep", str(path)]) == 1
+            out = capsys.readouterr().out
+            assert "crash" in out
+            assert "synthetic permanent crash" in out
+        assert spec  # the clean spec still exists (fixture sanity)

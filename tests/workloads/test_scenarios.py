@@ -1,0 +1,132 @@
+"""Scenario generators: determinism, structure, registry contract."""
+
+import pytest
+
+from repro.core.platform import PlatformClass
+from repro.exceptions import ReproError
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    edge_hub_cloud,
+    failure_mix,
+    make_scenario,
+    narrow_pipeline,
+    scenario_names,
+    wide_pipeline,
+)
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert {
+            "edge-hub-cloud",
+            "failure-mix",
+            "wide-pipeline",
+            "narrow-pipeline",
+        } <= set(names)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_is_deterministic_and_valid(self, name):
+        app1, plat1 = make_scenario(name, seed=42)
+        app2, plat2 = make_scenario(name, seed=42)
+        assert app1.works == app2.works
+        assert app1.volumes == app2.volumes
+        assert plat1.speeds == plat2.speeds
+        assert plat1.failure_probabilities == plat2.failure_probabilities
+        assert all(0.0 < fp < 1.0 for fp in plat1.failure_probabilities)
+        assert all(s > 0.0 for s in plat1.speeds)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_different_seeds_differ(self, name):
+        app1, _ = make_scenario(name, seed=1)
+        app2, _ = make_scenario(name, seed=2)
+        assert app1.works != app2.works
+
+    def test_unknown_scenario_lists_registry(self):
+        with pytest.raises(ReproError, match="edge-hub-cloud"):
+            make_scenario("no-such-scenario")
+
+    def test_bad_params_are_a_clean_error(self):
+        with pytest.raises(ReproError, match="bad parameters"):
+            make_scenario("failure-mix", params={"bogus_knob": 3})
+
+
+class TestEdgeHubCloud:
+    def test_tier_structure(self):
+        app, plat = edge_hub_cloud(
+            seed=0, num_edge=3, num_hub=2, num_cloud=3
+        )
+        assert plat.size == 8
+        assert plat.platform_class is PlatformClass.FULLY_HETEROGENEOUS
+        speeds = plat.speeds
+        fps = plat.failure_probabilities
+        # tiers are ordered edge, hub, cloud with non-overlapping ranges
+        assert max(speeds[:3]) < min(speeds[3:5]) < min(speeds[5:])
+        assert min(fps[:3]) > max(fps[3:5]) > max(fps[5:])
+
+    def test_parameterized_sizes(self):
+        _, plat = edge_hub_cloud(seed=1, num_edge=1, num_hub=0, num_cloud=2)
+        assert plat.size == 3
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ReproError):
+            edge_hub_cloud(seed=0, num_edge=0, num_hub=0, num_cloud=0)
+
+    def test_solvable_by_heuristics(self):
+        from repro.algorithms.heuristics import greedy_minimize_fp
+        from repro.analysis.frontier import latency_grid
+
+        app, plat = edge_hub_cloud(seed=3, stages=4)
+        grid = latency_grid(app, plat, num_points=3)
+        result = greedy_minimize_fp(app, plat, grid[-1])
+        assert 0.0 <= result.failure_probability <= 1.0
+
+
+class TestFailureMix:
+    def test_reliable_minority(self):
+        _, plat = failure_mix(seed=0, num_processors=6, reliable_count=2)
+        fps = plat.failure_probabilities
+        assert all(fp <= 0.05 for fp in fps[:2])
+        assert all(fp >= 0.4 for fp in fps[2:])
+        assert plat.platform_class is PlatformClass.COMMUNICATION_HOMOGENEOUS
+
+    def test_reliable_count_bounds_checked(self):
+        with pytest.raises(ReproError, match="reliable_count"):
+            failure_mix(seed=0, num_processors=4, reliable_count=5)
+
+
+class TestPipelineShapes:
+    def test_wide_is_comm_dominated(self):
+        app, _ = wide_pipeline(seed=0)
+        assert app.num_stages == 12
+        assert max(app.works) < min(app.volumes)
+
+    def test_narrow_is_compute_dominated(self):
+        app, _ = narrow_pipeline(seed=0)
+        assert app.num_stages == 3
+        assert min(app.works) > max(app.volumes)
+
+
+class TestSweepIntegration:
+    def test_scenarios_plug_into_sweep_specs(self):
+        from repro.engine import SweepPlan, run_sweep
+
+        plan = SweepPlan.from_spec(
+            {
+                "instances": [
+                    {"scenario": "narrow-pipeline", "seed": 2},
+                    {
+                        "scenario": "failure-mix",
+                        "seed": 4,
+                        "params": {"num_processors": 4, "stages": 3},
+                    },
+                ],
+                "solvers": ["greedy-min-fp"],
+                "grid": {"num_points": 4},
+            }
+        )
+        result = run_sweep(plan)
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert cell.frontier(strict=False)
