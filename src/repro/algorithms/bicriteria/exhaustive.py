@@ -15,7 +15,7 @@ NP-hard too.  The solver guards the instance size and is used to
 from __future__ import annotations
 
 from math import comb
-from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from ..result import SolverResult
 from ...core.application import PipelineApplication
@@ -29,6 +29,7 @@ from ...core.metrics_bulk import (
 )
 from ...core.pareto import BiCriteriaPoint, pareto_front
 from ...core.platform import Platform
+from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError, SolverError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -205,6 +206,7 @@ def _best(
     *,
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
+    recorder: Any = None,
 ) -> SolverResult:
     best_ev: MappingEvaluation | None = None
     best_key: tuple[float, float] | None = None
@@ -219,6 +221,17 @@ def _best(
         if best_key is None or k < best_key:
             best_key = k
             best_ev = ev
+            if recorder is not None:
+                # one event per incumbent improvement: scalar sweeps
+                # replay deterministically against each other, but the
+                # bulk path confirms winners per block instead, so a
+                # cross-path diff compares only the final result
+                recorder.emit(
+                    "incumbent",
+                    explored=explored,
+                    key=list(k),
+                    mapping=mapping_to_dict(ev.mapping),
+                )
     if best_ev is None:
         raise InfeasibleProblemError(
             f"{solver}: no interval mapping satisfies the threshold"
@@ -269,6 +282,7 @@ def _best_bulk(
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    recorder: Any = None,
 ) -> SolverResult:
     """Vectorized counterpart of :func:`_best` over mapping blocks.
 
@@ -293,6 +307,15 @@ def _best_bulk(
         if best_key is None or key < best_key:
             best_key = key
             best_mapping = block.mapping(row)
+            if recorder is not None:
+                # block-level winner confirmation (the bulk analogue of
+                # the scalar path's per-mapping incumbent events)
+                recorder.emit(
+                    "block_winner",
+                    row=row,
+                    key=list(key),
+                    mapping=mapping_to_dict(best_mapping),
+                )
     if best_mapping is None:
         raise InfeasibleProblemError(
             f"{solver}: no interval mapping satisfies the threshold"
@@ -317,12 +340,17 @@ def exhaustive_minimize_fp(
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum FP subject to ``latency <= latency_threshold``.
 
     Ties on FP are broken by lower latency.  ``use_bulk`` selects the
     vectorized block path (``None`` = automatic when numpy is present);
     the winning mapping's reported objectives are always scalar-exact.
+    ``recorder`` (a :class:`repro.engine.recorder.RunRecorder`) captures
+    every incumbent improvement (scalar path) or block-level winner
+    confirmation (bulk path); the two vocabularies differ by design, so
+    record/replay comparisons are meaningful within one path.
     """
     slack = tolerance * max(1.0, abs(latency_threshold))
     if _bulk_enabled(use_bulk):
@@ -334,6 +362,7 @@ def exhaustive_minimize_fp(
             solver="exhaustive-min-fp",
             one_port=one_port,
             search_cap=search_cap,
+            recorder=recorder,
         )
     return _best(
         application,
@@ -343,6 +372,7 @@ def exhaustive_minimize_fp(
         solver="exhaustive-min-fp",
         one_port=one_port,
         search_cap=search_cap,
+        recorder=recorder,
     )
 
 
@@ -355,11 +385,13 @@ def exhaustive_minimize_latency(
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum latency subject to ``FP <= fp_threshold``.
 
     Ties on latency are broken by lower FP.  ``use_bulk`` selects the
     vectorized block path (``None`` = automatic when numpy is present).
+    ``recorder`` behaves as in :func:`exhaustive_minimize_fp`.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
     if _bulk_enabled(use_bulk):
@@ -371,6 +403,7 @@ def exhaustive_minimize_latency(
             solver="exhaustive-min-latency",
             one_port=one_port,
             search_cap=search_cap,
+            recorder=recorder,
         )
     return _best(
         application,
@@ -380,6 +413,7 @@ def exhaustive_minimize_latency(
         solver="exhaustive-min-latency",
         one_port=one_port,
         search_cap=search_cap,
+        recorder=recorder,
     )
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable
+from typing import Any, Callable
 
 from ..result import SolverResult
 from .neighborhood import random_mapping, random_neighbor
@@ -35,6 +35,7 @@ from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
 from ...core.metrics_bulk import resolve_use_bulk
 from ...core.platform import Platform
+from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError
 
 __all__ = ["anneal_minimize_fp", "anneal_minimize_latency", "AnnealingSchedule"]
@@ -83,6 +84,7 @@ def _anneal(
     | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: list[IntervalMapping] | None = None,
+    recorder: Any = None,
 ) -> IntervalMapping | None:
     """Anneal on ``energy``; return the best *feasible* state visited.
 
@@ -125,15 +127,39 @@ def _anneal(
     for candidate in seeds:
         consider(candidate)
     consider(current)
+    if recorder is not None:
+        recorder.emit(
+            "anneal_start",
+            mapping=mapping_to_dict(current),
+            energy=current_e,
+        )
     temperature = schedule.initial_temperature
-    for _ in range(schedule.steps):
+    for step in range(schedule.steps):
         if proposer is None:
             candidate = random_neighbor(current, platform.size, rng)
         else:
             candidate = proposer(current, rng)
         cand_e = energy(candidate)
         delta = cand_e - current_e
-        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+        accepted = delta <= 0 or rng.random() < math.exp(-delta / temperature)
+        if recorder is not None:
+            # the proposal sequence (and every Metropolis decision) is
+            # bit-identical between the classic and pooled-bulk paths,
+            # so these events are comparable across use_bulk settings;
+            # the mapping payload rides only on accepted steps
+            if accepted:
+                recorder.emit(
+                    "propose",
+                    step=step,
+                    energy=cand_e,
+                    accepted=True,
+                    mapping=mapping_to_dict(candidate),
+                )
+            else:
+                recorder.emit(
+                    "propose", step=step, energy=cand_e, accepted=False
+                )
+        if accepted:
             current, current_e = candidate, cand_e
             if trace is not None:
                 trace.append(current)
@@ -165,6 +191,7 @@ def anneal_minimize_fp(
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise FP subject to latency <= L'.
 
@@ -173,7 +200,9 @@ def anneal_minimize_fp(
     the result are identical either way.  Pass a list as ``trace`` to
     collect every accepted state in order.  ``warm_starts`` (mappings or
     serialised dicts) join the initial candidate pool; the result is
-    never worse than any feasible warm start.
+    never worse than any feasible warm start.  ``recorder`` (a
+    :class:`repro.engine.recorder.RunRecorder`) captures every proposal
+    with its scalar energy without changing the walk.
 
     Raises
     ------
@@ -182,12 +211,14 @@ def anneal_minimize_fp(
     """
     if schedule is None:
         schedule = AnnealingSchedule()
-    rng = random.Random(seed)
+    rng = recorder.rng(seed) if recorder is not None else random.Random(seed)
     slack = tolerance * max(1.0, abs(latency_threshold))
     scale = max(latency_threshold, 1e-12)
     # random-neighbour moves perturb one or two intervals, so the
     # memoized per-interval terms make each energy evaluation nearly free
     cache = EvaluationCache(application, platform)
+    if recorder is not None:
+        recorder.observe_cache(cache)
 
     def energy(mapping: IntervalMapping) -> float:
         lat = cache.latency(mapping)
@@ -211,6 +242,7 @@ def anneal_minimize_fp(
         proposer=_make_proposer(use_bulk, platform),
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
+        recorder=recorder,
     )
     if best is None:
         raise InfeasibleProblemError(
@@ -239,6 +271,7 @@ def anneal_minimize_latency(
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise latency subject to FP <= bound'.
 
@@ -246,7 +279,7 @@ def anneal_minimize_latency(
     latency magnitude of the single-processor mapping: energies are in
     latency units here (unlike the FP query, where they live in [0, 1]),
     so a fixed sub-unit temperature would freeze the walk immediately.
-    ``use_bulk``/``trace``/``warm_starts`` behave as in
+    ``use_bulk``/``trace``/``warm_starts``/``recorder`` behave as in
     :func:`anneal_minimize_fp`.
 
     Raises
@@ -254,7 +287,7 @@ def anneal_minimize_latency(
     InfeasibleProblemError
         If the best state found is still FP-infeasible.
     """
-    rng = random.Random(seed)
+    rng = recorder.rng(seed) if recorder is not None else random.Random(seed)
     slack = tolerance * max(1.0, abs(fp_threshold))
     # a crude latency magnitude: whole pipeline on the fastest processor
     fastest = platform.fastest().index
@@ -271,6 +304,8 @@ def anneal_minimize_latency(
         )
 
     cache = EvaluationCache(application, platform)
+    if recorder is not None:
+        recorder.observe_cache(cache)
 
     def energy(mapping: IntervalMapping) -> float:
         lat = cache.latency(mapping)
@@ -294,6 +329,7 @@ def anneal_minimize_latency(
         proposer=_make_proposer(use_bulk, platform),
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
+        recorder=recorder,
     )
     if best is None:
         raise InfeasibleProblemError(

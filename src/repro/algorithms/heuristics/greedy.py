@@ -33,7 +33,7 @@ path (a machine-checked property).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..result import SolverResult
 from ...core.application import PipelineApplication
@@ -45,6 +45,7 @@ from ...core.metrics_bulk import (
     resolve_use_bulk,
 )
 from ...core.platform import Platform
+from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError
 from .warm import WarmStarts, decode_warm_starts
 
@@ -212,6 +213,7 @@ def greedy_minimize_fp(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise FP s.t. latency <= L'.
 
@@ -219,7 +221,9 @@ def greedy_minimize_fp(
     when numpy is present); the constructed mapping is identical either
     way.  ``warm_starts`` (mappings or serialised dicts) compete as
     ready-made candidates in the final selection, so the result is never
-    worse than any feasible warm start.
+    worse than any feasible warm start.  ``recorder`` (a
+    :class:`repro.engine.recorder.RunRecorder`) captures every seed
+    construction and enrolment decision with its scalar scores.
 
     Raises
     ------
@@ -252,6 +256,14 @@ def greedy_minimize_fp(
             lat = latency(mapping, application, platform)
             if lat > latency_threshold + slack:
                 continue  # seed already too slow; other p / seed may fit
+            if recorder is not None:
+                recorder.emit(
+                    "construct",
+                    p=p,
+                    seed=seed_fn.__name__,
+                    mapping=mapping_to_dict(mapping),
+                    latency=lat,
+                )
 
             # replicate greedily while the budget allows
             used = set().union(*allocations)
@@ -288,8 +300,26 @@ def greedy_minimize_fp(
                     allocations[j].add(u)
                     unused.remove(u)
                     improved = True
+                    if recorder is not None:
+                        recorder.emit(
+                            "enroll",
+                            p=p,
+                            seed=seed_fn.__name__,
+                            u=u,
+                            j=j,
+                            gain=best_gain,
+                            latency=lat,
+                        )
 
             ev = evaluate(mapping, application, platform)
+            if recorder is not None:
+                recorder.emit(
+                    "candidate",
+                    p=p,
+                    seed=seed_fn.__name__,
+                    latency=ev.latency,
+                    fp=ev.failure_probability,
+                )
             cand = SolverResult(
                 mapping=mapping,
                 latency=ev.latency,
@@ -363,13 +393,15 @@ def greedy_minimize_latency(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise latency s.t. FP <= bound'.
 
     For each interval count the seed mapping is repaired towards
     feasibility by enrolling, at each step, the replica with the smallest
-    latency increase per unit of FP decrease.  ``use_bulk`` and
-    ``warm_starts`` behave as in :func:`greedy_minimize_fp`.
+    latency increase per unit of FP decrease.  ``use_bulk``,
+    ``warm_starts`` and ``recorder`` behave as in
+    :func:`greedy_minimize_fp`.
 
     Raises
     ------
@@ -399,6 +431,14 @@ def greedy_minimize_latency(
         for seed_fn in (_seed_allocations, _seed_allocations_reliable):
             allocations = seed_fn(application, platform, intervals)
             mapping = _mapping(intervals, allocations)
+            if recorder is not None:
+                recorder.emit(
+                    "construct",
+                    p=p,
+                    seed=seed_fn.__name__,
+                    mapping=mapping_to_dict(mapping),
+                    latency=latency(mapping, application, platform),
+                )
 
             used = set().union(*allocations)
             unused = [u for u in range(1, m + 1) if u not in used]
@@ -439,11 +479,28 @@ def greedy_minimize_latency(
                 u, j, mapping = best_choice
                 allocations[j].add(u)
                 unused.remove(u)
+                if recorder is not None:
+                    recorder.emit(
+                        "enroll",
+                        p=p,
+                        seed=seed_fn.__name__,
+                        u=u,
+                        j=j,
+                        score=best_score,
+                    )
 
             fp = failure_probability(mapping, platform)
             if fp > fp_threshold + slack:
                 continue
             lat = latency(mapping, application, platform)
+            if recorder is not None:
+                recorder.emit(
+                    "candidate",
+                    p=p,
+                    seed=seed_fn.__name__,
+                    latency=lat,
+                    fp=fp,
+                )
             cand = SolverResult(
                 mapping=mapping,
                 latency=lat,

@@ -28,7 +28,7 @@ machine-checked property).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..result import SolverResult
 from .neighborhood import neighbor_rows, neighbors, random_mapping, row_mapping
@@ -39,6 +39,7 @@ from ...core.mapping import IntervalMapping
 from ...core.metrics import EvaluationCache, failure_probability, latency
 from ...core.metrics_bulk import BulkEvaluator, resolve_use_bulk
 from ...core.platform import Platform
+from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,6 +111,7 @@ def _descend(
     max_steps: int,
     pool: _BulkNeighborhood | None = None,
     trace: list[IntervalMapping] | None = None,
+    recorder: Any = None,
 ) -> tuple[IntervalMapping, _Rank, int]:
     current = start
     current_rank = rank(current)
@@ -123,6 +125,12 @@ def _descend(
             current, current_rank = found
             if trace is not None:
                 trace.append(current)
+            if recorder is not None:
+                recorder.emit(
+                    "accept",
+                    mapping=mapping_to_dict(current),
+                    rank=current_rank,
+                )
             continue
         moves = list(neighbors(current, platform.size))
         rng.shuffle(moves)
@@ -132,6 +140,12 @@ def _descend(
                 current, current_rank = cand, cand_rank
                 if trace is not None:
                     trace.append(current)
+                if recorder is not None:
+                    recorder.emit(
+                        "accept",
+                        mapping=mapping_to_dict(current),
+                        rank=current_rank,
+                    )
                 break
         else:
             break  # local optimum
@@ -150,8 +164,9 @@ def _solve(
     pool: _BulkNeighborhood | None,
     trace: list[IntervalMapping] | None,
     warm_starts: list[IntervalMapping],
+    recorder: Any = None,
 ) -> tuple[IntervalMapping, _Rank, int]:
-    rng = random.Random(seed)
+    rng = recorder.rng(seed) if recorder is not None else random.Random(seed)
     # Deterministic starts: caller-supplied warm starts first (sweep
     # chaining seeds descents from the previous threshold's optimum —
     # descent is monotone, so the result can never rank worse than any
@@ -169,11 +184,27 @@ def _solve(
     best: IntervalMapping | None = None
     best_rank: _Rank | None = None
     total_steps = 0
-    for start in starts:
+    for index, start in enumerate(starts):
+        if recorder is not None:
+            recorder.emit(
+                "restart", index=index, start=mapping_to_dict(start)
+            )
         result, result_rank, steps = _descend(
-            application, platform, start, rank, rng, max_steps, pool, trace
+            application,
+            platform,
+            start,
+            rank,
+            rng,
+            max_steps,
+            pool,
+            trace,
+            recorder,
         )
         total_steps += steps
+        if recorder is not None:
+            recorder.emit(
+                "descent_end", index=index, steps=steps, rank=result_rank
+            )
         if best_rank is None or result_rank < best_rank:
             best, best_rank = result, result_rank
     assert best is not None and best_rank is not None
@@ -192,6 +223,7 @@ def local_search_minimize_fp(
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise FP subject to latency <= L'.
 
@@ -202,7 +234,9 @@ def local_search_minimize_fp(
     trajectory inspection).  ``warm_starts`` (mappings or their
     serialised dicts) seed extra descents ahead of the built-in starts;
     the result never ranks worse than any supplied warm start (see
-    :mod:`repro.algorithms.heuristics.warm`).
+    :mod:`repro.algorithms.heuristics.warm`).  ``recorder`` (a
+    :class:`repro.engine.recorder.RunRecorder`) captures restarts and
+    accepted moves as an event log without changing the trajectory.
 
     Raises
     ------
@@ -213,6 +247,8 @@ def local_search_minimize_fp(
     # neighbourhood moves change one or two intervals, so memoized
     # per-interval terms make re-ranking nearly free
     cache = EvaluationCache(application, platform)
+    if recorder is not None:
+        recorder.observe_cache(cache)
 
     def rank(mapping: IntervalMapping) -> _Rank:
         lat = cache.latency(mapping)
@@ -254,6 +290,7 @@ def local_search_minimize_fp(
         pool=pool,
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
+        recorder=recorder,
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(
@@ -282,10 +319,11 @@ def local_search_minimize_latency(
     use_bulk: bool | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise latency subject to FP <= bound'.
 
-    ``use_bulk``/``trace``/``warm_starts`` behave as in
+    ``use_bulk``/``trace``/``warm_starts``/``recorder`` behave as in
     :func:`local_search_minimize_fp`.
 
     Raises
@@ -295,6 +333,8 @@ def local_search_minimize_latency(
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
     cache = EvaluationCache(application, platform)
+    if recorder is not None:
+        recorder.observe_cache(cache)
 
     def rank(mapping: IntervalMapping) -> _Rank:
         lat = cache.latency(mapping)
@@ -332,6 +372,7 @@ def local_search_minimize_latency(
         pool=pool,
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
+        recorder=recorder,
     )
     if best_rank[0] != 0:
         raise InfeasibleProblemError(

@@ -29,6 +29,8 @@ scalar sweep's.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..result import SolverResult
 from ...core.application import PipelineApplication
 from ...core.mapping import IntervalMapping
@@ -39,6 +41,7 @@ from ...core.metrics_bulk import (
     resolve_use_bulk,
 )
 from ...core.platform import Platform
+from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError
 
 __all__ = [
@@ -162,6 +165,7 @@ def single_interval_minimize_fp(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Best single-interval FP under a latency threshold.
 
@@ -169,7 +173,10 @@ def single_interval_minimize_fp(
     platforms (see module docstring); heuristic on Fully Heterogeneous
     ones.  ``use_bulk`` selects vectorized grid scoring (``None`` =
     automatic when numpy is present); the selected mapping and reported
-    objectives are identical either way.
+    objectives are identical either way.  ``recorder`` (a
+    :class:`repro.engine.recorder.RunRecorder`) captures the winning
+    candidate; the grid-size event is diagnostic only (the bulk path
+    scalar-evaluates just the prefilter survivors).
 
     Raises
     ------
@@ -183,6 +190,8 @@ def single_interval_minimize_fp(
         )
     else:
         candidates = single_interval_candidates(application, platform)
+    if recorder is not None:
+        recorder.emit("grid", candidates=len(candidates))
     best: SolverResult | None = None
     for cand in candidates:
         if cand.latency > latency_threshold + slack:
@@ -196,6 +205,15 @@ def single_interval_minimize_fp(
         raise InfeasibleProblemError(
             "no single-interval mapping meets the latency threshold "
             f"{latency_threshold}"
+        )
+    if recorder is not None:
+        recorder.emit(
+            "winner",
+            k=best.extras["k"],
+            speed_floor=best.extras["speed_floor"],
+            latency=best.latency,
+            fp=best.failure_probability,
+            mapping=mapping_to_dict(best.mapping),
         )
     return SolverResult(
         mapping=best.mapping,
@@ -242,11 +260,12 @@ def single_interval_minimize_latency(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    recorder: Any = None,
 ) -> SolverResult:
     """Best single-interval latency under an FP threshold.
 
-    Exactness mirrors :func:`single_interval_minimize_fp`, as does the
-    ``use_bulk`` contract.
+    Exactness mirrors :func:`single_interval_minimize_fp`, as do the
+    ``use_bulk`` and ``recorder`` contracts.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
     if resolve_use_bulk(use_bulk):
@@ -255,6 +274,8 @@ def single_interval_minimize_latency(
         )
     else:
         candidates = single_interval_candidates(application, platform)
+    if recorder is not None:
+        recorder.emit("grid", candidates=len(candidates))
     best: SolverResult | None = None
     for cand in candidates:
         if cand.failure_probability > fp_threshold + slack:
@@ -268,6 +289,15 @@ def single_interval_minimize_latency(
         raise InfeasibleProblemError(
             "no single-interval mapping meets the FP threshold "
             f"{fp_threshold}"
+        )
+    if recorder is not None:
+        recorder.emit(
+            "winner",
+            k=best.extras["k"],
+            speed_floor=best.extras["speed_floor"],
+            latency=best.latency,
+            fp=best.failure_probability,
+            mapping=mapping_to_dict(best.mapping),
         )
     return SolverResult(
         mapping=best.mapping,

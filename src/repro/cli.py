@@ -28,6 +28,16 @@ Subcommands
     ``--warm-start chain`` for warm-start chaining — and print each
     cell's Pareto frontier.  ``--list-scenarios`` dumps the scenario
     registry usable in specs.
+``replay``
+    Deterministic record/replay of solver runs
+    (:mod:`repro.engine.recorder` / :mod:`repro.engine.replay`):
+    ``replay record`` captures a run of ``--solver`` on a random
+    instance into ``--store`` and prints its content-addressed key;
+    ``replay run KEY`` re-executes a stored recording and halts at the
+    first divergence; ``replay diff KEY1 KEY2`` compares two stored
+    recordings event-for-event; ``replay verify`` does
+    record → store → reload → replay in one step (the CI smoke test).
+    Exit code 0 means the logs matched, 1 means they diverged.
 """
 
 from __future__ import annotations
@@ -232,6 +242,74 @@ def build_parser() -> argparse.ArgumentParser:
         "(least-recently-used entries are evicted)",
     )
     sweep.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="deterministic record/replay of solver runs"
+    )
+    replay.add_argument(
+        "action",
+        choices=["record", "run", "diff", "verify"],
+        help="record a run, replay a stored key, diff two stored keys, "
+        "or verify (record + store round-trip + replay) in one step",
+    )
+    replay.add_argument(
+        "keys",
+        nargs="*",
+        metavar="KEY",
+        help="recording key(s): one for 'run', two for 'diff'",
+    )
+    replay.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="recording store (.json file or SQLite database); required "
+        "for record/run/diff, optional for verify",
+    )
+    replay.add_argument(
+        "--solver",
+        default="local-search-min-fp",
+        help="recordable solver to record (default: local-search-min-fp)",
+    )
+    replay.add_argument("--stages", type=int, default=4)
+    replay.add_argument("--processors", type=int, default=3)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--platform",
+        choices=["fully-homogeneous", "comm-homogeneous", "fully-heterogeneous"],
+        default="comm-homogeneous",
+    )
+    replay.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="threshold for the recorded query (default: derived from "
+        "the instance's mono-criterion optimum)",
+    )
+    replay.add_argument(
+        "--use-bulk",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="evaluation path for the recorded run (auto = solver default)",
+    )
+    replay.add_argument(
+        "--record-cache",
+        action="store_true",
+        help="record per-lookup evaluation-cache hit/miss events",
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="compare every event including diagnostics (same-path replays)",
+    )
+    replay.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="context events shown around a divergence (default: 3)",
+    )
+    replay.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
     return parser
@@ -738,6 +816,172 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import (
+        DEFAULT_IGNORE,
+        MemoryStore,
+        Objective,
+        RunRecording,
+        diff_runs,
+        get_solver,
+        open_store,
+        record_run,
+        replay_run,
+    )
+    from .exceptions import ReproError
+
+    def _report_payload(report):
+        payload = {
+            "status": report.status.value,
+            "events_compared": report.events_compared,
+        }
+        if report.divergence is not None:
+            d = report.divergence
+            payload["divergence"] = {
+                "index": d.index,
+                "kind": d.kind,
+                "expected": d.expected,
+                "got": d.got,
+                "field_diffs": [
+                    {"field": f.field, "expected": f.expected, "got": f.got}
+                    for f in d.field_diffs
+                ],
+                "window_expected": list(d.window_expected),
+                "window_got": list(d.window_got),
+            }
+        return payload
+
+    def _print_report(report):
+        if args.json:
+            print(json.dumps(_report_payload(report), indent=2))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+
+    needed = {"record": 0, "verify": 0, "run": 1, "diff": 2}[args.action]
+    if len(args.keys) != needed:
+        print(
+            f"error: replay {args.action} takes {needed} key argument(s), "
+            f"got {len(args.keys)}"
+        )
+        return 2
+    if args.action in ("record", "run", "diff") and not args.store:
+        print(f"error: replay {args.action} requires --store")
+        return 2
+
+    store = None
+    try:
+        if args.store:
+            store = open_store(args.store)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    try:
+        if args.action in ("run", "diff"):
+            recordings = []
+            for key in args.keys:
+                record = store.get(key)
+                if record is None:
+                    print(f"error: no recording under key {key!r}")
+                    return 2
+                recordings.append(RunRecording.from_record(record))
+            if args.action == "run":
+                report = replay_run(
+                    recordings[0], strict=args.strict, window=args.window
+                )
+            else:
+                report = diff_runs(
+                    recordings[0],
+                    recordings[1],
+                    ignore=() if args.strict else DEFAULT_IGNORE,
+                    window=args.window,
+                )
+            return _print_report(report)
+
+        # record / verify: build the instance and capture a fresh run
+        spec = get_solver(args.solver)
+        application, platform = _random_instance(
+            args.stages, args.processors, args.seed, args.platform
+        )
+        threshold = args.threshold
+        if threshold is None:
+            # a always-feasible bound derived from the mono-criterion
+            # optimum: twice the all-replicas latency for min-FP queries,
+            # a generous FP ceiling for min-latency ones
+            from .algorithms.mono import minimize_failure_probability
+
+            base = minimize_failure_probability(application, platform)
+            if spec.objective is Objective.MIN_FP:
+                threshold = 2.0 * base.latency
+            else:
+                threshold = max(0.9, 2.0 * base.failure_probability)
+        opts = {}
+        if args.use_bulk != "auto":
+            opts["use_bulk"] = args.use_bulk == "on"
+        if spec.seeded:
+            opts["seed"] = args.seed
+
+        if args.action == "record":
+            _, recording = record_run(
+                args.solver,
+                application,
+                platform,
+                threshold,
+                store=store,
+                record_cache=args.record_cache,
+                **opts,
+            )
+            key = recording.key()
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "key": key,
+                            "solver": recording.solver,
+                            "solver_version": recording.solver_version,
+                            "events": len(recording.events),
+                            "error": recording.error,
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                print(f"recorded {len(recording.events)} event(s)")
+                print(f"key: {key}")
+            return 0
+
+        # verify: record, persist, reload, replay the reloaded copy
+        verify_store = store if store is not None else MemoryStore()
+        _, recording = record_run(
+            args.solver,
+            application,
+            platform,
+            threshold,
+            store=verify_store,
+            record_cache=args.record_cache,
+            **opts,
+        )
+        reloaded = RunRecording.from_record(verify_store.get(recording.key()))
+        report = replay_run(
+            reloaded, strict=args.strict, window=args.window
+        )
+        if not args.json:
+            print(
+                f"{args.solver}: recorded {len(recording.events)} event(s), "
+                f"key {recording.key()}"
+            )
+        return _print_report(report)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    finally:
+        if store is not None:
+            store.close()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -754,6 +998,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

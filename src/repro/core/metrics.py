@@ -48,7 +48,7 @@ from __future__ import annotations
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from .application import PipelineApplication
 from .mapping import GeneralMapping, IntervalMapping
@@ -575,6 +575,11 @@ class EvaluationCache:
         self._in_terms: dict[frozenset[int], float] = {}
         self.hits = 0
         self.misses = 0
+        # optional per-lookup observer ``hook(term_kind, hit)`` with
+        # term_kind in {"lat", "rel", "in"} — the run recorder plugs in
+        # here (repro.engine.recorder); None keeps the hot path at one
+        # falsy check per term
+        self.event_hook: Callable[[str, bool], None] | None = None
         # adopt the process-global shared term set when one is installed
         # for this exact instance: terms computed by any cache (in this
         # process, or shipped from the parent via a snapshot) are then
@@ -644,8 +649,12 @@ class EvaluationCache:
                 prod *= self._fps[u - 1]
             term = math.log1p(-prod) if prod < 1.0 else -math.inf
             self._rel_terms[alloc] = term
+            if self.event_hook is not None:
+                self.event_hook("rel", False)
         else:
             self.hits += 1
+            if self.event_hook is not None:
+                self.event_hook("rel", True)
         return term
 
     def failure_probability(self, mapping: IntervalMapping) -> float:
@@ -677,8 +686,12 @@ class EvaluationCache:
                 float(sum(self._works[start - 1 : end])) / slowest,
             )
             self._lat_terms[key] = term
+            if self.event_hook is not None:
+                self.event_hook("lat", False)
         else:
             self.hits += 1
+            if self.event_hook is not None:
+                self.event_hook("lat", True)
         return term
 
     def _input_term(self, alloc: frozenset[int]) -> float:
@@ -692,8 +705,12 @@ class EvaluationCache:
             ]
             term = sum(sends) if self.one_port else max(sends)
             self._in_terms[alloc] = term
+            if self.event_hook is not None:
+                self.event_hook("in", False)
         else:
             self.hits += 1
+            if self.event_hook is not None:
+                self.event_hook("in", True)
         return term
 
     def _het_term(
@@ -722,8 +739,12 @@ class EvaluationCache:
                 worst = max(worst, work / self._speeds[u - 1] + sends)
             term = worst
             self._lat_terms[key] = term
+            if self.event_hook is not None:
+                self.event_hook("lat", False)
         else:
             self.hits += 1
+            if self.event_hook is not None:
+                self.event_hook("lat", True)
         return term
 
     def latency(self, mapping: IntervalMapping) -> float:

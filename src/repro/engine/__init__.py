@@ -22,7 +22,12 @@ parallel, fault-isolated solving service:
   :class:`SweepPlan`\\ s (instances × solvers × threshold grids, JSON
   spec round-trip, scenario-generator references) executed with
   duplicate dedup, a shared evaluation-cache hand-off (serial *and*
-  cross-process) and warm-start chaining for the heuristics.
+  cross-process) and warm-start chaining for the heuristics;
+* :mod:`repro.engine.recorder` / :mod:`repro.engine.replay` —
+  deterministic record/replay: :func:`record_run` captures a solver run
+  as an append-only event log persisted in the store, and
+  :func:`replay_run` / :func:`diff_runs` re-execute and halt at the
+  first divergence with structured diagnostics.
 
 Quickstart::
 
@@ -53,6 +58,7 @@ from .batch import (
     threshold_sweep,
 )
 from .policy import BatchPolicy, ErrorKind, TaskTimeoutError
+from .recorder import RunRecorder, RunRecording, record_run, recording_key
 from .registry import (
     Objective,
     SolverSpec,
@@ -62,6 +68,15 @@ from .registry import (
     solver_names,
     solver_specs,
     unregister,
+)
+from .replay import (
+    DEFAULT_IGNORE,
+    Divergence,
+    FieldDiff,
+    ReplayReport,
+    ReplayStatus,
+    diff_runs,
+    replay_run,
 )
 from .store import (
     JSONStore,
@@ -111,4 +126,15 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "run_sweep",
+    "RunRecorder",
+    "RunRecording",
+    "record_run",
+    "recording_key",
+    "ReplayStatus",
+    "ReplayReport",
+    "Divergence",
+    "FieldDiff",
+    "DEFAULT_IGNORE",
+    "diff_runs",
+    "replay_run",
 ]

@@ -7,9 +7,10 @@ thresholds) is executed either serially or sharded across
 
 * **streaming results** — :func:`iter_batch` yields
   :class:`BatchOutcome`\\ s as tasks finish (``imap_unordered`` under the
-  hood, with an ordering buffer restoring input order by default), so
-  long grids produce output from the first completion instead of the
-  last;
+  hood, with an ordering buffer restoring input order by default, and an
+  optional ``max_buffered`` bound switching to windowed dispatch so one
+  stalled task cannot grow the buffer without limit), so long grids
+  produce output from the first completion instead of the last;
 * **fault isolation** — *every* task failure (infeasible threshold,
   domain violation, crash inside a solver, timeout) is captured as a
   failed outcome with a structured
@@ -38,6 +39,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -310,6 +312,7 @@ def iter_batch(
     store: ResultStore | None = None,
     chunksize: int | None = 1,
     in_order: bool = True,
+    max_buffered: int | None = None,
     initializer: Any = None,
     initargs: tuple = (),
 ) -> Iterator[BatchOutcome]:
@@ -351,6 +354,18 @@ def iter_batch(
         True (default) buffers out-of-order completions and yields in
         task order; False yields in completion order (each outcome still
         carries its ``index``).
+    max_buffered:
+        Bound on the parallel in-order path's reordering buffer.  By
+        default completions are buffered without limit, so one stalled
+        task lets every faster task's outcome pile up in memory while
+        the consumer waits.  Setting ``max_buffered`` switches that path
+        to windowed dispatch: at most ``max_buffered + 1`` tasks are in
+        flight or buffered at any moment (the ``+1`` is the stalled head
+        itself), and dispatch of further tasks waits until the head
+        completes — consumer-side backpressure at the cost of pipeline
+        slack.  ``chunksize`` is ignored on this path (dispatch is
+        per-task by construction).  Ignored for serial and
+        ``in_order=False`` runs, which never buffer.
     initializer / initargs:
         Run once in every *worker process* before it takes tasks
         (forwarded to ``multiprocessing.Pool``).  The sweep engine uses
@@ -367,6 +382,10 @@ def iter_batch(
         programming error, unlike a solver failure, which is reported
         per-outcome.
     """
+    if max_buffered is not None and max_buffered < 1:
+        raise SolverError(
+            f"max_buffered must be >= 1 (got {max_buffered})"
+        )
     policy = policy or BatchPolicy()
     payloads = _prepare(list(tasks), seed, policy)
     total = len(payloads)
@@ -424,6 +443,39 @@ def iter_batch(
     with multiprocessing.Pool(
         processes=workers, initializer=initializer, initargs=initargs
     ) as pool:
+        if in_order and max_buffered is not None:
+            # windowed dispatch: at most max_buffered + 1 tasks are in
+            # flight or completed-but-unyielded at once, so a stalled
+            # head task bounds memory instead of letting every faster
+            # completion pile up in the reordering buffer
+            window = max_buffered + 1
+            queue = deque(misses)
+            pending: deque[tuple[int, Any]] = deque()
+
+            def _pump() -> None:
+                while queue and len(pending) < window:
+                    payload = queue.popleft()
+                    pending.append(
+                        (payload[0], pool.apply_async(_execute, (payload,)))
+                    )
+
+            _pump()
+            next_index = 0
+            while next_index in ready:
+                yield ready.pop(next_index)
+                next_index += 1
+            while pending:
+                # misses are queued in index order, so the deque head is
+                # always the lowest-index in-flight task: blocking on it
+                # is exactly the in-order wait
+                _, async_result = pending.popleft()
+                outcome = _finish(async_result.get())
+                ready[outcome.index] = outcome
+                while next_index in ready:
+                    yield ready.pop(next_index)
+                    next_index += 1
+                _pump()
+            return
         completions = pool.imap_unordered(
             _execute, misses, chunksize=max(1, chunksize)
         )

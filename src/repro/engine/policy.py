@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, TypeVar
 
@@ -184,7 +185,12 @@ def run_with_timeout(
             raise TaskTimeoutError(f"task exceeded timeout of {timeout:g}s")
 
     previous = signal.signal(signal.SIGALRM, _raise)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    # setitimer returns the timer it displaced: an enclosing guard (a
+    # nested policy, or a caller using SIGALRM for its own bookkeeping)
+    # may still be counting down, and zeroing the timer on exit would
+    # silently disarm it — so re-arm it with whatever time it has left
+    prev_delay, prev_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
+    start = time.monotonic()
     try:
         result = fn()
         finished = True
@@ -192,3 +198,10 @@ def run_with_timeout(
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prev_delay > 0.0:
+            remaining = prev_delay - (time.monotonic() - start)
+            # an already-expired outer timer must still fire: re-arm it
+            # with a minimal positive delay (0.0 would disarm instead)
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )

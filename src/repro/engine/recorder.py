@@ -1,0 +1,363 @@
+"""Run recording: capture a solver run as an append-only event log.
+
+Four PRs of vectorization lean on bit-identical-trajectory equivalence
+tests; when one fails, "the frontiers differ" is the only signal.  This
+module makes solver runs *inspectable*: a :class:`RunRecorder` threaded
+through a heuristic's existing ``trace``/consider paths captures an
+append-only event log — initial state, every accepted move with its
+scalar score, rng draw counters, optional evaluation-cache hit/miss
+events, and the final result — and :func:`record_run` packages one run
+as a :class:`RunRecording`, persisted as a content-addressed artifact in
+the existing :mod:`repro.engine.store` (keyed like results, tagged with
+the registered :class:`~repro.engine.registry.SolverSpec` version, so a
+solver change invalidates stale recordings the same way it invalidates
+stale results).
+
+The recording contract (the forkline/CyberSentinel pattern):
+
+* **recording never changes the trajectory** — the counting rng
+  subclasses :class:`random.Random` overriding only the two primitive
+  draws (every public method funnels through them), so the draw
+  sequence is identical with and without a recorder; event emission is
+  pure observation;
+* **events carry scalar-exact values** — payloads are JSON-ified at
+  emission (shortest-repr floats round-trip bit-exactly), so a stored
+  recording replays byte-identically;
+* **sequence numbers** — every event carries ``seq`` and the rng draw
+  counter at emission, giving the replay engine a total order to
+  diverge against (see :mod:`repro.engine.replay`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..algorithms.result import SolverResult
+from ..core.application import PipelineApplication
+from ..core.metrics import EvaluationCache
+from ..core.platform import Platform
+from ..core.serialization import (
+    _jsonable,
+    application_from_dict,
+    application_to_dict,
+    canonical_json,
+    platform_from_dict,
+    platform_to_dict,
+    solver_result_from_dict,
+    solver_result_to_dict,
+)
+from ..exceptions import InfeasibleProblemError, ReproError, SolverError
+from .registry import get_solver, solve
+
+__all__ = [
+    "RunRecorder",
+    "RunRecording",
+    "record_run",
+    "recording_key",
+]
+
+#: bump when the event layout or key derivation changes incompatibly
+_RECORDING_SCHEMA = 1
+
+
+class _CountingRandom(random.Random):
+    """A ``random.Random`` that counts its primitive draws.
+
+    Only ``random()`` and ``getrandbits()`` are overridden: every other
+    method (``shuffle``, ``choice``, ``randint``, ``sample``, ...)
+    funnels through these two primitives, so the generated sequence is
+    exactly that of a plain ``random.Random(seed)`` — the counter is
+    pure observation.
+    """
+
+    def __init__(self, seed: int | None) -> None:
+        super().__init__(seed)
+        self.draws = 0
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+    def getrandbits(self, k: int) -> int:
+        self.draws += 1
+        return super().getrandbits(k)
+
+
+class RunRecorder:
+    """Append-only event log for one solver run.
+
+    Solvers with a ``recorder=`` hook call :meth:`emit` at their
+    decision points, :meth:`rng` instead of ``random.Random(seed)``
+    (identical draw sequence, plus a draw counter stamped on every
+    event), and :meth:`observe_cache` on their
+    :class:`~repro.core.metrics.EvaluationCache` (final hit/miss stats
+    always; per-lookup ``cache`` events when ``record_cache`` is set —
+    off by default, since a long run emits thousands of them).
+    """
+
+    def __init__(self, *, record_cache: bool = False) -> None:
+        self.record_cache = record_cache
+        self.events: list[dict[str, Any]] = []
+        self._rngs: list[_CountingRandom] = []
+        self._caches: list[EvaluationCache] = []
+
+    @property
+    def rng_draws(self) -> int:
+        """Total primitive draws across every rng handed out."""
+        return sum(rng.draws for rng in self._rngs)
+
+    def emit(self, kind: str, **payload: Any) -> None:
+        """Append one event (payload JSON-ified so it round-trips)."""
+        event: dict[str, Any] = {
+            "seq": len(self.events),
+            "kind": kind,
+            "rng_draws": self.rng_draws,
+        }
+        for key, value in payload.items():
+            event[key] = _jsonable(value)
+        self.events.append(event)
+
+    def rng(self, seed: int | None) -> random.Random:
+        """A counting rng with the exact draw sequence of ``Random(seed)``."""
+        rng = _CountingRandom(seed)
+        self._rngs.append(rng)
+        return rng
+
+    def observe_cache(self, cache: EvaluationCache) -> None:
+        """Watch an evaluation cache (stats at finish; events if opted in)."""
+        self._caches.append(cache)
+        if self.record_cache:
+            cache.event_hook = lambda term, hit: self.emit(
+                "cache", term=term, hit=hit
+            )
+
+    def finish(
+        self, result: SolverResult | None, error: str | None = None
+    ) -> None:
+        """Emit the terminal events (cache stats, then the result)."""
+        for cache in self._caches:
+            self.emit("cache_stats", **cache.stats)
+            if self.record_cache:
+                cache.event_hook = None
+        self.emit(
+            "result",
+            result=(
+                solver_result_to_dict(result) if result is not None else None
+            ),
+            error=error,
+        )
+
+
+@dataclass
+class RunRecording:
+    """One recorded solver run, ready for the store and for replay."""
+
+    solver: str
+    solver_version: int
+    application: dict[str, Any]
+    platform: dict[str, Any]
+    threshold: float | None
+    opts: dict[str, Any]
+    events: list[dict[str, Any]] = field(default_factory=list)
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    def key(self) -> str:
+        """Content-addressed store key of this recording's *query*.
+
+        Covers everything that determines the run (instance, solver name
+        + version, threshold, effective opts) plus an ``artifact``
+        discriminator, so recordings can share a store with plain
+        results without key collisions.  Same query → same key: a
+        re-recording overwrites rather than duplicates.
+        """
+        return recording_key(
+            self.solver,
+            self.application,
+            self.platform,
+            self.threshold,
+            self.opts,
+            solver_version=self.solver_version,
+        )
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-compatible store record (inverse of :meth:`from_record`)."""
+        return {
+            "schema": _RECORDING_SCHEMA,
+            "kind": "run-recording",
+            "solver": self.solver,
+            "solver_version": self.solver_version,
+            "application": self.application,
+            "platform": self.platform,
+            "threshold": self.threshold,
+            "opts": self.opts,
+            "events": self.events,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunRecording":
+        """Rebuild a recording from its store record."""
+        if record.get("kind") != "run-recording":
+            raise ReproError(
+                f"expected a run-recording record, got {record.get('kind')!r}"
+            )
+        if record.get("schema") != _RECORDING_SCHEMA:
+            raise ReproError(
+                f"unsupported recording schema {record.get('schema')!r} "
+                f"(this library writes {_RECORDING_SCHEMA})"
+            )
+        return cls(
+            solver=record["solver"],
+            solver_version=record["solver_version"],
+            application=dict(record["application"]),
+            platform=dict(record["platform"]),
+            threshold=record["threshold"],
+            opts=dict(record["opts"]),
+            events=list(record["events"]),
+            result=record.get("result"),
+            error=record.get("error"),
+        )
+
+    def instance(self) -> tuple[PipelineApplication, Platform]:
+        """The recorded problem instance, deserialised."""
+        return (
+            application_from_dict(self.application),
+            platform_from_dict(self.platform),
+        )
+
+    def solver_result(self) -> SolverResult | None:
+        """The recorded final result, deserialised (None on error runs)."""
+        if self.result is None:
+            return None
+        return solver_result_from_dict(self.result)
+
+
+def recording_key(
+    solver: str,
+    application: PipelineApplication | Mapping[str, Any],
+    platform: Platform | Mapping[str, Any],
+    threshold: float | None = None,
+    opts: Mapping[str, Any] | None = None,
+    *,
+    solver_version: int = 1,
+) -> str:
+    """Canonical content hash of one recording query.
+
+    Mirrors :func:`repro.engine.store.instance_key` (so a recording is
+    keyed exactly like the result it records) with an ``artifact``
+    discriminator keeping recording keys disjoint from result keys in a
+    shared store.
+    """
+    app_dict = (
+        application_to_dict(application)
+        if isinstance(application, PipelineApplication)
+        else dict(application)
+    )
+    plat_dict = (
+        platform_to_dict(platform)
+        if isinstance(platform, Platform)
+        else dict(platform)
+    )
+    payload = {
+        "schema": _RECORDING_SCHEMA,
+        "artifact": "recording",
+        "solver": solver,
+        "solver_version": solver_version,
+        "application": app_dict,
+        "platform": plat_dict,
+        "threshold": threshold,
+        "opts": dict(opts or {}),
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("ascii"))
+    return digest.hexdigest()
+
+
+def record_run(
+    solver: str,
+    application: PipelineApplication,
+    platform: Platform,
+    threshold: float | None = None,
+    *,
+    store: Any = None,
+    record_cache: bool = False,
+    **opts: Any,
+) -> tuple[SolverResult | None, RunRecording]:
+    """Run a recordable solver, capturing its run as a
+    :class:`RunRecording`.
+
+    The solver executes through the registry front door with a
+    :class:`RunRecorder` threaded through its ``recorder=`` hook, so
+    the result is identical to a plain :func:`repro.engine.solve` call
+    with the same arguments (recording is pure observation — a
+    machine-checked property).  An infeasible threshold is a *recorded*
+    outcome (result ``None``, the error on the recording), not an
+    exception: infeasibility replays deterministically too.  Any other
+    solver exception propagates unrecorded.
+
+    ``opts`` must be JSON-representable (they are stored verbatim and
+    fed back to the solver on replay); for seeded solvers an omitted
+    seed is pinned to the solver default of 0 so the recording key
+    states the seed it ran under.  With ``store`` set the recording is
+    written under its content-addressed :meth:`RunRecording.key`.
+
+    Raises
+    ------
+    repro.exceptions.SolverError
+        If the solver is not registered as ``recordable``, or the opts
+        do not survive a JSON round-trip.
+    """
+    spec = get_solver(solver)
+    if not spec.recordable:
+        raise SolverError(
+            f"solver {solver!r} does not support run recording "
+            f"(no recorder= hook)"
+        )
+    opts = dict(opts)
+    if spec.seeded:
+        opts.setdefault("seed", 0)
+    if _jsonable(opts) != opts:
+        raise SolverError(
+            f"record_run opts for {solver!r} are not JSON-representable; "
+            f"pass plain dicts/lists/scalars (e.g. serialised warm starts)"
+        )
+
+    recorder = RunRecorder(record_cache=record_cache)
+    recorder.emit(
+        "begin",
+        solver=solver,
+        solver_version=spec.version,
+        threshold=threshold,
+        opts=opts,
+        record_cache=record_cache,
+    )
+    result: SolverResult | None = None
+    error: str | None = None
+    try:
+        result = solve(
+            solver, application, platform, threshold, recorder=recorder, **opts
+        )
+    except InfeasibleProblemError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    recorder.finish(result, error)
+
+    recording = RunRecording(
+        solver=solver,
+        solver_version=spec.version,
+        application=application_to_dict(application),
+        platform=platform_to_dict(platform),
+        threshold=threshold,
+        opts=opts,
+        events=recorder.events,
+        result=(
+            solver_result_to_dict(result) if result is not None else None
+        ),
+        error=error,
+    )
+    if store is not None:
+        store.put(recording.key(), recording.to_record())
+    return result, recording

@@ -91,6 +91,11 @@ class SolverSpec:
         (candidate mappings it is guaranteed to match or beat); the
         sweep engine uses this to chain threshold grids
         (:mod:`repro.engine.sweeps`).
+    recordable:
+        True when the solver accepts a ``recorder`` keyword (a
+        :class:`repro.engine.recorder.RunRecorder`) and emits its
+        decision trajectory as events; :func:`repro.engine.recorder.record_run`
+        refuses solvers without it.
     platforms:
         Platform classes the solver accepts.
     requires_failure_homogeneous:
@@ -112,6 +117,7 @@ class SolverSpec:
     needs_threshold: bool
     seeded: bool = False
     warm_startable: bool = False
+    recordable: bool = False
     platforms: frozenset[PlatformClass] = _ALL
     requires_failure_homogeneous: bool = False
     description: str = ""
@@ -360,11 +366,13 @@ _spec(
     objective=Objective.MIN_FP,
     exact=True,
     needs_threshold=True,
+    recordable=True,
     description="exhaustive exact min FP (vectorized block enumeration, "
     "small instances)",
     # v2: vectorized bulk evaluation path (PR 3) — extras and ulp-level
     # tie-breaking changed, so stale store entries must not replay
-    version=2,
+    # v3: recorder option (record/replay, PR 6) — option surface changed
+    version=3,
 )
 _spec(
     name="exhaustive-min-latency",
@@ -372,9 +380,10 @@ _spec(
     objective=Objective.MIN_LATENCY,
     exact=True,
     needs_threshold=True,
+    recordable=True,
     description="exhaustive exact min latency (vectorized block "
     "enumeration, small instances)",
-    version=2,
+    version=3,
 )
 _spec(
     name="bnb-min-fp",
@@ -401,14 +410,17 @@ _spec(
 # store entries must not mix with new ones
 # v3 (greedy/local-search/anneal): warm_starts option (sweep chaining,
 # PR 5) — defaults unchanged, but the option surface changed again
+# v3 (single-interval) / v4 (the rest): recorder option (record/replay,
+# PR 6) — results unchanged, option surface changed
 _spec(
     name="single-interval-min-fp",
     func=heuristics.single_interval_minimize_fp,
     objective=Objective.MIN_FP,
     exact=False,
     needs_threshold=True,
+    recordable=True,
     description="best single-interval mapping under a latency bound",
-    version=2,
+    version=3,
 )
 _spec(
     name="single-interval-min-latency",
@@ -416,8 +428,9 @@ _spec(
     objective=Objective.MIN_LATENCY,
     exact=False,
     needs_threshold=True,
+    recordable=True,
     description="best single-interval mapping under an FP bound",
-    version=2,
+    version=3,
 )
 _spec(
     name="greedy-min-fp",
@@ -426,8 +439,9 @@ _spec(
     exact=False,
     needs_threshold=True,
     warm_startable=True,
+    recordable=True,
     description="constructive split-and-replicate (latency bound)",
-    version=3,
+    version=4,
 )
 _spec(
     name="greedy-min-latency",
@@ -436,8 +450,9 @@ _spec(
     exact=False,
     needs_threshold=True,
     warm_startable=True,
+    recordable=True,
     description="constructive split-and-replicate (FP bound)",
-    version=3,
+    version=4,
 )
 _spec(
     name="local-search-min-fp",
@@ -447,8 +462,9 @@ _spec(
     needs_threshold=True,
     seeded=True,
     warm_startable=True,
+    recordable=True,
     description="multi-restart hill climbing (latency bound)",
-    version=3,
+    version=4,
 )
 _spec(
     name="local-search-min-latency",
@@ -458,8 +474,9 @@ _spec(
     needs_threshold=True,
     seeded=True,
     warm_startable=True,
+    recordable=True,
     description="multi-restart hill climbing (FP bound)",
-    version=3,
+    version=4,
 )
 _spec(
     name="anneal-min-fp",
@@ -469,8 +486,9 @@ _spec(
     needs_threshold=True,
     seeded=True,
     warm_startable=True,
+    recordable=True,
     description="simulated annealing (latency bound)",
-    version=3,
+    version=4,
 )
 _spec(
     name="anneal-min-latency",
@@ -480,6 +498,7 @@ _spec(
     needs_threshold=True,
     seeded=True,
     warm_startable=True,
+    recordable=True,
     description="simulated annealing (FP bound)",
-    version=3,
+    version=4,
 )

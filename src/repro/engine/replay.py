@@ -1,0 +1,299 @@
+"""Read-only replay of recorded solver runs, halting at first divergence.
+
+The counterpart of :mod:`repro.engine.recorder`: given a
+:class:`~repro.engine.recorder.RunRecording` (or its store key),
+:func:`replay_run` re-executes the recorded query and compares the
+fresh event log against the recorded one; :func:`diff_runs` compares
+any two logs directly.  Both follow the forkline/CyberSentinel replay
+invariants:
+
+* **replay is read-only** — the recorded artifact is never modified;
+  the fresh run happens on a throwaway recorder;
+* **first divergence wins** — comparison walks both logs in sequence
+  order and stops at the first mismatching event, reporting a
+  structured :class:`Divergence` (event index, kind, expected vs got,
+  field-level diffs, a surrounding context window) instead of a bare
+  boolean;
+* **diagnostic events don't fail a diff** — cache hit/miss streams,
+  begin banners and candidate-grid sizes legitimately differ between
+  the scalar and bulk evaluation paths, so :data:`DEFAULT_IGNORE`
+  filters them by default; ``strict`` comparison (same-path replays)
+  compares everything.
+
+A recording carries the :class:`~repro.engine.registry.SolverSpec`
+version it was made under; replaying against a registry whose solver
+has moved on reports :attr:`ReplayStatus.STALE` rather than a
+meaningless trajectory diff.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import ReproError
+from .recorder import RunRecording, record_run
+from .registry import get_solver
+
+__all__ = [
+    "ReplayStatus",
+    "FieldDiff",
+    "Divergence",
+    "ReplayReport",
+    "diff_runs",
+    "replay_run",
+    "DEFAULT_IGNORE",
+]
+
+#: Event kinds excluded from non-strict comparison: pure diagnostics
+#: whose streams legitimately differ between equivalent runs (the bulk
+#: path's cache-term traffic and survivor-grid sizes are not part of
+#: the decision trajectory; the begin banner pins ``use_bulk`` etc.).
+DEFAULT_IGNORE = frozenset({"begin", "cache", "cache_stats", "grid"})
+
+
+class ReplayStatus(enum.Enum):
+    """Outcome of one replay/diff."""
+
+    #: every compared event matched
+    MATCH = "match"
+    #: an event differed (see :class:`Divergence`)
+    DIVERGED = "diverged"
+    #: one log ended while the other continued
+    TRUNCATED = "truncated"
+    #: the registered solver version differs from the recording's
+    STALE = "stale"
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One differing field inside a divergent event."""
+
+    field: str
+    expected: Any
+    got: Any
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two event logs disagree.
+
+    ``index`` counts *compared* (non-ignored) events; ``expected`` /
+    ``got`` are the full events (``got`` is None when a log simply
+    ended), ``field_diffs`` pinpoint the differing payload fields, and
+    the ``window_*`` lists give the surrounding compared events for
+    context.
+    """
+
+    index: int
+    kind: str
+    expected: dict[str, Any] | None
+    got: dict[str, Any] | None
+    field_diffs: tuple[FieldDiff, ...] = ()
+    window_expected: tuple[dict[str, Any], ...] = ()
+    window_got: tuple[dict[str, Any], ...] = ()
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        lines = [f"first divergence at event {self.index} (kind={self.kind!r})"]
+        if self.expected is None or self.got is None:
+            which = "expected" if self.expected is None else "replayed"
+            lines.append(f"  the {which} log ends here (truncated)")
+        for diff in self.field_diffs:
+            lines.append(
+                f"  {diff.field}: expected {diff.expected!r}, "
+                f"got {diff.got!r}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Result of one replay/diff: status plus the first divergence."""
+
+    status: ReplayStatus
+    events_compared: int
+    divergence: Divergence | None = None
+    recorded_events: tuple[dict[str, Any], ...] = field(
+        default=(), repr=False
+    )
+    replayed_events: tuple[dict[str, Any], ...] = field(
+        default=(), repr=False
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when the logs matched event-for-event."""
+        return self.status is ReplayStatus.MATCH
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        if self.ok:
+            return (
+                f"match: {self.events_compared} event(s) compared, "
+                f"zero divergences"
+            )
+        if self.status is ReplayStatus.STALE:
+            return "stale: recorded solver version differs from the registry"
+        assert self.divergence is not None
+        return (
+            f"{self.status.value} after {self.divergence.index} matching "
+            f"event(s)\n{self.divergence.summary()}"
+        )
+
+
+def _events(log: Any) -> list[dict[str, Any]]:
+    """Coerce a RunRecording / record dict / raw event list to events."""
+    if isinstance(log, RunRecording):
+        return list(log.events)
+    if isinstance(log, Mapping):
+        return list(log["events"])
+    return list(log)
+
+
+def _field_diffs(
+    expected: Mapping[str, Any], got: Mapping[str, Any]
+) -> tuple[FieldDiff, ...]:
+    """Per-field comparison of two events (``seq`` excluded: it shifts
+    when ignored events interleave differently between the logs)."""
+    diffs = []
+    for key in sorted(set(expected) | set(got)):
+        if key == "seq":
+            continue
+        sentinel = object()
+        a = expected.get(key, sentinel)
+        b = got.get(key, sentinel)
+        if a != b:
+            diffs.append(
+                FieldDiff(
+                    field=key,
+                    expected=None if a is sentinel else a,
+                    got=None if b is sentinel else b,
+                )
+            )
+    return tuple(diffs)
+
+
+def diff_runs(
+    recorded: Any,
+    replayed: Any,
+    *,
+    ignore: Iterable[str] = DEFAULT_IGNORE,
+    window: int = 3,
+) -> ReplayReport:
+    """Compare two event logs, halting at the first divergence.
+
+    ``recorded`` / ``replayed`` may be :class:`RunRecording` objects,
+    their store records, or raw event lists.  Events whose ``kind`` is
+    in ``ignore`` are dropped from both logs before comparison (pass
+    ``ignore=()`` for strict comparison); the surviving events are
+    compared field-by-field in order — the first mismatch, or the first
+    index where one log ends, produces a structured
+    :class:`Divergence` with ``window`` events of context either side.
+    """
+    ignored = frozenset(ignore)
+    a = [e for e in _events(recorded) if e.get("kind") not in ignored]
+    b = [e for e in _events(replayed) if e.get("kind") not in ignored]
+
+    def _context(events: Sequence[dict[str, Any]], i: int):
+        return tuple(events[max(0, i - window) : i + window + 1])
+
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        diffs = _field_diffs(ea, eb)
+        if diffs:
+            return ReplayReport(
+                status=ReplayStatus.DIVERGED,
+                events_compared=i,
+                divergence=Divergence(
+                    index=i,
+                    kind=str(ea.get("kind")),
+                    expected=ea,
+                    got=eb,
+                    field_diffs=diffs,
+                    window_expected=_context(a, i),
+                    window_got=_context(b, i),
+                ),
+                recorded_events=tuple(a),
+                replayed_events=tuple(b),
+            )
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        longer = a if len(a) > len(b) else b
+        return ReplayReport(
+            status=ReplayStatus.TRUNCATED,
+            events_compared=i,
+            divergence=Divergence(
+                index=i,
+                kind=str(longer[i].get("kind")),
+                expected=a[i] if i < len(a) else None,
+                got=b[i] if i < len(b) else None,
+                window_expected=_context(a, i),
+                window_got=_context(b, i),
+            ),
+            recorded_events=tuple(a),
+            replayed_events=tuple(b),
+        )
+    return ReplayReport(
+        status=ReplayStatus.MATCH,
+        events_compared=len(a),
+        recorded_events=tuple(a),
+        replayed_events=tuple(b),
+    )
+
+
+def replay_run(
+    recording: RunRecording | str,
+    store: Any = None,
+    *,
+    strict: bool = False,
+    window: int = 3,
+) -> ReplayReport:
+    """Re-execute a recorded run and diff the fresh log against it.
+
+    ``recording`` is a :class:`RunRecording` or a store key (``store``
+    then required).  The recorded query — instance, solver, threshold,
+    effective opts — is re-run through :func:`record_run` on a
+    throwaway recorder (the stored artifact is never written to), and
+    the two logs are compared with :func:`diff_runs`.  ``strict``
+    compares *every* event including diagnostics (meaningful for
+    same-path replays); the default ignores :data:`DEFAULT_IGNORE`.
+
+    A recording made under a different registered solver version
+    reports :attr:`ReplayStatus.STALE` without re-executing: comparing
+    trajectories across solver versions is noise, not signal.
+    """
+    if isinstance(recording, str):
+        if store is None:
+            raise ReproError(
+                "replay_run needs a store to resolve a recording key"
+            )
+        record = store.get(recording)
+        if record is None:
+            raise ReproError(f"no recording under key {recording!r}")
+        recording = RunRecording.from_record(record)
+
+    spec = get_solver(recording.solver)
+    if spec.version != recording.solver_version:
+        return ReplayReport(
+            status=ReplayStatus.STALE,
+            events_compared=0,
+            recorded_events=tuple(recording.events),
+        )
+
+    application, platform = recording.instance()
+    record_cache = any(e.get("kind") == "cache" for e in recording.events)
+    _, fresh = record_run(
+        recording.solver,
+        application,
+        platform,
+        recording.threshold,
+        record_cache=record_cache,
+        **recording.opts,
+    )
+    return diff_runs(
+        recording,
+        fresh,
+        ignore=() if strict else DEFAULT_IGNORE,
+        window=window,
+    )

@@ -38,6 +38,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -291,14 +292,29 @@ class JSONStore(ResultStore):
         self._dirty = False
         self._data: dict[str, dict[str, Any]] = {}
         if os.path.exists(self.path):
-            with open(self.path, encoding="utf-8") as fh:
-                payload = json.load(fh)
-            if payload.get("schema") != _STORE_SCHEMA:
-                raise ReproError(
-                    f"store {self.path!r} has unsupported schema "
-                    f"{payload.get('schema')!r}"
+            try:
+                with open(self.path, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                # a truncated/corrupt file (partial copy, editor crash,
+                # disk fault) is a cache, not data: quarantine it and
+                # start fresh instead of refusing to open.  Unknown
+                # *schemas* still raise — that file is intact and may
+                # belong to a newer library version.
+                quarantine = self.path + ".corrupt"
+                os.replace(self.path, quarantine)
+                warnings.warn(
+                    f"store {self.path!r} is not valid JSON ({exc}); "
+                    f"moved it to {quarantine!r} and started fresh",
+                    stacklevel=2,
                 )
-            self._data = payload["records"]
+            else:
+                if payload.get("schema") != _STORE_SCHEMA:
+                    raise ReproError(
+                        f"store {self.path!r} has unsupported schema "
+                        f"{payload.get('schema')!r}"
+                    )
+                self._data = payload["records"]
         # a freshly applied (or tightened) cap prunes the loaded records
         if self.max_records is not None and len(self._data) > self.max_records:
             self.prune()

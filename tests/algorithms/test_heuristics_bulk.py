@@ -326,6 +326,39 @@ class TestSingleIntervalEquivalence:
 
 
 # ----------------------------------------------------------------------
+# recorded-trajectory equivalence (record/replay as the referee)
+# ----------------------------------------------------------------------
+class TestRecordedTrajectoryEquivalence:
+    """The same contract, checked through the event recorder: the
+    scalar and bulk runs of every heuristic must produce diff-clean
+    recordings, not just equal final results."""
+
+    @pytest.mark.parametrize(
+        ("solver", "opts"),
+        [
+            ("single-interval-min-fp", {}),
+            ("greedy-min-fp", {}),
+            ("local-search-min-fp", {"seed": 11}),
+            ("anneal-min-fp", {"seed": 11}),
+        ],
+    )
+    def test_scalar_and_bulk_recordings_diff_clean(self, solver, opts):
+        from repro.engine import diff_runs, record_run
+
+        app, plat = make_instance("comm-homogeneous", n=5, m=4, seed=2)
+        threshold = _loose_latency_threshold(app, plat)
+        _, scalar = record_run(
+            solver, app, plat, threshold, use_bulk=False, **opts
+        )
+        _, bulk = record_run(
+            solver, app, plat, threshold, use_bulk=True, **opts
+        )
+        report = diff_runs(scalar, bulk)
+        assert report.ok, report.summary()
+        assert report.events_compared > 0
+
+
+# ----------------------------------------------------------------------
 # knob semantics
 # ----------------------------------------------------------------------
 class TestUseBulkKnob:

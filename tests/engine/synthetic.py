@@ -58,6 +58,25 @@ def flaky_min_fp(application, platform, threshold, *, fail_first, scratch):
     return greedy_minimize_fp(application, platform, threshold)
 
 
+def gated_min_fp(application, platform, threshold, *, gate, counter_file):
+    """Counts its invocation, waits for ``gate`` to exist, then solves.
+
+    The batch ``max_buffered`` test uses this to deliberately stall
+    tasks: invocations are visible immediately via ``counter_file``
+    while the result is withheld until the test creates the gate file.
+    A 10-second timeout keeps a buggy test from deadlocking the suite.
+    """
+    with open(counter_file, "ab") as fh:
+        fh.write(b"x")
+    deadline = time.monotonic() + 10.0
+    gate_path = Path(gate)
+    while not gate_path.exists():
+        if time.monotonic() > deadline:
+            raise RuntimeError("synthetic gate never opened (test bug)")
+        time.sleep(0.01)
+    return greedy_minimize_fp(application, platform, threshold)
+
+
 def invocations(counter_file) -> int:
     """Number of solver invocations recorded in a counter/scratch file."""
     path = Path(counter_file)

@@ -131,6 +131,101 @@ class TestRunBatch:
         assert engine.run_batch([]) == []
 
 
+class TestMaxBuffered:
+    """``iter_batch(in_order=True, max_buffered=N)`` bounds the buffer."""
+
+    def test_rejects_non_positive(self):
+        app, plat = make_instance("comm-homogeneous", 2, 2, 0)
+        task = engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
+        with pytest.raises(SolverError, match="max_buffered"):
+            list(engine.iter_batch([task], max_buffered=0))
+
+    def test_windowed_results_identical_to_unbounded(self):
+        tasks = _mixed_tasks()
+        unbounded = list(engine.iter_batch(tasks, workers=2, seed=5))
+        windowed = list(
+            engine.iter_batch(tasks, workers=2, seed=5, max_buffered=2)
+        )
+        assert [_outcome_key(o) for o in unbounded] == [
+            _outcome_key(o) for o in windowed
+        ]
+
+    def test_stalled_head_task_bounds_dispatch(self, tmp_path):
+        """With the head task deliberately stalled, at most
+        ``max_buffered`` later tasks ever start — the unbounded path
+        would run all of them and buffer their outcomes."""
+        import threading
+        import time
+
+        from tests.engine.synthetic import (
+            counting_min_fp,
+            gated_min_fp,
+            invocations,
+            register_synthetic,
+        )
+
+        gate = tmp_path / "gate"
+        gated_counter = tmp_path / "gated-count"
+        fast_counter = tmp_path / "fast-count"
+        app, plat = make_instance("comm-homogeneous", 3, 4, 0)
+        tasks = [
+            engine.BatchTask(
+                "gated-min-fp",
+                app,
+                plat,
+                threshold=80.0,
+                opts={
+                    "gate": str(gate),
+                    "counter_file": str(gated_counter),
+                },
+            )
+        ]
+        tasks += [
+            engine.BatchTask(
+                "counting-min-fp",
+                app,
+                plat,
+                threshold=80.0,
+                opts={"counter_file": str(fast_counter)},
+                tag=f"fast-{i}",
+            )
+            for i in range(7)
+        ]
+
+        outcomes = []
+
+        def consume():
+            for outcome in engine.iter_batch(
+                tasks, workers=2, max_buffered=2
+            ):
+                outcomes.append(outcome)
+
+        with register_synthetic("gated-min-fp", gated_min_fp):
+            with register_synthetic("counting-min-fp", counting_min_fp):
+                consumer = threading.Thread(target=consume)
+                consumer.start()
+                try:
+                    # wait for the stalled head task to actually start
+                    deadline = time.monotonic() + 5.0
+                    while (
+                        invocations(gated_counter) == 0
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.01)
+                    assert invocations(gated_counter) == 1
+                    # give an over-eager dispatcher time to misbehave
+                    time.sleep(0.3)
+                    assert invocations(fast_counter) <= 2
+                finally:
+                    gate.write_text("open")  # release the head task
+                    consumer.join(timeout=20.0)
+                assert not consumer.is_alive()
+
+        assert [o.index for o in outcomes] == list(range(len(tasks)))
+        assert all(o.ok for o in outcomes)
+        assert invocations(fast_counter) == 7
+
+
 class TestThresholdSweep:
     def test_sweep_orders_and_tags(self):
         fig5 = figure5_instance()

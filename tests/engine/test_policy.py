@@ -120,3 +120,43 @@ class TestRunWithTimeout:
                 lambda: (_ for _ in ()).throw(ValueError("x")), timeout=5.0
             )
         time.sleep(0.01)
+
+    def test_nested_timeouts_outer_still_fires(self):
+        # the inner guard must re-arm the outer timer on exit instead of
+        # zeroing it: an outer policy wrapping work that itself uses
+        # run_with_timeout would otherwise never time out
+        def outer():
+            run_with_timeout(lambda: None, timeout=5.0)  # fast inner guard
+            time.sleep(2.0)  # then overrun the *outer* budget
+
+        with pytest.raises(TaskTimeoutError):
+            run_with_timeout(outer, timeout=0.2)
+
+    def test_nested_timeouts_inner_fires_first(self):
+        def outer():
+            run_with_timeout(lambda: time.sleep(2.0), timeout=0.05)
+
+        with pytest.raises(TaskTimeoutError):
+            run_with_timeout(outer, timeout=5.0)
+        time.sleep(0.1)  # the outer timer must be fully cleared by now
+
+    def test_preexisting_user_itimer_is_restored(self):
+        import signal
+
+        fired = []
+        previous_handler = signal.signal(
+            signal.SIGALRM, lambda signum, frame: fired.append(signum)
+        )
+        try:
+            # a caller's own itimer, armed before the guard runs
+            signal.setitimer(signal.ITIMER_REAL, 0.3)
+            assert run_with_timeout(lambda: 7, timeout=0.05) == 7
+            # the guard exited without firing; the user timer must still
+            # be counting down with (roughly) its remaining time
+            delay, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < delay <= 0.3
+            time.sleep(0.4)
+            assert fired  # the user alarm eventually fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)

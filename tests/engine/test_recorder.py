@@ -1,0 +1,214 @@
+"""Run recording: pure observation, stable keys, store round-trips."""
+
+import random
+
+import pytest
+
+from repro.core.serialization import canonical_json
+from repro.engine import (
+    JSONStore,
+    MemoryStore,
+    RunRecording,
+    get_solver,
+    instance_key,
+    record_run,
+    recording_key,
+    solve,
+)
+from repro.engine.recorder import _CountingRandom
+from repro.exceptions import ReproError, SolverError
+
+from tests.helpers import make_instance
+
+RECORDABLE = [
+    "single-interval-min-fp",
+    "greedy-min-fp",
+    "local-search-min-fp",
+    "anneal-min-fp",
+    "exhaustive-min-fp",
+]
+
+
+@pytest.fixture
+def instance():
+    return make_instance("comm-homogeneous", 4, 3, 0)
+
+
+class TestCountingRandom:
+    def test_sequence_identical_to_plain_random(self):
+        """The counter must be pure observation: same draws as Random."""
+        plain, counting = random.Random(42), _CountingRandom(42)
+        for _ in range(50):
+            assert plain.random() == counting.random()
+        assert plain.randint(0, 100) == counting.randint(0, 100)
+        assert plain.choice(range(17)) == counting.choice(range(17))
+        items_a, items_b = list(range(20)), list(range(20))
+        plain.shuffle(items_a)
+        counting.shuffle(items_b)
+        assert items_a == items_b
+        assert plain.sample(range(30), 5) == counting.sample(range(30), 5)
+        assert counting.draws > 50
+
+    def test_draw_counter_starts_at_zero(self):
+        rng = _CountingRandom(0)
+        assert rng.draws == 0
+        rng.random()
+        assert rng.draws == 1
+
+
+class TestRecordRun:
+    @pytest.mark.parametrize("solver", RECORDABLE)
+    def test_recorded_result_identical_to_plain_run(self, solver, instance):
+        """Recording never changes the trajectory or the result."""
+        app, plat = instance
+        spec = get_solver(solver)
+        opts = {"seed": 0} if spec.seeded else {}
+        plain = solve(solver, app, plat, 40.0, **opts)
+        recorded, recording = record_run(solver, app, plat, 40.0, **opts)
+        assert recorded.mapping == plain.mapping
+        assert recorded.latency == plain.latency
+        assert recorded.failure_probability == plain.failure_probability
+        assert recording.solver == solver
+        assert recording.solver_version == spec.version
+        # the log brackets the run: a begin banner and a final result
+        assert recording.events[0]["kind"] == "begin"
+        assert recording.events[-1]["kind"] == "result"
+        assert recording.error is None
+
+    def test_events_carry_sequence_numbers(self, instance):
+        app, plat = instance
+        _, recording = record_run("local-search-min-fp", app, plat, 40.0)
+        assert [e["seq"] for e in recording.events] == list(
+            range(len(recording.events))
+        )
+        # rng draw counters are monotonically non-decreasing
+        draws = [e["rng_draws"] for e in recording.events]
+        assert draws == sorted(draws)
+        assert draws[-1] > 0  # the solver consumed randomness
+
+    def test_non_recordable_solver_rejected(self, instance):
+        app, plat = instance
+        with pytest.raises(SolverError, match="run recording"):
+            record_run("alg3", app, plat, 40.0)
+
+    def test_non_json_opts_rejected(self, instance):
+        app, plat = instance
+        with pytest.raises(SolverError, match="JSON-representable"):
+            record_run(
+                "local-search-min-fp", app, plat, 40.0, seed=0, warm=(1, 2)
+            )
+
+    def test_seed_pinned_for_seeded_solvers(self, instance):
+        """An omitted seed is made explicit so the key states it."""
+        app, plat = instance
+        _, recording = record_run("local-search-min-fp", app, plat, 40.0)
+        assert recording.opts["seed"] == 0
+        _, explicit = record_run(
+            "local-search-min-fp", app, plat, 40.0, seed=0
+        )
+        assert recording.key() == explicit.key()
+
+    def test_infeasible_run_is_recorded_not_raised(self, instance):
+        app, plat = instance
+        result, recording = record_run("greedy-min-fp", app, plat, 1e-12)
+        assert result is None
+        assert recording.result is None
+        assert "InfeasibleProblemError" in recording.error
+        assert recording.events[-1]["kind"] == "result"
+        assert recording.events[-1]["result"] is None
+
+    def test_cache_events_only_when_opted_in(self, instance):
+        app, plat = instance
+        _, quiet = record_run("local-search-min-fp", app, plat, 40.0)
+        assert not any(e["kind"] == "cache" for e in quiet.events)
+        assert any(e["kind"] == "cache_stats" for e in quiet.events)
+        _, chatty = record_run(
+            "local-search-min-fp", app, plat, 40.0, record_cache=True
+        )
+        cache_events = [e for e in chatty.events if e["kind"] == "cache"]
+        assert cache_events
+        assert {e["hit"] for e in cache_events} == {True, False}
+        assert {e["term"] for e in cache_events} <= {"lat", "rel", "in"}
+
+
+class TestRecordingKey:
+    def test_stable_and_well_formed(self, instance):
+        app, plat = instance
+        a = recording_key("greedy-min-fp", app, plat, 40.0, {"x": 1})
+        b = recording_key("greedy-min-fp", app, plat, 40.0, {"x": 1})
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_disjoint_from_result_keys(self, instance):
+        """Recordings and results can share one store without clashes."""
+        app, plat = instance
+        rec = recording_key("greedy-min-fp", app, plat, 40.0, {})
+        res = instance_key("greedy-min-fp", app, plat, 40.0, {})
+        assert rec != res
+
+    def test_sensitive_to_every_component(self, instance):
+        app, plat = instance
+        base = recording_key("greedy-min-fp", app, plat, 40.0, {})
+        assert base != recording_key("greedy-min-latency", app, plat, 40.0, {})
+        assert base != recording_key("greedy-min-fp", app, plat, 41.0, {})
+        assert base != recording_key(
+            "greedy-min-fp", app, plat, 40.0, {"use_bulk": False}
+        )
+        assert base != recording_key(
+            "greedy-min-fp", app, plat, 40.0, {}, solver_version=99
+        )
+
+    def test_accepts_dicts_and_objects(self, instance):
+        from repro.core.serialization import (
+            application_to_dict,
+            platform_to_dict,
+        )
+
+        app, plat = instance
+        assert recording_key(
+            "greedy-min-fp", app, plat, 40.0
+        ) == recording_key(
+            "greedy-min-fp",
+            application_to_dict(app),
+            platform_to_dict(plat),
+            40.0,
+        )
+
+
+class TestStoreRoundTrip:
+    def test_byte_identical_through_json_store(self, tmp_path, instance):
+        """A stored recording reloads byte-for-byte equal."""
+        app, plat = instance
+        path = tmp_path / "recordings.json"
+        with JSONStore(path) as store:
+            _, recording = record_run(
+                "local-search-min-fp", app, plat, 40.0, store=store
+            )
+            key = recording.key()
+        with JSONStore(path) as store:
+            reloaded = RunRecording.from_record(store.get(key))
+        assert canonical_json(reloaded.to_record()) == canonical_json(
+            recording.to_record()
+        )
+        assert reloaded.events == recording.events
+        assert reloaded.solver_result() == recording.solver_result()
+
+    def test_instance_round_trips(self, instance):
+        app, plat = instance
+        _, recording = record_run("greedy-min-fp", app, plat, 40.0)
+        app2, plat2 = recording.instance()
+        assert app2 == app
+        assert plat2 == plat
+
+    def test_same_query_overwrites_not_duplicates(self, instance):
+        app, plat = instance
+        store = MemoryStore()
+        record_run("greedy-min-fp", app, plat, 40.0, store=store)
+        record_run("greedy-min-fp", app, plat, 40.0, store=store)
+        assert len(store) == 1
+
+    def test_from_record_rejects_foreign_records(self):
+        with pytest.raises(ReproError, match="run-recording"):
+            RunRecording.from_record({"kind": "solver-result"})
+        with pytest.raises(ReproError, match="schema"):
+            RunRecording.from_record({"kind": "run-recording", "schema": 999})

@@ -126,6 +126,34 @@ class TestPersistence:
         with pytest.raises(ReproError, match="schema"):
             JSONStore(path)
 
+    def test_json_recovers_from_truncated_file(self, tmp_path):
+        path = tmp_path / "s.json"
+        with JSONStore(path) as store:
+            store.put("k", {"v": 1})
+        # simulate a partial copy / disk fault: cut the file mid-payload
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.warns(UserWarning, match="not valid JSON"):
+            store = JSONStore(path)
+        with store:
+            # fresh store: old data gone, but usable again
+            assert store.get("k") is None
+            store.put("k2", {"v": 2})
+        # the corrupt original is quarantined, not destroyed
+        quarantine = tmp_path / "s.json.corrupt"
+        assert quarantine.exists()
+        assert quarantine.read_text() == text[: len(text) // 2]
+        # and the recovered store persists normally
+        with JSONStore(path) as store:
+            assert store.get("k2") == {"v": 2}
+
+    def test_json_recovers_from_garbage_bytes(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{not json at all")
+        with pytest.warns(UserWarning, match="not valid JSON"):
+            with JSONStore(path) as store:
+                assert len(store) == 0
+
     def test_sqlite_survives_reopen(self, tmp_path):
         path = tmp_path / "s.sqlite"
         with SQLiteStore(path) as store:
