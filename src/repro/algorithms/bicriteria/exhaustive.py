@@ -154,6 +154,7 @@ def exhaustive_pareto_front(
     search_cap: int = DEFAULT_SEARCH_CAP,
     use_bulk: bool | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    bulk_shards: int | None = None,
 ) -> list[BiCriteriaPoint]:
     """The exact Pareto front of (latency, FP) over all interval mappings.
 
@@ -163,7 +164,10 @@ def exhaustive_pareto_front(
     into mappings and re-evaluated through the scalar path, and the
     final front is assembled from the scalar values — so the reported
     numbers stay scalar-exact while the sweep itself is a handful of
-    array operations per block (bench E20).
+    array operations per block (bench E20).  ``bulk_shards`` splits
+    each block's rows across threads
+    (see :class:`repro.core.metrics_bulk.BulkEvaluator`), bit-identical
+    to the single-pass evaluation.
     """
     if not _bulk_enabled(use_bulk):
         points = [
@@ -179,7 +183,9 @@ def exhaustive_pareto_front(
     import numpy as np
 
     _check_search_cap(application, platform, search_cap)
-    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    evaluator = BulkEvaluator(
+        application, platform, one_port=one_port, shards=bulk_shards
+    )
     cache = EvaluationCache(application, platform, one_port=one_port)
     survivors: list[BiCriteriaPoint] = []
     for block in iter_mapping_blocks(
@@ -282,6 +288,7 @@ def _best_bulk(
     one_port: bool = True,
     search_cap: int = DEFAULT_SEARCH_CAP,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    bulk_shards: int | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Vectorized counterpart of :func:`_best` over mapping blocks.
@@ -292,7 +299,9 @@ def _best_bulk(
     values, which agree within the documented tolerance).
     """
     explored = _check_search_cap(application, platform, search_cap)
-    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    evaluator = BulkEvaluator(
+        application, platform, one_port=one_port, shards=bulk_shards
+    )
     best_key: tuple[float, float] | None = None
     best_mapping: IntervalMapping | None = None
     for block in iter_mapping_blocks(
@@ -340,6 +349,7 @@ def exhaustive_minimize_fp(
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_shards: int | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum FP subject to ``latency <= latency_threshold``.
@@ -347,6 +357,8 @@ def exhaustive_minimize_fp(
     Ties on FP are broken by lower latency.  ``use_bulk`` selects the
     vectorized block path (``None`` = automatic when numpy is present);
     the winning mapping's reported objectives are always scalar-exact.
+    ``bulk_shards`` splits each block's rows across threads on the bulk
+    path (bit-identical results; ignored on the scalar path).
     ``recorder`` (a :class:`repro.engine.recorder.RunRecorder`) captures
     every incumbent improvement (scalar path) or block-level winner
     confirmation (bulk path); the two vocabularies differ by design, so
@@ -362,6 +374,7 @@ def exhaustive_minimize_fp(
             solver="exhaustive-min-fp",
             one_port=one_port,
             search_cap=search_cap,
+            bulk_shards=bulk_shards,
             recorder=recorder,
         )
     return _best(
@@ -385,12 +398,14 @@ def exhaustive_minimize_latency(
     search_cap: int = DEFAULT_SEARCH_CAP,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_shards: int | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum latency subject to ``FP <= fp_threshold``.
 
     Ties on latency are broken by lower FP.  ``use_bulk`` selects the
-    vectorized block path (``None`` = automatic when numpy is present).
+    vectorized block path (``None`` = automatic when numpy is present);
+    ``bulk_shards`` as in :func:`exhaustive_minimize_fp`.
     ``recorder`` behaves as in :func:`exhaustive_minimize_fp`.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
@@ -403,6 +418,7 @@ def exhaustive_minimize_latency(
             solver="exhaustive-min-latency",
             one_port=one_port,
             search_cap=search_cap,
+            bulk_shards=bulk_shards,
             recorder=recorder,
         )
     return _best(
@@ -427,6 +443,7 @@ def exhaustive_sweep_min_fp(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    bulk_shards: int | None = None,
 ) -> list[SolverResult | None]:
     """Answer many 'min FP s.t. latency <= L' queries in one enumeration.
 
@@ -436,7 +453,8 @@ def exhaustive_sweep_min_fp(
     mapping space is enumerated and evaluated **once** for the whole
     grid instead of once per threshold, which is what makes dense
     frontier sweeps tractable (:func:`repro.analysis.frontier.sweep_frontier`
-    routes exhaustive sweeps here).
+    routes exhaustive sweeps here).  ``bulk_shards`` splits each
+    block's rows across threads on the bulk path (bit-identical).
     """
     thresholds = list(thresholds)
     if not thresholds:
@@ -461,7 +479,9 @@ def exhaustive_sweep_min_fp(
         return results
 
     explored = _check_search_cap(application, platform, search_cap)
-    evaluator = BulkEvaluator(application, platform, one_port=one_port)
+    evaluator = BulkEvaluator(
+        application, platform, one_port=one_port, shards=bulk_shards
+    )
     bounds = [t + tolerance * max(1.0, abs(t)) for t in thresholds]
     best_keys: list[tuple[float, float] | None] = [None] * len(thresholds)
     best_mappings: list[IntervalMapping | None] = [None] * len(thresholds)

@@ -134,7 +134,7 @@ def sweep_frontier(
     if solver is exhaustive_minimize_fp:
         solver = "exhaustive-min-fp"
     if isinstance(solver, str):
-        from ..engine.sweeps import SweepPlan, run_sweep
+        from ..engine.sweeps import SweepPlan, iter_sweep
 
         plan = SweepPlan.single(
             application,
@@ -144,14 +144,22 @@ def sweep_frontier(
             num_points=num_points,
             warm_start=warm_start,
         )
-        result = run_sweep(
-            plan,
-            workers=workers,
-            seed=seed,
-            store=store,
-            shared_cache=shared_cache,
+        # a single-cell plan: the first streamed cell is the whole sweep
+        # (iter_sweep compiles the plan to one task graph; see
+        # repro.engine.sweeps)
+        cell = next(
+            iter(
+                iter_sweep(
+                    plan,
+                    workers=workers,
+                    seed=seed,
+                    store=store,
+                    shared_cache=shared_cache,
+                    in_order=True,
+                )
+            )
         )
-        return result.cells[0].frontier(strict=True)
+        return cell.frontier(strict=True)
 
     if workers is not None and workers > 1:
         raise ValueError(

@@ -244,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    sweep.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each sweep cell as it completes (completion order; "
+        "with --json, one JSON record per line)",
+    )
 
     replay = sub.add_parser(
         "replay", help="deterministic record/replay of solver runs"
@@ -710,87 +716,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}")
         return 2
-    try:
-        result = run_sweep(
-            plan,
-            workers=args.workers,
-            seed=args.seed,
-            store=store,
-            shared_cache=not args.no_shared_cache,
+    def cell_record(cell):
+        return {
+            "instance": cell.instance_tag,
+            "solver": cell.solver,
+            "thresholds": list(cell.thresholds),
+            "unique_thresholds": cell.unique_thresholds,
+            "chained": cell.chained,
+            "outcomes": [
+                {
+                    "threshold": t,
+                    "ok": o.ok,
+                    "latency": o.result.latency if o.ok else None,
+                    "failure_probability": (
+                        o.result.failure_probability if o.ok else None
+                    ),
+                    "cached": o.cached,
+                    "error": o.error,
+                    "error_kind": (
+                        o.error_kind.value if o.error_kind else None
+                    ),
+                }
+                for t, o in zip(cell.thresholds, cell.outcomes)
+            ],
+            "frontier": [
+                {
+                    "latency": p.latency,
+                    "failure_probability": p.failure_probability,
+                }
+                for p in cell.frontier(strict=False)
+            ],
+        }
+
+    def print_cell(cell):
+        solved = sum(1 for o in cell.outcomes if o.ok)
+        chained = " [chained]" if cell.chained else ""
+        print(
+            f"{cell.instance_tag} x {cell.solver}: "
+            f"{solved}/{len(cell.outcomes)} feasible "
+            f"({cell.unique_thresholds} unique point(s)){chained}"
         )
+        # a crashed/misconfigured solver must never read as merely
+        # "infeasible": print each distinct non-infeasible failure
+        errors = {}
+        for o in cell.outcomes:
+            if o.result is None and o.error_kind is not ErrorKind.INFEASIBLE:
+                errors.setdefault(o.error, []).append(o.tag)
+        for message, tags in errors.items():
+            kind = next(
+                o.error_kind.value
+                for o in cell.outcomes
+                if o.error == message and o.error_kind
+            )
+            print(
+                f"  {kind} at {len(tags)} point(s) "
+                f"(first: {tags[0]}): {message}"
+            )
+        rows = [
+            (f"{p.latency:.6g}", f"{p.failure_probability:.6g}")
+            for p in cell.frontier(strict=False)
+        ]
+        print(format_table(("latency", "failure-prob"), rows))
+        print()
+
+    run_kwargs = dict(
+        workers=args.workers,
+        seed=args.seed,
+        store=store,
+        shared_cache=not args.no_shared_cache,
+    )
+    cells = []
+    try:
+        if args.stream:
+            from .engine.sweeps import iter_sweep
+
+            # completion order: each cell prints the moment it finishes,
+            # so long plans show progress instead of a silent wait
+            for cell in iter_sweep(plan, in_order=False, **run_kwargs):
+                cells.append(cell)
+                if args.json:
+                    print(json.dumps(cell_record(cell)))
+                else:
+                    print_cell(cell)
+        else:
+            result = run_sweep(plan, **run_kwargs)
+            cells = list(result.cells)
     except ReproError as exc:
         if store is not None:
             store.close()
         print(f"error: {exc}")
         return 2
 
-    if args.json:
-        records = []
-        for cell in result.cells:
-            records.append(
-                {
-                    "instance": cell.instance_tag,
-                    "solver": cell.solver,
-                    "thresholds": list(cell.thresholds),
-                    "unique_thresholds": cell.unique_thresholds,
-                    "chained": cell.chained,
-                    "outcomes": [
-                        {
-                            "threshold": t,
-                            "ok": o.ok,
-                            "latency": o.result.latency if o.ok else None,
-                            "failure_probability": (
-                                o.result.failure_probability if o.ok else None
-                            ),
-                            "cached": o.cached,
-                            "error": o.error,
-                            "error_kind": (
-                                o.error_kind.value if o.error_kind else None
-                            ),
-                        }
-                        for t, o in zip(cell.thresholds, cell.outcomes)
-                    ],
-                    "frontier": [
-                        {
-                            "latency": p.latency,
-                            "failure_probability": p.failure_probability,
-                        }
-                        for p in cell.frontier(strict=False)
-                    ],
-                }
-            )
-        print(json.dumps(records, indent=2))
-    else:
-        for cell in result.cells:
-            solved = sum(1 for o in cell.outcomes if o.ok)
-            chained = " [chained]" if cell.chained else ""
-            print(
-                f"{cell.instance_tag} x {cell.solver}: "
-                f"{solved}/{len(cell.outcomes)} feasible "
-                f"({cell.unique_thresholds} unique point(s)){chained}"
-            )
-            # a crashed/misconfigured solver must never read as merely
-            # "infeasible": print each distinct non-infeasible failure
-            errors = {}
-            for o in cell.outcomes:
-                if o.result is None and o.error_kind is not ErrorKind.INFEASIBLE:
-                    errors.setdefault(o.error, []).append(o.tag)
-            for message, tags in errors.items():
-                kind = next(
-                    o.error_kind.value
-                    for o in cell.outcomes
-                    if o.error == message and o.error_kind
-                )
-                print(
-                    f"  {kind} at {len(tags)} point(s) "
-                    f"(first: {tags[0]}): {message}"
-                )
-            rows = [
-                (f"{p.latency:.6g}", f"{p.failure_probability:.6g}")
-                for p in cell.frontier(strict=False)
-            ]
-            print(format_table(("latency", "failure-prob"), rows))
-            print()
+    if not args.stream:
+        if args.json:
+            print(json.dumps([cell_record(c) for c in cells], indent=2))
+        else:
+            for cell in cells:
+                print_cell(cell)
     if store is not None:
         stats = store.stats
         print(
@@ -802,11 +824,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store.close()
     failures = [
         o
-        for cell in result.cells
+        for cell in cells
         for o in cell.outcomes
         if o.result is None
     ]
-    total = sum(len(cell.outcomes) for cell in result.cells)
+    total = sum(len(cell.outcomes) for cell in cells)
     if total and len(failures) == total:
         return 1  # every grid point failed
     if any(

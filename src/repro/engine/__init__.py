@@ -10,7 +10,9 @@ parallel, fault-isolated solving service:
 * :mod:`repro.engine.batch` — shard many instances, or many threshold
   queries over one instance, across ``multiprocessing`` workers with
   deterministic seeding; :func:`iter_batch` streams outcomes as tasks
-  finish, :func:`run_batch` drains the stream into an ordered list;
+  finish, :func:`run_batch` drains the stream into an ordered list, and
+  :func:`iter_graph` / :func:`run_graph` execute dependency-aware task
+  graphs (tasks dispatch as their ``depends_on`` edges resolve);
 * :mod:`repro.engine.policy` — per-task timeout/retry policies and the
   structured :class:`ErrorKind` failure taxonomy (a crashing task is a
   failed outcome, never an aborted batch);
@@ -20,9 +22,11 @@ parallel, fault-isolated solving service:
   (``max_records``/``prune``);
 * :mod:`repro.engine.sweeps` — the unified sweep engine: declarative
   :class:`SweepPlan`\\ s (instances × solvers × threshold grids, JSON
-  spec round-trip, scenario-generator references) executed with
-  duplicate dedup, a shared evaluation-cache hand-off (serial *and*
-  cross-process) and warm-start chaining for the heuristics;
+  spec round-trip, scenario-generator references) compiled to one task
+  graph and executed with duplicate dedup, a shared evaluation-cache
+  hand-off (serial *and* cross-process) and warm-start chaining for the
+  heuristics; :func:`iter_sweep` streams finished cells (or per-point
+  outcomes) as they complete, :func:`run_sweep` drains the stream;
 * :mod:`repro.engine.recorder` / :mod:`repro.engine.replay` —
   deterministic record/replay: :func:`record_run` captures a solver run
   as an append-only event log persisted in the store, and
@@ -53,8 +57,11 @@ Quickstart::
 from .batch import (
     BatchOutcome,
     BatchTask,
+    GraphNode,
     iter_batch,
+    iter_graph,
     run_batch,
+    run_graph,
     threshold_sweep,
 )
 from .policy import BatchPolicy, ErrorKind, TaskTimeoutError
@@ -91,8 +98,10 @@ from .sweeps import (
     SweepCell,
     SweepInstance,
     SweepPlan,
+    SweepPoint,
     SweepResult,
     SweepSolver,
+    iter_sweep,
     run_sweep,
 )
 
@@ -110,6 +119,9 @@ __all__ = [
     "iter_batch",
     "run_batch",
     "threshold_sweep",
+    "GraphNode",
+    "iter_graph",
+    "run_graph",
     "BatchPolicy",
     "ErrorKind",
     "TaskTimeoutError",
@@ -125,7 +137,9 @@ __all__ = [
     "SweepPlan",
     "SweepCell",
     "SweepResult",
+    "SweepPoint",
     "run_sweep",
+    "iter_sweep",
     "RunRecorder",
     "RunRecording",
     "record_run",

@@ -32,16 +32,28 @@ thresholds) is executed either serially or sharded across
 Typical uses: solving a whole experiment grid of random instances, or
 sweeping many threshold queries over one instance to trace a frontier
 (see :func:`threshold_sweep` and :mod:`repro.analysis.frontier`).
+
+On top of flat batches the module provides a **dependency-aware task
+graph** (:class:`GraphNode` / :func:`iter_graph` / :func:`run_graph`):
+nodes carry ``depends_on`` edges and are dispatched to the same
+multiprocessing pool the moment their dependencies resolve, so
+independent chains interleave freely while ordered work (e.g. the sweep
+engine's warm-start chains, where point ``i`` seeds point ``i+1``) stays
+ordered.  Per-node deterministic seeding, fault isolation, store reuse
+and the ``initializer`` hand-off all carry over from the flat batch
+path unchanged.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import queue as _queue
 import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..algorithms.result import SolverResult
 from ..core.application import PipelineApplication
@@ -58,8 +70,11 @@ from .store import ResultStore, instance_key
 __all__ = [
     "BatchTask",
     "BatchOutcome",
+    "GraphNode",
     "iter_batch",
     "run_batch",
+    "iter_graph",
+    "run_graph",
     "threshold_sweep",
 ]
 
@@ -580,3 +595,432 @@ def threshold_sweep(
         shared_cache=shared_cache,
     )
     return list(result.cells[0].outcomes)
+
+
+# ----------------------------------------------------------------------
+# dependency-aware task graph
+# ----------------------------------------------------------------------
+#: A parent-side hook deriving a node's final task from its dependencies'
+#: outcomes: ``resolve(task, deps) -> task`` where ``deps`` maps each
+#: dependency name to its :class:`BatchOutcome` (or list of outcomes for
+#: multi-outcome runner nodes).  Runs in the parent process immediately
+#: before dispatch, so closures (and mutable compiler state) are fine —
+#: only the *resolved* task is shipped to workers.
+Resolver = Callable[
+    [BatchTask, Mapping[str, "BatchOutcome | list[BatchOutcome]"]],
+    BatchTask,
+]
+
+#: A custom execution function for a node: a **top-level, picklable**
+#: callable receiving the standard ``(index, task, opts, policy)``
+#: payload and returning one :class:`BatchOutcome` or a list of them
+#: (e.g. the sweep engine's exhaustive one-pass runner, which answers a
+#: whole threshold grid from a single node).  Runner nodes bypass the
+#: result store (the runner owns its own caching semantics) and skip
+#: the threshold-shape validation of standard nodes.
+Runner = Callable[
+    [tuple[int, BatchTask, dict[str, Any], BatchPolicy]],
+    "BatchOutcome | list[BatchOutcome]",
+]
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One task inside a dependency-aware graph.
+
+    ``depends_on`` names the nodes whose outcomes must exist before this
+    node runs; ``resolve`` (optional) rewrites the task from those
+    outcomes right before dispatch — the sweep engine uses it to inject
+    the previous chain point's mapping as a warm start.  ``seed_index``
+    overrides the index used for deterministic seeding (``base_seed +
+    seed_index``); by default the node's position in the input sequence
+    is used, but a compiler that wants graph execution to reproduce a
+    pre-graph layout's seeds (e.g. per-cell numbering) pins it
+    explicitly.  ``runner`` swaps :func:`solve` dispatch for a custom
+    picklable payload function (see :data:`Runner`).
+    """
+
+    name: str
+    task: BatchTask
+    depends_on: tuple[str, ...] = ()
+    resolve: Resolver | None = None
+    seed_index: int | None = None
+    runner: Runner | None = None
+
+
+def _validate_graph(
+    nodes: Sequence[GraphNode], on_dep_failure: str
+) -> None:
+    """Reject malformed graphs before running anything."""
+    if on_dep_failure not in ("run", "skip"):
+        raise SolverError(
+            f"on_dep_failure must be 'run' or 'skip', got {on_dep_failure!r}"
+        )
+    names: set[str] = set()
+    for node in nodes:
+        if not node.name:
+            raise SolverError("graph nodes need non-empty names")
+        if node.name in names:
+            raise SolverError(f"duplicate graph node name {node.name!r}")
+        names.add(node.name)
+    for node in nodes:
+        for dep in node.depends_on:
+            if dep == node.name:
+                raise SolverError(
+                    f"graph node {node.name!r} depends on itself"
+                )
+            if dep not in names:
+                raise SolverError(
+                    f"graph node {node.name!r} depends on unknown node "
+                    f"{dep!r}"
+                )
+    # Kahn's algorithm: anything left unprocessed sits on a cycle
+    remaining = {n.name: len(set(n.depends_on)) for n in nodes}
+    children: dict[str, list[str]] = {n.name: [] for n in nodes}
+    for node in nodes:
+        for dep in set(node.depends_on):
+            children[dep].append(node.name)
+    ready = [name for name, count in remaining.items() if count == 0]
+    seen = 0
+    while ready:
+        name = ready.pop()
+        seen += 1
+        for child in children[name]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                ready.append(child)
+    if seen != len(nodes):
+        cyclic = sorted(
+            name for name, count in remaining.items() if count > 0
+        )
+        raise SolverError(
+            f"graph has a dependency cycle through {cyclic}"
+        )
+    # standard nodes go through the registry front door: validate the
+    # threshold shape now, exactly like _prepare does for flat batches
+    for node in nodes:
+        if node.runner is not None:
+            continue
+        spec = get_solver(node.task.solver)
+        if spec.needs_threshold and node.task.threshold is None:
+            raise SolverError(
+                f"graph node {node.name!r} ({node.task.solver!r}) "
+                f"requires a threshold"
+            )
+        if not spec.needs_threshold and node.task.threshold is not None:
+            raise SolverError(
+                f"graph node {node.name!r} ({node.task.solver!r}) does "
+                f"not take a threshold"
+            )
+
+
+def _failed(outcome: "BatchOutcome | list[BatchOutcome]") -> bool:
+    """True when a dependency's outcome(s) contain any failure."""
+    if isinstance(outcome, list):
+        return any(not o.ok for o in outcome)
+    return not outcome.ok
+
+
+def _cancelled_outcome(
+    index: int, task: BatchTask, failed_deps: Sequence[str]
+) -> BatchOutcome:
+    return BatchOutcome(
+        index=index,
+        solver=task.solver,
+        tag=task.tag,
+        result=None,
+        error=(
+            "Cancelled: dependency failed "
+            f"({', '.join(sorted(failed_deps))})"
+        ),
+        elapsed=0.0,
+        task=task,
+        error_kind=ErrorKind.CANCELLED,
+        attempts=0,
+    )
+
+
+def iter_graph(
+    nodes: Iterable[GraphNode],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    on_dep_failure: str = "run",
+    initializer: Any = None,
+    initargs: tuple = (),
+) -> Iterator[tuple[str, BatchOutcome]]:
+    """Execute a task graph, yielding ``(node_name, outcome)`` pairs.
+
+    Nodes are dispatched the moment every dependency has completed —
+    independent subgraphs interleave freely across the worker pool, so
+    a plan of many chains keeps every core busy even though each chain
+    is internally sequential.  Yield order is completion order (each
+    pair still names its node); multi-outcome runner nodes yield one
+    pair per outcome, in the runner's order.
+
+    Semantics carried over from :func:`iter_batch`:
+
+    * **deterministic seeding** — node ``i`` (or ``seed_index`` when the
+      node pins one) runs with ``seed + i`` unless its resolved opts
+      already carry a seed; independent of ``workers``;
+    * **fault isolation** — failures become failed outcomes; with the
+      default ``on_dep_failure="run"`` dependents still run (their
+      ``resolve`` hook sees the failure and decides what to do — the
+      sweep engine's chains fall back to the last good seed), while
+      ``"skip"`` short-circuits dependents of failed nodes into
+      synthetic outcomes with :attr:`ErrorKind.CANCELLED`;
+    * **store reuse** — standard nodes probe the store *after*
+      resolution (a warm-start seed is part of the key), hits resolve
+      without dispatching, new deterministic outcomes are written back.
+      A fully store-warm graph never creates the worker pool at all;
+    * **initializer hand-off** — forwarded to the pool (created lazily
+      on the first real dispatch).
+
+    Raises
+    ------
+    repro.exceptions.SolverError
+        Before running anything: duplicate/unknown node names,
+        dependency cycles, or threshold-shape violations on standard
+        nodes.
+    """
+    nodes = list(nodes)
+    _validate_graph(nodes, on_dep_failure)
+    policy = policy or BatchPolicy()
+    if not nodes:
+        return
+
+    position = {node.name: i for i, node in enumerate(nodes)}
+    children: dict[str, list[str]] = {n.name: [] for n in nodes}
+    pending_deps: dict[str, int] = {}
+    for node in nodes:
+        deps = set(node.depends_on)
+        pending_deps[node.name] = len(deps)
+        for dep in deps:
+            children[dep].append(node.name)
+
+    results: dict[str, BatchOutcome | list[BatchOutcome]] = {}
+    # ready nodes execute in ascending input position: deterministic
+    # serial order, deterministic dispatch order under a pool
+    ready: list[int] = [
+        position[n.name] for n in nodes if pending_deps[n.name] == 0
+    ]
+    heapq.heapify(ready)
+
+    # probe the store up front for every node whose key is already
+    # known (no resolver, no dependencies) — one read pass before any
+    # write, exactly like iter_batch, so a capped LRU store refreshes
+    # all its hits before the first eviction-triggering put can evict
+    # a record the graph was about to reuse.  Misses are recorded too
+    # (as None): the node was probed once, and must not be re-probed
+    # at dispatch time (store stats count one lookup per task)
+    prefetched: dict[str, BatchOutcome | None] = {}
+    if store is not None:
+        for node in nodes:
+            if (
+                node.runner is not None
+                or node.resolve is not None
+                or node.depends_on
+            ):
+                continue
+            pos = position[node.name]
+            idx = node.seed_index if node.seed_index is not None else pos
+            opts = _effective_opts(node.task, idx, seed)
+            key = _task_key(node.task, opts)
+            record = store.get(key) if key is not None else None
+            record = _validated_record(record, node.task)
+            prefetched[node.name] = (
+                _outcome_from_record(record, pos, node.task)
+                if record is not None
+                else None
+            )
+
+    parallel = workers is not None and workers > 1
+    pool: multiprocessing.pool.Pool | None = None
+    done: _queue.SimpleQueue = _queue.SimpleQueue()
+    in_flight = 0
+
+    def _complete(
+        name: str, outcome: BatchOutcome | list[BatchOutcome]
+    ) -> None:
+        results[name] = outcome
+        for child in children[name]:
+            pending_deps[child] -= 1
+            if pending_deps[child] == 0:
+                heapq.heappush(ready, position[child])
+
+    def _resolve(
+        node: GraphNode,
+    ) -> (
+        tuple[str, BatchOutcome | list[BatchOutcome]]
+        | tuple[None, tuple[int, BatchTask, dict[str, Any], BatchPolicy]]
+    ):
+        """Prepare a ready node: either an immediate outcome (store
+        hit, cancellation), tagged via a non-None first element, or
+        ``(None, payload)`` for dispatch."""
+        pos = position[node.name]
+        deps = {dep: results[dep] for dep in node.depends_on}
+        failed_deps = [dep for dep, out in deps.items() if _failed(out)]
+        task = node.task
+        if failed_deps and on_dep_failure == "skip":
+            return ("cancelled", _cancelled_outcome(pos, task, failed_deps))
+        probe = True
+        if node.name in prefetched:
+            hit = prefetched.pop(node.name)
+            if hit is not None:
+                return ("hit", hit)
+            probe = False  # already probed (a miss): don't count twice
+        if node.resolve is not None:
+            task = node.resolve(task, deps)
+        idx = node.seed_index if node.seed_index is not None else pos
+        opts = _effective_opts(task, idx, seed)
+        if probe and node.runner is None and store is not None:
+            key = _task_key(task, opts)
+            record = store.get(key) if key is not None else None
+            record = _validated_record(record, task)
+            if record is not None:
+                return ("hit", _outcome_from_record(record, pos, task))
+        return (None, (pos, task, opts, policy))
+
+    def _finish_store(
+        node: GraphNode,
+        outcome: BatchOutcome | list[BatchOutcome],
+    ) -> None:
+        if node.runner is not None or store is None:
+            return
+        assert isinstance(outcome, BatchOutcome)
+        if _storable(outcome):
+            # key the *resolved* task under the same effective opts the
+            # dispatch used, so replay probes (which resolve first) hit
+            idx = (
+                node.seed_index
+                if node.seed_index is not None
+                else position[node.name]
+            )
+            key = _task_key(
+                outcome.task, _effective_opts(outcome.task, idx, seed)
+            )
+            if key is not None:
+                store.put(key, _outcome_to_record(outcome))
+
+    try:
+        while len(results) < len(nodes):
+            progressed = False
+            while ready:
+                node = nodes[heapq.heappop(ready)]
+                status, prepared = _resolve(node)
+                if status is not None:
+                    outcome = prepared
+                    _complete(node.name, outcome)
+                    progressed = True
+                    if isinstance(outcome, list):
+                        for sub in outcome:
+                            yield (node.name, sub)
+                    else:
+                        yield (node.name, outcome)
+                    continue
+                payload = prepared
+                fn = node.runner if node.runner is not None else _execute
+                if parallel:
+                    if pool is None:
+                        pool = multiprocessing.Pool(
+                            processes=workers,
+                            initializer=initializer,
+                            initargs=initargs,
+                        )
+                    name = node.name
+                    pool.apply_async(
+                        fn,
+                        (payload,),
+                        callback=lambda out, name=name: done.put(
+                            (name, out, None)
+                        ),
+                        error_callback=lambda exc, name=name: done.put(
+                            (name, None, exc)
+                        ),
+                    )
+                    in_flight += 1
+                    progressed = True
+                else:
+                    outcome = fn(payload)
+                    _finish_store(node, outcome)
+                    _complete(node.name, outcome)
+                    progressed = True
+                    if isinstance(outcome, list):
+                        for sub in outcome:
+                            yield (node.name, sub)
+                    else:
+                        yield (node.name, outcome)
+            if len(results) == len(nodes):
+                break
+            if in_flight:
+                name, outcome, exc = done.get()
+                in_flight -= 1
+                node = nodes[position[name]]
+                if exc is not None:
+                    # the worker function itself failed outside the
+                    # solver guard (unpicklable return, runner bug):
+                    # report it as a crashed outcome, never a lost node
+                    outcome = BatchOutcome(
+                        index=position[name],
+                        solver=node.task.solver,
+                        tag=node.task.tag,
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        elapsed=0.0,
+                        task=node.task,
+                        error_kind=ErrorKind.CRASH,
+                    )
+                _finish_store(node, outcome)
+                _complete(name, outcome)
+                if isinstance(outcome, list):
+                    for sub in outcome:
+                        yield (name, sub)
+                else:
+                    yield (name, outcome)
+            elif not progressed:  # pragma: no cover - guarded by _validate
+                raise SolverError(
+                    "graph made no progress (unreachable nodes?)"
+                )
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+
+def run_graph(
+    nodes: Iterable[GraphNode],
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    on_dep_failure: str = "run",
+    initializer: Any = None,
+    initargs: tuple = (),
+) -> dict[str, BatchOutcome | list[BatchOutcome]]:
+    """Execute a task graph, returning ``{node name: outcome(s)}``.
+
+    The drained sibling of :func:`iter_graph` (which see for all
+    semantics): multi-outcome runner nodes map to the list of their
+    outcomes, every other node to its single :class:`BatchOutcome`.
+    """
+    nodes = list(nodes)
+    collected: dict[str, list[BatchOutcome]] = {}
+    for name, outcome in iter_graph(
+        nodes,
+        workers=workers,
+        seed=seed,
+        policy=policy,
+        store=store,
+        on_dep_failure=on_dep_failure,
+        initializer=initializer,
+        initargs=initargs,
+    ):
+        collected.setdefault(name, []).append(outcome)
+    multi = {n.name for n in nodes if n.runner is not None}
+    return {
+        name: outcomes if name in multi else outcomes[0]
+        for name, outcomes in collected.items()
+    }

@@ -62,6 +62,11 @@ class ErrorKind(enum.Enum):
     TIMEOUT = "timeout"
     #: any other exception escaping the solver (a bug, bad opts, ...)
     CRASH = "crash"
+    #: the task never ran: a dependency failed and the graph was asked
+    #: to skip dependents (``on_dep_failure="skip"``).  Not deterministic
+    #: — re-running the graph may succeed — so cancelled outcomes are
+    #: never persisted; they are not retried either (nothing executed)
+    CANCELLED = "cancelled"
 
     @property
     def deterministic(self) -> bool:

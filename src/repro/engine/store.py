@@ -164,6 +164,17 @@ class ResultStore:
                 self._touch(key)
         return record
 
+    def peek(self, key: str) -> dict[str, Any] | None:
+        """Record for ``key`` without counting stats or touching recency.
+
+        A *planning* probe, not a read: the sweep engine peeks the store
+        to predict whether any solver call will actually happen (and
+        skip the evaluation-term warm-up when none will) — such probes
+        must leave hit/miss counters and LRU order exactly as a run
+        without the optimisation would.
+        """
+        return self._get(key)
+
     def put(self, key: str, record: Mapping[str, Any]) -> None:
         """Insert/overwrite the record for ``key`` (enforcing the cap)."""
         self._put(key, dict(record))

@@ -12,10 +12,23 @@ points.  Here a sweep is *declarative*:
   programmatically or from a JSON/dict spec (:meth:`SweepPlan.from_spec`);
   instances can reference the named scenario generators of
   :mod:`repro.workloads.scenarios`;
-* :func:`run_sweep` — compiles the plan into batch tasks and executes
-  them through the engine (:func:`repro.engine.batch.run_batch`), so
-  worker sharding, fault isolation, retry/timeout policies and the
-  persistent result store all apply unchanged.
+* :func:`iter_sweep` / :func:`run_sweep` — compile the plan into **one
+  dependency-aware task graph** executed by a single
+  :func:`repro.engine.batch.iter_graph` pass, so worker sharding, fault
+  isolation, retry/timeout policies and the persistent result store all
+  apply unchanged — and cells from different instances/solvers
+  interleave freely across the pool instead of running one cell at a
+  time.  :func:`iter_sweep` streams completed :class:`SweepCell`\\ s
+  (or per-point :class:`SweepPoint`\\ s) as they finish;
+  :func:`run_sweep` is its drained, plan-ordered wrapper.
+
+The compilation is direct: an independent grid point becomes one graph
+node; a warm-start chain becomes a path of nodes linked by
+``depends_on`` edges whose resolvers inject the previous accepted
+mapping as a seed right before dispatch; an exhaustive one-pass cell
+becomes a single node answering its whole grid from one enumeration
+pass.  Only true dependencies serialise — everything else runs as wide
+as ``workers`` allows.
 
 On top of plain batching the sweep engine adds three grid-level
 optimisations — dedup and the cache hand-off are bit-identical to the
@@ -52,6 +65,7 @@ than its seeds, possibly better) results and is therefore opt-in:
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -73,7 +87,17 @@ from ..core.serialization import (
     platform_to_dict,
 )
 from ..exceptions import ReproError, SolverError
-from .batch import BatchOutcome, BatchTask, run_batch
+from .batch import (
+    BatchOutcome,
+    BatchTask,
+    GraphNode,
+    _effective_opts,
+    _execute,
+    _outcome_from_record,
+    _task_key,
+    _validated_record,
+    iter_graph,
+)
 from .policy import BatchPolicy, ErrorKind
 from .registry import Objective, SolverSpec, get_solver
 from .store import ResultStore
@@ -83,7 +107,9 @@ __all__ = [
     "SweepSolver",
     "SweepPlan",
     "SweepCell",
+    "SweepPoint",
     "SweepResult",
+    "iter_sweep",
     "run_sweep",
     "warm_pool_terms",
 ]
@@ -403,6 +429,23 @@ class SweepCell:
 
 
 @dataclass(frozen=True)
+class SweepPoint:
+    """One streamed grid point (``iter_sweep(..., stream="points")``).
+
+    ``index`` is the point's position in the *original* grid of its
+    cell (duplicate thresholds each get their own point, sharing the
+    solved ``outcome`` re-indexed), so consumers can reassemble cells
+    or plot points as they land.
+    """
+
+    instance_tag: str
+    solver: str
+    threshold: float
+    index: int
+    outcome: BatchOutcome
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Every cell of one :func:`run_sweep` call."""
 
@@ -460,17 +503,23 @@ def warm_pool_terms(
 
 
 def _install_worker_terms(
-    payload: tuple[str, bool, Mapping[str, dict]],
+    payloads: Sequence[tuple[str, bool, Mapping[str, dict]]],
 ) -> None:
-    """Pool-worker initializer: adopt the parent's term snapshot."""
-    token, one_port, terms = payload
-    install_shared_terms(
-        None,  # type: ignore[arg-type] — the token stands in for the pair
-        None,  # type: ignore[arg-type]
-        one_port=one_port,
-        terms=terms,
-        token=token,
-    )
+    """Pool-worker initializer: adopt the parent's term snapshots.
+
+    One ``(token, one_port, terms)`` triple per plan instance whose
+    terms were warmed in the parent — a multi-instance plan runs over a
+    single pool, so every instance's snapshot ships up front (the
+    registry keys term sets by instance token).
+    """
+    for token, one_port, terms in payloads:
+        install_shared_terms(
+            None,  # type: ignore[arg-type] — the token stands in for the pair
+            None,  # type: ignore[arg-type]
+            one_port=one_port,
+            terms=terms,
+            token=token,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -500,29 +549,40 @@ def _infeasible_outcome(
     )
 
 
-def _run_exhaustive_one_pass(
-    instance: SweepInstance,
-    tasks: list[BatchTask],
-    unique: list[float],
-) -> list[BatchOutcome] | None:
-    """The whole grid from one enumeration pass, or None to fall back.
+def _one_pass_runner(
+    payload: tuple[int, BatchTask, dict[str, Any], BatchPolicy],
+) -> list[BatchOutcome]:
+    """Graph runner: a whole threshold grid from one enumeration pass.
 
-    Per-threshold results are identical to solving each point alone
-    (the machine-checked contract of
-    :func:`~repro.algorithms.bicriteria.exhaustive.exhaustive_sweep_min_fp`);
-    any failure (size guards, numpy quirks) falls back to the batched
-    per-point path, which reports errors with full fault isolation.
+    The node's template task carries the cell's unique grid in
+    ``opts["_sweep_thresholds"]``; per-threshold results are identical
+    to solving each point alone (the machine-checked contract of
+    :func:`~repro.algorithms.bicriteria.exhaustive.exhaustive_sweep_min_fp`).
+    Any failure of the one-pass enumeration (size guards, numpy quirks)
+    falls back to per-point solves *inside the node*, with the same
+    fault isolation as the batched path.  Top-level so multiprocessing
+    can pickle it — under ``workers>1`` the whole cell runs in one pool
+    worker while other cells proceed in parallel.
     """
+    _, template, opts, policy = payload
+    thresholds = [float(t) for t in opts["_sweep_thresholds"]]
+    tasks = [
+        replace(template, threshold=t, opts={}, tag=f"threshold={t:g}")
+        for t in thresholds
+    ]
     from ..algorithms.bicriteria.exhaustive import exhaustive_sweep_min_fp
 
     start = time.perf_counter()
     try:
         results = exhaustive_sweep_min_fp(
-            instance.application, instance.platform, unique
+            template.application, template.platform, thresholds
         )
     except Exception:
-        return None
-    per_point = (time.perf_counter() - start) / max(len(unique), 1)
+        return [
+            _execute((i, task, dict(task.opts), policy))
+            for i, task in enumerate(tasks)
+        ]
+    per_point = (time.perf_counter() - start) / max(len(thresholds), 1)
     outcomes: list[BatchOutcome] = []
     for i, (task, result) in enumerate(zip(tasks, results)):
         if result is None:
@@ -542,56 +602,15 @@ def _run_exhaustive_one_pass(
     return outcomes
 
 
-def _run_chained(
-    solver: SweepSolver,
-    spec: SolverSpec,
-    tasks: list[BatchTask],
-    *,
-    seed: int | None,
-    policy: BatchPolicy | None,
-    store: ResultStore | None,
-) -> list[BatchOutcome]:
-    """Solve the grid in order, seeding each point with the last optimum.
-
-    Inherently sequential (point ``i+1`` consumes point ``i``'s
-    mapping), so it runs in-process; the store still applies per point —
-    and because the seed mapping is part of the task's options (hence
-    its store key), a re-run of the same chained sweep is fully
-    store-warm.
-    """
-    outcomes: list[BatchOutcome] = []
-    previous = None
-    for pos, task in enumerate(tasks):
-        opts = dict(task.opts)
-        if spec.seeded and seed is not None and "seed" not in opts:
-            # the same derived per-task seed the batched path would use
-            opts["seed"] = seed + pos
-        if previous is not None:
-            opts.update(solver.effective_chain_opts())
-            opts["warm_starts"] = [mapping_to_dict(previous)]
-        outcome = run_batch(
-            [replace(task, opts=opts)], policy=policy, store=store
-        )[0]
-        outcome = replace(outcome, index=pos)
-        outcomes.append(outcome)
-        if outcome.ok:
-            previous = outcome.result.mapping
-    return outcomes
-
-
 def _one_pass_applies(
-    plan: SweepPlan,
-    solver: SweepSolver,
-    store: ResultStore | None,
-    parallel: bool,
+    plan: SweepPlan, solver: SweepSolver, store: ResultStore | None
 ) -> bool:
-    """True when this cell will try the exhaustive one-pass fast path."""
+    """True when a cell compiles to the exhaustive one-pass node."""
     if not (
         plan.one_pass_exhaustive
         and solver.name == "exhaustive-min-fp"
         and not solver.opts
         and store is None
-        and not parallel
     ):
         return False
     from ..core.metrics_bulk import HAS_NUMPY
@@ -599,17 +618,34 @@ def _one_pass_applies(
     return HAS_NUMPY
 
 
-def _run_cell(
+# ----------------------------------------------------------------------
+# plan compilation: cells -> graph nodes
+# ----------------------------------------------------------------------
+@dataclass
+class _CellBuild:
+    """One compiled (instance, solver) cell, pre-execution."""
+
+    cell_index: int
+    instance_index: int
+    instance: SweepInstance
+    solver: SweepSolver
+    spec: SolverSpec
+    grid: list[float]
+    unique: list[float]
+    tasks: list[BatchTask]
+    chained: bool
+    one_pass: bool
+
+
+def _compile_cell(
     plan: SweepPlan,
     instance: SweepInstance,
     solver: SweepSolver,
     *,
-    workers: int | None,
-    seed: int | None,
-    policy: BatchPolicy | None,
     store: ResultStore | None,
-    shared_cache: bool,
-) -> SweepCell:
+    cell_index: int,
+    instance_index: int,
+) -> _CellBuild:
     grid = [float(t) for t in plan.grid_for(instance)]
     spec = get_solver(solver.name)
     unique = list(dict.fromkeys(grid))
@@ -624,61 +660,350 @@ def _run_cell(
         )
         for t in unique
     ]
+    one_pass = bool(tasks) and _one_pass_applies(plan, solver, store)
     chained = (
-        plan.warm_start == "chain"
+        not one_pass
+        and plan.warm_start == "chain"
         and spec.warm_startable
         and len(unique) > 1
         and _is_monotone(unique)
     )
+    return _CellBuild(
+        cell_index=cell_index,
+        instance_index=instance_index,
+        instance=instance,
+        solver=solver,
+        spec=spec,
+        grid=grid,
+        unique=unique,
+        tasks=tasks,
+        chained=chained,
+        one_pass=one_pass,
+    )
+
+
+def _make_chain_resolver(
+    solver: SweepSolver,
+    spec: SolverSpec,
+    seed: int | None,
+    pos: int,
+    state: dict[str, Any],
+):
+    """Resolver for chained point ``pos``: seed it with the last optimum.
+
+    ``state`` is shared by every node of one chain; the resolver runs in
+    dependency order (the graph guarantees the predecessor completed),
+    so recording the predecessor's mapping here reproduces the serial
+    chain exactly.  A failed predecessor leaves ``last_good`` at the
+    most recent *successful* point — the chain degrades instead of
+    propagating a missing seed; with no good point yet the solve runs
+    unseeded at full effort (no chain-opts reduction).
+    """
+
+    def resolve(
+        task: BatchTask,
+        deps: Mapping[str, BatchOutcome | list[BatchOutcome]],
+    ) -> BatchTask:
+        for outcome in deps.values():
+            if isinstance(outcome, BatchOutcome) and outcome.ok:
+                state["last_good"] = outcome.result.mapping
+        opts = dict(task.opts)
+        if spec.seeded and seed is not None and "seed" not in opts:
+            # the same derived per-task seed the batched path would use
+            opts["seed"] = seed + pos
+        previous = state["last_good"]
+        if previous is not None:
+            opts.update(solver.effective_chain_opts())
+            opts["warm_starts"] = [mapping_to_dict(previous)]
+        return replace(task, opts=opts)
+
+    return resolve
+
+
+def _compile_nodes(
+    build: _CellBuild, seed: int | None
+) -> list[tuple[GraphNode, int | None]]:
+    """Graph nodes for one cell, each paired with its unique-grid
+    position (``None`` for the one-pass node, whose outcomes carry
+    their own positions)."""
+    prefix = f"c{build.cell_index}"
+    if not build.tasks:
+        return []
+    if build.one_pass:
+        template = BatchTask(
+            solver=build.solver.name,
+            application=build.instance.application,
+            platform=build.instance.platform,
+            threshold=None,
+            opts={"_sweep_thresholds": tuple(build.unique)},
+            tag=f"{build.instance.tag}/{build.solver.name}",
+        )
+        node = GraphNode(
+            name=f"{prefix}:grid",
+            task=template,
+            runner=_one_pass_runner,
+            seed_index=0,
+        )
+        return [(node, None)]
+    if build.chained:
+        state: dict[str, Any] = {"last_good": None}
+        nodes: list[tuple[GraphNode, int | None]] = []
+        previous_name: str | None = None
+        for pos, task in enumerate(build.tasks):
+            name = f"{prefix}:p{pos}"
+            nodes.append(
+                (
+                    GraphNode(
+                        name=name,
+                        task=task,
+                        depends_on=(
+                            (previous_name,) if previous_name else ()
+                        ),
+                        resolve=_make_chain_resolver(
+                            build.solver, build.spec, seed, pos, state
+                        ),
+                        seed_index=pos,
+                    ),
+                    pos,
+                )
+            )
+            previous_name = name
+        return nodes
+    return [
+        (
+            GraphNode(name=f"{prefix}:p{pos}", task=task, seed_index=pos),
+            pos,
+        )
+        for pos, task in enumerate(build.tasks)
+    ]
+
+
+def _cell_store_warm(
+    build: _CellBuild, store: ResultStore, seed: int | None
+) -> bool:
+    """True when executing the cell cannot invoke any solver.
+
+    Probes the store with :meth:`~repro.engine.store.ResultStore.peek`
+    (stats- and recency-neutral) for every point the cell would
+    dispatch, walking warm-start chains by decoding each peeked record
+    to derive the next point's seed-dependent key.  Used to skip the
+    evaluation-term warm-up on fully warm instances — a prediction
+    only, so a miss here is never an error.
+    """
+    if not build.tasks:
+        return True
+    if build.chained:
+        last_good = None
+        for pos, task in enumerate(build.tasks):
+            opts = dict(task.opts)
+            if build.spec.seeded and seed is not None and "seed" not in opts:
+                opts["seed"] = seed + pos
+            if last_good is not None:
+                opts.update(build.solver.effective_chain_opts())
+                opts["warm_starts"] = [mapping_to_dict(last_good)]
+            task = replace(task, opts=opts)
+            key = _task_key(task, opts)
+            if key is None:
+                return False
+            record = _validated_record(store.peek(key), task)
+            if record is None:
+                return False
+            outcome = _outcome_from_record(record, pos, task)
+            if outcome.ok:
+                last_good = outcome.result.mapping
+        return True
+    for pos, task in enumerate(build.tasks):
+        opts = _effective_opts(task, pos, seed)
+        key = _task_key(task, opts)
+        if key is None:
+            return False
+        if _validated_record(store.peek(key), task) is None:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def iter_sweep(
+    plan: SweepPlan,
+    *,
+    workers: int | None = None,
+    seed: int | None = None,
+    policy: BatchPolicy | None = None,
+    store: ResultStore | None = None,
+    shared_cache: bool = True,
+    in_order: bool = True,
+    stream: str = "cells",
+) -> "Iterator[SweepCell | SweepPoint]":
+    """Execute a :class:`SweepPlan`, streaming results as they finish.
+
+    The whole plan compiles to one task graph executed by
+    :func:`~repro.engine.batch.iter_graph`: independent grid points
+    (across *all* cells) interleave freely over the worker pool,
+    warm-start chains advance point-by-point along dependency edges,
+    and every completed cell is yielded the moment its last point
+    lands — a consumer sees the first cell long before the plan ends.
+
+    Parameters mirror :func:`run_sweep` (which is the drained
+    ``in_order=True`` wrapper), plus:
+
+    in_order:
+        True (default) yields cells in plan order (instances × solvers,
+        buffering early completions); False yields in completion order.
+    stream:
+        ``"cells"`` (default) yields :class:`SweepCell`\\ s;
+        ``"points"`` yields one :class:`SweepPoint` per original grid
+        position as its solve completes (duplicates fan out
+        immediately), for consumers that want per-point progress.
+
+    Outcomes are identical to :func:`run_sweep` under the same ``seed``
+    — only the delivery changes.
+    """
+    if stream not in ("cells", "points"):
+        raise ReproError(
+            f"stream must be 'cells' or 'points', got {stream!r}"
+        )
     parallel = workers is not None and workers > 1
 
-    def execute() -> list[BatchOutcome]:
-        if not tasks:
-            return []
-        if _one_pass_applies(plan, solver, store, parallel):
-            outcomes = _run_exhaustive_one_pass(instance, tasks, unique)
-            if outcomes is not None:
-                return outcomes
-        if chained:
-            return _run_chained(
-                solver, spec, tasks, seed=seed, policy=policy, store=store
+    builds: list[_CellBuild] = []
+    for instance_index, instance in enumerate(plan.instances):
+        for solver in plan.solvers:
+            builds.append(
+                _compile_cell(
+                    plan,
+                    instance,
+                    solver,
+                    store=store,
+                    cell_index=len(builds),
+                    instance_index=instance_index,
+                )
             )
-        initializer = None
-        initargs: tuple = ()
-        if parallel and shared_cache:
-            token = instance_token(instance.application, instance.platform)
-            terms = export_shared_terms(
-                instance.application, instance.platform
+
+    # emission ids: contiguous, in plan order — cells index directly,
+    # points offset by the grid sizes of the preceding cells
+    offsets: list[int] = []
+    acc = 0
+    for build in builds:
+        offsets.append(acc)
+        acc += len(build.grid)
+
+    with ExitStack() as stack:
+        # shared evaluation-term hand-off, one live term set per
+        # instance that will actually solve something: fully
+        # store-warm instances (and pure one-pass ones, which never
+        # build an EvaluationCache) skip the warm-up entirely
+        init_payloads: list[tuple[str, bool, Mapping[str, dict]]] = []
+        if shared_cache:
+            for instance_index, instance in enumerate(plan.instances):
+                needs_terms = any(
+                    build.tasks
+                    and not build.one_pass
+                    and not (
+                        store is not None
+                        and _cell_store_warm(build, store, seed)
+                    )
+                    for build in builds
+                    if build.instance_index == instance_index
+                )
+                if not needs_terms:
+                    continue
+                stack.enter_context(
+                    shared_cache_terms(
+                        instance.application, instance.platform
+                    )
+                )
+                warm_pool_terms(instance.application, instance.platform)
+                if parallel:
+                    token = instance_token(
+                        instance.application, instance.platform
+                    )
+                    terms = export_shared_terms(
+                        instance.application, instance.platform
+                    )
+                    if terms is not None:
+                        init_payloads.append((token, True, terms))
+        initializer = _install_worker_terms if init_payloads else None
+        initargs = (tuple(init_payloads),) if init_payloads else ()
+
+        nodes: list[GraphNode] = []
+        node_map: dict[str, tuple[_CellBuild, int | None]] = {}
+        for build in builds:
+            for node, unique_pos in _compile_nodes(build, seed):
+                nodes.append(node)
+                node_map[node.name] = (build, unique_pos)
+
+        collected: dict[int, dict[int, BatchOutcome]] = {
+            build.cell_index: {} for build in builds
+        }
+
+        def _cell_done(build: _CellBuild) -> SweepCell:
+            # fan the solved points back out to every original position
+            cell = collected[build.cell_index]
+            position = {t: i for i, t in enumerate(build.unique)}
+            outcomes = tuple(
+                replace(cell[position[t]], index=pos)
+                for pos, t in enumerate(build.grid)
             )
-            if terms is not None:
-                initializer = _install_worker_terms
-                initargs = ((token, True, terms),)
-        return run_batch(
-            tasks,
-            workers=workers,
-            seed=seed,
-            policy=policy,
-            store=store,
-            initializer=initializer,
-            initargs=initargs,
-        )
+            return SweepCell(
+                instance_tag=build.instance.tag,
+                solver=build.solver.name,
+                thresholds=tuple(build.grid),
+                outcomes=outcomes,
+                unique_thresholds=len(build.unique),
+                chained=build.chained,
+            )
 
-    unique_outcomes = execute()
+        def _events() -> "Iterator[tuple[int, SweepCell | SweepPoint]]":
+            # cells with an empty grid are complete before the graph
+            # runs (they contribute no point ids in points mode)
+            for build in builds:
+                if not build.tasks and stream == "cells":
+                    yield (build.cell_index, _cell_done(build))
+            for name, outcome in iter_graph(
+                nodes,
+                workers=workers,
+                seed=seed,
+                policy=policy,
+                store=store,
+                initializer=initializer,
+                initargs=initargs,
+            ):
+                build, unique_pos = node_map[name]
+                if unique_pos is None:
+                    # one-pass node: sub-outcomes carry their position
+                    unique_pos = outcome.index
+                collected[build.cell_index][unique_pos] = outcome
+                if stream == "points":
+                    solved = build.unique[unique_pos]
+                    for pos, t in enumerate(build.grid):
+                        if t == solved:
+                            yield (
+                                offsets[build.cell_index] + pos,
+                                SweepPoint(
+                                    instance_tag=build.instance.tag,
+                                    solver=build.solver.name,
+                                    threshold=t,
+                                    index=pos,
+                                    outcome=replace(outcome, index=pos),
+                                ),
+                            )
+                elif len(collected[build.cell_index]) == len(
+                    build.unique
+                ):
+                    yield (build.cell_index, _cell_done(build))
 
-    # fan the solved points back out to every original grid position
-    position = {t: i for i, t in enumerate(unique)}
-    outcomes = tuple(
-        replace(unique_outcomes[position[t]], index=pos)
-        for pos, t in enumerate(grid)
-    )
-    return SweepCell(
-        instance_tag=instance.tag,
-        solver=solver.name,
-        thresholds=tuple(grid),
-        outcomes=outcomes,
-        unique_thresholds=len(unique),
-        chained=chained,
-    )
+        if in_order:
+            buffered: dict[int, Any] = {}
+            next_emit = 0
+            for item_id, item in _events():
+                buffered[item_id] = item
+                while next_emit in buffered:
+                    yield buffered.pop(next_emit)
+                    next_emit += 1
+        else:
+            for _, item in _events():
+                yield item
 
 
 def run_sweep(
@@ -692,44 +1017,31 @@ def run_sweep(
 ) -> SweepResult:
     """Execute a :class:`SweepPlan`, one cell per (instance, solver).
 
-    ``workers``/``seed``/``policy``/``store`` carry the exact
+    The drained wrapper over :func:`iter_sweep`: the whole plan runs as
+    one dependency-aware task graph (cells from different instances and
+    solvers interleave across the pool; warm-start chains advance along
+    dependency edges), and the completed cells are returned in plan
+    order.  ``workers``/``seed``/``policy``/``store`` carry the exact
     :func:`~repro.engine.batch.run_batch` semantics (deterministic
     per-task seeding over the *deduplicated* grid, fault isolation,
     result reuse).  ``shared_cache`` enables the evaluation-term
     hand-off (see module docstring), installed once per instance and
-    shared by every solver cell on it; cells that never build an
-    :class:`~repro.core.metrics.EvaluationCache` (the exhaustive
-    one-pass fast path) skip the pool warm-up entirely.  Disabling it
-    reproduces the old every-call-starts-cold behaviour, bit-identical
-    results either way.
+    shared by every solver cell on it; cells that never invoke a solver
+    (the exhaustive one-pass fast path, fully store-warm grids) skip
+    the warm-up entirely.  Disabling it reproduces the old
+    every-call-starts-cold behaviour, bit-identical results either way.
     """
-    parallel = workers is not None and workers > 1
-    cells: list[SweepCell] = []
-    for instance in plan.instances:
-
-        def run_instance_cells() -> None:
-            for solver in plan.solvers:
-                cells.append(
-                    _run_cell(
-                        plan,
-                        instance,
-                        solver,
-                        workers=workers,
-                        seed=seed,
-                        policy=policy,
-                        store=store,
-                        shared_cache=shared_cache,
-                    )
-                )
-
-        needs_terms = shared_cache and any(
-            not _one_pass_applies(plan, solver, store, parallel)
-            for solver in plan.solvers
+    return SweepResult(
+        cells=tuple(
+            iter_sweep(
+                plan,
+                workers=workers,
+                seed=seed,
+                policy=policy,
+                store=store,
+                shared_cache=shared_cache,
+                in_order=True,
+                stream="cells",
+            )
         )
-        if needs_terms:
-            with shared_cache_terms(instance.application, instance.platform):
-                warm_pool_terms(instance.application, instance.platform)
-                run_instance_cells()
-        else:
-            run_instance_cells()
-    return SweepResult(cells=tuple(cells))
+    )

@@ -281,3 +281,70 @@ class TestNondominatedMask:
 
     def test_empty_input(self):
         assert nondominated_mask(np.zeros(0), np.zeros(0)).tolist() == []
+
+
+class TestShardedEvaluation:
+    """Threaded row-sharding must be bit-identical and size-gated."""
+
+    def _big_block(self, kind, n=13, m=4, seed=3):
+        app, plat = make_instance(kind, n, m, seed)
+        mappings = list(enumerate_interval_mappings(n, m))
+        assert len(mappings) > 4 * 2048  # really engages the fan-out
+        block = MappingBlock.from_mappings(mappings, n, m)
+        return app, plat, block
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    def test_shards_bit_identical(self, kind):
+        app, plat, block = self._big_block(kind)
+        single = BulkEvaluator(app, plat)
+        sharded = BulkEvaluator(app, plat, shards=4)
+        assert np.array_equal(
+            single.latencies(block), sharded.latencies(block)
+        )
+        assert np.array_equal(
+            single.failure_probabilities(block),
+            sharded.failure_probabilities(block),
+        )
+        lats, fps = sharded.evaluate_block(block)
+        ref_lats, ref_fps = single.evaluate_block(block)
+        assert np.array_equal(lats, ref_lats)
+        assert np.array_equal(fps, ref_fps)
+
+    def test_small_blocks_never_spawn_threads(self, monkeypatch):
+        from repro.core import metrics_bulk
+
+        app, plat = make_instance("comm-homogeneous", 4, 3, 5)
+        mappings = list(enumerate_interval_mappings(4, 3))
+        block = MappingBlock.from_mappings(mappings, 4, 3)
+        assert len(block) < metrics_bulk.SHARD_MIN_ROWS
+
+        def no_threads(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("thread pool created for a small block")
+
+        monkeypatch.setattr(
+            metrics_bulk, "ThreadPoolExecutor", no_threads
+        )
+        sharded = BulkEvaluator(app, plat, shards=8)
+        reference = BulkEvaluator(app, plat)
+        assert np.array_equal(
+            sharded.latencies(block), reference.latencies(block)
+        )
+
+    def test_invalid_shards_rejected(self):
+        app, plat = make_instance("comm-homogeneous", 3, 3, 1)
+        with pytest.raises(SolverError, match="shards"):
+            BulkEvaluator(app, plat, shards=0)
+
+    def test_exhaustive_solver_with_shards_identical(self):
+        from repro.algorithms.bicriteria.exhaustive import (
+            exhaustive_minimize_fp,
+        )
+
+        app, plat = make_instance("comm-homogeneous", 4, 4, 7)
+        plain = exhaustive_minimize_fp(app, plat, 40.0)
+        sharded = exhaustive_minimize_fp(app, plat, 40.0, bulk_shards=4)
+        assert sharded.latency == plain.latency
+        assert sharded.failure_probability == plain.failure_probability
+        assert sharded.mapping == plain.mapping

@@ -28,6 +28,22 @@ def always_crash_min_fp(application, platform, threshold):
     raise RuntimeError("synthetic permanent crash")
 
 
+def crash_at_min_fp(
+    application, platform, threshold, *, crash_at, warm_starts=None
+):
+    """Crashes at one specific threshold, else delegates to greedy.
+
+    Accepts (and forwards) ``warm_starts`` so it can be registered
+    ``warm_startable=True`` — the warm-start chain fault-tolerance
+    tests inject a mid-chain crash with it.
+    """
+    if threshold == crash_at:
+        raise RuntimeError(f"synthetic crash at threshold {crash_at}")
+    return greedy_minimize_fp(
+        application, platform, threshold, warm_starts=warm_starts
+    )
+
+
 def sleepy_min_fp(application, platform, threshold, *, sleep=0.0):
     """Sleeps ``sleep`` seconds, then delegates to greedy."""
     if sleep:

@@ -1,0 +1,431 @@
+"""The dependency-aware task graph executor (``engine.batch`` graph core)."""
+
+import multiprocessing
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import (
+    BatchTask,
+    ErrorKind,
+    GraphNode,
+    MemoryStore,
+    iter_graph,
+    run_graph,
+    solve,
+)
+from repro.engine.batch import _execute
+from repro.exceptions import SolverError
+
+from tests.engine.synthetic import (
+    always_crash_min_fp,
+    counting_min_fp,
+    invocations,
+    register_synthetic,
+)
+from tests.helpers import make_instance
+
+
+@pytest.fixture
+def instance():
+    return make_instance("comm-homogeneous", 4, 4, 11)
+
+
+def _task(instance, threshold, solver="greedy-min-fp", **kwargs):
+    app, plat = instance
+    return BatchTask(solver, app, plat, threshold=threshold, **kwargs)
+
+
+def _objective(outcome):
+    if not outcome.ok:
+        return None
+    return (outcome.result.latency, outcome.result.failure_probability)
+
+
+# -- top-level (picklable) runner functions -----------------------------
+def grid_runner(payload):
+    """One-pass style runner: answers several thresholds from one node."""
+    index, task, opts, policy = payload
+    outcomes = []
+    for i, t in enumerate(task.opts["_grid"]):
+        sub = replace(task, threshold=t, opts={}, tag=f"t={t:g}")
+        outcomes.append(replace(_execute((i, sub, {}, policy)), index=i))
+    return outcomes
+
+
+def raising_runner(payload):
+    """A buggy runner: fails outside the solver guard."""
+    raise RuntimeError("synthetic runner bug")
+
+
+class TestValidation:
+    def test_empty_and_duplicate_names(self, instance):
+        task = _task(instance, 30.0)
+        with pytest.raises(SolverError, match="non-empty"):
+            run_graph([GraphNode("", task)])
+        with pytest.raises(SolverError, match="duplicate"):
+            run_graph([GraphNode("a", task), GraphNode("a", task)])
+
+    def test_unknown_and_self_dependencies(self, instance):
+        task = _task(instance, 30.0)
+        with pytest.raises(SolverError, match="unknown node"):
+            run_graph([GraphNode("a", task, depends_on=("ghost",))])
+        with pytest.raises(SolverError, match="depends on itself"):
+            run_graph([GraphNode("a", task, depends_on=("a",))])
+
+    def test_cycle_detected(self, instance):
+        task = _task(instance, 30.0)
+        nodes = [
+            GraphNode("a", task, depends_on=("c",)),
+            GraphNode("b", task, depends_on=("a",)),
+            GraphNode("c", task, depends_on=("b",)),
+        ]
+        with pytest.raises(SolverError, match="cycle"):
+            run_graph(nodes)
+
+    def test_bad_on_dep_failure(self, instance):
+        task = _task(instance, 30.0)
+        with pytest.raises(SolverError, match="on_dep_failure"):
+            run_graph([GraphNode("a", task)], on_dep_failure="abort")
+
+    def test_threshold_shape_enforced(self, instance):
+        app, plat = instance
+        missing = BatchTask("greedy-min-fp", app, plat, threshold=None)
+        with pytest.raises(SolverError, match="requires a threshold"):
+            run_graph([GraphNode("a", missing)])
+        spurious = BatchTask("theorem1-min-fp", app, plat, threshold=1.0)
+        with pytest.raises(SolverError, match="not take a threshold"):
+            run_graph([GraphNode("a", spurious)])
+        # runner nodes own their payload: no threshold validation
+        out = run_graph(
+            [
+                GraphNode(
+                    "a",
+                    replace(missing, opts={"_grid": (30.0,)}),
+                    runner=grid_runner,
+                )
+            ]
+        )
+        assert out["a"][0].ok
+
+    def test_validation_runs_before_any_solve(self, instance, tmp_path):
+        counter = tmp_path / "count"
+        with register_synthetic("graph-counting", counting_min_fp) as name:
+            good = _task(
+                instance, 30.0, solver=name,
+                opts={"counter_file": str(counter)},
+            )
+            with pytest.raises(SolverError, match="unknown node"):
+                run_graph(
+                    [
+                        GraphNode("a", good),
+                        GraphNode("b", good, depends_on=("ghost",)),
+                    ]
+                )
+        assert invocations(counter) == 0
+
+
+class TestExecution:
+    def test_independent_nodes_match_direct_solves(self, instance):
+        app, plat = instance
+        grid = [30.0, 40.0, 55.0]
+        nodes = [
+            GraphNode(f"n{i}", _task(instance, t))
+            for i, t in enumerate(grid)
+        ]
+        streamed = list(iter_graph(nodes))
+        # serial completion order == input order for independent nodes
+        assert [name for name, _ in streamed] == ["n0", "n1", "n2"]
+        for (_, outcome), t in zip(streamed, grid):
+            direct = solve("greedy-min-fp", app, plat, t)
+            assert _objective(outcome) == (
+                direct.latency,
+                direct.failure_probability,
+            )
+
+    def test_dependent_dispatch_order(self, instance):
+        """A child never runs before its parent, wherever it is listed."""
+        order = []
+
+        def tracking(task, deps):
+            order.append((task.tag, sorted(deps)))
+            return task
+
+        nodes = [
+            GraphNode(
+                "child",
+                _task(instance, 40.0, tag="child"),
+                depends_on=("parent",),
+                resolve=tracking,
+            ),
+            GraphNode(
+                "parent", _task(instance, 30.0, tag="parent"),
+                resolve=tracking,
+            ),
+        ]
+        results = run_graph(nodes)
+        assert order == [("parent", []), ("child", ["parent"])]
+        assert results["parent"].ok and results["child"].ok
+
+    def test_resolver_rewrites_task_from_dependencies(self, instance):
+        """The chain idiom: inject the parent's mapping as a warm start."""
+        from repro.core.serialization import mapping_to_dict
+
+        def warm_from_parent(task, deps):
+            parent = deps["a"]
+            assert parent.ok
+            return replace(
+                task,
+                opts={
+                    **task.opts,
+                    "warm_starts": [mapping_to_dict(parent.result.mapping)],
+                },
+            )
+
+        nodes = [
+            GraphNode("a", _task(instance, 30.0)),
+            GraphNode(
+                "b",
+                _task(instance, 45.0),
+                depends_on=("a",),
+                resolve=warm_from_parent,
+            ),
+        ]
+        results = run_graph(nodes)
+        warm = results["b"].task.opts["warm_starts"]
+        assert warm[0]["kind"] == "interval-mapping"
+        assert results["b"].ok
+
+    def test_seed_index_pins_deterministic_seed(self, instance):
+        """``seed_index`` reproduces ``seed + index`` exactly."""
+        task = _task(instance, 40.0, solver="anneal-min-fp")
+        pinned = run_graph(
+            [GraphNode("a", task, seed_index=5)], seed=10
+        )["a"]
+        explicit = run_graph(
+            [GraphNode("a", replace(task, opts={"seed": 15}))]
+        )["a"]
+        assert _objective(pinned) == _objective(explicit)
+
+    def test_parallel_matches_serial(self, instance):
+        from repro.core.serialization import mapping_to_dict
+
+        def chain(task, deps):
+            parent = deps["n0"]
+            if not parent.ok:
+                return task
+            return replace(
+                task,
+                opts={
+                    **task.opts,
+                    "warm_starts": [mapping_to_dict(parent.result.mapping)],
+                },
+            )
+
+        def build():
+            return [
+                GraphNode("n0", _task(instance, 30.0, solver="local-search-min-fp")),
+                GraphNode(
+                    "n1",
+                    _task(instance, 45.0, solver="local-search-min-fp"),
+                    depends_on=("n0",),
+                    resolve=chain,
+                ),
+                GraphNode("n2", _task(instance, 55.0, solver="anneal-min-fp")),
+            ]
+
+        serial = run_graph(build(), seed=7)
+        parallel = run_graph(build(), seed=7, workers=2)
+        assert {k: _objective(v) for k, v in serial.items()} == {
+            k: _objective(v) for k, v in parallel.items()
+        }
+
+
+class TestFaultIsolation:
+    def test_crash_is_failed_outcome_not_aborted_graph(self, instance):
+        with register_synthetic("graph-crash", always_crash_min_fp) as name:
+            results = run_graph(
+                [
+                    GraphNode("bad", _task(instance, 30.0, solver=name)),
+                    GraphNode("good", _task(instance, 40.0)),
+                ]
+            )
+        assert results["bad"].error_kind is ErrorKind.CRASH
+        assert results["good"].ok
+
+    def test_skip_cancels_dependents_transitively(self, instance):
+        with register_synthetic("graph-crash", always_crash_min_fp) as name:
+            results = run_graph(
+                [
+                    GraphNode("bad", _task(instance, 30.0, solver=name)),
+                    GraphNode(
+                        "child", _task(instance, 40.0), depends_on=("bad",)
+                    ),
+                    GraphNode(
+                        "grandchild",
+                        _task(instance, 50.0),
+                        depends_on=("child",),
+                    ),
+                    GraphNode("free", _task(instance, 60.0)),
+                ],
+                on_dep_failure="skip",
+            )
+        for name_ in ("child", "grandchild"):
+            outcome = results[name_]
+            assert outcome.error_kind is ErrorKind.CANCELLED
+            assert outcome.attempts == 0
+            assert "bad" in outcome.error or "child" in outcome.error
+        assert results["free"].ok
+
+    def test_run_still_runs_dependents(self, instance):
+        with register_synthetic("graph-crash", always_crash_min_fp) as name:
+            results = run_graph(
+                [
+                    GraphNode("bad", _task(instance, 30.0, solver=name)),
+                    GraphNode(
+                        "child", _task(instance, 40.0), depends_on=("bad",)
+                    ),
+                ],
+                on_dep_failure="run",
+            )
+        assert results["child"].ok
+
+    def test_cancelled_outcomes_never_persisted(self, instance):
+        store = MemoryStore()
+        with register_synthetic("graph-crash", always_crash_min_fp) as name:
+            run_graph(
+                [
+                    GraphNode("bad", _task(instance, 30.0, solver=name)),
+                    GraphNode(
+                        "child", _task(instance, 40.0), depends_on=("bad",)
+                    ),
+                ],
+                on_dep_failure="skip",
+                store=store,
+            )
+        assert store.stats.writes == 0
+
+    def test_runner_exception_becomes_crash_outcome(self, instance):
+        """A worker-function bug is a CRASH outcome, never a lost node."""
+        results = run_graph(
+            [GraphNode("a", _task(instance, 30.0), runner=raising_runner)],
+            workers=2,
+        )
+        # runner nodes always map to a list, even for the synthesized
+        # crash outcome
+        (outcome,) = results["a"]
+        assert outcome.error_kind is ErrorKind.CRASH
+        assert "runner bug" in outcome.error
+
+
+class TestStoreReuse:
+    def test_round_trip_and_warm_rerun(self, instance, tmp_path):
+        counter = tmp_path / "count"
+        store = MemoryStore()
+        with register_synthetic("graph-counting", counting_min_fp) as name:
+            nodes = [
+                GraphNode(
+                    f"n{i}",
+                    _task(
+                        instance, t, solver=name,
+                        opts={"counter_file": str(counter)},
+                    ),
+                )
+                for i, t in enumerate([30.0, 40.0])
+            ]
+            cold = run_graph(nodes, store=store)
+            assert invocations(counter) == 2
+            warm = run_graph(nodes, store=store)
+            assert invocations(counter) == 2
+        assert all(o.cached for o in warm.values())
+        assert {k: _objective(v) for k, v in cold.items()} == {
+            k: _objective(v) for k, v in warm.items()
+        }
+
+    def test_fully_warm_graph_never_creates_pool(
+        self, instance, monkeypatch
+    ):
+        store = MemoryStore()
+        nodes = [
+            GraphNode(f"n{i}", _task(instance, t))
+            for i, t in enumerate([30.0, 40.0, 55.0])
+        ]
+        run_graph(nodes, store=store)
+
+        def no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool created for a fully warm graph")
+
+        monkeypatch.setattr(multiprocessing, "Pool", no_pool)
+        warm = run_graph(nodes, store=store, workers=4)
+        assert all(o.cached for o in warm.values())
+
+    def test_resolved_tasks_key_on_resolved_opts(self, instance):
+        """Chained nodes hit the store only when the seed mapping
+        matches: the resolver output is part of the key."""
+        from repro.core.serialization import mapping_to_dict
+
+        def chain(task, deps):
+            parent = deps["a"]
+            return replace(
+                task,
+                opts={
+                    **task.opts,
+                    "warm_starts": [mapping_to_dict(parent.result.mapping)],
+                },
+            )
+
+        store = MemoryStore()
+        nodes = [
+            GraphNode("a", _task(instance, 30.0)),
+            GraphNode(
+                "b", _task(instance, 45.0), depends_on=("a",), resolve=chain
+            ),
+        ]
+        run_graph(nodes, store=store)
+        assert store.stats.writes == 2
+        warm = run_graph(nodes, store=store)
+        assert all(o.cached for o in warm.values())
+        # the same task *without* the chain seed is a different key
+        cold = run_graph(
+            [GraphNode("b", _task(instance, 45.0))], store=store
+        )
+        assert not cold["b"].cached
+
+    def test_runner_nodes_bypass_store(self, instance):
+        store = MemoryStore()
+        task = BatchTask(
+            "greedy-min-fp",
+            instance[0],
+            instance[1],
+            threshold=None,
+            opts={"_grid": (30.0, 40.0)},
+        )
+        out = run_graph(
+            [GraphNode("a", task, runner=grid_runner)], store=store
+        )
+        assert [o.ok for o in out["a"]] == [True, True]
+        assert store.stats.writes == 0
+        assert store.stats.misses == 0
+
+
+class TestRunnerNodes:
+    def test_multi_outcome_runner_yields_each(self, instance):
+        app, plat = instance
+        grid = (30.0, 40.0, 55.0)
+        task = BatchTask(
+            "greedy-min-fp", app, plat, threshold=None,
+            opts={"_grid": grid},
+        )
+        streamed = list(
+            iter_graph([GraphNode("a", task, runner=grid_runner)])
+        )
+        assert [name for name, _ in streamed] == ["a", "a", "a"]
+        for (_, outcome), t in zip(streamed, grid):
+            direct = solve("greedy-min-fp", app, plat, t)
+            assert _objective(outcome) == (
+                direct.latency,
+                direct.failure_probability,
+            )
+        # run_graph shape: runner nodes map to the list of outcomes
+        collected = run_graph([GraphNode("a", task, runner=grid_runner)])
+        assert [o.index for o in collected["a"]] == [0, 1, 2]
