@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Batch solving through the engine: registry, sharding, validation.
 
-Demonstrates the ``repro.engine`` subsystem end to end:
+Demonstrates the engine through the stable ``repro.api`` facade:
 
 1. query the solver registry by capability (objective, platform class,
    exact vs heuristic) instead of hard-coding imports;
-2. solve one instance through the uniform ``engine.solve`` interface;
+2. solve one instance through the uniform ``api.solve`` interface;
 3. shard a grid of instances across ``multiprocessing`` workers with
    deterministic seeding — results are identical to the serial run;
 4. sweep latency thresholds over one instance to trace a frontier;
@@ -15,9 +15,9 @@ Demonstrates the ``repro.engine`` subsystem end to end:
 Run:  python examples/batch_solving.py
 """
 
-from repro import engine
+from repro import api
 from repro.analysis import format_table
-from repro.engine import BatchTask, run_batch, threshold_sweep
+from repro.api import BatchTask, run_batch, threshold_sweep
 from repro.simulation import validate_batch_fp
 from repro.workloads.synthetic import random_application, random_platform
 
@@ -32,13 +32,13 @@ def main() -> None:
     # 1. Capability queries over the registry.
     app, plat = make_instance(0)
     fp_solvers = list(
-        engine.solver_specs(
-            objective=engine.Objective.MIN_FP,
+        api.solver_specs(
+            objective=api.Objective.MIN_FP,
             platform=plat,
             needs_threshold=True,
         )
     )
-    print(f"{len(engine.solver_names())} registered solvers; "
+    print(f"{len(api.solver_names())} registered solvers; "
           f"{len(fp_solvers)} can answer 'min FP s.t. latency <= L' here:")
     for spec in fp_solvers:
         kind = "exact" if spec.exact else "heuristic"
@@ -46,7 +46,7 @@ def main() -> None:
     print()
 
     # 2. One query through the uniform interface.
-    result = engine.solve("exhaustive-min-fp", app, plat, threshold=60.0)
+    result = api.solve("exhaustive-min-fp", app, plat, threshold=60.0)
     print(f"exact optimum under latency 60: {result}\n")
 
     # 3. A sharded grid: 8 instances, 4 workers, seeded deterministically.

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The solve service: a long-lived daemon with a shared result store.
+
+Demonstrates the :mod:`repro.service` stack in-process:
+
+1. start a :class:`~repro.service.ServiceThread` — the same asyncio
+   server that ``repro-pipeline serve`` runs as a daemon, here hosted
+   on a private Unix socket with a SQLite store;
+2. submit a versioned sweep request and stream completion-order
+   outcome events as they arrive;
+3. submit single ``solve`` requests from several concurrent clients —
+   they dedupe against the one shared store;
+4. re-submit the whole sweep warm: zero solver invocations, every
+   point served from the store;
+5. inspect the server's ``stats`` endpoint and drain gracefully.
+
+Run:  python examples/solve_service.py
+"""
+
+import json
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.service import ServiceThread
+
+PLAN = {
+    "schema": 1,
+    "instances": [
+        {"scenario": "edge-hub-cloud", "seed": 3, "params": {"stages": 5}},
+        {"scenario": "edge-hub-cloud", "seed": 4, "params": {"stages": 5}},
+    ],
+    "solvers": ["greedy-min-fp"],
+    "thresholds": [30.0, 60.0, 90.0],
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "results.sqlite"
+        with ServiceThread(str(store_path), workers=2) as service:
+            # 1-2. stream a cold sweep: events arrive in completion order
+            client = service.client()
+            print("cold sweep (streamed, completion order):")
+            done = {}
+            for event in client.sweep(PLAN, seed=0):
+                if event["event"] == "outcome":
+                    print(
+                        f"  {event['instance']:24s} L<={event['threshold']:g}"
+                        f"  -> FP={event['failure_probability']:.6f}"
+                        f"{'  (cached)' if event['cached'] else ''}"
+                    )
+                elif event["event"] == "done":
+                    done = event
+            print(
+                f"  done: {done['ok']} ok, "
+                f"{done['solver_invocations']} solver invocations\n"
+            )
+
+            # 3. concurrent clients share one store
+            def point_solve(seed, threshold):
+                outcome = service.client().solve(
+                    "greedy-min-fp",
+                    {
+                        "scenario": "edge-hub-cloud",
+                        "seed": seed,
+                        "params": {"stages": 5},
+                    },
+                    threshold=threshold,
+                )
+                assert outcome["ok"] and outcome["cached"]
+
+            threads = [
+                threading.Thread(target=point_solve, args=(seed, threshold))
+                for seed in (3, 4)
+                for threshold in (30.0, 60.0)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            print("4 concurrent point solves: all served from the store\n")
+
+            # 4. warm re-submit: zero fresh solver invocations
+            _, warm = client.run_sweep(PLAN, seed=0)
+            print(
+                f"warm re-submit: {warm['solver_invocations']} solver "
+                f"invocations, {warm['cached']}/{warm['total']} cached\n"
+            )
+            assert warm["solver_invocations"] == 0
+
+            # 5. server-side stats, then drain
+            stats = client.stats()
+            print("server stats:")
+            print(
+                json.dumps(
+                    {
+                        "requests": stats["requests"],
+                        "outcomes": stats["outcomes"],
+                        "store": {
+                            "hits": stats["store"]["hits"],
+                            "misses": stats["store"]["misses"],
+                            "hit_rate": round(
+                                stats["store"]["hit_rate"], 3
+                            ),
+                        },
+                    },
+                    indent=2,
+                )
+            )
+            assert stats["store"]["hit_rate"] > 0.5
+        print("\nservice drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Streaming batches, fault policies and the persistent result store.
 
-Demonstrates the ``repro.engine`` v2 service features end to end:
+Demonstrates streaming execution via the stable ``repro.api`` facade:
 
 1. stream a threshold sweep with ``iter_batch`` — outcomes arrive as
    tasks finish, not when the whole grid is done;
@@ -20,13 +20,13 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import engine
+from repro import api
 from repro.workloads.synthetic import random_application, random_platform
 
 
 def make_tasks(app, plat, thresholds):
     return [
-        engine.BatchTask(
+        api.BatchTask(
             "local-search-min-fp",
             app,
             plat,
@@ -45,7 +45,7 @@ def main() -> None:
     # 1. Streaming: outcomes arrive as they complete.
     print("streaming sweep (4 workers):")
     start = time.perf_counter()
-    for outcome in engine.iter_batch(
+    for outcome in api.iter_batch(
         make_tasks(app, plat, thresholds), workers=4, seed=7
     ):
         status = (
@@ -63,7 +63,7 @@ def main() -> None:
     tasks = make_tasks(app, plat, [30.0, 60.0])
     tasks.insert(
         1,
-        engine.BatchTask(
+        api.BatchTask(
             "local-search-min-fp",
             app,
             plat,
@@ -73,14 +73,14 @@ def main() -> None:
         ),
     )
     print("mixed batch with a crashing task:")
-    for outcome in engine.iter_batch(tasks, seed=7):
+    for outcome in api.iter_batch(tasks, seed=7):
         kind = outcome.error_kind.value if outcome.error_kind else "ok"
         print(f"  {outcome.tag:8s} [{kind:7s}] {outcome.error or ''}")
     print()
 
     # 3. Policies: per-task timeout and bounded retries with backoff.
-    policy = engine.BatchPolicy(retries=1, timeout=30.0, backoff=0.2)
-    outcomes = engine.run_batch(
+    policy = api.BatchPolicy(retries=1, timeout=30.0, backoff=0.2)
+    outcomes = api.run_batch(
         make_tasks(app, plat, thresholds[:3]), policy=policy, seed=7
     )
     print(
@@ -92,17 +92,17 @@ def main() -> None:
     # 4. Persistent store: the second run never invokes a solver.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "results.json"
-        with engine.open_store(path) as store:
+        with api.open_store(path) as store:
             cold_start = time.perf_counter()
-            cold = engine.run_batch(
+            cold = api.run_batch(
                 make_tasks(app, plat, thresholds),
                 seed=7,
                 store=store,
             )
             cold_time = time.perf_counter() - cold_start
-        with engine.open_store(path) as store:
+        with api.open_store(path) as store:
             warm_start = time.perf_counter()
-            warm = engine.run_batch(
+            warm = api.run_batch(
                 make_tasks(app, plat, thresholds),
                 seed=7,
                 store=store,

@@ -16,7 +16,7 @@ Run:  python examples/streaming_sweep.py
 
 import time
 
-from repro.engine import SweepPlan, iter_sweep, run_sweep
+from repro.api import iter_sweep, plan_from_spec, run_sweep
 
 SPEC = {
     "instances": [
@@ -37,7 +37,7 @@ SPEC = {
 
 
 def main() -> None:
-    plan = SweepPlan.from_spec(SPEC)
+    plan = plan_from_spec(SPEC)
     n_cells = len(plan.instances) * len(plan.solvers)
     print(f"plan: {n_cells} cells, streaming in completion order\n")
 

@@ -14,7 +14,7 @@ Run:  python examples/sweep_scenarios.py
 import json
 
 from repro.analysis.reporting import format_table
-from repro.engine import SweepPlan, run_sweep
+from repro.api import plan_from_spec, run_sweep
 from repro.workloads.scenarios import make_scenario, scenario_names
 
 
@@ -27,7 +27,7 @@ def main() -> None:
     )
 
     # a declarative plan: 2 scenario instances x 1 solver x 8-point grid.
-    # SweepPlan.from_spec accepts exactly this dict as JSON, so the same
+    # plan_from_spec accepts exactly this dict as JSON, so the same
     # experiment is runnable via `repro-pipeline sweep spec.json`.
     spec = {
         "instances": [
@@ -47,10 +47,10 @@ def main() -> None:
     print("\nsweep spec (also valid as a spec.json file):")
     print(json.dumps(spec, indent=2)[:400], "...")
 
-    cold_plan = SweepPlan.from_spec(spec)
+    cold_plan = plan_from_spec(spec)
     cold = run_sweep(cold_plan, seed=0)
     chained = run_sweep(
-        SweepPlan.from_spec({**spec, "warm_start": "chain"}), seed=0
+        plan_from_spec({**spec, "warm_start": "chain"}), seed=0
     )
 
     for cold_cell, warm_cell in zip(cold.cells, chained.cells):

@@ -1,0 +1,124 @@
+"""Stable public facade: the supported surface of the repro engine.
+
+The engine grew across many PRs and its internals
+(:mod:`repro.engine.batch`, :mod:`repro.engine.sweeps`, ...) move
+freely between releases.  This module is the part that does **not**
+move: one import path exporting the supported entry points, shared by
+library users, the CLI, the examples and the solve service.
+
+    from repro import api
+
+    result = api.solve("greedy-min-fp", app, plat, threshold=30.0)
+
+    plan = api.plan_from_spec(spec_dict)          # versioned JSON spec
+    with api.open_store("results.sqlite") as store:
+        for cell in api.iter_sweep(plan, store=store):
+            print(cell.instance_tag, cell.solver, len(cell.outcomes))
+
+The facade is additive: the deep ``repro.engine.*`` import paths keep
+working, but new code (and all shipped examples) should import from
+here.
+
+**Schema versioning.**  :data:`SCHEMA_VERSION` is the version of the
+declarative JSON spec dialect spoken by :func:`plan_from_spec` /
+:func:`plan_to_spec`, the ``sweep``/``submit`` CLI commands and the
+solve-service protocol (:mod:`repro.service`).  Specs that declare
+``{"schema": N}`` are validated strictly (unknown top-level keys are
+rejected by name); legacy specs without the field load leniently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .engine.batch import (
+    BatchOutcome,
+    BatchTask,
+    iter_batch,
+    run_batch,
+    threshold_sweep,
+)
+from .engine.policy import BatchPolicy, ErrorKind
+from .engine.recorder import RunRecording, record_run
+from .engine.registry import (
+    Objective,
+    SolverSpec,
+    get_solver,
+    solve,
+    solver_names,
+    solver_specs,
+)
+from .engine.replay import ReplayReport, diff_runs, replay_run
+from .engine.store import ResultStore, StoreStats, open_store
+from .engine.sweeps import (
+    SPEC_SCHEMA_VERSION,
+    SweepCell,
+    SweepInstance,
+    SweepPlan,
+    SweepPoint,
+    SweepResult,
+    SweepSolver,
+    iter_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    # solving
+    "solve",
+    "solver_names",
+    "solver_specs",
+    "get_solver",
+    "SolverSpec",
+    "Objective",
+    # batches
+    "run_batch",
+    "iter_batch",
+    "threshold_sweep",
+    "BatchTask",
+    "BatchOutcome",
+    "BatchPolicy",
+    "ErrorKind",
+    # sweeps + spec round-trip
+    "run_sweep",
+    "iter_sweep",
+    "plan_from_spec",
+    "plan_to_spec",
+    "SweepPlan",
+    "SweepInstance",
+    "SweepSolver",
+    "SweepCell",
+    "SweepPoint",
+    "SweepResult",
+    # store
+    "open_store",
+    "ResultStore",
+    "StoreStats",
+    # record/replay
+    "record_run",
+    "replay_run",
+    "diff_runs",
+    "RunRecording",
+    "ReplayReport",
+]
+
+#: version of the JSON spec/request dialect shared by the CLI, the
+#: solve-service protocol and :meth:`SweepPlan.from_spec` — see the
+#: module docstring
+SCHEMA_VERSION = SPEC_SCHEMA_VERSION
+
+
+def plan_from_spec(spec: Mapping[str, Any]) -> SweepPlan:
+    """Build a :class:`SweepPlan` from its JSON/dict spec form.
+
+    The inverse of :func:`plan_to_spec`.  Specs carrying a ``schema``
+    field are validated strictly against :data:`SCHEMA_VERSION`.
+    """
+    return SweepPlan.from_spec(spec)
+
+
+def plan_to_spec(plan: SweepPlan) -> dict[str, Any]:
+    """JSON-compatible dict form of a plan (inverse of
+    :func:`plan_from_spec`); always stamped with the current
+    :data:`SCHEMA_VERSION`."""
+    return plan.to_spec()

@@ -38,6 +38,19 @@ Subcommands
     recordings event-for-event; ``replay verify`` does
     record → store → reload → replay in one step (the CI smoke test).
     Exit code 0 means the logs matched, 1 means they diverged.
+``serve``
+    Run the long-lived solve service (:mod:`repro.service`): NDJSON
+    over ``--socket`` and/or HTTP over ``--http``, a bounded priority
+    queue in front of ``--workers`` threads, one shared
+    ``--store`` that every client dedupes against.  SIGTERM/SIGINT
+    drain gracefully: in-flight work finishes, new requests are
+    rejected with a retriable error.
+``submit``
+    Submit work to a running service and stream the response events
+    (NDJSON, completion order) to stdout: ``--plan`` sends a sweep
+    spec, ``--request`` a raw protocol request, ``--ping``/``--stats``
+    /``--drain`` the control verbs.  Exit code 75 (``EX_TEMPFAIL``)
+    means the rejection is retriable (queue full / draining).
 """
 
 from __future__ import annotations
@@ -317,6 +330,135 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived solve service (shared result store)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix socket path for the NDJSON transport",
+    )
+    serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="HTTP endpoint (PORT 0 picks a free port, reported on "
+        "the 'serving' status line)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="shared result store (.json file or SQLite database); "
+        "all clients dedupe against it",
+    )
+    serve.add_argument(
+        "--store-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the result store at N records (LRU eviction)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads (= max concurrent requests, default: 2)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=32,
+        help="bound on queued requests; overflow is rejected with a "
+        "retriable queue-full error (default: 32)",
+    )
+    serve.add_argument(
+        "--event-buffer",
+        type=int,
+        default=64,
+        help="per-request bound on buffered response events "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--preload",
+        action="append",
+        default=None,
+        metavar="MODULE",
+        help="import MODULE before serving (repeatable; e.g. to "
+        "register extra solvers)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit work to a running solve service",
+    )
+    submit.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="service Unix socket path",
+    )
+    submit.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="service HTTP endpoint",
+    )
+    what = submit.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="sweep spec JSON file ('-' reads stdin)",
+    )
+    what.add_argument(
+        "--request",
+        default=None,
+        metavar="FILE",
+        help="raw protocol request JSON file ('-' reads stdin)",
+    )
+    what.add_argument(
+        "--ping", action="store_true", help="liveness probe"
+    )
+    what.add_argument(
+        "--stats", action="store_true", help="print server statistics"
+    )
+    what.add_argument(
+        "--drain",
+        action="store_true",
+        help="ask the server to drain gracefully",
+    )
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="higher runs earlier (default: 0)",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=None, help="per-task retries"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds",
+    )
+    submit.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        help="base retry backoff in seconds",
+    )
+    submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout in seconds (default: 60)",
     )
     return parser
 
@@ -1004,6 +1146,169 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             store.close()
 
 
+#: exit code for retriable service rejections (sysexits EX_TEMPFAIL)
+EX_TEMPFAIL = 75
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import importlib
+    import json
+    import signal
+
+    from .engine.store import open_store
+    from .service.server import SolverService
+
+    if args.socket is None and args.http is None:
+        print("error: serve needs --socket PATH and/or --http HOST:PORT")
+        return 2
+    for module in args.preload or []:
+        importlib.import_module(module)
+    host: str | None = None
+    port: int | None = None
+    if args.http is not None:
+        host, _, port_text = args.http.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(f"error: --http expects HOST:PORT, got {args.http!r}")
+            return 2
+    store = (
+        open_store(
+            args.store,
+            max_records=args.store_max_records,
+            threadsafe=True,
+        )
+        if args.store
+        else None
+    )
+
+    async def _run() -> None:
+        service = SolverService(
+            store,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            event_buffer=args.event_buffer,
+        )
+        await service.start(
+            socket_path=args.socket, host=host or None, port=port
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, service.drain)
+        print(
+            json.dumps(
+                {
+                    "event": "serving",
+                    "socket": service.socket_path,
+                    "http_port": service.http_port,
+                    "store": args.store,
+                    "workers": args.workers,
+                }
+            ),
+            flush=True,
+        )
+        await service.serve_forever()
+        print(json.dumps({"event": "drained"}), flush=True)
+
+    try:
+        asyncio.run(_run())
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceClient
+    from .service.protocol import PROTOCOL_VERSION, ServiceError
+
+    if (args.socket is None) == (args.http is None):
+        print("error: submit needs exactly one of --socket or --http")
+        return 2
+    if args.http is not None:
+        host, _, port_text = args.http.rpartition(":")
+        try:
+            client = ServiceClient(
+                host=host or None,
+                port=int(port_text),
+                timeout=args.connect_timeout,
+            )
+        except ValueError:
+            print(f"error: --http expects HOST:PORT, got {args.http!r}")
+            return 2
+    else:
+        client = ServiceClient(
+            args.socket, timeout=args.connect_timeout
+        )
+
+    def _read_json(path: str) -> object:
+        if path == "-":
+            return json.load(sys.stdin)
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    try:
+        if args.ping or args.stats or args.drain:
+            verb = "ping" if args.ping else "stats" if args.stats else "drain"
+            event = getattr(client, verb)()
+            print(json.dumps(event))
+            return 0
+        if args.request is not None:
+            payload = _read_json(args.request)
+            if isinstance(payload, dict):
+                payload.setdefault("schema", PROTOCOL_VERSION)
+        else:
+            payload = {
+                "schema": PROTOCOL_VERSION,
+                "kind": "sweep",
+                "plan": _read_json(args.plan),
+            }
+        if isinstance(payload, dict):
+            if args.seed is not None:
+                payload["seed"] = args.seed
+            if args.priority:
+                payload["priority"] = args.priority
+            policy = {
+                key: value
+                for key, value in (
+                    ("retries", args.retries),
+                    ("timeout", args.timeout),
+                    ("backoff", args.backoff),
+                )
+                if value is not None
+            }
+            if policy:
+                payload["policy"] = policy
+        failed = 0
+        for event in client.request(payload):
+            print(json.dumps(event), flush=True)
+            if event.get("event") == "done":
+                failed = event.get("failed", 0)
+        return 1 if failed else 0
+    except ServiceError as exc:
+        print(
+            json.dumps(
+                {
+                    "event": "error",
+                    "code": exc.code,
+                    "retriable": exc.retriable,
+                    "message": str(exc),
+                }
+            ),
+            flush=True,
+        )
+        return EX_TEMPFAIL if exc.retriable else 1
+    except (ConnectionRefusedError, FileNotFoundError) as exc:
+        print(f"error: cannot reach the service: {exc}")
+        return EX_TEMPFAIL
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -1022,6 +1327,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -91,10 +91,12 @@ from .store import (
     ResultStore,
     SQLiteStore,
     StoreStats,
+    ThreadSafeStore,
     instance_key,
     open_store,
 )
 from .sweeps import (
+    SPEC_SCHEMA_VERSION,
     SweepCell,
     SweepInstance,
     SweepPlan,
@@ -129,9 +131,11 @@ __all__ = [
     "MemoryStore",
     "JSONStore",
     "SQLiteStore",
+    "ThreadSafeStore",
     "StoreStats",
     "instance_key",
     "open_store",
+    "SPEC_SCHEMA_VERSION",
     "SweepInstance",
     "SweepSolver",
     "SweepPlan",

@@ -23,8 +23,15 @@ for those solves:
   in :class:`StoreStats`.  Recency survives reopening for the
   persistent backends (JSON keeps dict order, SQLite keeps an indexed
   ``seq`` column).
+* **concurrent access** — the SQLite backend opens in WAL mode with a
+  busy timeout, so many processes (clients of one store file, or the
+  solve service's store server) read and write concurrently without
+  ``database is locked`` failures; :class:`ThreadSafeStore` wraps any
+  backend behind one lock so threads inside one process (the service's
+  worker pool) can share a single store instance.
 * :func:`open_store` — backend selection by path (``:memory:``,
-  ``*.json``, anything else → SQLite).
+  ``*.json``, anything else → SQLite), with ``threadsafe=True``
+  returning the wrapped store.
 
 Stores hold plain JSON records (the batch layer owns the
 outcome <-> record codec), so they stay decoupled from the executor and
@@ -38,6 +45,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
@@ -58,6 +66,7 @@ __all__ = [
     "MemoryStore",
     "JSONStore",
     "SQLiteStore",
+    "ThreadSafeStore",
     "open_store",
 ]
 
@@ -385,12 +394,30 @@ class JSONStore(ResultStore):
             raise
 
 
+#: default budget (seconds) a connection waits on another writer's lock
+#: before giving up — generous, because a blocked solve is cheaper than
+#: a spurious ``database is locked`` under concurrent clients
+_BUSY_TIMEOUT = 30.0
+
+
 class SQLiteStore(ResultStore):
-    """SQLite-backed store (scales to large grids, concurrent readers).
+    """SQLite-backed store (scales to large grids, concurrent clients).
 
     Recency lives in a monotonically increasing ``seq`` column (bumped
     on every put *and* hit), so LRU eviction order survives reopening.
     Pre-eviction databases without the column are migrated in place.
+
+    The connection opens in **WAL mode** (readers never block the
+    writer, the writer never blocks readers) with a ``busy_timeout`` so
+    concurrent writers queue behind the lock instead of failing with
+    ``database is locked`` — many processes (or the solve service's
+    store server) can share one store file.  WAL needs a filesystem
+    with shared-memory support; where the pragma is refused (network
+    mounts, read-only media) the store falls back to the default
+    journal silently.  The connection allows cross-thread use
+    (``check_same_thread=False``); *serialising* those threads is the
+    caller's job — wrap the store in :class:`ThreadSafeStore` to share
+    one instance across a thread pool.
     """
 
     def __init__(
@@ -398,10 +425,28 @@ class SQLiteStore(ResultStore):
         path: str | os.PathLike[str],
         *,
         max_records: int | None = None,
+        busy_timeout: float = _BUSY_TIMEOUT,
+        wal: bool = True,
     ) -> None:
         super().__init__(max_records)
         self.path = os.fspath(path)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout, check_same_thread=False
+        )
+        if wal:
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                # WAL makes synchronous=NORMAL durable enough for a
+                # cache (a crash can only lose the latest transactions,
+                # never corrupt the database) and much faster
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.DatabaseError:  # pragma: no cover - odd FS
+                pass
+        # connect(timeout=...) already arms the busy handler; the pragma
+        # makes the value visible to PRAGMA busy_timeout introspection
+        self._conn.execute(
+            f"PRAGMA busy_timeout={int(busy_timeout * 1000)}"
+        )
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " key TEXT PRIMARY KEY,"
@@ -486,19 +531,82 @@ class SQLiteStore(ResultStore):
         self._conn.close()
 
 
+class ThreadSafeStore(ResultStore):
+    """Serialise every operation of a wrapped store behind one lock.
+
+    The solve service shares a single store instance — its *store
+    server* — across a pool of worker threads; the plain backends keep
+    their stat counters and LRU bookkeeping unguarded (they were built
+    for one thread at a time), so the service wraps them here.  The
+    wrapper shares the inner store's :class:`StoreStats` object, so
+    ``wrapped.stats`` and ``inner.stats`` are one set of counters.
+
+    Locking is coarse (one reentrant lock around every call): store
+    operations are short compared to solves, and correctness under
+    contention beats fine-grained speed for a cache.
+    """
+
+    def __init__(self, inner: ResultStore) -> None:
+        if isinstance(inner, ThreadSafeStore):
+            raise ReproError("store is already wrapped in ThreadSafeStore")
+        super().__init__(inner.max_records)
+        self.inner = inner
+        self.stats = inner.stats  # one shared counter set
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self.inner.get(key)
+
+    def peek(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self.inner.peek(key)
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        with self._lock:
+            self.inner.put(key, record)
+
+    def prune(self, max_records: int | None = None) -> int:
+        with self._lock:
+            return self.inner.prune(max_records)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self.inner
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.inner)
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self.inner.keys()))
+
+    def close(self) -> None:
+        with self._lock:
+            self.inner.close()
+
+
 def open_store(
-    path: str | os.PathLike[str], *, max_records: int | None = None
+    path: str | os.PathLike[str],
+    *,
+    max_records: int | None = None,
+    threadsafe: bool = False,
 ) -> ResultStore:
     """Open a result store by path.
 
     ``":memory:"`` → :class:`MemoryStore`; a ``.json`` suffix →
     :class:`JSONStore`; anything else → :class:`SQLiteStore`.
     ``max_records`` applies the LRU record cap to whichever backend is
-    selected.
+    selected; ``threadsafe=True`` wraps the store in
+    :class:`ThreadSafeStore` so one instance can be shared across
+    threads (the solve service does this for its store server).
     """
     spec = os.fspath(path)
     if spec == ":memory:":
-        return MemoryStore(max_records=max_records)
-    if spec.endswith(".json"):
-        return JSONStore(spec, max_records=max_records)
-    return SQLiteStore(spec, max_records=max_records)
+        store: ResultStore = MemoryStore(max_records=max_records)
+    elif spec.endswith(".json"):
+        store = JSONStore(spec, max_records=max_records)
+    else:
+        store = SQLiteStore(spec, max_records=max_records)
+    return ThreadSafeStore(store) if threadsafe else store

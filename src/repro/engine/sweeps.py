@@ -103,6 +103,7 @@ from .registry import Objective, SolverSpec, get_solver
 from .store import ResultStore
 
 __all__ = [
+    "SPEC_SCHEMA_VERSION",
     "SweepInstance",
     "SweepSolver",
     "SweepPlan",
@@ -113,6 +114,29 @@ __all__ = [
     "run_sweep",
     "warm_pool_terms",
 ]
+
+#: version of the declarative spec schema shared by
+#: :meth:`SweepPlan.from_spec`, the CLI ``sweep``/``submit`` commands
+#: and the solve-service protocol (re-exported as
+#: :data:`repro.api.SCHEMA_VERSION`).  Bump it when the accepted
+#: top-level keys or their meaning change incompatibly.  Specs that
+#: *declare* a schema get strict validation (unknown top-level keys are
+#: rejected by name); legacy specs without the field keep the historic
+#: lenient behaviour, so old spec files still load.
+SPEC_SCHEMA_VERSION = 1
+
+#: every top-level key a version-1 sweep spec may carry
+_SPEC_KEYS = frozenset(
+    {
+        "schema",
+        "instances",
+        "solvers",
+        "thresholds",
+        "grid",
+        "warm_start",
+        "one_pass_exhaustive",
+    }
+)
 
 #: effort reductions applied to chained (non-first) grid points when the
 #: solver entry does not specify its own ``chain_opts``: a solver seeded
@@ -309,6 +333,28 @@ class SweepPlan:
             raise ReproError(
                 f"a sweep spec must be an object, got {type(spec).__name__}"
             )
+        schema = spec.get("schema")
+        if schema is not None:
+            if isinstance(schema, bool) or not isinstance(schema, int):
+                raise ReproError(
+                    f"sweep spec 'schema' must be an integer, got {schema!r}"
+                )
+            if schema < 1 or schema > SPEC_SCHEMA_VERSION:
+                raise ReproError(
+                    f"sweep spec schema {schema} is not supported (this "
+                    f"library speaks schema 1..{SPEC_SCHEMA_VERSION})"
+                )
+            # a declared schema buys strict validation: a typo like
+            # 'warmstart' must fail loudly instead of being ignored
+            unknown = sorted(set(spec) - _SPEC_KEYS)
+            if unknown:
+                raise ReproError(
+                    "unknown sweep spec key(s) "
+                    + ", ".join(repr(k) for k in unknown)
+                    + f" (schema {schema} accepts: "
+                    + ", ".join(sorted(_SPEC_KEYS))
+                    + ")"
+                )
         if "instances" not in spec or "solvers" not in spec:
             raise ReproError(
                 "a sweep spec needs 'instances' and 'solvers' lists"
@@ -341,6 +387,7 @@ class SweepPlan:
     def to_spec(self) -> dict[str, Any]:
         """JSON-compatible dict form (inverse of :meth:`from_spec`)."""
         out: dict[str, Any] = {
+            "schema": SPEC_SCHEMA_VERSION,
             "instances": [inst.to_spec() for inst in self.instances],
             "solvers": [solver.to_spec() for solver in self.solvers],
             "warm_start": self.warm_start,

@@ -1,0 +1,49 @@
+"""The solve service: a long-lived daemon sharing one result store.
+
+Every experiment used to be a fresh process, so the warm-cache wins of
+the content-addressed store never compounded across clients.  This
+package turns the engine into a server:
+
+* :mod:`repro.service.protocol` — the versioned JSON request dialect
+  (``solve``/``sweep``/``ping``/``stats``/``drain``) and the streamed
+  NDJSON response events;
+* :mod:`repro.service.server` — :class:`SolverService`, the asyncio
+  daemon: Unix-socket and HTTP transports, a bounded priority queue,
+  a worker-thread pool over the existing batch/sweep engine, one
+  :class:`~repro.engine.store.ThreadSafeStore` shared by every
+  request, graceful draining;
+* :mod:`repro.service.client` — :class:`ServiceClient`, a blocking
+  stdlib-only client for both transports;
+* :mod:`repro.service.local` — :class:`ServiceThread`, the in-process
+  harness used by tests, benches and examples.
+
+Start a daemon with ``repro-pipeline serve --store results.sqlite
+--socket /tmp/repro.sock`` and submit work with ``repro-pipeline
+submit --socket /tmp/repro.sock --plan plan.json``, or embed one::
+
+    from repro.service import ServiceThread
+
+    with ServiceThread(store="results.sqlite", workers=4) as service:
+        client = service.client()
+        outcomes, done = client.run_sweep(plan_spec, seed=0)
+"""
+
+from .client import ServiceClient
+from .local import ServiceThread
+from .protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    ServiceError,
+    validate_request,
+)
+from .server import SolverService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_KINDS",
+    "ServiceError",
+    "ServiceClient",
+    "ServiceThread",
+    "SolverService",
+    "validate_request",
+]

@@ -1,0 +1,313 @@
+"""Blocking client for the solve service.
+
+:class:`ServiceClient` speaks both transports — NDJSON over the Unix
+socket and HTTP/1.1 (chunked NDJSON) over TCP — with nothing beyond
+the standard library, so a client process does not need asyncio (or
+even this package's optional dependencies).
+
+Every request opens one connection, sends one JSON object and yields
+the response events as they stream in completion order; a terminal
+``error`` event raises :class:`~repro.service.protocol.ServiceError`
+(check ``exc.retriable`` — queue-full and draining rejections are
+safe to retry).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterator, Mapping
+
+from ..engine.policy import BatchPolicy
+from ..engine.sweeps import SweepInstance, SweepPlan
+from ..exceptions import ReproError
+from .protocol import (
+    PROTOCOL_VERSION,
+    TERMINAL_EVENTS,
+    ServiceError,
+    decode_line,
+    policy_to_wire,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.SolverService`.
+
+    Exactly one of ``socket_path`` (Unix socket, NDJSON) or
+    ``host``/``port`` (HTTP) selects the transport.  The client is
+    stateless: each request is its own connection, so one instance can
+    be shared across threads.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = 60.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ReproError(
+                "pass exactly one of socket_path or host/port"
+            )
+        self.socket_path = socket_path
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # request primitives
+    # ------------------------------------------------------------------
+    def request(
+        self, payload: Mapping[str, Any], *, raise_on_error: bool = True
+    ) -> Iterator[dict[str, Any]]:
+        """Send one request, yielding response events as they arrive.
+
+        Stops after the terminal event.  With ``raise_on_error`` (the
+        default) a terminal ``error`` event becomes a
+        :class:`ServiceError` carrying the server's ``code`` and
+        ``retriable`` flag.
+        """
+        for event in self._events(dict(payload)):
+            if (
+                raise_on_error
+                and event.get("event") == "error"
+            ):
+                raise ServiceError(
+                    event.get("message", "service error"),
+                    code=event.get("code", "internal"),
+                    retriable=bool(event.get("retriable")),
+                )
+            yield event
+            if event.get("event") in TERMINAL_EVENTS:
+                return
+
+    def _events(self, payload: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        if self.socket_path is not None:
+            yield from self._ndjson_events(payload)
+        else:
+            yield from self._http_events(payload)
+
+    def _ndjson_events(
+        self, payload: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            sock.sendall(
+                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+            )
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    if line.strip():
+                        yield decode_line(line)
+
+    def _http_events(
+        self, payload: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(
+                (
+                    f"POST /v1/requests HTTP/1.1\r\n"
+                    f"Host: {self.host}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            with sock.makefile("rb") as stream:
+                status_line = stream.readline().decode("latin-1")
+                parts = status_line.split(None, 2)
+                if len(parts) < 2 or not parts[1].isdigit():
+                    raise ServiceError(
+                        f"malformed HTTP response: {status_line!r}",
+                        code="internal",
+                    )
+                status = int(parts[1])
+                headers: dict[str, str] = {}
+                while True:
+                    line = stream.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = (
+                        line.decode("latin-1").partition(":")
+                    )
+                    headers[name.strip().lower()] = value.strip()
+                chunked = (
+                    headers.get("transfer-encoding", "").lower()
+                    == "chunked"
+                )
+                if chunked:
+                    raw: Iterator[bytes] = self._iter_chunks(stream)
+                else:
+                    length = int(headers.get("content-length", "0"))
+                    raw = iter([stream.read(length)] if length else [])
+                buffer = b""
+                for chunk in raw:
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if line.strip():
+                            yield decode_line(line)
+                if buffer.strip():
+                    yield decode_line(buffer)
+                if status != 200:
+                    # body already yielded the structured error event;
+                    # make non-200 without one loud instead of silent
+                    return
+
+    @staticmethod
+    def _iter_chunks(stream: Any) -> Iterator[bytes]:
+        while True:
+            size_line = stream.readline()
+            if not size_line:
+                return
+            size = int(size_line.split(b";")[0].strip() or b"0", 16)
+            if size == 0:
+                stream.readline()
+                return
+            data = stream.read(size)
+            stream.read(2)  # trailing CRLF
+            yield data
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        *,
+        priority: int = 0,
+        policy: "BatchPolicy | Mapping[str, Any] | None" = None,
+        request_id: str | None = None,
+        **fields: Any,
+    ) -> Iterator[dict[str, Any]]:
+        """Build and send a schema-stamped work request."""
+        payload: dict[str, Any] = {
+            "schema": PROTOCOL_VERSION,
+            "kind": kind,
+            "priority": priority,
+            **fields,
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        wire_policy = policy_to_wire(policy)
+        if wire_policy is not None:
+            payload["policy"] = wire_policy
+        return self.request(payload)
+
+    def solve(
+        self,
+        solver: str,
+        instance: "SweepInstance | Mapping[str, Any]",
+        *,
+        threshold: float | None = None,
+        opts: Mapping[str, Any] | None = None,
+        seed: int | None = None,
+        include_mapping: bool = False,
+        priority: int = 0,
+        policy: "BatchPolicy | Mapping[str, Any] | None" = None,
+    ) -> dict[str, Any]:
+        """One solve; returns the single ``outcome`` event.
+
+        A *failed solve* comes back as an outcome with ``ok: false``
+        and a structured ``error_kind`` — only protocol-level failures
+        raise.
+        """
+        if isinstance(instance, SweepInstance):
+            instance = instance.to_spec()
+        fields: dict[str, Any] = {
+            "solver": solver,
+            "instance": dict(instance),
+        }
+        if threshold is not None:
+            fields["threshold"] = threshold
+        if opts:
+            fields["opts"] = dict(opts)
+        if seed is not None:
+            fields["seed"] = seed
+        if include_mapping:
+            fields["include_mapping"] = True
+        outcome: dict[str, Any] | None = None
+        for event in self.submit(
+            "solve", priority=priority, policy=policy, **fields
+        ):
+            if event["event"] == "outcome":
+                outcome = event
+        if outcome is None:
+            raise ServiceError(
+                "server sent no outcome for the solve request",
+                code="internal",
+            )
+        return outcome
+
+    def sweep(
+        self,
+        plan: "SweepPlan | Mapping[str, Any]",
+        *,
+        seed: int | None = None,
+        include_mapping: bool = False,
+        priority: int = 0,
+        policy: "BatchPolicy | Mapping[str, Any] | None" = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Stream a sweep: ``accepted``, per-point ``outcome``\\ s in
+        completion order, then ``done`` (with aggregate counters)."""
+        if isinstance(plan, SweepPlan):
+            plan = plan.to_spec()
+        fields: dict[str, Any] = {"plan": dict(plan)}
+        if seed is not None:
+            fields["seed"] = seed
+        if include_mapping:
+            fields["include_mapping"] = True
+        return self.submit(
+            "sweep", priority=priority, policy=policy, **fields
+        )
+
+    def run_sweep(
+        self,
+        plan: "SweepPlan | Mapping[str, Any]",
+        **kwargs: Any,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Drained :meth:`sweep`: ``(outcome_events, done_event)``."""
+        outcomes: list[dict[str, Any]] = []
+        done: dict[str, Any] | None = None
+        for event in self.sweep(plan, **kwargs):
+            if event["event"] == "outcome":
+                outcomes.append(event)
+            elif event["event"] == "done":
+                done = event
+        if done is None:
+            raise ServiceError(
+                "server closed the sweep stream without a 'done' event",
+                code="internal",
+            )
+        return outcomes, done
+
+    def _control(self, kind: str) -> dict[str, Any]:
+        last: dict[str, Any] | None = None
+        for event in self.request({"kind": kind}):
+            last = event
+        if last is None:
+            raise ServiceError(
+                f"server sent no reply to {kind!r}", code="internal"
+            )
+        return last
+
+    def ping(self) -> dict[str, Any]:
+        """Round-trip liveness probe (``pong`` event)."""
+        return self._control("ping")
+
+    def stats(self) -> dict[str, Any]:
+        """Server counters: requests, outcomes, latency, store."""
+        return self._control("stats")
+
+    def drain(self) -> dict[str, Any]:
+        """Ask the server to drain (equivalent to sending SIGTERM)."""
+        return self._control("drain")

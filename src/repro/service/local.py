@@ -1,0 +1,147 @@
+"""Run a solve service inside the current process.
+
+:class:`ServiceThread` hosts a :class:`SolverService` event loop on a
+daemon thread — the shape tests, benches and notebooks want: start a
+real server (real sockets, real backpressure), talk to it with
+:class:`ServiceClient`, drain it deterministically, all without
+spawning a process::
+
+    with ServiceThread(store="results.sqlite", workers=4) as service:
+        client = service.client()
+        outcome = client.solve("greedy-min-fp", instance, threshold=30.0)
+    # exiting the block drains: in-flight work finishes first
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import ReproError
+from .client import ServiceClient
+from .server import SolverService
+
+__all__ = ["ServiceThread"]
+
+
+class ServiceThread:
+    """A :class:`SolverService` on a background thread.
+
+    By default serves NDJSON on a Unix socket in a private temporary
+    directory; ``http=True`` additionally binds HTTP on a free
+    ``127.0.0.1`` port (see :attr:`http_port`).  Remaining keyword
+    arguments go to :class:`SolverService` (``store``, ``workers``,
+    ``queue_size``, ``event_buffer``, ``default_policy``, ...).
+    """
+
+    def __init__(
+        self,
+        store: Any = None,
+        *,
+        socket_path: "str | Path | None" = None,
+        http: bool = False,
+        start_timeout: float = 30.0,
+        **service_kwargs: Any,
+    ) -> None:
+        self._requested_socket = socket_path
+        self._http = http
+        self._start_timeout = start_timeout
+        self._service_kwargs = dict(service_kwargs, store=store)
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.service: SolverService | None = None
+        self.socket_path: str | None = None
+        self.http_port: int | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise ReproError("service thread already started")
+        if self._requested_socket is not None:
+            self.socket_path = str(self._requested_socket)
+        else:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-service-"
+            )
+            self.socket_path = str(
+                Path(self._tmpdir.name) / "service.sock"
+            )
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self._start_timeout):
+            raise ReproError("service thread failed to start in time")
+        if self._error is not None:
+            raise ReproError(
+                f"service thread failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        service = SolverService(**self._service_kwargs)
+        await service.start(
+            socket_path=self.socket_path,
+            port=0 if self._http else None,
+        )
+        self.service = service
+        self.http_port = service.http_port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await service.serve_forever()
+
+    # ------------------------------------------------------------------
+    def client(self, **kwargs: Any) -> ServiceClient:
+        """A client for this server (socket transport by default;
+        pass ``http=True`` for the HTTP endpoint)."""
+        if kwargs.pop("http", False):
+            if self.http_port is None:
+                raise ReproError("service was started without http=True")
+            return ServiceClient(port=self.http_port, **kwargs)
+        return ServiceClient(self.socket_path, **kwargs)
+
+    def drain(self) -> None:
+        """Request a graceful drain from any thread."""
+        if self._loop is not None and self.service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.drain)
+            except RuntimeError:  # loop already closed
+                pass
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain and join; raises if the server loop crashed."""
+        self.drain()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise ReproError(
+                    "service thread did not drain within "
+                    f"{timeout:g}s"
+                )
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        if self._error is not None:
+            raise ReproError(
+                f"service loop crashed: {self._error}"
+            ) from self._error
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,74 @@
+"""Sweep-spec schema versioning: strict keys behind the version field."""
+
+import pytest
+
+from repro.engine.sweeps import SPEC_SCHEMA_VERSION, SweepPlan
+from repro.exceptions import ReproError
+
+
+def spec(**overrides):
+    base = {
+        "instances": [{"scenario": "edge-hub-cloud", "seed": 1}],
+        "solvers": ["greedy-min-fp"],
+        "thresholds": [30.0, 60.0],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSchemaField:
+    def test_to_spec_stamps_current_schema(self):
+        plan = SweepPlan.from_spec(spec())
+        assert plan.to_spec()["schema"] == SPEC_SCHEMA_VERSION
+
+    def test_stamped_spec_round_trips(self):
+        plan = SweepPlan.from_spec(spec())
+        again = SweepPlan.from_spec(plan.to_spec())
+        assert again.to_spec() == plan.to_spec()
+
+    def test_versioned_spec_loads(self):
+        plan = SweepPlan.from_spec(spec(schema=SPEC_SCHEMA_VERSION))
+        assert len(plan.thresholds) == 2
+
+    @pytest.mark.parametrize("schema", [0, SPEC_SCHEMA_VERSION + 1, -1])
+    def test_unsupported_schema_rejected(self, schema):
+        with pytest.raises(ReproError, match="not supported"):
+            SweepPlan.from_spec(spec(schema=schema))
+
+    @pytest.mark.parametrize("schema", [True, "1", 1.0])
+    def test_non_integer_schema_rejected(self, schema):
+        with pytest.raises(ReproError, match="integer"):
+            SweepPlan.from_spec(spec(schema=schema))
+
+
+class TestStrictKeys:
+    def test_typo_rejected_by_name_when_versioned(self):
+        with pytest.raises(ReproError) as err:
+            SweepPlan.from_spec(spec(schema=1, warmstart="chain"))
+        message = str(err.value)
+        assert "'warmstart'" in message
+        assert "warm_start" in message  # the accepted keys are listed
+
+    def test_multiple_unknown_keys_all_named(self):
+        with pytest.raises(ReproError) as err:
+            SweepPlan.from_spec(spec(schema=1, bogus=1, extra=2))
+        assert "'bogus'" in str(err.value)
+        assert "'extra'" in str(err.value)
+
+    def test_legacy_spec_without_schema_stays_lenient(self):
+        # pre-versioning specs silently ignored unknown keys; they
+        # must keep loading unchanged
+        plan = SweepPlan.from_spec(spec(warmstart="chain"))
+        assert plan.warm_start == "off"
+
+    def test_all_known_keys_accepted_when_versioned(self):
+        plan = SweepPlan.from_spec(
+            spec(
+                schema=1,
+                warm_start="chain",
+                one_pass_exhaustive=False,
+                grid={"num_points": 3},
+                thresholds=None,
+            )
+        )
+        assert plan.warm_start == "chain"

@@ -1,0 +1,196 @@
+"""Concurrent store access: WAL mode, busy timeouts, ThreadSafeStore."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.engine.store import (
+    JSONStore,
+    MemoryStore,
+    SQLiteStore,
+    ThreadSafeStore,
+    open_store,
+)
+from repro.exceptions import ReproError
+
+
+def record(n):
+    return {"solver": "s", "result": {"value": n}}
+
+
+class TestSQLiteConcurrency:
+    def test_wal_mode_enabled_by_default(self, tmp_path):
+        store = SQLiteStore(tmp_path / "r.sqlite")
+        try:
+            mode = store._conn.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+            assert mode.lower() == "wal"
+            timeout = store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0]
+            assert timeout == 30_000
+        finally:
+            store.close()
+
+    def test_wal_opt_out(self, tmp_path):
+        store = SQLiteStore(tmp_path / "r.sqlite", wal=False)
+        try:
+            mode = store._conn.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+            assert mode.lower() != "wal"
+        finally:
+            store.close()
+
+    def test_custom_busy_timeout(self, tmp_path):
+        store = SQLiteStore(tmp_path / "r.sqlite", busy_timeout=2.5)
+        try:
+            timeout = store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0]
+            assert timeout == 2_500
+        finally:
+            store.close()
+
+    def test_usable_from_other_threads(self, tmp_path):
+        """check_same_thread=False: the service's worker threads all
+        drive one connection (serialised by ThreadSafeStore)."""
+        store = ThreadSafeStore(SQLiteStore(tmp_path / "r.sqlite"))
+        errors = []
+
+        def work(base):
+            try:
+                for i in range(20):
+                    store.put(f"k-{base}-{i}", record(i))
+                    assert store.get(f"k-{base}-{i}") is not None
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        store.close()
+        assert errors == []
+
+    def test_two_connections_interleaved_writes(self, tmp_path):
+        """Two independent connections to one database file (two
+        service processes sharing a store) must not raise
+        'database is locked' thanks to WAL + busy_timeout."""
+        path = tmp_path / "shared.sqlite"
+        first, second = SQLiteStore(path), SQLiteStore(path)
+        errors = []
+
+        def work(store, base):
+            try:
+                for i in range(50):
+                    store.put(f"k-{base}-{i}", record(i))
+                    store.get(f"k-{1 - base}-{i}")  # cross-reads
+            except sqlite3.OperationalError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(store, base))
+            for base, store in enumerate((first, second))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        try:
+            assert errors == []
+            assert len(first) == 100
+        finally:
+            first.close()
+            second.close()
+
+
+class TestThreadSafeStore:
+    def test_delegates_and_shares_stats(self):
+        inner = MemoryStore()
+        store = ThreadSafeStore(inner)
+        store.put("a", record(1))
+        assert "a" in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["a"]
+        assert store.get("a") == record(1)
+        assert store.get("missing") is None
+        assert store.peek("a") == record(1)
+        # one stats object: hits/misses visible on both handles
+        assert store.stats is inner.stats
+        assert inner.stats.hits == 1
+        assert inner.stats.misses == 1
+        assert inner.stats.writes == 1
+
+    def test_rejects_double_wrapping(self):
+        wrapped = ThreadSafeStore(MemoryStore())
+        with pytest.raises(ReproError, match="already"):
+            ThreadSafeStore(wrapped)
+
+    def test_lru_cap_respected_under_threads(self):
+        store = ThreadSafeStore(MemoryStore(max_records=25))
+        errors = []
+
+        def work(base):
+            try:
+                for i in range(100):
+                    key = f"k-{base}-{i % 40}"
+                    if store.get(key) is None:
+                        store.put(key, record(i))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert errors == []
+        assert len(store) <= 25
+        stats = store.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.evictions >= stats.writes - 25
+
+    def test_prune_under_lock(self):
+        store = ThreadSafeStore(MemoryStore())
+        for i in range(10):
+            store.put(f"k-{i}", record(i))
+        removed = store.prune(max_records=4)
+        assert removed == 6
+        assert len(store) == 4
+
+
+class TestOpenStoreThreadsafe:
+    @pytest.mark.parametrize(
+        "name", ["results.sqlite", "results.json", ":memory:"]
+    )
+    def test_wraps_every_backend(self, tmp_path, name):
+        path = name if name == ":memory:" else tmp_path / name
+        store = open_store(path, threadsafe=True)
+        try:
+            assert isinstance(store, ThreadSafeStore)
+            store.put("k", record(0))
+            assert store.get("k") == record(0)
+        finally:
+            store.close()
+
+    def test_inner_backend_type(self, tmp_path):
+        store = open_store(tmp_path / "r.json", threadsafe=True)
+        try:
+            assert isinstance(store.inner, JSONStore)
+        finally:
+            store.close()
+
+    def test_default_stays_unwrapped(self, tmp_path):
+        store = open_store(tmp_path / "r.sqlite")
+        try:
+            assert isinstance(store, SQLiteStore)
+        finally:
+            store.close()

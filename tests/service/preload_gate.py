@@ -1,0 +1,37 @@
+"""``--preload`` module for the daemon SIGTERM test.
+
+Importing this inside the *served* process registers ``preload-gate``,
+a min-FP solver that stalls until the file named by the
+``REPRO_TEST_GATE`` environment variable exists, counting invocations
+in ``REPRO_TEST_COUNTER`` — giving the test a deterministic handle on
+"a request is in flight right now" across the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import Objective, SolverSpec, register
+
+from tests.engine.synthetic import gated_min_fp
+
+
+def _gated(application, platform, threshold):
+    return gated_min_fp(
+        application,
+        platform,
+        threshold,
+        gate=os.environ["REPRO_TEST_GATE"],
+        counter_file=os.environ["REPRO_TEST_COUNTER"],
+    )
+
+
+register(
+    SolverSpec(
+        name="preload-gate",
+        func=_gated,
+        objective=Objective.MIN_FP,
+        exact=False,
+        needs_threshold=True,
+    )
+)

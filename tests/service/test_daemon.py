@@ -1,0 +1,242 @@
+"""The real daemon: ``repro-pipeline serve`` in a subprocess.
+
+Covers what the in-process tests cannot: the CLI entry points, the
+``--preload`` hook, and POSIX signal handling — SIGTERM mid-request
+must finish the in-flight work, reject new submissions with a
+retriable error, and exit 0.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+from tests.engine.synthetic import invocations
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def start_daemon(tmp_path, *extra_args, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    )
+    env.update(env_extra or {})
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            str(tmp_path / "svc.sock"),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert process.stdout is not None
+    status = process.stdout.readline()
+    assert status, "daemon exited before reporting readiness"
+    assert json.loads(status)["event"] == "serving"
+    return process
+
+
+def wait_for(predicate, timeout=15.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out waiting for {message}")
+        time.sleep(0.02)
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "instances": [
+                    {
+                        "scenario": "edge-hub-cloud",
+                        "seed": 3,
+                        "params": {"stages": 4},
+                    }
+                ],
+                "solvers": ["greedy-min-fp"],
+                "thresholds": [40.0, 60.0, 90.0],
+            }
+        )
+    )
+    return path
+
+
+def submit(tmp_path, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "submit",
+            "--socket",
+            str(tmp_path / "svc.sock"),
+            *args,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+class TestDaemon:
+    def test_serve_submit_warm_resubmit_and_drain(
+        self, tmp_path, plan_file
+    ):
+        process = start_daemon(
+            tmp_path, "--store", str(tmp_path / "results.sqlite")
+        )
+        try:
+            cold = submit(
+                tmp_path, "--plan", str(plan_file), "--seed", "0"
+            )
+            assert cold.returncode == 0, cold.stdout + cold.stderr
+            events = [
+                json.loads(line)
+                for line in cold.stdout.splitlines()
+                if line
+            ]
+            assert events[-1]["event"] == "done"
+            assert events[-1]["solver_invocations"] == 3
+
+            warm = submit(
+                tmp_path, "--plan", str(plan_file), "--seed", "0"
+            )
+            assert warm.returncode == 0
+            done = json.loads(warm.stdout.splitlines()[-1])
+            assert done["solver_invocations"] == 0
+            assert done["cached"] == 3
+
+            stats = submit(tmp_path, "--stats")
+            assert stats.returncode == 0
+            snapshot = json.loads(stats.stdout)
+            assert snapshot["store"]["hits"] == 3
+            assert snapshot["requests"]["completed"] == 2
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+            tail = process.stdout.read()
+            assert '"drained"' in tail
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_sigterm_mid_request_drains_gracefully(self, tmp_path):
+        gate = tmp_path / "gate"
+        counter = tmp_path / "counter"
+        process = start_daemon(
+            tmp_path,
+            "--workers",
+            "1",
+            "--preload",
+            "tests.service.preload_gate",
+            env_extra={
+                "REPRO_TEST_GATE": str(gate),
+                "REPRO_TEST_COUNTER": str(counter),
+            },
+        )
+        client = ServiceClient(
+            str(tmp_path / "svc.sock"), timeout=60.0
+        )
+        try:
+            import threading
+
+            in_flight_events: list[dict] = []
+
+            def run_in_flight():
+                in_flight_events.extend(
+                    client.submit(
+                        "solve",
+                        solver="preload-gate",
+                        instance={
+                            "scenario": "edge-hub-cloud",
+                            "seed": 3,
+                            "params": {"stages": 4},
+                        },
+                        threshold=50.0,
+                    )
+                )
+
+            runner = threading.Thread(target=run_in_flight)
+            runner.start()
+            wait_for(
+                lambda: invocations(counter) > 0,
+                message="the in-flight request to start solving",
+            )
+
+            process.send_signal(signal.SIGTERM)
+            wait_for(
+                lambda: client.ping().get("draining"),
+                message="the daemon to acknowledge the drain",
+            )
+
+            # new work is rejected with a *retriable* error
+            with pytest.raises(ServiceError) as err:
+                client.solve(
+                    "greedy-min-fp",
+                    {
+                        "scenario": "edge-hub-cloud",
+                        "seed": 3,
+                        "params": {"stages": 4},
+                    },
+                    threshold=60.0,
+                )
+            assert err.value.code == "draining"
+            assert err.value.retriable
+
+            # release the gate: the in-flight request completes fully
+            gate.touch()
+            runner.join(30)
+            assert not runner.is_alive()
+            assert in_flight_events[-1]["event"] == "done"
+            assert in_flight_events[-1]["ok"] == 1
+
+            assert process.wait(timeout=30) == 0
+            assert '"drained"' in process.stdout.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_submit_against_dead_service_is_retriable_exit(
+        self, tmp_path, plan_file
+    ):
+        result = submit(tmp_path, "--plan", str(plan_file))
+        assert result.returncode == 75  # EX_TEMPFAIL: retry elsewhere
+
+    def test_submit_ping_round_trip(self, tmp_path):
+        process = start_daemon(tmp_path)
+        try:
+            result = submit(tmp_path, "--ping")
+            assert result.returncode == 0
+            assert json.loads(result.stdout)["event"] == "pong"
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+            if process.poll() is None:
+                process.kill()

@@ -86,3 +86,71 @@ class TestPublicSurface:
             obj = getattr(repro, name)
             if inspect.isclass(obj) or inspect.isfunction(obj):
                 assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestStableFacade:
+    """``repro.api`` — the supported import surface (PR 8)."""
+
+    def test_all_names_resolve(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert hasattr(api, name), f"repro.api.{name}"
+
+    def test_schema_version_is_shared(self):
+        """One version number across the facade, the sweep-spec dialect
+        and the service protocol."""
+        from repro import api
+        from repro.engine.sweeps import SPEC_SCHEMA_VERSION
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        assert isinstance(api.SCHEMA_VERSION, int)
+        assert api.SCHEMA_VERSION == SPEC_SCHEMA_VERSION
+        assert api.SCHEMA_VERSION == PROTOCOL_VERSION
+
+    def test_facade_names_are_engine_objects(self):
+        """The facade re-exports, it does not fork: identity must hold
+        so isinstance checks work across both import paths."""
+        from repro import api, engine
+
+        for name in (
+            "solve",
+            "run_batch",
+            "iter_batch",
+            "run_sweep",
+            "iter_sweep",
+            "open_store",
+            "record_run",
+            "replay_run",
+            "BatchTask",
+            "BatchPolicy",
+            "ErrorKind",
+            "SweepPlan",
+        ):
+            assert getattr(api, name) is getattr(engine, name), name
+
+    def test_plan_spec_round_trip_helpers(self):
+        from repro import api
+
+        spec = {
+            "instances": [{"scenario": "edge-hub-cloud", "seed": 1}],
+            "solvers": ["greedy-min-fp"],
+            "thresholds": [30.0, 60.0],
+        }
+        plan = api.plan_from_spec(spec)
+        wire = api.plan_to_spec(plan)
+        assert wire["schema"] == api.SCHEMA_VERSION
+        assert api.plan_to_spec(api.plan_from_spec(wire)) == wire
+
+    def test_solve_through_facade(self):
+        from repro import api
+        from tests.helpers import make_instance
+
+        app, plat = make_instance("comm-homogeneous", 3, 3, seed=5)
+        result = api.solve("greedy-min-fp", app, plat, threshold=60.0)
+        assert result.latency <= 60.0
+
+    def test_deep_import_paths_keep_working(self):
+        from repro.engine import run_sweep  # noqa: F401
+        from repro.engine.sweeps import SweepPlan  # noqa: F401
+        from repro.engine.batch import run_batch  # noqa: F401
