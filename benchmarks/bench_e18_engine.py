@@ -18,7 +18,7 @@ import pytest
 from repro.core.enumeration import enumerate_interval_mappings
 from repro.core.mapping import IntervalMapping
 from repro.core.metrics import EvaluationCache, evaluate
-from repro.engine import BatchTask, run_batch
+from repro.api import BatchTask, run_batch
 from tests.conftest import make_instance
 
 from .conftest import report

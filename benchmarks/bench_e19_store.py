@@ -15,13 +15,8 @@ import time
 
 import pytest
 
-from repro.engine import (
-    BatchTask,
-    MemoryStore,
-    iter_batch,
-    run_batch,
-    threshold_sweep,
-)
+from repro.api import BatchTask, iter_batch, run_batch, threshold_sweep
+from repro.engine import MemoryStore
 from tests.conftest import make_instance
 
 from .conftest import report

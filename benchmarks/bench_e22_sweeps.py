@@ -18,7 +18,7 @@ where exhaustive enumeration is impossible (n=40, m=10):
 
 import time
 
-from repro.engine import SweepPlan, run_sweep, threshold_sweep
+from repro.api import SweepPlan, run_sweep, threshold_sweep
 from repro.analysis.frontier import latency_grid
 from tests.helpers import make_instance
 

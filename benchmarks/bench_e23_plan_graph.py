@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-from repro.engine import (
+from repro.api import (
     SweepInstance,
     SweepPlan,
     SweepSolver,

@@ -1,0 +1,153 @@
+"""E25 — dynamic simulation: realized vs analytic, policy comparison.
+
+The dynamic runtime (:mod:`repro.simulation.dynamic`) pushes a trace of
+items through the mapped pipeline while a failure timeline kills
+processors mid-run.  This bench regenerates the two claims the runtime
+is built to check:
+
+* **realized vs analytic** — with no failures injected, every item's
+  realized (first-survivor) latency stays at or below the analytic
+  worst case of eq. (1)/(2), and the saturated stream period stays at
+  or below the analytic one-port period;
+* **re-mapping pays** — on the reference scenario (both replicas of
+  the mapped interval killed mid-run), the ``none`` policy loses the
+  in-flight and future items while ``resolve-full`` / ``resolve-warm``
+  re-solve on the surviving processors and complete the whole trace;
+  ``resolve-warm`` is never worse than ``none`` on realized metrics.
+
+Everything is driven by one versioned ``SimulationSpec`` so the same
+JSON runs through ``repro-pipeline simulate``.
+"""
+
+import math
+
+from repro.api import REMAP_POLICIES, run_simulation
+
+from .conftest import report
+
+#: reference scenario — greedy-min-fp maps [S1..S5] onto {P5,P8} of the
+#: 8-processor churn pool; the timeline kills both replicas mid-run
+REFERENCE_SPEC = {
+    "schema": 1,
+    "kind": "simulation",
+    "instance": {"scenario": "churn-pool", "seed": 3, "params": {"stages": 5}},
+    "solver": "greedy-min-fp",
+    "threshold": 15.0,
+    "trace": {"kind": "uniform", "items": 30, "rate": 0.1},
+    "failures": {
+        "events": [
+            {"time": 40.0, "action": "kill", "processor": 5},
+            {"time": 80.0, "action": "kill", "processor": 8},
+        ]
+    },
+    "seed": 7,
+}
+
+
+def _fmt(x: float) -> str:
+    return f"{x:.3f}" if math.isfinite(x) else "-"
+
+
+def test_e25_realized_vs_analytic():
+    """No failures injected: realized metrics bounded by the analytic
+    worst case (latency on a sparse trace, period on a saturated one)."""
+    sparse = run_simulation(
+        {
+            **REFERENCE_SPEC,
+            "policy": "none",
+            "trace": {"kind": "uniform", "items": 40, "rate": 0.04},
+            "failures": {"events": []},
+        }
+    )
+    saturated = run_simulation(
+        {
+            **REFERENCE_SPEC,
+            "policy": "none",
+            "trace": {"kind": "uniform", "items": 40, "rate": 1.0},
+            "failures": {"events": []},
+        }
+    )
+    report(
+        "E25: realized vs analytic (no failures)",
+        ("regime", "metric", "realized", "analytic", "bounded"),
+        [
+            (
+                "sparse",
+                "latency max",
+                _fmt(sparse.latency_max),
+                _fmt(sparse.analytic_latency),
+                sparse.latency_max <= sparse.analytic_latency + 1e-9,
+            ),
+            (
+                "saturated",
+                "period",
+                _fmt(saturated.realized_period),
+                _fmt(saturated.analytic_period),
+                saturated.realized_period <= saturated.analytic_period + 1e-9,
+            ),
+        ],
+    )
+    assert sparse.items_completed == sparse.items_total
+    assert sparse.latency_max <= sparse.analytic_latency + 1e-9
+    assert saturated.realized_period <= saturated.analytic_period + 1e-9
+
+
+def test_e25_policy_comparison():
+    """The reference scenario across all re-mapping policies:
+    resolve-warm must never be worse than none on realized metrics."""
+    results = {
+        policy: run_simulation({**REFERENCE_SPEC, "policy": policy})
+        for policy in REMAP_POLICIES
+    }
+    rows = [
+        (
+            policy,
+            f"{r.items_completed}/{r.items_total}",
+            r.items_lost,
+            r.items_disrupted,
+            _fmt(r.latency_p50),
+            _fmt(r.latency_p99),
+            _fmt(r.realized_success),
+            r.resolves,
+        )
+        for policy, r in results.items()
+    ]
+    report(
+        "E25: re-mapping policies under a double mid-run kill",
+        (
+            "policy",
+            "completed",
+            "lost",
+            "disrupted",
+            "p50",
+            "p99",
+            "success",
+            "re-solves",
+        ),
+        rows,
+    )
+    none, warm = results["none"], results["resolve-warm"]
+    # the kill empties the mapped interval: `none` must lose items and
+    # both resolve policies must recover the full trace
+    assert none.items_lost > 0
+    assert none.resolves == 0
+    for policy in ("resolve-full", "resolve-warm"):
+        assert results[policy].resolves >= 1
+        assert results[policy].items_completed == results[policy].items_total
+    # resolve-warm never worse than none on realized metrics
+    assert warm.items_completed >= none.items_completed
+    assert warm.items_lost <= none.items_lost
+    assert warm.realized_success >= none.realized_success
+
+
+def test_e25_bench_resolve_warm(benchmark):
+    """Wall time of a full resolve-warm run (solve, stream, two
+    re-solves) on the reference scenario."""
+    result = benchmark.pedantic(
+        run_simulation,
+        args=({**REFERENCE_SPEC, "policy": "resolve-warm"},),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.items_completed == result.items_total
+    assert result.resolves >= 1

@@ -17,8 +17,7 @@ Run:  python examples/batch_solving.py
 
 from repro import api
 from repro.analysis import format_table
-from repro.api import BatchTask, run_batch, threshold_sweep
-from repro.simulation import validate_batch_fp
+from repro.api import BatchTask, run_batch, threshold_sweep, validate_batch_fp
 from repro.workloads.synthetic import random_application, random_platform
 
 

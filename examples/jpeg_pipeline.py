@@ -27,7 +27,7 @@ from repro.algorithms.mono import minimize_failure_probability
 from repro.analysis import format_table
 from repro.core.mapping import IntervalMapping
 from repro.extensions import steady_state_period
-from repro.simulation import check_one_port, simulate_stream
+from repro.api import check_one_port, simulate_stream
 from repro.workloads.jpeg import jpeg_encoder_pipeline
 
 

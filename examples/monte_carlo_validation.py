@@ -19,7 +19,7 @@ import numpy as np
 
 from repro import failure_probability, latency
 from repro.analysis import format_table
-from repro.simulation import (
+from repro.api import (
     ElectionPolicy,
     ExponentialLifetimeModel,
     empirical_vs_analytic_fp,
@@ -112,7 +112,7 @@ def main() -> None:
         fig5.two_interval_mapping, fig5.platform, trials=100_000, rng=rng
     )
     model = ExponentialLifetimeModel(mission_time=5.0)
-    from repro.simulation import estimate_failure_probability
+    from repro.api import estimate_failure_probability
 
     est_exp = estimate_failure_probability(
         fig5.two_interval_mapping,

@@ -14,8 +14,7 @@ Run:  python examples/sweep_scenarios.py
 import json
 
 from repro.analysis.reporting import format_table
-from repro.api import plan_from_spec, run_sweep
-from repro.workloads.scenarios import make_scenario, scenario_names
+from repro.api import make_scenario, plan_from_spec, run_sweep, scenario_names
 
 
 def main() -> None:

@@ -25,7 +25,7 @@ from repro.extensions import (
     round_robin_period,
     steady_state_period,
 )
-from repro.simulation import simulate_stream
+from repro.api import simulate_stream
 from repro.workloads.reference import figure5_instance
 
 

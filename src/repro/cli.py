@@ -10,8 +10,14 @@ Subcommands
 ``solve``
     Run one of the paper's algorithms on a random instance.
 ``simulate``
-    Stream data sets through a mapping in the discrete-event engine and
-    report latency/period/success statistics.
+    Run a versioned dynamic-platform simulation spec (JSON file with
+    ``"kind": "simulation"``, see :mod:`repro.simulation.dynamic`):
+    solve → stream a trace through the mapped pipeline → processors
+    fail/revive mid-run → re-mapping policy re-solves.  Reports
+    realized latency percentiles, realized period/throughput,
+    disruption metrics and re-solve counts next to the analytic
+    predictions; ``--stream`` prints epoch events as NDJSON while the
+    run progresses, ``--json`` dumps the full result.
 ``batch``
     Solve many random instances (sharded over worker processes with
     deterministic seeding) through the engine's solver registry; JSON or
@@ -108,13 +114,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = sub.add_parser(
-        "simulate", help="discrete-event stream through a mapping"
+        "simulate",
+        help="dynamic-platform simulation: solve → run → fail → re-solve",
     )
-    simulate.add_argument("--stages", type=int, default=3)
-    simulate.add_argument("--processors", type=int, default=4)
-    simulate.add_argument("--datasets", type=int, default=20)
-    simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--round-robin", action="store_true")
+    simulate.add_argument(
+        "spec",
+        help='path to a JSON simulation spec ("kind": "simulation")',
+    )
+    simulate.add_argument(
+        "--policy",
+        choices=["none", "resolve-full", "resolve-warm"],
+        default=None,
+        help="override the spec's re-mapping policy",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    simulate.add_argument(
+        "--stream",
+        action="store_true",
+        help="print epoch events as NDJSON while the run progresses",
+    )
+    simulate.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many instances through the engine registry"
@@ -581,41 +604,100 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    import numpy as np
+    import json
 
-    from .algorithms.heuristics import single_interval_candidates
-    from .simulation import (
-        BernoulliMissionModel,
-        check_one_port,
-        simulate_stream,
+    from .api import (
+        SimulationResult,
+        SimulationSpec,
+        iter_simulation,
+        load_spec,
+        sim_from_spec,
+        sim_to_spec,
     )
+    from .exceptions import ReproError
 
-    application, platform = _random_instance(
-        args.stages, args.processors, args.seed, "comm-homogeneous"
+    try:
+        loaded = load_spec(args.spec)
+    except OSError as exc:
+        print(f"error: cannot read spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: spec {args.spec!r} is not JSON: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(loaded, SimulationSpec):
+        print(
+            'error: \'simulate\' needs a spec with "kind": "simulation" '
+            "(this looks like a sweep spec; use the 'sweep' command)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = loaded
+    if args.policy is not None or args.seed is not None:
+        wire = sim_to_spec(spec)
+        if args.policy is not None:
+            wire["policy"] = args.policy
+        if args.seed is not None:
+            wire["seed"] = args.seed
+        try:
+            spec = sim_from_spec(wire)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result: SimulationResult | None = None
+    try:
+        for event in iter_simulation(spec):
+            if isinstance(event, SimulationResult):
+                result = event
+            elif args.stream:
+                print(json.dumps({"epoch": event.to_dict()}), flush=True)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    assert result is not None
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+
+    def fmt(x: float) -> str:
+        import math
+
+        return f"{x:.4f}" if math.isfinite(x) else "-"
+
+    print(f"policy   : {spec.policy}  solver: {spec.solver.name}  seed: {spec.seed}")
+    print(
+        f"items    : {result.items_total}  "
+        f"completed: {result.items_completed}  "
+        f"lost: {result.items_lost}  "
+        f"disrupted: {result.items_disrupted}"
     )
-    # pick a mid-replication single-interval mapping to make it interesting
-    candidates = sorted(
-        single_interval_candidates(application, platform),
-        key=lambda r: r.failure_probability,
+    print(
+        f"latency  : p50 {fmt(result.latency_p50)}  "
+        f"p90 {fmt(result.latency_p90)}  "
+        f"p99 {fmt(result.latency_p99)}  "
+        f"max {fmt(result.latency_max)}  "
+        f"(analytic {fmt(result.analytic_latency)})"
     )
-    mapping = candidates[0].mapping
-    rng = np.random.default_rng(args.seed)
-    scenario = BernoulliMissionModel(mission_time=1e12).draw(platform, rng)
-    result = simulate_stream(
-        mapping,
-        application,
-        platform,
-        num_datasets=args.datasets,
-        scenario=scenario,
-        round_robin=args.round_robin,
+    print(
+        f"period   : {fmt(result.realized_period)}  "
+        f"throughput: {fmt(result.realized_throughput)}  "
+        f"(analytic period {fmt(result.analytic_period)})"
     )
-    check_one_port(result.trace)
-    ok = sum(1 for o in result.outcomes if o.success)
-    print(f"mapping : {mapping}")
-    print(f"datasets: {args.datasets}  completed: {ok}")
-    print(f"mean latency: {result.mean_latency:.4f}")
-    print(f"period      : {result.period:.4f}")
-    print(f"throughput  : {result.throughput:.6f}")
+    print(
+        f"success  : realized {fmt(result.realized_success)}  "
+        f"predicted {fmt(result.predicted_success)}"
+    )
+    print(
+        f"re-solves: {result.resolves}  "
+        f"failed: {result.resolve_failures}  "
+        f"wall: {result.resolve_seconds:.3f}s  "
+        f"epochs: {len(result.epochs)}"
+    )
+    print(f"makespan : {fmt(result.makespan)}  horizon: {fmt(result.horizon)}")
     return 0
 
 
@@ -624,7 +706,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from .analysis.reporting import format_table
     from .core.serialization import mapping_to_dict
-    from .engine import (
+    from .api import (
         BatchPolicy,
         BatchTask,
         iter_batch,
@@ -802,9 +884,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
     from .analysis.reporting import format_table
-    from .engine import open_store
-    from .engine.policy import ErrorKind
-    from .engine.sweeps import SweepPlan, run_sweep
+    from .api import ErrorKind, open_store, plan_from_spec, run_sweep
     from .exceptions import ReproError
     from .workloads.scenarios import SCENARIOS, scenario_names
 
@@ -849,7 +929,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         if args.warm_start is not None:
             spec = {**spec, "warm_start": args.warm_start}
-        plan = SweepPlan.from_spec(spec)
+        plan = plan_from_spec(spec)
         store = None
         if args.store and not args.no_store:
             store = open_store(
@@ -983,9 +1063,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     import json
 
-    from .engine import (
-        DEFAULT_IGNORE,
-        MemoryStore,
+    from .api import (
         Objective,
         RunRecording,
         diff_runs,
@@ -994,6 +1072,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         record_run,
         replay_run,
     )
+    from .engine import DEFAULT_IGNORE, MemoryStore
     from .exceptions import ReproError
 
     def _report_payload(report):

@@ -54,58 +54,78 @@ Quickstart::
         print(outcome.tag, outcome.ok, outcome.error_kind)
 """
 
-from .batch import (
-    BatchOutcome,
-    BatchTask,
-    GraphNode,
-    iter_batch,
-    iter_graph,
-    run_batch,
-    run_graph,
-    threshold_sweep,
-)
-from .policy import BatchPolicy, ErrorKind, TaskTimeoutError
-from .recorder import RunRecorder, RunRecording, record_run, recording_key
-from .registry import (
-    Objective,
-    SolverSpec,
-    get_solver,
-    register,
-    solve,
-    solver_names,
-    solver_specs,
-    unregister,
-)
+import importlib
+import warnings
+
+from .batch import GraphNode, iter_graph, run_graph
+from .policy import TaskTimeoutError
+from .recorder import RunRecorder, recording_key
+from .registry import register, unregister
 from .replay import (
     DEFAULT_IGNORE,
     Divergence,
     FieldDiff,
-    ReplayReport,
     ReplayStatus,
-    diff_runs,
-    replay_run,
 )
 from .store import (
     JSONStore,
     MemoryStore,
-    ResultStore,
     SQLiteStore,
-    StoreStats,
     ThreadSafeStore,
     instance_key,
-    open_store,
 )
-from .sweeps import (
-    SPEC_SCHEMA_VERSION,
-    SweepCell,
-    SweepInstance,
-    SweepPlan,
-    SweepPoint,
-    SweepResult,
-    SweepSolver,
-    iter_sweep,
-    run_sweep,
-)
+from .sweeps import SPEC_SCHEMA_VERSION
+
+#: facade-covered names: importable from here for compatibility, but the
+#: supported path is ``repro.api`` — package-level access warns.  Deep
+#: module paths (``repro.engine.registry.solve``, ...) stay warning-free.
+_FACADE_COVERED = {
+    "Objective": "registry",
+    "SolverSpec": "registry",
+    "get_solver": "registry",
+    "solver_names": "registry",
+    "solver_specs": "registry",
+    "solve": "registry",
+    "BatchTask": "batch",
+    "BatchOutcome": "batch",
+    "iter_batch": "batch",
+    "run_batch": "batch",
+    "threshold_sweep": "batch",
+    "BatchPolicy": "policy",
+    "ErrorKind": "policy",
+    "ResultStore": "store",
+    "StoreStats": "store",
+    "open_store": "store",
+    "SweepInstance": "sweeps",
+    "SweepSolver": "sweeps",
+    "SweepPlan": "sweeps",
+    "SweepCell": "sweeps",
+    "SweepResult": "sweeps",
+    "SweepPoint": "sweeps",
+    "run_sweep": "sweeps",
+    "iter_sweep": "sweeps",
+    "RunRecording": "recorder",
+    "record_run": "recorder",
+    "ReplayReport": "replay",
+    "diff_runs": "replay",
+    "replay_run": "replay",
+}
+
+
+def __getattr__(name: str):
+    try:
+        submodule = _FACADE_COVERED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"importing {name!r} from 'repro.engine' is deprecated; "
+        f"use 'repro.api.{name}' (the stable facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(f".{submodule}", __name__), name)
 
 __all__ = [
     "Objective",

@@ -104,6 +104,7 @@ from .store import ResultStore
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
+    "SPEC_KIND_SWEEP",
     "SweepInstance",
     "SweepSolver",
     "SweepPlan",
@@ -125,10 +126,15 @@ __all__ = [
 #: lenient behaviour, so old spec files still load.
 SPEC_SCHEMA_VERSION = 1
 
+#: ``kind`` field stamped into sweep specs by :meth:`SweepPlan.to_spec`;
+#: :func:`repro.api.load_spec` dispatches sweep vs simulation specs on it
+SPEC_KIND_SWEEP = "sweep"
+
 #: every top-level key a version-1 sweep spec may carry
 _SPEC_KEYS = frozenset(
     {
         "schema",
+        "kind",
         "instances",
         "solvers",
         "thresholds",
@@ -333,6 +339,12 @@ class SweepPlan:
             raise ReproError(
                 f"a sweep spec must be an object, got {type(spec).__name__}"
             )
+        kind = spec.get("kind")
+        if kind is not None and kind != SPEC_KIND_SWEEP:
+            raise ReproError(
+                f"sweep spec 'kind' must be {SPEC_KIND_SWEEP!r}, "
+                f"got {kind!r}"
+            )
         schema = spec.get("schema")
         if schema is not None:
             if isinstance(schema, bool) or not isinstance(schema, int):
@@ -388,6 +400,7 @@ class SweepPlan:
         """JSON-compatible dict form (inverse of :meth:`from_spec`)."""
         out: dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
+            "kind": SPEC_KIND_SWEEP,
             "instances": [inst.to_spec() for inst in self.instances],
             "solvers": [solver.to_spec() for solver in self.solvers],
             "warm_start": self.warm_start,

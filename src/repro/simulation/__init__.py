@@ -15,9 +15,29 @@ closed-form prediction can be validated operationally:
 * :mod:`~repro.simulation.montecarlo` — vectorised estimators matching
   the analytic FP and bounding realised latencies;
 * :mod:`~repro.simulation.trace` — execution traces + independent
-  one-port invariant checking.
+  one-port invariant checking;
+* :mod:`~repro.simulation.dynamic` — dynamic-platform runtime: a
+  trace-driven item stream over a mapped pipeline while a failure
+  timeline kills/revives processors, with pluggable re-mapping policies
+  (solve → run → fail → re-solve) and realized-vs-analytic metrics.
 """
 
+from .dynamic import (
+    FAILURE_MODELS,
+    REMAP_POLICIES,
+    TRACE_KINDS,
+    EpochReport,
+    PlatformEvent,
+    RemapOutcome,
+    SimulationResult,
+    SimulationSpec,
+    iter_simulation,
+    make_arrivals,
+    make_timeline,
+    resolve_mapping,
+    run_simulation,
+    subplatform,
+)
 from .failures import (
     BernoulliMissionModel,
     ExponentialLifetimeModel,
@@ -76,4 +96,19 @@ __all__ = [
     "TraceKind",
     "check_one_port",
     "check_dataflow",
+    # dynamic runtime
+    "REMAP_POLICIES",
+    "TRACE_KINDS",
+    "FAILURE_MODELS",
+    "PlatformEvent",
+    "SimulationSpec",
+    "EpochReport",
+    "SimulationResult",
+    "RemapOutcome",
+    "run_simulation",
+    "iter_simulation",
+    "make_arrivals",
+    "make_timeline",
+    "subplatform",
+    "resolve_mapping",
 ]

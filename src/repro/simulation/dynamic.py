@@ -1,0 +1,1485 @@
+"""Dynamic-platform simulation: solve → run → fail → re-solve.
+
+The analytic model (and everything in :mod:`repro.engine`) treats the
+platform as *static*: a mapping is chosen once, failure probabilities
+describe one mission, and latency/period are closed-form worst cases.
+This module runs the other experiment: a trace-driven stream of items
+flows through a mapped pipeline while a *failure timeline* kills and
+revives processors mid-run, and a pluggable re-mapping policy decides
+what happens next:
+
+* ``none`` — keep the original mapping; intervals whose replica sets
+  die out stall until a revival (items queue up or are lost);
+* ``resolve-full`` — on every disruptive event, re-solve from scratch
+  on the surviving sub-platform via :func:`repro.engine.registry.solve`;
+* ``resolve-warm`` — like ``resolve-full`` but the surviving part of
+  the current mapping seeds the solver as a warm start
+  (:mod:`repro.algorithms.heuristics.warm`), so the re-solve is never
+  worse than simply keeping what still works.
+
+Runs are declared as a versioned :class:`SimulationSpec` (schema-stamped
+and strictly validated exactly like sweep specs), executed by
+:func:`run_simulation` / :func:`iter_simulation` (the latter streams
+:class:`EpochReport`\\ s as platform epochs close, then the final
+:class:`SimulationResult`), and measure what the closed forms cannot:
+realized latency percentiles, realized period/throughput, items lost or
+disrupted, re-solve count and wall-clock, and realized reliability next
+to the solver's predicted failure probability (bench E25).
+
+Modeling notes
+--------------
+The runtime is built on :class:`repro.simulation.kernel.Simulator` (the
+deterministic DES core).  Each mapping interval becomes a capacity-1
+*station*; a station's service time for one item is exactly the
+FIRST_SURVIVOR increment of :func:`repro.simulation.pipeline.realized_latency`
+(serialized sends from the upstream elected sender to the live replicas,
+earliest finisher elected), so a single item through an idle pipeline
+realizes precisely the arithmetic replay's latency.  Contention is
+modeled at interval granularity (one item in service per station);
+finer one-port port modeling lives in
+:func:`repro.simulation.pipeline.simulate_stream`.
+
+Determinism: every stochastic choice (trace arrivals, failure timeline,
+solver seeds) derives from string-seeded :class:`random.Random` streams
+plus the kernel's tie-stable heap, so the same spec + seed reproduces a
+byte-identical event log.  Re-solve *wall-clock* is accumulated in the
+summary only — never in the event log or epoch reports.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from .kernel import Simulator
+from ..core.application import PipelineApplication
+from ..core.mapping import IntervalMapping
+from ..core.metrics import failure_probability as analytic_fp
+from ..core.metrics import latency as analytic_latency
+from ..core.platform import Platform
+from ..core.processor import Processor
+from ..core.topology import IN, OUT, HeterogeneousTopology, Node, UniformTopology
+from ..exceptions import ReproError, SimulationError
+
+__all__ = [
+    "SPEC_KIND_SIMULATION",
+    "REMAP_POLICIES",
+    "TRACE_KINDS",
+    "FAILURE_MODELS",
+    "PlatformEvent",
+    "SimulationSpec",
+    "EpochReport",
+    "SimulationResult",
+    "RemapOutcome",
+    "iter_simulation",
+    "run_simulation",
+    "make_arrivals",
+    "make_timeline",
+    "subplatform",
+    "resolve_mapping",
+    "percentile",
+]
+
+#: ``kind`` field stamped into simulation specs by :meth:`SimulationSpec.to_spec`
+SPEC_KIND_SIMULATION = "simulation"
+
+#: supported re-mapping policies
+REMAP_POLICIES = ("none", "resolve-full", "resolve-warm")
+
+#: built-in arrival-trace generators
+TRACE_KINDS = ("uniform", "poisson", "burst")
+
+
+# ----------------------------------------------------------------------
+# failure timelines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One platform change: processor ``processor`` dies or comes back."""
+
+    time: float
+    action: str  # "kill" | "revive"
+    processor: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "revive"):
+            raise SimulationError(
+                f"platform event action must be 'kill' or 'revive', "
+                f"got {self.action!r}"
+            )
+        if self.time < 0:
+            raise SimulationError(
+                f"platform event time must be non-negative, got {self.time}"
+            )
+
+
+def _mission_rate(fp: float, horizon: float) -> float:
+    """Exponential rate with ``P(fail before horizon) == fp``."""
+    if fp >= 1.0:
+        return math.inf
+    if fp <= 0.0:
+        return 0.0
+    return -math.log1p(-fp) / horizon
+
+
+def _renewal_events(
+    u: int,
+    rate: float,
+    repair: float | None,
+    horizon: float,
+    rng: random.Random,
+) -> list[PlatformEvent]:
+    """Kill/repair cycle for one processor over ``[0, horizon)``."""
+    events: list[PlatformEvent] = []
+    if rate <= 0.0:
+        return events
+    if math.isinf(rate):
+        events.append(PlatformEvent(0.0, "kill", u))
+        return events
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        events.append(PlatformEvent(t, "kill", u))
+        if repair is None:
+            break
+        t += rng.expovariate(1.0 / repair)
+        if t >= horizon:
+            break
+        events.append(PlatformEvent(t, "revive", u))
+    return events
+
+
+def _sorted_timeline(events: list[PlatformEvent]) -> tuple[PlatformEvent, ...]:
+    return tuple(sorted(events, key=lambda e: (e.time, e.processor, e.action)))
+
+
+def iid_timeline(
+    platform: Platform,
+    *,
+    horizon: float,
+    seed: int,
+    rate_scale: float = 1.0,
+    repair: float | None = None,
+) -> tuple[PlatformEvent, ...]:
+    """Independent exponential lifetimes calibrated to each ``fp_u``.
+
+    ``P(first failure of u before horizon) == fp_u`` when
+    ``rate_scale == 1``; ``repair`` (mean, exponential) makes processors
+    revive and fail again, ``None`` leaves them down for good.
+    """
+    events: list[PlatformEvent] = []
+    for u in range(1, platform.size + 1):
+        lam = rate_scale * _mission_rate(platform.failure_probability(u), horizon)
+        rng = random.Random(f"repro-dyn-iid-{seed}-{u}")
+        events.extend(_renewal_events(u, lam, repair, horizon, rng))
+    return _sorted_timeline(events)
+
+
+def tiered_timeline(
+    platform: Platform,
+    *,
+    horizon: float,
+    seed: int,
+    tier_sizes: Sequence[int] | None = None,
+    tier_scale: Sequence[float] = (4.0, 1.0, 0.25),
+    repair: float | None = None,
+) -> tuple[PlatformEvent, ...]:
+    """Tier-stratified failure rates (edge/hub/cloud flavoured).
+
+    Processors ``1..m`` are split into ``len(tier_scale)`` consecutive
+    tiers (``tier_sizes`` explicit, or near-equal by default); tier ``i``
+    multiplies the iid rate by ``tier_scale[i]`` — the edge churns, the
+    cloud barely fails.
+    """
+    m = platform.size
+    k = len(tier_scale)
+    if k < 1:
+        raise SimulationError("tier_scale needs at least one tier")
+    if tier_sizes is None:
+        sizes = [m // k + (1 if i < m % k else 0) for i in range(k)]
+    else:
+        sizes = [int(s) for s in tier_sizes]
+    if sum(sizes) != m or any(s < 0 for s in sizes):
+        raise SimulationError(
+            f"tier_sizes must be non-negative and sum to {m}, got {sizes}"
+        )
+    scales: list[float] = []
+    for size, scale in zip(sizes, tier_scale):
+        scales.extend([float(scale)] * size)
+    events: list[PlatformEvent] = []
+    for u in range(1, m + 1):
+        lam = scales[u - 1] * _mission_rate(
+            platform.failure_probability(u), horizon
+        )
+        rng = random.Random(f"repro-dyn-tiered-{seed}-{u}")
+        events.extend(_renewal_events(u, lam, repair, horizon, rng))
+    return _sorted_timeline(events)
+
+
+def correlated_burst_timeline(
+    platform: Platform,
+    *,
+    horizon: float,
+    seed: int,
+    bursts: float = 2.0,
+    kill_prob: float = 0.5,
+    repair: float | None = None,
+) -> tuple[PlatformEvent, ...]:
+    """Correlated failure bursts (rack/power-domain style).
+
+    Burst instants arrive as a Poisson process with ``bursts`` expected
+    occurrences over the horizon; at each burst every currently-live
+    processor dies independently with probability ``kill_prob``.
+    ``repair`` (mean, exponential) schedules revivals, ``None`` makes
+    burst kills permanent.
+    """
+    if not 0.0 <= kill_prob <= 1.0:
+        raise SimulationError(
+            f"kill_prob must be in [0, 1], got {kill_prob}"
+        )
+    if bursts <= 0:
+        return ()
+    rng = random.Random(f"repro-dyn-burst-{seed}")
+    rate = bursts / horizon
+    events: list[PlatformEvent] = []
+    down_until = {u: 0.0 for u in range(1, platform.size + 1)}
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        for u in range(1, platform.size + 1):
+            if down_until[u] > t:
+                continue  # still dead at burst time
+            if rng.random() >= kill_prob:
+                continue
+            events.append(PlatformEvent(t, "kill", u))
+            if repair is None:
+                down_until[u] = math.inf
+                continue
+            back = t + rng.expovariate(1.0 / repair)
+            down_until[u] = back
+            if back < horizon:
+                events.append(PlatformEvent(back, "revive", u))
+    return _sorted_timeline(events)
+
+
+#: failure-model name -> generator (what simulation specs reference)
+FAILURE_MODELS = {
+    "iid": iid_timeline,
+    "tiered": tiered_timeline,
+    "correlated-burst": correlated_burst_timeline,
+}
+
+_FAILURE_KEYS = frozenset({"model", "params", "seed", "events"})
+
+
+def make_timeline(
+    platform: Platform,
+    failures: Mapping[str, Any],
+    seed: int,
+    horizon: float,
+) -> tuple[PlatformEvent, ...]:
+    """Build the failure timeline declared by a spec's ``failures`` block.
+
+    Either ``{"events": [[t, "kill"|"revive", u], ...]}`` verbatim, or
+    ``{"model": name, "params": {...}, "seed": ...}`` drawn from a
+    registered generator (``seed`` defaults to the run seed).
+    """
+    unknown = sorted(set(failures) - _FAILURE_KEYS)
+    if unknown:
+        raise ReproError(
+            "unknown failure spec key(s) "
+            + ", ".join(repr(k) for k in unknown)
+            + " (accepted: "
+            + ", ".join(sorted(_FAILURE_KEYS))
+            + ")"
+        )
+    if "events" in failures:
+        events = []
+        for entry in failures["events"]:
+            if isinstance(entry, Mapping):
+                ev = PlatformEvent(
+                    float(entry["time"]),
+                    str(entry["action"]),
+                    int(entry["processor"]),
+                )
+            else:
+                t, action, u = entry
+                ev = PlatformEvent(float(t), str(action), int(u))
+            if not 1 <= ev.processor <= platform.size:
+                raise ReproError(
+                    f"failure event processor {ev.processor} outside "
+                    f"1..{platform.size}"
+                )
+            events.append(ev)
+        return _sorted_timeline(events)
+    model = failures.get("model", "iid")
+    try:
+        generator = FAILURE_MODELS[model]
+    except KeyError:
+        raise ReproError(
+            f"unknown failure model {model!r}; registered: "
+            f"{', '.join(sorted(FAILURE_MODELS))}"
+        ) from None
+    params = dict(failures.get("params", {}))
+    fseed = failures.get("seed", seed)
+    try:
+        return generator(platform, horizon=horizon, seed=fseed, **params)
+    except TypeError as exc:
+        raise ReproError(
+            f"bad parameters for failure model {model!r}: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# arrival traces
+# ----------------------------------------------------------------------
+_TRACE_KEYS = frozenset(
+    {"kind", "items", "rate", "start", "burst_size", "seed", "arrivals"}
+)
+
+
+def make_arrivals(trace: Mapping[str, Any], seed: int) -> tuple[float, ...]:
+    """Item arrival instants declared by a spec's ``trace`` block.
+
+    Either explicit ``{"arrivals": [...]}``, or a generated trace:
+    ``uniform`` (evenly spaced at ``rate``), ``poisson`` (exponential
+    gaps at ``rate``), or ``burst`` (groups of ``burst_size`` arriving
+    together, group spacing preserving the mean ``rate``).
+    """
+    unknown = sorted(set(trace) - _TRACE_KEYS)
+    if unknown:
+        raise ReproError(
+            "unknown trace spec key(s) "
+            + ", ".join(repr(k) for k in unknown)
+            + " (accepted: "
+            + ", ".join(sorted(_TRACE_KEYS))
+            + ")"
+        )
+    if "arrivals" in trace:
+        arrivals = tuple(sorted(float(t) for t in trace["arrivals"]))
+        if not arrivals:
+            raise ReproError("a trace needs at least one arrival")
+        if arrivals[0] < 0:
+            raise ReproError("arrival times must be non-negative")
+        return arrivals
+    kind = trace.get("kind", "uniform")
+    if kind not in TRACE_KINDS:
+        raise ReproError(
+            f"unknown trace kind {kind!r}; known: {', '.join(TRACE_KINDS)}"
+        )
+    items = int(trace.get("items", 50))
+    if items < 1:
+        raise ReproError(f"trace items must be >= 1, got {items}")
+    rate = float(trace.get("rate", 1.0))
+    if not rate > 0:
+        raise ReproError(f"trace rate must be positive, got {rate}")
+    start = float(trace.get("start", 0.0))
+    if start < 0:
+        raise ReproError(f"trace start must be non-negative, got {start}")
+    if kind == "uniform":
+        return tuple(start + i / rate for i in range(items))
+    if kind == "burst":
+        burst_size = int(trace.get("burst_size", 5))
+        if burst_size < 1:
+            raise ReproError(
+                f"trace burst_size must be >= 1, got {burst_size}"
+            )
+        gap = burst_size / rate
+        return tuple(start + (i // burst_size) * gap for i in range(items))
+    # poisson
+    rng = random.Random(f"repro-dyn-trace-{trace.get('seed', seed)}")
+    t = start
+    arrivals = []
+    for _ in range(items):
+        t += rng.expovariate(rate)
+        arrivals.append(t)
+    return tuple(arrivals)
+
+
+# ----------------------------------------------------------------------
+# sub-platform construction + mapping surgery
+# ----------------------------------------------------------------------
+def subplatform(
+    platform: Platform, live: Sequence[int]
+) -> tuple[Platform, dict[int, int]]:
+    """Restrict ``platform`` to the ``live`` processors.
+
+    Returns the sub-platform (processors renumbered ``1..k`` in
+    ascending original order, speeds/failure probabilities/links
+    preserved) plus the old→new index map, so solver results can be
+    translated back to original processor ids.
+    """
+    live_sorted = sorted(set(live))
+    if not live_sorted:
+        raise ReproError("a sub-platform needs at least one live processor")
+    for u in live_sorted:
+        if not 1 <= u <= platform.size:
+            raise ReproError(
+                f"live processor {u} outside 1..{platform.size}"
+            )
+    index_map = {u: i + 1 for i, u in enumerate(live_sorted)}
+    procs = tuple(
+        Processor(
+            index=index_map[u],
+            speed=platform.speed(u),
+            failure_probability=platform.failure_probability(u),
+        )
+        for u in live_sorted
+    )
+    topo = platform.topology
+    if isinstance(topo, UniformTopology):
+        sub_topo: Any = UniformTopology(len(live_sorted), topo.link_bandwidth)
+    else:
+        sub_topo = HeterogeneousTopology(
+            [topo.bandwidth(IN, u) for u in live_sorted],
+            [topo.bandwidth(u, OUT) for u in live_sorted],
+            [
+                [
+                    1.0 if u == v else topo.bandwidth(u, v)
+                    for v in live_sorted
+                ]
+                for u in live_sorted
+            ],
+            in_out_bandwidth=topo.bandwidth(IN, OUT),
+        )
+    return Platform(procs, sub_topo), index_map
+
+
+def _translate(
+    mapping: IntervalMapping, index_map: Mapping[int, int]
+) -> IntervalMapping:
+    """Renumber a mapping's allocations through ``index_map``."""
+    return IntervalMapping(
+        list(mapping.intervals),
+        [{index_map[u] for u in alloc} for alloc in mapping.allocations],
+    )
+
+
+def _restrict(
+    mapping: IntervalMapping, live: frozenset[int] | set[int]
+) -> IntervalMapping | None:
+    """Drop dead processors from a mapping's replica sets.
+
+    ``None`` when some interval loses its last replica (the mapping is
+    not runnable on the surviving platform).
+    """
+    allocs = []
+    changed = False
+    for alloc in mapping.allocations:
+        keep = set(alloc) & set(live)
+        if not keep:
+            return None
+        if len(keep) != len(alloc):
+            changed = True
+        allocs.append(keep)
+    if not changed:
+        return mapping
+    return IntervalMapping(list(mapping.intervals), allocs)
+
+
+# ----------------------------------------------------------------------
+# re-mapping policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemapOutcome:
+    """Result of one re-mapping decision.
+
+    ``mapping`` is expressed in *original* processor ids (``None`` =
+    the pipeline is down).  ``wall_seconds`` is host wall-clock spent in
+    the solver — reported in run summaries, never folded into simulated
+    time or event logs.
+    """
+
+    mapping: IntervalMapping | None
+    ok: bool
+    warm_seeded: bool
+    fell_back: bool
+    error: str | None
+    wall_seconds: float
+    latency: float
+    failure_probability: float
+
+
+def _down_outcome(error: str | None, wall: float = 0.0) -> RemapOutcome:
+    return RemapOutcome(
+        None, False, False, False, error, wall, math.inf, 1.0
+    )
+
+
+def _alive_outcome(
+    mapping: IntervalMapping,
+    application: PipelineApplication,
+    platform: Platform,
+    *,
+    warm_seeded: bool = False,
+    fell_back: bool = False,
+    error: str | None = None,
+    wall: float = 0.0,
+) -> RemapOutcome:
+    return RemapOutcome(
+        mapping,
+        True,
+        warm_seeded,
+        fell_back,
+        error,
+        wall,
+        analytic_latency(mapping, application, platform),
+        analytic_fp(mapping, platform),
+    )
+
+
+def resolve_mapping(
+    application: PipelineApplication,
+    platform: Platform,
+    live: Sequence[int],
+    *,
+    solver: Any,
+    threshold: float | None = None,
+    policy: str = "resolve-warm",
+    current: IntervalMapping | None = None,
+    seed: int = 0,
+) -> RemapOutcome:
+    """Apply a re-mapping policy after a platform change.
+
+    ``solver`` is a registry name or a
+    :class:`repro.engine.sweeps.SweepSolver`.  Policies:
+
+    * ``none`` — keep ``current`` restricted to the live processors
+      (down when an interval lost every replica);
+    * ``resolve-full`` — solve from scratch on the surviving
+      sub-platform;
+    * ``resolve-warm`` — like ``resolve-full``, seeding the solver with
+      the restricted current mapping (when the solver is
+      warm-startable and the restriction survives).  Restriction only
+      removes serialized sends, so the seed stays threshold-feasible
+      and the solver's never-worse-than-seed contract makes this
+      policy structurally at least as good as ``none``.
+
+    A failed re-solve falls back to the restricted current mapping when
+    one exists (``fell_back=True``) so a solver hiccup degrades service
+    instead of killing it.
+    """
+    from ..engine.registry import get_solver, solve
+    from ..engine.sweeps import SweepSolver
+
+    if policy not in REMAP_POLICIES:
+        raise ReproError(
+            f"unknown re-mapping policy {policy!r}; known: "
+            f"{', '.join(REMAP_POLICIES)}"
+        )
+    if isinstance(solver, str):
+        solver = SweepSolver(name=solver)
+    live_set = set(live)
+    restricted = (
+        _restrict(current, live_set) if current is not None else None
+    )
+    if policy == "none":
+        if restricted is None:
+            return _down_outcome(
+                None if current is None else "mapping lost an interval"
+            )
+        return _alive_outcome(restricted, application, platform)
+    if not live_set:
+        return _down_outcome("no live processors")
+    sub, index_map = subplatform(platform, sorted(live_set))
+    spec = get_solver(solver.name)
+    opts = dict(solver.opts)
+    if spec.seeded:
+        opts.setdefault("seed", seed)
+    warm_seeded = False
+    if (
+        policy == "resolve-warm"
+        and restricted is not None
+        and spec.warm_startable
+    ):
+        opts["warm_starts"] = [_translate(restricted, index_map)]
+        warm_seeded = True
+    t0 = _time.perf_counter()
+    try:
+        result = solve(solver.name, application, sub, threshold, **opts)
+        found = result.mapping
+        if not isinstance(found, IntervalMapping):
+            raise SimulationError(
+                f"solver {solver.name!r} returned a "
+                f"{type(found).__name__}; the dynamic runtime needs "
+                "interval mappings"
+            )
+    except ReproError as exc:
+        wall = _time.perf_counter() - t0
+        if restricted is not None:
+            return _alive_outcome(
+                restricted,
+                application,
+                platform,
+                warm_seeded=warm_seeded,
+                fell_back=True,
+                error=str(exc),
+                wall=wall,
+            )
+        return _down_outcome(str(exc), wall)
+    wall = _time.perf_counter() - t0
+    inverse = {new: old for old, new in index_map.items()}
+    return _alive_outcome(
+        _translate(found, inverse),
+        application,
+        platform,
+        warm_seeded=warm_seeded,
+        wall=wall,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec
+# ----------------------------------------------------------------------
+_SIM_SPEC_KEYS = frozenset(
+    {
+        "schema",
+        "kind",
+        "instance",
+        "solver",
+        "threshold",
+        "policy",
+        "trace",
+        "failures",
+        "horizon",
+        "seed",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """A declarative dynamic-simulation run (versioned, JSON round-trip).
+
+    Shares the spec dialect of :mod:`repro.engine.sweeps`: specs that
+    declare ``{"schema": N}`` are validated strictly (unknown top-level
+    keys rejected by name), :meth:`to_spec` stamps the shared schema
+    version plus ``"kind": "simulation"`` so
+    :func:`repro.api.load_spec` can dispatch sweep vs simulation specs
+    from one entry point.
+    """
+
+    instance: Any  # SweepInstance (kept loose to avoid an import cycle)
+    solver: Any  # SweepSolver
+    threshold: float | None = None
+    policy: str = "resolve-warm"
+    trace: Mapping[str, Any] = field(
+        default_factory=lambda: {"kind": "uniform", "items": 50, "rate": 1.0}
+    )
+    failures: Mapping[str, Any] = field(
+        default_factory=lambda: {"model": "iid"}
+    )
+    horizon: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from ..engine.registry import get_solver
+
+        if self.policy not in REMAP_POLICIES:
+            raise ReproError(
+                f"policy must be one of {', '.join(REMAP_POLICIES)}; "
+                f"got {self.policy!r}"
+            )
+        solver_spec = get_solver(self.solver.name)  # raises if unknown
+        if solver_spec.needs_threshold and self.threshold is None:
+            raise ReproError(
+                f"solver {self.solver.name!r} requires a latency "
+                "threshold; set 'threshold' in the simulation spec"
+            )
+        if self.horizon is not None and not self.horizon > 0:
+            raise ReproError(
+                f"horizon must be positive, got {self.horizon}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "SimulationSpec":
+        """Build a run from its JSON/dict form (inverse of :meth:`to_spec`)."""
+        from ..engine.sweeps import (
+            SPEC_SCHEMA_VERSION,
+            SweepInstance,
+            SweepSolver,
+        )
+
+        if not isinstance(spec, Mapping):
+            raise ReproError(
+                f"a simulation spec must be an object, "
+                f"got {type(spec).__name__}"
+            )
+        kind = spec.get("kind")
+        if kind is not None and kind != SPEC_KIND_SIMULATION:
+            raise ReproError(
+                f"simulation spec 'kind' must be "
+                f"{SPEC_KIND_SIMULATION!r}, got {kind!r}"
+            )
+        schema = spec.get("schema")
+        if schema is not None:
+            if isinstance(schema, bool) or not isinstance(schema, int):
+                raise ReproError(
+                    f"simulation spec 'schema' must be an integer, "
+                    f"got {schema!r}"
+                )
+            if schema < 1 or schema > SPEC_SCHEMA_VERSION:
+                raise ReproError(
+                    f"simulation spec schema {schema} is not supported "
+                    f"(this library speaks schema 1..{SPEC_SCHEMA_VERSION})"
+                )
+            unknown = sorted(set(spec) - _SIM_SPEC_KEYS)
+            if unknown:
+                raise ReproError(
+                    "unknown simulation spec key(s) "
+                    + ", ".join(repr(k) for k in unknown)
+                    + f" (schema {schema} accepts: "
+                    + ", ".join(sorted(_SIM_SPEC_KEYS))
+                    + ")"
+                )
+        if "instance" not in spec or "solver" not in spec:
+            raise ReproError(
+                "a simulation spec needs an 'instance' and a 'solver'"
+            )
+        threshold = spec.get("threshold")
+        horizon = spec.get("horizon")
+        return cls(
+            instance=SweepInstance.from_spec(spec["instance"], 0),
+            solver=SweepSolver.from_spec(spec["solver"]),
+            threshold=float(threshold) if threshold is not None else None,
+            policy=spec.get("policy", "resolve-warm"),
+            trace=dict(spec.get("trace", {"kind": "uniform"})),
+            failures=dict(spec.get("failures", {"model": "iid"})),
+            horizon=float(horizon) if horizon is not None else None,
+            seed=int(spec.get("seed", 0)),
+        )
+
+    def to_spec(self) -> dict[str, Any]:
+        """JSON-compatible dict form, schema- and kind-stamped."""
+        from ..engine.sweeps import SPEC_SCHEMA_VERSION
+
+        out: dict[str, Any] = {
+            "schema": SPEC_SCHEMA_VERSION,
+            "kind": SPEC_KIND_SIMULATION,
+            "instance": self.instance.to_spec(),
+            "solver": self.solver.to_spec(),
+            "policy": self.policy,
+            "trace": dict(self.trace),
+            "failures": dict(self.failures),
+            "seed": self.seed,
+        }
+        if self.threshold is not None:
+            out["threshold"] = self.threshold
+        if self.horizon is not None:
+            out["horizon"] = self.horizon
+        return out
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); ``nan`` when empty."""
+    if not values:
+        return math.nan
+    xs = sorted(values)
+    if q <= 0:
+        return xs[0]
+    rank = min(len(xs), max(1, math.ceil(q / 100.0 * len(xs))))
+    return xs[rank - 1]
+
+
+def _json_float(x: float | None) -> float | None:
+    """Strict-JSON-safe float (non-finite values become ``None``)."""
+    if x is None or not math.isfinite(x):
+        return None
+    return x
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One platform epoch: a maximal span with a constant active mapping.
+
+    Epochs close on every disruptive platform change (a kill touching
+    the mapping, a revival that recovers a down pipeline, every
+    re-solve).  All fields are simulated-time quantities — wall-clock
+    lives only in :class:`SimulationResult`, keeping epoch streams
+    byte-identical across runs.
+    """
+
+    index: int
+    start: float
+    end: float
+    trigger: str
+    generation: int
+    live: tuple[int, ...]
+    mapping: Mapping[str, Any] | None
+    down: bool
+    analytic_latency: float
+    analytic_fp: float
+    resolve_invoked: bool
+    resolve_ok: bool
+    warm_seeded: bool
+    fell_back: bool
+    completed: int
+    disrupted: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (non-finite floats become ``null``)."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "trigger": self.trigger,
+            "generation": self.generation,
+            "live": list(self.live),
+            "mapping": dict(self.mapping) if self.mapping else None,
+            "down": self.down,
+            "analytic_latency": _json_float(self.analytic_latency),
+            "analytic_fp": _json_float(self.analytic_fp),
+            "resolve_invoked": self.resolve_invoked,
+            "resolve_ok": self.resolve_ok,
+            "warm_seeded": self.warm_seeded,
+            "fell_back": self.fell_back,
+            "completed": self.completed,
+            "disrupted": self.disrupted,
+        }
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a dynamic run measured.
+
+    Realized metrics come from item timestamps; the ``analytic_*`` /
+    ``predicted_*`` fields are the initial mapping's closed-form values,
+    so realized-vs-analytic comparisons (bench E25) read straight off
+    this record.  ``resolve_seconds`` is host wall-clock and therefore
+    excluded from determinism comparisons.
+    """
+
+    spec: SimulationSpec = field(repr=False, compare=False)
+    epochs: tuple[EpochReport, ...] = ()
+    items_total: int = 0
+    items_completed: int = 0
+    items_lost: int = 0
+    items_disrupted: int = 0
+    disruption_events: int = 0
+    latency_p50: float = math.nan
+    latency_p90: float = math.nan
+    latency_p99: float = math.nan
+    latency_mean: float = math.nan
+    latency_max: float = math.nan
+    realized_period: float = math.nan
+    realized_throughput: float = math.nan
+    analytic_latency: float = math.nan
+    analytic_period: float = math.nan
+    predicted_success: float = math.nan
+    realized_success: float = math.nan
+    resolves: int = 0
+    resolve_failures: int = 0
+    resolve_seconds: float = 0.0
+    makespan: float = 0.0
+    horizon: float = 0.0
+    event_log: tuple[Mapping[str, Any], ...] = field(repr=False, default=())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (non-finite floats become ``null``)."""
+        return {
+            "spec": self.spec.to_spec(),
+            "epochs": [e.to_dict() for e in self.epochs],
+            "items_total": self.items_total,
+            "items_completed": self.items_completed,
+            "items_lost": self.items_lost,
+            "items_disrupted": self.items_disrupted,
+            "disruption_events": self.disruption_events,
+            "latency_p50": _json_float(self.latency_p50),
+            "latency_p90": _json_float(self.latency_p90),
+            "latency_p99": _json_float(self.latency_p99),
+            "latency_mean": _json_float(self.latency_mean),
+            "latency_max": _json_float(self.latency_max),
+            "realized_period": _json_float(self.realized_period),
+            "realized_throughput": _json_float(self.realized_throughput),
+            "analytic_latency": _json_float(self.analytic_latency),
+            "analytic_period": _json_float(self.analytic_period),
+            "predicted_success": _json_float(self.predicted_success),
+            "realized_success": _json_float(self.realized_success),
+            "resolves": self.resolves,
+            "resolve_failures": self.resolve_failures,
+            "resolve_seconds": self.resolve_seconds,
+            "makespan": self.makespan,
+            "horizon": self.horizon,
+            "event_log": [dict(e) for e in self.event_log],
+        }
+
+
+# ----------------------------------------------------------------------
+# the runtime
+# ----------------------------------------------------------------------
+class _Item:
+    __slots__ = (
+        "index",
+        "arrival",
+        "completion",
+        "disruptions",
+        "sender",
+        "done_through",
+        "lost",
+    )
+
+    def __init__(self, index: int, arrival: float) -> None:
+        self.index = index
+        self.arrival = arrival
+        self.completion = math.nan
+        self.disruptions = 0
+        self.sender: Node = IN
+        self.done_through = 0  # highest stage fully processed
+        self.lost = False
+
+
+class _Station:
+    __slots__ = ("queue", "busy", "version")
+
+    def __init__(self) -> None:
+        self.queue: list[_Item] = []
+        self.busy: _Item | None = None
+        self.version = 0
+
+
+class _DynamicEngine:
+    """Epoch-structured DES driving one :class:`SimulationSpec` run."""
+
+    def __init__(self, spec: SimulationSpec) -> None:
+        self.spec = spec
+        self.app: PipelineApplication = spec.instance.application
+        self.platform: Platform = spec.instance.platform
+        self.policy = spec.policy
+        self.sim = Simulator()
+        self.live: set[int] = set(range(1, self.platform.size + 1))
+        self.mapping: IntervalMapping | None = None
+        self.generation = 0
+        self.stations: list[_Station] = []
+        self._used: frozenset[int] = frozenset()
+        self._boundaries: dict[int, int] = {}
+        self._parked: list[_Item] = []
+        self.items: list[_Item] = []
+        self.event_log: list[dict[str, Any]] = []
+        self.epochs: list[EpochReport] = []
+        self._ready: list[EpochReport] = []
+        self._epoch: dict[str, Any] = {}
+        self._epoch_completed = 0
+        self._epoch_disrupted = 0
+        self.resolves = 0
+        self.resolve_failures = 0
+        self.resolve_seconds = 0.0
+        self._remap_calls = 0
+
+    # -- setup ---------------------------------------------------------
+    def start(self) -> None:
+        spec = self.spec
+        self.arrivals = make_arrivals(spec.trace, spec.seed)
+        initial = resolve_mapping(
+            self.app,
+            self.platform,
+            sorted(self.live),
+            solver=spec.solver,
+            threshold=spec.threshold,
+            policy="resolve-full",
+            current=None,
+            seed=spec.seed,
+        )
+        if initial.mapping is None:
+            raise SimulationError(
+                f"initial solve failed: {initial.error}"
+            )
+        self.initial_latency = initial.latency
+        self.predicted_fp = initial.failure_probability
+        self.horizon = spec.horizon or (
+            self.arrivals[-1] + 3.0 * max(1.0, initial.latency)
+        )
+        self.timeline = make_timeline(
+            self.platform, spec.failures, spec.seed, self.horizon
+        )
+        self._install(initial.mapping)
+        self.analytic_period = self._bottleneck_period()
+        self._open_epoch(
+            trigger="initial",
+            resolve_invoked=True,
+            resolve_ok=True,
+            warm_seeded=False,
+            fell_back=False,
+        )
+        self.sim.process(self._timeline_proc())
+        self.sim.process(self._source_proc())
+
+    def _bottleneck_period(self) -> float:
+        """Max station service time for one item with everything live
+        (the realized analogue of the paper's period criterion)."""
+        assert self.mapping is not None
+        sender: Node = IN
+        worst = 0.0
+        for j in range(self.mapping.num_intervals):
+            served = self._service_delta(j, sender)
+            if served is None:
+                return math.inf
+            dt, elected = served
+            worst = max(worst, dt)
+            sender = elected
+        return worst
+
+    # -- epoch bookkeeping ---------------------------------------------
+    def _open_epoch(
+        self,
+        *,
+        trigger: str,
+        resolve_invoked: bool,
+        resolve_ok: bool,
+        warm_seeded: bool,
+        fell_back: bool,
+    ) -> None:
+        effective = (
+            _restrict(self.mapping, self.live)
+            if self.mapping is not None
+            else None
+        )
+        if effective is not None:
+            lat = analytic_latency(effective, self.app, self.platform)
+            fp = analytic_fp(effective, self.platform)
+            from ..core.serialization import mapping_to_dict
+
+            mapping_dict: Mapping[str, Any] | None = mapping_to_dict(
+                effective
+            )
+        else:
+            lat, fp, mapping_dict = math.inf, 1.0, None
+        self._epoch = {
+            "start": self.sim.now,
+            "trigger": trigger,
+            "generation": self.generation,
+            "live": tuple(sorted(self.live)),
+            "mapping": mapping_dict,
+            "down": effective is None,
+            "analytic_latency": lat,
+            "analytic_fp": fp,
+            "resolve_invoked": resolve_invoked,
+            "resolve_ok": resolve_ok,
+            "warm_seeded": warm_seeded,
+            "fell_back": fell_back,
+        }
+        self._epoch_completed = 0
+        self._epoch_disrupted = 0
+
+    def _close_epoch(self, end: float) -> None:
+        report = EpochReport(
+            index=len(self.epochs),
+            start=self._epoch["start"],
+            end=end,
+            trigger=self._epoch["trigger"],
+            generation=self._epoch["generation"],
+            live=self._epoch["live"],
+            mapping=self._epoch["mapping"],
+            down=self._epoch["down"],
+            analytic_latency=self._epoch["analytic_latency"],
+            analytic_fp=self._epoch["analytic_fp"],
+            resolve_invoked=self._epoch["resolve_invoked"],
+            resolve_ok=self._epoch["resolve_ok"],
+            warm_seeded=self._epoch["warm_seeded"],
+            fell_back=self._epoch["fell_back"],
+            completed=self._epoch_completed,
+            disrupted=self._epoch_disrupted,
+        )
+        self.epochs.append(report)
+        self._ready.append(report)
+
+    def drain_epochs(self) -> list[EpochReport]:
+        ready, self._ready = self._ready, []
+        return ready
+
+    # -- mapping installation ------------------------------------------
+    def _install(self, mapping: IntervalMapping | None) -> None:
+        self.mapping = mapping
+        self.generation += 1
+        if mapping is None:
+            self.stations = []
+            self._used = frozenset()
+            self._boundaries = {}
+            return
+        self.stations = [_Station() for _ in mapping.intervals]
+        used: set[int] = set()
+        for alloc in mapping.allocations:
+            used |= set(alloc)
+        self._used = frozenset(used)
+        self._boundaries = {
+            iv.start: j for j, iv in enumerate(mapping.intervals)
+        }
+
+    # -- item flow -----------------------------------------------------
+    def _service_delta(
+        self, j: int, sender: Node
+    ) -> tuple[float, int] | None:
+        """FIRST_SURVIVOR service increment for station ``j``.
+
+        Serialized sends from ``sender`` to the live replicas, each
+        starting compute on its own arrival; the earliest finisher is
+        elected.  The last station folds in the final transfer to
+        ``P_out``.  ``None`` when no replica is live (station down).
+        """
+        assert self.mapping is not None
+        iv = self.mapping.intervals[j]
+        alloc = self.mapping.allocations[j]
+        live = sorted(u for u in alloc if u in self.live)
+        if not live:
+            return None
+        topo = self.platform.topology
+        delta_in = self.app.volume(iv.start - 1)
+        work = self.app.interval_work(iv.start, iv.end)
+        t = 0.0
+        done: dict[int, float] = {}
+        for u in live:
+            t += topo.transfer_time(delta_in, sender, u)
+            done[u] = t + work / self.platform.speed(u)
+        elected = min(live, key=lambda u: (done[u], u))
+        dt = done[elected]
+        if j + 1 == self.mapping.num_intervals:
+            dt += topo.transfer_time(self.app.output_size, elected, OUT)
+        return dt, elected
+
+    def _enqueue(self, j: int, item: _Item) -> None:
+        self.stations[j].queue.append(item)
+
+    def _pump(self, j: int) -> None:
+        if self.mapping is None or j >= len(self.stations):
+            return
+        station = self.stations[j]
+        if station.busy is not None or not station.queue:
+            return
+        served = self._service_delta(j, station.queue[0].sender)
+        if served is None:
+            return  # station down; queue waits for a revival
+        dt, elected = served
+        item = station.queue.pop(0)
+        station.busy = item
+        token = (self.generation, station.version)
+        timeout = self.sim.timeout(dt)
+        timeout.add_callback(
+            lambda _ev, j=j, item=item, elected=elected, token=token: (
+                self._complete(j, item, elected, token)
+            )
+        )
+
+    def _complete(
+        self, j: int, item: _Item, elected: int, token: tuple[int, int]
+    ) -> None:
+        if token[0] != self.generation:
+            return  # mapping changed mid-service; item was re-placed
+        station = self.stations[j]
+        if token[1] != station.version:
+            return  # service aborted by a kill; item was re-queued
+        station.busy = None
+        assert self.mapping is not None
+        item.done_through = self.mapping.intervals[j].end
+        if j + 1 < self.mapping.num_intervals:
+            item.sender = elected
+            self._enqueue(j + 1, item)
+            self._pump(j + 1)
+        else:
+            item.completion = self.sim.now
+            self._epoch_completed += 1
+        self._pump(j)
+
+    def _pump_all(self) -> None:
+        for j in range(len(self.stations)):
+            self._pump(j)
+
+    def _source_proc(self):
+        for index, at in enumerate(self.arrivals):
+            delay = at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            item = _Item(index, self.sim.now)
+            self.items.append(item)
+            if self.mapping is None:
+                self._parked.append(item)
+            else:
+                self._enqueue(0, item)
+                self._pump(0)
+
+    # -- platform events -----------------------------------------------
+    def _timeline_proc(self):
+        for ev in self.timeline:
+            delay = ev.time - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self._on_platform_event(ev)
+
+    def _on_platform_event(self, ev: PlatformEvent) -> None:
+        u = ev.processor
+        if ev.action == "kill":
+            if u not in self.live:
+                return  # already dead (explicit event lists may repeat)
+            self.live.discard(u)
+        else:
+            if u in self.live:
+                return
+            self.live.add(u)
+        used = self.mapping is not None and u in self._used
+        self.event_log.append(
+            {
+                "t": self.sim.now,
+                "event": ev.action,
+                "processor": u,
+                "used": used,
+            }
+        )
+        trigger = f"{ev.action}:{u}"
+        if self.policy == "none":
+            if not used:
+                return
+            if ev.action == "kill":
+                self._none_kill(u)
+            self._close_epoch(self.sim.now)
+            self._open_epoch(
+                trigger=trigger,
+                resolve_invoked=False,
+                resolve_ok=False,
+                warm_seeded=False,
+                fell_back=False,
+            )
+            self._pump_all()
+            return
+        # resolve-full / resolve-warm: re-solve when the active mapping
+        # is hit, or when a revival can bring a down pipeline back
+        if ev.action == "kill" and used:
+            self._remap(trigger)
+        elif ev.action == "revive" and self.mapping is None:
+            self._remap(trigger)
+
+    def _none_kill(self, u: int) -> None:
+        """Policy ``none``: abort services invalidated by the death of
+        ``u``; items whose elected sender died restart from the source
+        (their intermediate data is stranded on the dead processor)."""
+        assert self.mapping is not None
+        restarts: list[_Item] = []
+        for j, station in enumerate(self.stations):
+            alloc = self.mapping.allocations[j]
+            item = station.busy
+            if item is not None and (u in alloc or item.sender == u):
+                station.version += 1
+                station.busy = None
+                item.disruptions += 1
+                self._epoch_disrupted += 1
+                if item.sender == u:
+                    restarts.append(item)
+                else:
+                    station.queue.insert(0, item)
+            for queued in list(station.queue):
+                if queued.sender == u:
+                    station.queue.remove(queued)
+                    queued.disruptions += 1
+                    self._epoch_disrupted += 1
+                    restarts.append(queued)
+        for item in sorted(restarts, key=lambda i: (i.arrival, i.index)):
+            item.sender = IN
+            item.done_through = 0
+            self._enqueue(0, item)
+
+    def _collect_in_flight(self) -> list[tuple[_Item, bool]]:
+        """Pull every unfinished item out of the station network.
+
+        Returns ``(item, aborted)`` pairs in deterministic admission
+        order; ``aborted`` marks items whose in-progress service was
+        thrown away."""
+        moved: list[tuple[_Item, bool]] = []
+        for station in self.stations:
+            if station.busy is not None:
+                moved.append((station.busy, True))
+                station.busy = None
+            moved.extend((item, False) for item in station.queue)
+            station.queue = []
+        moved.extend((item, False) for item in self._parked)
+        self._parked = []
+        moved.sort(key=lambda pair: (pair[0].arrival, pair[0].index))
+        return moved
+
+    def _place(self, item: _Item, aborted: bool) -> None:
+        """Re-admit an item after a mapping switch.
+
+        Completed stages are preserved when the new mapping has an
+        interval boundary at the item's progress point and the holder of
+        its intermediate data is still alive; otherwise the item
+        restarts from the source."""
+        if self.mapping is None:
+            if aborted:
+                item.disruptions += 1
+                self._epoch_disrupted += 1
+            self._parked.append(item)
+            return
+        j = self._boundaries.get(item.done_through + 1)
+        resumable = j is not None and (
+            item.sender is IN or item.sender in self.live
+        )
+        if not resumable:
+            if item.done_through != 0:
+                aborted = True  # progress lost, not just a send aborted
+            item.sender = IN
+            item.done_through = 0
+            j = 0
+        if aborted:
+            item.disruptions += 1
+            self._epoch_disrupted += 1
+        assert j is not None
+        self._enqueue(j, item)
+
+    def _remap(self, trigger: str) -> None:
+        self._remap_calls += 1
+        outcome = resolve_mapping(
+            self.app,
+            self.platform,
+            sorted(self.live),
+            solver=self.spec.solver,
+            threshold=self.spec.threshold,
+            policy=self.policy,
+            current=self.mapping,
+            seed=self.spec.seed + 1000003 * self._remap_calls,
+        )
+        self.resolves += 1
+        self.resolve_seconds += outcome.wall_seconds
+        if not outcome.ok or outcome.fell_back:
+            self.resolve_failures += 1
+        moved = self._collect_in_flight()
+        self._close_epoch(self.sim.now)
+        self._install(outcome.mapping)
+        self._open_epoch(
+            trigger=trigger,
+            resolve_invoked=True,
+            resolve_ok=outcome.ok and not outcome.fell_back,
+            warm_seeded=outcome.warm_seeded,
+            fell_back=outcome.fell_back,
+        )
+        for item, aborted in moved:
+            self._place(item, aborted)
+        self.event_log.append(
+            {
+                "t": self.sim.now,
+                "event": "remap",
+                "trigger": trigger,
+                "policy": self.policy,
+                "ok": outcome.ok and not outcome.fell_back,
+                "warm_seeded": outcome.warm_seeded,
+                "fell_back": outcome.fell_back,
+                "down": outcome.mapping is None,
+                "generation": self.generation,
+                "moved": len(moved),
+            }
+        )
+        self._pump_all()
+
+    # -- teardown ------------------------------------------------------
+    def finish(self) -> None:
+        for item in self.items:
+            if math.isnan(item.completion):
+                item.lost = True
+        self._close_epoch(self.sim.now)
+
+    def result(self) -> SimulationResult:
+        latencies = sorted(
+            item.completion - item.arrival
+            for item in self.items
+            if not item.lost
+        )
+        completions = sorted(
+            item.completion for item in self.items if not item.lost
+        )
+        if len(completions) >= 2:
+            span = completions[-1] - completions[0]
+            period = span / (len(completions) - 1)
+            throughput = 1.0 / period if period > 0 else math.inf
+        else:
+            period = math.nan
+            throughput = math.nan
+        total = len(self.items)
+        completed = len(latencies)
+        return SimulationResult(
+            spec=self.spec,
+            epochs=tuple(self.epochs),
+            items_total=total,
+            items_completed=completed,
+            items_lost=total - completed,
+            items_disrupted=sum(
+                1 for item in self.items if item.disruptions > 0
+            ),
+            disruption_events=sum(
+                item.disruptions for item in self.items
+            ),
+            latency_p50=percentile(latencies, 50),
+            latency_p90=percentile(latencies, 90),
+            latency_p99=percentile(latencies, 99),
+            latency_mean=(
+                sum(latencies) / completed if completed else math.nan
+            ),
+            latency_max=latencies[-1] if latencies else math.nan,
+            realized_period=period,
+            realized_throughput=throughput,
+            analytic_latency=self.initial_latency,
+            analytic_period=self.analytic_period,
+            predicted_success=1.0 - self.predicted_fp,
+            realized_success=(
+                completed / total if total else math.nan
+            ),
+            resolves=self.resolves,
+            resolve_failures=self.resolve_failures,
+            resolve_seconds=self.resolve_seconds,
+            makespan=self.sim.now,
+            horizon=self.horizon,
+            event_log=tuple(self.event_log),
+        )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def _coerce_spec(spec: SimulationSpec | Mapping[str, Any]) -> SimulationSpec:
+    if isinstance(spec, SimulationSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return SimulationSpec.from_spec(spec)
+    raise ReproError(
+        f"expected a SimulationSpec or a spec mapping, "
+        f"got {type(spec).__name__}"
+    )
+
+
+def iter_simulation(
+    spec: SimulationSpec | Mapping[str, Any],
+) -> Iterator[EpochReport | SimulationResult]:
+    """Run a dynamic simulation, streaming epochs as they close.
+
+    Yields :class:`EpochReport` items in completion (simulated-time)
+    order, then exactly one final :class:`SimulationResult`.  The solver
+    runs synchronously inside the stream (a re-solve happens between two
+    yielded epochs), and draining the stream is equivalent to
+    :func:`run_simulation` — same epochs, same result, byte-identical
+    event log.
+    """
+    spec = _coerce_spec(spec)
+    engine = _DynamicEngine(spec)
+    engine.start()
+    while engine.sim.step():
+        yield from engine.drain_epochs()
+    engine.finish()
+    yield from engine.drain_epochs()
+    yield engine.result()
+
+
+def run_simulation(
+    spec: SimulationSpec | Mapping[str, Any],
+) -> SimulationResult:
+    """Run a dynamic simulation to completion (drained
+    :func:`iter_simulation`)."""
+    final: SimulationResult | None = None
+    for event in iter_simulation(spec):
+        if isinstance(event, SimulationResult):
+            final = event
+    assert final is not None  # iter_simulation always yields a result
+    return final

@@ -25,6 +25,7 @@ runs are exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Generator, Iterable
 
 from ..exceptions import SimulationError
@@ -218,20 +219,37 @@ class Simulator:
         """Create a counted FIFO resource."""
         return Resource(self, capacity, name)
 
+    def peek(self) -> float:
+        """Time of the next pending item (``inf`` when the heap is empty)."""
+        if not self._heap:
+            return math.inf
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Process exactly one pending item; ``False`` when none remain.
+
+        The single-step twin of :meth:`run` — callers that interleave
+        simulation with other work (e.g. streaming epoch reports) drive
+        the loop themselves: ``while sim.step(): ...``.
+        """
+        if not self._heap:
+            return False
+        time, _, item = heapq.heappop(self._heap)
+        self.now = time
+        if isinstance(item, Event):
+            item.trigger()
+        else:
+            item()
+        return True
+
     def run(self, until: float | None = None) -> float:
         """Drain the event heap (optionally stopping at time ``until``).
 
         Returns the final simulation time.
         """
         while self._heap:
-            time, _, item = self._heap[0]
-            if until is not None and time > until:
+            if until is not None and self.peek() > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
-            self.now = time
-            if isinstance(item, Event):
-                item.trigger()
-            else:
-                item()
+            self.step()
         return self.now

@@ -17,7 +17,12 @@ parameterized* scenario families — each a function returning one
 * ``wide-pipeline`` — many light stages with chunky inter-stage
   volumes (communication-dominated mappings);
 * ``narrow-pipeline`` — few heavy stages with thin volumes
-  (compute-dominated mappings, replication is cheap).
+  (compute-dominated mappings, replication is cheap);
+* ``churn-pool`` — a volunteer-computing pool whose churn-prone
+  majority is tuned so dynamic failure timelines
+  (:mod:`repro.simulation.dynamic`) kill processors mid-run;
+* ``burst-grid`` — a racked cluster with per-rack failure domains for
+  the correlated-burst timeline model.
 
 Every generator takes an explicit ``seed`` plus keyword parameters with
 documented defaults, so scenario instances are exactly reproducible
@@ -27,6 +32,7 @@ JSON sweep spec stores.
 
 from __future__ import annotations
 
+import difflib
 import random
 from typing import Callable, Mapping, Tuple
 
@@ -43,6 +49,8 @@ __all__ = [
     "failure_mix",
     "wide_pipeline",
     "narrow_pipeline",
+    "churn_pool",
+    "burst_grid",
 ]
 
 Instance = Tuple[PipelineApplication, Platform]
@@ -225,12 +233,107 @@ def narrow_pipeline(
     return application, platform
 
 
+def churn_pool(
+    *,
+    seed: int | None = None,
+    num_processors: int = 8,
+    stages: int = 5,
+    stable_count: int = 2,
+    stable_fp: tuple[float, float] = (0.01, 0.05),
+    churn_fp: tuple[float, float] = (0.5, 0.9),
+    speed_range: tuple[float, float] = (1.0, 8.0),
+    bandwidth_range: tuple[float, float] = (2.0, 8.0),
+) -> Instance:
+    """Volunteer-computing pool built for *dynamic* failure timelines.
+
+    Like :func:`failure_mix` but with a much larger churn-prone
+    majority: ``stable_count`` anchor nodes draw from ``stable_fp``, the
+    rest from ``churn_fp`` — high enough that an iid or tiered failure
+    timeline over the mission (``repro.simulation.dynamic``) almost
+    surely kills several of them mid-run, exercising re-mapping
+    policies rather than just shifting the analytic frontier.
+    """
+    if not 0 <= stable_count <= num_processors:
+        raise ReproError(
+            f"stable_count must be in [0, {num_processors}], "
+            f"got {stable_count}"
+        )
+    rng = random.Random(seed)
+    speeds = [rng.uniform(*speed_range) for _ in range(num_processors)]
+    fps = [
+        rng.uniform(*stable_fp)
+        if i < stable_count
+        else rng.uniform(*churn_fp)
+        for i in range(num_processors)
+    ]
+    application = random_application(stages, seed=rng.randrange(2**31))
+    platform = Platform.communication_homogeneous(
+        speeds,
+        bandwidth=rng.uniform(*bandwidth_range),
+        failure_probabilities=fps,
+    )
+    return application, platform
+
+
+def burst_grid(
+    *,
+    seed: int | None = None,
+    num_racks: int = 3,
+    rack_size: int = 3,
+    stages: int = 6,
+    rack_fp: tuple[float, float] = (0.15, 0.45),
+    speed_range: tuple[float, float] = (2.0, 10.0),
+    intra_bandwidth: tuple[float, float] = (8.0, 12.0),
+    inter_bandwidth: tuple[float, float] = (1.0, 3.0),
+) -> Instance:
+    """Racked cluster shaped for *correlated-burst* failure timelines.
+
+    ``num_racks`` racks of ``rack_size`` nodes; every node in a rack
+    shares one failure probability drawn from ``rack_fp`` (a rack is one
+    power/network domain, so the correlated-burst model in
+    ``repro.simulation.dynamic`` plausibly takes out rack-mates
+    together), links are fast intra-rack and slow inter-rack.  The
+    platform is Fully Heterogeneous.
+    """
+    if num_racks < 1 or rack_size < 1:
+        raise ReproError(
+            f"need at least one rack of one node, got "
+            f"{num_racks} racks x {rack_size}"
+        )
+    rng = random.Random(seed)
+    m = num_racks * rack_size
+    rack_of = [i // rack_size for i in range(m)]
+    rack_fps = [rng.uniform(*rack_fp) for _ in range(num_racks)]
+    speeds = [rng.uniform(*speed_range) for _ in range(m)]
+    fps = [rack_fps[rack_of[i]] for i in range(m)]
+    links = [[1.0] * m for _ in range(m)]
+    for u in range(m):
+        for v in range(u + 1, m):
+            band = (
+                intra_bandwidth
+                if rack_of[u] == rack_of[v]
+                else inter_bandwidth
+            )
+            links[u][v] = links[v][u] = rng.uniform(*band)
+    in_b = [rng.uniform(*inter_bandwidth) for _ in range(m)]
+    out_b = [rng.uniform(*inter_bandwidth) for _ in range(m)]
+    application = random_application(
+        stages, seed=rng.randrange(2**31), work_range=(2.0, 12.0)
+    )
+    platform = Platform.fully_heterogeneous(
+        speeds, in_b, out_b, links, failure_probabilities=fps
+    )
+    return application, platform
+
+
 #: scenario-name -> generator registry (what sweep specs reference)
 SCENARIOS: dict[str, Callable[..., Instance]] = {
     "edge-hub-cloud": edge_hub_cloud,
     "failure-mix": failure_mix,
     "wide-pipeline": wide_pipeline,
     "narrow-pipeline": narrow_pipeline,
+    "churn-pool": churn_pool,
+    "burst-grid": burst_grid,
 }
 
 
@@ -256,8 +359,10 @@ def make_scenario(
     try:
         generator = SCENARIOS[name]
     except KeyError:
+        close = difflib.get_close_matches(name, scenario_names(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ReproError(
-            f"unknown scenario {name!r}; registered: "
+            f"unknown scenario {name!r}{hint}; registered: "
             f"{', '.join(scenario_names())}"
         ) from None
     try:

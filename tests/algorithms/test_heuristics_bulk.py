@@ -343,7 +343,7 @@ class TestRecordedTrajectoryEquivalence:
         ],
     )
     def test_scalar_and_bulk_recordings_diff_clean(self, solver, opts):
-        from repro.engine import diff_runs, record_run
+        from repro.api import diff_runs, record_run
 
         app, plat = make_instance("comm-homogeneous", n=5, m=4, seed=2)
         threshold = _loose_latency_threshold(app, plat)

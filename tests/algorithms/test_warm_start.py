@@ -160,7 +160,7 @@ class TestArgumentForms:
 
 class TestEngineDispatch:
     def test_warm_starts_flow_through_registry_solve(self, instance):
-        from repro.engine import solve
+        from repro.api import solve
 
         app, plat = instance
         seed_result = solve("greedy-min-fp", app, plat, 35.0)
@@ -174,7 +174,7 @@ class TestEngineDispatch:
         assert warm.failure_probability <= seed_result.failure_probability
 
     def test_warm_startable_metadata(self):
-        from repro.engine import get_solver
+        from repro.api import get_solver
 
         for name in (
             "greedy-min-fp",

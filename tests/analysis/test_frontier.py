@@ -111,7 +111,7 @@ class TestSweepFrontier:
         """With the endpoint pinned, every single-interval candidate is
         admissible somewhere on the grid — including full replication."""
         from repro.algorithms.heuristics import single_interval_candidates
-        from repro.engine import threshold_sweep
+        from repro.api import threshold_sweep
 
         app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=4)
         candidates = list(single_interval_candidates(app, plat))
@@ -129,7 +129,7 @@ class TestSweepFrontier:
         """Satellite regression: feasibility is decided by the structured
         error kind, so sweeps survive exception renaming/wrapping but
         still fail loudly on genuine solver crashes."""
-        from repro.engine import threshold_sweep
+        from repro.api import threshold_sweep
         from repro.exceptions import SolverError as SE
 
         from tests.engine.synthetic import (

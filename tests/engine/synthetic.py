@@ -13,7 +13,8 @@ import time
 from pathlib import Path
 
 from repro.algorithms.heuristics import greedy_minimize_fp
-from repro.engine import Objective, SolverSpec, register, unregister
+from repro.api import Objective, SolverSpec
+from repro.engine import register, unregister
 
 
 def crashy_min_fp(application, platform, threshold, *, crash=False):

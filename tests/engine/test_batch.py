@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import engine
+from repro import api
 from repro.analysis.frontier import sweep_frontier
 from repro.exceptions import SolverError
 from repro.simulation import validate_batch_fp
@@ -13,7 +13,7 @@ from tests.helpers import make_instance
 
 def _mixed_tasks():
     tasks = [
-        engine.BatchTask(
+        api.BatchTask(
             "greedy-min-fp",
             *make_instance("comm-homogeneous", 3, 4, seed),
             threshold=80.0,
@@ -22,7 +22,7 @@ def _mixed_tasks():
         for seed in range(4)
     ]
     tasks += [
-        engine.BatchTask(
+        api.BatchTask(
             "local-search-min-latency",
             *make_instance("fully-heterogeneous", 3, 3, seed),
             threshold=0.95,
@@ -32,7 +32,7 @@ def _mixed_tasks():
         for seed in range(3)
     ]
     tasks.append(
-        engine.BatchTask(
+        api.BatchTask(
             "theorem1-min-fp",
             *make_instance("fully-homogeneous", 2, 3, 9),
             tag="t1",
@@ -56,23 +56,23 @@ def _outcome_key(outcome):
 class TestRunBatch:
     def test_parallel_identical_to_serial(self):
         tasks = _mixed_tasks()
-        serial = engine.run_batch(tasks, seed=5)
-        parallel = engine.run_batch(tasks, workers=3, seed=5)
+        serial = api.run_batch(tasks, seed=5)
+        parallel = api.run_batch(tasks, workers=3, seed=5)
         assert [_outcome_key(o) for o in serial] == [
             _outcome_key(o) for o in parallel
         ]
 
     def test_deterministic_across_runs(self):
         tasks = _mixed_tasks()
-        first = engine.run_batch(tasks, workers=2, seed=1)
-        second = engine.run_batch(tasks, workers=2, seed=1)
+        first = api.run_batch(tasks, workers=2, seed=1)
+        second = api.run_batch(tasks, workers=2, seed=1)
         assert [_outcome_key(o) for o in first] == [
             _outcome_key(o) for o in second
         ]
 
     def test_outcomes_keep_input_order_and_tasks(self):
         tasks = _mixed_tasks()
-        outcomes = engine.run_batch(tasks, workers=2)
+        outcomes = api.run_batch(tasks, workers=2)
         assert [o.index for o in outcomes] == list(range(len(tasks)))
         for task, outcome in zip(tasks, outcomes):
             assert outcome.task.solver == task.solver
@@ -81,25 +81,25 @@ class TestRunBatch:
 
     def test_explicit_opts_seed_wins_over_base_seed(self):
         app, plat = make_instance("comm-homogeneous", 3, 4, 2)
-        task = engine.BatchTask(
+        task = api.BatchTask(
             "local-search-min-fp",
             app,
             plat,
             threshold=80.0,
             opts={"seed": 123},
         )
-        a = engine.run_batch([task], seed=1)[0]
-        b = engine.run_batch([task], seed=999)[0]
+        a = api.run_batch([task], seed=1)[0]
+        b = api.run_batch([task], seed=999)[0]
         assert _outcome_key(a) == _outcome_key(b)
 
     def test_infeasible_task_is_isolated(self):
         app, plat = make_instance("comm-homogeneous", 3, 4, 3)
         tasks = [
-            engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
-            engine.BatchTask("greedy-min-fp", app, plat, threshold=1e-9),
-            engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
+            api.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
+            api.BatchTask("greedy-min-fp", app, plat, threshold=1e-9),
+            api.BatchTask("greedy-min-fp", app, plat, threshold=80.0),
         ]
-        outcomes = engine.run_batch(tasks, workers=2)
+        outcomes = api.run_batch(tasks, workers=2)
         assert outcomes[0].ok and outcomes[2].ok
         assert not outcomes[1].ok
         assert "InfeasibleProblemError" in outcomes[1].error
@@ -107,12 +107,12 @@ class TestRunBatch:
     def test_malformed_batch_rejected_upfront(self):
         app, plat = make_instance("comm-homogeneous", 2, 2, 0)
         with pytest.raises(SolverError, match="unknown solver"):
-            engine.run_batch([engine.BatchTask("nope", app, plat)])
+            api.run_batch([api.BatchTask("nope", app, plat)])
         with pytest.raises(SolverError, match="requires a threshold"):
-            engine.run_batch([engine.BatchTask("greedy-min-fp", app, plat)])
+            api.run_batch([api.BatchTask("greedy-min-fp", app, plat)])
         with pytest.raises(SolverError, match="does not take a threshold"):
-            engine.run_batch(
-                [engine.BatchTask("theorem1-min-fp", app, plat, threshold=5.0)]
+            api.run_batch(
+                [api.BatchTask("theorem1-min-fp", app, plat, threshold=5.0)]
             )
 
     def test_out_of_domain_task_is_isolated_not_fatal(self):
@@ -120,15 +120,15 @@ class TestRunBatch:
         # violations get the same validation as direct solves but stay
         # per-task
         app, plat = make_instance("comm-homogeneous", 2, 3, 0)
-        ok_task = engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
-        bad_task = engine.BatchTask("alg1", app, plat, threshold=80.0)
-        outcomes = engine.run_batch([ok_task, bad_task])
+        ok_task = api.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
+        bad_task = api.BatchTask("alg1", app, plat, threshold=80.0)
+        outcomes = api.run_batch([ok_task, bad_task])
         assert outcomes[0].ok
         assert not outcomes[1].ok
         assert "does not support" in outcomes[1].error
 
     def test_empty_batch(self):
-        assert engine.run_batch([]) == []
+        assert api.run_batch([]) == []
 
 
 class TestMaxBuffered:
@@ -136,15 +136,15 @@ class TestMaxBuffered:
 
     def test_rejects_non_positive(self):
         app, plat = make_instance("comm-homogeneous", 2, 2, 0)
-        task = engine.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
+        task = api.BatchTask("greedy-min-fp", app, plat, threshold=80.0)
         with pytest.raises(SolverError, match="max_buffered"):
-            list(engine.iter_batch([task], max_buffered=0))
+            list(api.iter_batch([task], max_buffered=0))
 
     def test_windowed_results_identical_to_unbounded(self):
         tasks = _mixed_tasks()
-        unbounded = list(engine.iter_batch(tasks, workers=2, seed=5))
+        unbounded = list(api.iter_batch(tasks, workers=2, seed=5))
         windowed = list(
-            engine.iter_batch(tasks, workers=2, seed=5, max_buffered=2)
+            api.iter_batch(tasks, workers=2, seed=5, max_buffered=2)
         )
         assert [_outcome_key(o) for o in unbounded] == [
             _outcome_key(o) for o in windowed
@@ -169,7 +169,7 @@ class TestMaxBuffered:
         fast_counter = tmp_path / "fast-count"
         app, plat = make_instance("comm-homogeneous", 3, 4, 0)
         tasks = [
-            engine.BatchTask(
+            api.BatchTask(
                 "gated-min-fp",
                 app,
                 plat,
@@ -181,7 +181,7 @@ class TestMaxBuffered:
             )
         ]
         tasks += [
-            engine.BatchTask(
+            api.BatchTask(
                 "counting-min-fp",
                 app,
                 plat,
@@ -195,7 +195,7 @@ class TestMaxBuffered:
         outcomes = []
 
         def consume():
-            for outcome in engine.iter_batch(
+            for outcome in api.iter_batch(
                 tasks, workers=2, max_buffered=2
             ):
                 outcomes.append(outcome)
@@ -230,7 +230,7 @@ class TestThresholdSweep:
     def test_sweep_orders_and_tags(self):
         fig5 = figure5_instance()
         thresholds = [10.0, 22.0, 50.0, 200.0]
-        outcomes = engine.threshold_sweep(
+        outcomes = api.threshold_sweep(
             "single-interval-min-fp",
             fig5.application,
             fig5.platform,
@@ -245,10 +245,10 @@ class TestThresholdSweep:
     def test_sweep_parallel_equals_serial(self):
         app, plat = make_instance("comm-homogeneous", 4, 4, 21)
         thresholds = [20.0, 40.0, 60.0, 80.0, 100.0, 150.0]
-        serial = engine.threshold_sweep(
+        serial = api.threshold_sweep(
             "greedy-min-fp", app, plat, thresholds
         )
-        parallel = engine.threshold_sweep(
+        parallel = api.threshold_sweep(
             "greedy-min-fp", app, plat, thresholds, workers=3
         )
         assert [_outcome_key(o) for o in serial] == [
@@ -289,14 +289,14 @@ class TestMonteCarloCrossCheck:
     def test_validate_batch_fp_agrees_with_analytic(self):
         pytest.importorskip("numpy", exc_type=ImportError)
         tasks = [
-            engine.BatchTask(
+            api.BatchTask(
                 "greedy-min-fp",
                 *make_instance("comm-homogeneous", 3, 4, seed),
                 threshold=80.0,
             )
             for seed in range(3)
         ]
-        outcomes = engine.run_batch(tasks, workers=2)
+        outcomes = api.run_batch(tasks, workers=2)
         reports = validate_batch_fp(outcomes, trials=20_000, seed=0)
         assert len(reports) == sum(1 for o in outcomes if o.ok)
         for report in reports:

@@ -5,15 +5,8 @@ from dataclasses import replace
 
 import pytest
 
-from repro.engine import (
-    BatchTask,
-    ErrorKind,
-    GraphNode,
-    MemoryStore,
-    iter_graph,
-    run_graph,
-    solve,
-)
+from repro.api import BatchTask, ErrorKind, solve
+from repro.engine import GraphNode, MemoryStore, iter_graph, run_graph
 from repro.engine.batch import _execute
 from repro.exceptions import SolverError
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.engine import (
-    MemoryStore,
+from repro.api import (
     SweepInstance,
     SweepPlan,
     SweepPoint,
@@ -11,6 +10,7 @@ from repro.engine import (
     iter_sweep,
     run_sweep,
 )
+from repro.engine import MemoryStore
 from repro.engine.policy import ErrorKind
 from repro.exceptions import ReproError
 

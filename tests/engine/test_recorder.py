@@ -5,16 +5,8 @@ import random
 import pytest
 
 from repro.core.serialization import canonical_json
-from repro.engine import (
-    JSONStore,
-    MemoryStore,
-    RunRecording,
-    get_solver,
-    instance_key,
-    record_run,
-    recording_key,
-    solve,
-)
+from repro.api import RunRecording, get_solver, record_run, solve
+from repro.engine import JSONStore, MemoryStore, instance_key, recording_key
 from repro.engine.recorder import _CountingRandom
 from repro.exceptions import ReproError, SolverError
 

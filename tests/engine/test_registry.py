@@ -1,6 +1,6 @@
 """Registry coverage and round-trip equivalence with direct solver calls.
 
-Every registered solver is exercised through ``engine.solve`` on the
+Every registered solver is exercised through ``api.solve`` on the
 paper's Figure 3/4 and Figure 5 reference instances (when its platform
 domain admits them, with synthetic stand-ins for the Fully Homogeneous /
 failure-homogeneous domains) and must reproduce its direct call exactly.
@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from repro import engine
+from repro import api, engine
 from repro.algorithms import bicriteria, heuristics, mono
 from repro.engine.registry import Objective, get_solver
 from repro.exceptions import SolverError
@@ -36,7 +36,7 @@ PINNED_OPTS = {"one-to-one-local-search": {"seed": 7}}
 
 
 def _cases():
-    for name in engine.solver_names():
+    for name in api.solver_names():
         spec = get_solver(name)
         for label, app, plat, latency_bound in INSTANCES:
             if not spec.supports(plat):
@@ -60,10 +60,10 @@ def test_round_trip_matches_direct_call(name, app, plat, threshold):
     opts = PINNED_OPTS.get(name, {})
     if spec.needs_threshold:
         direct = spec.func(app, plat, threshold, **opts)
-        via = engine.solve(name, app, plat, threshold=threshold, **opts)
+        via = api.solve(name, app, plat, threshold=threshold, **opts)
     else:
         direct = spec.func(app, plat, **opts)
-        via = engine.solve(name, app, plat, **opts)
+        via = api.solve(name, app, plat, **opts)
     assert via.solver == direct.solver
     assert via.latency == direct.latency
     assert via.mapping == direct.mapping
@@ -110,20 +110,20 @@ def test_registry_covers_every_public_solver():
         heuristics.anneal_minimize_fp,
         heuristics.anneal_minimize_latency,
     }
-    registered = {get_solver(n).func for n in engine.solver_names()}
+    registered = {get_solver(n).func for n in api.solver_names()}
     missing = {f.__name__ for f in expected - registered}
     assert not missing, f"unregistered solvers: {sorted(missing)}"
 
 
 def test_specs_filterable_by_objective_and_platform():
-    min_fp = list(engine.solver_specs(objective=Objective.MIN_FP))
+    min_fp = list(api.solver_specs(objective=Objective.MIN_FP))
     assert {"alg1", "alg3", "theorem1-min-fp"} <= {s.name for s in min_fp}
-    on_fig34 = list(engine.solver_specs(platform=FIG34.platform))
+    on_fig34 = list(api.solver_specs(platform=FIG34.platform))
     names = {s.name for s in on_fig34}
     assert "alg1" not in names  # fully heterogeneous platform
     assert "theorem2-min-latency" not in names
     assert "exhaustive-min-fp" in names
-    exact = {s.name for s in engine.solver_specs(exact=True)}
+    exact = {s.name for s in api.solver_specs(exact=True)}
     assert "greedy-min-fp" not in exact
     assert "bnb-min-fp" in exact
 
@@ -131,15 +131,15 @@ def test_specs_filterable_by_objective_and_platform():
 class TestDispatchErrors:
     def test_unknown_solver(self):
         with pytest.raises(SolverError, match="unknown solver"):
-            engine.solve("no-such-solver", FIG34.application, FIG34.platform)
+            api.solve("no-such-solver", FIG34.application, FIG34.platform)
 
     def test_missing_threshold(self):
         with pytest.raises(SolverError, match="requires a latency threshold"):
-            engine.solve("greedy-min-fp", FIG5.application, FIG5.platform)
+            api.solve("greedy-min-fp", FIG5.application, FIG5.platform)
 
     def test_superfluous_threshold(self):
         with pytest.raises(SolverError, match="does not take a threshold"):
-            engine.solve(
+            api.solve(
                 "theorem1-min-fp",
                 FIG5.application,
                 FIG5.platform,
@@ -148,14 +148,14 @@ class TestDispatchErrors:
 
     def test_platform_outside_domain(self):
         with pytest.raises(SolverError, match="does not support"):
-            engine.solve(
+            api.solve(
                 "alg1", FIG34.application, FIG34.platform, threshold=10.0
             )
 
     def test_failure_heterogeneous_rejected_for_alg3(self):
         # fig5 is Communication Homogeneous but failure heterogeneous
         with pytest.raises(SolverError, match="does not support"):
-            engine.solve(
+            api.solve(
                 "alg3", FIG5.application, FIG5.platform, threshold=22.0
             )
 

@@ -6,14 +6,8 @@ import dataclasses
 
 import pytest
 
-from repro.engine import (
-    DEFAULT_IGNORE,
-    MemoryStore,
-    ReplayStatus,
-    diff_runs,
-    record_run,
-    replay_run,
-)
+from repro.api import diff_runs, record_run, replay_run
+from repro.engine import DEFAULT_IGNORE, MemoryStore, ReplayStatus
 from repro.exceptions import ReproError
 
 from tests.helpers import make_instance

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro import engine
+from repro import api
 from repro.engine.store import (
     JSONStore,
     MemoryStore,
@@ -180,14 +180,14 @@ class TestDedupReuse:
         counter = tmp_path / "count"
         thresholds = [30.0, 50.0, 80.0, 120.0]
         with register_synthetic("counting-min-fp", counting_min_fp):
-            with engine.open_store(tmp_path / "store.json") as store:
-                cold = engine.threshold_sweep(
+            with api.open_store(tmp_path / "store.json") as store:
+                cold = api.threshold_sweep(
                     "counting-min-fp", app, plat, thresholds,
                     store=store, opts={"counter_file": str(counter)},
                 )
             assert invocations(counter) == len(thresholds)
-            with engine.open_store(tmp_path / "store.json") as store:
-                warm = engine.threshold_sweep(
+            with api.open_store(tmp_path / "store.json") as store:
+                warm = api.threshold_sweep(
                     "counting-min-fp", app, plat, thresholds,
                     store=store, opts={"counter_file": str(counter)},
                 )
@@ -210,14 +210,14 @@ class TestDedupReuse:
     def test_infeasible_outcomes_are_cached_too(self, instance):
         app, plat = instance
         store = MemoryStore()
-        cold = engine.threshold_sweep(
+        cold = api.threshold_sweep(
             "greedy-min-fp", app, plat, [1e-9], store=store
         )
-        warm = engine.threshold_sweep(
+        warm = api.threshold_sweep(
             "greedy-min-fp", app, plat, [1e-9], store=store
         )
-        assert cold[0].error_kind is engine.ErrorKind.INFEASIBLE
-        assert warm[0].error_kind is engine.ErrorKind.INFEASIBLE
+        assert cold[0].error_kind is api.ErrorKind.INFEASIBLE
+        assert warm[0].error_kind is api.ErrorKind.INFEASIBLE
         assert warm[0].cached
         assert warm[0].error == cold[0].error
 
@@ -225,12 +225,12 @@ class TestDedupReuse:
         app, plat = instance
         store = MemoryStore()
         with register_synthetic("crashy-store", always_crash_min_fp):
-            engine.run_batch(
-                [engine.BatchTask("crashy-store", app, plat, threshold=1.0)],
+            api.run_batch(
+                [api.BatchTask("crashy-store", app, plat, threshold=1.0)],
                 store=store,
             )
-            again = engine.run_batch(
-                [engine.BatchTask("crashy-store", app, plat, threshold=1.0)],
+            again = api.run_batch(
+                [api.BatchTask("crashy-store", app, plat, threshold=1.0)],
                 store=store,
             )
         assert store.stats.writes == 0
@@ -239,16 +239,16 @@ class TestDedupReuse:
     def test_unseeded_random_solver_bypasses_store(self, instance):
         app, plat = instance
         store = MemoryStore()
-        task = engine.BatchTask(
+        task = api.BatchTask(
             "local-search-min-fp", app, plat, threshold=80.0
         )
-        engine.run_batch([task], store=store)  # no base seed -> no key
+        api.run_batch([task], store=store)  # no base seed -> no key
         assert store.stats.lookups == 0
         assert store.stats.writes == 0
         # with a base seed the task is deterministic and cacheable
-        engine.run_batch([task], seed=0, store=store)
+        api.run_batch([task], seed=0, store=store)
         assert store.stats.writes == 1
-        warm = engine.run_batch([task], seed=0, store=store)
+        warm = api.run_batch([task], seed=0, store=store)
         assert warm[0].cached
 
 
@@ -281,8 +281,8 @@ class TestSolverVersionGuard:
     def _cold_run(self, instance):
         app, plat = instance
         store = MemoryStore()
-        task = engine.BatchTask("greedy-min-fp", app, plat, threshold=200.0)
-        (outcome,) = engine.run_batch([task], store=store)
+        task = api.BatchTask("greedy-min-fp", app, plat, threshold=200.0)
+        (outcome,) = api.run_batch([task], store=store)
         assert outcome.ok and not outcome.cached
         (key,) = store.keys()
         return store, task, key, outcome
@@ -300,7 +300,7 @@ class TestSolverVersionGuard:
         record["solver_version"] = 1  # simulate a stale entry
         store.put(key, record)
         with pytest.warns(UserWarning, match="version 1 but the registered"):
-            (again,) = engine.run_batch([task], store=store)
+            (again,) = api.run_batch([task], store=store)
         # the stale entry was ignored: re-solved, not served from cache
         assert again.ok and not again.cached
         assert again.result.mapping == cold.result.mapping
@@ -316,7 +316,7 @@ class TestSolverVersionGuard:
         record = dict(store.get(key))
         del record["solver_version"]  # PR 2/3 stores predate the field
         store.put(key, record)
-        (again,) = engine.run_batch([task], store=store)
+        (again,) = api.run_batch([task], store=store)
         assert again.ok and again.cached
 
 
@@ -455,11 +455,11 @@ class TestEvictionAndPrune:
         app, plat = instance
         store = MemoryStore(max_records=2)
         thresholds = [30.0, 45.0, 60.0]
-        engine.threshold_sweep(
+        api.threshold_sweep(
             "greedy-min-fp", app, plat, thresholds, store=store
         )
         assert len(store) == 2  # the oldest grid point was evicted
-        again = engine.threshold_sweep(
+        again = api.threshold_sweep(
             "greedy-min-fp", app, plat, thresholds, store=store
         )
         cached = [o.cached for o in again]

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import engine
-from repro.engine import BatchPolicy, BatchTask, ErrorKind, iter_batch
+from repro import api, engine
+from repro.api import BatchPolicy, BatchTask, ErrorKind, iter_batch
 
 from tests.engine.synthetic import (
     counting_min_fp,
@@ -72,7 +72,7 @@ class TestStreaming:
                 tag="seeded",
             )
         ]
-        batched = engine.run_batch(tasks, seed=5)
+        batched = api.run_batch(tasks, seed=5)
         streamed = list(iter_batch(tasks, seed=5))
         streamed_parallel = list(iter_batch(tasks, workers=3, seed=5))
         assert [_outcome_key(o) for o in batched] == [
@@ -105,7 +105,7 @@ class TestStreaming:
             BatchTask("greedy-min-fp", app, plat, threshold=t)
             for t in (20.0, 60.0)
         ]
-        engine.run_batch(warm_tasks, store=store)
+        api.run_batch(warm_tasks, store=store)
         mixed = [
             BatchTask("greedy-min-fp", app, plat, threshold=t)
             for t in (20.0, 40.0, 60.0, 80.0)
@@ -133,7 +133,7 @@ class TestFaultIsolation:
                 ),
                 BatchTask("crashy-iso", app, plat, threshold=50.0),
             ]
-            outcomes = engine.run_batch(tasks, workers=workers)
+            outcomes = api.run_batch(tasks, workers=workers)
         assert outcomes[0].ok and outcomes[2].ok
         crash = outcomes[1]
         assert not crash.ok
@@ -154,7 +154,7 @@ class TestFaultIsolation:
             ),
         ]
         for workers in (None, 2):
-            outcomes = engine.run_batch(tasks, workers=workers)
+            outcomes = api.run_batch(tasks, workers=workers)
             assert outcomes[0].ok
             assert outcomes[1].error_kind is ErrorKind.CRASH
             assert "TypeError" in outcomes[1].error
@@ -180,7 +180,7 @@ class TestFaultIsolation:
                 BatchTask("sleepy-mix", app, plat, threshold=50.0),
                 BatchTask("greedy-min-fp", app, plat, threshold=1e-9),
             ]
-            outcomes = engine.run_batch(tasks, workers=workers, policy=policy)
+            outcomes = api.run_batch(tasks, workers=workers, policy=policy)
         kinds = [o.error_kind for o in outcomes]
         assert kinds == [
             None,
@@ -194,7 +194,7 @@ class TestFaultIsolation:
     def test_error_kinds_for_structural_failures(self, instance):
         app, plat = instance
         # out-of-domain dispatch: alg1 needs Fully Homogeneous
-        outcomes = engine.run_batch(
+        outcomes = api.run_batch(
             [BatchTask("alg1", app, plat, threshold=50.0)]
         )
         assert outcomes[0].error_kind is ErrorKind.UNSUPPORTED
@@ -206,7 +206,7 @@ class TestRetries:
         scratch = tmp_path / "flaky"
         policy = BatchPolicy(retries=2)
         with register_synthetic("flaky-ok", flaky_min_fp):
-            outcomes = engine.run_batch(
+            outcomes = api.run_batch(
                 [
                     BatchTask(
                         "flaky-ok",
@@ -227,7 +227,7 @@ class TestRetries:
         scratch = tmp_path / "flaky"
         policy = BatchPolicy(retries=1)
         with register_synthetic("flaky-bad", flaky_min_fp):
-            outcomes = engine.run_batch(
+            outcomes = api.run_batch(
                 [
                     BatchTask(
                         "flaky-bad",
@@ -249,7 +249,7 @@ class TestRetries:
         policy = BatchPolicy(
             retries=3, retry_on=frozenset(ErrorKind)
         )
-        outcomes = engine.run_batch(
+        outcomes = api.run_batch(
             [BatchTask("greedy-min-fp", app, plat, threshold=1e-9)],
             policy=policy,
         )
@@ -263,7 +263,7 @@ class TestTimeouts:
         app, plat = instance
         policy = BatchPolicy(timeout=0.2)
         with register_synthetic("sleepy-to", sleepy_min_fp):
-            outcomes = engine.run_batch(
+            outcomes = api.run_batch(
                 [
                     BatchTask(
                         "sleepy-to", app, plat, threshold=50.0,
@@ -282,7 +282,7 @@ class TestTimeouts:
         app, plat = instance
         policy = BatchPolicy(retries=1, timeout=0.2)
         with register_synthetic("sleepy-rt", sleepy_min_fp):
-            outcomes = engine.run_batch(
+            outcomes = api.run_batch(
                 [
                     BatchTask(
                         "sleepy-rt", app, plat, threshold=50.0,

@@ -4,14 +4,8 @@ import pytest
 
 from repro.analysis import sweep_frontier
 from repro.analysis.frontier import latency_grid
-from repro.engine import (
-    MemoryStore,
-    SweepPlan,
-    SweepSolver,
-    run_sweep,
-    solve,
-    threshold_sweep,
-)
+from repro.api import SweepPlan, SweepSolver, run_sweep, solve, threshold_sweep
+from repro.engine import MemoryStore
 from repro.engine.policy import ErrorKind
 from repro.engine.sweeps import SweepInstance
 from repro.exceptions import (

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import os
 
-from repro.engine import Objective, SolverSpec, register
+from repro.api import Objective, SolverSpec
+from repro.engine import register
 
 from tests.engine.synthetic import gated_min_fp
 

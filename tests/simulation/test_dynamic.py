@@ -1,0 +1,529 @@
+"""Dynamic-platform runtime: determinism, policies, spec dialect."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    iter_simulation,
+    load_spec,
+    resolve_mapping,
+    run_simulation,
+    sim_from_spec,
+    sim_to_spec,
+)
+from repro.core.metrics import failure_probability, latency
+from repro.core.topology import IN, OUT
+from repro.engine.registry import solve
+from repro.engine.sweeps import SweepInstance, SweepPlan
+from repro.exceptions import ReproError, SimulationError
+from repro.simulation.dynamic import (
+    FAILURE_MODELS,
+    EpochReport,
+    PlatformEvent,
+    SimulationResult,
+    SimulationSpec,
+    make_arrivals,
+    make_timeline,
+    percentile,
+    subplatform,
+)
+from repro.simulation.failures import no_failures
+from repro.simulation.pipeline import realized_latency
+from repro.workloads.scenarios import make_scenario
+
+from tests.helpers import make_instance
+
+
+def base_spec(**overrides):
+    spec = {
+        "schema": 1,
+        "kind": "simulation",
+        "instance": {
+            "scenario": "failure-mix",
+            "seed": 3,
+            "params": {"stages": 6},
+        },
+        "solver": "greedy-min-fp",
+        "threshold": 80.0,
+        "policy": "resolve-warm",
+        "trace": {"kind": "uniform", "items": 20, "rate": 0.05},
+        "failures": {"events": [[60.0, "kill", 2]]},
+        "seed": 7,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def stripped(result: SimulationResult) -> dict:
+    """Result dict minus wall-clock (the only non-deterministic field)."""
+    d = result.to_dict()
+    d.pop("resolve_seconds")
+    return d
+
+
+class TestSpecDialect:
+    def test_round_trip_is_stable(self):
+        spec = sim_from_spec(base_spec())
+        wire = sim_to_spec(spec)
+        assert wire["schema"] == 1
+        assert wire["kind"] == "simulation"
+        assert sim_to_spec(sim_from_spec(wire)) == wire
+
+    def test_unknown_keys_rejected_when_schema_declared(self):
+        with pytest.raises(ReproError, match="'polcy'"):
+            sim_from_spec(base_spec(polcy="none"))
+
+    def test_lenient_without_schema(self):
+        spec = base_spec(extra="ignored")
+        del spec["schema"]
+        assert sim_from_spec(spec).policy == "resolve-warm"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            sim_from_spec(base_spec(kind="sweep"))
+
+    @pytest.mark.parametrize("schema", [0, 99, "1", 1.0, True])
+    def test_bad_schema_rejected(self, schema):
+        with pytest.raises(ReproError):
+            sim_from_spec(base_spec(schema=schema))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError, match="policy"):
+            sim_from_spec(base_spec(policy="pray"))
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ReproError):
+            sim_from_spec(base_spec(solver="no-such-solver"))
+
+    def test_threshold_required_by_threshold_solvers(self):
+        spec = base_spec()
+        del spec["threshold"]
+        with pytest.raises(ReproError, match="threshold"):
+            sim_from_spec(spec)
+
+    def test_unknown_failure_model_lists_names(self):
+        with pytest.raises(ReproError) as err:
+            run_simulation(base_spec(failures={"model": "gamma-ray"}))
+        for name in FAILURE_MODELS:
+            assert name in str(err.value)
+
+    def test_unknown_trace_key_rejected(self):
+        with pytest.raises(ReproError, match="'burstsize'"):
+            run_simulation(base_spec(trace={"kind": "burst", "burstsize": 3}))
+
+
+class TestLoadSpecDispatch:
+    def test_mapping_dispatch_by_kind(self):
+        assert isinstance(load_spec(base_spec()), SimulationSpec)
+        sweep = {
+            "schema": 1,
+            "kind": "sweep",
+            "instances": [{"scenario": "failure-mix", "seed": 1}],
+            "solvers": ["greedy-min-fp"],
+            "thresholds": [50.0],
+        }
+        assert isinstance(load_spec(sweep), SweepPlan)
+
+    def test_legacy_sweep_without_kind(self):
+        sweep = {
+            "instances": [{"scenario": "failure-mix", "seed": 1}],
+            "solvers": ["greedy-min-fp"],
+            "thresholds": [50.0],
+        }
+        assert isinstance(load_spec(sweep), SweepPlan)
+
+    def test_path_dispatch(self, tmp_path):
+        path = tmp_path / "sim.json"
+        path.write_text(json.dumps(base_spec()))
+        assert isinstance(load_spec(path), SimulationSpec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            load_spec({"kind": "mystery"})
+
+
+class TestTimelines:
+    def test_explicit_events_sorted_and_validated(self):
+        app, plat = make_instance("comm-homogeneous", n=4, m=4, seed=0)
+        events = make_timeline(
+            plat,
+            {"events": [[5.0, "revive", 2], [1.0, "kill", 2]]},
+            seed=0,
+            horizon=10.0,
+        )
+        assert [e.time for e in events] == [1.0, 5.0]
+        with pytest.raises(ReproError, match="outside"):
+            make_timeline(
+                plat, {"events": [[1.0, "kill", 99]]}, seed=0, horizon=10.0
+            )
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SimulationError, match="kill"):
+            PlatformEvent(1.0, "explode", 1)
+
+    @pytest.mark.parametrize("model", sorted(FAILURE_MODELS))
+    def test_models_are_deterministic_per_seed(self, model):
+        app, plat = make_instance("comm-homogeneous", n=4, m=6, seed=1)
+        a = make_timeline(plat, {"model": model}, seed=5, horizon=100.0)
+        b = make_timeline(plat, {"model": model}, seed=5, horizon=100.0)
+        c = make_timeline(plat, {"model": model}, seed=6, horizon=100.0)
+        assert a == b
+        assert all(0 <= e.time < 100.0 for e in a)
+        # different seeds should (for these fp ranges) differ
+        assert a != c
+
+    def test_certain_failure_kills_at_time_zero(self):
+        from repro.core.platform import Platform
+
+        plat = Platform.communication_homogeneous(
+            [1.0, 1.0, 1.0],
+            bandwidth=1.0,
+            failure_probabilities=[1.0, 1.0, 1.0],
+        )
+        events = make_timeline(plat, {"model": "iid"}, seed=0, horizon=50.0)
+        assert {(e.time, e.action) for e in events} == {(0.0, "kill")}
+
+    def test_tiered_sizes_must_sum(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=4, seed=2)
+        with pytest.raises(SimulationError, match="sum"):
+            make_timeline(
+                plat,
+                {"model": "tiered", "params": {"tier_sizes": [1, 1, 1]}},
+                seed=0,
+                horizon=50.0,
+            )
+
+
+class TestArrivals:
+    def test_uniform(self):
+        arr = make_arrivals({"kind": "uniform", "items": 4, "rate": 2.0}, 0)
+        assert arr == (0.0, 0.5, 1.0, 1.5)
+
+    def test_burst_groups(self):
+        arr = make_arrivals(
+            {"kind": "burst", "items": 6, "rate": 1.0, "burst_size": 3}, 0
+        )
+        assert arr == (0.0, 0.0, 0.0, 3.0, 3.0, 3.0)
+
+    def test_poisson_deterministic_per_seed(self):
+        a = make_arrivals({"kind": "poisson", "items": 10, "rate": 1.0}, 3)
+        b = make_arrivals({"kind": "poisson", "items": 10, "rate": 1.0}, 3)
+        assert a == b
+        assert len(a) == 10 and all(x >= 0 for x in a)
+
+    def test_explicit_arrivals_sorted(self):
+        assert make_arrivals({"arrivals": [3.0, 1.0]}, 0) == (1.0, 3.0)
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            {"kind": "martian"},
+            {"items": 0},
+            {"rate": 0.0},
+            {"arrivals": []},
+            {"kind": "burst", "burst_size": 0},
+        ],
+    )
+    def test_bad_traces_rejected(self, trace):
+        with pytest.raises(ReproError):
+            make_arrivals(trace, 0)
+
+
+class TestSubplatform:
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    def test_preserves_speeds_fps_and_links(self, kind):
+        app, plat = make_instance(kind, n=4, m=5, seed=4)
+        live = [2, 4, 5]
+        sub, index_map = subplatform(plat, live)
+        assert sub.size == 3
+        assert index_map == {2: 1, 4: 2, 5: 3}
+        for old, new in index_map.items():
+            assert sub.speed(new) == plat.speed(old)
+            assert sub.failure_probability(new) == plat.failure_probability(
+                old
+            )
+            assert sub.topology.bandwidth(IN, new) == plat.topology.bandwidth(
+                IN, old
+            )
+            assert sub.topology.bandwidth(new, OUT) == plat.topology.bandwidth(
+                old, OUT
+            )
+        assert sub.topology.bandwidth(1, 3) == plat.topology.bandwidth(2, 5)
+
+    def test_empty_live_rejected(self):
+        app, plat = make_instance("comm-homogeneous", n=3, m=3, seed=0)
+        with pytest.raises(ReproError):
+            subplatform(plat, [])
+
+
+class TestDeterminism:
+    def test_same_spec_same_seed_byte_identical(self):
+        spec = base_spec(
+            failures={"model": "iid", "params": {"repair": 50.0}}
+        )
+        a = run_simulation(spec)
+        b = run_simulation(spec)
+        assert json.dumps(stripped(a), sort_keys=True) == json.dumps(
+            stripped(b), sort_keys=True
+        )
+
+    def test_different_seed_differs(self):
+        spec = base_spec(
+            instance={"scenario": "churn-pool", "seed": 2},
+            failures={"model": "iid"},
+            trace={"kind": "poisson", "items": 30, "rate": 0.1},
+        )
+        a = run_simulation(spec)
+        b = run_simulation({**spec, "seed": spec["seed"] + 1})
+        assert [e["t"] for e in a.event_log] != [
+            e["t"] for e in b.event_log
+        ]
+
+    def test_serial_equals_streamed(self):
+        spec = base_spec(
+            failures={
+                "events": [[40.0, "kill", 2], [70.0, "revive", 2]]
+            }
+        )
+        serial = run_simulation(spec)
+        events = list(iter_simulation(spec))
+        *epochs, final = events
+        assert all(isinstance(e, EpochReport) for e in epochs)
+        assert isinstance(final, SimulationResult)
+        assert [e.to_dict() for e in epochs] == [
+            e.to_dict() for e in serial.epochs
+        ]
+        assert json.dumps(stripped(final), sort_keys=True) == json.dumps(
+            stripped(serial), sort_keys=True
+        )
+
+    def test_epochs_stream_in_time_order(self):
+        spec = base_spec(
+            failures={"model": "correlated-burst", "params": {"repair": 30.0}},
+            horizon=300.0,
+        )
+        epochs = [
+            e for e in iter_simulation(spec) if isinstance(e, EpochReport)
+        ]
+        assert [e.index for e in epochs] == list(range(len(epochs)))
+        assert all(
+            epochs[i].end <= epochs[i + 1].end + 1e-12
+            for i in range(len(epochs) - 1)
+        )
+
+
+class TestRealizedSemantics:
+    def test_single_item_matches_realized_latency(self):
+        """A lone item through an idle pipeline realizes exactly the
+        FIRST_SURVIVOR arithmetic of the static replay."""
+        for scenario_seed in (1, 5, 9):
+            spec = base_spec(
+                instance={
+                    "scenario": "edge-hub-cloud",
+                    "seed": scenario_seed,
+                    "params": {"stages": 6},
+                },
+                threshold=120.0,
+                policy="none",
+                trace={"arrivals": [0.0]},
+                failures={"events": []},
+            )
+            res = run_simulation(spec)
+            app, plat = make_scenario(
+                "edge-hub-cloud", seed=scenario_seed, params={"stages": 6}
+            )
+            mapping = solve("greedy-min-fp", app, plat, 120.0).mapping
+            ref = realized_latency(
+                mapping, app, plat, no_failures(plat)
+            )
+            assert res.items_completed == 1
+            assert res.latency_max == ref.latency
+
+    def test_quiet_run_completes_everything(self):
+        res = run_simulation(base_spec(failures={"events": []}))
+        assert res.items_lost == 0
+        assert res.items_disrupted == 0
+        assert res.resolves == 0
+        assert res.realized_success == 1.0
+        assert len(res.epochs) == 1
+        assert res.epochs[0].trigger == "initial"
+
+    def test_kill_unused_processor_is_invisible(self):
+        """Killing a processor outside the mapping never disrupts items
+        or triggers a re-solve."""
+        quiet = run_simulation(base_spec(failures={"events": []}))
+        used = set()
+        for alloc in quiet.epochs[0].mapping["allocations"]:
+            used.update(alloc)
+        unused = sorted(set(range(1, 7)) - used)
+        if not unused:
+            pytest.skip("mapping uses every processor")
+        res = run_simulation(
+            base_spec(failures={"events": [[30.0, "kill", unused[0]]]})
+        )
+        assert res.resolves == 0
+        assert res.items_disrupted == 0
+        assert len(res.epochs) == 1
+
+    def test_total_kill_under_none_loses_items(self):
+        spec = base_spec(
+            policy="none",
+            failures={
+                "events": [[60.0, "kill", u] for u in range(1, 7)]
+            },
+            horizon=500.0,
+        )
+        res = run_simulation(spec)
+        assert res.items_lost > 0
+        assert res.epochs[-1].down
+        assert math.isinf(res.epochs[-1].analytic_latency)
+        assert res.epochs[-1].analytic_fp == 1.0
+        assert res.realized_success < 1.0
+
+    def test_revive_recovers_resolve_policy(self):
+        kills = [[60.0, "kill", u] for u in range(1, 7)]
+        spec = base_spec(
+            policy="resolve-warm",
+            failures={"events": kills + [[100.0, "revive", 3]]},
+            horizon=800.0,
+        )
+        res = run_simulation(spec)
+        assert res.items_lost == 0
+        assert any(e.down for e in res.epochs)
+        assert not res.epochs[-1].down
+        assert res.resolves >= 2  # down-transition + recovery
+
+    def test_disruption_counted_for_aborted_service(self):
+        spec = base_spec(
+            trace={"arrivals": [0.0]},
+            failures={"events": [[1.0, "kill", u] for u in range(1, 6)]},
+            policy="resolve-warm",
+            horizon=300.0,
+        )
+        res = run_simulation(spec)
+        # the lone item either finished before the kills or was disrupted
+        assert res.items_completed == 1
+        assert res.disruption_events >= 0
+
+    def test_result_json_safe(self):
+        spec = base_spec(
+            policy="none",
+            trace={"arrivals": [0.0]},
+            failures={"events": [[0.5, "kill", u] for u in range(1, 7)]},
+            horizon=50.0,
+        )
+        payload = json.dumps(run_simulation(spec).to_dict())
+        parsed = json.loads(payload)  # strict JSON: no NaN/Infinity
+        assert parsed["items_lost"] == 1
+        assert parsed["latency_p50"] is None
+
+
+class TestWarmNeverWorse:
+    @given(
+        scenario_seed=st.integers(min_value=0, max_value=40),
+        kill_count=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_resolve_warm_mapping_at_least_as_good_as_none(
+        self, scenario_seed, kill_count
+    ):
+        """After any failure, the warm re-solve is never worse (on the
+        solver's objective, fp-at-threshold) than keeping the surviving
+        mapping — the warm start seeds the solver with exactly that
+        mapping."""
+        app, plat = make_scenario("churn-pool", seed=scenario_seed)
+        threshold = 70.0
+        try:
+            current = solve("greedy-min-fp", app, plat, threshold).mapping
+        except ReproError:
+            return  # no initial mapping at this threshold: vacuous
+        live = sorted(
+            set(range(1, plat.size + 1))
+            - set(range(1, kill_count + 1))
+        )
+        common = dict(
+            solver="greedy-min-fp",
+            threshold=threshold,
+            current=current,
+            seed=scenario_seed,
+        )
+        kept = resolve_mapping(
+            app, plat, live, policy="none", **common
+        )
+        warm = resolve_mapping(
+            app, plat, live, policy="resolve-warm", **common
+        )
+        if kept.mapping is None:
+            return  # 'none' is down; warm is trivially no worse
+        assert warm.mapping is not None
+        assert warm.failure_probability <= kept.failure_probability
+        assert warm.latency <= threshold + 1e-9
+
+    def test_warm_outcome_reports_seeding(self):
+        app, plat = make_scenario("churn-pool", seed=1)
+        current = solve("greedy-min-fp", app, plat, 70.0).mapping
+        live = list(range(2, plat.size + 1))
+        outcome = resolve_mapping(
+            app,
+            plat,
+            live,
+            solver="greedy-min-fp",
+            threshold=70.0,
+            policy="resolve-warm",
+            current=current,
+            seed=0,
+        )
+        assert outcome.ok
+        assert outcome.warm_seeded
+        assert not outcome.fell_back
+        # analytic numbers are computed on the original platform
+        assert outcome.latency == latency(outcome.mapping, app, plat)
+        assert outcome.failure_probability == failure_probability(
+            outcome.mapping, plat
+        )
+
+    def test_none_policy_restricts_current(self):
+        app, plat = make_scenario("churn-pool", seed=1)
+        current = solve("greedy-min-fp", app, plat, 70.0).mapping
+        live = list(range(2, plat.size + 1))
+        outcome = resolve_mapping(
+            app,
+            plat,
+            live,
+            solver="greedy-min-fp",
+            threshold=70.0,
+            policy="none",
+            current=current,
+        )
+        if outcome.mapping is not None:
+            for alloc in outcome.mapping.allocations:
+                assert 1 not in alloc
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(xs, 50) == 2.0
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 4.0
+        assert percentile([5.0], 99) == 5.0
+        assert math.isnan(percentile([], 50))
+
+
+class TestSpecObjects:
+    def test_from_spec_builds_instance_and_solver(self):
+        spec = sim_from_spec(base_spec())
+        assert isinstance(spec.instance, SweepInstance)
+        assert spec.solver.name == "greedy-min-fp"
+        assert spec.threshold == 80.0
+
+    def test_accepts_spec_object_directly(self):
+        spec = sim_from_spec(base_spec(trace={"arrivals": [0.0]}))
+        res = run_simulation(spec)
+        assert res.spec is spec

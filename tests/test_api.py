@@ -111,23 +111,85 @@ class TestStableFacade:
     def test_facade_names_are_engine_objects(self):
         """The facade re-exports, it does not fork: identity must hold
         so isinstance checks work across both import paths."""
+        import warnings
+
         from repro import api, engine
 
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in (
+                "solve",
+                "run_batch",
+                "iter_batch",
+                "run_sweep",
+                "iter_sweep",
+                "open_store",
+                "record_run",
+                "replay_run",
+                "BatchTask",
+                "BatchPolicy",
+                "ErrorKind",
+                "SweepPlan",
+            ):
+                assert getattr(api, name) is getattr(engine, name), name
+
+    def test_facade_names_are_simulation_objects(self):
+        """Same identity guarantee for the simulation surface."""
+        from repro import api, simulation
+        from repro.simulation import dynamic
+
         for name in (
-            "solve",
-            "run_batch",
-            "iter_batch",
-            "run_sweep",
-            "iter_sweep",
-            "open_store",
-            "record_run",
-            "replay_run",
-            "BatchTask",
-            "BatchPolicy",
-            "ErrorKind",
-            "SweepPlan",
+            "run_simulation",
+            "iter_simulation",
+            "resolve_mapping",
+            "SimulationSpec",
+            "SimulationResult",
+            "EpochReport",
+            "PlatformEvent",
+            "RemapOutcome",
         ):
-            assert getattr(api, name) is getattr(engine, name), name
+            assert getattr(api, name) is getattr(dynamic, name), name
+            assert getattr(api, name) is getattr(simulation, name), name
+        for name in (
+            "simulate_stream",
+            "realized_latency",
+            "check_one_port",
+            "validate_batch_fp",
+            "estimate_failure_probability",
+        ):
+            assert getattr(api, name) is getattr(simulation, name), name
+
+    def test_package_level_engine_access_warns(self):
+        """The old ``repro.engine.<name>`` paths for facade-covered
+        names keep working but emit a DeprecationWarning pointing at
+        ``repro.api``; engine-internal names stay warning-free."""
+        import warnings
+
+        from repro import engine
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.solve
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.api.solve" in str(w.message)
+            for w in caught
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.MemoryStore
+            engine.register
+            engine.GraphNode
+        assert not caught
+
+    def test_deep_module_paths_stay_warning_free(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.engine.batch import run_batch  # noqa: F401
+            from repro.engine.registry import solve  # noqa: F401
+            from repro.engine.sweeps import SweepPlan  # noqa: F401
 
     def test_plan_spec_round_trip_helpers(self):
         from repro import api
@@ -140,7 +202,45 @@ class TestStableFacade:
         plan = api.plan_from_spec(spec)
         wire = api.plan_to_spec(plan)
         assert wire["schema"] == api.SCHEMA_VERSION
+        assert wire["kind"] == "sweep"
         assert api.plan_to_spec(api.plan_from_spec(wire)) == wire
+
+    def test_sim_spec_round_trip_helpers(self):
+        from repro import api
+
+        spec = {
+            "instance": {"scenario": "failure-mix", "seed": 1},
+            "solver": "greedy-min-fp",
+            "threshold": 50.0,
+        }
+        sim = api.sim_from_spec(spec)
+        wire = api.sim_to_spec(sim)
+        assert wire["schema"] == api.SCHEMA_VERSION
+        assert wire["kind"] == "simulation"
+        assert api.sim_to_spec(api.sim_from_spec(wire)) == wire
+
+    def test_load_spec_dispatches_both_kinds(self, tmp_path):
+        import json
+
+        from repro import api
+
+        sweep = {
+            "instances": [{"scenario": "failure-mix", "seed": 1}],
+            "solvers": ["greedy-min-fp"],
+            "thresholds": [50.0],
+        }
+        sim = {
+            "kind": "simulation",
+            "instance": {"scenario": "failure-mix", "seed": 1},
+            "solver": "greedy-min-fp",
+            "threshold": 50.0,
+        }
+        assert isinstance(api.load_spec(sweep), api.SweepPlan)
+        assert isinstance(api.load_spec(sim), api.SimulationSpec)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(sim))
+        assert isinstance(api.load_spec(path), api.SimulationSpec)
+        assert isinstance(api.load_spec(str(path)), api.SimulationSpec)
 
     def test_solve_through_facade(self):
         from repro import api
@@ -151,6 +251,12 @@ class TestStableFacade:
         assert result.latency <= 60.0
 
     def test_deep_import_paths_keep_working(self):
-        from repro.engine import run_sweep  # noqa: F401
-        from repro.engine.sweeps import SweepPlan  # noqa: F401
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.engine import run_sweep  # noqa: F401
         from repro.engine.batch import run_batch  # noqa: F401
+        from repro.engine.sweeps import SweepPlan  # noqa: F401
+        from repro.simulation import run_simulation  # noqa: F401
+        from repro.simulation.dynamic import iter_simulation  # noqa: F401

@@ -44,43 +44,74 @@ class TestCommands:
         assert main(args) == 0
         assert "SolverResult" in capsys.readouterr().out
 
-    def test_simulate(self, capsys):
-        pytest.importorskip("numpy", exc_type=ImportError)
-        assert (
-            main(
-                [
-                    "simulate",
-                    "--stages",
-                    "2",
-                    "--processors",
-                    "3",
-                    "--datasets",
-                    "5",
-                ]
-            )
-            == 0
-        )
-        out = capsys.readouterr().out
-        assert "mean latency" in out
+class TestSimulateCommand:
+    SPEC = {
+        "schema": 1,
+        "kind": "simulation",
+        "instance": {"scenario": "failure-mix", "seed": 3, "params": {"stages": 6}},
+        "solver": "greedy-min-fp",
+        "threshold": 80.0,
+        "policy": "resolve-warm",
+        "trace": {"kind": "uniform", "items": 20, "rate": 0.05},
+        "failures": {"events": [{"time": 60.0, "action": "kill", "processor": 2}]},
+        "seed": 7,
+    }
 
-    def test_simulate_round_robin(self, capsys):
-        pytest.importorskip("numpy", exc_type=ImportError)
-        assert (
-            main(
-                [
-                    "simulate",
-                    "--stages",
-                    "2",
-                    "--processors",
-                    "3",
-                    "--datasets",
-                    "6",
-                    "--round-robin",
-                ]
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "sim.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_simulate_table(self, spec_path, capsys):
+        assert main(["simulate", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "re-solves:" in out
+        assert "latency" in out
+        assert "resolve-warm" in out
+
+    def test_simulate_json_reports_resolves(self, spec_path, capsys):
+        assert main(["simulate", spec_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resolves"] >= 1
+        assert payload["items_total"] == 20
+
+    def test_simulate_stream_emits_epoch_ndjson(self, spec_path, capsys):
+        assert main(["simulate", spec_path, "--stream"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        epochs = [json.loads(ln) for ln in lines if ln.startswith("{")]
+        assert epochs and all("epoch" in e for e in epochs)
+
+    def test_simulate_policy_and_seed_overrides(self, spec_path, capsys):
+        assert main(
+            ["simulate", spec_path, "--policy", "none", "--seed", "9", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resolves"] == 0
+
+    def test_simulate_rejects_sweep_spec(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "instances": [{"scenario": "failure-mix", "seed": 1}],
+                    "solvers": ["greedy-min-fp"],
+                    "thresholds": [50.0],
+                }
             )
-            == 0
         )
-        assert "throughput" in capsys.readouterr().out
+        assert main(["simulate", str(path)]) == 2
+        assert "sweep" in capsys.readouterr().err
+
+    def test_simulate_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({**self.SPEC, "polcy": "none"}))
+        assert main(["simulate", str(path)]) == 2
+        assert "polcy" in capsys.readouterr().err
+
+    def test_simulate_missing_file(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
 
 
 class TestBatchCommand:

@@ -110,7 +110,7 @@ class TestPipelineShapes:
 
 class TestSweepIntegration:
     def test_scenarios_plug_into_sweep_specs(self):
-        from repro.engine import SweepPlan, run_sweep
+        from repro.api import SweepPlan, run_sweep
 
         plan = SweepPlan.from_spec(
             {
