@@ -5,7 +5,11 @@ experiment table as ``{"title", "headers", "rows"}`` records.  This
 script extracts the *tracked* numeric metrics from both files — cells
 under a time-like header (lower is better) or a speedup/ratio-like
 header (higher is better) — and fails with a readable table when any
-metric regresses beyond the threshold (default 25%).
+metric regresses beyond the threshold (default 25%).  Numeric cells
+whose header implies no direction (e.g. ``rows/s`` counters, front
+sizes) are *informational*: they appear in the table with an ``info``
+status so a newly landed bench is visible from its first CI run, but
+they can never regress or fail the comparison.
 
 Usage::
 
@@ -63,7 +67,11 @@ def _parse_number(cell: str) -> float | None:
 
 
 def extract_metrics(report_path: Path) -> dict[tuple[str, str, str], tuple[float, int]]:
-    """``(table title, row label, header) -> (value, direction)``."""
+    """``(table title, row label, header) -> (value, direction)``.
+
+    Direction ``0`` metrics (no tracked token in header or label) are
+    kept so the comparison can display them informationally.
+    """
     records = json.loads(report_path.read_text(encoding="utf-8"))
     metrics: dict[tuple[str, str, str], tuple[float, int]] = {}
     for record in records:
@@ -72,8 +80,6 @@ def extract_metrics(report_path: Path) -> dict[tuple[str, str, str], tuple[float
             label = str(row[0])
             for header, cell in zip(headers[1:], row[1:]):
                 direction = _direction(str(header), label)
-                if direction == 0:
-                    continue
                 value = _parse_number(cell)
                 if value is None:
                     continue
@@ -101,31 +107,47 @@ def compare(
     rows: list[tuple[str, str, str, str, str]] = []
     regressions = 0
     missing = 0
+    tracked = 0
+    informational = 0
     for key in sorted(set(baseline) | set(current)):
         title, label, header = key
         name = f"{title} :: {label} [{header}]"
+        direction = (
+            baseline[key][1] if key in baseline else current[key][1]
+        )
+        if direction == 0:
+            informational += 1
+        else:
+            tracked += 1
         if key not in baseline:
             value, _ = current[key]
-            rows.append((name, "-", f"{value:g}", "new", "ok"))
+            status = "info" if direction == 0 else "ok"
+            rows.append((name, "-", f"{value:g}", "new", status))
             continue
         if key not in current:
             value, _ = baseline[key]
-            status = "ok" if allow_missing else "MISSING"
-            missing += not allow_missing
+            if direction == 0:
+                status = "info"
+            else:
+                status = "ok" if allow_missing else "MISSING"
+                missing += not allow_missing
             rows.append((name, f"{value:g}", "-", "missing", status))
             continue
-        base_value, direction = baseline[key]
+        base_value, _ = baseline[key]
         cur_value, _ = current[key]
         if base_value == 0:
             change = 0.0
         else:
             change = (cur_value - base_value) / abs(base_value)
-        # a regression is slower (time up) or less speedup (ratio down)
-        regressed = (
-            change > threshold if direction < 0 else change < -threshold
-        )
-        status = "REGRESSED" if regressed else "ok"
-        regressions += regressed
+        if direction == 0:
+            status = "info"
+        else:
+            # a regression is slower (time up) or less speedup (ratio down)
+            regressed = (
+                change > threshold if direction < 0 else change < -threshold
+            )
+            status = "REGRESSED" if regressed else "ok"
+            regressions += regressed
         rows.append(
             (
                 name,
@@ -146,7 +168,8 @@ def compare(
     for row in rows:
         print(format_row(row, widths))
     print(
-        f"\n{len(rows)} tracked metrics, {regressions} regressed, "
+        f"\n{tracked} tracked + {informational} informational metrics, "
+        f"{regressions} regressed, "
         f"{missing} missing from the fresh report "
         f"(threshold {threshold:.0%})"
     )

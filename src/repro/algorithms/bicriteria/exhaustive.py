@@ -155,6 +155,7 @@ def exhaustive_pareto_front(
     use_bulk: bool | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     bulk_shards: int | None = None,
+    bulk_backend: str | None = None,
 ) -> list[BiCriteriaPoint]:
     """The exact Pareto front of (latency, FP) over all interval mappings.
 
@@ -167,7 +168,8 @@ def exhaustive_pareto_front(
     array operations per block (bench E20).  ``bulk_shards`` splits
     each block's rows across threads
     (see :class:`repro.core.metrics_bulk.BulkEvaluator`), bit-identical
-    to the single-pass evaluation.
+    to the single-pass evaluation; ``bulk_backend`` picks the
+    evaluator's array engine.
     """
     if not _bulk_enabled(use_bulk):
         points = [
@@ -184,7 +186,11 @@ def exhaustive_pareto_front(
 
     _check_search_cap(application, platform, search_cap)
     evaluator = BulkEvaluator(
-        application, platform, one_port=one_port, shards=bulk_shards
+        application,
+        platform,
+        one_port=one_port,
+        shards=bulk_shards,
+        backend=bulk_backend,
     )
     cache = EvaluationCache(application, platform, one_port=one_port)
     survivors: list[BiCriteriaPoint] = []
@@ -289,6 +295,7 @@ def _best_bulk(
     search_cap: int = DEFAULT_SEARCH_CAP,
     block_size: int = DEFAULT_BLOCK_SIZE,
     bulk_shards: int | None = None,
+    bulk_backend: str | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Vectorized counterpart of :func:`_best` over mapping blocks.
@@ -300,7 +307,11 @@ def _best_bulk(
     """
     explored = _check_search_cap(application, platform, search_cap)
     evaluator = BulkEvaluator(
-        application, platform, one_port=one_port, shards=bulk_shards
+        application,
+        platform,
+        one_port=one_port,
+        shards=bulk_shards,
+        backend=bulk_backend,
     )
     best_key: tuple[float, float] | None = None
     best_mapping: IntervalMapping | None = None
@@ -350,6 +361,7 @@ def exhaustive_minimize_fp(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     bulk_shards: int | None = None,
+    bulk_backend: str | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum FP subject to ``latency <= latency_threshold``.
@@ -358,7 +370,9 @@ def exhaustive_minimize_fp(
     vectorized block path (``None`` = automatic when numpy is present);
     the winning mapping's reported objectives are always scalar-exact.
     ``bulk_shards`` splits each block's rows across threads on the bulk
-    path (bit-identical results; ignored on the scalar path).
+    path (bit-identical results; ignored on the scalar path) and
+    ``bulk_backend`` picks its array engine (``"auto"`` / ``"jit"`` /
+    ``"numpy"``, see :func:`repro.core.metrics_bulk.resolve_backend`).
     ``recorder`` (a :class:`repro.engine.recorder.RunRecorder`) captures
     every incumbent improvement (scalar path) or block-level winner
     confirmation (bulk path); the two vocabularies differ by design, so
@@ -375,6 +389,7 @@ def exhaustive_minimize_fp(
             one_port=one_port,
             search_cap=search_cap,
             bulk_shards=bulk_shards,
+            bulk_backend=bulk_backend,
             recorder=recorder,
         )
     return _best(
@@ -399,13 +414,15 @@ def exhaustive_minimize_latency(
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
     bulk_shards: int | None = None,
+    bulk_backend: str | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Exact minimum latency subject to ``FP <= fp_threshold``.
 
     Ties on latency are broken by lower FP.  ``use_bulk`` selects the
     vectorized block path (``None`` = automatic when numpy is present);
-    ``bulk_shards`` as in :func:`exhaustive_minimize_fp`.
+    ``bulk_shards``/``bulk_backend`` as in
+    :func:`exhaustive_minimize_fp`.
     ``recorder`` behaves as in :func:`exhaustive_minimize_fp`.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
@@ -419,6 +436,7 @@ def exhaustive_minimize_latency(
             one_port=one_port,
             search_cap=search_cap,
             bulk_shards=bulk_shards,
+            bulk_backend=bulk_backend,
             recorder=recorder,
         )
     return _best(
@@ -444,6 +462,7 @@ def exhaustive_sweep_min_fp(
     use_bulk: bool | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     bulk_shards: int | None = None,
+    bulk_backend: str | None = None,
 ) -> list[SolverResult | None]:
     """Answer many 'min FP s.t. latency <= L' queries in one enumeration.
 
@@ -454,7 +473,8 @@ def exhaustive_sweep_min_fp(
     grid instead of once per threshold, which is what makes dense
     frontier sweeps tractable (:func:`repro.analysis.frontier.sweep_frontier`
     routes exhaustive sweeps here).  ``bulk_shards`` splits each
-    block's rows across threads on the bulk path (bit-identical).
+    block's rows across threads on the bulk path (bit-identical);
+    ``bulk_backend`` picks the evaluator's array engine.
     """
     thresholds = list(thresholds)
     if not thresholds:
@@ -480,7 +500,11 @@ def exhaustive_sweep_min_fp(
 
     explored = _check_search_cap(application, platform, search_cap)
     evaluator = BulkEvaluator(
-        application, platform, one_port=one_port, shards=bulk_shards
+        application,
+        platform,
+        one_port=one_port,
+        shards=bulk_shards,
+        backend=bulk_backend,
     )
     bounds = [t + tolerance * max(1.0, abs(t)) for t in thresholds]
     best_keys: list[tuple[float, float] | None] = [None] * len(thresholds)

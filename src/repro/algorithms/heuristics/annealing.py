@@ -10,21 +10,35 @@ search's determinism for a better chance of hopping between interval
 structures (e.g. from the one-interval basin to the Figure 5 two-interval
 optimum) on rugged Failure Heterogeneous instances.
 
-With ``use_bulk`` the proposal draw goes through the candidate-pool
-path (:class:`~repro.algorithms.heuristics.bulk.PooledNeighborSampler`):
-the neighbourhood is materialised once per *accepted* state as
-lightweight boundary/bitmask rows and reused across every rejected
-proposal, instead of rebuilding all neighbour mappings on each step.
-Proposal energies stay scalar (one memoized evaluation per step, same
-as before), so the proposal sequence, every Metropolis decision and the
-final result are bit-identical to the classic path under a fixed seed.
+With ``use_bulk`` the proposal loop runs the **bulk-Metropolis** fast
+path: the neighbourhood is materialised once per *accepted* state as
+lightweight boundary/bitmask rows and scored *lazily* — early draws
+from a pool are decided on the exact scalar cache with a per-pool
+energy memo (hot-phase pools rarely survive a couple of draws, frozen
+pools mostly re-draw memoised rows), and only a pool that keeps
+exploring distinct rows is scored through one
+:class:`~repro.core.metrics_bulk.BulkEvaluator` call whose cached bulk
+energies then decide the remaining draws.  Bulk energies carry a
+conservative per-row error bound (the
+:data:`~repro.algorithms.heuristics.bulk.PREFILTER_MARGIN` contract):
+whenever the bulk numbers cannot prove the Metropolis outcome — the
+energy delta's sign is ambiguous, or the acceptance draw lands inside
+the uncertainty band around ``exp(-delta/T)`` — the candidate is
+re-evaluated through the exact scalar cache and the decision is made on
+scalar numbers.  Accepted states are always scalar-confirmed, so the
+walk's energy ladder stays scalar-exact and the proposal sequence,
+every Metropolis decision and the final result are bit-identical to
+the classic path under a fixed seed.  With a ``recorder`` attached the
+proposal energies stay scalar (every proposal event carries its exact
+energy), preserving diff-clean recordings across backends; the pooled
+sampler still avoids rebuilding neighbour mappings per step.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..result import SolverResult
 from .neighborhood import random_mapping, random_neighbor
@@ -38,7 +52,16 @@ from ...core.platform import Platform
 from ...core.serialization import mapping_to_dict
 from ...exceptions import InfeasibleProblemError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
 __all__ = ["anneal_minimize_fp", "anneal_minimize_latency", "AnnealingSchedule"]
+
+#: ``pool_scorer`` contract: candidate rows in, per-row bulk energies
+#: plus a conservative bound on their scalar-energy error out.
+_PoolScorer = Callable[
+    [list], tuple["np.ndarray", "np.ndarray"]
+]
 
 
 class AnnealingSchedule:
@@ -85,6 +108,7 @@ def _anneal(
     trace: list[IntervalMapping] | None = None,
     warm_starts: list[IntervalMapping] | None = None,
     recorder: Any = None,
+    pool_scorer: _PoolScorer | None = None,
 ) -> IntervalMapping | None:
     """Anneal on ``energy``; return the best *feasible* state visited.
 
@@ -101,6 +125,10 @@ def _anneal(
     energy-best of the combined pool becomes the initial state, and each
     is ``consider``-ed, so the returned result is never worse than any
     feasible warm start.
+
+    ``pool_scorer`` switches the proposal loop to the bulk-Metropolis
+    fast path (see the module docstring); it is mutually exclusive with
+    ``proposer`` and ``recorder``.
     """
     warm = sorted(
         single_interval_mappings(application, platform), key=energy
@@ -134,6 +162,20 @@ def _anneal(
             energy=current_e,
         )
     temperature = schedule.initial_temperature
+    if pool_scorer is not None:
+        assert proposer is None and recorder is None
+        _metropolis_bulk(
+            platform,
+            energy,
+            schedule,
+            rng,
+            pool_scorer,
+            current,
+            current_e,
+            consider,
+            trace,
+        )
+        return best_feasible
     for step in range(schedule.steps):
         if proposer is None:
             candidate = random_neighbor(current, platform.size, rng)
@@ -168,6 +210,159 @@ def _anneal(
     return best_feasible
 
 
+def _metropolis_bulk(
+    platform: Platform,
+    energy: Callable[[IntervalMapping], float],
+    schedule: AnnealingSchedule,
+    rng: random.Random,
+    pool_scorer: _PoolScorer,
+    current: IntervalMapping,
+    current_e: float,
+    consider: Callable[[IntervalMapping], None],
+    trace: list[IntervalMapping] | None,
+) -> None:
+    """The bulk-Metropolis proposal loop (scalar-confirmed decisions).
+
+    Decisions replay the classic loop exactly, including its rng
+    consumption: one index draw per proposal (none on an empty pool)
+    and one ``rng.random()`` draw iff the *scalar* energy delta is
+    positive.  The bulk energies only ever decide an outcome when their
+    error bound proves the scalar path would decide it identically;
+    every ambiguous case — and every acceptance — goes through the
+    exact scalar ``energy``, so ``current_e`` stays scalar-exact for
+    the next delta.
+    """
+    from .neighborhood import neighbor_rows, row_mapping
+
+    m = platform.size
+    pool_state: IntervalMapping | None = None
+    pool: list = []
+    energies = margins = None
+    memo: dict[int, float] = {}
+    temperature = schedule.initial_temperature
+    for _ in range(schedule.steps):
+        if current is not pool_state:
+            pool = list(neighbor_rows(current, m))
+            pool_state = current
+            energies = margins = None
+            memo = {}
+        if not pool:
+            # the classic path proposes the current state itself: a
+            # zero delta accepts without drawing rng.random()
+            if trace is not None:
+                trace.append(current)
+            consider(current)
+            temperature = max(temperature * schedule.cooling, 1e-9)
+            continue
+        idx = rng.choice(range(len(pool)))
+        candidate: IntervalMapping | None = None
+        cand_e: float | None = memo.get(idx) if energies is None else None
+        if (
+            energies is None
+            and cand_e is None
+            and len(memo) >= _SCORE_POOL_DISTINCT
+        ):
+            energies, margins = pool_scorer(pool)
+        if energies is None:
+            # young pool: decide on the exact scalar energy, memoised
+            # per row.  In the hot phase pools rarely survive a couple
+            # of draws (every acceptance rebuilds them), and a frozen
+            # pool mostly re-draws already-decoded rows — either way
+            # bulk-scoring up front would cost more than the draws it
+            # serves; the classic decision here is also trivially
+            # rng-identical.
+            if cand_e is None:
+                candidate = row_mapping(pool[idx], m)
+                cand_e = energy(candidate)
+                memo[idx] = cand_e
+            delta = cand_e - current_e
+            accepted = delta <= 0 or rng.random() < math.exp(
+                -delta / temperature
+            )
+        else:
+            accepted, candidate, cand_e = _bulk_decision(
+                energy,
+                rng,
+                pool,
+                m,
+                energies,
+                margins,
+                idx,
+                current_e,
+                temperature,
+                row_mapping,
+            )
+        if accepted:
+            if candidate is None:
+                candidate = row_mapping(pool[idx], m)
+            if cand_e is None:
+                cand_e = energy(candidate)
+            current, current_e = candidate, cand_e
+            if trace is not None:
+                trace.append(current)
+            consider(current)
+        temperature = max(temperature * schedule.cooling, 1e-9)
+
+
+#: Bulk-score a proposal pool once this many *distinct* rows of it have
+#: been decided through the scalar cache.  Distinct decodes are what a
+#: scoring call actually saves (repeat draws hit the per-pool memo for
+#: ~nothing), and at typical pool shapes N scalar decodes cost about one
+#: bulk scoring call — so a pool exploring its N+1th distinct row has
+#: proven the up-front scoring pays for itself, while short-lived
+#: hot-phase pools and frozen pools cycling a few rows never pay it.
+_SCORE_POOL_DISTINCT = 8
+
+
+def _bulk_decision(
+    energy: Callable[[IntervalMapping], float],
+    rng: random.Random,
+    pool: list,
+    m: int,
+    energies: "np.ndarray",
+    margins: "np.ndarray",
+    idx: int,
+    current_e: float,
+    temperature: float,
+    row_mapping: Callable[..., IntervalMapping],
+) -> tuple[bool, IntervalMapping | None, float | None]:
+    """One Metropolis decision against cached bulk pool energies.
+
+    Returns ``(accepted, candidate, cand_e)`` with the latter two set
+    only when the scalar confirmation already materialised them.
+    """
+    delta_bulk = float(energies[idx]) - current_e
+    eps = float(margins[idx])
+    candidate: IntervalMapping | None = None
+    cand_e: float | None = None
+    if delta_bulk <= -eps:
+        # scalar delta is surely <= 0: accept, no acceptance draw
+        accepted = True
+    elif delta_bulk > eps:
+        # scalar delta is surely > 0: the draw happens; confirm in
+        # scalar only when it lands inside the uncertainty band
+        # around exp(-delta/T)
+        u = rng.random()
+        if u >= math.exp(-(delta_bulk - eps) / temperature):
+            accepted = False
+        elif u < math.exp(-(delta_bulk + eps) / temperature):
+            accepted = True
+        else:
+            candidate = row_mapping(pool[idx], m)
+            cand_e = energy(candidate)
+            accepted = u < math.exp(-(cand_e - current_e) / temperature)
+    else:
+        # ambiguous sign: the scalar delta decides whether the
+        # acceptance draw happens at all
+        candidate = row_mapping(pool[idx], m)
+        cand_e = energy(candidate)
+        delta = cand_e - current_e
+        accepted = delta <= 0 or rng.random() < math.exp(
+            -delta / temperature
+        )
+    return accepted, candidate, cand_e
+
+
 def _make_proposer(
     use_bulk: bool | None, platform: Platform
 ) -> Callable[[IntervalMapping, random.Random], IntervalMapping] | None:
@@ -177,6 +372,38 @@ def _make_proposer(
     from .bulk import PooledNeighborSampler
 
     return PooledNeighborSampler(platform.size)
+
+
+def _make_pool_scorer(
+    application: PipelineApplication,
+    platform: Platform,
+    bulk_backend: str | None,
+    penalised: Callable[..., tuple["np.ndarray", "np.ndarray"]],
+) -> _PoolScorer:
+    """Build a pool scorer around one bulk evaluator.
+
+    ``penalised(lats, fps, np)`` maps the bulk objective vectors to the
+    solver's penalised energies plus the *magnitudes* whose relative
+    bulk error the margin must cover; the scorer scales those by
+    :data:`~repro.algorithms.heuristics.bulk.PREFILTER_MARGIN` (1000x
+    the documented bulk tolerance — the penalised energies are sums of
+    tolerance-accurate terms, so the summed magnitudes bound the
+    error) and adds the absolute floor for comparisons around zero.
+    """
+    import numpy as np
+
+    from ...core.metrics_bulk import BulkEvaluator
+    from .bulk import _ABSOLUTE_FLOOR, PREFILTER_MARGIN, score_rows
+
+    evaluator = BulkEvaluator(application, platform, backend=bulk_backend)
+    n, m = application.num_stages, platform.size
+
+    def pool_scorer(rows: list) -> tuple["np.ndarray", "np.ndarray"]:
+        lats, fps = score_rows(evaluator, n, m, rows)
+        energies, scales = penalised(lats, fps, np)
+        return energies, PREFILTER_MARGIN * scales + _ABSOLUTE_FLOOR
+
+    return pool_scorer
 
 
 def anneal_minimize_fp(
@@ -189,20 +416,26 @@ def anneal_minimize_fp(
     seed: int | None = 0,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Simulated annealing for 'minimise FP subject to latency <= L'.
 
-    ``use_bulk`` routes proposals through the cached candidate-pool
-    sampler (``None`` = automatic when numpy is present); the walk and
-    the result are identical either way.  Pass a list as ``trace`` to
-    collect every accepted state in order.  ``warm_starts`` (mappings or
-    serialised dicts) join the initial candidate pool; the result is
-    never worse than any feasible warm start.  ``recorder`` (a
+    ``use_bulk`` routes proposals through the bulk-Metropolis fast path
+    (``None`` = automatic when numpy is present; see the module
+    docstring); the walk and the result are identical either way.
+    ``bulk_backend`` picks the evaluator's array engine (``"auto"`` /
+    ``"jit"`` / ``"numpy"``, see
+    :func:`repro.core.metrics_bulk.resolve_backend`).  Pass a list as
+    ``trace`` to collect every accepted state in order.  ``warm_starts``
+    (mappings or serialised dicts) join the initial candidate pool; the
+    result is never worse than any feasible warm start.  ``recorder`` (a
     :class:`repro.engine.recorder.RunRecorder`) captures every proposal
-    with its scalar energy without changing the walk.
+    with its scalar energy without changing the walk (proposal energies
+    stay scalar on recorded runs, so recordings diff cleanly across
+    backends).
 
     Raises
     ------
@@ -232,6 +465,19 @@ def anneal_minimize_fp(
             return None
         return (cache.failure_probability(mapping), lat)
 
+    pool_scorer = None
+    if recorder is None and resolve_use_bulk(use_bulk):
+        pool_scorer = _make_pool_scorer(
+            application,
+            platform,
+            bulk_backend,
+            lambda lats, fps, np: (
+                fps + penalty * np.maximum(0.0, lats - latency_threshold)
+                / scale,
+                np.abs(fps) + penalty * np.abs(lats) / scale,
+            ),
+        )
+
     best = _anneal(
         application,
         platform,
@@ -239,10 +485,15 @@ def anneal_minimize_fp(
         feasible_rank,
         schedule,
         rng,
-        proposer=_make_proposer(use_bulk, platform),
+        proposer=(
+            _make_proposer(use_bulk, platform)
+            if pool_scorer is None
+            else None
+        ),
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
         recorder=recorder,
+        pool_scorer=pool_scorer,
     )
     if best is None:
         raise InfeasibleProblemError(
@@ -269,6 +520,7 @@ def anneal_minimize_latency(
     seed: int | None = 0,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
@@ -279,8 +531,8 @@ def anneal_minimize_latency(
     latency magnitude of the single-processor mapping: energies are in
     latency units here (unlike the FP query, where they live in [0, 1]),
     so a fixed sub-unit temperature would freeze the walk immediately.
-    ``use_bulk``/``trace``/``warm_starts``/``recorder`` behave as in
-    :func:`anneal_minimize_fp`.
+    ``use_bulk``/``bulk_backend``/``trace``/``warm_starts``/``recorder``
+    behave as in :func:`anneal_minimize_fp`.
 
     Raises
     ------
@@ -319,6 +571,18 @@ def anneal_minimize_latency(
             return None
         return (cache.latency(mapping), fp)
 
+    pool_scorer = None
+    if recorder is None and resolve_use_bulk(use_bulk):
+        pool_scorer = _make_pool_scorer(
+            application,
+            platform,
+            bulk_backend,
+            lambda lats, fps, np: (
+                lats + penalty * np.maximum(0.0, fps - fp_threshold),
+                np.abs(lats) + penalty * np.abs(fps),
+            ),
+        )
+
     best = _anneal(
         application,
         platform,
@@ -326,10 +590,15 @@ def anneal_minimize_latency(
         feasible_rank,
         schedule,
         rng,
-        proposer=_make_proposer(use_bulk, platform),
+        proposer=(
+            _make_proposer(use_bulk, platform)
+            if pool_scorer is None
+            else None
+        ),
         trace=trace,
         warm_starts=decode_warm_starts(warm_starts),
         recorder=recorder,
+        pool_scorer=pool_scorer,
     )
     if best is None:
         raise InfeasibleProblemError(

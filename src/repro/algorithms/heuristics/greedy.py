@@ -212,14 +212,18 @@ def greedy_minimize_fp(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Greedy split-and-replicate for 'minimise FP s.t. latency <= L'.
 
     ``use_bulk`` selects vectorized trial scoring (``None`` = automatic
-    when numpy is present); the constructed mapping is identical either
-    way.  ``warm_starts`` (mappings or serialised dicts) compete as
+    when numpy is present); ``bulk_backend`` picks the evaluator's array
+    engine (``"auto"`` / ``"jit"`` / ``"numpy"``, see
+    :func:`repro.core.metrics_bulk.resolve_backend`); the constructed
+    mapping is identical either way.  ``warm_starts`` (mappings or
+    serialised dicts) compete as
     ready-made candidates in the final selection, so the result is never
     worse than any feasible warm start.  ``recorder`` (a
     :class:`repro.engine.recorder.RunRecorder`) captures every seed
@@ -233,7 +237,11 @@ def greedy_minimize_fp(
     slack = tolerance * max(1.0, abs(latency_threshold))
     n, m = application.num_stages, platform.size
     bulk = resolve_use_bulk(use_bulk)
-    evaluator = BulkEvaluator(application, platform) if bulk else None
+    evaluator = (
+        BulkEvaluator(application, platform, backend=bulk_backend)
+        if bulk
+        else None
+    )
     best: SolverResult | None = None
     for cand in _warm_results(
         application, platform, warm_starts, "greedy-split-replicate-min-fp"
@@ -392,6 +400,7 @@ def greedy_minimize_latency(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
 ) -> SolverResult:
@@ -400,7 +409,7 @@ def greedy_minimize_latency(
     For each interval count the seed mapping is repaired towards
     feasibility by enrolling, at each step, the replica with the smallest
     latency increase per unit of FP decrease.  ``use_bulk``,
-    ``warm_starts`` and ``recorder`` behave as in
+    ``bulk_backend``, ``warm_starts`` and ``recorder`` behave as in
     :func:`greedy_minimize_fp`.
 
     Raises
@@ -411,7 +420,11 @@ def greedy_minimize_latency(
     slack = tolerance * max(1.0, abs(fp_threshold))
     n, m = application.num_stages, platform.size
     bulk = resolve_use_bulk(use_bulk)
-    evaluator = BulkEvaluator(application, platform) if bulk else None
+    evaluator = (
+        BulkEvaluator(application, platform, backend=bulk_backend)
+        if bulk
+        else None
+    )
     best: SolverResult | None = None
     for cand in _warm_results(
         application, platform, warm_starts, "greedy-split-replicate-min-latency"

@@ -63,11 +63,12 @@ class _BulkNeighborhood:
         application: PipelineApplication,
         platform: Platform,
         prefilter: _Prefilter,
+        backend: str | None = None,
     ) -> None:
         from .bulk import score_rows
 
         self._score_rows = score_rows
-        self._evaluator = BulkEvaluator(application, platform)
+        self._evaluator = BulkEvaluator(application, platform, backend=backend)
         self._n = application.num_stages
         self._m = platform.size
         self._prefilter = prefilter
@@ -221,6 +222,7 @@ def local_search_minimize_fp(
     seed: int | None = 0,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
@@ -228,8 +230,10 @@ def local_search_minimize_fp(
     """Hill-climbing for 'minimise FP subject to latency <= L'.
 
     ``use_bulk`` selects vectorized neighbourhood scoring (``None`` =
-    automatic when numpy is present); the accepted-move sequence and the
-    result are identical either way.  Pass a list as ``trace`` to
+    automatic when numpy is present); ``bulk_backend`` picks the
+    evaluator's array engine (``"auto"`` / ``"jit"`` / ``"numpy"``, see
+    :func:`repro.core.metrics_bulk.resolve_backend`); the accepted-move
+    sequence and the result are identical either way.  Pass a list as ``trace`` to
     collect every accepted mapping in order (equivalence testing /
     trajectory inspection).  ``warm_starts`` (mappings or their
     serialised dicts) seed extra descents ahead of the built-in starts;
@@ -277,7 +281,9 @@ def local_search_minimize_fp(
                 lats - latency_threshold <= cr[1] + excess_slack
             )
 
-        pool = _BulkNeighborhood(application, platform, prefilter)
+        pool = _BulkNeighborhood(
+            application, platform, prefilter, backend=bulk_backend
+        )
 
     best, best_rank, steps = _solve(
         application,
@@ -317,14 +323,15 @@ def local_search_minimize_latency(
     seed: int | None = 0,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     trace: list[IntervalMapping] | None = None,
     warm_starts: WarmStarts | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Hill-climbing for 'minimise latency subject to FP <= bound'.
 
-    ``use_bulk``/``trace``/``warm_starts``/``recorder`` behave as in
-    :func:`local_search_minimize_fp`.
+    ``use_bulk``/``bulk_backend``/``trace``/``warm_starts``/``recorder``
+    behave as in :func:`local_search_minimize_fp`.
 
     Raises
     ------
@@ -359,7 +366,9 @@ def local_search_minimize_latency(
                 fps - fp_threshold <= cr[1] + excess_slack
             )
 
-        pool = _BulkNeighborhood(application, platform, prefilter)
+        pool = _BulkNeighborhood(
+            application, platform, prefilter, backend=bulk_backend
+        )
 
     best, best_rank, steps = _solve(
         application,

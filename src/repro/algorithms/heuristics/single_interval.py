@@ -117,6 +117,7 @@ def _bulk_candidate_survivors(
     threshold: float,
     slack: float,
     minimize_fp: bool,
+    backend: str | None = None,
 ) -> list[SolverResult]:
     """Scalar-evaluated grid candidates that may win, per the bulk prefilter.
 
@@ -134,7 +135,7 @@ def _bulk_candidate_survivors(
     builder = BlockBuilder(n, platform.size, capacity=len(grid))
     for procs, _, _ in grid:
         builder.append((n,), (_mask(procs),))
-    evaluator = BulkEvaluator(application, platform)
+    evaluator = BulkEvaluator(application, platform, backend=backend)
     lats, fps = evaluator.evaluate_block(builder.build())
 
     if minimize_fp:
@@ -165,6 +166,7 @@ def single_interval_minimize_fp(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Best single-interval FP under a latency threshold.
@@ -172,8 +174,10 @@ def single_interval_minimize_fp(
     Exact among single-interval mappings on Communication Homogeneous
     platforms (see module docstring); heuristic on Fully Heterogeneous
     ones.  ``use_bulk`` selects vectorized grid scoring (``None`` =
-    automatic when numpy is present); the selected mapping and reported
-    objectives are identical either way.  ``recorder`` (a
+    automatic when numpy is present); ``bulk_backend`` picks the
+    evaluator's array engine (``"auto"`` / ``"jit"`` / ``"numpy"``, see
+    :func:`repro.core.metrics_bulk.resolve_backend`); the selected
+    mapping and reported objectives are identical either way.  ``recorder`` (a
     :class:`repro.engine.recorder.RunRecorder`) captures the winning
     candidate; the grid-size event is diagnostic only (the bulk path
     scalar-evaluates just the prefilter survivors).
@@ -186,7 +190,12 @@ def single_interval_minimize_fp(
     slack = tolerance * max(1.0, abs(latency_threshold))
     if resolve_use_bulk(use_bulk):
         candidates = _bulk_candidate_survivors(
-            application, platform, latency_threshold, slack, minimize_fp=True
+            application,
+            platform,
+            latency_threshold,
+            slack,
+            minimize_fp=True,
+            backend=bulk_backend,
         )
     else:
         candidates = single_interval_candidates(application, platform)
@@ -260,17 +269,23 @@ def single_interval_minimize_latency(
     *,
     tolerance: float = 1e-9,
     use_bulk: bool | None = None,
+    bulk_backend: str | None = None,
     recorder: Any = None,
 ) -> SolverResult:
     """Best single-interval latency under an FP threshold.
 
     Exactness mirrors :func:`single_interval_minimize_fp`, as do the
-    ``use_bulk`` and ``recorder`` contracts.
+    ``use_bulk``/``bulk_backend``/``recorder`` contracts.
     """
     slack = tolerance * max(1.0, abs(fp_threshold))
     if resolve_use_bulk(use_bulk):
         candidates = _bulk_candidate_survivors(
-            application, platform, fp_threshold, slack, minimize_fp=False
+            application,
+            platform,
+            fp_threshold,
+            slack,
+            minimize_fp=False,
+            backend=bulk_backend,
         )
     else:
         candidates = single_interval_candidates(application, platform)

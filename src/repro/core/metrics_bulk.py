@@ -35,6 +35,20 @@ results remain scalar-exact.
 The module degrades gracefully: when numpy is not installed
 (:data:`HAS_NUMPY` is ``False``) the solvers fall back to the memoized
 scalar :class:`~repro.core.metrics.EvaluationCache` path.
+
+Backends
+--------
+On top of the numpy array path the evaluator exposes a ``backend``
+knob (``"auto" | "jit" | "numpy"``, resolved by
+:func:`resolve_backend` like :func:`resolve_use_bulk` resolves the bulk
+knob): with numba installed (:data:`HAS_NUMBA`) the compiled kernels of
+:mod:`repro.core.metrics_kernels` fuse each row's whole evaluation into
+one loop nest and parallelise over rows with ``prange`` — replacing the
+thread-shard fan-out (no nested parallelism).  ``"auto"`` prefers the
+compiled kernels and falls back to numpy; the scalar fallback stays at
+the :func:`resolve_use_bulk` level.  All backends honour the same
+:data:`BULK_RELATIVE_TOLERANCE` contract, so the consumers' scalar
+confirmation keeps trajectories bit-identical across every backend.
 """
 
 from __future__ import annotations
@@ -44,8 +58,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from ..exceptions import SolverError
+from . import metrics_kernels as _kernels
 from .application import PipelineApplication
 from .mapping import IntervalMapping, StageInterval
+from .metrics_kernels import HAS_NUMBA
 from .platform import Platform
 from .topology import IN, OUT
 
@@ -59,6 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "HAS_NUMPY",
+    "HAS_NUMBA",
     "BULK_RELATIVE_TOLERANCE",
     "MASK_TABLE_LIMIT",
     "SHARD_MIN_ROWS",
@@ -68,6 +85,7 @@ __all__ = [
     "build_mask_tables",
     "nondominated_mask",
     "resolve_use_bulk",
+    "resolve_backend",
 ]
 
 #: True when numpy is importable and the bulk path is available.
@@ -110,6 +128,33 @@ def resolve_use_bulk(use_bulk: bool | None) -> bool:
             "use_bulk=None/False for the scalar path"
         )
     return use_bulk
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve the evaluator ``backend`` knob against numba presence.
+
+    ``None``/``"auto"`` prefers the compiled kernels when numba is
+    importable and falls back to ``"numpy"`` otherwise.  An explicit
+    ``"jit"`` on a numba-less install is an error, mirroring
+    :func:`resolve_use_bulk` (silent degradation would hide the missing
+    order of magnitude).  The scalar path is not selected here — that
+    fallback lives one level up, at the ``use_bulk`` knob.
+    """
+    if backend is None or backend == "auto":
+        return "jit" if HAS_NUMBA else "numpy"
+    if backend == "jit":
+        if not HAS_NUMBA:
+            raise SolverError(
+                "backend='jit' requires numba; install the [jit] extra "
+                "or pass backend='auto'/'numpy'"
+            )
+        return "jit"
+    if backend == "numpy":
+        return "numpy"
+    raise SolverError(
+        f"unknown bulk backend {backend!r}; expected 'auto', 'jit' or "
+        "'numpy'"
+    )
 
 
 def build_mask_tables(
@@ -338,8 +383,19 @@ class BulkEvaluator:
     Every reduction in both objective formulas is *within one row*, so
     the concatenated shard results are **bit-identical** to the
     single-pass evaluation — the scalar-confirmation contract of the
-    consumers is untouched.  Blocks under :data:`SHARD_MIN_ROWS` rows
-    skip the fan-out.  ``None``/``1`` (default) disables sharding.
+    consumers is untouched.  Blocks under ``shard_min_rows`` rows
+    (default :data:`SHARD_MIN_ROWS`) skip the fan-out; the executor is
+    created lazily on the first sharded call and reused across blocks
+    (closed on :meth:`close` / context exit / garbage collection).
+    ``None``/``1`` (default) disables sharding.
+
+    ``backend`` selects the array engine (see :func:`resolve_backend`):
+    ``"jit"`` routes both objectives through the fused compiled kernels
+    of :mod:`repro.core.metrics_kernels`, whose ``prange`` row loop owns
+    the parallelism — the thread-shard fan-out is bypassed entirely on
+    that backend.  Construction runs one tiny warm-up block through the
+    kernels so the JIT compile cost is paid up front, never inside a
+    latency-sensitive request.
     """
 
     def __init__(
@@ -349,14 +405,25 @@ class BulkEvaluator:
         *,
         one_port: bool = True,
         shards: int | None = None,
+        backend: str | None = None,
+        shard_min_rows: int | None = None,
     ) -> None:
         _require_numpy()
         if shards is not None and shards < 1:
             raise SolverError(f"shards must be >= 1, got {shards}")
+        if shard_min_rows is not None and shard_min_rows < 1:
+            raise SolverError(
+                f"shard_min_rows must be >= 1, got {shard_min_rows}"
+            )
         self.application = application
         self.platform = platform
         self.one_port = one_port
         self.shards = 1 if shards is None else int(shards)
+        self.backend = resolve_backend(backend)
+        self.shard_min_rows = (
+            SHARD_MIN_ROWS if shard_min_rows is None else int(shard_min_rows)
+        )
+        self._executor: ThreadPoolExecutor | None = None
         n = application.num_stages
         m = platform.size
         self._n = n
@@ -396,6 +463,30 @@ class BulkEvaluator:
         self._tables = m <= MASK_TABLE_LIMIT
         if self._tables:
             self._build_mask_tables()
+        if self.backend == "jit":
+            self._warmup_jit()
+
+    # ------------------------------------------------------------------
+    # lifecycle: the persistent shard executor
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent shard executor, if one was created."""
+        executor = self._executor
+        if executor is not None:
+            self._executor = None
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "BulkEvaluator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def _build_mask_tables(self) -> None:
@@ -435,7 +526,7 @@ class BulkEvaluator:
         not merely tolerance-close — to the single-pass result.
         """
         rows = len(block)
-        shards = min(self.shards, max(1, rows // SHARD_MIN_ROWS))
+        shards = min(self.shards, max(1, rows // self.shard_min_rows))
         if shards <= 1:
             return fn(block)
         bounds = [
@@ -451,8 +542,9 @@ class BulkEvaluator:
             )
             for lo, hi in bounds
         ]
-        with ThreadPoolExecutor(max_workers=shards) as pool:
-            parts = list(pool.map(fn, slices))
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.shards)
+        parts = list(self._executor.map(fn, slices))
         return _np.concatenate(parts)
 
     # ------------------------------------------------------------------
@@ -461,6 +553,8 @@ class BulkEvaluator:
     def failure_probabilities(self, block: MappingBlock) -> "np.ndarray":
         """Failure probability of every mapping in the block."""
         self._check_block(block)
+        if self.backend == "jit":
+            return self._failure_probabilities_jit(block)
         return self._sharded(block, self._failure_probabilities_of)
 
     def _failure_probabilities_of(
@@ -487,12 +581,71 @@ class BulkEvaluator:
     def latencies(self, block: MappingBlock) -> "np.ndarray":
         """Latency of every mapping in the block (eq. (1) or eq. (2))."""
         self._check_block(block)
+        if self.backend == "jit":
+            return self._latencies_jit(block)
         return self._sharded(block, self._latencies_of)
 
     def _latencies_of(self, block: MappingBlock) -> "np.ndarray":
         if self._uniform:
             return self._latencies_uniform(block)
         return self._latencies_heterogeneous(block)
+
+    # ------------------------------------------------------------------
+    # compiled backend (numba kernels, prange row parallelism)
+    # ------------------------------------------------------------------
+    def _warmup_jit(self) -> None:
+        """Trigger the JIT compiles on a one-row dummy block.
+
+        Uses the evaluator's own arrays so exactly the signatures of the
+        later hot calls get compiled; ``cache=True`` on the kernels makes
+        this nearly free after the first process on a machine.
+        """
+        block = MappingBlock(
+            num_stages=self._n,
+            num_processors=self._m,
+            ends=_np.array([[self._n]], dtype=_np.int64),
+            masks=_np.array([[1]], dtype=_np.int64),
+        )
+        self._latencies_jit(block)
+        self._failure_probabilities_jit(block)
+
+    def _latencies_jit(self, block: MappingBlock) -> "np.ndarray":
+        ends = _np.ascontiguousarray(block.ends)
+        masks = _np.ascontiguousarray(block.masks)
+        out = _np.empty(len(block))
+        if self._uniform:
+            _kernels.uniform_latency_kernel(
+                ends,
+                masks,
+                self._work_prefix,
+                self._volumes,
+                self._speeds,
+                float(self._bandwidth),
+                float(self._final_term),
+                self.one_port,
+                out,
+            )
+        else:
+            _kernels.heterogeneous_latency_kernel(
+                ends,
+                masks,
+                self._work_prefix,
+                self._volumes,
+                self._speeds,
+                self._links,
+                self._in_bw,
+                self._out_bw,
+                float(self.application.input_size),
+                self.one_port,
+                out,
+            )
+        return out
+
+    def _failure_probabilities_jit(self, block: MappingBlock) -> "np.ndarray":
+        masks = _np.ascontiguousarray(block.masks)
+        out = _np.empty(len(block))
+        _kernels.failure_kernel(masks, self._fps, out)
+        return out
 
     def _latencies_uniform(self, block: MappingBlock) -> "np.ndarray":
         masks = block.masks
@@ -513,6 +666,37 @@ class BulkEvaluator:
         terms = _np.where(valid, terms, 0.0)
         return terms.sum(axis=1) + self._final_term
 
+    def _serialized_sends(
+        self, delta_out: "np.ndarray", next_masks: "np.ndarray"
+    ) -> "np.ndarray":
+        """Per-sender serialized sends into each successor interval.
+
+        The per-link array behind the reduction is ``(B, width, m, m)``
+        sized; computing it in contiguous row chunks of ``B / m`` keeps
+        every temporary within the ``(B, width, m)`` footprint of the
+        result.  Chunking the row axis cannot change any value — each
+        output element is still the same numpy pairwise reduction over
+        the same masked ``delta / links`` row — so the results stay
+        bit-identical to the unchunked formulation.
+        """
+        rows, width = next_masks.shape
+        m = self._m
+        sends = _np.empty((rows, width, m))
+        chunk = max(1, rows // m)
+        for lo in range(0, rows, chunk):
+            hi = min(rows, lo + chunk)
+            # (c, width, m, m): sender u -> successor replica v
+            send_uv = delta_out[lo:hi, :, None, None] / self._links
+            nb = self._bits(next_masks[lo:hi])[:, :, None, :]
+            if self.one_port:
+                sends[lo:hi] = _np.where(nb, send_uv, 0.0).sum(axis=3)
+            else:
+                part = _np.where(nb, send_uv, -_np.inf).max(axis=3)
+                sends[lo:hi] = _np.where(
+                    (next_masks[lo:hi] != 0)[..., None], part, 0.0
+                )
+        return sends
+
     def _latencies_heterogeneous(self, block: MappingBlock) -> "np.ndarray":
         masks = block.masks
         valid = masks != 0
@@ -526,22 +710,13 @@ class BulkEvaluator:
 
         # serialized sends into the successor interval's replicas;
         # the last interval instead sends to P_out
-        next_bits = _np.zeros_like(bits)
-        next_bits[:, :-1, :] = bits[:, 1:, :]
+        next_masks = _np.zeros_like(masks)
+        next_masks[:, :-1] = masks[:, 1:]
         counts = valid.sum(axis=1)
         col = _np.arange(block.width)
         is_last = valid & (col == (counts - 1)[:, None])
 
-        send_uv = delta_out[..., None, None] / self._links  # (B, w, m, m)
-        if self.one_port:
-            sends = _np.where(next_bits[:, :, None, :], send_uv, 0.0).sum(
-                axis=3
-            )
-        else:
-            sends = _np.where(
-                next_bits[:, :, None, :], send_uv, -_np.inf
-            ).max(axis=3)
-            sends = _np.where(next_bits.any(axis=2)[..., None], sends, 0.0)
+        sends = self._serialized_sends(delta_out, next_masks)  # (B, width, m)
         out_sends = delta_out[..., None] / self._out_bw  # (B, width, m)
         sends = _np.where(is_last[..., None], out_sends, sends)
 

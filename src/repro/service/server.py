@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Awaitable, Callable, Mapping
 
+from ..core import metrics_kernels
 from ..engine.batch import BatchTask, iter_batch
 from ..engine.policy import BatchPolicy
 from ..engine.store import ResultStore, ThreadSafeStore, open_store
@@ -201,6 +202,13 @@ class SolverService:
             )
         self._drain_requested = asyncio.Event()
         self._started_at = time.monotonic()
+        # compile the bulk kernels (no-op without numba) before the
+        # first request lands, so daemon latency percentiles never eat
+        # a mid-request JIT pass; cache=True persists the machine code,
+        # making this near-instant on every later daemon start
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, metrics_kernels.warmup
+        )
         if socket_path is not None:
             server = await asyncio.start_unix_server(
                 self._handle_ndjson,

@@ -39,6 +39,7 @@ from repro.algorithms.heuristics import (
     single_interval_replica_sets,
 )
 from repro.core import IntervalMapping, Platform, latency
+from repro.core import metrics_kernels
 from repro.core.metrics_bulk import MASK_TABLE_LIMIT, BlockBuilder
 from repro.exceptions import InfeasibleProblemError, SolverError
 
@@ -388,3 +389,100 @@ class TestUseBulkKnob:
         assert result.mapping == greedy_minimize_fp(
             app, plat, threshold, use_bulk=False
         ).mapping
+
+
+class TestBackendKnob:
+    """The ``bulk_backend`` knob resolves like ``use_bulk`` one level down."""
+
+    def test_explicit_numpy_matches_auto_trajectories(self):
+        # with numba installed the default resolves to the jit backend,
+        # so this doubles as the jit <-> numpy trajectory-identity check
+        app, plat = make_instance("comm-homogeneous", n=5, m=4, seed=1)
+        threshold = _loose_latency_threshold(app, plat)
+        for fn in (anneal_minimize_fp, local_search_minimize_fp):
+            t_auto: list = []
+            t_numpy: list = []
+            auto = fn(
+                app, plat, threshold, seed=7, use_bulk=True, trace=t_auto
+            )
+            explicit = fn(
+                app, plat, threshold,
+                seed=7, use_bulk=True, bulk_backend="numpy", trace=t_numpy,
+            )
+            assert t_auto == t_numpy
+            _assert_identical(auto, explicit)
+
+    def test_jit_without_numba_raises(self, monkeypatch):
+        import repro.core.metrics_bulk as mb
+
+        monkeypatch.setattr(mb, "HAS_NUMBA", False)
+        app, plat = make_instance("comm-homogeneous", n=4, m=3, seed=0)
+        threshold = _loose_latency_threshold(app, plat)
+        for fn in (
+            local_search_minimize_fp,
+            anneal_minimize_fp,
+            greedy_minimize_fp,
+            single_interval_minimize_fp,
+        ):
+            with pytest.raises(SolverError, match="requires numba"):
+                fn(app, plat, threshold, use_bulk=True, bulk_backend="jit")
+
+    def test_unknown_backend_rejected(self):
+        app, plat = make_instance("comm-homogeneous", n=4, m=3, seed=0)
+        threshold = _loose_latency_threshold(app, plat)
+        with pytest.raises(SolverError, match="unknown bulk backend"):
+            greedy_minimize_fp(
+                app, plat, threshold, use_bulk=True, bulk_backend="cuda"
+            )
+
+
+@pytest.mark.skipif(
+    not metrics_kernels.HAS_NUMBA, reason="numba not installed"
+)
+class TestJitBackendTrajectories:
+    """Scalar <-> jit-backed bulk identity, mirroring the numpy legs."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_annealing_trajectories_identical(self, kind):
+        app, plat = make_instance(kind, n=6, m=5, seed=2)
+        threshold = _loose_latency_threshold(app, plat)
+        scalar, bulk, t_s, t_b = _run_both(
+            anneal_minimize_fp, app, plat, threshold, 2,
+            bulk_backend="jit",
+        )
+        assert t_s == t_b
+        if scalar is not None:
+            _assert_identical(scalar, bulk)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_local_search_trajectories_identical(self, kind):
+        app, plat = make_instance(kind, n=6, m=5, seed=4)
+        threshold = _loose_latency_threshold(app, plat)
+        scalar, bulk, t_s, t_b = _run_both(
+            local_search_minimize_fp, app, plat, threshold, 4,
+            bulk_backend="jit", restarts=3, max_steps=30,
+        )
+        assert t_s == t_b
+        if scalar is not None:
+            _assert_identical(scalar, bulk)
+
+    def test_wide_platform_fallback_shapes(self):
+        plat = _wide_platform()
+        app, _ = make_instance("comm-homogeneous", n=6, m=4, seed=1)
+        threshold = _loose_latency_threshold(app, plat)
+        scalar, bulk, t_s, t_b = _run_both(
+            local_search_minimize_fp, app, plat, threshold, 0,
+            bulk_backend="jit", restarts=2, max_steps=12,
+        )
+        assert t_s == t_b and t_s
+        _assert_identical(scalar, bulk)
+
+    def test_greedy_and_single_interval_winners_identical(self):
+        app, plat = make_instance("fully-heterogeneous", n=5, m=4, seed=3)
+        threshold = _loose_latency_threshold(app, plat)
+        for fn in (greedy_minimize_fp, single_interval_minimize_fp):
+            scalar = fn(app, plat, threshold, use_bulk=False)
+            jit = fn(
+                app, plat, threshold, use_bulk=True, bulk_backend="jit"
+            )
+            _assert_identical(scalar, jit)

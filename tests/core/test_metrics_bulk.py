@@ -12,7 +12,7 @@ bugs would hide.
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -348,3 +348,186 @@ class TestShardedEvaluation:
         assert sharded.latency == plain.latency
         assert sharded.failure_probability == plain.failure_probability
         assert sharded.mapping == plain.mapping
+
+    def test_shard_min_rows_lowers_the_gate(self, monkeypatch):
+        """A custom ``shard_min_rows`` engages the fan-out on small blocks."""
+        from repro.core import metrics_bulk
+
+        app, plat = make_instance("fully-heterogeneous", 4, 3, 5)
+        mappings = list(enumerate_interval_mappings(4, 3))
+        block = MappingBlock.from_mappings(mappings, 4, 3)
+        assert len(block) < metrics_bulk.SHARD_MIN_ROWS
+
+        created = []
+        real_executor = metrics_bulk.ThreadPoolExecutor
+
+        def record(*args, **kwargs):
+            executor = real_executor(*args, **kwargs)
+            created.append(executor)
+            return executor
+
+        monkeypatch.setattr(metrics_bulk, "ThreadPoolExecutor", record)
+        reference = BulkEvaluator(app, plat)
+        with BulkEvaluator(app, plat, shards=4, shard_min_rows=2) as sharded:
+            assert sharded.shard_min_rows == 2
+            assert np.array_equal(
+                sharded.latencies(block), reference.latencies(block)
+            )
+            assert np.array_equal(
+                sharded.failure_probabilities(block),
+                reference.failure_probabilities(block),
+            )
+        assert len(created) == 1
+
+    def test_invalid_shard_min_rows_rejected(self):
+        app, plat = make_instance("comm-homogeneous", 3, 3, 1)
+        with pytest.raises(SolverError, match="shard_min_rows"):
+            BulkEvaluator(app, plat, shard_min_rows=0)
+
+
+class TestPersistentExecutor:
+    """The shard pool is created lazily, reused, and closed exactly once."""
+
+    def _instrument(self, monkeypatch):
+        from repro.core import metrics_bulk
+
+        created = []
+        real_executor = metrics_bulk.ThreadPoolExecutor
+
+        class Recording(real_executor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.shutdown_calls = 0
+                created.append(self)
+
+            def shutdown(self, *args, **kwargs):
+                self.shutdown_calls += 1
+                super().shutdown(*args, **kwargs)
+
+        monkeypatch.setattr(metrics_bulk, "ThreadPoolExecutor", Recording)
+        return created
+
+    def _sharded_evaluator(self):
+        app, plat = make_instance("comm-homogeneous", 4, 3, 2)
+        mappings = list(enumerate_interval_mappings(4, 3))
+        block = MappingBlock.from_mappings(mappings, 4, 3)
+        return BulkEvaluator(app, plat, shards=2, shard_min_rows=1), block
+
+    def test_lazy_creation_and_reuse(self, monkeypatch):
+        created = self._instrument(monkeypatch)
+        evaluator, block = self._sharded_evaluator()
+        assert created == []  # construction alone spawns nothing
+        evaluator.latencies(block)
+        evaluator.failure_probabilities(block)
+        evaluator.evaluate_block(block)
+        assert len(created) == 1  # one pool serves every later block
+        evaluator.close()
+        assert created[0].shutdown_calls == 1
+
+    def test_close_is_idempotent_and_reopens(self, monkeypatch):
+        created = self._instrument(monkeypatch)
+        evaluator, block = self._sharded_evaluator()
+        evaluator.latencies(block)
+        evaluator.close()
+        evaluator.close()
+        assert created[0].shutdown_calls == 1
+        # evaluation after close simply builds a fresh pool
+        evaluator.latencies(block)
+        assert len(created) == 2
+        evaluator.close()
+
+    def test_context_manager_closes(self, monkeypatch):
+        created = self._instrument(monkeypatch)
+        evaluator, block = self._sharded_evaluator()
+        with evaluator as ev:
+            assert ev is evaluator
+            ev.latencies(block)
+        assert len(created) == 1
+        assert created[0].shutdown_calls == 1
+
+
+class TestHeterogeneousSendRestructure:
+    """The keyed send table is bit-identical to the 4-D formulation.
+
+    The former heterogeneous path materialised a ``(B, width, m, m)``
+    ``send_uv`` array; the restructure reduces once per unique
+    ``(end, next mask)`` pair and scatters back.  Each output element is
+    the same numpy reduction over the same contiguous length-``m``
+    values, so the results must match exactly — not just within
+    tolerance.
+    """
+
+    @staticmethod
+    def _legacy_latencies(ev, block):
+        """The pre-restructure formulation, kept inline as the oracle."""
+        masks = block.masks
+        valid = masks != 0
+        bits = ev._bits(masks)
+        starts = ev._starts(block)
+        work = ev._work_prefix[block.ends] - ev._work_prefix[starts - 1]
+        delta_out = ev._volumes[block.ends]
+        compute = work[..., None] / ev._speeds
+        next_masks = np.zeros_like(masks)
+        next_masks[:, :-1] = masks[:, 1:]
+        next_bits = ev._bits(next_masks)
+        counts = valid.sum(axis=1)
+        col = np.arange(block.width)
+        is_last = valid & (col == (counts - 1)[:, None])
+        send_uv = delta_out[..., None, None] / ev._links  # (B, width, m, m)
+        nb = next_bits[:, :, None, :]
+        if ev.one_port:
+            sends = np.where(nb, send_uv, 0.0).sum(axis=3)
+        else:
+            part = np.where(nb, send_uv, -np.inf).max(axis=3)
+            sends = np.where(next_bits.any(axis=2)[..., None], part, 0.0)
+        out_sends = delta_out[..., None] / ev._out_bw
+        sends = np.where(is_last[..., None], out_sends, sends)
+        per_replica = compute + sends
+        worst = np.where(bits, per_replica, -np.inf).max(axis=2)
+        terms = np.where(valid, worst, 0.0)
+        in_times = ev.application.input_size / ev._in_bw
+        first = bits[:, 0, :]
+        if ev.one_port:
+            input_term = np.where(first, in_times, 0.0).sum(axis=1)
+        else:
+            input_term = np.where(first, in_times, -np.inf).max(axis=1)
+        return input_term + terms.sum(axis=1)
+
+    @pytest.mark.parametrize("one_port", [True, False])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bit_identical_to_legacy(self, one_port, seed):
+        app, plat = make_instance("fully-heterogeneous", 5, 4, seed)
+        mappings = list(enumerate_interval_mappings(5, 4))
+        block = MappingBlock.from_mappings(mappings, 5, 4)
+        evaluator = BulkEvaluator(
+            app, plat, one_port=one_port, backend="numpy"
+        )
+        assert np.array_equal(
+            evaluator.latencies(block),
+            self._legacy_latencies(evaluator, block),
+        )
+
+    @given(
+        app_platform_mappings(
+            platform_strategy=fully_heterogeneous_platforms(
+                min_processors=1, max_processors=5
+            )
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_on_random_instances(self, triple, one_port):
+        app, plat, mappings = triple
+        # degenerate draws (e.g. m=1) collapse to uniform links and take
+        # the eq. (1) path, which has no send table to compare
+        assume(not plat.is_communication_homogeneous)
+        block = MappingBlock.from_mappings(
+            mappings, app.num_stages, plat.size
+        )
+        evaluator = BulkEvaluator(
+            app, plat, one_port=one_port, backend="numpy"
+        )
+        assert np.array_equal(
+            evaluator.latencies(block),
+            self._legacy_latencies(evaluator, block),
+        )

@@ -1,0 +1,339 @@
+"""Kernel ↔ scalar equivalence and the bulk ``backend`` knob.
+
+The pure-Python forms (``*_py``) of the numba kernels run on every
+install, so the fused per-row logic is pinned against the scalar
+metrics even when numba is absent; the jit legs (skipped without
+numba) compile the real kernels and assert the same contract, plus the
+:func:`~repro.core.metrics_bulk.resolve_backend` resolution rules.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BULK_RELATIVE_TOLERANCE,
+    BulkEvaluator,
+    EvaluationCache,
+    IntervalMapping,
+    MappingBlock,
+    Platform,
+    StageInterval,
+)
+from repro.core import metrics_bulk, metrics_kernels
+from repro.core.enumeration import enumerate_interval_mappings
+from repro.exceptions import SolverError
+
+from tests.helpers import make_instance
+from tests.strategies import (
+    applications,
+    comm_homogeneous_platforms,
+    fully_heterogeneous_platforms,
+    interval_mappings,
+    platforms,
+)
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+needs_numba = pytest.mark.skipif(
+    not metrics_kernels.HAS_NUMBA, reason="numba not installed"
+)
+
+
+def _py_latencies(evaluator, block):
+    """Run the pure-Python latency kernel on an evaluator's arrays."""
+    ends = np.ascontiguousarray(block.ends)
+    masks = np.ascontiguousarray(block.masks)
+    out = np.empty(len(block))
+    if evaluator._uniform:
+        metrics_kernels.uniform_latency_py(
+            ends,
+            masks,
+            evaluator._work_prefix,
+            evaluator._volumes,
+            evaluator._speeds,
+            float(evaluator._bandwidth),
+            float(evaluator._final_term),
+            evaluator.one_port,
+            out,
+        )
+    else:
+        metrics_kernels.heterogeneous_latency_py(
+            ends,
+            masks,
+            evaluator._work_prefix,
+            evaluator._volumes,
+            evaluator._speeds,
+            evaluator._links,
+            evaluator._in_bw,
+            evaluator._out_bw,
+            float(evaluator.application.input_size),
+            evaluator.one_port,
+            out,
+        )
+    return out
+
+
+def _py_failures(evaluator, block):
+    out = np.empty(len(block))
+    metrics_kernels.failure_py(
+        np.ascontiguousarray(block.masks), evaluator._fps, out
+    )
+    return out
+
+
+def assert_kernels_match_scalar(app, plat, mappings, *, one_port=True):
+    """Feed mappings through the py kernels and compare per row."""
+    block = MappingBlock.from_mappings(mappings, app.num_stages, plat.size)
+    evaluator = BulkEvaluator(app, plat, one_port=one_port, backend="numpy")
+    lats = _py_latencies(evaluator, block)
+    fps = _py_failures(evaluator, block)
+    cache = EvaluationCache(app, plat, one_port=one_port)
+    for i, mapping in enumerate(mappings):
+        scalar = cache.evaluate(mapping)
+        assert math.isclose(
+            lats[i], scalar.latency, rel_tol=BULK_RELATIVE_TOLERANCE
+        ), (mapping, lats[i], scalar.latency)
+        assert math.isclose(
+            fps[i],
+            scalar.failure_probability,
+            rel_tol=BULK_RELATIVE_TOLERANCE,
+            abs_tol=1e-300,
+        ), (mapping, fps[i], scalar.failure_probability)
+
+
+@st.composite
+def app_platform_mappings(draw, platform_strategy=None, max_mappings=8):
+    """A consistent (application, platform, [mappings]) triple."""
+    app = draw(applications(max_stages=4))
+    if platform_strategy is None:
+        platform_strategy = platforms(min_processors=1, max_processors=5)
+    plat = draw(platform_strategy)
+    count = draw(st.integers(min_value=1, max_value=max_mappings))
+    mappings = [
+        draw(interval_mappings(app.num_stages, plat.size))
+        for _ in range(count)
+    ]
+    return app, plat, mappings
+
+
+class TestPyKernelsMatchScalar:
+    """The reference (undecorated) kernel forms agree with the scalar path."""
+
+    @given(app_platform_mappings())
+    @settings(max_examples=100, deadline=None)
+    def test_any_platform_class(self, triple):
+        app, plat, mappings = triple
+        assert_kernels_match_scalar(app, plat, mappings)
+
+    @given(
+        app_platform_mappings(
+            platform_strategy=comm_homogeneous_platforms(
+                min_processors=1, max_processors=6
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_links(self, triple):
+        app, plat, mappings = triple
+        assert_kernels_match_scalar(app, plat, mappings)
+
+    @given(
+        app_platform_mappings(
+            platform_strategy=fully_heterogeneous_platforms(
+                min_processors=1, max_processors=5
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heterogeneous_links(self, triple):
+        app, plat, mappings = triple
+        assert_kernels_match_scalar(app, plat, mappings)
+
+    @given(app_platform_mappings())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_port_ablation(self, triple):
+        app, plat, mappings = triple
+        assert_kernels_match_scalar(app, plat, mappings, one_port=False)
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    @pytest.mark.parametrize("one_port", [True, False])
+    def test_whole_space_small_instances(self, kind, one_port):
+        app, plat = make_instance(kind, n=4, m=4, seed=2)
+        mappings = list(enumerate_interval_mappings(4, 4))
+        assert_kernels_match_scalar(app, plat, mappings, one_port=one_port)
+
+    def test_wide_platform_past_table_limit(self):
+        """High-bit masks (m beyond the table limit) decode correctly."""
+        m = metrics_bulk.MASK_TABLE_LIMIT + 1
+        rng = random.Random(11)
+        plat = Platform.communication_homogeneous(
+            [rng.uniform(1.0, 10.0) for _ in range(m)],
+            bandwidth=4.0,
+            failure_probabilities=[rng.uniform(0.0, 0.5) for _ in range(m)],
+        )
+        app, _ = make_instance("comm-homogeneous", n=3, m=2, seed=11)
+        mappings = [
+            IntervalMapping.single_interval(3, {m}),
+            IntervalMapping.single_interval(3, {1, m // 2, m}),
+            IntervalMapping(
+                [StageInterval(1, 1), StageInterval(2, 3)],
+                [{m}, {2, m - 1}],
+            ),
+        ]
+        assert_kernels_match_scalar(app, plat, mappings)
+
+
+class TestResolveBackend:
+    """The three-state ``backend`` knob mirrors ``resolve_use_bulk``."""
+
+    def test_auto_tracks_numba_presence(self):
+        expected = "jit" if metrics_bulk.HAS_NUMBA else "numpy"
+        assert metrics_bulk.resolve_backend(None) == expected
+        assert metrics_bulk.resolve_backend("auto") == expected
+
+    def test_auto_without_numba_degrades(self, monkeypatch):
+        monkeypatch.setattr(metrics_bulk, "HAS_NUMBA", False)
+        assert metrics_bulk.resolve_backend(None) == "numpy"
+        assert metrics_bulk.resolve_backend("auto") == "numpy"
+
+    def test_auto_with_numba_compiles(self, monkeypatch):
+        monkeypatch.setattr(metrics_bulk, "HAS_NUMBA", True)
+        assert metrics_bulk.resolve_backend(None) == "jit"
+        assert metrics_bulk.resolve_backend("auto") == "jit"
+
+    def test_explicit_jit_without_numba_errors(self, monkeypatch):
+        monkeypatch.setattr(metrics_bulk, "HAS_NUMBA", False)
+        with pytest.raises(SolverError, match="requires numba"):
+            metrics_bulk.resolve_backend("jit")
+
+    def test_numpy_never_depends_on_numba(self, monkeypatch):
+        for present in (True, False):
+            monkeypatch.setattr(metrics_bulk, "HAS_NUMBA", present)
+            assert metrics_bulk.resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError, match="unknown bulk backend"):
+            metrics_bulk.resolve_backend("cuda")
+
+
+class TestEvaluatorBackendKnob:
+    def test_default_resolves_like_auto(self):
+        app, plat = make_instance("comm-homogeneous", 3, 3, 0)
+        evaluator = BulkEvaluator(app, plat)
+        expected = "jit" if metrics_bulk.HAS_NUMBA else "numpy"
+        assert evaluator.backend == expected
+
+    def test_explicit_numpy_matches_default_results(self):
+        app, plat = make_instance("fully-heterogeneous", 4, 3, 4)
+        mappings = list(enumerate_interval_mappings(4, 3))
+        block = MappingBlock.from_mappings(mappings, 4, 3)
+        explicit = BulkEvaluator(app, plat, backend="numpy")
+        auto = BulkEvaluator(app, plat)
+        lats, fps = explicit.evaluate_block(block)
+        ref_lats, ref_fps = auto.evaluate_block(block)
+        assert np.allclose(lats, ref_lats, rtol=BULK_RELATIVE_TOLERANCE)
+        assert np.allclose(
+            fps, ref_fps, rtol=BULK_RELATIVE_TOLERANCE, atol=1e-300
+        )
+
+    def test_jit_without_numba_errors(self, monkeypatch):
+        monkeypatch.setattr(metrics_bulk, "HAS_NUMBA", False)
+        app, plat = make_instance("comm-homogeneous", 3, 3, 0)
+        with pytest.raises(SolverError, match="requires numba"):
+            BulkEvaluator(app, plat, backend="jit")
+
+    def test_unknown_backend_rejected_at_construction(self):
+        app, plat = make_instance("comm-homogeneous", 3, 3, 0)
+        with pytest.raises(SolverError, match="unknown bulk backend"):
+            BulkEvaluator(app, plat, backend="fortran")
+
+
+class TestWarmup:
+    def test_warmup_reports_availability(self):
+        assert metrics_kernels.warmup() is metrics_kernels.HAS_NUMBA
+
+    def test_warmup_noop_without_numba(self, monkeypatch):
+        monkeypatch.setattr(metrics_kernels, "HAS_NUMBA", False)
+        assert metrics_kernels.warmup() is False
+
+
+@needs_numba
+class TestJitBackend:
+    """Compiled-kernel legs — these run only where numba is installed."""
+
+    @pytest.mark.parametrize(
+        "kind", ["comm-homogeneous", "fully-heterogeneous"]
+    )
+    @pytest.mark.parametrize("one_port", [True, False])
+    def test_jit_matches_numpy_and_scalar(self, kind, one_port):
+        app, plat = make_instance(kind, n=4, m=4, seed=6)
+        mappings = list(enumerate_interval_mappings(4, 4))
+        block = MappingBlock.from_mappings(mappings, 4, 4)
+        jit = BulkEvaluator(app, plat, one_port=one_port, backend="jit")
+        ref = BulkEvaluator(app, plat, one_port=one_port, backend="numpy")
+        jit_lats, jit_fps = jit.evaluate_block(block)
+        ref_lats, ref_fps = ref.evaluate_block(block)
+        assert np.allclose(
+            jit_lats, ref_lats, rtol=BULK_RELATIVE_TOLERANCE
+        )
+        assert np.allclose(
+            jit_fps, ref_fps, rtol=BULK_RELATIVE_TOLERANCE, atol=1e-300
+        )
+        cache = EvaluationCache(app, plat, one_port=one_port)
+        for i, mapping in enumerate(mappings):
+            scalar = cache.evaluate(mapping)
+            assert math.isclose(
+                jit_lats[i],
+                scalar.latency,
+                rel_tol=BULK_RELATIVE_TOLERANCE,
+            )
+            assert math.isclose(
+                jit_fps[i],
+                scalar.failure_probability,
+                rel_tol=BULK_RELATIVE_TOLERANCE,
+                abs_tol=1e-300,
+            )
+
+    def test_compiled_kernels_match_py_forms(self):
+        app, plat = make_instance("fully-heterogeneous", 4, 4, 9)
+        mappings = list(enumerate_interval_mappings(4, 4))
+        block = MappingBlock.from_mappings(mappings, 4, 4)
+        evaluator = BulkEvaluator(app, plat, backend="jit")
+        compiled_lats = evaluator.latencies(block)
+        compiled_fps = evaluator.failure_probabilities(block)
+        assert np.array_equal(compiled_lats, _py_latencies(evaluator, block))
+        assert np.array_equal(compiled_fps, _py_failures(evaluator, block))
+
+    def test_wide_platform_past_table_limit(self):
+        m = metrics_bulk.MASK_TABLE_LIMIT + 1
+        rng = random.Random(3)
+        plat = Platform.communication_homogeneous(
+            [rng.uniform(1.0, 10.0) for _ in range(m)],
+            bandwidth=4.0,
+            failure_probabilities=[rng.uniform(0.0, 0.5) for _ in range(m)],
+        )
+        app, _ = make_instance("comm-homogeneous", n=3, m=2, seed=3)
+        mappings = [
+            IntervalMapping.single_interval(3, {m}),
+            IntervalMapping.single_interval(3, {1, m // 2, m}),
+        ]
+        block = MappingBlock.from_mappings(mappings, 3, m)
+        jit = BulkEvaluator(app, plat, backend="jit")
+        ref = BulkEvaluator(app, plat, backend="numpy")
+        jit_lats, jit_fps = jit.evaluate_block(block)
+        ref_lats, ref_fps = ref.evaluate_block(block)
+        assert np.allclose(
+            jit_lats, ref_lats, rtol=BULK_RELATIVE_TOLERANCE
+        )
+        assert np.allclose(
+            jit_fps, ref_fps, rtol=BULK_RELATIVE_TOLERANCE, atol=1e-300
+        )
+
+    def test_warmup_compiles(self):
+        assert metrics_kernels.warmup() is True
